@@ -1,0 +1,89 @@
+/// Experiment AIM — deliberate one-shot aiming vs random orientations.
+///
+/// Positions stay where the airdrop put them (the paper's model); the only
+/// change is setting each camera's mount once, by coordinate ascent on the
+/// full-view grid count.  Expected shape: aiming recovers a large part of
+/// the orientation term phi/(2*pi) in the paper's hit probabilities — the
+/// coverage at q sits between random-orientation coverage at q and the
+/// fully-steerable upper bound.
+
+#include <cmath>
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/opt/orient_optimizer.hpp"
+#include "fvc/report/series.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/sim/trial.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+int main() {
+  using namespace fvc;
+  const double theta = geom::kHalfPi;
+  const double fov = 1.2;  // narrow lenses: aiming has room to help
+  const std::size_t n = 180;
+  const std::size_t trials = 4;
+  const core::DenseGrid grid(12);
+  const double csa_n = analysis::csa_necessary(static_cast<double>(n), theta);
+
+  std::cout << "=== AIM: one-shot orientation optimization vs random aim ===\n"
+            << "n = " << n << ", fov = 1.2, theta = pi/2; coverage = fraction of a "
+            << grid.side() << "x" << grid.side() << " grid full-view covered\n\n";
+
+  report::Table table({"q = s_c/s_Nc", "random aim", "optimized aim", "gain"});
+  std::vector<double> col_q;
+  std::vector<double> col_random;
+  std::vector<double> col_aimed;
+
+  opt::AimConfig aim;
+  aim.theta = theta;
+  aim.candidates = 12;
+  aim.max_sweeps = 5;
+
+  for (double q : {0.7, 1.3, 2.5}) {
+    const double radius = std::sqrt(2.0 * q * csa_n / fov);
+    stats::OnlineStats random_frac;
+    stats::OnlineStats aimed_frac;
+    for (std::size_t t = 0; t < trials; ++t) {
+      sim::TrialConfig cfg{core::HeterogeneousProfile::homogeneous(radius, fov), n,
+                           theta, sim::Deployment::kUniform, std::nullopt};
+      const core::Network net =
+          sim::deploy(cfg, stats::mix64(0xA13, t * 37 + static_cast<std::size_t>(q * 10)));
+      const opt::AimResult r = opt::optimize_orientations(net, grid, aim);
+      random_frac.add(static_cast<double>(r.initial_covered) /
+                      static_cast<double>(grid.size()));
+      aimed_frac.add(static_cast<double>(r.final_covered) /
+                     static_cast<double>(grid.size()));
+    }
+    table.add_row({report::fmt(q, 2), report::fmt(random_frac.mean(), 3),
+                   report::fmt(aimed_frac.mean(), 3),
+                   report::fmt_signed(aimed_frac.mean() - random_frac.mean(), 3)});
+    col_q.push_back(q);
+    col_random.push_back(random_frac.mean());
+    col_aimed.push_back(aimed_frac.mean());
+  }
+  table.print(std::cout);
+
+  bool never_worse = true;
+  bool real_gain = false;
+  for (std::size_t i = 0; i < col_q.size(); ++i) {
+    never_worse = never_worse && col_aimed[i] >= col_random[i] - 1e-12;
+    real_gain = real_gain || col_aimed[i] > col_random[i] + 0.05;
+  }
+  std::cout << "\nShape checks:\n"
+            << "  * aiming never hurts            -> " << (never_worse ? "OK" : "MISMATCH")
+            << "\n"
+            << "  * aiming buys real coverage      -> " << (real_gain ? "OK" : "MISMATCH")
+            << "\n(deliberate mounts recover part of the phi/2pi orientation discount the\n"
+               "random-orientation model pays — compare the STEER upper bound)\n\nCSV:\n";
+
+  report::SeriesSet csv;
+  csv.add_column("q", col_q);
+  csv.add_column("random", col_random);
+  csv.add_column("aimed", col_aimed);
+  csv.write_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// Experiment BARRIER — full-view barrier coverage, the future-work topic
+/// the paper's conclusion names.  How much cheaper is guarding a strip
+/// than full-view covering the whole region?
+///
+/// Sweep the weighted sensing area as q * s_Nc(n) and compare three events:
+/// whole-region full-view coverage, strong barrier coverage of a 10%-high
+/// strip, and weak barrier coverage.  Expected ordering at every q:
+/// P(region) <= P(strong barrier) <= P(weak barrier); the barrier curves
+/// transition at visibly smaller q.
+
+#include <cmath>
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/barrier/barrier.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/series.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/sim/trial.hpp"
+#include "fvc/stats/rng.hpp"
+
+int main() {
+  using namespace fvc;
+  const std::size_t n = 400;
+  const double theta = geom::kHalfPi;
+  const double fov = 2.0;
+  const std::size_t trials = 40;
+  const double csa_n = analysis::csa_necessary(static_cast<double>(n), theta);
+
+  barrier::BarrierSpec strip;
+  strip.y_lo = 0.45;
+  strip.y_hi = 0.55;
+  strip.columns = 64;
+  strip.rows = 6;
+
+  std::cout << "=== BARRIER: full-view barrier coverage vs area coverage ===\n"
+            << "n = " << n << ", theta = pi/2, strip y in [0.45, 0.55], " << trials
+            << " trials/point\n\n";
+
+  report::Table table({"q = s_c/s_Nc", "P(region full view)", "P(strong barrier)",
+                       "P(weak barrier)"});
+  std::vector<double> col_q;
+  std::vector<double> col_region;
+  std::vector<double> col_strong;
+  std::vector<double> col_weak;
+
+  bool ordering_ok = true;
+  for (double q : {0.3, 0.6, 1.0, 1.5, 2.5}) {
+    sim::TrialConfig cfg{core::HeterogeneousProfile::homogeneous(
+                             std::sqrt(2.0 * q * csa_n / fov), fov),
+                         n, theta, sim::Deployment::kUniform, std::nullopt};
+    std::size_t region_hits = 0;
+    std::size_t strong_hits = 0;
+    std::size_t weak_hits = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const core::Network net = sim::deploy(cfg, stats::mix64(0xBA11, t * 100 + static_cast<std::size_t>(q * 10)));
+      region_hits += core::grid_all_full_view(net, cfg.grid(), theta) ? 1 : 0;
+      const barrier::BarrierResult b = barrier::evaluate_barrier(net, strip, theta);
+      strong_hits += b.strong ? 1 : 0;
+      weak_hits += b.weak ? 1 : 0;
+    }
+    const double pr = static_cast<double>(region_hits) / trials;
+    const double ps = static_cast<double>(strong_hits) / trials;
+    const double pw = static_cast<double>(weak_hits) / trials;
+    ordering_ok = ordering_ok && pr <= ps + 1e-12 && ps <= pw + 1e-12;
+    table.add_row({report::fmt(q, 2), report::fmt(pr, 3), report::fmt(ps, 3),
+                   report::fmt(pw, 3)});
+    col_q.push_back(q);
+    col_region.push_back(pr);
+    col_strong.push_back(ps);
+    col_weak.push_back(pw);
+  }
+  table.print(std::cout);
+
+  bool barrier_cheaper = false;
+  for (std::size_t i = 0; i < col_q.size(); ++i) {
+    if (col_strong[i] > col_region[i] + 0.2) {
+      barrier_cheaper = true;
+    }
+  }
+  std::cout << "\nShape checks:\n"
+            << "  * region <= strong barrier <= weak barrier -> "
+            << (ordering_ok ? "OK" : "MISMATCH") << "\n"
+            << "  * guarding the strip is visibly cheaper     -> "
+            << (barrier_cheaper ? "OK" : "MISMATCH") << "\n\nCSV:\n";
+
+  report::SeriesSet csv;
+  csv.add_column("q", col_q);
+  csv.add_column("p_region", col_region);
+  csv.add_column("p_strong_barrier", col_strong);
+  csv.add_column("p_weak_barrier", col_weak);
+  csv.write_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// Experiment CLUSTER — clustered airdrops vs the paper's independent
+/// positions.  The Matern cluster process models sensors leaving the
+/// aircraft in sticks: parents Poisson, children in a disc of radius
+/// `spread`.  At equal expected density, clumping wastes sensing area —
+/// overlapping sectors inside a clump re-watch the same spots while the
+/// gaps between clumps go dark.
+///
+/// Expected shape: full-view fraction rises monotonically with the spread
+/// and approaches the uniform-deployment value (the Poisson limit) as the
+/// clusters dissolve.
+
+#include <iostream>
+
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/cluster.hpp"
+#include "fvc/deploy/poisson.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/series.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+int main() {
+  using namespace fvc;
+  const double theta = geom::kHalfPi;
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.22, 2.0);
+  const double density = 300.0;
+  const std::size_t trials = 25;
+  const core::DenseGrid grid(20);
+
+  std::cout << "=== CLUSTER: Matern-clustered airdrops vs independent positions ===\n"
+            << "expected density " << density << ", r = 0.22, fov = 2.0, theta = pi/2, "
+            << trials << " trials/row\n\n";
+
+  // Uniform/Poisson baseline at the same density.
+  stats::OnlineStats baseline;
+  for (std::size_t t = 0; t < trials; ++t) {
+    stats::Pcg32 rng(stats::mix64(0xBA5E, t));
+    const auto net = deploy::deploy_poisson_network(profile, density, rng);
+    baseline.add(core::evaluate_region(net, grid, theta).fraction_full_view());
+  }
+
+  report::Table table({"spread", "clusters x children", "frac full view",
+                       "vs independent"});
+  std::vector<double> col_spread;
+  std::vector<double> col_frac;
+
+  for (double spread : {0.02, 0.05, 0.10, 0.20, 0.35}) {
+    deploy::ClusterConfig cfg;
+    cfg.parent_intensity = 25.0;
+    cfg.mean_children = density / cfg.parent_intensity;
+    cfg.spread = spread;
+    stats::OnlineStats frac;
+    for (std::size_t t = 0; t < trials; ++t) {
+      stats::Pcg32 rng(stats::mix64(0xC1A5 + static_cast<std::uint64_t>(spread * 1000), t));
+      const auto net = deploy::deploy_matern_cluster_network(profile, cfg, rng);
+      frac.add(core::evaluate_region(net, grid, theta).fraction_full_view());
+    }
+    table.add_row({report::fmt(spread, 2),
+                   report::fmt(cfg.parent_intensity, 0) + " x " +
+                       report::fmt(cfg.mean_children, 0),
+                   report::fmt(frac.mean(), 3),
+                   report::fmt(frac.mean() - baseline.mean(), 3)});
+    col_spread.push_back(spread);
+    col_frac.push_back(frac.mean());
+  }
+  table.print(std::cout);
+  std::cout << "independent-position baseline: " << report::fmt(baseline.mean(), 3)
+            << "\n";
+
+  bool monotone = true;
+  for (std::size_t i = 1; i < col_frac.size(); ++i) {
+    monotone = monotone && col_frac[i] >= col_frac[i - 1] - 0.02;
+  }
+  std::cout << "\nShape checks:\n"
+            << "  * coverage rises with spread               -> "
+            << (monotone ? "OK" : "MISMATCH") << "\n"
+            << "  * tight clumps pay a real penalty          -> "
+            << (baseline.mean() - col_frac.front() > 0.1 ? "OK" : "MISMATCH") << "\n"
+            << "  * wide spread approaches the independent law -> "
+            << (baseline.mean() - col_frac.back() < 0.08 ? "OK" : "MISMATCH")
+            << "\n(the paper's uniform-deployment assumption is an OPTIMISTIC model of a\n"
+               "real airdrop; the clumping penalty is the gap shown above)\n\nCSV:\n";
+
+  report::SeriesSet csv;
+  csv.add_column("spread", col_spread);
+  csv.add_column("fraction_full_view", col_frac);
+  csv.write_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// Experiment FIG7 — reproduces Figure 7 of the paper: the critical sensing
+/// areas s_Nc(n) (necessary, Theorem 1) and s_Sc(n) (sufficient, Theorem 2)
+/// versus the effective angle theta in [0.1*pi, 0.5*pi] at n = 1000.
+///
+/// Expected shape (paper Section VI-B): both curves decrease in theta like
+/// an inverse-proportional function (s_c ~ 1/theta), with the sufficient
+/// curve roughly twice the necessary one.
+
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/series.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/sim/sweep.hpp"
+
+int main() {
+  using namespace fvc;
+  const double n = 1000.0;
+
+  std::cout << "=== FIG7: CSA vs effective angle theta (n = 1000) ===\n"
+            << "Reproduces Figure 7; columns in units of sensing area.\n\n";
+
+  report::Table table({"theta/pi", "theta", "s_Nc (necessary)", "s_Sc (sufficient)",
+                       "ratio S/N", "theta*s_Nc"});
+  report::SeriesSet csv;
+  std::vector<double> thetas;
+  std::vector<double> necessary;
+  std::vector<double> sufficient;
+
+  for (double frac : sim::linspace(0.10, 0.50, 17)) {
+    const double theta = frac * geom::kPi;
+    const double s_n = analysis::csa_necessary(n, theta);
+    const double s_s = analysis::csa_sufficient(n, theta);
+    table.add_row({report::fmt(frac, 3), report::fmt(theta, 4), report::fmt_sci(s_n),
+                   report::fmt_sci(s_s), report::fmt(s_s / s_n, 3),
+                   report::fmt_sci(theta * s_n)});
+    thetas.push_back(theta);
+    necessary.push_back(s_n);
+    sufficient.push_back(s_s);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks (paper Section VI-B):\n"
+            << "  * both columns decrease in theta            -> "
+            << (necessary.front() > necessary.back() &&
+                        sufficient.front() > sufficient.back()
+                    ? "OK"
+                    : "MISMATCH")
+            << "\n"
+            << "  * sufficient > necessary everywhere          -> ";
+  bool ordered = true;
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    ordered = ordered && sufficient[i] > necessary[i];
+  }
+  std::cout << (ordered ? "OK" : "MISMATCH") << "\n"
+            << "  * theta * s_Nc roughly constant (inverse law) -> ";
+  const double p_first = thetas.front() * necessary.front();
+  const double p_last = thetas.back() * necessary.back();
+  std::cout << (p_last / p_first > 0.6 && p_last / p_first < 1.4 ? "OK" : "MISMATCH")
+            << "\n\nCSV:\n";
+
+  csv.add_column("theta", thetas);
+  csv.add_column("csa_necessary", necessary);
+  csv.add_column("csa_sufficient", sufficient);
+  csv.write_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Experiment FIG8 — reproduces Figure 8: the two CSAs versus the number of
+/// cameras n, at theta = pi/4.
+///
+/// Expected shape (paper Section VI-B): the requirement is enormous at
+/// n = 100 ("about 0.5 in sufficient condition, half the area of the unit
+/// square"), decays quickly, and flattens past n ~ 1000.
+
+#include <cmath>
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/series.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/sim/sweep.hpp"
+
+int main() {
+  using namespace fvc;
+  const double theta = geom::kPi / 4.0;
+
+  std::cout << "=== FIG8: CSA vs number of cameras n (theta = pi/4) ===\n"
+            << "Reproduces Figure 8.\n\n";
+
+  report::Table table({"n", "s_Nc (necessary)", "s_Sc (sufficient)", "ratio S/N"});
+  std::vector<double> ns;
+  std::vector<double> necessary;
+  std::vector<double> sufficient;
+
+  for (std::size_t n : sim::geomspace_sizes(100, 100000, 16)) {
+    const double s_n = analysis::csa_necessary(static_cast<double>(n), theta);
+    const double s_s = analysis::csa_sufficient(static_cast<double>(n), theta);
+    table.add_row({std::to_string(n), report::fmt_sci(s_n), report::fmt_sci(s_s),
+                   report::fmt(s_s / s_n, 3)});
+    ns.push_back(static_cast<double>(n));
+    necessary.push_back(s_n);
+    sufficient.push_back(s_s);
+  }
+  table.print(std::cout);
+
+  const double suf100 = analysis::csa_sufficient(100.0, theta);
+  const double d_small = analysis::csa_sufficient(100.0, theta) -
+                         analysis::csa_sufficient(200.0, theta);
+  const double d_large = analysis::csa_sufficient(2000.0, theta) -
+                         analysis::csa_sufficient(4000.0, theta);
+  std::cout << "\nShape checks (paper Section VI-B):\n"
+            << "  * s_Sc(100) is a large fraction of the square -> "
+            << report::fmt(suf100, 3) << (suf100 > 0.2 ? "  OK" : "  MISMATCH") << "\n"
+            << "  * decline flattens past n ~ 1000              -> "
+            << (d_small > 10.0 * d_large ? "OK" : "MISMATCH") << "\n"
+            << "  * monotone decreasing                         -> "
+            << (necessary.front() > necessary.back() ? "OK" : "MISMATCH")
+            << "\n\nCSV:\n";
+
+  report::SeriesSet csv;
+  csv.add_column("n", ns);
+  csv.add_column("csa_necessary", necessary);
+  csv.add_column("csa_sufficient", sufficient);
+  csv.write_csv(std::cout);
+  return 0;
+}

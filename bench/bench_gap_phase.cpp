@@ -1,0 +1,79 @@
+/// Experiment GAP — Section VI-C / Figure 9: the band between the necessary
+/// and sufficient CSAs.  Below s_Nc coverage is impossible w.h.p.; above
+/// s_Sc it is guaranteed w.h.p.; in between the outcome is a random event
+/// depending on the actual deployment.
+///
+/// The scan dials s_c = q * s_Nc(n) for q from 0.5 to ~3 (s_Sc sits near
+/// q ~ 2) and reports the probabilities of all three whole-grid events.
+
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/series.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/sim/phase_scan.hpp"
+#include "fvc/sim/sweep.hpp"
+#include "fvc/sim/thread_pool.hpp"
+
+int main() {
+  using namespace fvc;
+  const double theta = geom::kHalfPi;
+  const std::size_t n = 500;
+
+  sim::PhaseScanConfig scan;
+  scan.base = sim::TrialConfig{core::HeterogeneousProfile::homogeneous(0.2, 2.0), n,
+                               theta, sim::Deployment::kUniform, std::nullopt};
+  scan.q_values = sim::linspace(0.5, 3.0, 11);
+  scan.trials = 60;
+  scan.master_seed = 0x6A9;
+  scan.threads = sim::default_thread_count();
+
+  const double csa_n = analysis::csa_necessary(static_cast<double>(n), theta);
+  const double csa_s = analysis::csa_sufficient(static_cast<double>(n), theta);
+
+  std::cout << "=== GAP: the necessary/sufficient band (Section VI-C, Figure 9) ===\n"
+            << "n = " << n << ", theta = pi/2; s_Sc/s_Nc = "
+            << report::fmt(csa_s / csa_n, 3) << " (the ~2x gap)\n\n";
+
+  const auto points = sim::run_phase_scan(scan);
+
+  report::Table table({"q = s_c/s_Nc", "s_c", "P(H_N)", "P(full view)", "P(H_S)"});
+  std::vector<double> col_q;
+  std::vector<double> col_pn;
+  std::vector<double> col_pf;
+  std::vector<double> col_ps;
+  for (const auto& pt : points) {
+    table.add_row({report::fmt(pt.q, 2), report::fmt_sci(pt.weighted_area),
+                   report::fmt(pt.events.necessary.p(), 3),
+                   report::fmt(pt.events.full_view.p(), 3),
+                   report::fmt(pt.events.sufficient.p(), 3)});
+    col_q.push_back(pt.q);
+    col_pn.push_back(pt.events.necessary.p());
+    col_pf.push_back(pt.events.full_view.p());
+    col_ps.push_back(pt.events.sufficient.p());
+  }
+  table.print(std::cout);
+
+  // Band check: some q in the scan produces a full-view probability
+  // strictly inside (0.05, 0.95) — the deployment-dependent band.
+  bool band = false;
+  for (double p : col_pf) {
+    band = band || (p > 0.05 && p < 0.95);
+  }
+  std::cout << "\nShape checks (Section VI-C):\n"
+            << "  * below threshold (q = 0.5): P(H_N) ~ 0     -> "
+            << (col_pn.front() < 0.2 ? "OK" : "MISMATCH") << "\n"
+            << "  * above the band (q = 3.0): P(full view) ~ 1 -> "
+            << (col_pf.back() > 0.8 ? "OK" : "MISMATCH") << "\n"
+            << "  * a deployment-dependent band exists          -> "
+            << (band ? "OK" : "MISMATCH") << "\n\nCSV:\n";
+
+  report::SeriesSet csv;
+  csv.add_column("q", col_q);
+  csv.add_column("p_necessary", col_pn);
+  csv.add_column("p_full_view", col_pf);
+  csv.add_column("p_sufficient", col_ps);
+  csv.write_csv(std::cout);
+  return 0;
+}

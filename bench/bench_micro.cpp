@@ -1,0 +1,121 @@
+/// MICRO — google-benchmark timings for the library's hot kernels: the
+/// exact full-view check, the sector-condition predicates, spatial-index
+/// queries, deployment, and whole-grid evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/arc_set.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace {
+
+using namespace fvc;
+
+std::vector<double> random_directions(std::size_t count, std::uint64_t seed) {
+  stats::Pcg32 rng(seed);
+  std::vector<double> dirs;
+  dirs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    dirs.push_back(stats::uniform_in(rng, 0.0, geom::kTwoPi));
+  }
+  return dirs;
+}
+
+core::Network random_network(std::size_t n, std::uint64_t seed) {
+  stats::Pcg32 rng(seed);
+  return deploy::deploy_uniform_network(
+      core::HeterogeneousProfile::homogeneous(0.1, 2.0), n, rng);
+}
+
+void BM_MaxCircularGap(benchmark::State& state) {
+  const auto dirs = random_directions(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::max_circular_gap(dirs));
+  }
+}
+BENCHMARK(BM_MaxCircularGap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FullViewCovered(benchmark::State& state) {
+  const auto dirs = random_directions(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::full_view_covered(dirs, geom::kHalfPi).covered);
+  }
+}
+BENCHMARK(BM_FullViewCovered)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NecessaryCondition(benchmark::State& state) {
+  const auto dirs = random_directions(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::meets_necessary_condition(dirs, geom::kHalfPi));
+  }
+}
+BENCHMARK(BM_NecessaryCondition)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SufficientCondition(benchmark::State& state) {
+  const auto dirs = random_directions(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::meets_sufficient_condition(dirs, geom::kHalfPi));
+  }
+}
+BENCHMARK(BM_SufficientCondition)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ViewedDirectionsQuery(benchmark::State& state) {
+  const auto net = random_network(static_cast<std::size_t>(state.range(0)), 5);
+  stats::Pcg32 rng(6);
+  std::vector<double> dirs;
+  for (auto _ : state) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    net.viewed_directions_into(p, dirs);
+    benchmark::DoNotOptimize(dirs.size());
+  }
+}
+BENCHMARK(BM_ViewedDirectionsQuery)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DeployUniform(benchmark::State& state) {
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.1, 2.0);
+  stats::Pcg32 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        deploy::deploy_uniform(profile, static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_DeployUniform)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_NetworkBuild(benchmark::State& state) {
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.1, 2.0);
+  stats::Pcg32 rng(8);
+  const auto cams = deploy::deploy_uniform(profile, static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    core::Network net(cams);
+    benchmark::DoNotOptimize(net.size());
+  }
+}
+BENCHMARK(BM_NetworkBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EvaluateRegion(benchmark::State& state) {
+  const auto net = random_network(1000, 9);
+  const core::DenseGrid grid(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_region(net, grid, geom::kHalfPi));
+  }
+}
+BENCHMARK(BM_EvaluateRegion)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GridAllNecessaryEarlyExit(benchmark::State& state) {
+  // Sparse network: the early exit fires almost immediately.
+  const auto net = random_network(50, 10);
+  const core::DenseGrid grid(84);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::grid_all_necessary(net, grid, geom::kHalfPi));
+  }
+}
+BENCHMARK(BM_GridAllNecessaryEarlyExit);
+
+}  // namespace

@@ -1,0 +1,80 @@
+/// Experiment MOB — mobility compensating density (the classical result
+/// of the mobility thread the paper cites, [10][18], reproduced for
+/// FULL-VIEW coverage).  A fleet too sparse for instantaneous full-view
+/// coverage sweeps the region over time: the fraction of points full-view
+/// covered AT SOME instant within a horizon grows with the horizon, while
+/// the instantaneous fraction stays flat.
+
+#include <iostream>
+
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/mobility/waypoint.hpp"
+#include "fvc/report/series.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+int main() {
+  using namespace fvc;
+  const double theta = geom::kHalfPi;
+  const std::size_t n = 80;  // deliberately sparse
+  const core::DenseGrid grid(16);
+  const std::size_t trials = 8;
+
+  std::cout << "=== MOB: mobility compensates sparse deployments ===\n"
+            << "n = " << n << " cameras (far below the CSA), theta = pi/2, random "
+            << "waypoint, orientation aligned with motion\n\n";
+
+  report::Table table({"horizon (steps)", "initial frac", "mean instant frac",
+                       "ever-covered frac"});
+  std::vector<double> col_h;
+  std::vector<double> col_ever;
+  double baseline_instant = 0.0;
+
+  for (std::size_t steps : {1u, 10u, 40u, 120u}) {
+    stats::OnlineStats initial;
+    stats::OnlineStats instant;
+    stats::OnlineStats ever;
+    for (std::size_t t = 0; t < trials; ++t) {
+      stats::Pcg32 rng(stats::mix64(0x40B1, steps * 100 + t));
+      const auto cams = deploy::deploy_uniform(
+          core::HeterogeneousProfile::homogeneous(0.22, 2.0), n, rng);
+      mobility::MobilityConfig cfg;
+      cfg.speed_min = 0.08;
+      cfg.speed_max = 0.16;
+      mobility::WaypointMobility fleet(cams, cfg, rng);
+      const auto stats_run =
+          mobility::simulate_dynamic_coverage(fleet, grid, theta, steps, 0.25, rng);
+      initial.add(stats_run.initial_fraction);
+      instant.add(stats_run.mean_instant_fraction);
+      ever.add(stats_run.ever_fraction);
+    }
+    if (steps == 1) {
+      baseline_instant = instant.mean();
+    }
+    table.add_row({std::to_string(steps), report::fmt(initial.mean(), 3),
+                   report::fmt(instant.mean(), 3), report::fmt(ever.mean(), 3)});
+    col_h.push_back(static_cast<double>(steps));
+    col_ever.push_back(ever.mean());
+  }
+  table.print(std::cout);
+
+  bool growing = true;
+  for (std::size_t i = 1; i < col_ever.size(); ++i) {
+    growing = growing && col_ever[i] >= col_ever[i - 1] - 1e-9;
+  }
+  std::cout << "\nShape checks:\n"
+            << "  * ever-covered fraction grows with the horizon -> "
+            << (growing ? "OK" : "MISMATCH") << "\n"
+            << "  * long horizon far exceeds the static fraction -> "
+            << (col_ever.back() > baseline_instant + 0.2 ? "OK" : "MISMATCH")
+            << "\n(mobility trades waiting time for density, exactly as in the coverage\n"
+               "literature the paper builds on)\n\nCSV:\n";
+
+  report::SeriesSet csv;
+  csv.add_column("horizon_steps", col_h);
+  csv.add_column("ever_fraction", col_ever);
+  csv.write_csv(std::cout);
+  return 0;
+}

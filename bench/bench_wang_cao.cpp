@@ -1,0 +1,90 @@
+/// Experiment WC-CMP — Section VII-C: comparison with the Wang & Cao [4]
+/// triangular-lattice approach.
+///
+/// Three panels:
+///  1. The reconstructed lattice-transfer rule (Lemma 4.5 style): lattice
+///     pitch and point budget as the margins shrink.
+///  2. The deterministic lattice baseline full-view covers the region at a
+///     camera budget where random deployment is unreliable.
+///  3. The union-bound probability estimate (their Theorem 4.7 style) vs
+///     this paper's CSA-based population requirement: the union bound is
+///     more conservative (needs more sensors for the same confidence).
+
+#include <cmath>
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/analysis/planner.hpp"
+#include "fvc/analysis/wang_cao.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/lattice.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/thread_pool.hpp"
+
+int main() {
+  using namespace fvc;
+  using core::HeterogeneousProfile;
+
+  std::cout << "=== WC-CMP: Wang & Cao lattice baseline (Section VII-C) ===\n\n";
+
+  // Panel 1: lattice transfer rule.
+  std::cout << "--- Panel 1: grid-to-area transfer (reconstructed Lemma 4.5) ---\n";
+  report::Table t1({"margin scale", "edge l", "grid points"});
+  const double r = 0.25;
+  for (double scale : {1.0, 0.5, 0.25, 0.125}) {
+    const analysis::WangCaoMargins m{0.05 * scale, 0.3 * scale, 0.3 * scale};
+    const double l = analysis::lattice_edge_length(r, m);
+    t1.add_row({report::fmt(scale, 3), report::fmt(l, 4),
+                std::to_string(analysis::lattice_point_count(l))});
+  }
+  t1.print(std::cout);
+  std::cout << "Grid budget grows ~1/margin^2, matching their dense-grid cost.\n\n";
+
+  // Panel 2: deterministic lattice vs random deployment at equal budget.
+  std::cout << "--- Panel 2: lattice baseline vs random deployment at equal budget ---\n";
+  const double theta = geom::kPi / 4.0;
+  const double fov = geom::kHalfPi;
+  deploy::LatticeConfig lat;
+  lat.edge = 0.1;
+  lat.radius = 0.25;
+  lat.fov = fov;
+  lat.per_site = deploy::per_site_for_fov(fov);
+  const auto lattice_net = deploy::deploy_triangular_lattice_network(lat);
+  const core::DenseGrid grid(24);
+  const bool lattice_ok = core::grid_all_full_view(lattice_net, grid, theta);
+  std::cout << "lattice: " << lattice_net.size()
+            << " cameras, grid full-view covered = " << (lattice_ok ? "YES" : "NO")
+            << (lattice_ok ? "  OK" : "  MISMATCH") << "\n";
+
+  sim::TrialConfig cfg{HeterogeneousProfile::homogeneous(lat.radius, fov),
+                       lattice_net.size(), theta, sim::Deployment::kUniform,
+                       std::nullopt};
+  cfg.grid_side = 24;
+  const auto est = sim::estimate_grid_events(cfg, 60, 0x3C, sim::default_thread_count());
+  std::cout << "random:  same " << lattice_net.size()
+            << " cameras, P(grid full-view covered) = " << report::fmt(est.full_view.p(), 3)
+            << "\nrandom deployment pays a reliability penalty -> "
+            << (est.full_view.p() < 1.0 ? "OK" : "MISMATCH") << "\n\n";
+
+  // Panel 3: union bound vs CSA requirement.
+  std::cout << "--- Panel 3: union-bound (WC-style) vs CSA population requirements ---\n";
+  report::Table t3({"theta/pi", "n for WC bound >= 0.9", "n for 1x sufficient CSA",
+                    "WC more conservative"});
+  for (double frac : {0.25, 0.5}) {
+    const double th = frac * geom::kPi;
+    const auto profile = HeterogeneousProfile::homogeneous(0.2, 2.0);
+    const std::size_t n_wc =
+        analysis::min_population_for_bound(profile, th, 0.9, 10, 50000000);
+    const std::size_t n_csa = analysis::required_population(
+        analysis::Condition::kSufficient, profile, th, 1.0, 3, 50000000);
+    t3.add_row({report::fmt(frac, 2),
+                n_wc > 50000000 ? std::string("unreachable") : std::to_string(n_wc),
+                std::to_string(n_csa), n_wc >= n_csa ? "OK" : "MISMATCH"});
+  }
+  t3.print(std::cout);
+  std::cout << "\nThe CSA gives the sharper (smaller) sufficient population, matching the\n"
+               "paper's claim that its result is 'simpler and more direct' than [4].\n";
+  return 0;
+}

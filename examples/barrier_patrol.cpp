@@ -1,0 +1,127 @@
+/// Barrier patrol: guard a border strip with full-view coverage.
+///
+/// Scenario: instead of full-view covering a whole region, a patrol wants
+/// every intruder CROSSING a border strip to have their face captured —
+/// full-view barrier coverage, the future-work topic of the paper's
+/// conclusion.  The workflow: deploy a modest random fleet, check weak and
+/// strong barrier coverage, visualize the strip, and patch the gaps with
+/// the greedy repairer until the barrier is strong.
+
+#include <iostream>
+
+#include "fvc/barrier/barrier.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/opt/greedy_repair.hpp"
+#include "fvc/report/heatmap.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/stats/rng.hpp"
+
+int main() {
+  using namespace fvc;
+  const double theta = geom::kPi / 3.0;  // 60-degree face guarantee
+
+  // The strip to guard: a border band around y = 0.5.
+  barrier::BarrierSpec strip;
+  strip.y_lo = 0.45;
+  strip.y_hi = 0.55;
+  strip.columns = 48;
+  strip.rows = 5;
+
+  // A deliberately modest fleet: enough to ALMOST close the barrier.
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.14, 2.0);
+  stats::Pcg32 rng(4242);
+  const core::Network net = deploy::deploy_uniform_network(profile, 220, rng);
+
+  std::cout << "=== Barrier patrol: strip y in [0.45, 0.55], theta = 60 deg ===\n\n";
+  const barrier::BarrierResult before = barrier::evaluate_barrier(net, strip, theta);
+  std::cout << "initial fleet (220 cameras):\n"
+            << "  strip cells full-view covered: "
+            << report::fmt(before.covered_fraction * 100, 1) << "%\n"
+            << "  weak barrier (straight-line intruders):  "
+            << (before.weak ? "HELD" : "BREACHED") << "\n"
+            << "  strong barrier (any crossing path):      "
+            << (before.strong ? "HELD" : "BREACHED") << "\n\n";
+
+  // Visualize the strip: '@' cells are full-view covered.
+  std::cout << "strip map before repair (top = y " << strip.y_hi << "):\n";
+  {
+    const auto mask = barrier::coverage_mask(net, strip, theta);
+    for (std::size_t r = strip.rows; r-- > 0;) {
+      for (std::size_t c = 0; c < strip.columns; ++c) {
+        std::cout << (mask[r * strip.columns + c] ? '@' : '.');
+      }
+      std::cout << '\n';
+    }
+  }
+
+  // Patch: repair only the strip (a dense grid over the band would be the
+  // rigorous tool; the greedy repairer on a strip-bounding grid works well
+  // in practice because its holes concentrate in the band).
+  opt::RepairConfig patch;
+  patch.theta = theta;
+  patch.camera_radius = 0.14;
+  patch.camera_fov = 2.0;
+  patch.max_added = 300;
+
+  // Repair against a grid restricted to the strip: reuse DenseGrid by
+  // repairing the full square but ONLY until the barrier holds.
+  std::vector<core::Camera> fleet(net.cameras().begin(), net.cameras().end());
+  core::Network current = net;
+  std::size_t added = 0;
+  while (added < patch.max_added) {
+    const barrier::BarrierResult r = barrier::evaluate_barrier(current, strip, theta);
+    if (r.strong) {
+      break;
+    }
+    // Find the worst strip cell and patch it, mirroring the repairer's
+    // placement rule.
+    const auto mask = barrier::coverage_mask(current, strip, theta);
+    double worst_gap = -1.0;
+    geom::Vec2 worst_point;
+    double witness = 0.0;
+    for (std::size_t rr = 0; rr < strip.rows; ++rr) {
+      for (std::size_t cc = 0; cc < strip.columns; ++cc) {
+        if (mask[rr * strip.columns + cc]) {
+          continue;
+        }
+        const geom::Vec2 p = strip.probe(rr, cc);
+        const auto fv = core::full_view_covered(current, p, theta);
+        if (fv.max_gap > worst_gap) {
+          worst_gap = fv.max_gap;
+          worst_point = p;
+          witness = fv.witness_unsafe_direction.value_or(0.0);
+        }
+      }
+    }
+    core::Camera cam;
+    cam.position = geom::UnitTorus::wrap(
+        worst_point + geom::Vec2::from_angle(witness) * (0.5 * patch.camera_radius));
+    cam.orientation = geom::normalize_angle(witness + geom::kPi);
+    cam.radius = patch.camera_radius;
+    cam.fov = patch.camera_fov;
+    fleet.push_back(cam);
+    current = core::Network(fleet);
+    ++added;
+  }
+
+  const barrier::BarrierResult after = barrier::evaluate_barrier(current, strip, theta);
+  std::cout << "\nafter adding " << added << " patch cameras:\n"
+            << "  strip cells full-view covered: "
+            << report::fmt(after.covered_fraction * 100, 1) << "%\n"
+            << "  weak barrier:   " << (after.weak ? "HELD" : "BREACHED") << "\n"
+            << "  strong barrier: " << (after.strong ? "HELD" : "BREACHED") << "\n";
+
+  std::cout << "\nstrip map after repair:\n";
+  const auto mask = barrier::coverage_mask(current, strip, theta);
+  for (std::size_t r = strip.rows; r-- > 0;) {
+    for (std::size_t c = 0; c < strip.columns; ++c) {
+      std::cout << (mask[r * strip.columns + c] ? '@' : '.');
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nGuarding a strip costs far less than the region-wide CSA — the\n"
+               "barrier formulation the paper leaves to future work.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// Deployment comparison: uniform vs Poisson vs triangular lattice.
+///
+/// The same camera hardware is placed three ways; the example reports the
+/// fraction of the region meeting each coverage notion, illustrating the
+/// paper's Section II/V models and the Section VII-C lattice baseline.
+
+#include <iostream>
+
+#include "fvc/analysis/poisson_theory.hpp"
+#include "fvc/analysis/uniform_theory.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/lattice.hpp"
+#include "fvc/deploy/poisson.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/stats/rng.hpp"
+
+int main() {
+  using namespace fvc;
+  const double theta = geom::kPi / 4.0;
+  const double radius = 0.22;
+  const double fov = geom::kHalfPi;
+  const auto profile = core::HeterogeneousProfile::homogeneous(radius, fov);
+  const core::DenseGrid grid(30);
+  stats::Pcg32 rng(42);
+
+  // Lattice sized to the same camera budget as the random schemes.
+  deploy::LatticeConfig lat;
+  lat.edge = 0.125;
+  lat.radius = radius;
+  lat.fov = fov;
+  lat.per_site = deploy::per_site_for_fov(fov);  // 4 cameras per site
+  const core::Network lattice = deploy::deploy_triangular_lattice_network(lat);
+  const std::size_t budget = lattice.size();
+
+  const core::Network uniform = deploy::deploy_uniform_network(profile, budget, rng);
+  const core::Network poisson =
+      deploy::deploy_poisson_network(profile, static_cast<double>(budget), rng);
+
+  std::cout << "=== Deployment comparison at equal hardware (budget = " << budget
+            << " cameras, theta = 45 deg) ===\n\n";
+
+  report::Table table({"scheme", "cameras", "frac 1-covered", "frac necessary",
+                       "frac full view", "frac sufficient"});
+  struct Row {
+    const char* name;
+    const core::Network* net;
+  };
+  for (const Row row : {Row{"uniform random", &uniform}, Row{"Poisson process", &poisson},
+                        Row{"triangular lattice", &lattice}}) {
+    const auto st = core::evaluate_region(*row.net, grid, theta);
+    table.add_row({row.name, std::to_string(row.net->size()),
+                   report::fmt(st.fraction_covered_1(), 3),
+                   report::fmt(st.fraction_necessary(), 3),
+                   report::fmt(st.fraction_full_view(), 3),
+                   report::fmt(st.fraction_sufficient(), 3)});
+  }
+  table.print(std::cout);
+
+  // Closed-form expectations for the random schemes (Sections III & V).
+  std::cout << "\nclosed-form expected fractions (necessary condition):\n"
+            << "  uniform (eq. 2 complement): "
+            << report::fmt(analysis::point_success_necessary(profile, budget, theta), 3)
+            << "\n"
+            << "  Poisson (Theorem 3):        "
+            << report::fmt(analysis::prob_point_necessary_poisson(
+                               profile, static_cast<double>(budget), theta),
+                           3)
+            << "\n\n"
+            << "The lattice wins at equal budget — deterministic placement needs no\n"
+               "stochastic slack — which is exactly why the paper quantifies the\n"
+               "random-deployment penalty via the CSA.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// Heterogeneous fleet: mixing high-end and low-end cameras.
+///
+/// Scenario: the budget buys either 400 premium cameras, 400 budget
+/// cameras, or a 30/70 mix.  The paper's CSA theory says only the weighted
+/// sensing area s_c = sum c_y s_y matters under uniform deployment — the
+/// example computes each fleet's s_c, predicts the outcome by comparing
+/// against the CSA thresholds, and verifies by simulation.
+
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/thread_pool.hpp"
+
+int main() {
+  using namespace fvc;
+  using core::CameraGroupSpec;
+  using core::HeterogeneousProfile;
+
+  const double theta = geom::kHalfPi;
+  const std::size_t n = 400;
+  const double nn = static_cast<double>(n);
+
+  // Premium: long range, wide lens.  Budget: short range, narrow lens.
+  const CameraGroupSpec premium{1.0, 0.28, 2.4};
+  const CameraGroupSpec budget{1.0, 0.10, 1.2};
+
+  struct Fleet {
+    const char* name;
+    HeterogeneousProfile profile;
+  };
+  const Fleet fleets[] = {
+      {"all premium", HeterogeneousProfile({premium})},
+      {"all budget", HeterogeneousProfile({budget})},
+      {"30% premium / 70% budget",
+       HeterogeneousProfile({CameraGroupSpec{0.3, premium.radius, premium.fov},
+                             CameraGroupSpec{0.7, budget.radius, budget.fov}})},
+  };
+
+  const double csa_nec = analysis::csa_necessary(nn, theta);
+  const double csa_suf = analysis::csa_sufficient(nn, theta);
+  std::cout << "=== Heterogeneous fleets at n = " << n << ", theta = pi/2 ===\n"
+            << "thresholds: s_Nc = " << report::fmt_sci(csa_nec)
+            << ", s_Sc = " << report::fmt_sci(csa_suf) << "\n\n";
+
+  report::Table table({"fleet", "s_c", "s_c/s_Nc", "prediction", "P(full view) simulated"});
+  std::size_t idx = 0;
+  for (const Fleet& f : fleets) {
+    const double s_c = f.profile.weighted_sensing_area();
+    const char* prediction = s_c < csa_nec  ? "fails (below necessary)"
+                             : s_c > csa_suf ? "succeeds (above sufficient)"
+                                             : "deployment-dependent band";
+    sim::TrialConfig cfg{f.profile, n, theta, sim::Deployment::kUniform, std::nullopt};
+    const auto est =
+        sim::estimate_grid_events(cfg, 30, 0xFEE7 + idx++, sim::default_thread_count());
+    table.add_row({f.name, report::fmt_sci(s_c), report::fmt(s_c / csa_nec, 2),
+                   prediction, report::fmt(est.full_view.p(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading the table: the mixed fleet's behaviour is fully determined by its\n"
+         "weighted sensing area — the paper's heterogeneity result (Definition 2 and\n"
+         "Section VI-A).  Mixing hardware is fine as long as s_c clears the threshold.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// Intruder tracking: audit face capture along a moving object's path.
+///
+/// Full-view coverage is a worst-case guarantee over FACING directions;
+/// for a real intruder walking through the region, the operative questions
+/// are: how much of the path has the guarantee, how often is the actual
+/// walking direction captured, and how quickly is the first face shot
+/// taken?  This example runs those audits over many random walks and
+/// compares a CSA-provisioned fleet against an under-provisioned one.
+
+#include <iostream>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/analysis/planner.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/report/table.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+#include "fvc/track/trajectory.hpp"
+
+int main() {
+  using namespace fvc;
+  using analysis::Condition;
+  const double theta = geom::kPi / 3.0;  // 60-degree capture tolerance
+  const std::size_t n = 400;
+  const double fov = 2.0;
+
+  std::cout << "=== Intruder tracking: face capture along random walks ===\n"
+            << "n = " << n << " cameras, theta = 60 deg, 40 random intruder walks each\n\n";
+
+  // Margins are multiples of the NECESSARY CSA: note how strong per-point
+  // coverage already is near the threshold — the grid-level CSA events are
+  // about the worst point, while a walking intruder samples typical points.
+  struct Fleet {
+    const char* name;
+    double margin;  // multiple of the necessary CSA
+  };
+  report::Table table({"fleet", "path full-view %", "walking-direction captured %",
+                       "mean first-capture sample"});
+
+  for (const Fleet fleet : {Fleet{"skeleton fleet (0.05x s_Nc)", 0.05},
+                            Fleet{"sparse fleet (0.25x s_Nc)", 0.25},
+                            Fleet{"CSA-provisioned (2x s_Nc)", 2.0}}) {
+    const double radius = analysis::required_radius(
+        Condition::kNecessary, static_cast<double>(n), theta, fov, fleet.margin);
+    stats::Pcg32 rng(31415);
+    const core::Network net = deploy::deploy_uniform_network(
+        core::HeterogeneousProfile::homogeneous(radius, fov), n, rng);
+
+    stats::OnlineStats full_view_frac;
+    stats::OnlineStats facing_frac;
+    stats::OnlineStats first_capture;
+    for (int walk = 0; walk < 40; ++walk) {
+      const track::Trajectory path = track::random_waypoint_path(rng, 4, 0.02);
+      const track::TrackReport report = track::evaluate_trajectory(net, path, theta);
+      full_view_frac.add(report.full_view_fraction());
+      facing_frac.add(report.facing_captured_fraction());
+      if (report.first_capture.has_value()) {
+        first_capture.add(static_cast<double>(*report.first_capture));
+      }
+    }
+    table.add_row({fleet.name, report::fmt(full_view_frac.mean() * 100.0, 1),
+                   report::fmt(facing_frac.mean() * 100.0, 1),
+                   first_capture.count() > 0 ? report::fmt(first_capture.mean(), 1)
+                                             : std::string("never")});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading the table: the walking-direction capture rate always exceeds the\n"
+         "full-view rate (full view guards EVERY direction, the walk only needs its\n"
+         "own), and the CSA-provisioned fleet takes its first face shot almost\n"
+         "immediately. The CSA margin translates directly into operational tracking\n"
+         "performance.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "fvc/analysis/asymptotics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fvc::analysis {
+
+std::pair<double, double> log1m_bounds(double x) {
+  if (!(x > 0.0) || !(x < 0.5)) {
+    throw std::invalid_argument("log1m_bounds: x must be in (0, 1/2)");
+  }
+  return {-(x + (5.0 / 6.0) * x * x), -(x + 0.5 * x * x)};
+}
+
+double lemma2_ratio(double x, double y) {
+  if (!(x > 0.0) || !(x < 0.5) || !(y > 0.0)) {
+    throw std::invalid_argument("lemma2_ratio: need 0 < x < 1/2 and y > 0");
+  }
+  // (1-x)^y / e^{-xy} = exp(y*log(1-x) + x*y)
+  return std::exp(y * std::log1p(-x) + x * y);
+}
+
+double csa_order_bound(double n, double xi) {
+  if (!(n >= 3.0) || xi < 0.0) {
+    throw std::invalid_argument("csa_order_bound: need n >= 3 and xi >= 0");
+  }
+  return (std::log(n) + std::log(std::log(n)) + xi) / n;
+}
+
+double proposition1_floor(double xi) {
+  if (xi < 0.0) {
+    throw std::invalid_argument("proposition1_floor: xi must be >= 0");
+  }
+  return std::exp(-xi) - std::exp(-2.0 * xi);
+}
+
+double inequality11_lhs(double m, double q) {
+  if (!(m > 1.0) || !(q >= 1.0)) {
+    throw std::invalid_argument("inequality11_lhs: need m > 1 and q >= 1");
+  }
+  const double inner = -std::expm1(std::log1p(-1.0 / m) / q);  // 1-(1-1/m)^(1/q)
+  return std::pow(inner, q);
+}
+
+}  // namespace fvc::analysis

@@ -1,0 +1,39 @@
+/// \file asymptotics.hpp
+/// \brief The elementary asymptotic lemmas used in the Theorem 1/2 proofs
+/// (Lemmas 1–3), exposed so the tests can check them numerically.
+
+#pragma once
+
+#include <utility>
+
+namespace fvc::analysis {
+
+/// Lemma 1: for 0 < x < 1/2,
+///   log(1-x) in ( -(x + (5/6) x^2),  -(x + (1/2) x^2) ).
+/// Returns {lower, upper} of that open interval.
+/// \pre 0 < x < 1/2
+[[nodiscard]] std::pair<double, double> log1m_bounds(double x);
+
+/// Lemma 2's quantities: returns the ratio (1-x)^y / exp(-x*y).  Lemma 2
+/// states the ratio tends to 1 whenever x^2*y -> 0.
+/// \pre 0 < x < 1/2, y > 0
+[[nodiscard]] double lemma2_ratio(double x, double y);
+
+/// Lemma 3's scaling: evaluates the CSA-order expression
+/// (log n + log log n + xi)/n that upper-bounds s_c in the proof.
+/// \pre n >= 3, xi >= 0
+[[nodiscard]] double csa_order_bound(double n, double xi);
+
+/// Proposition 1's failure-probability floor e^-xi - e^-2xi for the
+/// deployment operating exactly at the xi-mass point.  Maximised at
+/// xi = log 2 with value 1/4.
+/// \pre xi >= 0
+[[nodiscard]] double proposition1_floor(double xi);
+
+/// Inequality (11): checks (1 - (1 - 1/m)^(1/q))^q <= 1/m numerically, the
+/// inequality used in the Proposition 2 and Section VII-B derivations.
+/// Returns the left-hand side; callers compare against 1/m.
+/// \pre m > 1, q >= 1
+[[nodiscard]] double inequality11_lhs(double m, double q);
+
+}  // namespace fvc::analysis

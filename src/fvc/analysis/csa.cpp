@@ -1,0 +1,160 @@
+#include "fvc/analysis/csa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+
+namespace {
+
+void check_n(double n) {
+  if (!(n >= 3.0)) {
+    throw std::invalid_argument("CSA formulas require n >= 3 (log log n must be defined)");
+  }
+}
+
+void check_theta(double theta) {
+  if (!(theta > 0.0) || theta > geom::kPi) {
+    throw std::invalid_argument("CSA formulas require theta in (0, pi]");
+  }
+}
+
+std::size_t ceil_ratio(double num, double den) {
+  return static_cast<std::size_t>(std::ceil(num / den - 1e-12));
+}
+
+}  // namespace
+
+std::size_t necessary_sector_count(double theta) {
+  check_theta(theta);
+  return ceil_ratio(geom::kPi, theta);
+}
+
+std::size_t sufficient_sector_count(double theta) {
+  check_theta(theta);
+  return ceil_ratio(geom::kTwoPi, theta);
+}
+
+double csa_with_failure_mass(double n, double sector_angle, double xi) {
+  check_n(n);
+  if (!(sector_angle > 0.0) || sector_angle > geom::kTwoPi) {
+    throw std::invalid_argument("csa: sector_angle must be in (0, 2*pi]");
+  }
+  if (xi < 0.0) {
+    throw std::invalid_argument("csa: xi must be non-negative");
+  }
+  const double m = n * std::log(n);
+  const double k = static_cast<double>(ceil_ratio(geom::kTwoPi, sector_angle));
+  const double mass = std::exp(-xi);
+  // inner = 1 - (1 - e^-xi/m)^(1/k); use log1p/expm1 to keep precision when
+  // mass/m is tiny (m grows like n log n).
+  const double inner = -std::expm1(std::log1p(-mass / m) / k);
+  return -(geom::kTwoPi / (sector_angle * n)) * std::log(inner);
+}
+
+double csa_for_sector_condition(double n, double sector_angle) {
+  return csa_with_failure_mass(n, sector_angle, 0.0);
+}
+
+double csa_necessary(double n, double theta) {
+  check_theta(theta);
+  return csa_for_sector_condition(n, 2.0 * theta);
+}
+
+double csa_sufficient(double n, double theta) {
+  check_theta(theta);
+  return csa_for_sector_condition(n, theta);
+}
+
+double csa_asymptotic(double n, double sector_angle) {
+  check_n(n);
+  const double m = n * std::log(n);
+  const double k = static_cast<double>(ceil_ratio(geom::kTwoPi, sector_angle));
+  return (geom::kTwoPi / (sector_angle * n)) * (std::log(m) + std::log(k));
+}
+
+double csa_one_coverage(double n) {
+  check_n(n);
+  return (std::log(n) + std::log(std::log(n))) / n;
+}
+
+double critical_esr_one_coverage(double n) {
+  check_n(n);
+  return std::sqrt(csa_one_coverage(n) / geom::kPi);
+}
+
+double csa_k_coverage(double n, std::size_t k) {
+  check_n(n);
+  if (k == 0) {
+    throw std::invalid_argument("csa_k_coverage: k must be >= 1");
+  }
+  return (std::log(n) + static_cast<double>(k) * std::log(std::log(n))) / n;
+}
+
+namespace {
+
+/// log of the lower binomial tail P(Bin(n, p) < k) for small k, evaluated
+/// stably via logs (the regime here has tiny p and k <= a few dozen).
+double binomial_lower_tail(double n, double p, std::size_t k) {
+  if (p <= 0.0) {
+    return 1.0;
+  }
+  if (p >= 1.0) {
+    return 0.0;
+  }
+  // sum_{j=0}^{k-1} exp(log C(n,j) + j log p + (n-j) log(1-p))
+  double total = 0.0;
+  double log_binom = 0.0;  // log C(n, 0)
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double dj = static_cast<double>(j);
+    total += std::exp(log_binom + dj * log_p + (n - dj) * log_q);
+    log_binom += std::log((n - dj) / (dj + 1.0));
+  }
+  return std::min(total, 1.0);
+}
+
+}  // namespace
+
+double csa_numerical(double n, double sector_angle, std::size_t k_required) {
+  check_n(n);
+  if (!(sector_angle > 0.0) || sector_angle > geom::kTwoPi) {
+    throw std::invalid_argument("csa_numerical: sector_angle must be in (0, 2*pi]");
+  }
+  if (k_required == 0) {
+    throw std::invalid_argument("csa_numerical: k_required must be >= 1");
+  }
+  const double m = n * std::log(n);
+  const double k_sectors = static_cast<double>(ceil_ratio(geom::kTwoPi, sector_angle));
+  // Expected failing grid points at sensing area s (decreasing in s).
+  const auto expected_failures = [&](double s) {
+    const double p_hit = std::min(1.0, sector_angle * s / geom::kTwoPi);
+    const double sector_bad = binomial_lower_tail(n, p_hit, k_required);
+    if (sector_bad >= 1.0) {
+      return m;
+    }
+    const double point_ok = std::exp(k_sectors * std::log1p(-sector_bad));
+    return m * (1.0 - point_ok);
+  };
+  double lo = 1e-9;
+  double hi = geom::kTwoPi / sector_angle;  // p_hit = 1: every sector surely full
+  if (expected_failures(hi) > 1.0) {
+    throw std::runtime_error(
+        "csa_numerical: calibration unreachable (n too small for this k)");
+  }
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-15 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (expected_failures(mid) > 1.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double csa_k_full_view_necessary(double n, double theta, std::size_t k) {
+  check_theta(theta);
+  return csa_numerical(n, 2.0 * theta, k);
+}
+
+}  // namespace fvc::analysis

@@ -1,0 +1,105 @@
+/// \file csa.hpp
+/// \brief Critical sensing area (CSA) formulas — Theorems 1 and 2.
+///
+/// The CSA is the threshold on the weighted sensing area
+/// `s_c = sum_y c_y phi_y r_y^2 / 2` separating asymptotic success from
+/// asymptotic failure of a grid-coverage event (Definition 2).
+///
+/// Both CSAs instantiate one generic formula.  For a sector condition with
+/// sector angle `w` (so `k = ceil(2*pi/w)` sectors around each point, the
+/// count including the paper's remainder sector T_{k+1}), the probability
+/// that one uniformly-deployed sensor of group y lands in a given sector
+/// *and* covers the point is `(w/(2*pi)) * pi r_y^2 * (phi_y/(2*pi))
+/// = w s_y / (2*pi)`.  Requiring every one of the k sectors of every one of
+/// the m = n log n grid points to be hit with total failure mass 1 yields
+///
+///   s_c(n) = -(2*pi/(w*n)) * log(1 - (1 - 1/(n log n))^(1/k)).
+///
+/// * Necessary condition (Theorem 1): w = 2*theta, k_N = ceil(pi/theta):
+///     s_Nc(n) = -(pi/(theta n)) log(1 - (1 - 1/(n log n))^(1/k_N)).
+/// * Sufficient condition (Theorem 2): w = theta, k_S = ceil(2*pi/theta):
+///     s_Sc(n) = -(2*pi/(theta n)) log(1 - (1 - 1/(n log n))^(1/k_S)).
+///
+/// At theta = pi the necessary CSA degenerates to the 1-coverage critical
+/// area (log n + log log n)/n, matching the critical ESR of [18]
+/// (Section VII-A); and s_Nc(n) dominates the k-coverage sufficient area
+/// s_K(n) = (log n + k log log n)/n of Kumar et al. [6] (Section VII-B).
+
+#pragma once
+
+#include <cstddef>
+
+namespace fvc::analysis {
+
+/// Number of sectors in the paper's necessary condition, ceil(pi/theta)
+/// (the k_N sectors of angle 2*theta plus the remainder sector collapse to
+/// this single count).
+/// \pre theta in (0, pi]
+[[nodiscard]] std::size_t necessary_sector_count(double theta);
+
+/// Number of sectors in the sufficient condition, ceil(2*pi/theta).
+/// \pre theta in (0, pi]
+[[nodiscard]] std::size_t sufficient_sector_count(double theta);
+
+/// Generic CSA for a sector condition with sector angle `w` at population
+/// size n, with m = n log n grid points (see file comment).
+/// \pre n >= 3, w in (0, 2*pi]
+[[nodiscard]] double csa_for_sector_condition(double n, double sector_angle);
+
+/// Theorem 1: CSA for the necessary condition of full-view coverage.
+/// \pre n >= 3, theta in (0, pi]
+[[nodiscard]] double csa_necessary(double n, double theta);
+
+/// Theorem 2: CSA for the sufficient condition of full-view coverage.
+/// \pre n >= 3, theta in (0, pi]
+[[nodiscard]] double csa_sufficient(double n, double theta);
+
+/// Proposition 1/3 operating point: the s_c for which the expected number
+/// of failing grid points is exp(-xi), i.e. the CSA with failure mass
+/// e^-xi instead of 1.  xi = 0 recovers the CSA; larger xi permits fewer
+/// expected failures and therefore demands MORE sensing area (the excess
+/// is a subleading xi/n term that vanishes relative to the CSA as n grows).
+/// \pre n >= 3, sector_angle in (0, 2*pi], xi >= 0
+[[nodiscard]] double csa_with_failure_mass(double n, double sector_angle, double xi);
+
+/// Leading-order expansion of the generic CSA (Section VII-B):
+/// s_c(n) ~ (2*pi/(w*n)) * (log(n log n) + log k).  Used in tests and in
+/// the asymptotic comparisons.
+[[nodiscard]] double csa_asymptotic(double n, double sector_angle);
+
+/// Critical sensing area for 1-coverage, (log n + log log n)/n — the
+/// theta = pi degeneration of Theorem 1 (Section VII-A, eq. (19)).
+/// \pre n >= 3
+[[nodiscard]] double csa_one_coverage(double n);
+
+/// Critical effective sensing radius for 1-coverage under the disk model,
+/// R*(n) = sqrt((log n + log log n)/(pi n)) — Wang et al. [18],
+/// quoted in Section VII-A.
+/// \pre n >= 3
+[[nodiscard]] double critical_esr_one_coverage(double n);
+
+/// Sufficient sensing area for k-coverage from Kumar et al. [6]
+/// (Section VII-B, eq. (21) with u(n) dropped):
+/// s_K(n) = (log n + k log log n)/n.
+/// \pre n >= 3, k >= 1
+[[nodiscard]] double csa_k_coverage(double n, std::size_t k);
+
+/// Numerical CSA for the k-required generalization of the sector
+/// conditions (the k-full-view fault-tolerance extension): the sensing
+/// area at which the expected number of grid points having FEWER than
+/// `k_required` covering sensors in some sector of angle `sector_angle`
+/// equals 1.  Uses the same calibration as the closed forms (which it
+/// reproduces at k_required = 1, where the binomial tail is exactly the
+/// (1-p)^n of Theorem 1's derivation) but evaluates the binomial sector
+/// statistics exactly and inverts by bisection, since no closed form is
+/// known for k >= 2.
+/// \pre n >= 3, sector_angle in (0, 2*pi], k_required >= 1
+[[nodiscard]] double csa_numerical(double n, double sector_angle,
+                                   std::size_t k_required);
+
+/// Numerical CSA for k-full-view coverage's necessary condition: every
+/// 2*theta sector holds >= k covering sensors.  k = 1 reproduces
+/// csa_necessary.
+[[nodiscard]] double csa_k_full_view_necessary(double n, double theta, std::size_t k);
+
+}  // namespace fvc::analysis

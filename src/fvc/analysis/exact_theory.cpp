@@ -1,0 +1,167 @@
+#include "fvc/analysis/exact_theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+
+double circle_coverage_probability(std::size_t k, double arc_fraction) {
+  if (!(arc_fraction > 0.0)) {
+    throw std::invalid_argument("circle_coverage_probability: arc_fraction must be > 0");
+  }
+  if (k == 0) {
+    return 0.0;
+  }
+  if (arc_fraction >= 1.0) {
+    return 1.0;
+  }
+  // Stevens: sum_{j=0}^{J} (-1)^j C(k,j) (1 - j a)^{k-1}, J = min(k, floor(1/a)).
+  const long double a = static_cast<long double>(arc_fraction);
+  const auto j_max = std::min<std::size_t>(
+      k, static_cast<std::size_t>(std::floor(1.0 / arc_fraction)));
+  long double sum = 0.0L;
+  long double binom = 1.0L;  // C(k, 0)
+  for (std::size_t j = 0; j <= j_max; ++j) {
+    const long double base = 1.0L - static_cast<long double>(j) * a;
+    if (base > 0.0L) {
+      const long double term =
+          binom * std::pow(base, static_cast<long double>(k - 1));
+      sum += (j % 2 == 0) ? term : -term;
+    }
+    // C(k, j+1) = C(k, j) * (k - j) / (j + 1)
+    binom *= static_cast<long double>(k - j) / static_cast<long double>(j + 1);
+  }
+  return std::clamp(static_cast<double>(sum), 0.0, 1.0);
+}
+
+double full_view_probability_given_k(std::size_t k, double theta) {
+  core::validate_theta(theta);
+  return circle_coverage_probability(k, theta / geom::kPi);
+}
+
+namespace {
+
+/// Binomial(n, p) PMF entries 0..cap with the tail mass folded into `cap`.
+std::vector<double> binomial_pmf(std::size_t n, double p, std::size_t cap) {
+  std::vector<double> pmf(cap + 1, 0.0);
+  if (p <= 0.0 || n == 0) {
+    pmf[0] = 1.0;
+    return pmf;
+  }
+  if (p >= 1.0) {
+    pmf[std::min(n, cap)] = 1.0;
+    return pmf;
+  }
+  // Recurrence from pmf(0) = (1-p)^n; stays in normal range because the
+  // count distribution is concentrated (n*p is tens at most here).
+  const double ratio = p / (1.0 - p);
+  double value = std::exp(static_cast<double>(n) * std::log1p(-p));
+  double total = 0.0;
+  const std::size_t top = std::min(n, cap);
+  for (std::size_t k = 0;; ++k) {
+    if (k <= top) {
+      pmf[k] = value;
+      total += value;
+    }
+    if (k >= n || k >= cap) {
+      break;
+    }
+    value *= ratio * static_cast<double>(n - k) / static_cast<double>(k + 1);
+  }
+  pmf[top] += std::max(0.0, 1.0 - total);  // fold the (tiny) tail
+  return pmf;
+}
+
+/// Poisson(mean) PMF entries 0..cap with the tail folded into `cap`.
+std::vector<double> poisson_pmf(double mean, std::size_t cap) {
+  std::vector<double> pmf(cap + 1, 0.0);
+  double value = std::exp(-mean);
+  double total = 0.0;
+  for (std::size_t k = 0; k <= cap; ++k) {
+    pmf[k] = value;
+    total += value;
+    value *= mean / static_cast<double>(k + 1);
+  }
+  pmf[cap] += std::max(0.0, 1.0 - total);
+  return pmf;
+}
+
+/// Truncated convolution of two PMFs with tail folding at `cap`.
+std::vector<double> convolve(const std::vector<double>& a, const std::vector<double>& b,
+                             std::size_t cap) {
+  std::vector<double> out(cap + 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::size_t k = std::min(i + j, cap);
+      out[k] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+std::size_t auto_cap(double mean) {
+  return static_cast<std::size_t>(std::ceil(mean + 12.0 * std::sqrt(mean + 1.0) + 40.0));
+}
+
+double mix_full_view(const std::vector<double>& pmf, double theta) {
+  const double a = theta / geom::kPi;
+  double p = 0.0;
+  for (std::size_t k = 1; k < pmf.size(); ++k) {
+    if (pmf[k] > 0.0) {
+      p += pmf[k] * circle_coverage_probability(k, a);
+    }
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<double> covering_count_pmf_uniform(const core::HeterogeneousProfile& profile,
+                                               std::size_t n, std::size_t cap) {
+  const auto counts = profile.counts(n);
+  const auto groups = profile.groups();
+  std::vector<double> pmf(cap + 1, 0.0);
+  pmf[0] = 1.0;
+  for (std::size_t y = 0; y < groups.size(); ++y) {
+    const double p = std::min(1.0, groups[y].sensing_area());
+    pmf = convolve(pmf, binomial_pmf(counts[y], p, cap), cap);
+  }
+  return pmf;
+}
+
+std::vector<double> covering_count_pmf_poisson(const core::HeterogeneousProfile& profile,
+                                               double n, std::size_t cap) {
+  if (!(n > 0.0)) {
+    throw std::invalid_argument("covering_count_pmf_poisson: n must be positive");
+  }
+  // Superposition of the per-group Poissons: Poisson(n * s_c).
+  return poisson_pmf(n * profile.weighted_sensing_area(), cap);
+}
+
+double prob_point_full_view_uniform(const core::HeterogeneousProfile& profile,
+                                    std::size_t n, double theta) {
+  core::validate_theta(theta);
+  if (n == 0) {
+    throw std::invalid_argument("prob_point_full_view_uniform: n must be >= 1");
+  }
+  const double mean = static_cast<double>(n) * profile.weighted_sensing_area();
+  const auto pmf = covering_count_pmf_uniform(profile, n, auto_cap(mean));
+  return mix_full_view(pmf, theta);
+}
+
+double prob_point_full_view_poisson(const core::HeterogeneousProfile& profile, double n,
+                                    double theta) {
+  core::validate_theta(theta);
+  const double mean = n * profile.weighted_sensing_area();
+  const auto pmf = covering_count_pmf_poisson(profile, n, auto_cap(mean));
+  return mix_full_view(pmf, theta);
+}
+
+}  // namespace fvc::analysis

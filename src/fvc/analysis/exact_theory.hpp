@@ -1,0 +1,67 @@
+/// \file exact_theory.hpp
+/// \brief EXACT per-point full-view probability — closing the gap the
+/// paper leaves open.
+///
+/// The paper brackets the probability that a point is full-view covered
+/// between its necessary (2*theta sectors) and sufficient (theta sectors)
+/// conditions and notes the truth lies strictly between (Section VI-C).
+/// The exact value is classical: given k sensors covering the point, their
+/// viewed directions are i.i.d. uniform on the circle, each contributing a
+/// safe arc of length 2*theta; the point is full-view covered iff those
+/// arcs cover the circle.  Stevens (1939) solved exactly this circle-
+/// covering problem:
+///
+///   P(k arcs of fraction a cover) =
+///       sum_{j=0}^{floor(1/a)} (-1)^j C(k, j) (1 - j a)^(k-1),
+///
+/// here with a = 2*theta / (2*pi) = theta/pi.  Mixing over the covering
+/// count K (binomial per heterogeneity group under uniform deployment,
+/// Poisson under the Section V model) gives the exact per-point full-view
+/// probability, which the EXACT bench shows sits between the paper's
+/// bounds and matches Monte-Carlo simulation.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/camera_group.hpp"
+
+namespace fvc::analysis {
+
+/// Stevens' formula: probability that `k` arcs of length `arc_fraction`
+/// (fraction of the full circle, in (0, 1]) with i.i.d. uniform positions
+/// cover the circle.  k = 0 gives 0; arc_fraction >= 1 gives 1 for k >= 1.
+/// Evaluated in long double with the alternating sum truncated at
+/// j = floor(1/a); accurate for the k <= a few hundred this library needs.
+[[nodiscard]] double circle_coverage_probability(std::size_t k, double arc_fraction);
+
+/// P(point full-view covered | exactly k sensors cover it) with effective
+/// angle theta: Stevens at arc fraction theta/pi.
+/// \pre theta in (0, pi]
+[[nodiscard]] double full_view_probability_given_k(std::size_t k, double theta);
+
+/// PMF of the covering count K at an arbitrary point under UNIFORM
+/// deployment of n sensors of `profile` (each group-y sensor covers the
+/// point independently with probability s_y): the convolution of the
+/// per-group binomials, truncated at `cap` (the tail mass beyond cap is
+/// folded into the last entry).  Returns cap+1 entries.
+[[nodiscard]] std::vector<double> covering_count_pmf_uniform(
+    const core::HeterogeneousProfile& profile, std::size_t n, std::size_t cap);
+
+/// PMF of K under POISSON deployment of density n: group y contributes
+/// Poisson(n_y * s_y); the sum is Poisson(n * s_c).
+[[nodiscard]] std::vector<double> covering_count_pmf_poisson(
+    const core::HeterogeneousProfile& profile, double n, std::size_t cap);
+
+/// Exact probability that an arbitrary point is full-view covered under
+/// uniform deployment: sum_k P(K = k) * Stevens(k, theta/pi).
+/// \pre theta in (0, pi], n >= 1
+[[nodiscard]] double prob_point_full_view_uniform(
+    const core::HeterogeneousProfile& profile, std::size_t n, double theta);
+
+/// Exact probability under Poisson deployment of density n.
+[[nodiscard]] double prob_point_full_view_poisson(
+    const core::HeterogeneousProfile& profile, double n, double theta);
+
+}  // namespace fvc::analysis

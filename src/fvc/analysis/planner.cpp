@@ -1,0 +1,113 @@
+#include "fvc/analysis/planner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+
+double csa(Condition condition, double n, double theta) {
+  switch (condition) {
+    case Condition::kNecessary:
+      return csa_necessary(n, theta);
+    case Condition::kSufficient:
+      return csa_sufficient(n, theta);
+  }
+  throw std::logic_error("csa: unknown condition");
+}
+
+double required_radius(Condition condition, double n, double theta, double fov,
+                       double margin) {
+  if (!(margin > 0.0)) {
+    throw std::invalid_argument("required_radius: margin must be positive");
+  }
+  if (!(fov > 0.0) || fov > geom::kTwoPi) {
+    throw std::invalid_argument("required_radius: fov must be in (0, 2*pi]");
+  }
+  const double target_area = margin * csa(condition, n, theta);
+  // s = fov * r^2 / 2 = target  =>  r = sqrt(2 * target / fov)
+  return std::sqrt(2.0 * target_area / fov);
+}
+
+double required_fov(Condition condition, double n, double theta, double radius,
+                    double margin) {
+  if (!(margin > 0.0)) {
+    throw std::invalid_argument("required_fov: margin must be positive");
+  }
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("required_fov: radius must be positive");
+  }
+  const double target_area = margin * csa(condition, n, theta);
+  const double fov = 2.0 * target_area / (radius * radius);
+  if (fov > geom::kTwoPi) {
+    throw std::runtime_error(
+        "required_fov: even an omnidirectional camera of this radius cannot reach the "
+        "target sensing area; increase the radius or the population");
+  }
+  return fov;
+}
+
+std::size_t required_population(Condition condition,
+                                const core::HeterogeneousProfile& profile, double theta,
+                                double margin, std::size_t n_lo, std::size_t n_hi) {
+  if (!(margin > 0.0)) {
+    throw std::invalid_argument("required_population: margin must be positive");
+  }
+  if (n_lo < 3 || n_lo > n_hi) {
+    throw std::invalid_argument("required_population: need 3 <= n_lo <= n_hi");
+  }
+  const double s_c = profile.weighted_sensing_area();
+  const auto feasible = [&](std::size_t n) {
+    return s_c >= margin * csa(condition, static_cast<double>(n), theta);
+  };
+  if (!feasible(n_hi)) {
+    return n_hi + 1;
+  }
+  std::size_t lo = n_lo;
+  std::size_t hi = n_hi;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double best_effective_angle(Condition condition, const core::HeterogeneousProfile& profile,
+                            double n, double margin, double theta_lo, double theta_hi) {
+  if (!(margin > 0.0)) {
+    throw std::invalid_argument("best_effective_angle: margin must be positive");
+  }
+  if (!(theta_lo > 0.0) || !(theta_lo < theta_hi) || theta_hi > geom::kPi) {
+    throw std::invalid_argument("best_effective_angle: need 0 < theta_lo < theta_hi <= pi");
+  }
+  const double s_c = profile.weighted_sensing_area();
+  const auto feasible = [&](double theta) {
+    return s_c >= margin * csa(condition, n, theta);
+  };
+  if (!feasible(theta_hi)) {
+    throw std::runtime_error(
+        "best_effective_angle: profile cannot meet the condition even at theta_hi");
+  }
+  if (feasible(theta_lo)) {
+    return theta_lo;
+  }
+  double lo = theta_lo;  // infeasible
+  double hi = theta_hi;  // feasible
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace fvc::analysis

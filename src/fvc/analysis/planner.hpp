@@ -1,0 +1,62 @@
+/// \file planner.hpp
+/// \brief Inverse network design from the CSA results (what Section VI
+/// calls "direct guidance to CSN design").
+///
+/// The CSA theorems answer "given n and theta, how much sensing area is
+/// needed?"; a deployment engineer usually asks the inverse questions:
+/// what radius do my cameras need, how many cameras do I need, what quality
+/// of full-view coverage (theta) can I afford.  The planner solves those by
+/// inverting the closed forms (analytically where possible, by monotone
+/// bisection otherwise).
+
+#pragma once
+
+#include <cstddef>
+
+#include "fvc/core/camera_group.hpp"
+
+namespace fvc::analysis {
+
+/// Which CSA threshold a plan targets.
+enum class Condition {
+  kNecessary,   ///< Theorem 1 threshold — below it coverage is impossible
+  kSufficient,  ///< Theorem 2 threshold — above it coverage is guaranteed
+};
+
+/// CSA for `condition` at (n, theta).
+[[nodiscard]] double csa(Condition condition, double n, double theta);
+
+/// A concrete homogeneous design meeting `margin * CSA(condition)`:
+/// given the fleet's angle of view, the radius every camera needs.
+/// \pre margin > 0, fov in (0, 2*pi]
+[[nodiscard]] double required_radius(Condition condition, double n, double theta,
+                                     double fov, double margin = 1.0);
+
+/// Given the radius, the angle of view every camera needs; throws when even
+/// a full circle (fov = 2*pi) cannot reach the target area.
+[[nodiscard]] double required_fov(Condition condition, double n, double theta,
+                                  double radius, double margin = 1.0);
+
+/// Smallest n in [n_lo, n_hi] such that the profile's weighted sensing
+/// area reaches `margin * CSA(condition, n, theta)`.  CSA decreases in n
+/// while s_c is fixed, so this is a monotone search.  Returns n_hi + 1 when
+/// no n in range suffices.
+[[nodiscard]] std::size_t required_population(Condition condition,
+                                              const core::HeterogeneousProfile& profile,
+                                              double theta, double margin,
+                                              std::size_t n_lo, std::size_t n_hi);
+
+/// Largest theta (best full-view quality is *smallest* theta; this returns
+/// the smallest theta achievable, i.e. the best quality) such that the
+/// profile meets `margin * CSA(condition, n, theta)`, found by bisection on
+/// theta in [theta_lo, theta_hi].  CSA is decreasing in theta
+/// (s_c ~ 1/theta, Section VI-B), so feasibility is monotone.
+/// Returns theta_hi when even that is infeasible... no: throws
+/// std::runtime_error when the profile cannot meet the condition at
+/// theta_hi (the easiest quality requested).
+[[nodiscard]] double best_effective_angle(Condition condition,
+                                          const core::HeterogeneousProfile& profile,
+                                          double n, double margin, double theta_lo,
+                                          double theta_hi);
+
+}  // namespace fvc::analysis

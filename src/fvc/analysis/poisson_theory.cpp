@@ -1,0 +1,91 @@
+#include "fvc/analysis/poisson_theory.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+
+namespace {
+void check_mu(double mu) {
+  if (mu < 0.0 || !std::isfinite(mu)) {
+    throw std::invalid_argument("poisson theory: mean must be finite and >= 0");
+  }
+}
+void check_fov(double fov) {
+  if (!(fov > 0.0) || fov > geom::kTwoPi) {
+    throw std::invalid_argument("poisson theory: fov must be in (0, 2*pi]");
+  }
+}
+}  // namespace
+
+double poisson_sector_cover_probability(double mu, double fov) {
+  check_mu(mu);
+  check_fov(fov);
+  return -std::expm1(-mu * fov / geom::kTwoPi);
+}
+
+double poisson_sector_cover_probability_series(double mu, double fov,
+                                               std::size_t truncate_at) {
+  check_mu(mu);
+  check_fov(fov);
+  const double q = 1.0 - fov / geom::kTwoPi;  // P(one sensor has wrong orientation)
+  double pois = std::exp(-mu);                // Pois(mu; 0)
+  double qk = 1.0;                            // q^0
+  double total = 0.0;
+  for (std::size_t k = 1; k <= truncate_at; ++k) {
+    pois *= mu / static_cast<double>(k);  // Pois(mu; k)
+    qk *= q;                              // q^k
+    total += pois * (1.0 - qk);
+  }
+  return total;
+}
+
+double q_necessary(const core::CameraGroupSpec& g, double n_y, double theta) {
+  // Sector angle 2*theta => sector area theta * r^2.
+  return poisson_sector_cover_probability(theta * n_y * g.radius * g.radius, g.fov);
+}
+
+double q_sufficient(const core::CameraGroupSpec& g, double n_y, double theta) {
+  // Sector angle theta => sector area theta * r^2 / 2.
+  return poisson_sector_cover_probability(0.5 * theta * n_y * g.radius * g.radius, g.fov);
+}
+
+namespace {
+
+double prob_point(const core::HeterogeneousProfile& profile, double n, double theta,
+                  bool necessary) {
+  if (!(n > 0.0)) {
+    throw std::invalid_argument("poisson theory: n must be positive");
+  }
+  double log_all_miss = 0.0;  // log prod_y (1 - Q_y)
+  for (const auto& g : profile.groups()) {
+    const double n_y = g.fraction * n;
+    const double q = necessary ? q_necessary(g, n_y, theta) : q_sufficient(g, n_y, theta);
+    if (q >= 1.0) {
+      log_all_miss = -std::numeric_limits<double>::infinity();
+      break;
+    }
+    log_all_miss += std::log1p(-q);
+  }
+  const double one_sector = -std::expm1(log_all_miss);  // 1 - prod (1 - Q_y)
+  const auto k = necessary ? necessary_sector_count(theta) : sufficient_sector_count(theta);
+  return std::pow(one_sector, static_cast<double>(k));
+}
+
+}  // namespace
+
+double prob_point_necessary_poisson(const core::HeterogeneousProfile& profile, double n,
+                                    double theta) {
+  return prob_point(profile, n, theta, /*necessary=*/true);
+}
+
+double prob_point_sufficient_poisson(const core::HeterogeneousProfile& profile, double n,
+                                     double theta) {
+  return prob_point(profile, n, theta, /*necessary=*/false);
+}
+
+}  // namespace fvc::analysis

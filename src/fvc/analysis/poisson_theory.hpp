@@ -1,0 +1,60 @@
+/// \file poisson_theory.hpp
+/// \brief Probabilities under Poisson deployment — Theorems 3 and 4.
+///
+/// Under a 2-D Poisson process of density n, the number of group-y sensors
+/// in a sector of area A is Poisson(n_y * A).  The probability that at
+/// least one of them covers the point (orientation within phi_y/2 of the
+/// point direction, probability phi_y/(2*pi) independently per sensor) is
+///
+///   Q_y = sum_{k>=1} Pois(mu; k) [1 - (1 - phi_y/(2*pi))^k]
+///       = 1 - exp(-mu * phi_y / (2*pi))           (closed form)
+///
+/// with mu = n_y * (sector area).  The paper truncates the series at
+/// k = n_y; we provide both the truncated series (faithful to the text) and
+/// the closed form (exact limit), which the tests show agree to within the
+/// truncation tail.
+///
+/// Necessary condition (Theorem 3): sector angle 2*theta, area theta*r_y^2,
+/// so mu_N = theta n_y r_y^2 and Q_N,y's closed form is
+/// 1 - exp(-theta n_y s_y / pi).  Sufficient condition (Theorem 4): sector
+/// angle theta, area theta r_y^2/2, mu_S = theta n_y r_y^2 / 2.
+///
+///   P_N = [1 - prod_y (1 - Q_N,y)]^(k_N),  k_N = ceil(pi/theta)
+///   P_S = [1 - prod_y (1 - Q_S,y)]^(k_S),  k_S = ceil(2*pi/theta)
+///
+/// P_N and P_S equal the expected fraction of the region meeting the
+/// respective condition (Section V's expected-area argument).
+
+#pragma once
+
+#include <cstddef>
+
+#include "fvc/core/camera_group.hpp"
+
+namespace fvc::analysis {
+
+/// Closed-form Q for one group: 1 - exp(-mu * fov/(2*pi)) where
+/// mu = expected sensors of the group in the sector.
+[[nodiscard]] double poisson_sector_cover_probability(double mu, double fov);
+
+/// The paper's truncated series for Q (sum to k = truncate_at).  Matches
+/// the closed form up to the Poisson tail beyond the truncation point.
+[[nodiscard]] double poisson_sector_cover_probability_series(double mu, double fov,
+                                                             std::size_t truncate_at);
+
+/// Q_N,y for group y at population n: mu = theta * n_y * r_y^2.
+[[nodiscard]] double q_necessary(const core::CameraGroupSpec& g, double n_y, double theta);
+
+/// Q_S,y for group y: mu = theta * n_y * r_y^2 / 2.
+[[nodiscard]] double q_sufficient(const core::CameraGroupSpec& g, double n_y, double theta);
+
+/// Theorem 3: P_N for a heterogeneous profile at Poisson density n.
+/// \pre theta in (0, pi], n > 0
+[[nodiscard]] double prob_point_necessary_poisson(const core::HeterogeneousProfile& profile,
+                                                  double n, double theta);
+
+/// Theorem 4: P_S.
+[[nodiscard]] double prob_point_sufficient_poisson(const core::HeterogeneousProfile& profile,
+                                                   double n, double theta);
+
+}  // namespace fvc::analysis

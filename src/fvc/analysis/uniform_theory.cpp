@@ -1,0 +1,83 @@
+#include "fvc/analysis/uniform_theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+
+double sector_hit_probability(const core::CameraGroupSpec& g, double sector_angle) {
+  if (!(sector_angle > 0.0) || sector_angle > geom::kTwoPi) {
+    throw std::invalid_argument("sector_hit_probability: sector_angle in (0, 2*pi]");
+  }
+  return std::min(1.0, sector_angle * g.sensing_area() / geom::kTwoPi);
+}
+
+double sector_empty_probability(const core::HeterogeneousProfile& profile, std::size_t n,
+                                double sector_angle) {
+  const auto counts = profile.counts(n);
+  double log_p = 0.0;
+  const auto groups = profile.groups();
+  for (std::size_t y = 0; y < groups.size(); ++y) {
+    const double hit = sector_hit_probability(groups[y], sector_angle);
+    if (hit >= 1.0) {
+      return counts[y] > 0 ? 0.0 : 1.0;
+    }
+    log_p += static_cast<double>(counts[y]) * std::log1p(-hit);
+  }
+  return std::exp(log_p);
+}
+
+namespace {
+
+double point_failure(const core::HeterogeneousProfile& profile, std::size_t n,
+                     double sector_angle, std::size_t sector_count) {
+  const double empty = sector_empty_probability(profile, n, sector_angle);
+  // 1 - (1 - empty)^k, computed via expm1/log1p for small `empty`.
+  if (empty >= 1.0) {
+    return 1.0;
+  }
+  return -std::expm1(static_cast<double>(sector_count) * std::log1p(-empty));
+}
+
+}  // namespace
+
+double point_failure_necessary(const core::HeterogeneousProfile& profile, std::size_t n,
+                               double theta) {
+  return point_failure(profile, n, 2.0 * theta, necessary_sector_count(theta));
+}
+
+double point_failure_sufficient(const core::HeterogeneousProfile& profile, std::size_t n,
+                                double theta) {
+  return point_failure(profile, n, theta, sufficient_sector_count(theta));
+}
+
+double point_success_necessary(const core::HeterogeneousProfile& profile, std::size_t n,
+                               double theta) {
+  return 1.0 - point_failure_necessary(profile, n, theta);
+}
+
+double point_success_sufficient(const core::HeterogeneousProfile& profile, std::size_t n,
+                                double theta) {
+  return 1.0 - point_failure_sufficient(profile, n, theta);
+}
+
+double grid_failure_upper_bound(double m, double pf) {
+  if (m < 0.0 || pf < 0.0 || pf > 1.0) {
+    throw std::invalid_argument("grid_failure_upper_bound: bad arguments");
+  }
+  return std::min(1.0, m * pf);
+}
+
+double grid_failure_lower_bound(double m, double pf) {
+  if (m < 0.0 || pf < 0.0 || pf > 1.0) {
+    throw std::invalid_argument("grid_failure_lower_bound: bad arguments");
+  }
+  const double first = m * pf;
+  return std::clamp(first - first * first, 0.0, 1.0);
+}
+
+}  // namespace fvc::analysis

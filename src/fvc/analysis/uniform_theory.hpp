@@ -1,0 +1,58 @@
+/// \file uniform_theory.hpp
+/// \brief Exact finite-n probabilities under uniform deployment
+/// (paper Section III, equations (2)–(4), and Section IV, (13)–(15)).
+///
+/// These are the quantities the asymptotic CSA proofs manipulate; computing
+/// them exactly at finite n lets the benchmarks compare theory against the
+/// Monte-Carlo simulator point-by-point, not just in the limit.
+
+#pragma once
+
+#include <cstddef>
+
+#include "fvc/core/camera_group.hpp"
+
+namespace fvc::analysis {
+
+/// Probability that one sensor of group spec `g` (out of a population of n,
+/// uniformly deployed) lands in a fixed sector of angle `sector_angle`
+/// around a point *and* covers the point: (w/(2*pi)) * pi r^2 * (phi/(2*pi))
+/// = w * s / (2*pi).  The paper's theta*s_y/pi (necessary, w = 2*theta) and
+/// theta*s_y/(2*pi) (sufficient, w = theta).
+[[nodiscard]] double sector_hit_probability(const core::CameraGroupSpec& g,
+                                            double sector_angle);
+
+/// Probability that NO sensor of any group hits a fixed sector:
+/// prod_y (1 - w s_y/(2*pi))^(n_y).  Uses the profile's largest-remainder
+/// counts for a population of n.
+[[nodiscard]] double sector_empty_probability(const core::HeterogeneousProfile& profile,
+                                              std::size_t n, double sector_angle);
+
+/// Equation (2): probability that an arbitrary point FAILS the necessary
+/// condition, P(F_N,P) = 1 - [1 - prod_y (1 - theta s_y/pi)^(n_y)]^(k_N).
+/// (Sector independence is the paper's stated approximation.)
+/// \pre theta in (0, pi]
+[[nodiscard]] double point_failure_necessary(const core::HeterogeneousProfile& profile,
+                                             std::size_t n, double theta);
+
+/// Equation (13): P(F_S,P) with sector angle theta and k_S sectors.
+[[nodiscard]] double point_failure_sufficient(const core::HeterogeneousProfile& profile,
+                                              std::size_t n, double theta);
+
+/// Complements: probability that an arbitrary point MEETS the condition.
+/// By the expected-area argument of Section V these equal the expected
+/// fraction of the region meeting the condition.
+[[nodiscard]] double point_success_necessary(const core::HeterogeneousProfile& profile,
+                                             std::size_t n, double theta);
+[[nodiscard]] double point_success_sufficient(const core::HeterogeneousProfile& profile,
+                                              std::size_t n, double theta);
+
+/// Bonferroni bounds on the probability that at least one of m grid points
+/// fails, given a per-point failure probability `pf` and independence of
+/// distinct points (Lemma 3 regime):
+///   upper (eq. 3):  min(1, m * pf)
+///   lower (eq. 4):  m*pf - (m*pf)^2   (clamped to [0, 1])
+[[nodiscard]] double grid_failure_upper_bound(double m, double pf);
+[[nodiscard]] double grid_failure_lower_bound(double m, double pf);
+
+}  // namespace fvc::analysis

@@ -1,0 +1,73 @@
+#include "fvc/analysis/wang_cao.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/analysis/uniform_theory.hpp"
+
+namespace fvc::analysis {
+
+double lattice_edge_length(double r, const WangCaoMargins& margins) {
+  if (!(r > 0.0) || !(margins.dr > 0.0) || !(margins.dphi > 0.0) ||
+      !(margins.dtheta > 0.0)) {
+    throw std::invalid_argument("lattice_edge_length: r and all margins must be positive");
+  }
+  const double m =
+      std::min({2.0 * margins.dr, r * margins.dphi, r * margins.dtheta});
+  return m / std::sqrt(3.0);
+}
+
+std::size_t lattice_point_count(double l) {
+  if (!(l > 0.0)) {
+    throw std::invalid_argument("lattice_point_count: edge length must be positive");
+  }
+  // Triangular lattice: one point per cell of area sqrt(3)/4 * l^2 * 2
+  // (each rhombus of two triangles holds one point) => density
+  // 2 / (sqrt(3) l^2) points per unit area.
+  const double density = 2.0 / (std::sqrt(3.0) * l * l);
+  return static_cast<std::size_t>(std::ceil(density));
+}
+
+double grid_full_view_lower_bound(const core::HeterogeneousProfile& profile, std::size_t n,
+                                  double theta, double m) {
+  if (!(m > 0.0)) {
+    throw std::invalid_argument("grid_full_view_lower_bound: m must be positive");
+  }
+  const double empty = sector_empty_probability(profile, n, theta);
+  const double k = static_cast<double>(sufficient_sector_count(theta));
+  const double bound = 1.0 - m * k * empty;
+  return std::clamp(bound, 0.0, 1.0);
+}
+
+std::size_t min_population_for_bound(const core::HeterogeneousProfile& profile, double theta,
+                                     double target_probability, std::size_t n_lo,
+                                     std::size_t n_hi) {
+  if (!(target_probability > 0.0) || !(target_probability < 1.0)) {
+    throw std::invalid_argument("min_population_for_bound: target in (0,1)");
+  }
+  if (n_lo < 2 || n_lo > n_hi) {
+    throw std::invalid_argument("min_population_for_bound: bad range");
+  }
+  const auto ok = [&](std::size_t n) {
+    const double m = static_cast<double>(n) * std::log(static_cast<double>(n));
+    return grid_full_view_lower_bound(profile, n, theta, m) >= target_probability;
+  };
+  if (!ok(n_hi)) {
+    return n_hi + 1;
+  }
+  std::size_t lo = n_lo;
+  std::size_t hi = n_hi;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ok(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace fvc::analysis

@@ -1,0 +1,67 @@
+/// \file wang_cao.hpp
+/// \brief Reconstructed baseline from Wang & Cao [4] (paper Section VII-C).
+///
+/// The paper compares against Wang & Cao's triangular-lattice analysis of
+/// full-view coverage.  Reference [4] is closed-source for this
+/// reproduction; the functions here reconstruct the two pieces the paper
+/// actually uses, from the formulas quoted in Section VII-C:
+///
+///  1. Lemma 4.5's lattice edge length: grid full-view coverage with
+///     parameters (r, phi, theta) implies area full-view coverage with
+///     (r + dr, phi + dphi, theta + dtheta) when the triangular-lattice
+///     edge satisfies l <= min{2 dr, r dphi, r dtheta} / sqrt(3).  The
+///     quoted expression in the survey text is partially garbled
+///     ("min{2Δr, Δφ min}/√(3 cot Δθ)"); we use the conservative
+///     min-over-all-margins form above, which preserves the qualitative
+///     behaviour (margin-proportional lattice pitch, sqrt(3) from the
+///     triangular geometry) the comparison needs.  Documented as a
+///     substitution in DESIGN.md.
+///
+///  2. A union-bound lower bound on the probability that the whole grid is
+///     full-view covered under uniform deployment, in the spirit of their
+///     Theorem 4.7 but with the paper's independence simplification:
+///     P(all grid points meet the sufficient condition)
+///       >= 1 - m * k_S * prod_y (1 - theta s_y/(2 pi))^(n_y).
+
+#pragma once
+
+#include <cstddef>
+
+#include "fvc/core/camera_group.hpp"
+
+namespace fvc::analysis {
+
+/// Margins used in Wang & Cao's grid-to-area transfer.
+struct WangCaoMargins {
+  double dr = 0.0;      ///< radius slack Delta r
+  double dphi = 0.0;    ///< field-of-view slack Delta phi
+  double dtheta = 0.0;  ///< effective-angle slack Delta theta
+};
+
+/// Triangular-lattice edge length that makes grid coverage transfer to
+/// area coverage for a sensor of radius `r` with the given margins
+/// (reconstructed Lemma 4.5; see file comment).
+/// \pre r > 0 and all margins > 0
+[[nodiscard]] double lattice_edge_length(double r, const WangCaoMargins& margins);
+
+/// Number of triangular-lattice grid points needed to cover the unit square
+/// at edge length `l` (two points per l x (sqrt(3)/2 l) rhombus cell).
+/// \pre l > 0
+[[nodiscard]] std::size_t lattice_point_count(double l);
+
+/// Union-bound lower bound on P(every one of m grid points meets the
+/// sufficient condition) for n uniformly-deployed sensors (see file
+/// comment).  Clamped to [0, 1].
+[[nodiscard]] double grid_full_view_lower_bound(const core::HeterogeneousProfile& profile,
+                                                std::size_t n, double theta, double m);
+
+/// The n at which the Wang–Cao-style lower bound first exceeds
+/// `target_probability`, by doubling + binary search over n in
+/// [n_lo, n_hi].  Returns n_hi+1 when unreachable in range.  This is the
+/// quantity the Section VII-C comparison contrasts with the CSA-based
+/// sufficient population size.
+[[nodiscard]] std::size_t min_population_for_bound(const core::HeterogeneousProfile& profile,
+                                                   double theta, double target_probability,
+                                                   std::size_t n_lo, std::size_t n_hi);
+
+}  // namespace fvc::analysis

@@ -1,0 +1,147 @@
+#include "fvc/barrier/barrier.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+
+namespace fvc::barrier {
+
+geom::Vec2 BarrierSpec::probe(std::size_t row, std::size_t col) const {
+  const double x = (static_cast<double>(col) + 0.5) / static_cast<double>(columns);
+  const double y =
+      y_lo + (static_cast<double>(row) + 0.5) * (y_hi - y_lo) / static_cast<double>(rows);
+  return {x, y};
+}
+
+void validate(const BarrierSpec& spec) {
+  if (!(spec.y_lo >= 0.0) || !(spec.y_hi <= 1.0) || !(spec.y_lo < spec.y_hi)) {
+    throw std::invalid_argument("BarrierSpec: need 0 <= y_lo < y_hi <= 1");
+  }
+  if (spec.columns == 0 || spec.rows == 0) {
+    throw std::invalid_argument("BarrierSpec: grid must be non-degenerate");
+  }
+}
+
+std::vector<bool> coverage_mask(const BarrierSpec& spec, const CellPredicate& covered) {
+  validate(spec);
+  std::vector<bool> mask(spec.rows * spec.columns, false);
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.columns; ++c) {
+      mask[r * spec.columns + c] = covered(spec.probe(r, c));
+    }
+  }
+  return mask;
+}
+
+std::vector<bool> coverage_mask(const core::Network& net, const BarrierSpec& spec,
+                                double theta) {
+  core::validate_theta(theta);
+  std::vector<double> dirs;
+  return coverage_mask(spec, [&](const geom::Vec2& p) {
+    net.viewed_directions_into(p, dirs);
+    return core::full_view_covered(dirs, theta).covered;
+  });
+}
+
+bool weak_barrier_covered(const std::vector<bool>& mask, const BarrierSpec& spec) {
+  validate(spec);
+  if (mask.size() != spec.rows * spec.columns) {
+    throw std::invalid_argument("weak_barrier_covered: mask size mismatch");
+  }
+  for (std::size_t c = 0; c < spec.columns; ++c) {
+    bool column_hit = false;
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+      if (mask[r * spec.columns + c]) {
+        column_hit = true;
+        break;
+      }
+    }
+    if (!column_hit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool strong_barrier_covered(const std::vector<bool>& mask, const BarrierSpec& spec) {
+  validate(spec);
+  if (mask.size() != spec.rows * spec.columns) {
+    throw std::invalid_argument("strong_barrier_covered: mask size mismatch");
+  }
+  const std::ptrdiff_t rows = static_cast<std::ptrdiff_t>(spec.rows);
+  const std::ptrdiff_t cols = static_cast<std::ptrdiff_t>(spec.columns);
+
+  // BFS over covered cells with 8-connectivity; columns wrap, rows do not.
+  // Each visited cell records an "unwrapped" x offset; reaching a visited
+  // cell at a different offset means the component loops around the torus.
+  constexpr std::ptrdiff_t kUnvisited = std::numeric_limits<std::ptrdiff_t>::min();
+  std::vector<std::ptrdiff_t> offset(mask.size(), kUnvisited);
+  const auto idx = [cols](std::ptrdiff_t r, std::ptrdiff_t c) {
+    return static_cast<std::size_t>(r * cols + c);
+  };
+
+  for (std::ptrdiff_t r0 = 0; r0 < rows; ++r0) {
+    // Only need to seed from column 0's vicinity: any wrapping band crosses
+    // every column, so seeding all cells in column 0 suffices.
+    const std::ptrdiff_t c0 = 0;
+    if (!mask[idx(r0, c0)] || offset[idx(r0, c0)] != kUnvisited) {
+      continue;
+    }
+    struct Node {
+      std::ptrdiff_t r;
+      std::ptrdiff_t c;       // canonical column in [0, cols)
+      std::ptrdiff_t unwrapped;  // unwrapped column coordinate
+    };
+    std::deque<Node> queue;
+    offset[idx(r0, c0)] = 0;
+    queue.push_back({r0, c0, 0});
+    while (!queue.empty()) {
+      const Node cur = queue.front();
+      queue.pop_front();
+      for (std::ptrdiff_t dr = -1; dr <= 1; ++dr) {
+        for (std::ptrdiff_t dc = -1; dc <= 1; ++dc) {
+          if (dr == 0 && dc == 0) {
+            continue;
+          }
+          const std::ptrdiff_t nr = cur.r + dr;
+          if (nr < 0 || nr >= rows) {
+            continue;
+          }
+          const std::ptrdiff_t unwrapped = cur.unwrapped + dc;
+          const std::ptrdiff_t nc = ((cur.c + dc) % cols + cols) % cols;
+          if (!mask[idx(nr, nc)]) {
+            continue;
+          }
+          if (offset[idx(nr, nc)] == kUnvisited) {
+            offset[idx(nr, nc)] = unwrapped;
+            queue.push_back({nr, nc, unwrapped});
+          } else if (offset[idx(nr, nc)] != unwrapped) {
+            // Same cell reached with two different unwrapped x coordinates:
+            // the component wraps the x-period.
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+BarrierResult evaluate_barrier(const core::Network& net, const BarrierSpec& spec,
+                               double theta) {
+  const std::vector<bool> mask = coverage_mask(net, spec, theta);
+  BarrierResult result;
+  result.weak = weak_barrier_covered(mask, spec);
+  result.strong = strong_barrier_covered(mask, spec);
+  std::size_t covered = 0;
+  for (bool b : mask) {
+    covered += b ? 1 : 0;
+  }
+  result.covered_fraction =
+      static_cast<double>(covered) / static_cast<double>(mask.size());
+  return result;
+}
+
+}  // namespace fvc::barrier

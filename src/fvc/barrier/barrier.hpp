@@ -1,0 +1,82 @@
+/// \file barrier.hpp
+/// \brief Full-view barrier coverage — the paper's announced future-work
+/// topic ("the critical condition to reach barrier full view coverage will
+/// be an absorbing topic as well", Section VIII).
+///
+/// A barrier is a horizontal strip [0,1) x [y_lo, y_hi] of the region.  An
+/// intruder crosses it by a path from below y_lo to above y_hi.  Two
+/// classical notions, lifted to full-view coverage:
+///
+///  * WEAK barrier coverage: every vertical crossing line meets a
+///    full-view covered point — defeats intruders that only move straight
+///    up.  Discretized: every column of the strip grid contains a
+///    full-view covered cell.
+///  * STRONG barrier coverage: every crossing path meets a full-view
+///    covered point — requires the covered cells to contain a connected
+///    band wrapping around the x-period of the torus.  Discretized: BFS
+///    over the covered cells with x-wraparound adjacency, detecting a
+///    component that closes the loop in x (a cell reached at two different
+///    unwrapped x offsets).
+///
+/// Both checks run on a strip grid whose cells are probe points spaced
+/// like the paper's dense grid.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "fvc/core/network.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::barrier {
+
+/// Geometry and resolution of a barrier strip.
+struct BarrierSpec {
+  double y_lo = 0.45;        ///< lower edge of the strip
+  double y_hi = 0.55;        ///< upper edge of the strip
+  std::size_t columns = 64;  ///< probe columns across the x-period
+  std::size_t rows = 8;      ///< probe rows across the strip height
+
+  /// Probe point at (row, col): cell centres of the strip grid.
+  [[nodiscard]] geom::Vec2 probe(std::size_t row, std::size_t col) const;
+};
+
+/// Validate a spec; throws std::invalid_argument when the strip is empty,
+/// outside [0,1], or the grid is degenerate.
+void validate(const BarrierSpec& spec);
+
+/// Per-cell coverage mask of the strip: mask[row * columns + col] is true
+/// when the probe point is full-view covered with effective angle theta.
+[[nodiscard]] std::vector<bool> coverage_mask(const core::Network& net,
+                                              const BarrierSpec& spec, double theta);
+
+/// Generic predicate form used by the checkers below (lets tests supply
+/// synthetic masks and future callers plug in k-full-view or probabilistic
+/// predicates).
+using CellPredicate = std::function<bool(const geom::Vec2&)>;
+
+[[nodiscard]] std::vector<bool> coverage_mask(const BarrierSpec& spec,
+                                              const CellPredicate& covered);
+
+/// Weak full-view barrier coverage: every column has a covered cell.
+[[nodiscard]] bool weak_barrier_covered(const std::vector<bool>& mask,
+                                        const BarrierSpec& spec);
+
+/// Strong full-view barrier coverage: the covered cells contain a
+/// connected band (8-connectivity, x wraps) that loops around the torus's
+/// x-period.
+[[nodiscard]] bool strong_barrier_covered(const std::vector<bool>& mask,
+                                          const BarrierSpec& spec);
+
+/// Convenience: evaluate both notions for a network.
+struct BarrierResult {
+  bool weak = false;
+  bool strong = false;
+  double covered_fraction = 0.0;  ///< fraction of strip cells covered
+};
+[[nodiscard]] BarrierResult evaluate_barrier(const core::Network& net,
+                                             const BarrierSpec& spec, double theta);
+
+}  // namespace fvc::barrier

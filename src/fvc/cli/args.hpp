@@ -1,0 +1,46 @@
+/// \file args.hpp
+/// \brief Minimal command-line parsing for the fvc_sim tool.
+///
+/// Supports `--key value` and `--key=value` pairs plus one positional
+/// subcommand.  No external dependencies; strict by default (unknown flags
+/// are errors, so typos do not silently fall back to defaults).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fvc::cli {
+
+/// Parsed command line: one optional subcommand plus key/value flags.
+class Args {
+ public:
+  /// Parse argv (excluding argv[0]).  The first token not starting with
+  /// "--" becomes the subcommand; later bare tokens are errors.
+  /// \throws std::invalid_argument on malformed input ("--flag" without a
+  /// value, duplicate flags, stray positionals).
+  static Args parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters; throw std::invalid_argument on malformed numbers, and
+  /// return the default when the flag is absent.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key, std::size_t fallback) const;
+
+  /// Verify every provided flag is in `allowed`; throws listing the first
+  /// unknown flag otherwise.  Call once per subcommand.
+  void expect_only(const std::set<std::string>& allowed) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace fvc::cli

@@ -1,0 +1,57 @@
+/// \file commands.hpp
+/// \brief The fvc_sim subcommand implementations, as a library.
+///
+/// Keeping the handlers out of main() makes them unit-testable: each takes
+/// parsed Args and an output stream and returns a process exit code.
+/// Errors surface as exceptions; the binary's main() catches and reports.
+
+#pragma once
+
+#include <iosfwd>
+
+#include "fvc/cli/args.hpp"
+
+namespace fvc::cli {
+
+/// Print the usage text.
+void print_help(std::ostream& out);
+
+/// Theorems 1-2 thresholds for (n, theta).
+int cmd_csa(const Args& args, std::ostream& out);
+
+/// Inverse design: radius (and population when --radius given).
+int cmd_plan(const Args& args, std::ostream& out);
+
+/// Monte-Carlo grid-event probabilities.
+int cmd_simulate(const Args& args, std::ostream& out);
+
+/// Theorems 3-4 closed forms.
+int cmd_poisson(const Args& args, std::ostream& out);
+
+/// Exact per-point law (Stevens mixture) next to the two sector bounds.
+int cmd_exact(const Args& args, std::ostream& out);
+
+/// Phase scan of q = s_c/s_Nc.
+int cmd_phase(const Args& args, std::ostream& out);
+
+/// ASCII coverage heatmap of one deployment (optionally saved/loaded).
+int cmd_map(const Args& args, std::ostream& out);
+
+/// Full-view barrier coverage of a strip for one deployment.
+int cmd_barrier(const Args& args, std::ostream& out);
+
+/// Along-path capture audit for random intruder walks.
+int cmd_track(const Args& args, std::ostream& out);
+
+/// Greedy hole repair: patch a deployment up to full-view coverage.
+int cmd_repair(const Args& args, std::ostream& out);
+
+/// One-shot orientation optimization of a deployment.
+int cmd_aim(const Args& args, std::ostream& out);
+
+/// Dispatch on args.command(); empty command prints help and returns
+/// failure, "help" prints help and succeeds, unknown commands report and
+/// fail.
+int run_command(const Args& args, std::ostream& out);
+
+}  // namespace fvc::cli

@@ -1,0 +1,55 @@
+#include "fvc/connect/critical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::connect {
+
+double critical_radius(std::span<const geom::Vec2> points, geom::SpaceMode mode) {
+  const std::size_t n = points.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  // Prim's algorithm with an O(n^2) dense scan; tracks the largest edge
+  // weight pulled into the tree (the MST bottleneck).
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> in_tree(n, false);
+  best[0] = 0.0;
+  double bottleneck2 = 0.0;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    std::size_t u = n;
+    double u_best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best[i] < u_best) {
+        u_best = best[i];
+        u = i;
+      }
+    }
+    if (u == n) {
+      throw std::logic_error("critical_radius: disconnected scan (unreachable)");
+    }
+    in_tree[u] = true;
+    bottleneck2 = std::max(bottleneck2, best[u]);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v]) {
+        const double d2 = geom::displacement(points[u], points[v], mode).norm2();
+        best[v] = std::min(best[v], d2);
+      }
+    }
+  }
+  return std::sqrt(bottleneck2);
+}
+
+double gupta_kumar_radius(double n) {
+  if (!(n >= 2.0)) {
+    throw std::invalid_argument("gupta_kumar_radius: need n >= 2");
+  }
+  return std::sqrt(std::log(n) / (geom::kPi * n));
+}
+
+}  // namespace fvc::connect

@@ -1,0 +1,33 @@
+/// \file critical.hpp
+/// \brief Critical communication radius: the smallest R_c connecting a
+/// deployment, computed exactly as the longest edge of the Euclidean
+/// minimum spanning tree.
+///
+/// Together with the CSA this answers the joint design question: after
+/// provisioning sensing (radius from Theorem 2), does communication or
+/// coverage dominate the hardware requirement?  The classical asymptotic
+/// (Gupta & Kumar) says the connectivity radius scales as
+/// sqrt(log n / (pi n)); the CONN bench compares it with the measured MST
+/// bottleneck and with the CSA-implied sensing radius.
+
+#pragma once
+
+#include <span>
+
+#include "fvc/geometry/space.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::connect {
+
+/// Longest edge of the Euclidean MST over `points` — the exact threshold:
+/// the unit-disk graph is connected iff R_c >= this value.  O(n^2) Prim.
+/// Returns 0 for fewer than two points.
+[[nodiscard]] double critical_radius(std::span<const geom::Vec2> points,
+                                     geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+/// Gupta-Kumar asymptotic connectivity radius sqrt((log n)/(pi n)) for n
+/// uniform points (the order at which isolated nodes vanish).
+/// \pre n >= 2
+[[nodiscard]] double gupta_kumar_radius(double n);
+
+}  // namespace fvc::connect

@@ -1,0 +1,90 @@
+#include "fvc/connect/graph.hpp"
+
+#include <stdexcept>
+
+namespace fvc::connect {
+
+UnionFind::UnionFind(std::size_t count)
+    : parent_(count), rank_(count, 0), components_(count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    parent_[i] = i;
+  }
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  if (x >= parent_.size()) {
+    throw std::out_of_range("UnionFind::find: element out of range");
+  }
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) {
+    return false;
+  }
+  if (rank_[ra] < rank_[rb]) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) {
+    ++rank_[ra];
+  }
+  --components_;
+  return true;
+}
+
+namespace {
+
+void check_radius(double r_c) {
+  if (!(r_c >= 0.0)) {
+    throw std::invalid_argument("communication radius must be non-negative");
+  }
+}
+
+}  // namespace
+
+bool is_connected(std::span<const geom::Vec2> points, double r_c, geom::SpaceMode mode) {
+  return component_count(points, r_c, mode) <= 1;
+}
+
+std::size_t component_count(std::span<const geom::Vec2> points, double r_c,
+                            geom::SpaceMode mode) {
+  check_radius(r_c);
+  if (points.empty()) {
+    return 0;
+  }
+  UnionFind uf(points.size());
+  const double r2 = r_c * r_c;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (geom::displacement(points[i], points[j], mode).norm2() <= r2) {
+        uf.unite(i, j);
+      }
+    }
+  }
+  return uf.components();
+}
+
+std::vector<std::size_t> degrees(std::span<const geom::Vec2> points, double r_c,
+                                 geom::SpaceMode mode) {
+  check_radius(r_c);
+  std::vector<std::size_t> deg(points.size(), 0);
+  const double r2 = r_c * r_c;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (geom::displacement(points[i], points[j], mode).norm2() <= r2) {
+        ++deg[i];
+        ++deg[j];
+      }
+    }
+  }
+  return deg;
+}
+
+}  // namespace fvc::connect

@@ -1,0 +1,57 @@
+/// \file graph.hpp
+/// \brief Communication graph of a deployed network.
+///
+/// Coverage alone is not a working camera network: images must reach a
+/// sink over sensor-to-sensor links.  The classical model (the
+/// "coverage and connectivity" thread the paper cites — [6][13][14][17])
+/// gives every sensor a communication radius R_c; the network functions
+/// when the resulting unit-disk graph is connected.  This module builds
+/// that graph on the torus or plane and answers connectivity queries; the
+/// companion `critical.hpp` computes the critical R_c exactly.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fvc/geometry/space.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::connect {
+
+/// Union-find over a fixed element count (path halving + union by size).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t count);
+
+  /// Representative of x's set.
+  [[nodiscard]] std::size_t find(std::size_t x);
+
+  /// Merge the sets of a and b; returns true when they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  [[nodiscard]] std::size_t components() const { return components_; }
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+  std::size_t components_;
+};
+
+/// True when the unit-disk graph over `points` with link radius `r_c` is
+/// connected.  O(n^2) pair scan; empty and singleton sets are connected.
+[[nodiscard]] bool is_connected(std::span<const geom::Vec2> points, double r_c,
+                                geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+/// Number of connected components of the unit-disk graph.
+[[nodiscard]] std::size_t component_count(std::span<const geom::Vec2> points, double r_c,
+                                          geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+/// Degree (neighbour count) of each point in the unit-disk graph.
+[[nodiscard]] std::vector<std::size_t> degrees(std::span<const geom::Vec2> points,
+                                               double r_c,
+                                               geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+}  // namespace fvc::connect

@@ -1,0 +1,18 @@
+#include "fvc/core/camera.hpp"
+
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::core {
+
+void validate(const Camera& cam) {
+  if (cam.radius < 0.0) {
+    throw std::invalid_argument("Camera: negative sensing radius");
+  }
+  if (!(cam.fov > 0.0) || cam.fov > geom::kTwoPi) {
+    throw std::invalid_argument("Camera: angle of view must be in (0, 2*pi]");
+  }
+}
+
+}  // namespace fvc::core

@@ -1,0 +1,36 @@
+/// \file camera.hpp
+/// \brief The binary sector camera model (paper Section II-A).
+///
+/// A camera senses perfectly inside a sector of radius `r` and angle-of-view
+/// `phi` centred on its orientation, and senses nothing outside.  Positions
+/// live on the unit torus; orientations are fixed at deployment time (the
+/// paper's cameras cannot steer).
+
+#pragma once
+
+#include <cstdint>
+
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// One deployed camera sensor.
+struct Camera {
+  geom::Vec2 position;      ///< location on the unit torus, components in [0,1)
+  double orientation = 0.0; ///< direction of the sector bisector f, radians
+  double radius = 0.0;      ///< sensing radius r
+  double fov = 0.0;         ///< angle of view phi, in (0, 2*pi]
+  std::uint32_t group = 0;  ///< heterogeneity group index (paper's G_y)
+
+  /// Sensing area s = phi * r^2 / 2 — the quantity the paper shows is the
+  /// decisive sensing parameter under uniform deployment (Section VI-A).
+  [[nodiscard]] constexpr double sensing_area() const {
+    return 0.5 * fov * radius * radius;
+  }
+};
+
+/// Validate a camera's parameters; throws std::invalid_argument when the
+/// radius is negative or the angle of view is outside (0, 2*pi].
+void validate(const Camera& cam);
+
+}  // namespace fvc::core

@@ -1,0 +1,97 @@
+#include "fvc/core/camera_group.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::core {
+
+HeterogeneousProfile::HeterogeneousProfile(std::vector<CameraGroupSpec> groups)
+    : groups_(std::move(groups)) {
+  if (groups_.empty()) {
+    throw std::invalid_argument("HeterogeneousProfile: need at least one group");
+  }
+  double total = 0.0;
+  for (const auto& g : groups_) {
+    if (!(g.fraction > 0.0) || g.fraction > 1.0) {
+      throw std::invalid_argument("HeterogeneousProfile: fraction must be in (0,1]");
+    }
+    if (g.radius < 0.0) {
+      throw std::invalid_argument("HeterogeneousProfile: negative radius");
+    }
+    if (!(g.fov > 0.0) || g.fov > geom::kTwoPi) {
+      throw std::invalid_argument("HeterogeneousProfile: fov must be in (0, 2*pi]");
+    }
+    total += g.fraction;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("HeterogeneousProfile: fractions must sum to 1");
+  }
+}
+
+HeterogeneousProfile HeterogeneousProfile::homogeneous(double radius, double fov) {
+  return HeterogeneousProfile({CameraGroupSpec{1.0, radius, fov}});
+}
+
+double HeterogeneousProfile::weighted_sensing_area() const {
+  double s = 0.0;
+  for (const auto& g : groups_) {
+    s += g.fraction * g.sensing_area();
+  }
+  return s;
+}
+
+std::vector<std::size_t> HeterogeneousProfile::counts(std::size_t n) const {
+  std::vector<std::size_t> out(groups_.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(groups_.size());
+  std::size_t assigned = 0;
+  for (std::size_t y = 0; y < groups_.size(); ++y) {
+    const double exact = groups_[y].fraction * static_cast<double>(n);
+    out[y] = static_cast<std::size_t>(std::floor(exact));
+    assigned += out[y];
+    remainders.emplace_back(exact - std::floor(exact), y);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < n; ++i, ++assigned) {
+    ++out[remainders[i % remainders.size()].second];
+  }
+  return out;
+}
+
+double HeterogeneousProfile::max_radius() const {
+  double r = 0.0;
+  for (const auto& g : groups_) {
+    r = std::max(r, g.radius);
+  }
+  return r;
+}
+
+HeterogeneousProfile HeterogeneousProfile::scaled_area(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("scaled_area: factor must be positive");
+  }
+  std::vector<CameraGroupSpec> scaled = groups_;
+  const double rscale = std::sqrt(factor);
+  for (auto& g : scaled) {
+    g.radius *= rscale;
+  }
+  return HeterogeneousProfile(std::move(scaled));
+}
+
+HeterogeneousProfile HeterogeneousProfile::with_weighted_area(double target) const {
+  if (!(target > 0.0)) {
+    throw std::invalid_argument("with_weighted_area: target must be positive");
+  }
+  const double current = weighted_sensing_area();
+  if (!(current > 0.0)) {
+    throw std::invalid_argument("with_weighted_area: profile has zero sensing area");
+  }
+  return scaled_area(target / current);
+}
+
+}  // namespace fvc::core

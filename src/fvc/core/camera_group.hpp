@@ -1,0 +1,68 @@
+/// \file camera_group.hpp
+/// \brief Heterogeneous camera populations (paper Section II-A).
+///
+/// Sensors are partitioned into `u` groups G_1..G_u; group y holds
+/// `n_y = c_y * n` sensors, all with sensing radius `r_y` and angle of view
+/// `phi_y`.  The weighted sensing area `s_c = sum_y c_y * s_y` with
+/// `s_y = phi_y r_y^2 / 2` is the quantity the paper's CSA thresholds
+/// constrain.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fvc::core {
+
+/// Parameters of one heterogeneity group G_y.
+struct CameraGroupSpec {
+  double fraction = 1.0;  ///< c_y, the fraction of the population in this group
+  double radius = 0.0;    ///< r_y
+  double fov = 0.0;       ///< phi_y
+
+  /// Group sensing area s_y = phi_y * r_y^2 / 2.
+  [[nodiscard]] constexpr double sensing_area() const {
+    return 0.5 * fov * radius * radius;
+  }
+};
+
+/// A validated heterogeneous population profile: group fractions sum to 1.
+class HeterogeneousProfile {
+ public:
+  /// \throws std::invalid_argument when `groups` is empty, any fraction is
+  /// outside (0,1], fractions do not sum to 1 (tolerance 1e-9), any radius
+  /// is negative, or any fov is outside (0, 2*pi].
+  explicit HeterogeneousProfile(std::vector<CameraGroupSpec> groups);
+
+  /// Single-group (homogeneous) profile.
+  [[nodiscard]] static HeterogeneousProfile homogeneous(double radius, double fov);
+
+  [[nodiscard]] std::span<const CameraGroupSpec> groups() const { return groups_; }
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+
+  /// Weighted sensing area s_c = sum_y c_y s_y.
+  [[nodiscard]] double weighted_sensing_area() const;
+
+  /// Integer head-counts per group for a population of `n` sensors, using
+  /// largest-remainder apportionment so the counts sum to exactly `n`.
+  [[nodiscard]] std::vector<std::size_t> counts(std::size_t n) const;
+
+  /// Largest sensing radius over all groups (spatial-index cell sizing).
+  [[nodiscard]] double max_radius() const;
+
+  /// A new profile whose radii are scaled by sqrt(factor) so that every
+  /// group's sensing area — and hence s_c — is multiplied by `factor`.
+  /// Used to dial the population to a target CSA multiple.
+  /// \pre factor > 0
+  [[nodiscard]] HeterogeneousProfile scaled_area(double factor) const;
+
+  /// A new profile scaled so that `weighted_sensing_area() == target`.
+  /// \pre target > 0 and the current weighted area > 0
+  [[nodiscard]] HeterogeneousProfile with_weighted_area(double target) const;
+
+ private:
+  std::vector<CameraGroupSpec> groups_;
+};
+
+}  // namespace fvc::core

@@ -1,0 +1,59 @@
+#include "fvc/core/coverage.hpp"
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::core {
+
+namespace {
+
+/// Shared implementation: displacement S->P, coverage test, and the P->S
+/// direction, computed once.
+struct CoverQuery {
+  bool covered = false;
+  double viewed_dir = 0.0;  // angle of P->S
+};
+
+CoverQuery query(const Camera& cam, const geom::Vec2& p, geom::SpaceMode mode) {
+  const geom::Vec2 d = geom::displacement(cam.position, p, mode);  // S -> P
+  CoverQuery out;
+  const double r2 = cam.radius * cam.radius;
+  const double n2 = d.norm2();
+  if (n2 > r2) {
+    return out;
+  }
+  if (n2 == 0.0) {
+    // Point coincides with the camera: covered, viewed direction arbitrary.
+    out.covered = true;
+    out.viewed_dir = 0.0;
+    return out;
+  }
+  const double dir_sp = d.angle();  // direction S -> P
+  if (geom::angular_distance(dir_sp, cam.orientation) > 0.5 * cam.fov) {
+    return out;
+  }
+  out.covered = true;
+  out.viewed_dir = geom::normalize_angle(dir_sp + geom::kPi);  // P -> S
+  return out;
+}
+
+}  // namespace
+
+bool covers(const Camera& cam, const geom::Vec2& p, geom::SpaceMode mode) {
+  return query(cam, p, mode).covered;
+}
+
+double viewed_direction(const Camera& cam, const geom::Vec2& p, geom::SpaceMode mode) {
+  const geom::Vec2 d = geom::displacement(p, cam.position, mode);  // P -> S
+  return geom::normalize_angle(d.angle());
+}
+
+std::optional<double> viewed_direction_if_covered(const Camera& cam, const geom::Vec2& p,
+                                                  geom::SpaceMode mode) {
+  const CoverQuery q = query(cam, p, mode);
+  if (!q.covered) {
+    return std::nullopt;
+  }
+  return q.viewed_dir;
+}
+
+}  // namespace fvc::core

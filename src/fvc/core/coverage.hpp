@@ -1,0 +1,38 @@
+/// \file coverage.hpp
+/// \brief Point-coverage predicate for the binary sector model.
+///
+/// All predicates take the space mode (torus by default, matching the
+/// paper; plane for the boundary-effect ablation).
+
+#pragma once
+
+#include <optional>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/geometry/space.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// True when camera `cam` covers point `p`: the displacement from the
+/// camera to the point has length <= radius and its direction is within
+/// fov/2 of the camera's orientation.  Boundaries are closed, matching the
+/// paper's "sense perfectly in a sector" model.
+[[nodiscard]] bool covers(const Camera& cam, const geom::Vec2& p,
+                          geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+/// The viewed direction of point `p` with respect to camera `cam`: the
+/// polar angle of the vector P->S, in [0, 2*pi).  This is the direction
+/// compared against the facing direction in Definition 1.
+/// \pre p and cam.position do not coincide (returns 0 for coincident points,
+/// consistent with atan2(0,0)).
+[[nodiscard]] double viewed_direction(const Camera& cam, const geom::Vec2& p,
+                                      geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+/// Combined query used on hot paths: the viewed direction when `cam` covers
+/// `p`, otherwise std::nullopt.  Saves recomputing the displacement.
+[[nodiscard]] std::optional<double> viewed_direction_if_covered(
+    const Camera& cam, const geom::Vec2& p,
+    geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+}  // namespace fvc::core

@@ -1,0 +1,122 @@
+#include "fvc/core/full_view.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/arc_set.hpp"
+#include "fvc/geometry/sector.hpp"
+
+namespace fvc::core {
+
+void validate_theta(double theta) {
+  if (!(theta > 0.0) || theta > geom::kPi) {
+    throw std::invalid_argument("full view: effective angle theta must be in (0, pi]");
+  }
+}
+
+FullViewResult full_view_covered(std::span<const double> viewed_dirs, double theta) {
+  validate_theta(theta);
+  FullViewResult res;
+  res.covering_count = viewed_dirs.size();
+  const geom::CircularGap gap = geom::max_circular_gap_info(viewed_dirs);
+  res.max_gap = gap.width;
+  // Safe arcs have half-width theta around each viewed direction, so the
+  // circle is fully safe iff no gap exceeds 2*theta (closed comparison:
+  // the paper's Definition 1 uses <= theta).
+  res.covered = !viewed_dirs.empty() && gap.width <= 2.0 * theta;
+  if (!res.covered) {
+    if (gap.after_dir.has_value()) {
+      res.witness_unsafe_direction =
+          geom::normalize_angle(*gap.after_dir + 0.5 * gap.width);
+    } else {
+      res.witness_unsafe_direction = 0.0;  // no sensors: every direction unsafe
+    }
+  }
+  return res;
+}
+
+FullViewResult full_view_covered(const Network& net, const geom::Vec2& p, double theta) {
+  const std::vector<double> dirs = net.viewed_directions(p);
+  return full_view_covered(dirs, theta);
+}
+
+bool is_safe_direction(std::span<const double> viewed_dirs, double d, double theta) {
+  validate_theta(theta);
+  return std::any_of(viewed_dirs.begin(), viewed_dirs.end(), [&](double v) {
+    return geom::angular_distance(v, d) <= theta;
+  });
+}
+
+namespace {
+
+/// Every sector of `sector_partition(sector_angle, start_line)` must contain
+/// at least one viewed direction.
+bool sectors_all_hit(std::span<const double> viewed_dirs, double sector_angle,
+                     double start_line) {
+  const std::vector<geom::Arc> sectors = geom::sector_partition(sector_angle, start_line);
+  for (const geom::Arc& sector : sectors) {
+    const bool hit = std::any_of(viewed_dirs.begin(), viewed_dirs.end(),
+                                 [&](double v) { return sector.contains(v); });
+    if (!hit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool meets_necessary_condition(std::span<const double> viewed_dirs, double theta,
+                               double start_line) {
+  validate_theta(theta);
+  return sectors_all_hit(viewed_dirs, 2.0 * theta, start_line);
+}
+
+bool meets_necessary_condition(const Network& net, const geom::Vec2& p, double theta,
+                               double start_line) {
+  const std::vector<double> dirs = net.viewed_directions(p);
+  return meets_necessary_condition(dirs, theta, start_line);
+}
+
+bool meets_sufficient_condition(std::span<const double> viewed_dirs, double theta,
+                                double start_line) {
+  validate_theta(theta);
+  return sectors_all_hit(viewed_dirs, theta, start_line);
+}
+
+bool meets_sufficient_condition(const Network& net, const geom::Vec2& p, double theta,
+                                double start_line) {
+  const std::vector<double> dirs = net.viewed_directions(p);
+  return meets_sufficient_condition(dirs, theta, start_line);
+}
+
+bool k_covered(const Network& net, const geom::Vec2& p, std::size_t k) {
+  if (k == 0) {
+    return true;
+  }
+  std::size_t degree = 0;
+  bool done = false;
+  net.for_each_candidate(p, [&](std::size_t i) {
+    if (done) {
+      return;
+    }
+    if (covers(net.camera(i), p)) {
+      ++degree;
+      if (degree >= k) {
+        done = true;
+      }
+    }
+  });
+  return degree >= k;
+}
+
+std::size_t implied_k(double theta) {
+  validate_theta(theta);
+  return static_cast<std::size_t>(std::ceil(geom::kPi / theta - 1e-12));
+}
+
+}  // namespace fvc::core

@@ -1,0 +1,86 @@
+/// \file full_view.hpp
+/// \brief Full-view coverage predicates — the paper's core concept.
+///
+/// Three point predicates, ordered by strength:
+///
+///   sufficient condition (Section IV, theta-sectors)
+///     ==> exact full-view coverage (Definition 1)
+///     ==> necessary condition (Section III, 2*theta-sectors)
+///
+/// The exact predicate follows directly from Definition 1: the safe facing
+/// directions form the union of arcs of half-width theta around the viewed
+/// directions of the covering sensors, so P is full-view covered iff the
+/// largest circular gap between consecutive viewed directions is at most
+/// 2*theta.  The sector conditions reproduce the paper's Figures 4 and 6
+/// constructions: partition the circle into sectors (angle 2*theta for the
+/// necessary condition, theta for the sufficient one, plus the extra
+/// remainder-bisector sector T_{k+1}) and require a covering sensor whose
+/// viewed direction lies in every sector.
+///
+/// Every predicate has two overloads: one on raw viewed directions (pure,
+/// easily property-tested) and one on a `Network` + point.
+
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "fvc/core/network.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// Outcome of the exact full-view test with diagnostic payload.
+struct FullViewResult {
+  bool covered = false;          ///< Definition-1 full-view coverage
+  double max_gap = 0.0;          ///< largest circular gap between viewed dirs
+  std::size_t covering_count = 0;///< number of sensors covering the point
+  /// An unsafe facing direction when not covered (bisector of the widest
+  /// gap), as a witness for debugging/visualisation.
+  std::optional<double> witness_unsafe_direction;
+};
+
+/// Exact full-view coverage from viewed directions.
+/// \pre theta in (0, pi]
+[[nodiscard]] FullViewResult full_view_covered(std::span<const double> viewed_dirs,
+                                               double theta);
+
+/// Exact full-view coverage of point `p` in `net`.
+[[nodiscard]] FullViewResult full_view_covered(const Network& net, const geom::Vec2& p,
+                                               double theta);
+
+/// True iff direction `d` is *safe* for the given viewed directions
+/// (Definition 1: some covering sensor within angular distance theta).
+[[nodiscard]] bool is_safe_direction(std::span<const double> viewed_dirs, double d,
+                                     double theta);
+
+/// Paper Section III: the necessary geometric condition.  The circle is cut
+/// into ceil(pi/theta) sectors of angle 2*theta from `start_line`, plus the
+/// remainder-bisector sector when 2*pi is not a multiple of 2*theta; every
+/// sector must contain a viewed direction.
+/// \pre theta in (0, pi]
+[[nodiscard]] bool meets_necessary_condition(std::span<const double> viewed_dirs,
+                                             double theta, double start_line = 0.0);
+[[nodiscard]] bool meets_necessary_condition(const Network& net, const geom::Vec2& p,
+                                             double theta, double start_line = 0.0);
+
+/// Paper Section IV: the sufficient geometric condition — same construction
+/// with sector angle theta (ceil(2*pi/theta) sectors plus remainder).
+/// \pre theta in (0, pi]
+[[nodiscard]] bool meets_sufficient_condition(std::span<const double> viewed_dirs,
+                                              double theta, double start_line = 0.0);
+[[nodiscard]] bool meets_sufficient_condition(const Network& net, const geom::Vec2& p,
+                                              double theta, double start_line = 0.0);
+
+/// k-coverage of a point (paper Section VII-B compares against
+/// k = ceil(pi/theta)).
+[[nodiscard]] bool k_covered(const Network& net, const geom::Vec2& p, std::size_t k);
+
+/// The k implied by full-view coverage with effective angle theta:
+/// ceil(pi/theta).
+[[nodiscard]] std::size_t implied_k(double theta);
+
+/// Validate theta; throws std::invalid_argument outside (0, pi].
+void validate_theta(double theta);
+
+}  // namespace fvc::core

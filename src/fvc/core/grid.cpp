@@ -1,0 +1,35 @@
+#include "fvc/core/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fvc::core {
+
+DenseGrid::DenseGrid(std::size_t side) : side_(side) {
+  if (side == 0) {
+    throw std::invalid_argument("DenseGrid: side must be >= 1");
+  }
+}
+
+DenseGrid DenseGrid::for_network_size(std::size_t n) {
+  if (n < 2) {
+    throw std::invalid_argument("DenseGrid::for_network_size: need n >= 2");
+  }
+  const double m = static_cast<double>(n) * std::log(static_cast<double>(n));
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(m)));
+  return DenseGrid(side);
+}
+
+geom::Vec2 DenseGrid::point(std::size_t i) const {
+  return point(i / side_, i % side_);
+}
+
+geom::Vec2 DenseGrid::point(std::size_t row, std::size_t col) const {
+  if (row >= side_ || col >= side_) {
+    throw std::out_of_range("DenseGrid::point: index outside grid");
+  }
+  const double s = static_cast<double>(side_);
+  return {(static_cast<double>(col) + 0.5) / s, (static_cast<double>(row) + 0.5) / s};
+}
+
+}  // namespace fvc::core

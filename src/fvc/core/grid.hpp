@@ -1,0 +1,82 @@
+/// \file grid.hpp
+/// \brief The dense grid M used to discretise area coverage (paper
+/// Section III-A, Figure 3).
+///
+/// Following Kumar et al. [6], the paper reduces coverage of the unit
+/// square to coverage of a sqrt(m) x sqrt(m) grid with m = n log n points.
+/// `DenseGrid::for_network_size(n)` reproduces that choice; an explicit
+/// side length is available for tests and cheaper experiments.
+
+#pragma once
+
+#include <cstddef>
+
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// A side x side lattice of points in the unit square (torus cell).
+/// Points sit at ((i + 1/2)/side, (j + 1/2)/side), the cell centres, so the
+/// grid is symmetric under the torus's translations.
+class DenseGrid {
+ public:
+  /// \pre side >= 1
+  explicit DenseGrid(std::size_t side);
+
+  /// The paper's density: m >= n*log(n) grid points, side = ceil(sqrt(m)).
+  /// \pre n >= 2
+  [[nodiscard]] static DenseGrid for_network_size(std::size_t n);
+
+  [[nodiscard]] std::size_t side() const { return side_; }
+  [[nodiscard]] std::size_t size() const { return side_ * side_; }
+
+  /// Grid point for flat index `i` in [0, size()).
+  [[nodiscard]] geom::Vec2 point(std::size_t i) const;
+
+  /// Grid point at (row, col).
+  [[nodiscard]] geom::Vec2 point(std::size_t row, std::size_t col) const;
+
+  /// Spacing between adjacent grid points.
+  [[nodiscard]] double spacing() const { return 1.0 / static_cast<double>(side_); }
+
+  /// Visit every grid point: fn(index, point).  Returning is unconditional;
+  /// use `any_point` / `all_points` for early exit.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i, point(i));
+    }
+  }
+
+  /// True when `pred(point)` holds for every grid point; exits early on the
+  /// first failure (the common case in the threshold experiments).
+  template <typename Pred>
+  [[nodiscard]] bool all_points(Pred&& pred) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!pred(point(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Number of grid points satisfying `pred`.
+  template <typename Pred>
+  [[nodiscard]] std::size_t count_points(Pred&& pred) const {
+    std::size_t c = 0;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(point(i))) {
+        ++c;
+      }
+    }
+    return c;
+  }
+
+ private:
+  std::size_t side_;
+};
+
+}  // namespace fvc::core

@@ -1,0 +1,103 @@
+#include "fvc/core/k_full_view.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::core {
+
+KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
+                                           double theta) {
+  validate_theta(theta);
+  if (viewed_dirs.empty()) {
+    return {0, 0.0};
+  }
+  // Sweep events: +1 at each arc start, -1 at each arc end.  The count
+  // after processing all events at angle x is the multiplicity on the open
+  // interval (x, next event).  The sweep starts just past 0, so it is
+  // seeded with the arcs that CROSS 0 (start > end after normalization) —
+  // arcs merely touching 0 at an endpoint are handled by their own events.
+  struct Event {
+    double angle;
+    int delta;  // +1 opens an arc, -1 closes one
+  };
+  std::vector<Event> events;
+  events.reserve(2 * viewed_dirs.size());
+  std::size_t initial = 0;  // arcs covering the interval just after 0
+  std::size_t whole_circle = 0;  // theta == pi: arcs of width 2*pi
+  for (double v : viewed_dirs) {
+    const double d = geom::normalize_angle(v);
+    if (theta >= geom::kPi) {
+      ++whole_circle;
+      continue;
+    }
+    const double start = geom::normalize_angle(d - theta);
+    const double end = geom::normalize_angle(d + theta);
+    events.push_back({start, +1});
+    events.push_back({end, -1});
+    if (start > end) {
+      ++initial;
+    }
+  }
+  initial += whole_circle;
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.angle != b.angle) {
+      return a.angle < b.angle;
+    }
+    return a.delta > b.delta;  // process opens before closes at equal angle
+  });
+  // Walk the circle from 0; the multiplicity between consecutive events is
+  // constant.  Track the minimum over the open intervals just after each
+  // close event (the sparsest directions) and at the interval before the
+  // first event.
+  std::size_t count = initial;
+  std::size_t best = initial;
+  // Direction achieving the minimum: sample just after the event where the
+  // minimum is attained (or 0 when the pre-event stretch is the minimum).
+  double best_dir = 0.0;
+  double prev_angle = 0.0;
+  for (const Event& e : events) {
+    // Interval (prev_angle, e.angle) carries `count`.
+    if (e.angle > prev_angle && count < best) {
+      best = count;
+      best_dir = 0.5 * (prev_angle + e.angle);
+    }
+    count = e.delta > 0 ? count + 1 : count - 1;
+    prev_angle = e.angle;
+  }
+  // Final stretch back to 2*pi (same multiplicity as the initial stretch).
+  if (geom::kTwoPi > prev_angle && count < best) {
+    best = count;
+    best_dir = geom::normalize_angle(0.5 * (prev_angle + geom::kTwoPi));
+  }
+  return {best, best_dir};
+}
+
+bool k_full_view_covered(std::span<const double> viewed_dirs, double theta,
+                         std::size_t k) {
+  if (k == 0) {
+    validate_theta(theta);
+    return true;
+  }
+  return min_direction_multiplicity(viewed_dirs, theta).min_multiplicity >= k;
+}
+
+KFullViewResult min_direction_multiplicity(const Network& net, const geom::Vec2& p,
+                                           double theta) {
+  const std::vector<double> dirs = net.viewed_directions(p);
+  return min_direction_multiplicity(dirs, theta);
+}
+
+bool k_full_view_covered(const Network& net, const geom::Vec2& p, double theta,
+                         std::size_t k) {
+  const std::vector<double> dirs = net.viewed_directions(p);
+  return k_full_view_covered(dirs, theta, k);
+}
+
+std::size_t full_view_degree(const Network& net, const geom::Vec2& p, double theta) {
+  return min_direction_multiplicity(net, p, theta).min_multiplicity;
+}
+
+}  // namespace fvc::core

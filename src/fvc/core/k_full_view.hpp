@@ -1,0 +1,60 @@
+/// \file k_full_view.hpp
+/// \brief k-full-view coverage — the fault-tolerance generalization.
+///
+/// The paper compares full-view coverage against classical k-coverage
+/// (Section VII-B) and motivates fault tolerance: "sensors often fail due
+/// to unexpected events".  The natural full-view analogue makes EVERY
+/// facing direction safe k times over: a point is k-full-view covered with
+/// effective angle theta if for every direction d there are at least k
+/// covering sensors with angle(d, PS) <= theta.  k = 1 recovers
+/// Definition 1; a k-full-view covered point remains (k-1)-full-view
+/// covered after any single sensor failure.
+///
+/// Algorithm: each covering sensor contributes a closed arc of half-width
+/// theta around its viewed direction; the point is k-full-view covered iff
+/// the minimum multiplicity of the arc arrangement over the whole circle
+/// is >= k.  A circular sweep over arc endpoints runs in O(C log C).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "fvc/core/network.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// Result of the multiplicity sweep.
+struct KFullViewResult {
+  std::size_t min_multiplicity = 0;  ///< min #sensors within theta over all directions
+  /// A direction achieving the minimum (a weakest facing direction; the
+  /// object looking this way is watched by the fewest cameras).
+  double weakest_direction = 0.0;
+};
+
+/// Minimum over all facing directions of the number of viewed directions
+/// within angular distance theta.  Empty input gives multiplicity 0 with
+/// weakest_direction 0.
+/// \pre theta in (0, pi]
+[[nodiscard]] KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
+                                                         double theta);
+
+/// True iff every facing direction has at least k covering sensors within
+/// theta.  k = 0 is trivially true; k = 1 is exact full-view coverage.
+[[nodiscard]] bool k_full_view_covered(std::span<const double> viewed_dirs, double theta,
+                                       std::size_t k);
+
+/// Network overloads.
+[[nodiscard]] KFullViewResult min_direction_multiplicity(const Network& net,
+                                                         const geom::Vec2& p, double theta);
+[[nodiscard]] bool k_full_view_covered(const Network& net, const geom::Vec2& p,
+                                       double theta, std::size_t k);
+
+/// The largest k for which the point is k-full-view covered (0 when not
+/// even 1-full-view covered).  Equals min_direction_multiplicity.
+[[nodiscard]] std::size_t full_view_degree(const Network& net, const geom::Vec2& p,
+                                           double theta);
+
+}  // namespace fvc::core

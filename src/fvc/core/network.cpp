@@ -1,0 +1,84 @@
+#include "fvc/core/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/geometry/torus.hpp"
+
+namespace fvc::core {
+
+Network::Network(std::vector<Camera> cameras, geom::SpaceMode mode)
+    : cameras_(std::move(cameras)), mode_(mode) {
+  std::vector<geom::Vec2> positions;
+  positions.reserve(cameras_.size());
+  for (Camera& cam : cameras_) {
+    validate(cam);
+    if (mode_ == geom::SpaceMode::kTorus) {
+      cam.position = geom::UnitTorus::wrap(cam.position);
+    } else if (cam.position.x < 0.0 || cam.position.x > 1.0 || cam.position.y < 0.0 ||
+               cam.position.y > 1.0) {
+      throw std::invalid_argument(
+          "Network: plane-mode camera positions must lie in [0,1]^2");
+    }
+    max_radius_ = std::max(max_radius_, cam.radius);
+    positions.push_back(cam.position);
+  }
+  if (!cameras_.empty()) {
+    // The bucket index always wraps; in plane mode the wrapped neighbour
+    // cells only contribute extra candidates, which the exact coverage
+    // test discards.
+    index_ = SpatialIndex(positions, std::max(max_radius_, 1e-6));
+  }
+}
+
+double Network::mean_sensing_area() const {
+  if (cameras_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const Camera& cam : cameras_) {
+    total += cam.sensing_area();
+  }
+  return total / static_cast<double>(cameras_.size());
+}
+
+std::vector<std::size_t> Network::covering_cameras(const geom::Vec2& p) const {
+  std::vector<std::size_t> out;
+  for_each_candidate(p, [&](std::size_t i) {
+    if (covers(cameras_[i], p, mode_)) {
+      out.push_back(i);
+    }
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Network::coverage_degree(const geom::Vec2& p) const {
+  std::size_t degree = 0;
+  for_each_candidate(p, [&](std::size_t i) {
+    if (covers(cameras_[i], p, mode_)) {
+      ++degree;
+    }
+  });
+  return degree;
+}
+
+bool Network::is_covered(const geom::Vec2& p) const { return coverage_degree(p) > 0; }
+
+std::vector<double> Network::viewed_directions(const geom::Vec2& p) const {
+  std::vector<double> dirs;
+  viewed_directions_into(p, dirs);
+  return dirs;
+}
+
+void Network::viewed_directions_into(const geom::Vec2& p, std::vector<double>& out) const {
+  out.clear();
+  for_each_candidate(p, [&](std::size_t i) {
+    if (const auto dir = viewed_direction_if_covered(cameras_[i], p, mode_)) {
+      out.push_back(*dir);
+    }
+  });
+}
+
+}  // namespace fvc::core

@@ -1,0 +1,77 @@
+/// \file network.hpp
+/// \brief A deployed camera sensor network with fast coverage queries.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/spatial_index.hpp"
+#include "fvc/geometry/space.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// An immutable set of deployed cameras plus a spatial index.
+/// Construction validates every camera; in torus mode positions are
+/// wrapped into the unit cell.  Queries are thread-safe (const object,
+/// no mutable state).
+class Network {
+ public:
+  Network() = default;
+
+  /// Build a network from deployed cameras.  In torus mode (the default,
+  /// matching the paper) positions are wrapped onto the torus; in plane
+  /// mode they must already lie in [0, 1]^2 (throws otherwise) and no
+  /// coverage wraps across the boundary.
+  explicit Network(std::vector<Camera> cameras,
+                   geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+  /// The geometry this network computes coverage in.
+  [[nodiscard]] geom::SpaceMode mode() const { return mode_; }
+
+  [[nodiscard]] std::span<const Camera> cameras() const { return cameras_; }
+  [[nodiscard]] std::size_t size() const { return cameras_.size(); }
+  [[nodiscard]] bool empty() const { return cameras_.empty(); }
+  [[nodiscard]] const Camera& camera(std::size_t i) const { return cameras_.at(i); }
+
+  /// Largest sensing radius in the network (the index's query radius).
+  [[nodiscard]] double max_radius() const { return max_radius_; }
+
+  /// Sum of `sensing_area()` over all cameras divided by the count — the
+  /// empirical s_c of this deployment.
+  [[nodiscard]] double mean_sensing_area() const;
+
+  /// Indices of all cameras covering point `p`.
+  [[nodiscard]] std::vector<std::size_t> covering_cameras(const geom::Vec2& p) const;
+
+  /// Number of cameras covering `p` (coverage degree; k-coverage queries).
+  [[nodiscard]] std::size_t coverage_degree(const geom::Vec2& p) const;
+
+  /// True when at least one camera covers `p` (1-coverage).
+  [[nodiscard]] bool is_covered(const geom::Vec2& p) const;
+
+  /// Viewed directions (angles of P->S on the torus, in [0, 2*pi)) of all
+  /// cameras covering `p`.  This is the input to every full-view predicate.
+  [[nodiscard]] std::vector<double> viewed_directions(const geom::Vec2& p) const;
+
+  /// Append the viewed directions of cameras covering `p` to `out`
+  /// (allocation-free hot path for the region evaluators).
+  void viewed_directions_into(const geom::Vec2& p, std::vector<double>& out) const;
+
+  /// Visit `fn(camera_index)` for every camera whose bucket neighbourhood
+  /// contains `p` (superset of the covering set).
+  template <typename Fn>
+  void for_each_candidate(const geom::Vec2& p, Fn&& fn) const {
+    index_.for_each_candidate(p, std::forward<Fn>(fn));
+  }
+
+ private:
+  std::vector<Camera> cameras_;
+  SpatialIndex index_;
+  double max_radius_ = 0.0;
+  geom::SpaceMode mode_ = geom::SpaceMode::kTorus;
+};
+
+}  // namespace fvc::core

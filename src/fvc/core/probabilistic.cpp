@@ -1,0 +1,122 @@
+#include "fvc/core/probabilistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/torus.hpp"
+
+namespace fvc::core {
+
+void ProbabilisticModel::validate() const {
+  if (!(certain_fraction >= 0.0) || certain_fraction > 1.0) {
+    throw std::invalid_argument("ProbabilisticModel: certain_fraction in [0, 1]");
+  }
+  if (decay < 0.0) {
+    throw std::invalid_argument("ProbabilisticModel: decay must be >= 0");
+  }
+}
+
+double detection_probability(const Camera& cam, const geom::Vec2& p,
+                             const ProbabilisticModel& model, geom::SpaceMode mode) {
+  model.validate();
+  if (!covers(cam, p, mode)) {
+    return 0.0;
+  }
+  const double d = geom::space_distance(cam.position, p, mode);
+  const double r_certain = model.certain_fraction * cam.radius;
+  if (d <= r_certain) {
+    return 1.0;
+  }
+  return std::exp(-model.decay * (d - r_certain));
+}
+
+std::vector<WeightedDirection> weighted_directions(const Network& net,
+                                                   const geom::Vec2& p,
+                                                   const ProbabilisticModel& model) {
+  model.validate();
+  std::vector<WeightedDirection> out;
+  net.for_each_candidate(p, [&](std::size_t i) {
+    const Camera& cam = net.camera(i);
+    const double prob = detection_probability(cam, p, model, net.mode());
+    if (prob > 0.0) {
+      out.push_back({viewed_direction(cam, p, net.mode()), prob});
+    }
+  });
+  return out;
+}
+
+double full_view_confidence(std::span<const WeightedDirection> dirs, double theta) {
+  validate_theta(theta);
+  if (dirs.empty()) {
+    return 0.0;
+  }
+  // M(d) = max{ p_i : angular_distance(d, v_i) <= theta } is piecewise
+  // constant between consecutive arc endpoints; evaluate at each interval
+  // midpoint and take the minimum.  O(C^2) with C = dirs.size().
+  std::vector<double> breakpoints;
+  breakpoints.reserve(2 * dirs.size());
+  for (const WeightedDirection& wd : dirs) {
+    breakpoints.push_back(geom::normalize_angle(wd.direction - theta));
+    breakpoints.push_back(geom::normalize_angle(wd.direction + theta));
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  const auto envelope_at = [&](double d) {
+    double best = 0.0;
+    for (const WeightedDirection& wd : dirs) {
+      if (geom::angular_distance(wd.direction, d) <= theta) {
+        best = std::max(best, wd.probability);
+      }
+    }
+    return best;
+  };
+  double confidence = 1.0;
+  const std::size_t k = breakpoints.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const double a = breakpoints[i];
+    const double b = breakpoints[(i + 1) % k];
+    const double mid = geom::normalize_angle(a + 0.5 * geom::ccw_delta(a, b));
+    confidence = std::min(confidence, envelope_at(mid));
+    if (confidence == 0.0) {
+      break;
+    }
+  }
+  return confidence;
+}
+
+double full_view_confidence(const Network& net, const geom::Vec2& p, double theta,
+                            const ProbabilisticModel& model) {
+  const auto dirs = weighted_directions(net, p, model);
+  return full_view_confidence(dirs, theta);
+}
+
+bool full_view_covered_with_confidence(const Network& net, const geom::Vec2& p,
+                                       double theta, const ProbabilisticModel& model,
+                                       double p_min) {
+  if (!(p_min > 0.0) || p_min > 1.0) {
+    throw std::invalid_argument("full_view_covered_with_confidence: p_min in (0, 1]");
+  }
+  return full_view_confidence(net, p, theta, model) >= p_min;
+}
+
+double effective_radius(double r_max, const ProbabilisticModel& model, double p_min) {
+  model.validate();
+  if (!(r_max > 0.0)) {
+    throw std::invalid_argument("effective_radius: r_max must be positive");
+  }
+  if (!(p_min > 0.0) || p_min > 1.0) {
+    throw std::invalid_argument("effective_radius: p_min in (0, 1]");
+  }
+  const double r_certain = model.certain_fraction * r_max;
+  if (model.decay == 0.0 || p_min == 1.0) {
+    return p_min == 1.0 ? r_certain : r_max;
+  }
+  // exp(-decay * (r - r_certain)) >= p_min  =>  r <= r_certain - log(p_min)/decay
+  const double r = r_certain - std::log(p_min) / model.decay;
+  return std::min(r, r_max);
+}
+
+}  // namespace fvc::core

@@ -1,0 +1,83 @@
+/// \file probabilistic.hpp
+/// \brief Probabilistic sensing — the extension named in the paper's
+/// conclusion ("extending our results in probabilistic sensing models").
+///
+/// The binary sector model detects perfectly inside the sector.  The
+/// standard probabilistic refinement (Zou & Chakrabarty style, adapted to
+/// sectors) keeps the angular gate hard but lets radial detection decay:
+///
+///   p(d) = 1                                 for d <= r_certain
+///   p(d) = exp(-decay * (d - r_certain))     for r_certain < d <= r_max
+///   p(d) = 0                                 for d > r_max
+///
+/// Full-view coverage generalizes to a CONFIDENCE: for a facing direction
+/// d, the detection confidence is the best detection probability among
+/// sensors whose viewed direction is within theta of d; the full-view
+/// confidence of a point is the minimum over all facing directions.  The
+/// binary model is the limit decay -> 0 (confidence in {0, 1}).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// Radial detection-decay model shared by the whole fleet.
+struct ProbabilisticModel {
+  double certain_fraction = 0.5;  ///< r_certain = certain_fraction * camera radius
+  double decay = 20.0;            ///< exponential decay rate beyond r_certain
+
+  /// Validate; throws std::invalid_argument when certain_fraction is
+  /// outside [0, 1] or decay is negative.
+  void validate() const;
+};
+
+/// Detection probability of camera `cam` for point `p` under `model`.
+/// Zero outside the angular gate or beyond the camera radius; the camera's
+/// own radius is r_max.
+[[nodiscard]] double detection_probability(const Camera& cam, const geom::Vec2& p,
+                                           const ProbabilisticModel& model,
+                                           geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+/// One covering sensor's contribution: its viewed direction and detection
+/// probability at the queried point.
+struct WeightedDirection {
+  double direction = 0.0;
+  double probability = 0.0;
+};
+
+/// All sensors with positive detection probability for `p`.
+[[nodiscard]] std::vector<WeightedDirection> weighted_directions(
+    const Network& net, const geom::Vec2& p, const ProbabilisticModel& model);
+
+/// Full-view detection confidence of a point: min over facing directions
+/// of the max detection probability among sensors within theta.  Computed
+/// exactly by evaluating the candidate minima (gap bisectors and arc
+/// endpoints of the weighted arrangement).
+/// \pre theta in (0, pi]
+[[nodiscard]] double full_view_confidence(std::span<const WeightedDirection> dirs,
+                                          double theta);
+[[nodiscard]] double full_view_confidence(const Network& net, const geom::Vec2& p,
+                                          double theta, const ProbabilisticModel& model);
+
+/// Thresholded predicate: full-view covered with confidence >= `p_min`.
+/// Equivalent to binary full-view coverage over the sub-fleet of sensors
+/// whose detection probability reaches p_min.
+[[nodiscard]] bool full_view_covered_with_confidence(const Network& net,
+                                                     const geom::Vec2& p, double theta,
+                                                     const ProbabilisticModel& model,
+                                                     double p_min);
+
+/// The radius at which detection probability first drops below `p_min`
+/// for a camera of radius r_max — the "effective radius" that converts a
+/// probabilistic requirement back into the paper's binary theory (and
+/// hence lets the CSA theorems price probabilistic fleets).
+[[nodiscard]] double effective_radius(double r_max, const ProbabilisticModel& model,
+                                      double p_min);
+
+}  // namespace fvc::core

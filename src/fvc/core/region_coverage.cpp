@@ -1,0 +1,127 @@
+#include "fvc/core/region_coverage.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "fvc/core/k_full_view.hpp"
+
+namespace fvc::core {
+
+namespace {
+double frac(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double RegionCoverageStats::fraction_covered_1() const {
+  return frac(covered_1, total_points);
+}
+double RegionCoverageStats::fraction_necessary() const {
+  return frac(necessary_ok, total_points);
+}
+double RegionCoverageStats::fraction_full_view() const {
+  return frac(full_view_ok, total_points);
+}
+double RegionCoverageStats::fraction_sufficient() const {
+  return frac(sufficient_ok, total_points);
+}
+double RegionCoverageStats::fraction_k_covered() const {
+  return frac(k_covered_ok, total_points);
+}
+
+RegionCoverageStats evaluate_region(const Network& net, const DenseGrid& grid,
+                                    double theta) {
+  validate_theta(theta);
+  RegionCoverageStats stats;
+  stats.total_points = grid.size();
+  const std::size_t k = implied_k(theta);
+  bool first = true;
+  std::vector<double> dirs;
+  grid.for_each([&](std::size_t, const geom::Vec2& p) {
+    net.viewed_directions_into(p, dirs);
+    if (!dirs.empty()) {
+      ++stats.covered_1;
+    }
+    if (dirs.size() >= k) {
+      ++stats.k_covered_ok;
+    }
+    const FullViewResult fv = full_view_covered(dirs, theta);
+    if (fv.covered) {
+      ++stats.full_view_ok;
+    }
+    if (meets_necessary_condition(dirs, theta)) {
+      ++stats.necessary_ok;
+    }
+    if (meets_sufficient_condition(dirs, theta)) {
+      ++stats.sufficient_ok;
+    }
+    if (first) {
+      stats.min_max_gap = stats.max_max_gap = fv.max_gap;
+      first = false;
+    } else {
+      stats.min_max_gap = std::min(stats.min_max_gap, fv.max_gap);
+      stats.max_max_gap = std::max(stats.max_max_gap, fv.max_gap);
+    }
+  });
+  return stats;
+}
+
+bool grid_all_necessary(const Network& net, const DenseGrid& grid, double theta) {
+  validate_theta(theta);
+  std::vector<double> dirs;
+  return grid.all_points([&](const geom::Vec2& p) {
+    net.viewed_directions_into(p, dirs);
+    return meets_necessary_condition(dirs, theta);
+  });
+}
+
+bool grid_all_sufficient(const Network& net, const DenseGrid& grid, double theta) {
+  validate_theta(theta);
+  std::vector<double> dirs;
+  return grid.all_points([&](const geom::Vec2& p) {
+    net.viewed_directions_into(p, dirs);
+    return meets_sufficient_condition(dirs, theta);
+  });
+}
+
+bool grid_all_full_view(const Network& net, const DenseGrid& grid, double theta) {
+  validate_theta(theta);
+  std::vector<double> dirs;
+  return grid.all_points([&](const geom::Vec2& p) {
+    net.viewed_directions_into(p, dirs);
+    return full_view_covered(dirs, theta).covered;
+  });
+}
+
+bool grid_all_k_covered(const Network& net, const DenseGrid& grid, std::size_t k) {
+  return grid.all_points([&](const geom::Vec2& p) { return k_covered(net, p, k); });
+}
+
+std::size_t min_full_view_degree(const Network& net, const DenseGrid& grid, double theta) {
+  validate_theta(theta);
+  std::size_t min_degree = std::numeric_limits<std::size_t>::max();
+  std::vector<double> dirs;
+  grid.for_each([&](std::size_t, const geom::Vec2& p) {
+    if (min_degree == 0) {
+      return;
+    }
+    net.viewed_directions_into(p, dirs);
+    min_degree =
+        std::min(min_degree, min_direction_multiplicity(dirs, theta).min_multiplicity);
+  });
+  return min_degree == std::numeric_limits<std::size_t>::max() ? 0 : min_degree;
+}
+
+double fraction_k_full_view(const Network& net, const DenseGrid& grid, double theta,
+                            std::size_t k) {
+  validate_theta(theta);
+  std::vector<double> dirs;
+  const std::size_t hits = grid.count_points([&](const geom::Vec2& p) {
+    net.viewed_directions_into(p, dirs);
+    return k_full_view_covered(dirs, theta, k);
+  });
+  return static_cast<double>(hits) / static_cast<double>(grid.size());
+}
+
+}  // namespace fvc::core

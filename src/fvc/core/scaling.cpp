@@ -1,0 +1,61 @@
+#include "fvc/core/scaling.hpp"
+
+#include <stdexcept>
+
+namespace fvc::core {
+
+RegionScale::RegionScale(double side_length) : side_(side_length) {
+  if (!(side_length > 0.0)) {
+    throw std::invalid_argument("RegionScale: side_length must be positive");
+  }
+}
+
+geom::Vec2 RegionScale::to_unit(const geom::Vec2& physical) const {
+  return physical / side_;
+}
+
+geom::Vec2 RegionScale::to_physical(const geom::Vec2& unit) const { return unit * side_; }
+
+double RegionScale::length_to_unit(double physical) const { return physical / side_; }
+
+double RegionScale::length_to_physical(double unit) const { return unit * side_; }
+
+double RegionScale::area_to_unit(double physical) const {
+  return physical / (side_ * side_);
+}
+
+double RegionScale::area_to_physical(double unit) const { return unit * side_ * side_; }
+
+Camera RegionScale::camera_to_unit(const Camera& physical) const {
+  Camera cam = physical;
+  cam.position = to_unit(physical.position);
+  cam.radius = length_to_unit(physical.radius);
+  return cam;
+}
+
+Camera RegionScale::camera_to_physical(const Camera& unit) const {
+  Camera cam = unit;
+  cam.position = to_physical(unit.position);
+  cam.radius = length_to_physical(unit.radius);
+  return cam;
+}
+
+std::vector<Camera> RegionScale::fleet_to_unit(std::span<const Camera> physical) const {
+  std::vector<Camera> out;
+  out.reserve(physical.size());
+  for (const Camera& cam : physical) {
+    out.push_back(camera_to_unit(cam));
+  }
+  return out;
+}
+
+std::vector<Camera> RegionScale::fleet_to_physical(std::span<const Camera> unit) const {
+  std::vector<Camera> out;
+  out.reserve(unit.size());
+  for (const Camera& cam : unit) {
+    out.push_back(camera_to_physical(cam));
+  }
+  return out;
+}
+
+}  // namespace fvc::core

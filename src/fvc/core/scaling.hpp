@@ -1,0 +1,56 @@
+/// \file scaling.hpp
+/// \brief Physical units: work on an L x L region instead of the unit
+/// square.
+///
+/// All theory and simulation run on the unit square (the paper's setting).
+/// Real deployments are specified in meters.  `RegionScale` converts both
+/// ways: positions and radii divide by L going in, multiply going out;
+/// angles and counts are scale-free.  Because the CSA is an AREA, it
+/// converts by L^2 — `csa_physical` below spells that out so planners
+/// don't mis-convert.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::core {
+
+/// A square physical region of side `side_length` (any consistent unit).
+class RegionScale {
+ public:
+  /// \throws std::invalid_argument unless side_length > 0.
+  explicit RegionScale(double side_length);
+
+  [[nodiscard]] double side_length() const { return side_; }
+
+  /// Physical -> unit-square coordinates.
+  [[nodiscard]] geom::Vec2 to_unit(const geom::Vec2& physical) const;
+  /// Unit-square -> physical coordinates.
+  [[nodiscard]] geom::Vec2 to_physical(const geom::Vec2& unit) const;
+
+  /// Length conversions.
+  [[nodiscard]] double length_to_unit(double physical) const;
+  [[nodiscard]] double length_to_physical(double unit) const;
+
+  /// Area conversions (sensing areas, CSA values).
+  [[nodiscard]] double area_to_unit(double physical) const;
+  [[nodiscard]] double area_to_physical(double unit) const;
+
+  /// Convert a physically-specified camera (position and radius in
+  /// physical units; orientation/fov unchanged) into unit coordinates.
+  [[nodiscard]] Camera camera_to_unit(const Camera& physical) const;
+  [[nodiscard]] Camera camera_to_physical(const Camera& unit) const;
+
+  /// Whole-fleet conveniences.
+  [[nodiscard]] std::vector<Camera> fleet_to_unit(std::span<const Camera> physical) const;
+  [[nodiscard]] std::vector<Camera> fleet_to_physical(std::span<const Camera> unit) const;
+
+ private:
+  double side_;
+};
+
+}  // namespace fvc::core

@@ -1,0 +1,63 @@
+#include "fvc/deploy/cluster.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/deploy/orientation.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/torus.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::deploy {
+
+void ClusterConfig::validate() const {
+  if (!(parent_intensity > 0.0) || !(mean_children > 0.0) || !(spread > 0.0)) {
+    throw std::invalid_argument("ClusterConfig: all parameters must be positive");
+  }
+}
+
+std::vector<core::Camera> deploy_matern_cluster(const core::HeterogeneousProfile& profile,
+                                                const ClusterConfig& config,
+                                                stats::Pcg32& rng) {
+  config.validate();
+  const auto groups = profile.groups();
+  std::vector<core::Camera> cameras;
+  const std::uint64_t parents = stats::poisson(rng, config.parent_intensity);
+  cameras.reserve(static_cast<std::size_t>(config.expected_count()) + 16);
+  for (std::uint64_t p = 0; p < parents; ++p) {
+    const geom::Vec2 centre{stats::uniform01(rng), stats::uniform01(rng)};
+    const std::uint64_t children = stats::poisson(rng, config.mean_children);
+    for (std::uint64_t c = 0; c < children; ++c) {
+      // Uniform in the disc: r = spread * sqrt(u), angle uniform.
+      const double r = config.spread * std::sqrt(stats::uniform01(rng));
+      const double a = stats::uniform_in(rng, 0.0, geom::kTwoPi);
+      core::Camera cam;
+      cam.position = geom::UnitTorus::wrap(centre + geom::Vec2::from_angle(a) * r);
+      cam.orientation = random_orientation(rng);
+      // Group by thinning, as in the Poisson deployment.
+      const double u = stats::uniform01(rng);
+      double acc = 0.0;
+      std::size_t y = groups.size() - 1;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        acc += groups[g].fraction;
+        if (u < acc) {
+          y = g;
+          break;
+        }
+      }
+      cam.radius = groups[y].radius;
+      cam.fov = groups[y].fov;
+      cam.group = static_cast<std::uint32_t>(y);
+      cameras.push_back(cam);
+    }
+  }
+  return cameras;
+}
+
+core::Network deploy_matern_cluster_network(const core::HeterogeneousProfile& profile,
+                                            const ClusterConfig& config,
+                                            stats::Pcg32& rng) {
+  return core::Network(deploy_matern_cluster(profile, config, rng));
+}
+
+}  // namespace fvc::deploy

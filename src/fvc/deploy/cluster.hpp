@@ -1,0 +1,53 @@
+/// \file cluster.hpp
+/// \brief Clustered random deployment — the Matern cluster process.
+///
+/// Airdrops rarely produce perfectly independent positions: sensors leave
+/// the aircraft in sticks and land in clumps.  The standard point-process
+/// model is the Matern cluster process: parent locations form a Poisson
+/// process of intensity `parents`, each parent spawns Poisson(`mean_children`)
+/// sensors placed uniformly in a disc of radius `spread` around it (torus
+/// wrapped).  The overall intensity is parents * mean_children; letting
+/// spread -> large recovers uniform-like behaviour, spread -> 0 degenerates
+/// to multi-sensor piles.  The CLUSTER bench measures how clumping wastes
+/// sensing area relative to the paper's uniform assumption at equal
+/// density.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/camera_group.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::deploy {
+
+/// Matern cluster process parameters.
+struct ClusterConfig {
+  double parent_intensity = 20.0;  ///< expected number of cluster centres
+  double mean_children = 10.0;     ///< expected sensors per cluster
+  double spread = 0.05;            ///< cluster disc radius
+
+  /// Expected total sensor count.
+  [[nodiscard]] double expected_count() const {
+    return parent_intensity * mean_children;
+  }
+
+  /// \throws std::invalid_argument unless all parameters are positive.
+  void validate() const;
+};
+
+/// Deploy a Matern-clustered fleet of `profile` cameras (group membership
+/// by thinning, orientations uniform — only POSITIONS are clustered).
+[[nodiscard]] std::vector<core::Camera> deploy_matern_cluster(
+    const core::HeterogeneousProfile& profile, const ClusterConfig& config,
+    stats::Pcg32& rng);
+
+/// As `deploy_matern_cluster`, wrapped into a Network.
+[[nodiscard]] core::Network deploy_matern_cluster_network(
+    const core::HeterogeneousProfile& profile, const ClusterConfig& config,
+    stats::Pcg32& rng);
+
+}  // namespace fvc::deploy

@@ -1,0 +1,72 @@
+#include "fvc/deploy/lattice.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/deploy/orientation.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::deploy {
+
+std::vector<geom::Vec2> triangular_lattice_sites(double l) {
+  if (!(l > 0.0) || l > 1.0) {
+    throw std::invalid_argument("triangular_lattice_sites: edge must be in (0, 1]");
+  }
+  const double row_spacing_target = l * std::sqrt(3.0) / 2.0;
+  const auto rows =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(1.0 / row_spacing_target)));
+  const auto cols = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(1.0 / l)));
+  const double dy = 1.0 / static_cast<double>(rows);
+  const double dx = 1.0 / static_cast<double>(cols);
+  std::vector<geom::Vec2> sites;
+  sites.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double offset = (r % 2 == 0) ? 0.0 : 0.5 * dx;
+    for (std::size_t c = 0; c < cols; ++c) {
+      sites.push_back({offset + static_cast<double>(c) * dx,
+                       (static_cast<double>(r) + 0.5) * dy});
+    }
+  }
+  return sites;
+}
+
+std::vector<core::Camera> deploy_triangular_lattice(const LatticeConfig& cfg) {
+  if (!(cfg.radius > 0.0)) {
+    throw std::invalid_argument("deploy_triangular_lattice: radius must be positive");
+  }
+  if (!(cfg.fov > 0.0) || cfg.fov > geom::kTwoPi) {
+    throw std::invalid_argument("deploy_triangular_lattice: fov must be in (0, 2*pi]");
+  }
+  if (cfg.per_site == 0) {
+    throw std::invalid_argument("deploy_triangular_lattice: per_site must be >= 1");
+  }
+  const auto sites = triangular_lattice_sites(cfg.edge);
+  const auto fan = evenly_spaced_orientations(cfg.per_site, cfg.orientation_offset);
+  std::vector<core::Camera> cameras;
+  cameras.reserve(sites.size() * cfg.per_site);
+  for (const geom::Vec2& site : sites) {
+    for (double orientation : fan) {
+      core::Camera cam;
+      cam.position = site;
+      cam.orientation = orientation;
+      cam.radius = cfg.radius;
+      cam.fov = cfg.fov;
+      cam.group = 0;
+      cameras.push_back(cam);
+    }
+  }
+  return cameras;
+}
+
+core::Network deploy_triangular_lattice_network(const LatticeConfig& cfg) {
+  return core::Network(deploy_triangular_lattice(cfg));
+}
+
+std::size_t per_site_for_fov(double fov) {
+  if (!(fov > 0.0) || fov > geom::kTwoPi) {
+    throw std::invalid_argument("per_site_for_fov: fov must be in (0, 2*pi]");
+  }
+  return static_cast<std::size_t>(std::ceil(geom::kTwoPi / fov - 1e-12));
+}
+
+}  // namespace fvc::deploy

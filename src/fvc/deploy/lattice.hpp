@@ -1,0 +1,54 @@
+/// \file lattice.hpp
+/// \brief Deterministic triangular-lattice deployment — the Wang & Cao [4]
+/// style baseline (paper Section VII-C).
+///
+/// Sites form a triangular lattice of edge `l` on the unit torus; every
+/// site hosts `per_site` cameras facing evenly spaced directions.  A fan of
+/// `per_site >= ceil(2*pi/fov)` cameras makes each site effectively
+/// omnidirectional, so any object within the radius of a site is covered
+/// by it; full-view coverage then comes from the sites *surrounding* an
+/// object: neighbouring lattice sites are spaced 60 degrees apart as seen
+/// from an interior point, so the construction full-view covers the region
+/// for effective angles theta >= pi/6 once the radius reaches past the
+/// first lattice ring.  This is the "careful arrangement" alternative the
+/// paper's random-deployment results are measured against.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/network.hpp"
+
+namespace fvc::deploy {
+
+/// Parameters of the lattice baseline.
+struct LatticeConfig {
+  double edge = 0.1;          ///< triangular-lattice edge length l
+  double radius = 0.2;        ///< sensing radius of every camera
+  double fov = 1.0;           ///< angle of view of every camera
+  std::size_t per_site = 1;   ///< cameras per lattice site
+  double orientation_offset = 0.0;  ///< rotation of the per-site fan
+};
+
+/// Sites of a triangular lattice of edge `l` on the unit torus: rows at
+/// vertical spacing l*sqrt(3)/2, odd rows offset by l/2.  Row/column counts
+/// are rounded so the pattern tiles the torus without seams (the realized
+/// spacing may therefore be slightly below `l`).
+/// \pre 0 < l <= 1
+[[nodiscard]] std::vector<geom::Vec2> triangular_lattice_sites(double l);
+
+/// Deploy the lattice baseline.
+/// \throws std::invalid_argument on non-positive edge/radius/fov or zero
+/// per_site.
+[[nodiscard]] std::vector<core::Camera> deploy_triangular_lattice(const LatticeConfig& cfg);
+
+/// As `deploy_triangular_lattice`, wrapped into a Network.
+[[nodiscard]] core::Network deploy_triangular_lattice_network(const LatticeConfig& cfg);
+
+/// Cameras per site that make a site omnidirectional: ceil(2*pi / fov).
+/// \pre fov in (0, 2*pi]
+[[nodiscard]] std::size_t per_site_for_fov(double fov);
+
+}  // namespace fvc::deploy

@@ -1,0 +1,33 @@
+#include "fvc/deploy/orientation.hpp"
+
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::deploy {
+
+double random_orientation(stats::Pcg32& rng) {
+  return stats::uniform_in(rng, 0.0, geom::kTwoPi);
+}
+
+void randomize_orientations(std::vector<core::Camera>& cameras, stats::Pcg32& rng) {
+  for (core::Camera& cam : cameras) {
+    cam.orientation = random_orientation(rng);
+  }
+}
+
+std::vector<double> evenly_spaced_orientations(std::size_t count, double offset) {
+  if (count == 0) {
+    throw std::invalid_argument("evenly_spaced_orientations: count must be >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    out.push_back(geom::normalize_angle(
+        offset + static_cast<double>(j) * geom::kTwoPi / static_cast<double>(count)));
+  }
+  return out;
+}
+
+}  // namespace fvc::deploy

@@ -1,0 +1,27 @@
+/// \file orientation.hpp
+/// \brief Camera orientation assignment (paper Section II-A: orientations
+/// are uniform over all directions and fixed once deployed).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::deploy {
+
+/// One uniformly random orientation in [0, 2*pi).
+[[nodiscard]] double random_orientation(stats::Pcg32& rng);
+
+/// Re-randomize the orientation of every camera in `cameras`.
+void randomize_orientations(std::vector<core::Camera>& cameras, stats::Pcg32& rng);
+
+/// `count` evenly spaced directions starting at `offset`: offset + j*2*pi/count.
+/// Used by the deterministic lattice baseline to face cameras evenly around
+/// every site.
+[[nodiscard]] std::vector<double> evenly_spaced_orientations(std::size_t count,
+                                                             double offset = 0.0);
+
+}  // namespace fvc::deploy

@@ -1,0 +1,47 @@
+#include "fvc/deploy/poisson.hpp"
+
+#include <stdexcept>
+
+#include "fvc/deploy/orientation.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::deploy {
+
+std::vector<core::Camera> deploy_poisson(const core::HeterogeneousProfile& profile,
+                                         double density, stats::Pcg32& rng) {
+  if (!(density > 0.0)) {
+    throw std::invalid_argument("deploy_poisson: density must be positive");
+  }
+  const std::uint64_t count = stats::poisson(rng, density);
+  const auto groups = profile.groups();
+  std::vector<core::Camera> cameras;
+  cameras.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Thinning: pick the group by the cumulative fractions.
+    const double u = stats::uniform01(rng);
+    double acc = 0.0;
+    std::size_t y = groups.size() - 1;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      acc += groups[g].fraction;
+      if (u < acc) {
+        y = g;
+        break;
+      }
+    }
+    core::Camera cam;
+    cam.position = {stats::uniform01(rng), stats::uniform01(rng)};
+    cam.orientation = random_orientation(rng);
+    cam.radius = groups[y].radius;
+    cam.fov = groups[y].fov;
+    cam.group = static_cast<std::uint32_t>(y);
+    cameras.push_back(cam);
+  }
+  return cameras;
+}
+
+core::Network deploy_poisson_network(const core::HeterogeneousProfile& profile,
+                                     double density, stats::Pcg32& rng) {
+  return core::Network(deploy_poisson(profile, density, rng));
+}
+
+}  // namespace fvc::deploy

@@ -1,0 +1,31 @@
+/// \file poisson.hpp
+/// \brief Poisson point process deployment (paper Section V).
+///
+/// A 2-D Poisson process of density n on the unit torus: the total sensor
+/// count is Poisson(n) and positions are conditionally i.i.d. uniform.
+/// Heterogeneity uses Poisson thinning — each sensor joins group y with
+/// probability c_y independently — so group y is itself a Poisson process
+/// of density n_y = c_y * n, exactly the model of Theorems 3 and 4.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/camera_group.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::deploy {
+
+/// Deploy a Poisson(density) number of cameras; group membership by
+/// independent thinning with the profile fractions.
+[[nodiscard]] std::vector<core::Camera> deploy_poisson(
+    const core::HeterogeneousProfile& profile, double density, stats::Pcg32& rng);
+
+/// As `deploy_poisson`, wrapped into a Network.
+[[nodiscard]] core::Network deploy_poisson_network(
+    const core::HeterogeneousProfile& profile, double density, stats::Pcg32& rng);
+
+}  // namespace fvc::deploy

@@ -1,0 +1,33 @@
+#include "fvc/deploy/uniform.hpp"
+
+#include "fvc/deploy/orientation.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::deploy {
+
+std::vector<core::Camera> deploy_uniform(const core::HeterogeneousProfile& profile,
+                                         std::size_t n, stats::Pcg32& rng) {
+  const auto counts = profile.counts(n);
+  const auto groups = profile.groups();
+  std::vector<core::Camera> cameras;
+  cameras.reserve(n);
+  for (std::size_t y = 0; y < groups.size(); ++y) {
+    for (std::size_t i = 0; i < counts[y]; ++i) {
+      core::Camera cam;
+      cam.position = {stats::uniform01(rng), stats::uniform01(rng)};
+      cam.orientation = random_orientation(rng);
+      cam.radius = groups[y].radius;
+      cam.fov = groups[y].fov;
+      cam.group = static_cast<std::uint32_t>(y);
+      cameras.push_back(cam);
+    }
+  }
+  return cameras;
+}
+
+core::Network deploy_uniform_network(const core::HeterogeneousProfile& profile,
+                                     std::size_t n, stats::Pcg32& rng) {
+  return core::Network(deploy_uniform(profile, n, rng));
+}
+
+}  // namespace fvc::deploy

@@ -1,0 +1,28 @@
+/// \file uniform.hpp
+/// \brief Uniform random deployment (paper Section II-A): exactly n sensors
+/// placed i.i.d. uniformly on the unit torus with i.i.d. uniform
+/// orientations; group y receives n_y = c_y * n sensors.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/camera_group.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::deploy {
+
+/// Deploy exactly `n` cameras of `profile` uniformly at random.  Group
+/// head-counts follow the profile's largest-remainder apportionment, so the
+/// realized counts are deterministic given (profile, n).
+[[nodiscard]] std::vector<core::Camera> deploy_uniform(
+    const core::HeterogeneousProfile& profile, std::size_t n, stats::Pcg32& rng);
+
+/// As `deploy_uniform`, wrapped into a query-ready Network.
+[[nodiscard]] core::Network deploy_uniform_network(
+    const core::HeterogeneousProfile& profile, std::size_t n, stats::Pcg32& rng);
+
+}  // namespace fvc::deploy

@@ -1,0 +1,86 @@
+#include "fvc/deploy/von_mises.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::deploy {
+
+double sample_von_mises(stats::Pcg32& rng, double mu, double kappa) {
+  if (kappa < 0.0) {
+    throw std::invalid_argument("sample_von_mises: kappa must be >= 0");
+  }
+  if (kappa == 0.0) {
+    return stats::uniform_in(rng, 0.0, geom::kTwoPi);
+  }
+  // Best & Fisher (1979) wrapped-Cauchy envelope rejection.
+  const double tau = 1.0 + std::sqrt(1.0 + 4.0 * kappa * kappa);
+  const double rho = (tau - std::sqrt(2.0 * tau)) / (2.0 * kappa);
+  const double r = (1.0 + rho * rho) / (2.0 * rho);
+  for (int attempts = 0; attempts < 10000; ++attempts) {
+    const double u1 = stats::uniform01(rng);
+    const double z = std::cos(geom::kPi * u1);
+    const double f = (1.0 + r * z) / (r + z);
+    const double c = kappa * (r - f);
+    const double u2 = stats::uniform01(rng);
+    if (c * (2.0 - c) - u2 > 0.0 || std::log(c / u2) + 1.0 - c >= 0.0) {
+      const double u3 = stats::uniform01(rng);
+      const double sign = u3 < 0.5 ? -1.0 : 1.0;
+      return geom::normalize_angle(mu + sign * std::acos(f));
+    }
+  }
+  // Practically unreachable (acceptance rate ~ 65%+); keep a safe fallback.
+  return geom::normalize_angle(mu);
+}
+
+std::vector<core::Camera> deploy_uniform_von_mises(
+    const core::HeterogeneousProfile& profile, std::size_t n, stats::Pcg32& rng,
+    double mu, double kappa) {
+  const auto counts = profile.counts(n);
+  const auto groups = profile.groups();
+  std::vector<core::Camera> cameras;
+  cameras.reserve(n);
+  for (std::size_t y = 0; y < groups.size(); ++y) {
+    for (std::size_t i = 0; i < counts[y]; ++i) {
+      core::Camera cam;
+      cam.position = {stats::uniform01(rng), stats::uniform01(rng)};
+      cam.orientation = sample_von_mises(rng, mu, kappa);
+      cam.radius = groups[y].radius;
+      cam.fov = groups[y].fov;
+      cam.group = static_cast<std::uint32_t>(y);
+      cameras.push_back(cam);
+    }
+  }
+  return cameras;
+}
+
+double circular_mean(const std::vector<double>& angles) {
+  if (angles.empty()) {
+    return 0.0;
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  for (double a : angles) {
+    sx += std::cos(a);
+    sy += std::sin(a);
+  }
+  return geom::normalize_angle(std::atan2(sy, sx));
+}
+
+double mean_resultant_length(const std::vector<double>& angles) {
+  if (angles.empty()) {
+    return 0.0;
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  for (double a : angles) {
+    sx += std::cos(a);
+    sy += std::sin(a);
+  }
+  const double n = static_cast<double>(angles.size());
+  return std::sqrt(sx * sx + sy * sy) / n;
+}
+
+}  // namespace fvc::deploy

@@ -1,0 +1,45 @@
+/// \file von_mises.hpp
+/// \brief Biased camera orientations — ablating the uniform-orientation
+/// assumption of Section II-A.
+///
+/// The paper's CSA results hinge on orientations being uniform: the
+/// orientation term contributes the clean factor phi/(2*pi) to every hit
+/// probability, and viewed directions of covering sensors are uniform.
+/// Real airdrops can bias orientations (wind, terrain, mounting).  The
+/// standard circular distribution for such bias is the von Mises law
+/// VM(mu, kappa): density proportional to exp(kappa * cos(x - mu)),
+/// reducing to uniform at kappa = 0.  This module samples it (Best &
+/// Fisher 1979 rejection algorithm) and deploys fleets with biased
+/// orientations so the ORIENT bench can measure the coverage penalty.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/camera_group.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::deploy {
+
+/// One draw from the von Mises distribution VM(mu, kappa), in [0, 2*pi).
+/// kappa = 0 is exactly uniform; large kappa concentrates near mu.
+/// \pre kappa >= 0
+[[nodiscard]] double sample_von_mises(stats::Pcg32& rng, double mu, double kappa);
+
+/// Uniform positions with von-Mises orientations: the Section II-A model
+/// with the orientation assumption knocked out.
+[[nodiscard]] std::vector<core::Camera> deploy_uniform_von_mises(
+    const core::HeterogeneousProfile& profile, std::size_t n, stats::Pcg32& rng,
+    double mu, double kappa);
+
+/// Circular mean direction of a sample (atan2 of the mean resultant);
+/// returns 0 for an empty sample.  Used by tests and diagnostics.
+[[nodiscard]] double circular_mean(const std::vector<double>& angles);
+
+/// Mean resultant length R in [0, 1]: 0 for uniform spread, 1 for a point
+/// mass.  The standard concentration statistic for circular data.
+[[nodiscard]] double mean_resultant_length(const std::vector<double>& angles);
+
+}  // namespace fvc::deploy

@@ -1,0 +1,77 @@
+#include "fvc/energy/duty_cycle.hpp"
+
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::energy {
+
+std::vector<core::Camera> sample_awake(std::span<const core::Camera> fleet, double p,
+                                       stats::Pcg32& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("sample_awake: p must be in [0, 1]");
+  }
+  std::vector<core::Camera> awake;
+  awake.reserve(static_cast<std::size_t>(p * static_cast<double>(fleet.size())) + 8);
+  for (const core::Camera& cam : fleet) {
+    if (stats::bernoulli(rng, p)) {
+      awake.push_back(cam);
+    }
+  }
+  return awake;
+}
+
+void LifetimeConfig::validate() const {
+  if (awake_probability < 0.0 || awake_probability > 1.0) {
+    throw std::invalid_argument("LifetimeConfig: awake_probability in [0, 1]");
+  }
+  if (battery_rounds == 0) {
+    throw std::invalid_argument("LifetimeConfig: battery_rounds must be >= 1");
+  }
+  core::validate_theta(theta);
+  if (grid_side == 0) {
+    throw std::invalid_argument("LifetimeConfig: grid_side must be >= 1");
+  }
+  if (max_rounds == 0) {
+    throw std::invalid_argument("LifetimeConfig: max_rounds must be >= 1");
+  }
+}
+
+LifetimeResult simulate_lifetime(std::span<const core::Camera> fleet,
+                                 const LifetimeConfig& config, std::uint64_t seed) {
+  config.validate();
+  stats::Pcg32 rng = stats::make_child_rng(seed, 0xD07C);
+  const core::DenseGrid grid(config.grid_side);
+
+  std::vector<core::Camera> cameras(fleet.begin(), fleet.end());
+  std::vector<std::size_t> charge(cameras.size(), config.battery_rounds);
+
+  LifetimeResult result;
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    // Draw the awake subset among still-charged cameras and spend charge.
+    std::vector<core::Camera> awake;
+    for (std::size_t i = 0; i < cameras.size(); ++i) {
+      if (charge[i] == 0) {
+        continue;
+      }
+      if (stats::bernoulli(rng, config.awake_probability)) {
+        awake.push_back(cameras[i]);
+        --charge[i];
+      }
+    }
+    const core::Network net(std::move(awake));
+    if (!core::grid_all_full_view(net, grid, config.theta)) {
+      result.first_failure_round = round;
+      break;
+    }
+    ++result.rounds_covered;
+  }
+  for (std::size_t c : charge) {
+    result.cameras_alive += c > 0 ? 1 : 0;
+  }
+  return result;
+}
+
+}  // namespace fvc::energy

@@ -1,0 +1,70 @@
+/// \file duty_cycle.hpp
+/// \brief Duty-cycled fleets and network lifetime.
+///
+/// The k-coverage comparison the paper builds on (Kumar et al. [6],
+/// Section VII-B) models energy saving by letting each sensor sleep: with
+/// awake-probability p only np sensors are active at a time.  For
+/// full-view coverage the same thinning applies, and it composes cleanly
+/// with the CSA theory: an awake subset of a uniform deployment is
+/// distributionally a uniform deployment whose covering-count law equals
+/// the full fleet's with every sensing area scaled by p — so the paper's
+/// area-is-all-that-matters principle prices duty cycling exactly (the
+/// DUTY bench validates this against the exact Stevens mixture).
+///
+/// The lifetime simulator draws a fresh awake subset each round, spends
+/// one battery unit per awake round, and reports how long the fleet keeps
+/// the grid full-view covered.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/grid.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::energy {
+
+/// Independent thinning: each camera is awake with probability p.
+/// \pre p in [0, 1]
+[[nodiscard]] std::vector<core::Camera> sample_awake(std::span<const core::Camera> fleet,
+                                                     double p, stats::Pcg32& rng);
+
+/// Lifetime simulation parameters.
+struct LifetimeConfig {
+  double awake_probability = 0.5;  ///< per-round duty cycle p
+  std::size_t battery_rounds = 10; ///< awake rounds each camera survives
+  double theta = 1.0;              ///< full-view effective angle
+  std::size_t grid_side = 16;      ///< audit grid resolution
+  std::size_t max_rounds = 10000;  ///< simulation cap
+
+  /// \throws std::invalid_argument on p outside [0,1], zero battery or
+  /// grid, or theta outside (0, pi].
+  void validate() const;
+};
+
+/// Outcome of a lifetime run.
+struct LifetimeResult {
+  /// Rounds during which the awake subset full-view covered the grid
+  /// before the first failure (0 when round one already fails).
+  std::size_t rounds_covered = 0;
+  /// Round index of the first coverage failure; empty when the simulation
+  /// hit max_rounds still covered.
+  std::optional<std::size_t> first_failure_round;
+  /// Cameras still holding charge when the run ended.
+  std::size_t cameras_alive = 0;
+};
+
+/// Simulate: each round an independent awake subset of the still-charged
+/// cameras is drawn; awake cameras spend one battery round; the run ends
+/// at the first round whose awake subset fails to full-view cover the
+/// grid, or at max_rounds.
+[[nodiscard]] LifetimeResult simulate_lifetime(std::span<const core::Camera> fleet,
+                                               const LifetimeConfig& config,
+                                               std::uint64_t seed);
+
+}  // namespace fvc::energy

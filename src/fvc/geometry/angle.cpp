@@ -1,0 +1,50 @@
+#include "fvc/geometry/angle.hpp"
+
+#include <cmath>
+
+namespace fvc::geom {
+
+double normalize_angle(double a) {
+  double r = std::fmod(a, kTwoPi);
+  if (r < 0.0) {
+    r += kTwoPi;
+  }
+  // fmod of a tiny negative number can round back up to exactly 2*pi.
+  if (r >= kTwoPi) {
+    r = 0.0;
+  }
+  return r;
+}
+
+double normalize_signed(double a) {
+  double r = normalize_angle(a);
+  if (r >= kPi) {
+    r -= kTwoPi;
+  }
+  return r;
+}
+
+double angular_distance(double a, double b) {
+  const double d = std::abs(normalize_signed(a - b));
+  return d;
+}
+
+double ccw_delta(double from, double to) {
+  return normalize_angle(to - from);
+}
+
+bool angle_in_arc(double a, double start, double width) {
+  if (width >= kTwoPi) {
+    return true;
+  }
+  if (width < 0.0) {
+    return false;
+  }
+  return ccw_delta(start, a) <= width;
+}
+
+double lerp_ccw(double a, double b, double t) {
+  return normalize_angle(a + t * ccw_delta(a, b));
+}
+
+}  // namespace fvc::geom

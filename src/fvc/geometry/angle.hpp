@@ -1,0 +1,44 @@
+/// \file angle.hpp
+/// \brief Angle arithmetic on the circle.
+///
+/// Every angular quantity in the library is a plain `double` in radians.
+/// The functions here define the canonical representations:
+///   * "normalized" angles live in [0, 2*pi),
+///   * "signed" angles live in [-pi, pi),
+///   * angular distances live in [0, pi].
+///
+/// These are the primitives underneath the full-view-coverage predicates
+/// (Definition 1 of the paper compares the facing direction and the viewed
+/// direction by angular distance).
+
+#pragma once
+
+namespace fvc::geom {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kHalfPi = 0.5 * kPi;
+
+/// Reduce `a` to [0, 2*pi).  Handles any finite input.
+[[nodiscard]] double normalize_angle(double a);
+
+/// Reduce `a` to [-pi, pi).
+[[nodiscard]] double normalize_signed(double a);
+
+/// Shortest angular distance between directions `a` and `b`, in [0, pi].
+/// This is the `angle(d, PS)` of the paper's Definition 1.
+[[nodiscard]] double angular_distance(double a, double b);
+
+/// CCW rotation needed to go from direction `from` to direction `to`,
+/// in [0, 2*pi).
+[[nodiscard]] double ccw_delta(double from, double to);
+
+/// True when direction `a` lies on the closed CCW arc starting at `start`
+/// with angular width `width` (width in [0, 2*pi]).  Inclusive at both
+/// endpoints, which matches the paper's closed sectors.
+[[nodiscard]] bool angle_in_arc(double a, double start, double width);
+
+/// Linear interpolation along the CCW arc from `a` to `b` (t in [0,1]).
+[[nodiscard]] double lerp_ccw(double a, double b, double t);
+
+}  // namespace fvc::geom

@@ -1,0 +1,161 @@
+#include "fvc/geometry/arc_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::geom {
+
+Arc Arc::centered(double center, double half) {
+  return from_start(center - half, 2.0 * half);
+}
+
+Arc Arc::from_start(double start, double width) {
+  Arc a;
+  a.start = normalize_angle(start);
+  a.width = std::clamp(width, 0.0, kTwoPi);
+  return a;
+}
+
+double Arc::bisector() const { return normalize_angle(start + 0.5 * width); }
+
+double Arc::end() const { return normalize_angle(start + width); }
+
+bool Arc::contains(double a) const { return angle_in_arc(a, start, width); }
+
+void ArcSet::add(const Arc& arc) { arcs_.push_back(arc); }
+
+void ArcSet::clear() { arcs_.clear(); }
+
+std::vector<Arc> ArcSet::merged() const {
+  if (arcs_.empty()) {
+    return {};
+  }
+  // Unroll the circle at 0: split arcs that wrap, then do a linear merge,
+  // then re-join a piece ending at 2*pi with a piece starting at 0.
+  struct Seg {
+    double lo;
+    double hi;
+  };
+  std::vector<Seg> segs;
+  segs.reserve(arcs_.size() + 1);
+  for (const Arc& a : arcs_) {
+    if (a.width >= kTwoPi) {
+      return {Arc::from_start(0.0, kTwoPi)};
+    }
+    const double lo = a.start;
+    const double hi = a.start + a.width;
+    if (hi <= kTwoPi) {
+      segs.push_back({lo, hi});
+    } else {
+      segs.push_back({lo, kTwoPi});
+      segs.push_back({0.0, hi - kTwoPi});
+    }
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const Seg& a, const Seg& b) { return a.lo < b.lo; });
+  std::vector<Seg> out;
+  for (const Seg& s : segs) {
+    if (!out.empty() && s.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, s.hi);
+    } else {
+      out.push_back(s);
+    }
+  }
+  // Re-join across the cut at 0 / 2*pi.
+  if (out.size() >= 2 && out.front().lo <= 0.0 && out.back().hi >= kTwoPi) {
+    out.front().lo = out.back().lo - kTwoPi;
+    out.pop_back();
+  }
+  if (out.size() == 1 && out.front().hi - out.front().lo >= kTwoPi) {
+    return {Arc::from_start(0.0, kTwoPi)};
+  }
+  std::vector<Arc> arcs;
+  arcs.reserve(out.size());
+  for (const Seg& s : out) {
+    arcs.push_back(Arc::from_start(s.lo, s.hi - s.lo));
+  }
+  return arcs;
+}
+
+bool ArcSet::covers_circle() const {
+  const auto m = merged();
+  return m.size() == 1 && m.front().width >= kTwoPi;
+}
+
+bool ArcSet::covers(double a) const {
+  return std::any_of(arcs_.begin(), arcs_.end(),
+                     [a](const Arc& arc) { return arc.contains(a); });
+}
+
+double ArcSet::covered_measure() const {
+  double total = 0.0;
+  for (const Arc& a : merged()) {
+    total += a.width;
+  }
+  return std::min(total, kTwoPi);
+}
+
+std::vector<Arc> ArcSet::uncovered() const {
+  const auto m = merged();
+  if (m.empty()) {
+    return {Arc::from_start(0.0, kTwoPi)};
+  }
+  if (m.size() == 1 && m.front().width >= kTwoPi) {
+    return {};
+  }
+  std::vector<Arc> holes;
+  holes.reserve(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const Arc& cur = m[i];
+    const Arc& nxt = m[(i + 1) % m.size()];
+    const double gap = ccw_delta(cur.end(), nxt.start);
+    if (gap > 0.0) {
+      holes.push_back(Arc::from_start(cur.end(), gap));
+    }
+  }
+  return holes;
+}
+
+std::optional<double> ArcSet::witness_uncovered() const {
+  const auto holes = uncovered();
+  if (holes.empty()) {
+    return std::nullopt;
+  }
+  // The bisector of the widest hole is the direction farthest from safety.
+  const Arc* widest = &holes.front();
+  for (const Arc& h : holes) {
+    if (h.width > widest->width) {
+      widest = &h;
+    }
+  }
+  return widest->bisector();
+}
+
+double max_circular_gap(std::span<const double> dirs) {
+  return max_circular_gap_info(dirs).width;
+}
+
+CircularGap max_circular_gap_info(std::span<const double> dirs) {
+  if (dirs.empty()) {
+    return {kTwoPi, std::nullopt};
+  }
+  std::vector<double> sorted(dirs.begin(), dirs.end());
+  for (double& d : sorted) {
+    d = normalize_angle(d);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  double best = kTwoPi - (sorted.back() - sorted.front());
+  double after = sorted.back();
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    const double gap = sorted[i + 1] - sorted[i];
+    if (gap > best) {
+      best = gap;
+      after = sorted[i];
+    }
+  }
+  return {best, after};
+}
+
+}  // namespace fvc::geom

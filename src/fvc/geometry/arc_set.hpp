@@ -1,0 +1,104 @@
+/// \file arc_set.hpp
+/// \brief Arcs on the unit circle and unions of arcs.
+///
+/// The exact full-view-coverage predicate reduces to a question about arcs:
+/// a point P with covering sensors at viewed directions alpha_1..alpha_C is
+/// full-view covered with effective angle theta iff the arcs
+/// [alpha_i - theta, alpha_i + theta] jointly cover the whole circle, which
+/// in turn holds iff the largest circular gap between consecutive sorted
+/// alpha_i is at most 2*theta.  `ArcSet` implements the general union;
+/// `max_circular_gap` implements the fast special case.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fvc::geom {
+
+/// A closed CCW arc on the unit circle: directions `start` .. `start+width`.
+/// `start` is stored normalized to [0, 2*pi); `width` is clamped to
+/// [0, 2*pi].
+struct Arc {
+  double start = 0.0;
+  double width = 0.0;
+
+  /// Arc centred on direction `center` with half-width `half` on each side.
+  [[nodiscard]] static Arc centered(double center, double half);
+
+  /// Arc from `start` spanning `width` CCW.
+  [[nodiscard]] static Arc from_start(double start, double width);
+
+  /// Direction of the arc's angular bisector.
+  [[nodiscard]] double bisector() const;
+
+  /// Direction of the arc's CCW end.
+  [[nodiscard]] double end() const;
+
+  /// True when direction `a` lies on the (closed) arc.
+  [[nodiscard]] bool contains(double a) const;
+};
+
+/// A set of arcs supporting union queries.  Mutations are O(1); queries
+/// normalize lazily in O(k log k) where k is the number of arcs.
+class ArcSet {
+ public:
+  ArcSet() = default;
+
+  /// Add an arc to the set.
+  void add(const Arc& arc);
+
+  /// Remove all arcs.
+  void clear();
+
+  /// Number of arcs added (not merged).
+  [[nodiscard]] std::size_t size() const { return arcs_.size(); }
+  [[nodiscard]] bool empty() const { return arcs_.empty(); }
+
+  /// True iff the union of the arcs covers the entire circle.
+  [[nodiscard]] bool covers_circle() const;
+
+  /// True iff direction `a` lies on at least one arc.
+  [[nodiscard]] bool covers(double a) const;
+
+  /// Total angular measure of the union, in [0, 2*pi].
+  [[nodiscard]] double covered_measure() const;
+
+  /// The maximal arcs of the complement of the union (empty when the circle
+  /// is fully covered).  Each returned arc is an open "hole": directions in
+  /// its interior are covered by no arc in the set.
+  [[nodiscard]] std::vector<Arc> uncovered() const;
+
+  /// A direction not covered by any arc, when one exists.  Used to exhibit
+  /// an unsafe facing direction as a witness of full-view-coverage failure.
+  [[nodiscard]] std::optional<double> witness_uncovered() const;
+
+  /// The arcs added so far, unmerged, in insertion order.
+  [[nodiscard]] std::span<const Arc> arcs() const { return arcs_; }
+
+ private:
+  /// Merged, sorted, non-overlapping representation of the union.  When the
+  /// union is the full circle, returns a single arc of width 2*pi.
+  [[nodiscard]] std::vector<Arc> merged() const;
+
+  std::vector<Arc> arcs_;
+};
+
+/// Largest circular gap (in radians) between consecutive directions in
+/// `dirs`, i.e. the width of the largest arc containing none of them.
+/// Returns 2*pi when `dirs` is empty and 2*pi for a single direction's
+/// complement?  No: for a single direction the gap is the full circle back
+/// to itself, 2*pi.  Input need not be sorted; duplicates are fine.
+[[nodiscard]] double max_circular_gap(std::span<const double> dirs);
+
+/// As `max_circular_gap`, but also reports the gap's start direction (the
+/// element of `dirs` the gap begins at, CCW).  `std::nullopt` start when
+/// `dirs` is empty.
+struct CircularGap {
+  double width = 0.0;                 ///< gap width in radians
+  std::optional<double> after_dir;    ///< direction the gap starts after
+};
+[[nodiscard]] CircularGap max_circular_gap_info(std::span<const double> dirs);
+
+}  // namespace fvc::geom

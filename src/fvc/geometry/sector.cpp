@@ -1,0 +1,66 @@
+#include "fvc/geometry/sector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::geom {
+
+Sector Sector::make(double radius, double start, double width) {
+  if (radius < 0.0) {
+    throw std::invalid_argument("Sector::make: negative radius");
+  }
+  Sector s;
+  s.radius = radius;
+  s.arc = Arc::from_start(start, width);
+  return s;
+}
+
+Sector Sector::with_bisector(double radius, double bisector, double width) {
+  return make(radius, bisector - 0.5 * width, width);
+}
+
+bool Sector::contains(const Vec2& v) const {
+  const double d2 = v.norm2();
+  if (d2 > radius * radius) {
+    return false;
+  }
+  if (d2 == 0.0) {
+    return true;
+  }
+  return arc.contains(normalize_angle(v.angle()));
+}
+
+double Sector::area() const { return 0.5 * arc.width * radius * radius; }
+
+std::vector<Arc> sector_partition(double sector_angle, double start_line) {
+  if (!(sector_angle > 0.0) || sector_angle > kTwoPi) {
+    throw std::invalid_argument("sector_partition: sector_angle must be in (0, 2*pi]");
+  }
+  // Paper construction (Figures 4 and 6): floor(2*pi/w) full sectors T_j,
+  // then — when a remainder region T_alpha is left — one extra sector of
+  // the full width centred on T_alpha's bisector.
+  const auto k = static_cast<std::size_t>(std::floor(kTwoPi / sector_angle + 1e-12));
+  std::vector<Arc> arcs;
+  arcs.reserve(k + 1);
+  for (std::size_t j = 0; j < k; ++j) {
+    arcs.push_back(Arc::from_start(start_line + static_cast<double>(j) * sector_angle,
+                                   sector_angle));
+  }
+  const double remainder = kTwoPi - static_cast<double>(k) * sector_angle;
+  if (remainder > 1e-9) {
+    // T_alpha spans [start + k*angle, start + 2*pi]; T_{k+1} shares its
+    // bisector but has full width `sector_angle`.
+    const double alpha_bisector =
+        normalize_angle(start_line + static_cast<double>(k) * sector_angle + 0.5 * remainder);
+    arcs.push_back(Arc::centered(alpha_bisector, 0.5 * sector_angle));
+  }
+  return arcs;
+}
+
+std::size_t sector_partition_size(double sector_angle) {
+  return sector_partition(sector_angle).size();
+}
+
+}  // namespace fvc::geom

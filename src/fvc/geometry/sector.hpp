@@ -1,0 +1,59 @@
+/// \file sector.hpp
+/// \brief Circular sectors (the paper's T_j / T'_j constructions and the
+/// binary sector sensing region).
+///
+/// A `Sector` is apex-relative: it is the set of displacement vectors `v`
+/// with `|v| <= radius` and polar angle inside the arc
+/// `[start, start+width]`.  Working with displacements (rather than
+/// absolute points) lets the same type serve both on the plane and on the
+/// torus, where the caller first computes the wrapped displacement.
+
+#pragma once
+
+#include <vector>
+
+#include "fvc/geometry/arc_set.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::geom {
+
+/// Apex-relative circular sector of radius `radius` spanning the CCW arc
+/// from `start` over `width` radians.
+struct Sector {
+  double radius = 0.0;
+  Arc arc;
+
+  [[nodiscard]] static Sector make(double radius, double start, double width);
+
+  /// Sector whose angular bisector is `bisector` (paper's T_{k+1}
+  /// construction centres a sector on the remainder's bisector).
+  [[nodiscard]] static Sector with_bisector(double radius, double bisector, double width);
+
+  /// True when the displacement `v` (from the apex) lies in the sector.
+  /// Closed on all boundaries; the apex itself is contained.
+  [[nodiscard]] bool contains(const Vec2& v) const;
+
+  /// Sector area, `width * radius^2 / 2`.
+  [[nodiscard]] double area() const;
+};
+
+/// The paper's sector partition around a point (Figures 4 and 6).
+///
+/// For the necessary condition (Section III): `k = ceil(pi/theta)` sectors
+/// of central angle `2*theta` starting from `start_line`, plus — when
+/// `2*pi - k*2*theta > 0` — one extra sector `T_{k+1}` of angle `2*theta`
+/// whose bisector is the bisector of the remainder `T_alpha`.
+///
+/// For the sufficient condition (Section IV): same construction with sector
+/// angle `theta` and `k = ceil(2*pi/theta)`.
+///
+/// `sector_partition(sector_angle, start_line)` returns the arcs of those
+/// sectors (radius-free; the caller intersects with each sensor's range).
+[[nodiscard]] std::vector<Arc> sector_partition(double sector_angle, double start_line = 0.0);
+
+/// Number of sectors in `sector_partition(sector_angle)`:
+/// `ceil(2*pi / sector_angle)` plus one when the division is not exact.
+/// Matches the paper's `k_N + 1` / `k_S + 1` counts.
+[[nodiscard]] std::size_t sector_partition_size(double sector_angle);
+
+}  // namespace fvc::geom

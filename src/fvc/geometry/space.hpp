@@ -1,0 +1,37 @@
+/// \file space.hpp
+/// \brief Torus vs bounded-plane geometry selection.
+///
+/// The paper removes boundary effects by working on the torus (Section
+/// II-A).  Real deployments live on a bounded square, where points near an
+/// edge see fewer cameras and full-view coverage is strictly harder.  The
+/// library defaults to the paper's torus; `SpaceMode::kPlane` switches
+/// every displacement to the plain Euclidean one so the boundary penalty
+/// can be measured (the BOUNDARY ablation experiment).
+
+#pragma once
+
+#include "fvc/geometry/torus.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::geom {
+
+/// How displacements between points of the unit square are computed.
+enum class SpaceMode {
+  kTorus,  ///< opposite edges identified (the paper's model)
+  kPlane,  ///< bounded unit square; no wraparound
+};
+
+/// Displacement from `from` to `to` under `mode`.
+[[nodiscard]] inline Vec2 displacement(const Vec2& from, const Vec2& to, SpaceMode mode) {
+  if (mode == SpaceMode::kTorus) {
+    return UnitTorus::displacement(from, to);
+  }
+  return to - from;
+}
+
+/// Distance under `mode`.
+[[nodiscard]] inline double space_distance(const Vec2& a, const Vec2& b, SpaceMode mode) {
+  return displacement(a, b, mode).norm();
+}
+
+}  // namespace fvc::geom

@@ -1,0 +1,44 @@
+#include "fvc/geometry/torus.hpp"
+
+#include <cmath>
+
+namespace fvc::geom {
+
+double wrap_unit(double x) {
+  double r = x - std::floor(x);
+  // floor of a tiny negative number can produce r == 1.0 after rounding.
+  if (r >= 1.0) {
+    r = 0.0;
+  }
+  return r;
+}
+
+double wrap_delta(double from, double to) {
+  double d = to - from;
+  d -= std::round(d);
+  // round(0.5) == 1 keeps d in [-1/2, 1/2); round(-0.5) == -1 would give
+  // +1/2 exactly, fold it back.
+  if (d >= 0.5) {
+    d -= 1.0;
+  }
+  if (d < -0.5) {
+    d += 1.0;
+  }
+  return d;
+}
+
+Vec2 UnitTorus::wrap(const Vec2& p) { return {wrap_unit(p.x), wrap_unit(p.y)}; }
+
+Vec2 UnitTorus::displacement(const Vec2& from, const Vec2& to) {
+  return {wrap_delta(from.x, to.x), wrap_delta(from.y, to.y)};
+}
+
+double UnitTorus::distance(const Vec2& a, const Vec2& b) {
+  return displacement(a, b).norm();
+}
+
+double UnitTorus::distance2(const Vec2& a, const Vec2& b) {
+  return displacement(a, b).norm2();
+}
+
+}  // namespace fvc::geom

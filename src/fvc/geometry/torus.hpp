@@ -1,0 +1,45 @@
+/// \file torus.hpp
+/// \brief The unit square treated as a torus (paper Section II-A).
+///
+/// The paper removes boundary effects by identifying opposite edges of the
+/// unit square.  All distances and displacements between sensors and grid
+/// points therefore wrap around: each displacement component is reduced to
+/// [-1/2, 1/2).
+
+#pragma once
+
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::geom {
+
+/// Geometry of the unit torus [0,1) x [0,1).
+class UnitTorus {
+ public:
+  /// Wrap a point into the canonical cell [0,1) x [0,1).
+  [[nodiscard]] static Vec2 wrap(const Vec2& p);
+
+  /// Shortest displacement from `from` to `to`, components in [-1/2, 1/2).
+  [[nodiscard]] static Vec2 displacement(const Vec2& from, const Vec2& to);
+
+  /// Toroidal (geodesic) distance.
+  [[nodiscard]] static double distance(const Vec2& a, const Vec2& b);
+
+  /// Squared toroidal distance.
+  [[nodiscard]] static double distance2(const Vec2& a, const Vec2& b);
+
+  /// Largest toroidal distance between any two points: sqrt(1/2)/... —
+  /// half the diagonal of the wrap cell, sqrt(2)/2 * ... = sqrt(0.5)/1?
+  /// Exactly sqrt(2)/2 at the cell centre offset (1/2, 1/2).
+  [[nodiscard]] static constexpr double max_distance() {
+    return 0.70710678118654752440;  // sqrt(2)/2
+  }
+};
+
+/// Coordinate wrap for a scalar into [0, 1).
+[[nodiscard]] double wrap_unit(double x);
+
+/// Signed shortest offset from `from` to `to` on the unit circle R/Z, in
+/// [-1/2, 1/2).
+[[nodiscard]] double wrap_delta(double from, double to);
+
+}  // namespace fvc::geom

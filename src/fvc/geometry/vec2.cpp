@@ -1,0 +1,30 @@
+#include "fvc/geometry/vec2.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace fvc::geom {
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  if (n <= 0.0) {
+    throw std::invalid_argument("Vec2::normalized: zero vector has no direction");
+  }
+  return {x / n, y / n};
+}
+
+Vec2 Vec2::rotated(double theta) const {
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  return {x * c - y * s, x * s + y * c};
+}
+
+bool almost_equal(const Vec2& a, const Vec2& b, double eps) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace fvc::geom

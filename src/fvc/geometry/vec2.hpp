@@ -1,0 +1,97 @@
+/// \file vec2.hpp
+/// \brief Minimal 2-D vector value type used throughout the library.
+///
+/// Points, displacements and directions on the unit square are all
+/// represented as `Vec2`.  The type is a regular value type (cheap to copy,
+/// equality-comparable) per C++ Core Guidelines C.10/C.11.
+
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace fvc::geom {
+
+/// A 2-D vector / point with double-precision components.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  /// Unit vector pointing at angle `theta` (radians, CCW from +x axis).
+  [[nodiscard]] static Vec2 from_angle(double theta) {
+    return {std::cos(theta), std::sin(theta)};
+  }
+
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr Vec2& operator/=(double s) {
+    x /= s;
+    y /= s;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Vec2 operator+(Vec2 a, const Vec2& b) { return a += b; }
+  [[nodiscard]] friend constexpr Vec2 operator-(Vec2 a, const Vec2& b) { return a -= b; }
+  [[nodiscard]] friend constexpr Vec2 operator*(Vec2 a, double s) { return a *= s; }
+  [[nodiscard]] friend constexpr Vec2 operator*(double s, Vec2 a) { return a *= s; }
+  [[nodiscard]] friend constexpr Vec2 operator/(Vec2 a, double s) { return a /= s; }
+  [[nodiscard]] friend constexpr Vec2 operator-(const Vec2& a) { return {-a.x, -a.y}; }
+
+  [[nodiscard]] friend constexpr bool operator==(const Vec2&, const Vec2&) = default;
+
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+
+  /// Z-component of the 3-D cross product; positive when `o` is CCW of
+  /// `*this`.
+  [[nodiscard]] constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+
+  /// Squared Euclidean norm (avoids the sqrt when only comparisons are
+  /// needed, e.g. in the coverage predicate).
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+
+  /// Polar angle in (-pi, pi], via atan2.  Undefined for the zero vector
+  /// (atan2 returns 0 there, which callers must guard against).
+  [[nodiscard]] double angle() const { return std::atan2(y, x); }
+
+  /// This vector scaled to unit length.
+  /// \pre norm() > 0
+  [[nodiscard]] Vec2 normalized() const;
+
+  /// This vector rotated CCW by `theta` radians.
+  [[nodiscard]] Vec2 rotated(double theta) const;
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(const Vec2& a, const Vec2& b) { return (b - a).norm(); }
+
+/// Squared Euclidean distance between two points.
+[[nodiscard]] constexpr double distance2(const Vec2& a, const Vec2& b) {
+  return (b - a).norm2();
+}
+
+/// Component-wise approximate equality with absolute tolerance `eps`.
+[[nodiscard]] bool almost_equal(const Vec2& a, const Vec2& b, double eps = 1e-12);
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+
+}  // namespace fvc::geom

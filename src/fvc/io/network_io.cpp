@@ -1,0 +1,74 @@
+#include "fvc/io/network_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fvc::io {
+
+void save_cameras(std::ostream& os, std::span<const core::Camera> cameras) {
+  os << kFormatHeader << '\n';
+  os << "# x y orientation radius fov group\n";
+  os << std::setprecision(17);
+  for (const core::Camera& cam : cameras) {
+    os << cam.position.x << ' ' << cam.position.y << ' ' << cam.orientation << ' '
+       << cam.radius << ' ' << cam.fov << ' ' << cam.group << '\n';
+  }
+}
+
+std::vector<core::Camera> load_cameras(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kFormatHeader) {
+    throw std::runtime_error("load_cameras: missing or unknown header (expected '" +
+                             std::string(kFormatHeader) + "')");
+  }
+  std::vector<core::Camera> cameras;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    std::istringstream ss(line);
+    core::Camera cam;
+    if (!(ss >> cam.position.x >> cam.position.y >> cam.orientation >> cam.radius >>
+          cam.fov >> cam.group)) {
+      throw std::runtime_error("load_cameras: malformed line " + std::to_string(line_no));
+    }
+    std::string trailing;
+    if (ss >> trailing) {
+      throw std::runtime_error("load_cameras: trailing tokens on line " +
+                               std::to_string(line_no));
+    }
+    try {
+      core::validate(cam);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error("load_cameras: invalid camera on line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+    cameras.push_back(cam);
+  }
+  return cameras;
+}
+
+void save_cameras_file(const std::string& path, std::span<const core::Camera> cameras) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("save_cameras_file: cannot open " + path);
+  }
+  save_cameras(os, cameras);
+  if (!os) {
+    throw std::runtime_error("save_cameras_file: write failed for " + path);
+  }
+}
+
+std::vector<core::Camera> load_cameras_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("load_cameras_file: cannot open " + path);
+  }
+  return load_cameras(is);
+}
+
+}  // namespace fvc::io

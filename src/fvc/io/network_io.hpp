@@ -1,0 +1,36 @@
+/// \file network_io.hpp
+/// \brief Plain-text persistence for deployments.
+///
+/// A deployment a user audited (or a repair the optimizer computed) should
+/// be saveable and reloadable bit-exactly.  Format: a versioned header
+/// line, then one camera per line as
+/// `x y orientation radius fov group`, whitespace-separated, full double
+/// round-trip precision.  Lines starting with '#' are comments.
+
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+
+namespace fvc::io {
+
+/// The header written by save_cameras and demanded by load_cameras.
+inline constexpr const char* kFormatHeader = "fvc-cameras v1";
+
+/// Write `cameras` to `os` in the v1 text format.
+void save_cameras(std::ostream& os, std::span<const core::Camera> cameras);
+
+/// Read cameras from `is`.
+/// \throws std::runtime_error on a missing/unknown header, malformed line,
+/// or invalid camera parameters (every loaded camera is validated).
+[[nodiscard]] std::vector<core::Camera> load_cameras(std::istream& is);
+
+/// File-path conveniences.
+void save_cameras_file(const std::string& path, std::span<const core::Camera> cameras);
+[[nodiscard]] std::vector<core::Camera> load_cameras_file(const std::string& path);
+
+}  // namespace fvc::io

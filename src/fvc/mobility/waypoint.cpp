@@ -1,0 +1,107 @@
+#include "fvc/mobility/waypoint.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::mobility {
+
+void MobilityConfig::validate() const {
+  if (!(speed_min > 0.0) || !(speed_min <= speed_max)) {
+    throw std::invalid_argument("MobilityConfig: need 0 < speed_min <= speed_max");
+  }
+}
+
+WaypointMobility::WaypointMobility(std::vector<core::Camera> cameras,
+                                   const MobilityConfig& config, stats::Pcg32& rng)
+    : cameras_(std::move(cameras)), config_(config) {
+  config_.validate();
+  for (core::Camera& cam : cameras_) {
+    core::validate(cam);
+    cam.position = geom::UnitTorus::wrap(cam.position);
+  }
+  waypoints_.resize(cameras_.size());
+  speeds_.resize(cameras_.size());
+  for (std::size_t i = 0; i < cameras_.size(); ++i) {
+    assign_waypoint(i, rng);
+  }
+}
+
+void WaypointMobility::assign_waypoint(std::size_t i, stats::Pcg32& rng) {
+  waypoints_[i] = {stats::uniform01(rng), stats::uniform01(rng)};
+  speeds_[i] = stats::uniform_in(rng, config_.speed_min, config_.speed_max);
+}
+
+void WaypointMobility::step(double dt, stats::Pcg32& rng) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("WaypointMobility::step: dt must be positive");
+  }
+  for (std::size_t i = 0; i < cameras_.size(); ++i) {
+    double remaining = dt;
+    // A camera may pass through several waypoints within one step.
+    for (int hops = 0; hops < 16 && remaining > 0.0; ++hops) {
+      core::Camera& cam = cameras_[i];
+      const geom::Vec2 to_wp = waypoints_[i] - cam.position;
+      const double dist = to_wp.norm();
+      const double reach = speeds_[i] * remaining;
+      if (dist <= 1e-12 || reach >= dist) {
+        // Arrive, spend the travel time, pick the next waypoint.
+        cam.position = waypoints_[i];
+        remaining -= speeds_[i] > 0.0 ? dist / speeds_[i] : remaining;
+        assign_waypoint(i, rng);
+        continue;
+      }
+      const geom::Vec2 dir = to_wp / dist;
+      cam.position += dir * reach;
+      if (config_.policy == OrientationPolicy::kAlignWithMotion) {
+        cam.orientation = geom::normalize_angle(dir.angle());
+      }
+      remaining = 0.0;
+    }
+  }
+}
+
+DynamicCoverageStats simulate_dynamic_coverage(WaypointMobility& fleet,
+                                               const core::DenseGrid& grid, double theta,
+                                               std::size_t steps, double dt,
+                                               stats::Pcg32& rng) {
+  core::validate_theta(theta);
+  if (steps == 0) {
+    throw std::invalid_argument("simulate_dynamic_coverage: steps must be >= 1");
+  }
+  DynamicCoverageStats stats;
+  stats.steps = steps;
+  stats.grid_points = grid.size();
+  std::vector<bool> ever(grid.size(), false);
+  double instant_sum = 0.0;
+  std::vector<double> dirs;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const core::Network net = fleet.snapshot();
+    std::size_t covered = 0;
+    grid.for_each([&](std::size_t idx, const geom::Vec2& p) {
+      net.viewed_directions_into(p, dirs);
+      if (core::full_view_covered(dirs, theta).covered) {
+        ++covered;
+        ever[idx] = true;
+      }
+    });
+    const double frac = static_cast<double>(covered) / static_cast<double>(grid.size());
+    if (s == 0) {
+      stats.initial_fraction = frac;
+    }
+    instant_sum += frac;
+    fleet.step(dt, rng);
+  }
+  std::size_t ever_count = 0;
+  for (bool b : ever) {
+    ever_count += b ? 1 : 0;
+  }
+  stats.ever_fraction = static_cast<double>(ever_count) / static_cast<double>(grid.size());
+  stats.mean_instant_fraction = instant_sum / static_cast<double>(steps);
+  return stats;
+}
+
+}  // namespace fvc::mobility

@@ -1,0 +1,99 @@
+#include "fvc/occlusion/obstacles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::occlusion {
+
+double point_segment_distance(const geom::Vec2& p, const geom::Vec2& a,
+                              const geom::Vec2& b) {
+  const geom::Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 == 0.0) {
+    return geom::distance(p, a);
+  }
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return geom::distance(p, a + ab * t);
+}
+
+ObstacleField::ObstacleField(std::vector<Disc> discs) : discs_(std::move(discs)) {
+  for (const Disc& d : discs_) {
+    if (!(d.radius > 0.0)) {
+      throw std::invalid_argument("ObstacleField: obstacle radius must be positive");
+    }
+  }
+}
+
+ObstacleField ObstacleField::random(std::size_t count, double radius, stats::Pcg32& rng) {
+  std::vector<Disc> discs;
+  discs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    discs.push_back({{stats::uniform01(rng), stats::uniform01(rng)}, radius});
+  }
+  return ObstacleField(std::move(discs));
+}
+
+double ObstacleField::total_area() const {
+  double area = 0.0;
+  for (const Disc& d : discs_) {
+    area += geom::kPi * d.radius * d.radius;
+  }
+  return area;
+}
+
+bool ObstacleField::blocks(const geom::Vec2& from, const geom::Vec2& to,
+                           geom::SpaceMode mode) const {
+  if (discs_.empty()) {
+    return false;
+  }
+  // Work in the plane frame anchored at `from`: the sight line runs to
+  // from + d where d is the (mode-dependent) displacement.
+  const geom::Vec2 a = from;
+  const geom::Vec2 b = from + geom::displacement(from, to, mode);
+  for (const Disc& disc : discs_) {
+    if (mode == geom::SpaceMode::kPlane) {
+      if (point_segment_distance(disc.center, a, b) < disc.radius) {
+        return true;
+      }
+      continue;
+    }
+    // Torus: test the nine unit translates of the obstacle centre.
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const geom::Vec2 c{disc.center.x + static_cast<double>(dx),
+                           disc.center.y + static_cast<double>(dy)};
+        if (point_segment_distance(c, a, b) < disc.radius) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool covers_with_occlusion(const core::Camera& cam, const geom::Vec2& p,
+                           const ObstacleField& field, geom::SpaceMode mode) {
+  return core::covers(cam, p, mode) && !field.blocks(cam.position, p, mode);
+}
+
+std::vector<double> viewed_directions_with_occlusion(const core::Network& net,
+                                                     const geom::Vec2& p,
+                                                     const ObstacleField& field) {
+  std::vector<double> dirs;
+  net.for_each_candidate(p, [&](std::size_t i) {
+    const core::Camera& cam = net.camera(i);
+    if (const auto dir = core::viewed_direction_if_covered(cam, p, net.mode())) {
+      if (!field.blocks(cam.position, p, net.mode())) {
+        dirs.push_back(*dir);
+      }
+    }
+  });
+  return dirs;
+}
+
+}  // namespace fvc::occlusion

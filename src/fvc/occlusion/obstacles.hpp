@@ -1,0 +1,80 @@
+/// \file obstacles.hpp
+/// \brief Line-of-sight occlusion by disc obstacles.
+///
+/// The paper's Section I lists terrain obstruction as one source of
+/// heterogeneity; the direct model is a field of opaque disc obstacles
+/// blocking the camera-to-object sight line.  A camera covers a point
+/// only when the binary sector predicate holds AND the open segment
+/// between them misses every obstacle.
+///
+/// Torus geometry: the sight line follows the minimal displacement.  A
+/// segment of length <= sqrt(2)/2 anchored in the unit cell stays inside
+/// [-1, 2]^2, so testing the nine unit translates of each obstacle centre
+/// against the planar segment is exact.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fvc/core/camera.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/geometry/space.hpp"
+#include "fvc/geometry/vec2.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::occlusion {
+
+/// An opaque disc obstacle.
+struct Disc {
+  geom::Vec2 center;
+  double radius = 0.0;
+};
+
+/// Distance from point `p` to the closed segment [a, b] in the plane.
+[[nodiscard]] double point_segment_distance(const geom::Vec2& p, const geom::Vec2& a,
+                                            const geom::Vec2& b);
+
+/// A field of disc obstacles on the unit square/torus.
+class ObstacleField {
+ public:
+  ObstacleField() = default;
+
+  /// \throws std::invalid_argument on non-positive radii.
+  explicit ObstacleField(std::vector<Disc> discs);
+
+  /// `count` random obstacles with the given radius, uniform centres.
+  [[nodiscard]] static ObstacleField random(std::size_t count, double radius,
+                                            stats::Pcg32& rng);
+
+  [[nodiscard]] std::span<const Disc> discs() const { return discs_; }
+  [[nodiscard]] bool empty() const { return discs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return discs_.size(); }
+
+  /// Total obstacle area (overlaps double-counted).
+  [[nodiscard]] double total_area() const;
+
+  /// True when the open sight line from `from` to `to` intersects any
+  /// obstacle's interior.  Endpoints touching an obstacle boundary do not
+  /// block.  In torus mode the minimal-displacement segment is used.
+  [[nodiscard]] bool blocks(const geom::Vec2& from, const geom::Vec2& to,
+                            geom::SpaceMode mode = geom::SpaceMode::kTorus) const;
+
+ private:
+  std::vector<Disc> discs_;
+};
+
+/// Coverage with occlusion: the camera's sector predicate AND a clear
+/// sight line.
+[[nodiscard]] bool covers_with_occlusion(const core::Camera& cam, const geom::Vec2& p,
+                                         const ObstacleField& field,
+                                         geom::SpaceMode mode = geom::SpaceMode::kTorus);
+
+/// Viewed directions of all cameras in `net` that cover `p` with a clear
+/// sight line — drop-in replacement for Network::viewed_directions that
+/// the full-view predicates consume.
+[[nodiscard]] std::vector<double> viewed_directions_with_occlusion(
+    const core::Network& net, const geom::Vec2& p, const ObstacleField& field);
+
+}  // namespace fvc::occlusion

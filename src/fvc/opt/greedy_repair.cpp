@@ -1,0 +1,109 @@
+#include "fvc/opt/greedy_repair.hpp"
+
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/torus.hpp"
+
+namespace fvc::opt {
+
+namespace {
+
+void check(const RepairConfig& cfg) {
+  core::validate_theta(cfg.theta);
+  if (!(cfg.camera_radius > 0.0)) {
+    throw std::invalid_argument("RepairConfig: camera_radius must be positive");
+  }
+  if (!(cfg.camera_fov > 0.0) || cfg.camera_fov > geom::kTwoPi) {
+    throw std::invalid_argument("RepairConfig: camera_fov must be in (0, 2*pi]");
+  }
+  if (!(cfg.standoff_fraction > 0.0) || cfg.standoff_fraction > 1.0) {
+    throw std::invalid_argument("RepairConfig: standoff_fraction in (0, 1]");
+  }
+}
+
+/// The worst hole: grid point with the largest angular gap, with its
+/// witness direction.  Returns false when the grid is fully covered.
+struct Hole {
+  geom::Vec2 point;
+  double gap = 0.0;
+  double witness = 0.0;
+};
+
+bool worst_hole(const core::Network& net, const core::DenseGrid& grid, double theta,
+                Hole& out, std::size_t& hole_count) {
+  bool found = false;
+  hole_count = 0;
+  std::vector<double> dirs;
+  grid.for_each([&](std::size_t, const geom::Vec2& p) {
+    net.viewed_directions_into(p, dirs);
+    const core::FullViewResult r = core::full_view_covered(dirs, theta);
+    if (r.covered) {
+      return;
+    }
+    ++hole_count;
+    if (!found || r.max_gap > out.gap) {
+      found = true;
+      out.point = p;
+      out.gap = r.max_gap;
+      out.witness = r.witness_unsafe_direction.value_or(0.0);
+    }
+  });
+  return found;
+}
+
+}  // namespace
+
+RepairResult repair_full_view(const core::Network& net, const core::DenseGrid& grid,
+                              const RepairConfig& cfg) {
+  check(cfg);
+  RepairResult result;
+  std::vector<core::Camera> all(net.cameras().begin(), net.cameras().end());
+
+  Hole hole;
+  std::size_t holes = 0;
+  if (!worst_hole(net, grid, cfg.theta, hole, holes)) {
+    result.success = true;
+    return result;
+  }
+  result.initial_holes = holes;
+
+  for (std::size_t added = 0; added < cfg.max_added; ++added) {
+    // Place a camera along the witness direction at a fraction of its
+    // radius, looking back at the hole: the hole then has a covering
+    // sensor whose viewed direction IS the witness direction, splitting
+    // the widest gap.
+    core::Camera patch;
+    const geom::Vec2 offset =
+        geom::Vec2::from_angle(hole.witness) * (cfg.standoff_fraction * cfg.camera_radius);
+    patch.position = hole.point + offset;
+    if (net.mode() == geom::SpaceMode::kTorus) {
+      patch.position = geom::UnitTorus::wrap(patch.position);
+    } else {
+      patch.position.x = std::min(1.0, std::max(0.0, patch.position.x));
+      patch.position.y = std::min(1.0, std::max(0.0, patch.position.y));
+    }
+    patch.orientation = geom::normalize_angle(hole.witness + geom::kPi);  // face the hole
+    patch.radius = cfg.camera_radius;
+    patch.fov = cfg.camera_fov;
+    patch.group = 0;
+    all.push_back(patch);
+    result.added.push_back(patch);
+
+    const core::Network updated(all, net.mode());
+    if (!worst_hole(updated, grid, cfg.theta, hole, holes)) {
+      result.success = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+core::Network apply_repair(const core::Network& net, const RepairResult& result) {
+  std::vector<core::Camera> all(net.cameras().begin(), net.cameras().end());
+  all.insert(all.end(), result.added.begin(), result.added.end());
+  return core::Network(std::move(all), net.mode());
+}
+
+}  // namespace fvc::opt

@@ -1,0 +1,57 @@
+/// \file greedy_repair.hpp
+/// \brief Greedy hole repair: patch a random deployment up to full-view
+/// coverage with the fewest added cameras.
+///
+/// Section VI-C shows that inside the CSA band coverage is a random event;
+/// a practical deployment that lands in the band (or below) needs manual
+/// fixing.  The repairer runs the audit, takes the worst hole (the grid
+/// point with the largest angular gap), and places one camera looking back
+/// at that point from the direction the gap's witness points at — the
+/// placement that closes the widest gap first — then repeats.
+///
+/// This is an engineering companion to the theory, not a claim from the
+/// paper; the REPAIR bench quantifies how many extra cameras random
+/// deployments need at various q = s_c/s_Nc operating points.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/grid.hpp"
+#include "fvc/core/network.hpp"
+
+namespace fvc::opt {
+
+/// Repair configuration.
+struct RepairConfig {
+  double theta = 1.0;          ///< effective angle to repair for
+  double camera_radius = 0.1;  ///< hardware of the patch cameras
+  double camera_fov = 2.0;
+  std::size_t max_added = 1000;  ///< give up after this many additions
+  /// Fraction of the patch camera's radius at which it is placed from the
+  /// hole, along the witness direction (0.5 = half a radius away).
+  double standoff_fraction = 0.5;
+};
+
+/// Result of a repair run.
+struct RepairResult {
+  std::vector<core::Camera> added;  ///< cameras appended, in order
+  bool success = false;             ///< grid fully full-view covered at the end
+  std::size_t initial_holes = 0;    ///< grid points failing before repair
+};
+
+/// Repair `net` (non-destructively: returns the additions) until every
+/// point of `grid` is full-view covered with `cfg.theta`, or the budget
+/// runs out.
+/// \throws std::invalid_argument on bad config.
+[[nodiscard]] RepairResult repair_full_view(const core::Network& net,
+                                            const core::DenseGrid& grid,
+                                            const RepairConfig& cfg);
+
+/// Apply a repair: the original cameras plus the additions, as a network
+/// in the same space mode.
+[[nodiscard]] core::Network apply_repair(const core::Network& net,
+                                         const RepairResult& result);
+
+}  // namespace fvc::opt

@@ -1,0 +1,144 @@
+#include "fvc/opt/orient_optimizer.hpp"
+
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/spatial_index.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::opt {
+
+void AimConfig::validate() const {
+  core::validate_theta(theta);
+  if (candidates < 2) {
+    throw std::invalid_argument("AimConfig: need at least two candidate orientations");
+  }
+  if (max_sweeps == 0) {
+    throw std::invalid_argument("AimConfig: max_sweeps must be >= 1");
+  }
+}
+
+namespace {
+
+/// Mutable evaluation state: cameras may be re-aimed in place (positions
+/// fixed), queries run against a position-built spatial index.
+class MutableFleet {
+ public:
+  MutableFleet(const core::Network& net, const core::DenseGrid& grid)
+      : cameras_(net.cameras().begin(), net.cameras().end()), mode_(net.mode()) {
+    std::vector<geom::Vec2> positions;
+    positions.reserve(cameras_.size());
+    double max_radius = 1e-6;
+    for (const core::Camera& cam : cameras_) {
+      positions.push_back(cam.position);
+      max_radius = std::max(max_radius, cam.radius);
+    }
+    if (!cameras_.empty()) {
+      index_ = core::SpatialIndex(positions, max_radius);
+    }
+    points_.reserve(grid.size());
+    grid.for_each([&](std::size_t, const geom::Vec2& p) { points_.push_back(p); });
+  }
+
+  [[nodiscard]] std::vector<core::Camera>& cameras() { return cameras_; }
+  [[nodiscard]] const std::vector<geom::Vec2>& points() const { return points_; }
+
+  /// Is grid point `p` full-view covered under the current orientations?
+  [[nodiscard]] bool point_covered(const geom::Vec2& p, double theta) const {
+    dirs_.clear();
+    index_.for_each_candidate(p, [&](std::size_t i) {
+      if (const auto dir = core::viewed_direction_if_covered(cameras_[i], p, mode_)) {
+        dirs_.push_back(*dir);
+      }
+    });
+    return core::full_view_covered(dirs_, theta).covered;
+  }
+
+  /// Grid points within camera i's range (the only ones its aim affects).
+  [[nodiscard]] std::vector<std::size_t> affected_points(std::size_t i) const {
+    std::vector<std::size_t> out;
+    const core::Camera& cam = cameras_[i];
+    const double r2 = cam.radius * cam.radius;
+    for (std::size_t j = 0; j < points_.size(); ++j) {
+      if (geom::displacement(cam.position, points_[j], mode_).norm2() <= r2) {
+        out.push_back(j);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t total_covered(double theta) const {
+    std::size_t covered = 0;
+    for (const geom::Vec2& p : points_) {
+      covered += point_covered(p, theta) ? 1 : 0;
+    }
+    return covered;
+  }
+
+ private:
+  std::vector<core::Camera> cameras_;
+  geom::SpaceMode mode_;
+  core::SpatialIndex index_;
+  std::vector<geom::Vec2> points_;
+  mutable std::vector<double> dirs_;
+};
+
+}  // namespace
+
+AimResult optimize_orientations(const core::Network& net, const core::DenseGrid& grid,
+                                const AimConfig& config) {
+  config.validate();
+  MutableFleet fleet(net, grid);
+  AimResult result;
+  result.initial_covered = fleet.total_covered(config.theta);
+  result.final_covered = result.initial_covered;
+  if (fleet.cameras().empty()) {
+    return result;
+  }
+
+  for (std::size_t sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    bool improved = false;
+    ++result.sweeps_used;
+    for (std::size_t i = 0; i < fleet.cameras().size(); ++i) {
+      const auto affected = fleet.affected_points(i);
+      if (affected.empty()) {
+        continue;
+      }
+      core::Camera& cam = fleet.cameras()[i];
+      const double incumbent_orientation = cam.orientation;
+      const auto local_score = [&]() {
+        std::size_t covered = 0;
+        for (std::size_t j : affected) {
+          covered += fleet.point_covered(fleet.points()[j], config.theta) ? 1 : 0;
+        }
+        return covered;
+      };
+      std::size_t best_score = local_score();
+      double best_orientation = incumbent_orientation;
+      for (std::size_t c = 0; c < config.candidates; ++c) {
+        const double candidate = static_cast<double>(c) * geom::kTwoPi /
+                                 static_cast<double>(config.candidates);
+        cam.orientation = candidate;
+        const std::size_t score = local_score();
+        if (score > best_score) {
+          best_score = score;
+          best_orientation = candidate;
+        }
+      }
+      cam.orientation = best_orientation;
+      if (best_orientation != incumbent_orientation) {
+        ++result.reorientations;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  result.final_covered = fleet.total_covered(config.theta);
+  result.cameras = fleet.cameras();
+  return result;
+}
+
+}  // namespace fvc::opt

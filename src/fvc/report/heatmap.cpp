@@ -1,0 +1,80 @@
+#include "fvc/report/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace fvc::report {
+
+CoverageMap::CoverageMap(std::size_t side,
+                         const std::function<double(const geom::Vec2&)>& field)
+    : side_(side) {
+  if (side == 0) {
+    throw std::invalid_argument("CoverageMap: side must be >= 1");
+  }
+  values_.reserve(side * side);
+  bool first = true;
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      const geom::Vec2 p{(static_cast<double>(c) + 0.5) / static_cast<double>(side),
+                         (static_cast<double>(r) + 0.5) / static_cast<double>(side)};
+      const double v = field(p);
+      values_.push_back(v);
+      if (first) {
+        min_ = max_ = v;
+        first = false;
+      } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+      }
+    }
+  }
+}
+
+double CoverageMap::value(std::size_t row, std::size_t col) const {
+  if (row >= side_ || col >= side_) {
+    throw std::out_of_range("CoverageMap::value: index outside map");
+  }
+  return values_[row * side_ + col];
+}
+
+namespace {
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr std::size_t kRampSize = sizeof(kRamp) - 1;
+}  // namespace
+
+void CoverageMap::render_ascii(std::ostream& os) const {
+  const double span = max_ - min_;
+  for (std::size_t r = side_; r-- > 0;) {  // row side_-1 (top, y near 1) first
+    for (std::size_t c = 0; c < side_; ++c) {
+      const double v = values_[r * side_ + c];
+      std::size_t level;
+      if (span <= 0.0) {
+        level = v > 0.0 ? kRampSize - 1 : 0;
+      } else {
+        level = static_cast<std::size_t>(((v - min_) / span) * (kRampSize - 1) + 0.5);
+        level = std::min(level, kRampSize - 1);
+      }
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+}
+
+void CoverageMap::write_ppm(std::ostream& os) const {
+  os << "P6\n" << side_ << ' ' << side_ << "\n255\n";
+  const double span = max_ - min_;
+  for (std::size_t r = side_; r-- > 0;) {
+    for (std::size_t c = 0; c < side_; ++c) {
+      const double v = values_[r * side_ + c];
+      const double t = span <= 0.0 ? (v > 0.0 ? 1.0 : 0.0) : (v - min_) / span;
+      const auto g = static_cast<unsigned char>(std::lround(255.0 * t));
+      os.put(static_cast<char>(g));
+      os.put(static_cast<char>(g));
+      os.put(static_cast<char>(g));
+    }
+  }
+}
+
+}  // namespace fvc::report

@@ -1,0 +1,47 @@
+/// \file heatmap.hpp
+/// \brief Coverage-map rendering: ASCII for terminals, PPM for reports.
+///
+/// The wildlife-monitor workflow and the repair optimizer both want to
+/// SHOW where coverage fails.  `CoverageMap` samples any per-point scalar
+/// (coverage degree, full-view status, confidence) over a square grid and
+/// renders it.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::report {
+
+/// A sampled scalar field over the unit square.
+class CoverageMap {
+ public:
+  /// Sample `field` on a side x side grid of cell centres.
+  /// \pre side >= 1
+  CoverageMap(std::size_t side, const std::function<double(const geom::Vec2&)>& field);
+
+  [[nodiscard]] std::size_t side() const { return side_; }
+  [[nodiscard]] double value(std::size_t row, std::size_t col) const;
+  [[nodiscard]] double min_value() const { return min_; }
+  [[nodiscard]] double max_value() const { return max_; }
+
+  /// ASCII rendering: rows top to bottom, one character per cell from the
+  /// ramp " .:-=+*#%@" scaled to [min, max].  A degenerate (constant)
+  /// field renders as all '@' when nonzero, all ' ' when zero.
+  void render_ascii(std::ostream& os) const;
+
+  /// Binary PPM (P6) grayscale rendering, 1 pixel per cell.
+  void write_ppm(std::ostream& os) const;
+
+ private:
+  std::size_t side_;
+  std::vector<double> values_;  // row-major, row 0 at y near 0
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fvc::report

@@ -1,0 +1,44 @@
+#include "fvc/report/series.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace fvc::report {
+
+void SeriesSet::add_column(std::string name, std::vector<double> values) {
+  if (name.empty()) {
+    throw std::invalid_argument("SeriesSet: column name must be non-empty");
+  }
+  names_.push_back(std::move(name));
+  values_.push_back(std::move(values));
+}
+
+std::size_t SeriesSet::length() const {
+  return values_.empty() ? 0 : values_.front().size();
+}
+
+void SeriesSet::write_csv(std::ostream& os) const {
+  if (names_.empty()) {
+    return;
+  }
+  const std::size_t len = length();
+  for (const auto& col : values_) {
+    if (col.size() != len) {
+      throw std::logic_error("SeriesSet::write_csv: ragged columns");
+    }
+  }
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << names_[c];
+  }
+  os << '\n';
+  os << std::setprecision(10);
+  for (std::size_t r = 0; r < len; ++r) {
+    for (std::size_t c = 0; c < values_.size(); ++c) {
+      os << (c == 0 ? "" : ",") << values_[c][r];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace fvc::report

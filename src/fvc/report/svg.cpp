@@ -1,0 +1,161 @@
+#include "fvc/report/svg.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/grid.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::report {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream ss;
+  ss.precision(2);
+  ss << std::fixed << v;
+  return ss.str();
+}
+
+/// Escape the characters XML text nodes cannot hold verbatim.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(double size) : size_(size) {
+  if (!(size > 0.0)) {
+    throw std::invalid_argument("SvgCanvas: size must be positive");
+  }
+}
+
+double SvgCanvas::px(double x) const { return x * size_; }
+double SvgCanvas::py(double y) const { return (1.0 - y) * size_; }
+
+void SvgCanvas::write(std::ostream& os) const {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size_ << "\" height=\""
+     << size_ << "\" viewBox=\"0 0 " << size_ << ' ' << size_ << "\">\n";
+  os << body_;
+  os << "</svg>\n";
+}
+
+void SvgCanvas::circle(const geom::Vec2& c, double radius, const std::string& fill,
+                       double opacity) {
+  body_ += "<circle cx=\"" + num(px(c.x)) + "\" cy=\"" + num(py(c.y)) + "\" r=\"" +
+           num(radius * size_) + "\" fill=\"" + fill + "\" fill-opacity=\"" +
+           num(opacity) + "\"/>\n";
+  ++elements_;
+}
+
+void SvgCanvas::sector(const geom::Vec2& c, double radius, double start_angle,
+                       double width, const std::string& fill, double opacity) {
+  if (width >= geom::kTwoPi - 1e-9) {
+    circle(c, radius, fill, opacity);
+    return;
+  }
+  const double end_angle = start_angle + width;
+  const geom::Vec2 a = c + geom::Vec2::from_angle(start_angle) * radius;
+  const geom::Vec2 b = c + geom::Vec2::from_angle(end_angle) * radius;
+  const int large_arc = width > geom::kPi ? 1 : 0;
+  // SVG's y axis points down, so a CCW sweep in unit coordinates is
+  // sweep-flag 0 in pixel coordinates.
+  body_ += "<path d=\"M " + num(px(c.x)) + ' ' + num(py(c.y)) + " L " + num(px(a.x)) +
+           ' ' + num(py(a.y)) + " A " + num(radius * size_) + ' ' + num(radius * size_) +
+           " 0 " + std::to_string(large_arc) + " 0 " + num(px(b.x)) + ' ' +
+           num(py(b.y)) + " Z\" fill=\"" + fill + "\" fill-opacity=\"" + num(opacity) +
+           "\"/>\n";
+  ++elements_;
+}
+
+void SvgCanvas::line(const geom::Vec2& a, const geom::Vec2& b, const std::string& stroke,
+                     double stroke_width_px) {
+  body_ += "<line x1=\"" + num(px(a.x)) + "\" y1=\"" + num(py(a.y)) + "\" x2=\"" +
+           num(px(b.x)) + "\" y2=\"" + num(py(b.y)) + "\" stroke=\"" + stroke +
+           "\" stroke-width=\"" + num(stroke_width_px) + "\"/>\n";
+  ++elements_;
+}
+
+void SvgCanvas::polyline(const std::vector<geom::Vec2>& points, const std::string& stroke,
+                         double stroke_width_px) {
+  if (points.size() < 2) {
+    return;
+  }
+  std::string attr;
+  for (const geom::Vec2& p : points) {
+    attr += num(px(p.x)) + ',' + num(py(p.y)) + ' ';
+  }
+  body_ += "<polyline points=\"" + attr + "\" fill=\"none\" stroke=\"" + stroke +
+           "\" stroke-width=\"" + num(stroke_width_px) + "\"/>\n";
+  ++elements_;
+}
+
+void SvgCanvas::rect(const geom::Vec2& lo, const geom::Vec2& hi, const std::string& fill,
+                     double opacity) {
+  const double x = px(std::min(lo.x, hi.x));
+  const double y = py(std::max(lo.y, hi.y));
+  const double w = std::abs(hi.x - lo.x) * size_;
+  const double h = std::abs(hi.y - lo.y) * size_;
+  body_ += "<rect x=\"" + num(x) + "\" y=\"" + num(y) + "\" width=\"" + num(w) +
+           "\" height=\"" + num(h) + "\" fill=\"" + fill + "\" fill-opacity=\"" +
+           num(opacity) + "\"/>\n";
+  ++elements_;
+}
+
+void SvgCanvas::text(const geom::Vec2& p, const std::string& content, double font_px,
+                     const std::string& fill) {
+  body_ += "<text x=\"" + num(px(p.x)) + "\" y=\"" + num(py(p.y)) + "\" font-size=\"" +
+           num(font_px) + "\" fill=\"" + fill + "\">" + escape(content) + "</text>\n";
+  ++elements_;
+}
+
+void render_network_svg(std::ostream& os, const core::Network& net,
+                        const NetworkSvgOptions& options) {
+  SvgCanvas canvas(options.canvas_size);
+  canvas.rect({0.0, 0.0}, {1.0, 1.0}, "#ffffff");
+  if (options.draw_sectors) {
+    for (const core::Camera& cam : net.cameras()) {
+      canvas.sector(cam.position, cam.radius, cam.orientation - 0.5 * cam.fov, cam.fov,
+                    options.sector_fill, 0.18);
+    }
+  }
+  if (options.draw_positions) {
+    for (const core::Camera& cam : net.cameras()) {
+      canvas.circle(cam.position, 0.004, options.position_fill);
+    }
+  }
+  if (options.hole_theta.has_value()) {
+    core::validate_theta(*options.hole_theta);
+    const core::DenseGrid grid(options.hole_grid_side);
+    std::vector<double> dirs;
+    grid.for_each([&](std::size_t, const geom::Vec2& p) {
+      net.viewed_directions_into(p, dirs);
+      if (!core::full_view_covered(dirs, *options.hole_theta).covered) {
+        canvas.circle(p, 0.006, options.hole_fill, 0.8);
+      }
+    });
+  }
+  canvas.write(os);
+}
+
+}  // namespace fvc::report

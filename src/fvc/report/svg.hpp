@@ -1,0 +1,86 @@
+/// \file svg.hpp
+/// \brief SVG rendering of deployments: camera sectors, coverage holes,
+/// obstacles, barriers — publication-ready figures from any experiment.
+///
+/// `SvgCanvas` is a tiny primitive writer (the unit square maps to a
+/// pixel viewport, y flipped so north is up); `render_network_svg`
+/// composes the standard deployment picture.  Everything emits plain SVG
+/// 1.1 with no dependencies.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvc/core/network.hpp"
+#include "fvc/geometry/vec2.hpp"
+
+namespace fvc::report {
+
+/// Primitive SVG writer over the unit square.
+class SvgCanvas {
+ public:
+  /// Viewport is `size` x `size` pixels; unit coordinates scale onto it.
+  /// \pre size > 0
+  explicit SvgCanvas(double size = 640.0);
+
+  /// Emit the document: header, accumulated body, footer.
+  void write(std::ostream& os) const;
+
+  /// Filled circle at unit-square position `c` with unit-scale radius.
+  void circle(const geom::Vec2& c, double radius, const std::string& fill,
+              double opacity = 1.0);
+
+  /// Circular sector (pie slice): apex `c`, radius, CCW from `start_angle`
+  /// spanning `width` radians.
+  void sector(const geom::Vec2& c, double radius, double start_angle, double width,
+              const std::string& fill, double opacity = 0.25);
+
+  /// Stroked segment.
+  void line(const geom::Vec2& a, const geom::Vec2& b, const std::string& stroke,
+            double stroke_width_px = 1.0);
+
+  /// Stroked open polyline through `points`.
+  void polyline(const std::vector<geom::Vec2>& points, const std::string& stroke,
+                double stroke_width_px = 1.0);
+
+  /// Axis-aligned rectangle from corner `lo` to corner `hi`.
+  void rect(const geom::Vec2& lo, const geom::Vec2& hi, const std::string& fill,
+            double opacity = 1.0);
+
+  /// Text label anchored at `p` (unit coordinates), font in pixels.
+  void text(const geom::Vec2& p, const std::string& content, double font_px = 12.0,
+            const std::string& fill = "#333333");
+
+  [[nodiscard]] double size() const { return size_; }
+  [[nodiscard]] std::size_t element_count() const { return elements_; }
+
+ private:
+  /// Map unit coordinates to pixels (y flipped).
+  [[nodiscard]] double px(double x) const;
+  [[nodiscard]] double py(double y) const;
+
+  double size_;
+  std::string body_;
+  std::size_t elements_ = 0;
+};
+
+/// Options for the standard deployment rendering.
+struct NetworkSvgOptions {
+  double canvas_size = 640.0;
+  bool draw_sectors = true;          ///< translucent sensing sectors
+  bool draw_positions = true;        ///< camera position dots
+  std::optional<double> hole_theta;  ///< when set, mark full-view holes on a grid
+  std::size_t hole_grid_side = 32;   ///< audit resolution for hole marking
+  std::string sector_fill = "#4477aa";
+  std::string position_fill = "#222222";
+  std::string hole_fill = "#cc3311";
+};
+
+/// Render a deployment (and optionally its full-view holes) to SVG.
+void render_network_svg(std::ostream& os, const core::Network& net,
+                        const NetworkSvgOptions& options);
+
+}  // namespace fvc::report

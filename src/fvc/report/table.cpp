@@ -1,0 +1,88 @@
+#include "fvc/report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fvc::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count does not match headers");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string fmt_sci(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string fmt_ci(double p, double lo, double hi, int precision) {
+  std::ostringstream ss;
+  ss << fmt(p, precision) << " [" << fmt(lo, precision) << ", " << fmt(hi, precision)
+     << "]";
+  return ss.str();
+}
+
+std::string fmt_interval(double lo, double hi, int precision) {
+  std::ostringstream ss;
+  ss << '[' << fmt(lo, precision) << ", " << fmt(hi, precision) << ']';
+  return ss.str();
+}
+
+std::string fmt_point(double x, double y, int precision) {
+  std::ostringstream ss;
+  ss << '(' << fmt(x, precision) << ", " << fmt(y, precision) << ')';
+  return ss.str();
+}
+
+std::string fmt_signed(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::showpos << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+}  // namespace fvc::report

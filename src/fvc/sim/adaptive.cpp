@@ -1,0 +1,65 @@
+#include "fvc/sim/adaptive.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/sim/thread_pool.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+
+void AdaptiveConfig::validate() const {
+  if (!(max_ci_width > 0.0) || max_ci_width >= 1.0) {
+    throw std::invalid_argument("AdaptiveConfig: max_ci_width must be in (0, 1)");
+  }
+  if (batch == 0) {
+    throw std::invalid_argument("AdaptiveConfig: batch must be >= 1");
+  }
+  if (min_trials == 0 || min_trials > max_trials) {
+    throw std::invalid_argument("AdaptiveConfig: need 1 <= min_trials <= max_trials");
+  }
+}
+
+AdaptiveEstimate estimate_events_adaptive(const TrialConfig& trial_cfg,
+                                          const AdaptiveConfig& cfg,
+                                          std::uint64_t master_seed) {
+  cfg.validate();
+  validate(trial_cfg);
+  const std::size_t threads = cfg.threads == 0 ? default_thread_count() : cfg.threads;
+
+  AdaptiveEstimate result;
+  std::size_t next_trial = 0;
+  while (next_trial < cfg.max_trials) {
+    const std::size_t count = std::min(cfg.batch, cfg.max_trials - next_trial);
+    std::vector<TrialEvents> batch(count);
+    parallel_for(count, threads, [&](std::size_t i) {
+      batch[i] = run_trial_events(trial_cfg, stats::mix64(master_seed, next_trial + i));
+    });
+    next_trial += count;
+    for (const TrialEvents& ev : batch) {
+      result.events.necessary.successes += ev.all_necessary ? 1 : 0;
+      result.events.full_view.successes += ev.all_full_view ? 1 : 0;
+      result.events.sufficient.successes += ev.all_sufficient ? 1 : 0;
+    }
+    result.events.necessary.trials = next_trial;
+    result.events.full_view.trials = next_trial;
+    result.events.sufficient.trials = next_trial;
+
+    if (next_trial < cfg.min_trials) {
+      continue;
+    }
+    const EventEstimate& target = cfg.target == TargetEvent::kNecessary
+                                      ? result.events.necessary
+                                      : cfg.target == TargetEvent::kFullView
+                                            ? result.events.full_view
+                                            : result.events.sufficient;
+    if (target.wilson().width() <= cfg.max_ci_width) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.trials_used = next_trial;
+  return result;
+}
+
+}  // namespace fvc::sim

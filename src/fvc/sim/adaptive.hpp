@@ -1,0 +1,55 @@
+/// \file adaptive.hpp
+/// \brief Adaptive Monte-Carlo: run trials until the estimate is tight.
+///
+/// Fixed trial budgets either waste work (deep in the covered/uncovered
+/// phases the answer is obvious after a handful of trials) or under-resolve
+/// the interesting mid-band points.  `estimate_events_adaptive` runs
+/// batches of trials until the Wilson interval of the TARGET event is
+/// narrower than `max_ci_width` (or the trial cap is reached), reusing the
+/// deterministic seeding scheme so results remain reproducible.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/trial.hpp"
+
+namespace fvc::sim {
+
+/// Which whole-grid event drives the stopping rule.
+enum class TargetEvent {
+  kNecessary,
+  kFullView,
+  kSufficient,
+};
+
+/// Stopping-rule configuration.
+struct AdaptiveConfig {
+  TargetEvent target = TargetEvent::kFullView;
+  double max_ci_width = 0.1;    ///< stop when the Wilson 95% CI is narrower
+  std::size_t batch = 20;       ///< trials per round
+  std::size_t min_trials = 20;  ///< never stop before this many
+  std::size_t max_trials = 2000;///< hard cap
+  std::size_t threads = 0;      ///< 0 = default_thread_count()
+
+  /// \throws std::invalid_argument on non-positive widths/batches or
+  /// min > max.
+  void validate() const;
+};
+
+/// Result: the standard estimates plus how many trials the rule used.
+struct AdaptiveEstimate {
+  GridEventsEstimate events;
+  std::size_t trials_used = 0;
+  bool converged = false;  ///< CI target met before the cap
+};
+
+/// Run batches of `cfg.base`-style trials (deterministically seeded from
+/// `master_seed`, batch b covering trial indices [b*batch, (b+1)*batch))
+/// until the stopping rule fires.
+[[nodiscard]] AdaptiveEstimate estimate_events_adaptive(const TrialConfig& trial_cfg,
+                                                        const AdaptiveConfig& cfg,
+                                                        std::uint64_t master_seed);
+
+}  // namespace fvc::sim

@@ -1,0 +1,47 @@
+#include "fvc/sim/incremental.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+
+void IncrementalConfig::validate() const {
+  core::validate_theta(theta);
+  if (batch == 0) {
+    throw std::invalid_argument("IncrementalConfig: batch must be >= 1");
+  }
+  if (max_cameras < batch) {
+    throw std::invalid_argument("IncrementalConfig: max_cameras must be >= batch");
+  }
+  if (grid_side == 0) {
+    throw std::invalid_argument("IncrementalConfig: grid_side must be >= 1");
+  }
+}
+
+IncrementalResult provision_until_covered(const IncrementalConfig& config,
+                                          std::uint64_t seed) {
+  config.validate();
+  stats::Pcg32 rng = stats::make_child_rng(seed, 0x1AC5);
+  const core::DenseGrid grid(config.grid_side);
+  std::vector<core::Camera> fleet;
+  IncrementalResult result;
+  while (fleet.size() < config.max_cameras) {
+    const auto batch = deploy::deploy_uniform(config.profile, config.batch, rng);
+    fleet.insert(fleet.end(), batch.begin(), batch.end());
+    ++result.batches_deployed;
+    const core::Network net(fleet);
+    if (core::grid_all_full_view(net, grid, config.theta)) {
+      result.population = fleet.size();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace fvc::sim

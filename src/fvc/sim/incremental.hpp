@@ -1,0 +1,49 @@
+/// \file incremental.hpp
+/// \brief Incremental provisioning: grow a deployment until the region is
+/// full-view covered, measuring the EMPIRICAL population requirement.
+///
+/// The CSA theorems answer the provisioning question asymptotically; a
+/// field team deploys in batches and stops when the audit passes.  This
+/// simulates exactly that and reports the stopping population, which the
+/// PROVISION bench compares against the Theorem 1/2 predictions — the
+/// finite-n sharpness check of the paper's central result.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fvc/core/camera_group.hpp"
+#include "fvc/core/grid.hpp"
+
+namespace fvc::sim {
+
+/// Incremental deployment parameters.
+struct IncrementalConfig {
+  /// Hardware shape: fractions/fov/radius-ratios are kept; the absolute
+  /// sensing areas are used as-is (no rescaling).
+  core::HeterogeneousProfile profile = core::HeterogeneousProfile::homogeneous(0.1, 1.0);
+  double theta = 1.0;            ///< full-view effective angle
+  std::size_t batch = 25;        ///< cameras added per round
+  std::size_t max_cameras = 100000;  ///< give-up bound
+  std::size_t grid_side = 24;    ///< audit grid resolution
+
+  /// \throws std::invalid_argument on bad theta/batch/limits.
+  void validate() const;
+};
+
+/// Result of one incremental run.
+struct IncrementalResult {
+  /// Population at which the audit first passed; empty when max_cameras
+  /// was reached still uncovered.
+  std::optional<std::size_t> population;
+  std::size_t batches_deployed = 0;
+};
+
+/// Deploy `batch` uniformly-random cameras per round until the grid is
+/// full-view covered with `theta` (or the cap is hit).  Deterministic for
+/// a fixed seed.
+[[nodiscard]] IncrementalResult provision_until_covered(const IncrementalConfig& config,
+                                                        std::uint64_t seed);
+
+}  // namespace fvc::sim

@@ -1,0 +1,68 @@
+#include "fvc/sim/monte_carlo.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/sim/thread_pool.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+
+double EventEstimate::p() const {
+  return stats::proportion(successes, trials);
+}
+
+stats::Interval EventEstimate::wilson(double z) const {
+  return stats::wilson_interval(successes, trials, z);
+}
+
+GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t trials,
+                                        std::uint64_t master_seed, std::size_t threads) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_grid_events: trials must be >= 1");
+  }
+  validate(cfg);
+  std::vector<TrialEvents> results(trials);
+  parallel_for(trials, threads, [&](std::size_t t) {
+    results[t] = run_trial_events(cfg, stats::mix64(master_seed, t));
+  });
+  GridEventsEstimate est;
+  est.necessary.trials = est.full_view.trials = est.sufficient.trials = trials;
+  for (const TrialEvents& ev : results) {
+    est.necessary.successes += ev.all_necessary ? 1 : 0;
+    est.full_view.successes += ev.all_full_view ? 1 : 0;
+    est.sufficient.successes += ev.all_sufficient ? 1 : 0;
+  }
+  return est;
+}
+
+FractionEstimate estimate_fractions(const TrialConfig& cfg, std::size_t trials,
+                                    std::uint64_t master_seed, std::size_t threads) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_fractions: trials must be >= 1");
+  }
+  validate(cfg);
+  struct PerTrial {
+    core::RegionCoverageStats stats;
+    std::size_t deployed = 0;
+  };
+  std::vector<PerTrial> results(trials);
+  parallel_for(trials, threads, [&](std::size_t t) {
+    const std::uint64_t seed = stats::mix64(master_seed, t);
+    const core::Network net = deploy(cfg, seed);
+    results[t].deployed = net.size();
+    results[t].stats = core::evaluate_region(net, cfg.grid(), cfg.theta);
+  });
+  FractionEstimate est;
+  for (const PerTrial& r : results) {
+    est.covered_1.add(r.stats.fraction_covered_1());
+    est.necessary.add(r.stats.fraction_necessary());
+    est.full_view.add(r.stats.fraction_full_view());
+    est.sufficient.add(r.stats.fraction_sufficient());
+    est.k_covered.add(r.stats.fraction_k_covered());
+    est.deployed_count.add(static_cast<double>(r.deployed));
+  }
+  return est;
+}
+
+}  // namespace fvc::sim

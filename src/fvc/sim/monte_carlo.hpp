@@ -1,0 +1,57 @@
+/// \file monte_carlo.hpp
+/// \brief Multi-trial estimators over the trial runner.
+///
+/// Determinism contract: trial t of a run with master seed S is seeded with
+/// mix64(S, t), so estimates are bit-identical across thread counts.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fvc/sim/trial.hpp"
+#include "fvc/stats/confidence.hpp"
+#include "fvc/stats/summary.hpp"
+
+namespace fvc::sim {
+
+/// Estimate of a Bernoulli event from repeated trials.
+struct EventEstimate {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+
+  [[nodiscard]] double p() const;
+  [[nodiscard]] stats::Interval wilson(double z = 1.96) const;
+};
+
+/// Monte-Carlo estimates of the three whole-grid events.
+struct GridEventsEstimate {
+  EventEstimate necessary;   ///< P(H_N): grid meets the necessary condition
+  EventEstimate full_view;   ///< P(grid exactly full-view covered)
+  EventEstimate sufficient;  ///< P(H_S): grid meets the sufficient condition
+};
+
+/// Run `trials` independent trials of `cfg` on `threads` workers and count
+/// the whole-grid events.
+[[nodiscard]] GridEventsEstimate estimate_grid_events(const TrialConfig& cfg,
+                                                      std::size_t trials,
+                                                      std::uint64_t master_seed,
+                                                      std::size_t threads);
+
+/// Monte-Carlo estimates of the per-point fractions, i.e. the empirical
+/// counterparts of the expected-area probabilities P(F_N,P)-bar, P_N, P_S.
+struct FractionEstimate {
+  stats::OnlineStats covered_1;
+  stats::OnlineStats necessary;
+  stats::OnlineStats full_view;
+  stats::OnlineStats sufficient;
+  stats::OnlineStats k_covered;
+  stats::OnlineStats deployed_count;  ///< realized sensor count (Poisson varies)
+};
+
+/// Run `trials` trials and accumulate per-trial grid fractions.
+[[nodiscard]] FractionEstimate estimate_fractions(const TrialConfig& cfg,
+                                                  std::size_t trials,
+                                                  std::uint64_t master_seed,
+                                                  std::size_t threads);
+
+}  // namespace fvc::sim

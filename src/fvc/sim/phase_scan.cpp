@@ -1,0 +1,43 @@
+#include "fvc/sim/phase_scan.hpp"
+
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/sim/thread_pool.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+
+std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
+  if (cfg.q_values.empty()) {
+    throw std::invalid_argument("run_phase_scan: need at least one q value");
+  }
+  if (cfg.trials == 0) {
+    throw std::invalid_argument("run_phase_scan: trials must be >= 1");
+  }
+  validate(cfg.base);
+  const std::size_t threads =
+      cfg.threads == 0 ? default_thread_count() : cfg.threads;
+  const double csa_n =
+      analysis::csa_necessary(static_cast<double>(cfg.base.n), cfg.base.theta);
+
+  std::vector<PhasePoint> points;
+  points.reserve(cfg.q_values.size());
+  for (std::size_t i = 0; i < cfg.q_values.size(); ++i) {
+    const double q = cfg.q_values[i];
+    if (!(q > 0.0)) {
+      throw std::invalid_argument("run_phase_scan: q values must be positive");
+    }
+    TrialConfig point_cfg = cfg.base;
+    point_cfg.profile = cfg.base.profile.with_weighted_area(q * csa_n);
+    PhasePoint point;
+    point.q = q;
+    point.weighted_area = point_cfg.profile.weighted_sensing_area();
+    point.events = estimate_grid_events(point_cfg, cfg.trials,
+                                        stats::mix64(cfg.master_seed, i), threads);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace fvc::sim

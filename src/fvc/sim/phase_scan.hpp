@@ -1,0 +1,44 @@
+/// \file phase_scan.hpp
+/// \brief Phase-transition scans around the CSA thresholds (the §VI-C
+/// "gap" experiment).
+///
+/// For a grid of multipliers q, the scan dials the profile's weighted
+/// sensing area to q * CSA_necessary(n, theta) and estimates the
+/// probabilities of the three whole-grid events.  The paper predicts:
+/// below q = 1 the necessary condition (hence coverage) fails with
+/// probability bounded away from 0; above s_Sc (~2x s_Nc) full-view
+/// coverage is achieved w.h.p.; in between the outcome depends on the
+/// actual deployment.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/trial.hpp"
+
+namespace fvc::sim {
+
+/// One row of a phase scan.
+struct PhasePoint {
+  double q = 0.0;               ///< multiplier of the necessary CSA
+  double weighted_area = 0.0;   ///< realized s_c at this point
+  GridEventsEstimate events;    ///< MC event probabilities
+};
+
+/// Scan configuration.
+struct PhaseScanConfig {
+  TrialConfig base;             ///< profile shape, n, theta, deployment
+  std::vector<double> q_values; ///< multipliers of CSA_necessary
+  std::size_t trials = 100;     ///< MC trials per point
+  std::uint64_t master_seed = 1;
+  std::size_t threads = 0;      ///< 0 = default_thread_count()
+};
+
+/// Run the scan.  The base profile's *shape* (group fractions, fov values
+/// and radius ratios) is preserved; only the overall sensing-area scale is
+/// dialed per point.
+[[nodiscard]] std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg);
+
+}  // namespace fvc::sim

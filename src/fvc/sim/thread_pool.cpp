@@ -1,0 +1,58 @@
+#include "fvc/sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace fvc::sim {
+
+std::size_t default_thread_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hc == 0 ? 1 : hc, 1, 64);
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  threads = std::clamp<std::size_t>(threads, 1, count);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        cursor.store(count, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace fvc::sim

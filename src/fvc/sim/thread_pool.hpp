@@ -1,0 +1,33 @@
+/// \file thread_pool.hpp
+/// \brief Minimal work-sharing parallel-for for Monte-Carlo trials.
+///
+/// Trials are embarrassingly parallel and independently seeded, so a
+/// shared atomic cursor is all the scheduling needed.  Results are written
+/// into caller-owned per-index slots, which keeps the engine deterministic
+/// regardless of thread count.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fvc::sim {
+
+/// Number of worker threads to use by default: hardware concurrency,
+/// clamped to [1, 64].
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Run `fn(i)` for every i in [0, count) across `threads` workers.  Indices
+/// are claimed from an atomic cursor, so work is balanced even when trial
+/// costs vary (early-exit trials are much cheaper than full scans).  The
+/// first exception thrown by any worker is rethrown on the caller's thread
+/// after all workers join.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace fvc::sim

@@ -1,0 +1,37 @@
+#include "fvc/sim/threshold_search.hpp"
+
+#include <stdexcept>
+
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+
+double find_threshold(const ProbabilityAt& estimate, const ThresholdSearchConfig& config) {
+  if (!(config.q_lo < config.q_hi)) {
+    throw std::invalid_argument("find_threshold: need q_lo < q_hi");
+  }
+  if (!(config.target > 0.0) || !(config.target < 1.0)) {
+    throw std::invalid_argument("find_threshold: target must be in (0, 1)");
+  }
+  if (config.iterations < 1) {
+    throw std::invalid_argument("find_threshold: need at least one iteration");
+  }
+  if (!estimate) {
+    throw std::invalid_argument("find_threshold: estimator must be callable");
+  }
+  double lo = config.q_lo;
+  double hi = config.q_hi;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double p =
+        estimate(mid, stats::mix64(config.seed, static_cast<std::uint64_t>(iter)));
+    if (p < config.target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace fvc::sim

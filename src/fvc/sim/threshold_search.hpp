@@ -1,0 +1,40 @@
+/// \file threshold_search.hpp
+/// \brief Empirical threshold location: bisect a Monte-Carlo event
+/// probability for its crossing point.
+///
+/// Several experiments (the CONJ conjecture probe, calibration of
+/// engineering margins) need "the q at which P(event) crosses p_target"
+/// where the event probability is only available through simulation and
+/// is monotone in q.  This utility wraps the noisy bisection: at each step
+/// it estimates the probability at the midpoint with a fixed trial budget
+/// and recurses on the side indicated.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fvc::sim {
+
+/// A probability estimator at a scalar operating point q.  Implementations
+/// should be deterministic given (q, seed).
+using ProbabilityAt = std::function<double(double q, std::uint64_t seed)>;
+
+/// Configuration of the bisection.
+struct ThresholdSearchConfig {
+  double q_lo = 0.0;       ///< operating point where the event surely fails
+  double q_hi = 1.0;       ///< operating point where it surely succeeds
+  double target = 0.5;     ///< probability level to locate
+  int iterations = 8;      ///< bisection steps (resolution (q_hi-q_lo)/2^iters)
+  std::uint64_t seed = 1;  ///< base seed; each step derives its own stream
+};
+
+/// Locate the crossing.  Requires target in (0,1), q_lo < q_hi,
+/// iterations >= 1; throws std::invalid_argument otherwise.  The estimator
+/// is assumed non-decreasing in q in expectation; Monte-Carlo noise makes
+/// individual comparisons fallible, so use a trial budget giving standard
+/// errors well under the local slope.
+[[nodiscard]] double find_threshold(const ProbabilityAt& estimate,
+                                    const ThresholdSearchConfig& config);
+
+}  // namespace fvc::sim

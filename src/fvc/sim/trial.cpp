@@ -1,0 +1,71 @@
+#include "fvc/sim/trial.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/deploy/poisson.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+
+core::DenseGrid TrialConfig::grid() const {
+  if (grid_side.has_value()) {
+    return core::DenseGrid(*grid_side);
+  }
+  return core::DenseGrid::for_network_size(n);
+}
+
+void validate(const TrialConfig& cfg) {
+  if (cfg.n < 3) {
+    throw std::invalid_argument("TrialConfig: n must be >= 3");
+  }
+  core::validate_theta(cfg.theta);
+  if (cfg.grid_side.has_value() && *cfg.grid_side == 0) {
+    throw std::invalid_argument("TrialConfig: grid_side must be >= 1");
+  }
+}
+
+core::Network deploy(const TrialConfig& cfg, std::uint64_t seed) {
+  validate(cfg);
+  stats::Pcg32 rng = stats::make_child_rng(seed, 0);
+  switch (cfg.deployment) {
+    case Deployment::kUniform:
+      return deploy::deploy_uniform_network(cfg.profile, cfg.n, rng);
+    case Deployment::kPoisson:
+      return deploy::deploy_poisson_network(cfg.profile, static_cast<double>(cfg.n), rng);
+  }
+  throw std::logic_error("deploy: unknown deployment scheme");
+}
+
+TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed) {
+  const core::Network net = deploy(cfg, seed);
+  const core::DenseGrid grid = cfg.grid();
+  TrialEvents ev{true, true, true};
+  std::vector<double> dirs;
+  const std::size_t total = grid.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    const geom::Vec2 p = grid.point(i);
+    net.viewed_directions_into(p, dirs);
+    // Per-point nesting: a necessary-condition failure fails everything.
+    if (!core::meets_necessary_condition(dirs, cfg.theta)) {
+      return {false, false, false};
+    }
+    if (ev.all_full_view && !core::full_view_covered(dirs, cfg.theta).covered) {
+      ev.all_full_view = false;
+      ev.all_sufficient = false;  // sufficient implies full view
+    }
+    if (ev.all_sufficient && !core::meets_sufficient_condition(dirs, cfg.theta)) {
+      ev.all_sufficient = false;
+    }
+  }
+  return ev;
+}
+
+core::RegionCoverageStats run_trial_region(const TrialConfig& cfg, std::uint64_t seed) {
+  const core::Network net = deploy(cfg, seed);
+  return core::evaluate_region(net, cfg.grid(), cfg.theta);
+}
+
+}  // namespace fvc::sim

@@ -1,0 +1,60 @@
+/// \file trial.hpp
+/// \brief One Monte-Carlo trial: deploy a network, evaluate the grid.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fvc/core/camera_group.hpp"
+#include "fvc/core/grid.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/core/region_coverage.hpp"
+
+namespace fvc::sim {
+
+/// How sensors are placed.
+enum class Deployment {
+  kUniform,  ///< exactly n sensors, i.i.d. uniform (Sections III/IV)
+  kPoisson,  ///< Poisson(n) sensors, thinned groups (Section V)
+};
+
+/// Everything a trial needs except the seed.
+struct TrialConfig {
+  /// Camera population (defaults to a small homogeneous placeholder so the
+  /// struct is default-constructible; real configs always overwrite it).
+  core::HeterogeneousProfile profile = core::HeterogeneousProfile::homogeneous(0.1, 1.0);
+  std::size_t n = 0;                   ///< population size / Poisson density
+  double theta = 0.0;                  ///< effective angle
+  Deployment deployment = Deployment::kUniform;
+  /// Grid side override; when absent the paper's m = n log n rule is used.
+  std::optional<std::size_t> grid_side;
+
+  /// The grid this config evaluates on.
+  [[nodiscard]] core::DenseGrid grid() const;
+};
+
+/// Validate a config (n >= 3, theta in (0, pi]); throws on violation.
+void validate(const TrialConfig& cfg);
+
+/// Deploy one network for this config and seed.
+[[nodiscard]] core::Network deploy(const TrialConfig& cfg, std::uint64_t seed);
+
+/// Whole-grid event bits for one trial.  Because the point predicates nest
+/// (sufficient => full view => necessary), a single grid pass with early
+/// exit computes all three.
+struct TrialEvents {
+  bool all_necessary = false;
+  bool all_full_view = false;
+  bool all_sufficient = false;
+};
+
+/// Run one trial and report the whole-grid events.
+[[nodiscard]] TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed);
+
+/// Run one trial and report the full per-point aggregate counts (no early
+/// exit); used for the fraction/expected-area experiments.
+[[nodiscard]] core::RegionCoverageStats run_trial_region(const TrialConfig& cfg,
+                                                         std::uint64_t seed);
+
+}  // namespace fvc::sim

@@ -1,0 +1,54 @@
+#include "fvc/stats/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fvc::stats {
+
+namespace {
+void validate(std::size_t successes, std::size_t trials) {
+  if (trials == 0) {
+    throw std::invalid_argument("confidence interval: trials must be positive");
+  }
+  if (successes > trials) {
+    throw std::invalid_argument("confidence interval: successes > trials");
+  }
+}
+}  // namespace
+
+double proportion(std::size_t successes, std::size_t trials) {
+  validate(successes, trials);
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  validate(successes, trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval ci{std::max(0.0, centre - half), std::min(1.0, centre + half)};
+  // Pin the exact endpoints: rounding must not exclude the point estimate
+  // at 0 or 1 successes.
+  if (successes == 0) {
+    ci.lo = 0.0;
+  }
+  if (successes == trials) {
+    ci.hi = 1.0;
+  }
+  return ci;
+}
+
+Interval wald_interval(std::size_t successes, std::size_t trials, double z) {
+  validate(successes, trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double half = z * std::sqrt(p * (1.0 - p) / n);
+  return {std::max(0.0, p - half), std::min(1.0, p + half)};
+}
+
+}  // namespace fvc::stats

@@ -1,0 +1,35 @@
+/// \file confidence.hpp
+/// \brief Confidence intervals for Monte-Carlo proportion estimates.
+///
+/// Coverage events are Bernoulli; we report Wilson score intervals, which
+/// behave well near 0 and 1 where the paper's phase-transition curves live.
+
+#pragma once
+
+#include <cstddef>
+
+namespace fvc::stats {
+
+/// A two-sided confidence interval for a proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] bool contains(double p) const { return lo <= p && p <= hi; }
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// given by the two-sided z-value (default 1.96 ~ 95%).
+/// \pre trials > 0, successes <= trials
+[[nodiscard]] Interval wilson_interval(std::size_t successes, std::size_t trials,
+                                       double z = 1.96);
+
+/// Normal-approximation (Wald) interval; kept for comparison/tests.
+[[nodiscard]] Interval wald_interval(std::size_t successes, std::size_t trials,
+                                     double z = 1.96);
+
+/// Point estimate of a proportion.
+[[nodiscard]] double proportion(std::size_t successes, std::size_t trials);
+
+}  // namespace fvc::stats

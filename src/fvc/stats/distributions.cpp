@@ -1,0 +1,88 @@
+#include "fvc/stats/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fvc::stats {
+
+double uniform01(Pcg32& rng) {
+  const std::uint64_t hi = rng();
+  const std::uint64_t lo = rng();
+  const std::uint64_t bits53 = ((hi << 21) ^ lo) & ((1ULL << 53) - 1);
+  return static_cast<double>(bits53) * 0x1.0p-53;
+}
+
+double uniform_in(Pcg32& rng, double lo, double hi) {
+  if (!(lo <= hi)) {
+    throw std::invalid_argument("uniform_in: lo > hi");
+  }
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+std::uint32_t uniform_below(Pcg32& rng, std::uint32_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("uniform_below: bound must be positive");
+  }
+  // Lemire's nearly-divisionless method.
+  std::uint64_t m = static_cast<std::uint64_t>(rng()) * bound;
+  auto l = static_cast<std::uint32_t>(m);
+  if (l < bound) {
+    const std::uint32_t t = -bound % bound;
+    while (l < t) {
+      m = static_cast<std::uint64_t>(rng()) * bound;
+      l = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+bool bernoulli(Pcg32& rng, double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform01(rng) < p;
+}
+
+namespace {
+
+std::uint64_t poisson_knuth(Pcg32& rng, double mean) {
+  const double l = std::exp(-mean);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform01(rng);
+  } while (p > l);
+  return k - 1;
+}
+
+}  // namespace
+
+std::uint64_t poisson(Pcg32& rng, double mean) {
+  if (mean < 0.0 || !std::isfinite(mean)) {
+    throw std::invalid_argument("poisson: mean must be finite and non-negative");
+  }
+  std::uint64_t total = 0;
+  while (mean > 30.0) {
+    total += poisson_knuth(rng, 30.0);
+    mean -= 30.0;
+  }
+  if (mean > 0.0) {
+    total += poisson_knuth(rng, mean);
+  }
+  return total;
+}
+
+double standard_normal(Pcg32& rng) {
+  double u1 = uniform01(rng);
+  while (u1 <= 0.0) {
+    u1 = uniform01(rng);
+  }
+  const double u2 = uniform01(rng);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace fvc::stats

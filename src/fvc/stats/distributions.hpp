@@ -1,0 +1,41 @@
+/// \file distributions.hpp
+/// \brief Sampling routines used by the deployment generators.
+///
+/// All samplers take the engine by reference and are deterministic given
+/// the engine state.  The Poisson sampler is needed for the Poisson point
+/// process (paper Section V): the number of sensors in the region is
+/// Poisson(n), positions conditionally uniform.
+
+#pragma once
+
+#include <cstdint>
+
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::stats {
+
+/// Uniform double in [0, 1), 53-bit resolution (two 32-bit draws).
+[[nodiscard]] double uniform01(Pcg32& rng);
+
+/// Uniform double in [lo, hi).
+[[nodiscard]] double uniform_in(Pcg32& rng, double lo, double hi);
+
+/// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+[[nodiscard]] std::uint32_t uniform_below(Pcg32& rng, std::uint32_t bound);
+
+/// Bernoulli(p).
+[[nodiscard]] bool bernoulli(Pcg32& rng, double p);
+
+/// Poisson(mean).  Knuth multiplication for mean <= 30, else the normal
+/// approximation with continuity correction is *not* used — instead we
+/// split the mean: Poisson(a+b) = Poisson(a) + Poisson(b), recursing on
+/// chunks of 30, which stays exact (sum of independent Poissons) at the
+/// cost of O(mean/30) work.  Means in these experiments are at most a few
+/// thousand, so this is fast enough and bias-free.
+[[nodiscard]] std::uint64_t poisson(Pcg32& rng, double mean);
+
+/// Standard normal via Box-Muller (one value per call; the partner draw is
+/// discarded for simplicity and statelessness).
+[[nodiscard]] double standard_normal(Pcg32& rng);
+
+}  // namespace fvc::stats

@@ -1,0 +1,69 @@
+#include "fvc/stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fvc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Histogram: lo must be < hi");
+  }
+  if (bins == 0) {
+    throw std::invalid_argument("Histogram: need at least one bin");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (bin >= counts_.size()) {
+    bin = counts_.size() - 1;  // guards rounding at the top edge
+  }
+  ++counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q outside [0,1]");
+  }
+  if (total_ == 0) {
+    return lo_;
+  }
+  const auto target = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::size_t acc = underflow_;
+  if (acc >= target) {
+    return lo_;
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    acc += counts_[b];
+    if (acc >= target) {
+      return lo_ + (static_cast<double>(b) + 1.0) * bin_width_;
+    }
+  }
+  return hi_;
+}
+
+}  // namespace fvc::stats

@@ -1,0 +1,48 @@
+/// \file histogram.hpp
+/// \brief Fixed-bin histogram for distribution diagnostics (e.g. the
+/// distribution of angular gaps around grid points).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fvc::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+  /// Centre of bin `bin`.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Fraction of all observations (including under/overflow) in `bin`.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Smallest x such that at least `q` of the observations are <= x,
+  /// estimated from bin boundaries (ignores under/overflow interiors).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fvc::stats

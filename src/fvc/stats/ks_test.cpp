@@ -1,0 +1,87 @@
+#include "fvc/stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fvc::stats {
+
+namespace {
+constexpr double geom_pi_sq() {
+  return 3.14159265358979323846 * 3.14159265358979323846;
+}
+}  // namespace
+
+double ks_statistic(std::span<const double> sample,
+                    const std::function<double(double)>& cdf) {
+  if (sample.empty()) {
+    throw std::invalid_argument("ks_statistic: sample must be non-empty");
+  }
+  if (!cdf) {
+    throw std::invalid_argument("ks_statistic: cdf must be callable");
+  }
+  std::vector<double> xs(sample.begin(), sample.end());
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = cdf(xs[i]);
+    if (f < -1e-12 || f > 1.0 + 1e-12) {
+      throw std::invalid_argument("ks_statistic: cdf value outside [0, 1]");
+    }
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return d;
+}
+
+double ks_statistic_uniform(std::span<const double> sample, double lo, double hi) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("ks_statistic_uniform: need lo < hi");
+  }
+  return ks_statistic(sample, [lo, hi](double x) {
+    return std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+  });
+}
+
+double ks_p_value(double d, std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("ks_p_value: n must be >= 1");
+  }
+  if (d < 0.0 || d > 1.0) {
+    throw std::invalid_argument("ks_p_value: d must be in [0, 1]");
+  }
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  if (lambda < 1e-6) {
+    return 1.0;
+  }
+  // Two dual series for the Kolmogorov distribution; each converges fast
+  // on its side of lambda ~ 1.18 (Numerical Recipes' switch point).
+  if (lambda < 1.18) {
+    // P(D < d) = (sqrt(2*pi)/lambda) * sum_j exp(-(2j-1)^2 pi^2/(8 lambda^2))
+    const double t = std::exp(-geom_pi_sq() / (8.0 * lambda * lambda));
+    const double cdf = (std::sqrt(2.0 * 3.14159265358979323846) / lambda) *
+                       (t + std::pow(t, 9.0) + std::pow(t, 25.0) + std::pow(t, 49.0));
+    return std::clamp(1.0 - cdf, 0.0, 1.0);
+  }
+  double total = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) * lambda * lambda);
+    total += (j % 2 == 1 ? 1.0 : -1.0) * term;
+    if (term < 1e-12) {
+      break;
+    }
+  }
+  return std::clamp(2.0 * total, 0.0, 1.0);
+}
+
+bool ks_uniform_ok(std::span<const double> sample, double lo, double hi, double alpha) {
+  const double d = ks_statistic_uniform(sample, lo, hi);
+  return ks_p_value(d, sample.size()) >= alpha;
+}
+
+}  // namespace fvc::stats

@@ -1,0 +1,39 @@
+/// \file ks_test.hpp
+/// \brief One-sample Kolmogorov-Smirnov goodness-of-fit test.
+///
+/// Used to validate distributional premises behind the theory — most
+/// importantly that the viewed directions of sensors covering a point are
+/// uniform on the circle (the hypothesis the Stevens mixture and every
+/// sector-probability computation rest on), and that deployment positions
+/// are uniform per coordinate.
+
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace fvc::stats {
+
+/// The KS statistic D_n = sup_x |F_n(x) - F(x)| for a sample against a
+/// continuous CDF.  The sample need not be sorted (a sorted copy is made).
+/// \pre sample non-empty; cdf maps into [0,1] and is non-decreasing
+[[nodiscard]] double ks_statistic(std::span<const double> sample,
+                                  const std::function<double(double)>& cdf);
+
+/// KS statistic against Uniform[lo, hi].
+/// \pre lo < hi
+[[nodiscard]] double ks_statistic_uniform(std::span<const double> sample, double lo,
+                                          double hi);
+
+/// Asymptotic p-value for the KS statistic via the Kolmogorov distribution
+/// Q(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2) with
+/// lambda = D * (sqrt(n) + 0.12 + 0.11/sqrt(n))  (Stephens' correction).
+/// \pre n >= 1, d in [0, 1]
+[[nodiscard]] double ks_p_value(double d, std::size_t n);
+
+/// Convenience: true when the sample is consistent with Uniform[lo, hi] at
+/// significance `alpha` (i.e. p-value >= alpha).
+[[nodiscard]] bool ks_uniform_ok(std::span<const double> sample, double lo, double hi,
+                                 double alpha = 0.01);
+
+}  // namespace fvc::stats

@@ -1,0 +1,48 @@
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::stats {
+
+namespace {
+constexpr std::uint64_t kPcgMult = 6364136223846793005ULL;
+}  // namespace
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1) | 1u) {
+  operator()();
+  state_ += seed;
+  operator()();
+}
+
+Pcg32::result_type Pcg32::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * kPcgMult + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  const auto rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+void Pcg32::advance(std::uint64_t delta) {
+  // Brown's "random number generation with arbitrary stride" jump-ahead.
+  std::uint64_t acc_mult = 1;
+  std::uint64_t acc_plus = 0;
+  std::uint64_t cur_mult = kPcgMult;
+  std::uint64_t cur_plus = inc_;
+  while (delta > 0) {
+    if (delta & 1u) {
+      acc_mult *= cur_mult;
+      acc_plus = acc_plus * cur_mult + cur_plus;
+    }
+    cur_plus = (cur_mult + 1) * cur_plus;
+    cur_mult *= cur_mult;
+    delta >>= 1;
+  }
+  state_ = acc_mult * state_ + acc_plus;
+}
+
+Pcg32 make_child_rng(std::uint64_t master_seed, std::uint64_t index) {
+  const std::uint64_t seed = mix64(master_seed, index);
+  const std::uint64_t stream = mix64(index, master_seed ^ 0xABCDEF0123456789ULL);
+  return Pcg32(seed, stream);
+}
+
+}  // namespace fvc::stats

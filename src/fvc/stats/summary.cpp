@@ -1,0 +1,64 @@
+#include "fvc/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fvc::stats {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::stderr_mean() const {
+  if (n_ == 0) {
+    return 0.0;
+  }
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+OnlineStats summarize(std::span<const double> xs) {
+  OnlineStats s;
+  for (double x : xs) {
+    s.add(x);
+  }
+  return s;
+}
+
+}  // namespace fvc::stats

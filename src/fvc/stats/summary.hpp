@@ -1,0 +1,48 @@
+/// \file summary.hpp
+/// \brief Streaming summary statistics (Welford) for Monte-Carlo outputs.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fvc::stats {
+
+/// Single-pass mean/variance accumulator using Welford's algorithm, which
+/// stays numerically stable for the long trial streams produced by the
+/// simulation engine.
+class OnlineStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const;
+
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: summarize a whole span at once.
+[[nodiscard]] OnlineStats summarize(std::span<const double> xs);
+
+}  // namespace fvc::stats

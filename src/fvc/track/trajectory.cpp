@@ -1,0 +1,109 @@
+#include "fvc/track/trajectory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+
+namespace fvc::track {
+
+namespace {
+
+/// Append the samples of segment [a, b] (excluding a itself when the
+/// trajectory already ends there) every `step` of arc length.
+void sample_segment(Trajectory& out, const geom::Vec2& a, const geom::Vec2& b,
+                    double step) {
+  const geom::Vec2 d = b - a;
+  const double len = d.norm();
+  if (len <= 1e-12) {
+    return;
+  }
+  const double facing = geom::normalize_angle(d.angle());
+  const auto samples = static_cast<std::size_t>(std::floor(len / step));
+  for (std::size_t i = 1; i <= samples; ++i) {
+    out.points.push_back(a + d * (static_cast<double>(i) * step / len));
+    out.facing.push_back(facing);
+  }
+  // Always land exactly on the endpoint.
+  if (out.points.empty() ||
+      geom::distance(out.points.back(), b) > 1e-12) {
+    out.points.push_back(b);
+    out.facing.push_back(facing);
+  }
+}
+
+}  // namespace
+
+Trajectory random_waypoint_path(stats::Pcg32& rng, std::size_t segments, double step) {
+  if (segments == 0) {
+    throw std::invalid_argument("random_waypoint_path: segments must be >= 1");
+  }
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("random_waypoint_path: step must be positive");
+  }
+  Trajectory out;
+  geom::Vec2 current{stats::uniform01(rng), stats::uniform01(rng)};
+  out.points.push_back(current);
+  out.facing.push_back(0.0);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const geom::Vec2 next{stats::uniform01(rng), stats::uniform01(rng)};
+    sample_segment(out, current, next, step);
+    current = next;
+  }
+  // The first sample has no motion yet; face it along the first segment.
+  if (out.facing.size() > 1) {
+    out.facing[0] = out.facing[1];
+  }
+  return out;
+}
+
+Trajectory straight_path(const geom::Vec2& from, const geom::Vec2& to, double step) {
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("straight_path: step must be positive");
+  }
+  Trajectory out;
+  out.points.push_back(from);
+  out.facing.push_back(geom::normalize_angle((to - from).angle()));
+  sample_segment(out, from, to, step);
+  return out;
+}
+
+double TrackReport::full_view_fraction() const {
+  return samples == 0 ? 0.0
+                      : static_cast<double>(full_view_samples) /
+                            static_cast<double>(samples);
+}
+
+double TrackReport::facing_captured_fraction() const {
+  return samples == 0 ? 0.0
+                      : static_cast<double>(facing_captured_samples) /
+                            static_cast<double>(samples);
+}
+
+TrackReport evaluate_trajectory(const core::Network& net, const Trajectory& trajectory,
+                                double theta) {
+  core::validate_theta(theta);
+  if (trajectory.points.size() != trajectory.facing.size()) {
+    throw std::invalid_argument("evaluate_trajectory: ragged trajectory");
+  }
+  TrackReport report;
+  report.samples = trajectory.size();
+  std::vector<double> dirs;
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    net.viewed_directions_into(trajectory.points[i], dirs);
+    if (core::full_view_covered(dirs, theta).covered) {
+      ++report.full_view_samples;
+    }
+    if (core::is_safe_direction(dirs, trajectory.facing[i], theta)) {
+      ++report.facing_captured_samples;
+      if (!report.first_capture.has_value()) {
+        report.first_capture = i;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fvc::track

@@ -1,0 +1,65 @@
+/// \file trajectory.hpp
+/// \brief Object trajectories and along-path full-view auditing.
+///
+/// The operational question behind full-view coverage (Section I: traffic
+/// monitoring, estate surveillance, animal protection) is about MOVING
+/// objects: while an intruder walks through the region, is there always —
+/// or at least quickly — a camera near its frontal view?  This module
+/// samples piecewise-linear trajectories, derives facing directions from
+/// the motion, and audits full-view coverage (and the weaker
+/// facing-direction-only capture) along the path.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fvc/core/network.hpp"
+#include "fvc/geometry/vec2.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::track {
+
+/// A sampled trajectory: positions plus the facing direction at each
+/// sample (the direction of motion — the object looks where it walks).
+struct Trajectory {
+  std::vector<geom::Vec2> points;
+  std::vector<double> facing;  ///< same length as points
+
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+};
+
+/// Random-waypoint path sampled every `step` of arc length: `segments`
+/// uniform waypoints joined by straight lines (plane geometry; positions
+/// stay inside the unit square).
+/// \pre segments >= 1, step > 0
+[[nodiscard]] Trajectory random_waypoint_path(stats::Pcg32& rng, std::size_t segments,
+                                              double step);
+
+/// Straight line from `from` to `to`, sampled every `step`.
+[[nodiscard]] Trajectory straight_path(const geom::Vec2& from, const geom::Vec2& to,
+                                       double step);
+
+/// Along-path audit result.
+struct TrackReport {
+  std::size_t samples = 0;
+  /// Samples whose position is full-view covered (face capture guaranteed
+  /// whatever the object does).
+  std::size_t full_view_samples = 0;
+  /// Samples where the object's ACTUAL facing direction is safe (weaker:
+  /// uses the motion-derived facing, Definition 1 for one direction).
+  std::size_t facing_captured_samples = 0;
+  /// First sample index with a safe facing direction, if any.
+  std::optional<std::size_t> first_capture;
+
+  [[nodiscard]] double full_view_fraction() const;
+  [[nodiscard]] double facing_captured_fraction() const;
+};
+
+/// Audit `trajectory` against `net` with effective angle theta.
+/// \pre theta in (0, pi]
+[[nodiscard]] TrackReport evaluate_trajectory(const core::Network& net,
+                                              const Trajectory& trajectory, double theta);
+
+}  // namespace fvc::track

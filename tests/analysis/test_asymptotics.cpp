@@ -1,0 +1,99 @@
+#include "fvc/analysis/asymptotics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fvc::analysis {
+namespace {
+
+TEST(Lemma1, BoundsHoldNumerically) {
+  for (double x = 0.001; x < 0.5; x += 0.013) {
+    const auto [lo, hi] = log1m_bounds(x);
+    const double actual = std::log(1.0 - x);
+    EXPECT_GT(actual, lo) << "x=" << x;
+    EXPECT_LT(actual, hi) << "x=" << x;
+  }
+}
+
+TEST(Lemma1, Validation) {
+  EXPECT_THROW((void)log1m_bounds(0.0), std::invalid_argument);
+  EXPECT_THROW((void)log1m_bounds(0.5), std::invalid_argument);
+  EXPECT_THROW((void)log1m_bounds(-0.1), std::invalid_argument);
+}
+
+TEST(Lemma2, RatioApproachesOneWhenX2YVanishes) {
+  // x = 1/n, y = sqrt(n): x^2*y = n^{-3/2} -> 0, ratio -> 1.
+  double prev_err = 1.0;
+  for (double n : {1e2, 1e4, 1e6}) {
+    const double ratio = lemma2_ratio(1.0 / n, std::sqrt(n));
+    const double err = std::abs(ratio - 1.0);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-6);
+}
+
+TEST(Lemma2, RatioFarFromOneWhenX2YGrows) {
+  // x = 0.4, y = 100: x^2*y = 16, (1-x)^y << e^{-xy}.
+  const double ratio = lemma2_ratio(0.4, 100.0);
+  EXPECT_LT(ratio, 0.1);
+}
+
+TEST(Lemma2, Validation) {
+  EXPECT_THROW((void)lemma2_ratio(0.6, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)lemma2_ratio(0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Lemma3, OrderBoundDecreases) {
+  // (log n + log log n + xi)/n -> 0.
+  double prev = csa_order_bound(10.0, 1.0);
+  for (double n : {100.0, 1000.0, 1e5, 1e7}) {
+    const double cur = csa_order_bound(n, 1.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  EXPECT_LT(prev, 1e-5);
+}
+
+TEST(Lemma3, Validation) {
+  EXPECT_THROW((void)csa_order_bound(2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)csa_order_bound(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(Proposition1Floor, ShapeAndMaximum) {
+  EXPECT_DOUBLE_EQ(proposition1_floor(0.0), 0.0);
+  // Maximum at xi = log 2 with value 1/4.
+  EXPECT_NEAR(proposition1_floor(std::log(2.0)), 0.25, 1e-12);
+  EXPECT_LT(proposition1_floor(0.1), 0.25);
+  EXPECT_LT(proposition1_floor(5.0), 0.25);
+  // Positive for every xi > 0 (the failure probability is bounded away
+  // from zero below the CSA — the heart of Proposition 1).
+  for (double xi = 0.05; xi < 6.0; xi += 0.2) {
+    EXPECT_GT(proposition1_floor(xi), 0.0) << "xi=" << xi;
+  }
+  EXPECT_THROW((void)proposition1_floor(-0.1), std::invalid_argument);
+}
+
+TEST(Inequality11, HoldsForLargeM) {
+  // (1 - (1 - 1/m)^{1/q})^q <= 1/m for m large enough (used in Prop 2 and
+  // Section VII-B).
+  for (double q : {1.0, 2.0, 4.0, 10.0}) {
+    for (double m : {10.0, 100.0, 1e4, 1e6}) {
+      EXPECT_LE(inequality11_lhs(m, q), 1.0 / m + 1e-15) << "m=" << m << " q=" << q;
+    }
+  }
+}
+
+TEST(Inequality11, EqualityAtQOne) {
+  EXPECT_NEAR(inequality11_lhs(100.0, 1.0), 0.01, 1e-12);
+}
+
+TEST(Inequality11, Validation) {
+  EXPECT_THROW((void)inequality11_lhs(1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)inequality11_lhs(10.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::analysis

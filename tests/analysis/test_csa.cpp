@@ -1,0 +1,247 @@
+#include "fvc/analysis/csa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+TEST(SectorCounts, MatchPaper) {
+  // Necessary: ceil(pi/theta); sufficient: ceil(2*pi/theta).
+  EXPECT_EQ(necessary_sector_count(kPi), 1u);
+  EXPECT_EQ(necessary_sector_count(kHalfPi), 2u);
+  EXPECT_EQ(necessary_sector_count(kPi / 4.0), 4u);
+  EXPECT_EQ(necessary_sector_count(1.0), 4u);  // ceil(3.14...) = 4
+  EXPECT_EQ(sufficient_sector_count(kPi), 2u);
+  EXPECT_EQ(sufficient_sector_count(kHalfPi), 4u);
+  EXPECT_EQ(sufficient_sector_count(1.0), 7u);  // ceil(6.28...) = 7
+}
+
+TEST(SectorCounts, Validation) {
+  EXPECT_THROW((void)necessary_sector_count(0.0), std::invalid_argument);
+  EXPECT_THROW((void)necessary_sector_count(kPi + 0.1), std::invalid_argument);
+}
+
+TEST(CsaNecessary, ThetaPiDegeneratesToOneCoverage) {
+  // Section VII-A, eq. (19): at theta = pi the necessary CSA becomes
+  // (log n + log log n)/n exactly.
+  for (double n : {100.0, 1000.0, 10000.0}) {
+    EXPECT_NEAR(csa_necessary(n, kPi), csa_one_coverage(n), 1e-12 * csa_one_coverage(n))
+        << "n=" << n;
+  }
+}
+
+TEST(CsaOneCoverage, MatchesCriticalEsr) {
+  // Section VII-A: pi * R*(n)^2 == (log n + log log n)/n.
+  for (double n : {50.0, 500.0, 5000.0}) {
+    const double esr = critical_esr_one_coverage(n);
+    EXPECT_NEAR(kPi * esr * esr, csa_one_coverage(n), 1e-12);
+  }
+}
+
+TEST(Csa, NecessaryBelowSufficient) {
+  // Section VI-C: s_Nc(n) < s_Sc(n) for every theta in (0, pi).
+  for (double n : {100.0, 1000.0, 10000.0}) {
+    for (double theta = 0.1; theta < kPi; theta += 0.1) {
+      EXPECT_LT(csa_necessary(n, theta), csa_sufficient(n, theta))
+          << "n=" << n << " theta=" << theta;
+    }
+  }
+}
+
+TEST(Csa, SufficientRoughlyTwiceNecessary) {
+  // Section VI-C: "approximately, s_Sc is two times of s_Nc"; the ratio
+  // tightens toward 2 for small theta and large n.
+  const double n = 1e6;
+  for (double theta : {0.05, 0.1, 0.2}) {
+    const double ratio = csa_sufficient(n, theta) / csa_necessary(n, theta);
+    EXPECT_GT(ratio, 1.6) << "theta=" << theta;
+    EXPECT_LT(ratio, 2.4) << "theta=" << theta;
+  }
+}
+
+TEST(Csa, DecreasingInN) {
+  // Section VI-B / Lemma 3: with theta fixed, CSA -> 0 as n grows.
+  for (double theta : {0.3, kHalfPi / 2.0, kHalfPi}) {
+    double prev = csa_necessary(100.0, theta);
+    for (double n : {300.0, 1000.0, 3000.0, 10000.0, 100000.0}) {
+      const double cur = csa_necessary(n, theta);
+      EXPECT_LT(cur, prev) << "theta=" << theta << " n=" << n;
+      prev = cur;
+    }
+    EXPECT_LT(csa_necessary(1e7, theta), 1e-4);
+  }
+}
+
+TEST(Csa, DecreasingInTheta) {
+  // Section VI-B: with n fixed, CSA grows as theta shrinks.
+  const double n = 1000.0;
+  double prev_nec = csa_necessary(n, 0.05);
+  double prev_suf = csa_sufficient(n, 0.05);
+  for (double theta = 0.1; theta <= kPi; theta += 0.05) {
+    const double nec = csa_necessary(n, theta);
+    const double suf = csa_sufficient(n, theta);
+    EXPECT_LE(nec, prev_nec + 1e-15) << "theta=" << theta;
+    EXPECT_LE(suf, prev_suf + 1e-15) << "theta=" << theta;
+    prev_nec = nec;
+    prev_suf = suf;
+  }
+}
+
+TEST(Csa, InverseProportionalToThetaForLargeN) {
+  // Section VI-B: s_c(n) ~ 1/theta when n is large; check the product
+  // theta * s_c is nearly constant across theta (away from ceiling jumps).
+  const double n = 1e6;
+  const double p1 = 0.10 * kPi * csa_necessary(n, 0.10 * kPi);
+  const double p2 = 0.25 * kPi * csa_necessary(n, 0.25 * kPi);
+  const double p3 = 0.50 * kPi * csa_necessary(n, 0.50 * kPi);
+  EXPECT_NEAR(p2 / p1, 1.0, 0.12);
+  EXPECT_NEAR(p3 / p1, 1.0, 0.15);
+}
+
+TEST(Csa, AsymptoticExpansionAgreesForLargeN) {
+  const double n = 1e8;
+  for (double w : {0.4, 1.0, 2.0}) {
+    const double exact = csa_for_sector_condition(n, w);
+    const double approx = csa_asymptotic(n, w);
+    EXPECT_NEAR(exact / approx, 1.0, 0.01) << "w=" << w;
+  }
+}
+
+TEST(Csa, SmallerFailureMassRaisesRequirement) {
+  // Larger xi (smaller permitted failure mass e^-xi) demands MORE sensing
+  // area; xi = 0 recovers the CSA exactly.
+  const double n = 1000.0;
+  const double w = 1.0;
+  EXPECT_GT(csa_with_failure_mass(n, w, 1.0), csa_with_failure_mass(n, w, 0.0));
+  EXPECT_DOUBLE_EQ(csa_with_failure_mass(n, w, 0.0), csa_for_sector_condition(n, w));
+  // The excess is subleading: relative gap shrinks as n grows.
+  const double gap_small = csa_with_failure_mass(1e3, w, 2.0) / csa_with_failure_mass(1e3, w, 0.0);
+  const double gap_large = csa_with_failure_mass(1e7, w, 2.0) / csa_with_failure_mass(1e7, w, 0.0);
+  EXPECT_LT(gap_large, gap_small);
+}
+
+TEST(Csa, KCoverageOrdering) {
+  // Section VII-B: s_Nc(n) >= s_K(n) with k = ceil(pi/theta), for large n.
+  for (double theta : {0.2, 0.5, 1.0, kHalfPi}) {
+    const std::size_t k = necessary_sector_count(theta);
+    for (double n : {1000.0, 10000.0, 1e6}) {
+      EXPECT_GE(csa_necessary(n, theta), csa_k_coverage(n, k))
+          << "theta=" << theta << " n=" << n;
+    }
+  }
+}
+
+TEST(Csa, KCoverageGrowsWithK) {
+  const double n = 1000.0;
+  EXPECT_LT(csa_k_coverage(n, 1), csa_k_coverage(n, 2));
+  EXPECT_LT(csa_k_coverage(n, 2), csa_k_coverage(n, 5));
+}
+
+TEST(Csa, Validation) {
+  EXPECT_THROW((void)csa_necessary(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)csa_necessary(1000.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)csa_necessary(1000.0, kPi + 0.1), std::invalid_argument);
+  EXPECT_THROW((void)csa_for_sector_condition(1000.0, kTwoPi + 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)csa_with_failure_mass(1000.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)csa_k_coverage(1000.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)csa_one_coverage(2.0), std::invalid_argument);
+}
+
+TEST(CsaNumerical, KOneMatchesClosedFormAsymptotically) {
+  // At k = 1 the numerical calibration uses the exact binomial tail
+  // (1-p)^n where the closed form applies the paper's Lemma 2
+  // approximation e^{-np}; they differ by the O(np^2) = O((log n)^2 / n)
+  // the lemma absorbs, which must shrink with n.
+  for (double w : {0.6, 1.2, kHalfPi}) {
+    double prev_rel = 1.0;
+    for (double n : {300.0, 3000.0, 30000.0}) {
+      const double exact = csa_numerical(n, w, 1);
+      const double closed = csa_for_sector_condition(n, w);
+      const double rel = std::abs(exact - closed) / closed;
+      EXPECT_LT(rel, 0.03) << "n=" << n << " w=" << w;
+      EXPECT_LT(rel, prev_rel) << "n=" << n << " w=" << w;
+      prev_rel = rel;
+    }
+    EXPECT_LT(prev_rel, 3e-3) << "w=" << w;
+  }
+}
+
+TEST(CsaNumerical, MonotoneInRequiredK) {
+  const double n = 1000.0;
+  const double w = 1.0;
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const double s = csa_numerical(n, w, k);
+    EXPECT_GT(s, prev) << "k=" << k;
+    prev = s;
+  }
+}
+
+TEST(CsaNumerical, DecreasingInN) {
+  for (std::size_t k : {1u, 2u, 3u}) {
+    double prev = csa_numerical(300.0, 1.0, k);
+    for (double n : {1000.0, 3000.0, 10000.0}) {
+      const double s = csa_numerical(n, 1.0, k);
+      EXPECT_LT(s, prev) << "k=" << k << " n=" << n;
+      prev = s;
+    }
+  }
+}
+
+TEST(CsaNumerical, CalibrationIsSelfConsistent) {
+  // At the returned s, the expected number of failing points is ~1: check
+  // by re-evaluating via the same statistics from uniform_theory pieces.
+  const double n = 2000.0;
+  const double theta = kHalfPi;
+  const double s = csa_k_full_view_necessary(n, theta, 2);
+  // Below s: more expected failures; above: fewer (monotonicity witness).
+  EXPECT_GT(csa_k_full_view_necessary(n, theta, 2),
+            csa_k_full_view_necessary(n, theta, 1));
+  EXPECT_GT(s, csa_necessary(n, theta));
+}
+
+TEST(CsaNumerical, Validation) {
+  EXPECT_THROW((void)csa_numerical(2.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)csa_numerical(1000.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)csa_numerical(1000.0, kTwoPi + 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)csa_numerical(1000.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Csa, Figure7Magnitudes) {
+  // Figure 7 (n = 1000): CSAs decrease over theta in [0.1*pi, 0.5*pi] and
+  // stay in a plausible (0, 1) band of sensing areas.
+  const double n = 1000.0;
+  for (double frac = 0.1; frac <= 0.5; frac += 0.05) {
+    const double nec = csa_necessary(n, frac * kPi);
+    const double suf = csa_sufficient(n, frac * kPi);
+    EXPECT_GT(nec, 0.0);
+    EXPECT_LT(suf, 1.0) << "frac=" << frac;
+  }
+}
+
+TEST(Csa, Figure8SmallNIsImpractical) {
+  // Figure 8 (theta = pi/4): at n = 100 the sufficient CSA is a large
+  // fraction of the unit square ("about 0.5" in the paper's plot).
+  const double suf100 = csa_sufficient(100.0, kPi / 4.0);
+  EXPECT_GT(suf100, 0.2);
+  EXPECT_LT(suf100, 1.0);
+  // The decline flattens past n ~ 1000 (relative slope shrinks).
+  const double d_small =
+      csa_sufficient(100.0, kPi / 4.0) - csa_sufficient(200.0, kPi / 4.0);
+  const double d_large =
+      csa_sufficient(2000.0, kPi / 4.0) - csa_sufficient(4000.0, kPi / 4.0);
+  EXPECT_GT(d_small, 10.0 * d_large);
+}
+
+}  // namespace
+}  // namespace fvc::analysis

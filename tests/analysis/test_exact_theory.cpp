@@ -1,0 +1,209 @@
+#include "fvc/analysis/exact_theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/analysis/uniform_theory.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::analysis {
+namespace {
+
+using core::CameraGroupSpec;
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+TEST(CircleCoverage, EdgeCases) {
+  EXPECT_DOUBLE_EQ(circle_coverage_probability(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(circle_coverage_probability(5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(circle_coverage_probability(1, 0.999), 0.0);  // one short arc
+  EXPECT_THROW((void)circle_coverage_probability(3, 0.0), std::invalid_argument);
+}
+
+TEST(CircleCoverage, ClassicalValues) {
+  // Two half-circle arcs: coverage has probability 0 (measure-zero event).
+  EXPECT_NEAR(circle_coverage_probability(2, 0.5), 0.0, 1e-15);
+  // Three half-circle arcs: the classical answer 1/4.
+  EXPECT_NEAR(circle_coverage_probability(3, 0.5), 0.25, 1e-12);
+  // Four half-circle arcs: 1 - 4*(1/2)^3 = 1/2.
+  EXPECT_NEAR(circle_coverage_probability(4, 0.5), 0.5, 1e-12);
+}
+
+TEST(CircleCoverage, MonotoneInKAndA) {
+  for (double a : {0.2, 0.4, 0.6}) {
+    double prev = 0.0;
+    for (std::size_t k = 1; k <= 40; ++k) {
+      const double p = circle_coverage_probability(k, a);
+      EXPECT_GE(p, prev - 1e-12) << "k=" << k << " a=" << a;
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      prev = p;
+    }
+  }
+  for (std::size_t k : {3u, 8u, 20u}) {
+    double prev = 0.0;
+    for (double a = 0.05; a < 1.0; a += 0.05) {
+      const double p = circle_coverage_probability(k, a);
+      EXPECT_GE(p, prev - 1e-12) << "k=" << k << " a=" << a;
+      prev = p;
+    }
+  }
+}
+
+TEST(CircleCoverage, LargeKApproachesOne) {
+  EXPECT_GT(circle_coverage_probability(200, 0.1), 0.999);
+  EXPECT_GT(circle_coverage_probability(500, 0.05), 0.99);
+}
+
+/// Stevens vs brute-force Monte-Carlo over random arc placements.
+TEST(CircleCoverage, MatchesMonteCarlo) {
+  stats::Pcg32 rng(7);
+  for (const auto& [k, a] : std::vector<std::pair<std::size_t, double>>{
+           {3, 0.4}, {5, 0.3}, {8, 0.25}, {12, 0.15}}) {
+    const int trials = 20000;
+    int covered = 0;
+    std::vector<double> dirs(k);
+    const double theta = a * kPi;  // arc fraction a <-> half-width theta = a*pi
+    for (int t = 0; t < trials; ++t) {
+      for (std::size_t i = 0; i < k; ++i) {
+        dirs[i] = stats::uniform_in(rng, 0.0, kTwoPi);
+      }
+      covered += core::full_view_covered(dirs, theta).covered ? 1 : 0;
+    }
+    const double mc = static_cast<double>(covered) / trials;
+    const double exact = circle_coverage_probability(k, a);
+    EXPECT_NEAR(mc, exact, 4.0 * std::sqrt(exact * (1.0 - exact) / trials) + 0.003)
+        << "k=" << k << " a=" << a;
+  }
+}
+
+TEST(FullViewGivenK, UsesThetaOverPi) {
+  EXPECT_DOUBLE_EQ(full_view_probability_given_k(5, kHalfPi),
+                   circle_coverage_probability(5, 0.5));
+  EXPECT_DOUBLE_EQ(full_view_probability_given_k(1, kPi), 1.0);  // theta=pi: one suffices
+  EXPECT_THROW((void)full_view_probability_given_k(3, 0.0), std::invalid_argument);
+}
+
+TEST(CoveringCountPmf, UniformSumsToOneAndMatchesMean) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.15, 2.0);
+  const std::size_t n = 400;
+  const auto pmf = covering_count_pmf_uniform(profile, n, 200);
+  double total = 0.0;
+  double mean = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    total += pmf[k];
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(mean, static_cast<double>(n) * profile.weighted_sensing_area(), 1e-6);
+}
+
+TEST(CoveringCountPmf, HeterogeneousConvolution) {
+  const HeterogeneousProfile profile({CameraGroupSpec{0.5, 0.2, 1.0},
+                                      CameraGroupSpec{0.5, 0.1, 3.0}});
+  const std::size_t n = 300;
+  const auto pmf = covering_count_pmf_uniform(profile, n, 150);
+  double mean = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    total += pmf[k];
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Mean = sum_y n_y s_y.
+  const double expected = 150.0 * (0.5 * 1.0 * 0.04) + 150.0 * (0.5 * 3.0 * 0.01);
+  EXPECT_NEAR(mean, expected, 1e-6);
+}
+
+TEST(CoveringCountPmf, PoissonMatchesClosedForm) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, 1.5);
+  const double n = 500.0;
+  const double mean = n * profile.weighted_sensing_area();
+  const auto pmf = covering_count_pmf_poisson(profile, n, 200);
+  double p = std::exp(-mean);
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(pmf[k], p, 1e-12) << "k=" << k;
+    p *= mean / static_cast<double>(k + 1);
+  }
+  EXPECT_THROW((void)covering_count_pmf_poisson(profile, 0.0, 10), std::invalid_argument);
+}
+
+/// The headline property: the exact probability sits strictly between the
+/// paper's bracketing conditions.
+TEST(ExactPointProbability, BetweenPaperBounds) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.18, 2.0);
+  for (std::size_t n : {150u, 300u, 600u}) {
+    for (double theta : {kHalfPi / 2.0, kHalfPi}) {
+      const double exact = prob_point_full_view_uniform(profile, n, theta);
+      const double nec = point_success_necessary(profile, n, theta);
+      const double suf = point_success_sufficient(profile, n, theta);
+      EXPECT_LE(exact, nec + 1e-6) << "n=" << n << " theta=" << theta;
+      EXPECT_GE(exact, suf - 1e-6) << "n=" << n << " theta=" << theta;
+    }
+  }
+}
+
+TEST(ExactPointProbability, ThetaPiEqualsOneCoverage) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, 1.0);
+  const std::size_t n = 200;
+  const double s = profile.weighted_sensing_area();
+  const double one_cov = 1.0 - std::pow(1.0 - s, static_cast<double>(n));
+  EXPECT_NEAR(prob_point_full_view_uniform(profile, n, kPi), one_cov, 1e-9);
+}
+
+TEST(ExactPointProbability, MonotoneInNAndTheta) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.15, 1.5);
+  double prev = 0.0;
+  for (std::size_t n : {100u, 200u, 400u, 800u}) {
+    const double p = prob_point_full_view_uniform(profile, n, kHalfPi);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  prev = 0.0;
+  for (double theta = 0.4; theta <= kPi; theta += 0.4) {
+    const double p = prob_point_full_view_uniform(profile, 300, theta);
+    EXPECT_GE(p, prev - 1e-12) << "theta=" << theta;
+    prev = p;
+  }
+}
+
+/// Section VI-A extends to the exact law: equal sensing areas give equal
+/// exact probabilities (the count PMF depends only on the areas, the
+/// direction law is always uniform).
+TEST(ExactPointProbability, AreaEquivalence) {
+  const double s = 0.015;
+  const auto narrow = HeterogeneousProfile::homogeneous(std::sqrt(2.0 * s / 0.5), 0.5);
+  const auto wide = HeterogeneousProfile::homogeneous(std::sqrt(2.0 * s / 3.0), 3.0);
+  for (std::size_t n : {200u, 500u}) {
+    EXPECT_NEAR(prob_point_full_view_uniform(narrow, n, kHalfPi),
+                prob_point_full_view_uniform(wide, n, kHalfPi), 1e-12);
+  }
+}
+
+TEST(ExactPointProbability, PoissonCloseToUniformForLargeN) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.5);
+  const std::size_t n = 3000;
+  EXPECT_NEAR(prob_point_full_view_uniform(profile, n, kHalfPi),
+              prob_point_full_view_poisson(profile, static_cast<double>(n), kHalfPi),
+              0.005);
+}
+
+TEST(ExactPointProbability, Validation) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  EXPECT_THROW((void)prob_point_full_view_uniform(profile, 0, kHalfPi),
+               std::invalid_argument);
+  EXPECT_THROW((void)prob_point_full_view_uniform(profile, 100, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::analysis

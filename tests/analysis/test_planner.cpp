@@ -1,0 +1,151 @@
+#include "fvc/analysis/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+TEST(PlannerCsa, DispatchesToTheorems) {
+  EXPECT_DOUBLE_EQ(csa(Condition::kNecessary, 1000.0, 0.8), csa_necessary(1000.0, 0.8));
+  EXPECT_DOUBLE_EQ(csa(Condition::kSufficient, 1000.0, 0.8), csa_sufficient(1000.0, 0.8));
+}
+
+TEST(RequiredRadius, AchievesTargetArea) {
+  const double n = 1000.0;
+  const double theta = kHalfPi;
+  const double fov = 1.5;
+  for (const auto cond : {Condition::kNecessary, Condition::kSufficient}) {
+    for (double margin : {1.0, 1.5}) {
+      const double r = required_radius(cond, n, theta, fov, margin);
+      const double area = 0.5 * fov * r * r;
+      EXPECT_NEAR(area, margin * csa(cond, n, theta), 1e-12);
+    }
+  }
+}
+
+TEST(RequiredRadius, SmallerFovNeedsLargerRadius) {
+  const double r_wide = required_radius(Condition::kSufficient, 1000.0, 0.8, 3.0);
+  const double r_narrow = required_radius(Condition::kSufficient, 1000.0, 0.8, 0.5);
+  EXPECT_GT(r_narrow, r_wide);
+}
+
+TEST(RequiredRadius, Validation) {
+  EXPECT_THROW((void)required_radius(Condition::kNecessary, 1000.0, 0.8, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)required_radius(Condition::kNecessary, 1000.0, 0.8, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)required_radius(Condition::kNecessary, 1000.0, 0.8, kTwoPi + 1.0),
+               std::invalid_argument);
+}
+
+TEST(RequiredFov, InverseOfRequiredRadius) {
+  const double n = 2000.0;
+  const double theta = 0.9;
+  const double fov = 1.2;
+  const double r = required_radius(Condition::kNecessary, n, theta, fov);
+  EXPECT_NEAR(required_fov(Condition::kNecessary, n, theta, r), fov, 1e-9);
+}
+
+TEST(RequiredFov, ThrowsWhenRadiusTooSmall) {
+  // A microscopic radius cannot reach the CSA even omnidirectionally.
+  EXPECT_THROW((void)required_fov(Condition::kSufficient, 100.0, 0.3, 1e-4),
+               std::runtime_error);
+}
+
+TEST(RequiredFov, Validation) {
+  EXPECT_THROW((void)required_fov(Condition::kNecessary, 1000.0, 0.8, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)required_fov(Condition::kNecessary, 1000.0, 0.8, 0.1, -1.0),
+               std::invalid_argument);
+}
+
+TEST(RequiredPopulation, ThresholdProperty) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  const double theta = kHalfPi;
+  const std::size_t n_star =
+      required_population(Condition::kSufficient, profile, theta, 1.0, 3, 10000000);
+  ASSERT_LE(n_star, 10000000u);
+  const double s_c = profile.weighted_sensing_area();
+  EXPECT_GE(s_c, csa_sufficient(static_cast<double>(n_star), theta));
+  if (n_star > 3) {
+    EXPECT_LT(s_c, csa_sufficient(static_cast<double>(n_star - 1), theta));
+  }
+}
+
+TEST(RequiredPopulation, NecessaryNeedsFewerThanSufficient) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.05, 1.0);
+  const double theta = 0.7;
+  const std::size_t n_nec =
+      required_population(Condition::kNecessary, profile, theta, 1.0, 3, 100000000);
+  const std::size_t n_suf =
+      required_population(Condition::kSufficient, profile, theta, 1.0, 3, 100000000);
+  EXPECT_LT(n_nec, n_suf);
+}
+
+TEST(RequiredPopulation, UnreachableReturnsSentinel) {
+  const auto tiny = HeterogeneousProfile::homogeneous(1e-5, 0.01);
+  EXPECT_EQ(required_population(Condition::kNecessary, tiny, 0.5, 1.0, 3, 100), 101u);
+}
+
+TEST(RequiredPopulation, Validation) {
+  const auto p = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  EXPECT_THROW((void)required_population(Condition::kNecessary, p, 0.5, 0.0, 3, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)required_population(Condition::kNecessary, p, 0.5, 1.0, 2, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)required_population(Condition::kNecessary, p, 0.5, 1.0, 100, 3),
+               std::invalid_argument);
+}
+
+TEST(BestEffectiveAngle, FindsFeasibilityBoundary) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.22, 1.5);
+  const double n = 1000.0;
+  const double theta_star =
+      best_effective_angle(Condition::kSufficient, profile, n, 1.0, 0.01, kPi);
+  const double s_c = profile.weighted_sensing_area();
+  // Feasible at the returned theta...
+  EXPECT_GE(s_c, csa_sufficient(n, theta_star) - 1e-9);
+  // ...and infeasible slightly below it (unless we hit theta_lo).
+  if (theta_star > 0.011) {
+    EXPECT_LT(s_c, csa_sufficient(n, theta_star * 0.98));
+  }
+}
+
+TEST(BestEffectiveAngle, ReturnsLoWhenEverythingFeasible) {
+  const auto huge = HeterogeneousProfile::homogeneous(0.49, 6.0);
+  const double theta_star =
+      best_effective_angle(Condition::kNecessary, huge, 100000.0, 1.0, 0.3, kPi);
+  EXPECT_DOUBLE_EQ(theta_star, 0.3);
+}
+
+TEST(BestEffectiveAngle, ThrowsWhenInfeasibleAtHi) {
+  const auto tiny = HeterogeneousProfile::homogeneous(1e-4, 0.01);
+  EXPECT_THROW(
+      (void)best_effective_angle(Condition::kSufficient, tiny, 100.0, 1.0, 0.1, kPi),
+      std::runtime_error);
+}
+
+TEST(BestEffectiveAngle, Validation) {
+  const auto p = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  EXPECT_THROW((void)best_effective_angle(Condition::kNecessary, p, 100.0, 0.0, 0.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)best_effective_angle(Condition::kNecessary, p, 100.0, 1.0, 1.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)best_effective_angle(Condition::kNecessary, p, 100.0, 1.0, 0.1, kPi + 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::analysis

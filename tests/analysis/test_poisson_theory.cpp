@@ -1,0 +1,167 @@
+#include "fvc/analysis/poisson_theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/analysis/uniform_theory.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+namespace {
+
+using core::CameraGroupSpec;
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+TEST(PoissonSectorCover, ClosedFormBasics) {
+  EXPECT_DOUBLE_EQ(poisson_sector_cover_probability(0.0, 1.0), 0.0);
+  // Large mu with full fov: certainty.
+  EXPECT_NEAR(poisson_sector_cover_probability(100.0, kTwoPi), 1.0, 1e-12);
+  // Monotone in mu and fov.
+  EXPECT_LT(poisson_sector_cover_probability(1.0, 1.0),
+            poisson_sector_cover_probability(2.0, 1.0));
+  EXPECT_LT(poisson_sector_cover_probability(1.0, 0.5),
+            poisson_sector_cover_probability(1.0, 1.0));
+}
+
+TEST(PoissonSectorCover, Validation) {
+  EXPECT_THROW((void)poisson_sector_cover_probability(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)poisson_sector_cover_probability(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)poisson_sector_cover_probability(1.0, kTwoPi + 0.1),
+               std::invalid_argument);
+}
+
+TEST(PoissonSectorCover, SeriesConvergesToClosedForm) {
+  // The paper truncates the series at n_y; with enough terms the truncated
+  // sum equals the closed form 1 - exp(-mu*fov/2pi).
+  for (double mu : {0.5, 2.0, 8.0}) {
+    for (double fov : {0.5, 1.5, kTwoPi}) {
+      const double closed = poisson_sector_cover_probability(mu, fov);
+      const double series = poisson_sector_cover_probability_series(mu, fov, 200);
+      EXPECT_NEAR(series, closed, 1e-10) << "mu=" << mu << " fov=" << fov;
+    }
+  }
+}
+
+TEST(PoissonSectorCover, TruncationUnderestimates) {
+  // Short truncation drops positive tail terms.
+  const double closed = poisson_sector_cover_probability(10.0, 1.0);
+  const double short_series = poisson_sector_cover_probability_series(10.0, 1.0, 3);
+  EXPECT_LT(short_series, closed);
+}
+
+TEST(QFunctions, MatchTheoremMeans) {
+  // Q_N uses sector area theta*r^2 (angle 2*theta); Q_S uses theta*r^2/2.
+  const CameraGroupSpec g{1.0, 0.3, 1.2};
+  const double n_y = 400.0;
+  const double theta = 0.5;
+  EXPECT_NEAR(q_necessary(g, n_y, theta),
+              1.0 - std::exp(-theta * n_y * 0.09 * 1.2 / kTwoPi), 1e-12);
+  EXPECT_NEAR(q_sufficient(g, n_y, theta),
+              1.0 - std::exp(-0.5 * theta * n_y * 0.09 * 1.2 / kTwoPi), 1e-12);
+  // Necessary sectors are bigger, so Q_N > Q_S.
+  EXPECT_GT(q_necessary(g, n_y, theta), q_sufficient(g, n_y, theta));
+}
+
+TEST(QFunctions, ClosedFormEqualsThetaNSOverPi) {
+  // Q_N,y = 1 - exp(-theta * n_y * s_y / pi), since
+  // mu_N * phi/(2pi) = theta n r^2 phi / (2pi) = theta n s / pi.
+  const CameraGroupSpec g{1.0, 0.25, 0.9};
+  const double n_y = 600.0;
+  const double theta = 0.8;
+  EXPECT_NEAR(q_necessary(g, n_y, theta),
+              1.0 - std::exp(-theta * n_y * g.sensing_area() / kPi), 1e-12);
+}
+
+TEST(ProbPoint, InUnitIntervalAndOrdered) {
+  const HeterogeneousProfile p({CameraGroupSpec{0.5, 0.15, 1.0},
+                                CameraGroupSpec{0.5, 0.25, 0.6}});
+  for (double n : {100.0, 500.0, 2000.0}) {
+    for (double theta : {0.4, 1.0, kHalfPi, kPi}) {
+      const double pn = prob_point_necessary_poisson(p, n, theta);
+      const double ps = prob_point_sufficient_poisson(p, n, theta);
+      EXPECT_GE(pn, 0.0);
+      EXPECT_LE(pn, 1.0);
+      EXPECT_GE(ps, 0.0);
+      EXPECT_LE(ps, 1.0);
+      // Sufficient condition is harder: P_S <= P_N.
+      EXPECT_LE(ps, pn + 1e-12) << "n=" << n << " theta=" << theta;
+    }
+  }
+}
+
+TEST(ProbPoint, MonotoneInDensity) {
+  const auto p = HeterogeneousProfile::homogeneous(0.2, 1.0);
+  double prev_n = 0.0;
+  double prev_s = 0.0;
+  for (double n : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    const double pn = prob_point_necessary_poisson(p, n, 0.7);
+    const double ps = prob_point_sufficient_poisson(p, n, 0.7);
+    EXPECT_GE(pn, prev_n);
+    EXPECT_GE(ps, prev_s);
+    prev_n = pn;
+    prev_s = ps;
+  }
+}
+
+TEST(ProbPoint, MonotoneInRadius) {
+  double prev = 0.0;
+  for (double r : {0.05, 0.1, 0.2, 0.35}) {
+    const double pn = prob_point_necessary_poisson(
+        HeterogeneousProfile::homogeneous(r, 1.0), 500.0, 0.7);
+    EXPECT_GE(pn, prev);
+    prev = pn;
+  }
+}
+
+TEST(ProbPoint, Validation) {
+  const auto p = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  EXPECT_THROW((void)prob_point_necessary_poisson(p, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)prob_point_necessary_poisson(p, 100.0, 0.0), std::invalid_argument);
+}
+
+/// Poisson and uniform models converge: for large n the per-point success
+/// probabilities agree (binomial -> Poisson limit).
+TEST(ProbPoint, AgreesWithUniformTheoryForLargeN) {
+  const auto p = HeterogeneousProfile::homogeneous(0.08, 1.2);
+  const std::size_t n = 5000;
+  for (double theta : {0.6, 1.2}) {
+    const double poisson_pn = prob_point_necessary_poisson(p, static_cast<double>(n), theta);
+    const double uniform_pn = point_success_necessary(p, n, theta);
+    EXPECT_NEAR(poisson_pn, uniform_pn, 0.01) << "theta=" << theta;
+  }
+}
+
+/// Section V's observation: under Poisson deployment the sensing ability is
+/// NOT purely area-determined — two groups with equal s but different
+/// (r, phi) yield different P_N.  (Contrast with the uniform case, where
+/// the dependence is area-only in the paper's approximation... in fact the
+/// exact per-sector probability theta*s/pi is area-only under BOTH models'
+/// one-sensor term; the Poisson formula's k-sensor terms break the
+/// equivalence only through the interaction of r and phi.)
+TEST(ProbPoint, PoissonAreaEquivalenceHoldsInClosedForm) {
+  // With the closed form Q = 1 - exp(-theta n s/pi), equal areas DO give
+  // equal P_N; the paper's claimed complexity comes from the truncated
+  // series at finite n_y.  Verify the closed-form equality:
+  const double s = 0.008;
+  const auto a = HeterogeneousProfile::homogeneous(std::sqrt(2.0 * s / 0.5), 0.5);
+  const auto b = HeterogeneousProfile::homogeneous(std::sqrt(2.0 * s / 2.0), 2.0);
+  const double pa = prob_point_necessary_poisson(a, 800.0, 0.9);
+  const double pb = prob_point_necessary_poisson(b, 800.0, 0.9);
+  EXPECT_NEAR(pa, pb, 1e-12);
+  // ...and that the finite truncated series (the paper's form) differs
+  // between the two designs:
+  const double mu_a = 0.9 * 800.0 * a.groups()[0].radius * a.groups()[0].radius;
+  const double mu_b = 0.9 * 800.0 * b.groups()[0].radius * b.groups()[0].radius;
+  const double qa = poisson_sector_cover_probability_series(mu_a, 0.5, 5);
+  const double qb = poisson_sector_cover_probability_series(mu_b, 2.0, 5);
+  EXPECT_GT(std::abs(qa - qb), 1e-6);
+}
+
+}  // namespace
+}  // namespace fvc::analysis

@@ -1,0 +1,161 @@
+#include "fvc/analysis/uniform_theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::analysis {
+namespace {
+
+using core::CameraGroupSpec;
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+TEST(SectorHitProbability, MatchesPaperFormula) {
+  // Necessary condition (w = 2*theta): probability = theta*s/pi.
+  const CameraGroupSpec g{1.0, 0.2, 1.5};
+  const double theta = 0.6;
+  const double s = g.sensing_area();
+  EXPECT_NEAR(sector_hit_probability(g, 2.0 * theta), theta * s / kPi, 1e-15);
+  // Sufficient condition (w = theta): probability = theta*s/(2*pi).
+  EXPECT_NEAR(sector_hit_probability(g, theta), theta * s / kTwoPi, 1e-15);
+}
+
+TEST(SectorHitProbability, Validation) {
+  const CameraGroupSpec g{1.0, 0.2, 1.0};
+  EXPECT_THROW((void)sector_hit_probability(g, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sector_hit_probability(g, kTwoPi + 0.1), std::invalid_argument);
+}
+
+TEST(SectorEmptyProbability, HomogeneousClosedForm) {
+  const auto p = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  const std::size_t n = 500;
+  const double w = 1.0;
+  const double hit = sector_hit_probability(p.groups()[0], w);
+  EXPECT_NEAR(sector_empty_probability(p, n, w),
+              std::pow(1.0 - hit, static_cast<double>(n)), 1e-12);
+}
+
+TEST(SectorEmptyProbability, HeterogeneousProduct) {
+  const HeterogeneousProfile p({CameraGroupSpec{0.4, 0.1, 1.0},
+                                CameraGroupSpec{0.6, 0.2, 0.5}});
+  const std::size_t n = 1000;
+  const double w = 0.8;
+  const double h0 = sector_hit_probability(p.groups()[0], w);
+  const double h1 = sector_hit_probability(p.groups()[1], w);
+  EXPECT_NEAR(sector_empty_probability(p, n, w),
+              std::pow(1.0 - h0, 400.0) * std::pow(1.0 - h1, 600.0), 1e-12);
+}
+
+TEST(PointFailure, MatchesEquationTwo) {
+  // P(F_N,P) = 1 - [1 - prod(1 - theta*s/pi)^n]^k_N for a homogeneous group.
+  const auto p = HeterogeneousProfile::homogeneous(0.15, 2.0);
+  const std::size_t n = 800;
+  const double theta = 0.7;
+  const double s = p.groups()[0].sensing_area();
+  const double empty = std::pow(1.0 - theta * s / kPi, static_cast<double>(n));
+  const double k = static_cast<double>(necessary_sector_count(theta));
+  EXPECT_NEAR(point_failure_necessary(p, n, theta),
+              1.0 - std::pow(1.0 - empty, k), 1e-12);
+}
+
+TEST(PointFailure, SufficientUsesFinerSectors) {
+  const auto p = HeterogeneousProfile::homogeneous(0.15, 2.0);
+  const std::size_t n = 800;
+  const double theta = 0.7;
+  // Sufficient condition is harder to meet: failure probability is larger.
+  EXPECT_GT(point_failure_sufficient(p, n, theta),
+            point_failure_necessary(p, n, theta));
+}
+
+TEST(PointFailure, SuccessComplements) {
+  const auto p = HeterogeneousProfile::homogeneous(0.2, 1.0);
+  const std::size_t n = 500;
+  const double theta = 1.0;
+  EXPECT_NEAR(point_success_necessary(p, n, theta) + point_failure_necessary(p, n, theta),
+              1.0, 1e-15);
+  EXPECT_NEAR(point_success_sufficient(p, n, theta) +
+                  point_failure_sufficient(p, n, theta),
+              1.0, 1e-15);
+}
+
+TEST(PointFailure, MonotoneInPopulation) {
+  const auto p = HeterogeneousProfile::homogeneous(0.1, 1.5);
+  const double theta = 0.8;
+  double prev = point_failure_necessary(p, 100, theta);
+  for (std::size_t n : {200u, 400u, 800u, 1600u}) {
+    const double cur = point_failure_necessary(p, n, theta);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PointFailure, MonotoneInSensingArea) {
+  const double theta = 0.8;
+  const std::size_t n = 500;
+  double prev = 1.0;
+  for (double r : {0.05, 0.1, 0.2, 0.3}) {
+    const double cur =
+        point_failure_necessary(HeterogeneousProfile::homogeneous(r, 1.5), n, theta);
+    EXPECT_LT(cur, prev) << "r=" << r;
+    prev = cur;
+  }
+}
+
+TEST(PointFailure, AtCsaOperatingPoint) {
+  // At s_c = CSA_necessary(n, theta), the expected number of failing grid
+  // points m * P(F_N,P) is ~1 by construction (the definition of the CSA).
+  const double theta = kHalfPi;
+  const std::size_t n = 2000;
+  const double target = csa_necessary(static_cast<double>(n), theta);
+  // Build a homogeneous profile with exactly that sensing area (fov = pi/2).
+  const double fov = kHalfPi;
+  const double radius = std::sqrt(2.0 * target / fov);
+  const auto p = HeterogeneousProfile::homogeneous(radius, fov);
+  const double m = static_cast<double>(n) * std::log(static_cast<double>(n));
+  const double expected_failures = m * point_failure_necessary(p, n, theta);
+  EXPECT_NEAR(expected_failures, 1.0, 0.25);
+}
+
+TEST(GridBounds, OrderingAndClamping) {
+  EXPECT_DOUBLE_EQ(grid_failure_upper_bound(100.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(grid_failure_upper_bound(100.0, 0.001), 0.1);
+  EXPECT_NEAR(grid_failure_lower_bound(100.0, 0.001), 0.1 - 0.01, 1e-12);
+  EXPECT_LE(grid_failure_lower_bound(10.0, 0.08),
+            grid_failure_upper_bound(10.0, 0.08));
+  EXPECT_DOUBLE_EQ(grid_failure_lower_bound(100.0, 0.5), 0.0);  // clamped
+  EXPECT_THROW((void)grid_failure_upper_bound(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)grid_failure_lower_bound(1.0, 1.5), std::invalid_argument);
+}
+
+/// Area-equivalence at the formula level (Section VI-A): two profiles with
+/// the same sensing area but different (r, phi) have IDENTICAL failure
+/// probabilities under uniform deployment.
+TEST(PointFailure, DependsOnlyOnSensingArea) {
+  const double s = 0.01;  // target sensing area
+  const auto a = HeterogeneousProfile::homogeneous(std::sqrt(2.0 * s / 0.5), 0.5);
+  const auto b = HeterogeneousProfile::homogeneous(std::sqrt(2.0 * s / 2.0), 2.0);
+  const auto c = HeterogeneousProfile::homogeneous(std::sqrt(s / kPi), kTwoPi);
+  ASSERT_NEAR(a.weighted_sensing_area(), s, 1e-12);
+  ASSERT_NEAR(b.weighted_sensing_area(), s, 1e-12);
+  ASSERT_NEAR(c.weighted_sensing_area(), s, 1e-12);
+  for (std::size_t n : {200u, 1000u}) {
+    for (double theta : {0.5, 1.0, kHalfPi}) {
+      const double fa = point_failure_necessary(a, n, theta);
+      EXPECT_NEAR(point_failure_necessary(b, n, theta), fa, 1e-12);
+      EXPECT_NEAR(point_failure_necessary(c, n, theta), fa, 1e-12);
+      const double sa = point_failure_sufficient(a, n, theta);
+      EXPECT_NEAR(point_failure_sufficient(b, n, theta), sa, 1e-12);
+      EXPECT_NEAR(point_failure_sufficient(c, n, theta), sa, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvc::analysis

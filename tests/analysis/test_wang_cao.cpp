@@ -1,0 +1,100 @@
+#include "fvc/analysis/wang_cao.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/camera_group.hpp"
+
+namespace fvc::analysis {
+namespace {
+
+using core::HeterogeneousProfile;
+
+TEST(LatticeEdgeLength, MinOverMargins) {
+  const WangCaoMargins m{0.05, 0.2, 0.3};
+  // min(2*0.05, 0.5*0.2, 0.5*0.3) = min(0.1, 0.1, 0.15) = 0.1
+  EXPECT_NEAR(lattice_edge_length(0.5, m), 0.1 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(LatticeEdgeLength, ScalesWithMargins) {
+  const WangCaoMargins small{0.01, 0.1, 0.1};
+  const WangCaoMargins large{0.02, 0.2, 0.2};
+  EXPECT_NEAR(lattice_edge_length(0.5, large), 2.0 * lattice_edge_length(0.5, small),
+              1e-12);
+}
+
+TEST(LatticeEdgeLength, Validation) {
+  EXPECT_THROW((void)lattice_edge_length(0.0, {0.1, 0.1, 0.1}), std::invalid_argument);
+  EXPECT_THROW((void)lattice_edge_length(0.5, {0.0, 0.1, 0.1}), std::invalid_argument);
+  EXPECT_THROW((void)lattice_edge_length(0.5, {0.1, 0.0, 0.1}), std::invalid_argument);
+  EXPECT_THROW((void)lattice_edge_length(0.5, {0.1, 0.1, 0.0}), std::invalid_argument);
+}
+
+TEST(LatticePointCount, DensityFormula) {
+  // density = 2/(sqrt(3) l^2)
+  EXPECT_EQ(lattice_point_count(1.0),
+            static_cast<std::size_t>(std::ceil(2.0 / std::sqrt(3.0))));
+  const std::size_t fine = lattice_point_count(0.01);
+  EXPECT_NEAR(static_cast<double>(fine), 2.0 / (std::sqrt(3.0) * 1e-4), 1.0);
+  EXPECT_THROW((void)lattice_point_count(0.0), std::invalid_argument);
+}
+
+TEST(LatticePointCount, QuartersWithDoubleEdge) {
+  const std::size_t c1 = lattice_point_count(0.02);
+  const std::size_t c2 = lattice_point_count(0.04);
+  EXPECT_NEAR(static_cast<double>(c1) / static_cast<double>(c2), 4.0, 0.01);
+}
+
+TEST(GridFullViewLowerBound, ClampedAndMonotone) {
+  const auto p = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  // Tiny population: bound collapses to 0.
+  EXPECT_DOUBLE_EQ(grid_full_view_lower_bound(p, 10, 0.5, 1000.0), 0.0);
+  // Huge sensing: bound approaches 1.
+  const auto big = HeterogeneousProfile::homogeneous(0.49, 6.0);
+  EXPECT_GT(grid_full_view_lower_bound(big, 5000, 0.5, 100.0), 0.9);
+  // Monotone in n.
+  double prev = 0.0;
+  for (std::size_t n : {2000u, 4000u, 8000u, 16000u}) {
+    const double b = grid_full_view_lower_bound(big, n, 0.5, 1000.0);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_THROW((void)grid_full_view_lower_bound(p, 10, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(MinPopulationForBound, FindsThreshold) {
+  const auto p = HeterogeneousProfile::homogeneous(0.2, 2.0);
+  const std::size_t n_star = min_population_for_bound(p, 0.7, 0.95, 10, 2000000);
+  ASSERT_LE(n_star, 2000000u);
+  // Threshold property: feasible at n_star, infeasible just below.
+  const auto bound_at = [&](std::size_t n) {
+    const double m = static_cast<double>(n) * std::log(static_cast<double>(n));
+    return grid_full_view_lower_bound(p, n, 0.7, m);
+  };
+  EXPECT_GE(bound_at(n_star), 0.95);
+  if (n_star > 10) {
+    EXPECT_LT(bound_at(n_star - 1), 0.95);
+  }
+}
+
+TEST(MinPopulationForBound, UnreachableReturnsSentinel) {
+  const auto tiny = HeterogeneousProfile::homogeneous(0.001, 0.1);
+  EXPECT_EQ(min_population_for_bound(tiny, 0.5, 0.99, 10, 1000), 1001u);
+}
+
+TEST(MinPopulationForBound, Validation) {
+  const auto p = HeterogeneousProfile::homogeneous(0.2, 2.0);
+  EXPECT_THROW((void)min_population_for_bound(p, 0.5, 0.0, 10, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)min_population_for_bound(p, 0.5, 1.0, 10, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)min_population_for_bound(p, 0.5, 0.9, 1, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)min_population_for_bound(p, 0.5, 0.9, 100, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::analysis

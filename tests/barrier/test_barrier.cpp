@@ -1,0 +1,229 @@
+#include "fvc/barrier/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/deploy/lattice.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::barrier {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+
+BarrierSpec small_spec() {
+  BarrierSpec spec;
+  spec.y_lo = 0.4;
+  spec.y_hi = 0.6;
+  spec.columns = 16;
+  spec.rows = 4;
+  return spec;
+}
+
+/// Build a mask from a string picture: rows top-to-bottom, '#' covered.
+std::vector<bool> mask_from(const BarrierSpec& spec,
+                            const std::vector<std::string>& rows) {
+  std::vector<bool> mask(spec.rows * spec.columns, false);
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.columns; ++c) {
+      // picture row 0 is the TOP row = grid row rows-1
+      mask[(spec.rows - 1 - r) * spec.columns + c] = rows.at(r).at(c) == '#';
+    }
+  }
+  return mask;
+}
+
+TEST(BarrierSpec, ProbePointsInsideStrip) {
+  const BarrierSpec spec = small_spec();
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.columns; ++c) {
+      const geom::Vec2 p = spec.probe(r, c);
+      EXPECT_GT(p.y, spec.y_lo);
+      EXPECT_LT(p.y, spec.y_hi);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LT(p.x, 1.0);
+    }
+  }
+}
+
+TEST(BarrierSpec, Validation) {
+  BarrierSpec spec = small_spec();
+  spec.y_lo = 0.7;
+  spec.y_hi = 0.6;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.y_hi = 1.1;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.columns = 0;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+}
+
+TEST(WeakBarrier, FullRowIsWeakCovered) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "                ",
+                                        "################",
+                                        "                ",
+                                        "                ",
+                                    });
+  EXPECT_TRUE(weak_barrier_covered(mask, spec));
+}
+
+TEST(WeakBarrier, OneEmptyColumnFails) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "                ",
+                                        "########_#######",
+                                        "                ",
+                                        "                ",
+                                    });
+  EXPECT_FALSE(weak_barrier_covered(mask, spec));
+}
+
+TEST(WeakBarrier, ColumnsCanBeCoveredAtDifferentRows) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "##      ##      ",
+                                        "  ##      ##    ",
+                                        "    ##      ##  ",
+                                        "      ##      ##",
+                                    });
+  EXPECT_TRUE(weak_barrier_covered(mask, spec));
+}
+
+TEST(StrongBarrier, HorizontalBandWraps) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "                ",
+                                        "################",
+                                        "                ",
+                                        "                ",
+                                    });
+  EXPECT_TRUE(strong_barrier_covered(mask, spec));
+}
+
+TEST(StrongBarrier, DiagonalStaircaseWrapsViaDiagonalAdjacency) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "####            ",
+                                        "   #####        ",
+                                        "       #####    ",
+                                        "          ######",
+                                    });
+  // The staircase connects column 0 (top) to column 15 (bottom); with x
+  // wraparound the bottom-right cell is 8-adjacent to the top-left cell
+  // ONLY if they are in adjacent rows — here they are not (rows 0 and 3),
+  // so the band does NOT wrap.
+  EXPECT_FALSE(strong_barrier_covered(mask, spec));
+}
+
+TEST(StrongBarrier, StaircaseReturningToStartRowWraps) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "####        ####",
+                                        "   ###    ###   ",
+                                        "     ######     ",
+                                        "                ",
+                                    });
+  // Down and back up: the band re-enters the top row before the wrap seam,
+  // and (15, top) is adjacent to (0, top) across the seam.
+  EXPECT_TRUE(strong_barrier_covered(mask, spec));
+}
+
+TEST(StrongBarrier, BrokenBandFails) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "                ",
+                                        "#######  #######",
+                                        "                ",
+                                        "                ",
+                                    });
+  EXPECT_FALSE(strong_barrier_covered(mask, spec));
+  // ...though it is also weak-failed (two empty columns).
+  EXPECT_FALSE(weak_barrier_covered(mask, spec));
+}
+
+TEST(StrongBarrier, VerticalWallDoesNotWrap) {
+  const BarrierSpec spec = small_spec();
+  const auto mask = mask_from(spec, {
+                                        "   #            ",
+                                        "   #            ",
+                                        "   #            ",
+                                        "   #            ",
+                                    });
+  EXPECT_FALSE(strong_barrier_covered(mask, spec));
+}
+
+TEST(StrongBarrier, StrongImpliesWeak) {
+  // Strong coverage implies weak coverage (a wrapping band crosses every
+  // column) — spot-check on random masks.
+  stats::Pcg32 rng(7);
+  const BarrierSpec spec = small_spec();
+  int strong_count = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<bool> mask(spec.rows * spec.columns);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mask[i] = (rng() & 1u) != 0;
+    }
+    if (strong_barrier_covered(mask, spec)) {
+      ++strong_count;
+      EXPECT_TRUE(weak_barrier_covered(mask, spec)) << "iter=" << iter;
+    }
+  }
+  EXPECT_GT(strong_count, 0);  // the sweep exercised the strong branch
+}
+
+TEST(CoverageMask, PredicateForm) {
+  const BarrierSpec spec = small_spec();
+  const auto mask =
+      coverage_mask(spec, [](const geom::Vec2& p) { return p.x < 0.5; });
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.columns; ++c) {
+      EXPECT_EQ(mask[r * spec.columns + c], spec.probe(r, c).x < 0.5);
+    }
+  }
+}
+
+TEST(EvaluateBarrier, DenseLatticeGivesStrongBarrier) {
+  deploy::LatticeConfig cfg;
+  cfg.edge = 0.08;
+  cfg.radius = 0.22;
+  cfg.fov = kHalfPi;
+  cfg.per_site = deploy::per_site_for_fov(cfg.fov);
+  const auto net = deploy::deploy_triangular_lattice_network(cfg);
+  const BarrierResult result = evaluate_barrier(net, small_spec(), kPi / 4.0);
+  EXPECT_TRUE(result.weak);
+  EXPECT_TRUE(result.strong);
+  EXPECT_DOUBLE_EQ(result.covered_fraction, 1.0);
+}
+
+TEST(EvaluateBarrier, EmptyNetworkGivesNothing) {
+  const core::Network net;
+  const BarrierResult result = evaluate_barrier(net, small_spec(), kHalfPi);
+  EXPECT_FALSE(result.weak);
+  EXPECT_FALSE(result.strong);
+  EXPECT_DOUBLE_EQ(result.covered_fraction, 0.0);
+}
+
+TEST(EvaluateBarrier, SparseRandomNetworkUsuallyFails) {
+  stats::Pcg32 rng(17);
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.1, 1.0);
+  const core::Network net = deploy::deploy_uniform_network(profile, 50, rng);
+  const BarrierResult result = evaluate_barrier(net, small_spec(), kHalfPi / 2.0);
+  EXPECT_FALSE(result.strong);
+}
+
+TEST(BarrierChecks, MaskSizeMismatchThrows) {
+  const BarrierSpec spec = small_spec();
+  const std::vector<bool> wrong(3, true);
+  EXPECT_THROW((void)weak_barrier_covered(wrong, spec), std::invalid_argument);
+  EXPECT_THROW((void)strong_barrier_covered(wrong, spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::barrier

@@ -1,0 +1,77 @@
+#include "fvc/cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fvc::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EmptyCommandLine) {
+  const Args args = parse({});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(Args, SubcommandAndFlags) {
+  const Args args = parse({"simulate", "--n", "500", "--theta=0.785"});
+  EXPECT_EQ(args.command(), "simulate");
+  EXPECT_TRUE(args.has("n"));
+  EXPECT_TRUE(args.has("theta"));
+  EXPECT_EQ(args.get_size("n", 0), 500u);
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 0.785);
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args args = parse({"csa"});
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 1.5), 1.5);
+  EXPECT_EQ(args.get_size("n", 42), 42u);
+  EXPECT_EQ(args.get_string("name", "x"), "x");
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args args = parse({"--key=value", "--num=3.5"});
+  EXPECT_EQ(args.get_string("key", ""), "value");
+  EXPECT_DOUBLE_EQ(args.get_double("num", 0.0), 3.5);
+}
+
+TEST(Args, Errors) {
+  EXPECT_THROW(parse({"cmd1", "cmd2"}), std::invalid_argument);          // two positionals
+  EXPECT_THROW(parse({"--flag"}), std::invalid_argument);                // missing value
+  EXPECT_THROW(parse({"--a", "1", "--a", "2"}), std::invalid_argument);  // duplicate
+  EXPECT_THROW(parse({"--=x"}), std::invalid_argument);                  // empty name
+}
+
+TEST(Args, MalformedNumbers) {
+  const Args args = parse({"--n", "12x", "--f", "abc"});
+  EXPECT_THROW((void)args.get_double("f", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("n", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_size("n", 0), std::invalid_argument);
+}
+
+TEST(Args, SizeRejectsNegativeAndFractional) {
+  const Args neg = parse({"--n", "-3"});
+  EXPECT_THROW((void)neg.get_size("n", 0), std::invalid_argument);
+  const Args frac = parse({"--n", "2.5"});
+  EXPECT_THROW((void)frac.get_size("n", 0), std::invalid_argument);
+}
+
+TEST(Args, ExpectOnly) {
+  const Args args = parse({"cmd", "--good", "1", "--bad", "2"});
+  EXPECT_THROW(args.expect_only({"good"}), std::invalid_argument);
+  EXPECT_NO_THROW(args.expect_only({"good", "bad"}));
+}
+
+TEST(Args, ValueWithDashes) {
+  // Values starting with "--" are consumed as values in --key=value form.
+  const Args args = parse({"--key=--weird"});
+  EXPECT_EQ(args.get_string("key", ""), "--weird");
+}
+
+}  // namespace
+}  // namespace fvc::cli

@@ -1,0 +1,103 @@
+#include "fvc/connect/critical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/connect/graph.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::connect {
+namespace {
+
+using geom::SpaceMode;
+using geom::Vec2;
+
+TEST(CriticalRadius, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(critical_radius({}), 0.0);
+  const std::vector<Vec2> one = {{0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(critical_radius(one), 0.0);
+}
+
+TEST(CriticalRadius, TwoPoints) {
+  const std::vector<Vec2> pts = {{0.2, 0.5}, {0.6, 0.5}};
+  EXPECT_NEAR(critical_radius(pts, SpaceMode::kPlane), 0.4, 1e-12);
+  // Torus: same here (0.4 < 0.5).
+  EXPECT_NEAR(critical_radius(pts, SpaceMode::kTorus), 0.4, 1e-12);
+  // Seam pair: torus takes the shortcut.
+  const std::vector<Vec2> seam = {{0.05, 0.5}, {0.95, 0.5}};
+  EXPECT_NEAR(critical_radius(seam, SpaceMode::kTorus), 0.1, 1e-12);
+  EXPECT_NEAR(critical_radius(seam, SpaceMode::kPlane), 0.9, 1e-12);
+}
+
+TEST(CriticalRadius, ChainBottleneck) {
+  // Chain with one long hop: the bottleneck is that hop.
+  const std::vector<Vec2> pts = {{0.1, 0.5}, {0.2, 0.5}, {0.3, 0.5}, {0.55, 0.5}};
+  EXPECT_NEAR(critical_radius(pts, SpaceMode::kPlane), 0.25, 1e-12);
+}
+
+/// The defining property: connected iff R_c >= critical radius.
+TEST(CriticalRadius, ThresholdProperty) {
+  stats::Pcg32 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec2> pts;
+    const std::size_t n = 10 + static_cast<std::size_t>(trial) * 5;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({stats::uniform01(rng), stats::uniform01(rng)});
+    }
+    for (const SpaceMode mode : {SpaceMode::kTorus, SpaceMode::kPlane}) {
+      const double r_star = critical_radius(pts, mode);
+      EXPECT_TRUE(is_connected(pts, r_star * (1.0 + 1e-9), mode))
+          << "trial=" << trial;
+      EXPECT_FALSE(is_connected(pts, r_star * (1.0 - 1e-9), mode))
+          << "trial=" << trial;
+    }
+  }
+}
+
+TEST(CriticalRadius, TorusNeverLargerThanPlane) {
+  stats::Pcg32 rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 40; ++i) {
+      pts.push_back({stats::uniform01(rng), stats::uniform01(rng)});
+    }
+    EXPECT_LE(critical_radius(pts, SpaceMode::kTorus),
+              critical_radius(pts, SpaceMode::kPlane) + 1e-12);
+  }
+}
+
+TEST(GuptaKumar, FormulaAndValidation) {
+  EXPECT_NEAR(gupta_kumar_radius(100.0),
+              std::sqrt(std::log(100.0) / (geom::kPi * 100.0)), 1e-15);
+  EXPECT_THROW((void)gupta_kumar_radius(1.0), std::invalid_argument);
+  // Decreasing in n.
+  EXPECT_GT(gupta_kumar_radius(100.0), gupta_kumar_radius(10000.0));
+}
+
+/// Statistical sanity: the measured critical radius of uniform deployments
+/// concentrates near the Gupta-Kumar order (within a factor ~2 at n=300).
+TEST(CriticalRadius, MatchesGuptaKumarOrder) {
+  stats::Pcg32 rng(7);
+  const std::size_t n = 300;
+  double total = 0.0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<Vec2> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({stats::uniform01(rng), stats::uniform01(rng)});
+    }
+    total += critical_radius(pts);
+  }
+  const double mean = total / trials;
+  const double gk = gupta_kumar_radius(static_cast<double>(n));
+  EXPECT_GT(mean, 0.5 * gk);
+  EXPECT_LT(mean, 2.5 * gk);
+}
+
+}  // namespace
+}  // namespace fvc::connect

@@ -1,0 +1,120 @@
+#include "fvc/connect/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::connect {
+namespace {
+
+using geom::SpaceMode;
+using geom::Vec2;
+
+TEST(UnionFind, InitiallyAllSeparate) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.components(), 5u);
+  EXPECT_EQ(uf.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_EQ(uf.components(), 3u);
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_EQ(uf.components(), 3u);
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.components(), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW((void)uf.find(3), std::out_of_range);
+}
+
+TEST(Connectivity, EmptyAndSingleton) {
+  const std::vector<Vec2> empty;
+  EXPECT_TRUE(is_connected(empty, 0.1));
+  EXPECT_EQ(component_count(empty, 0.1), 0u);
+  const std::vector<Vec2> one = {{0.5, 0.5}};
+  EXPECT_TRUE(is_connected(one, 0.0));
+  EXPECT_EQ(component_count(one, 0.0), 1u);
+}
+
+TEST(Connectivity, ChainConnectsAtSpacing) {
+  std::vector<Vec2> chain;
+  for (int i = 0; i < 10; ++i) {
+    chain.push_back({0.05 + 0.1 * i, 0.5});
+  }
+  // Nominal spacing 0.1; use small slack around it to dodge the last-ulp
+  // wobble of 0.05 + 0.1*i arithmetic.
+  EXPECT_TRUE(is_connected(chain, 0.101, SpaceMode::kPlane));
+  EXPECT_FALSE(is_connected(chain, 0.099, SpaceMode::kPlane));
+  EXPECT_EQ(component_count(chain, 0.099, SpaceMode::kPlane), 10u);
+}
+
+TEST(Connectivity, TorusWrapJoinsEdges) {
+  const std::vector<Vec2> pts = {{0.05, 0.5}, {0.95, 0.5}};
+  EXPECT_TRUE(is_connected(pts, 0.15, SpaceMode::kTorus));
+  EXPECT_FALSE(is_connected(pts, 0.15, SpaceMode::kPlane));
+}
+
+TEST(Connectivity, TwoClusters) {
+  const std::vector<Vec2> pts = {{0.2, 0.2}, {0.22, 0.22}, {0.7, 0.7}, {0.72, 0.72}};
+  EXPECT_EQ(component_count(pts, 0.05, SpaceMode::kPlane), 2u);
+  EXPECT_TRUE(is_connected(pts, 0.8, SpaceMode::kPlane));
+}
+
+TEST(Connectivity, NegativeRadiusThrows) {
+  const std::vector<Vec2> pts = {{0.5, 0.5}};
+  EXPECT_THROW((void)is_connected(pts, -0.1), std::invalid_argument);
+}
+
+TEST(Degrees, MatchesPairwiseDistances) {
+  const std::vector<Vec2> pts = {{0.1, 0.5}, {0.2, 0.5}, {0.3, 0.5}, {0.9, 0.5}};
+  const auto deg = degrees(pts, 0.12, SpaceMode::kPlane);
+  ASSERT_EQ(deg.size(), 4u);
+  EXPECT_EQ(deg[0], 1u);  // neighbour: index 1
+  EXPECT_EQ(deg[1], 2u);  // neighbours: 0 and 2
+  EXPECT_EQ(deg[2], 1u);
+  EXPECT_EQ(deg[3], 0u);  // isolated (plane mode: no wrap to index 0)
+}
+
+TEST(Degrees, MonotoneInRadius) {
+  stats::Pcg32 rng(3);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({stats::uniform01(rng), stats::uniform01(rng)});
+  }
+  const auto small = degrees(pts, 0.1);
+  const auto large = degrees(pts, 0.2);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_LE(small[i], large[i]);
+  }
+}
+
+TEST(Connectivity, ComponentsMonotoneInRadius) {
+  stats::Pcg32 rng(4);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back({stats::uniform01(rng), stats::uniform01(rng)});
+  }
+  std::size_t prev = pts.size() + 1;
+  for (double r : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    const std::size_t c = component_count(pts, r);
+    EXPECT_LE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(prev, 1u);  // r = 0.4 surely connects 80 points on the torus
+}
+
+}  // namespace
+}  // namespace fvc::connect

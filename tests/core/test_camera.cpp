@@ -1,0 +1,129 @@
+#include "fvc/core/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/core/camera_group.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::core {
+namespace {
+
+TEST(Camera, SensingArea) {
+  Camera cam;
+  cam.radius = 0.2;
+  cam.fov = geom::kHalfPi;
+  EXPECT_DOUBLE_EQ(cam.sensing_area(), 0.5 * geom::kHalfPi * 0.04);
+}
+
+TEST(Camera, ValidateAcceptsGoodCameras) {
+  Camera cam;
+  cam.radius = 0.1;
+  cam.fov = 1.0;
+  EXPECT_NO_THROW(validate(cam));
+  cam.fov = geom::kTwoPi;  // omnidirectional is allowed
+  EXPECT_NO_THROW(validate(cam));
+  cam.radius = 0.0;  // degenerate but legal
+  EXPECT_NO_THROW(validate(cam));
+}
+
+TEST(Camera, ValidateRejectsBadCameras) {
+  Camera cam;
+  cam.radius = -0.1;
+  cam.fov = 1.0;
+  EXPECT_THROW(validate(cam), std::invalid_argument);
+  cam.radius = 0.1;
+  cam.fov = 0.0;
+  EXPECT_THROW(validate(cam), std::invalid_argument);
+  cam.fov = geom::kTwoPi + 0.1;
+  EXPECT_THROW(validate(cam), std::invalid_argument);
+}
+
+TEST(CameraGroupSpec, SensingArea) {
+  const CameraGroupSpec g{0.5, 0.3, 2.0};
+  EXPECT_DOUBLE_EQ(g.sensing_area(), 0.5 * 2.0 * 0.09);
+}
+
+TEST(HeterogeneousProfile, HomogeneousFactory) {
+  const auto p = HeterogeneousProfile::homogeneous(0.2, 1.0);
+  EXPECT_EQ(p.group_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.groups()[0].fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.weighted_sensing_area(), 0.5 * 1.0 * 0.04);
+}
+
+TEST(HeterogeneousProfile, ValidationRejectsBadInputs) {
+  EXPECT_THROW(HeterogeneousProfile({}), std::invalid_argument);
+  // Fractions not summing to 1.
+  EXPECT_THROW(HeterogeneousProfile({CameraGroupSpec{0.5, 0.1, 1.0}}),
+               std::invalid_argument);
+  // Fraction out of range.
+  EXPECT_THROW(HeterogeneousProfile({CameraGroupSpec{1.5, 0.1, 1.0},
+                                     CameraGroupSpec{-0.5, 0.1, 1.0}}),
+               std::invalid_argument);
+  // Bad fov.
+  EXPECT_THROW(HeterogeneousProfile({CameraGroupSpec{1.0, 0.1, 0.0}}),
+               std::invalid_argument);
+  // Bad radius.
+  EXPECT_THROW(HeterogeneousProfile({CameraGroupSpec{1.0, -0.1, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(HeterogeneousProfile, WeightedSensingArea) {
+  const HeterogeneousProfile p({CameraGroupSpec{0.25, 0.2, 1.0},
+                                CameraGroupSpec{0.75, 0.1, 2.0}});
+  const double expected = 0.25 * (0.5 * 1.0 * 0.04) + 0.75 * (0.5 * 2.0 * 0.01);
+  EXPECT_NEAR(p.weighted_sensing_area(), expected, 1e-15);
+}
+
+TEST(HeterogeneousProfile, CountsSumToN) {
+  const HeterogeneousProfile p({CameraGroupSpec{1.0 / 3.0, 0.1, 1.0},
+                                CameraGroupSpec{1.0 / 3.0, 0.2, 1.0},
+                                CameraGroupSpec{1.0 / 3.0, 0.3, 1.0}});
+  for (std::size_t n : {1u, 2u, 10u, 100u, 101u, 1000u}) {
+    const auto counts = p.counts(n);
+    std::size_t total = 0;
+    for (std::size_t c : counts) {
+      total += c;
+    }
+    EXPECT_EQ(total, n) << "n=" << n;
+  }
+}
+
+TEST(HeterogeneousProfile, CountsProportional) {
+  const HeterogeneousProfile p({CameraGroupSpec{0.7, 0.1, 1.0},
+                                CameraGroupSpec{0.3, 0.2, 1.0}});
+  const auto counts = p.counts(1000);
+  EXPECT_EQ(counts[0], 700u);
+  EXPECT_EQ(counts[1], 300u);
+}
+
+TEST(HeterogeneousProfile, MaxRadius) {
+  const HeterogeneousProfile p({CameraGroupSpec{0.5, 0.15, 1.0},
+                                CameraGroupSpec{0.5, 0.25, 1.0}});
+  EXPECT_DOUBLE_EQ(p.max_radius(), 0.25);
+}
+
+TEST(HeterogeneousProfile, ScaledAreaScalesEveryGroup) {
+  const HeterogeneousProfile p({CameraGroupSpec{0.5, 0.1, 1.0},
+                                CameraGroupSpec{0.5, 0.2, 2.0}});
+  const auto scaled = p.scaled_area(4.0);
+  EXPECT_NEAR(scaled.weighted_sensing_area(), 4.0 * p.weighted_sensing_area(), 1e-15);
+  // Radii doubled (sqrt(4)), fovs unchanged.
+  EXPECT_NEAR(scaled.groups()[0].radius, 0.2, 1e-15);
+  EXPECT_NEAR(scaled.groups()[1].radius, 0.4, 1e-15);
+  EXPECT_DOUBLE_EQ(scaled.groups()[0].fov, 1.0);
+  EXPECT_THROW((void)p.scaled_area(0.0), std::invalid_argument);
+}
+
+TEST(HeterogeneousProfile, WithWeightedArea) {
+  const auto p = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  const auto q = p.with_weighted_area(0.02);
+  EXPECT_NEAR(q.weighted_sensing_area(), 0.02, 1e-15);
+  EXPECT_THROW((void)p.with_weighted_area(0.0), std::invalid_argument);
+  const auto zero = HeterogeneousProfile::homogeneous(0.0, 1.0);
+  EXPECT_THROW((void)zero.with_weighted_area(0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::core

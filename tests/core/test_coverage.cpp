@@ -1,0 +1,128 @@
+#include "fvc/core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/torus.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+Camera make_camera(geom::Vec2 pos, double orientation, double radius, double fov) {
+  Camera cam;
+  cam.position = pos;
+  cam.orientation = orientation;
+  cam.radius = radius;
+  cam.fov = fov;
+  return cam;
+}
+
+TEST(Covers, PointStraightAhead) {
+  const Camera cam = make_camera({0.5, 0.5}, 0.0, 0.2, geom::kHalfPi);
+  EXPECT_TRUE(covers(cam, {0.6, 0.5}));
+  EXPECT_FALSE(covers(cam, {0.8, 0.5}));  // beyond radius
+  EXPECT_FALSE(covers(cam, {0.4, 0.5}));  // behind
+}
+
+TEST(Covers, FovBoundaryClosed) {
+  const Camera cam = make_camera({0.5, 0.5}, 0.0, 0.3, geom::kHalfPi);
+  // Directions at exactly +-fov/2 = +-pi/4 are covered (closed sector).
+  const geom::Vec2 on_edge = {0.5 + 0.1 * std::cos(geom::kHalfPi / 2.0),
+                              0.5 + 0.1 * std::sin(geom::kHalfPi / 2.0)};
+  EXPECT_TRUE(covers(cam, on_edge));
+  const geom::Vec2 past_edge = {0.5 + 0.1 * std::cos(geom::kHalfPi / 2.0 + 0.01),
+                                0.5 + 0.1 * std::sin(geom::kHalfPi / 2.0 + 0.01)};
+  EXPECT_FALSE(covers(cam, past_edge));
+}
+
+TEST(Covers, RadiusBoundaryClosed) {
+  const Camera cam = make_camera({0.5, 0.5}, 0.0, 0.2, geom::kTwoPi);
+  EXPECT_TRUE(covers(cam, {0.7, 0.5}));
+  EXPECT_FALSE(covers(cam, {0.70001, 0.5}));
+}
+
+TEST(Covers, CameraPositionItself) {
+  const Camera cam = make_camera({0.5, 0.5}, 1.0, 0.1, 0.5);
+  EXPECT_TRUE(covers(cam, {0.5, 0.5}));
+}
+
+TEST(Covers, WrapsAcrossTorusEdge) {
+  // Camera near the right edge facing +x covers points past the seam.
+  const Camera cam = make_camera({0.95, 0.5}, 0.0, 0.2, geom::kHalfPi);
+  EXPECT_TRUE(covers(cam, {0.05, 0.5}));
+  EXPECT_FALSE(covers(cam, {0.85, 0.5}));  // behind it
+}
+
+TEST(Covers, OmnidirectionalIgnoresOrientation) {
+  stats::Pcg32 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const Camera a = make_camera({0.5, 0.5}, 0.0, 0.4, geom::kTwoPi);
+    const Camera b = make_camera({0.5, 0.5}, 2.5, 0.4, geom::kTwoPi);
+    EXPECT_EQ(covers(a, p), covers(b, p));
+  }
+}
+
+TEST(ViewedDirection, PointsFromObjectToSensor) {
+  const Camera cam = make_camera({0.7, 0.5}, geom::kPi, 0.5, geom::kPi);
+  // Object at (0.5, 0.5): sensor is due east, so viewed direction ~ 0.
+  EXPECT_NEAR(viewed_direction(cam, {0.5, 0.5}), 0.0, 1e-12);
+  // Object at (0.7, 0.7): sensor is due south, viewed direction ~ -pi/2.
+  EXPECT_NEAR(viewed_direction(cam, {0.7, 0.7}), 1.5 * geom::kPi, 1e-12);
+}
+
+TEST(ViewedDirectionIfCovered, ConsistentWithPredicates) {
+  stats::Pcg32 rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const Camera cam = make_camera({stats::uniform01(rng), stats::uniform01(rng)},
+                                   stats::uniform_in(rng, 0.0, geom::kTwoPi),
+                                   stats::uniform_in(rng, 0.05, 0.4),
+                                   stats::uniform_in(rng, 0.2, geom::kTwoPi));
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const auto dir = viewed_direction_if_covered(cam, p);
+    EXPECT_EQ(dir.has_value(), covers(cam, p));
+    if (dir.has_value() && geom::UnitTorus::distance(cam.position, p) > 1e-9) {
+      EXPECT_NEAR(*dir, viewed_direction(cam, p), 1e-12);
+    }
+  }
+}
+
+TEST(ViewedDirection, OppositeOfSensorToObjectDirection) {
+  stats::Pcg32 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const geom::Vec2 s{stats::uniform01(rng), stats::uniform01(rng)};
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    if (geom::UnitTorus::distance(s, p) < 1e-6) {
+      continue;
+    }
+    const Camera cam = make_camera(s, 0.0, 1.0, geom::kTwoPi);
+    const double vd = viewed_direction(cam, p);
+    const double sp = geom::UnitTorus::displacement(s, p).angle();
+    EXPECT_NEAR(geom::angular_distance(vd, sp + geom::kPi), 0.0, 1e-9);
+  }
+}
+
+/// The paper's Section VI-A observation, point form: the probability that a
+/// random camera covers a random point equals its sensing area.
+TEST(CoversStatistics, HitRateEqualsSensingArea) {
+  stats::Pcg32 rng(8);
+  const double radius = 0.25;
+  const double fov = 1.2;
+  const double area = 0.5 * fov * radius * radius;
+  const geom::Vec2 p{0.5, 0.5};
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Camera cam = make_camera({stats::uniform01(rng), stats::uniform01(rng)},
+                                   stats::uniform_in(rng, 0.0, geom::kTwoPi), radius, fov);
+    hits += covers(cam, p) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, area, 0.002);
+}
+
+}  // namespace
+}  // namespace fvc::core

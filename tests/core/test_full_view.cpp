@@ -1,0 +1,256 @@
+#include "fvc/core/full_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+std::vector<double> evenly_spaced(std::size_t count, double offset = 0.0) {
+  std::vector<double> dirs;
+  for (std::size_t j = 0; j < count; ++j) {
+    dirs.push_back(geom::normalize_angle(
+        offset + static_cast<double>(j) * kTwoPi / static_cast<double>(count)));
+  }
+  return dirs;
+}
+
+TEST(ValidateTheta, Range) {
+  EXPECT_THROW(validate_theta(0.0), std::invalid_argument);
+  EXPECT_THROW(validate_theta(-1.0), std::invalid_argument);
+  EXPECT_THROW(validate_theta(kPi + 0.01), std::invalid_argument);
+  EXPECT_NO_THROW(validate_theta(kPi));
+  EXPECT_NO_THROW(validate_theta(0.01));
+}
+
+TEST(FullViewCovered, NoSensorsNeverCovered) {
+  const FullViewResult r = full_view_covered(std::span<const double>{}, kHalfPi);
+  EXPECT_FALSE(r.covered);
+  EXPECT_EQ(r.covering_count, 0u);
+  EXPECT_DOUBLE_EQ(r.max_gap, kTwoPi);
+  EXPECT_TRUE(r.witness_unsafe_direction.has_value());
+}
+
+TEST(FullViewCovered, SingleSensorOnlyAtThetaPi) {
+  const std::array<double, 1> dirs = {1.0};
+  EXPECT_FALSE(full_view_covered(dirs, kPi - 0.01).covered);
+  EXPECT_TRUE(full_view_covered(dirs, kPi).covered);
+}
+
+TEST(FullViewCovered, EvenlySpacedSensors) {
+  // 4 sensors at 90 degrees: gaps of pi/2, covered iff 2*theta >= pi/2.
+  const auto dirs = evenly_spaced(4);
+  EXPECT_TRUE(full_view_covered(dirs, kHalfPi / 2.0).covered);   // theta = pi/4
+  EXPECT_TRUE(full_view_covered(dirs, kHalfPi / 2.0 + 0.01).covered);
+  EXPECT_FALSE(full_view_covered(dirs, kHalfPi / 2.0 - 0.01).covered);
+}
+
+TEST(FullViewCovered, MaxGapReported) {
+  const std::array<double, 3> dirs = {0.0, 1.0, 2.0};
+  const FullViewResult r = full_view_covered(dirs, 0.5);
+  EXPECT_NEAR(r.max_gap, kTwoPi - 2.0, 1e-12);
+  EXPECT_EQ(r.covering_count, 3u);
+}
+
+TEST(FullViewCovered, WitnessIsUnsafe) {
+  const std::array<double, 3> dirs = {0.0, 1.0, 2.0};
+  const double theta = 0.5;
+  const FullViewResult r = full_view_covered(dirs, theta);
+  ASSERT_FALSE(r.covered);
+  ASSERT_TRUE(r.witness_unsafe_direction.has_value());
+  EXPECT_FALSE(is_safe_direction(dirs, *r.witness_unsafe_direction, theta));
+}
+
+TEST(IsSafeDirection, Definition1) {
+  const std::array<double, 2> dirs = {0.0, kPi};
+  EXPECT_TRUE(is_safe_direction(dirs, 0.2, 0.3));
+  EXPECT_TRUE(is_safe_direction(dirs, 0.3, 0.3));   // boundary: <= theta
+  EXPECT_FALSE(is_safe_direction(dirs, 0.4, 0.3));
+  EXPECT_TRUE(is_safe_direction(dirs, kPi - 0.2, 0.3));
+}
+
+TEST(FullViewCovered, CoveredIffEveryDirectionSafe) {
+  stats::Pcg32 rng(31);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<double> dirs;
+    const std::size_t count = 1 + iter % 8;
+    for (std::size_t i = 0; i < count; ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.1, kPi);
+    const bool covered = full_view_covered(dirs, theta).covered;
+    bool all_safe = true;
+    for (double d = 0.0; d < kTwoPi; d += 0.005) {
+      if (!is_safe_direction(dirs, d, theta)) {
+        all_safe = false;
+        break;
+      }
+    }
+    // The dense probe can miss an unsafe sliver narrower than the step, so
+    // only assert the one-sided implications that are step-robust.
+    if (covered) {
+      EXPECT_TRUE(all_safe) << "iter=" << iter;
+    }
+    if (!all_safe) {
+      EXPECT_FALSE(covered) << "iter=" << iter;
+    }
+  }
+}
+
+TEST(NecessaryCondition, RequiresSensorInEverySector) {
+  const double theta = kHalfPi;  // sectors of width pi, k_N = 2
+  // Sensors clustered in one half-plane fail the necessary condition.
+  const std::array<double, 3> clustered = {0.1, 0.2, 0.3};
+  EXPECT_FALSE(meets_necessary_condition(clustered, theta));
+  // One sensor in each half-plane meets it.
+  const std::array<double, 2> spread = {0.5, kPi + 0.5};
+  EXPECT_TRUE(meets_necessary_condition(spread, theta));
+}
+
+TEST(NecessaryCondition, ThetaPiIsOneCoverage) {
+  const std::array<double, 1> one = {2.0};
+  EXPECT_TRUE(meets_necessary_condition(one, kPi));
+  EXPECT_FALSE(meets_necessary_condition(std::span<const double>{}, kPi));
+}
+
+TEST(SufficientCondition, RequiresFinerSectors) {
+  const double theta = kHalfPi;  // sufficient sectors width pi/2, k_S = 4
+  const auto four = evenly_spaced(4, 0.1);
+  EXPECT_TRUE(meets_sufficient_condition(four, theta));
+  const auto two = evenly_spaced(2, 0.1);
+  EXPECT_FALSE(meets_sufficient_condition(two, theta));
+  // Two sensors DO meet the necessary condition at this theta.
+  EXPECT_TRUE(meets_necessary_condition(two, theta));
+}
+
+/// The paper's central nesting: sufficient => exact full view => necessary.
+TEST(ConditionNesting, PropertyOverRandomConfigurations) {
+  stats::Pcg32 rng(32);
+  int suff_count = 0;
+  int fv_count = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::vector<double> dirs;
+    const std::size_t count = iter % 16;
+    for (std::size_t i = 0; i < count; ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.15, kPi);
+    const bool suff = meets_sufficient_condition(dirs, theta);
+    const bool fv = full_view_covered(dirs, theta).covered;
+    const bool nec = meets_necessary_condition(dirs, theta);
+    if (suff) {
+      ++suff_count;
+      EXPECT_TRUE(fv) << "sufficient condition without full view, iter=" << iter;
+    }
+    if (fv) {
+      ++fv_count;
+      EXPECT_TRUE(nec) << "full view without necessary condition, iter=" << iter;
+    }
+  }
+  // Sanity: the sweep hit both sides of each predicate.
+  EXPECT_GT(suff_count, 20);
+  EXPECT_GT(fv_count, suff_count);
+}
+
+TEST(ConditionNesting, MonotoneInTheta) {
+  stats::Pcg32 rng(33);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i < 2 + static_cast<std::size_t>(iter % 10); ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.1, kPi - 0.1);
+    // Full-view coverage is monotone in theta (bigger theta = weaker demand).
+    if (full_view_covered(dirs, theta).covered) {
+      EXPECT_TRUE(full_view_covered(dirs, theta + 0.05).covered);
+    }
+  }
+}
+
+TEST(ConditionMonotone, AddingSensorsPreserves) {
+  stats::Pcg32 rng(34);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i < 3 + static_cast<std::size_t>(iter % 8); ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.2, kPi);
+    const bool fv_before = full_view_covered(dirs, theta).covered;
+    const bool nec_before = meets_necessary_condition(dirs, theta);
+    const bool suf_before = meets_sufficient_condition(dirs, theta);
+    dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    if (fv_before) {
+      EXPECT_TRUE(full_view_covered(dirs, theta).covered);
+    }
+    if (nec_before) {
+      EXPECT_TRUE(meets_necessary_condition(dirs, theta));
+    }
+    if (suf_before) {
+      EXPECT_TRUE(meets_sufficient_condition(dirs, theta));
+    }
+  }
+}
+
+TEST(ImpliedK, MatchesCeiling) {
+  EXPECT_EQ(implied_k(kPi), 1u);
+  EXPECT_EQ(implied_k(kHalfPi), 2u);
+  EXPECT_EQ(implied_k(kPi / 4.0), 4u);
+  EXPECT_EQ(implied_k(kPi / 3.0 + 1e-9), 3u);
+  EXPECT_EQ(implied_k(1.0), 4u);  // ceil(pi) = 4
+}
+
+/// Full-view coverage needs at least ceil(pi/theta) sensors (paper III):
+/// the necessary condition's sector count is a lower bound on sensors.
+TEST(FullViewCovered, RequiresAtLeastImpliedKSensors) {
+  stats::Pcg32 rng(35);
+  for (int iter = 0; iter < 500; ++iter) {
+    const double theta = stats::uniform_in(rng, 0.2, kPi);
+    const std::size_t k = implied_k(theta);
+    if (k <= 1) {
+      continue;
+    }
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    EXPECT_FALSE(full_view_covered(dirs, theta).covered)
+        << "covered with only " << dirs.size() << " sensors, k=" << k;
+  }
+}
+
+/// ceil(2*pi/theta) evenly spaced sensors always suffice (paper IV).
+TEST(FullViewCovered, SufficientCountEvenlySpacedAlwaysCovers) {
+  stats::Pcg32 rng(36);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double theta = stats::uniform_in(rng, 0.2, kPi);
+    const auto k_s = static_cast<std::size_t>(std::ceil(kTwoPi / theta));
+    const auto dirs = evenly_spaced(k_s, stats::uniform_in(rng, 0.0, kTwoPi));
+    EXPECT_TRUE(full_view_covered(dirs, theta).covered) << "theta=" << theta;
+    EXPECT_TRUE(meets_necessary_condition(dirs, theta)) << "theta=" << theta;
+  }
+}
+
+TEST(StartLine, NecessaryConditionDependsOnStartLineOnlyMildly) {
+  // The paper fixes an arbitrary start line; rotating it can flip marginal
+  // configurations but not clearly-covered ones.
+  const auto dirs = evenly_spaced(8);
+  for (double start = 0.0; start < 1.0; start += 0.1) {
+    EXPECT_TRUE(meets_necessary_condition(dirs, kHalfPi, start));
+    EXPECT_TRUE(meets_sufficient_condition(dirs, kHalfPi, start));
+  }
+}
+
+}  // namespace
+}  // namespace fvc::core

@@ -1,0 +1,112 @@
+#include "fvc/core/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace fvc::core {
+namespace {
+
+TEST(DenseGrid, ConstructionValidation) {
+  EXPECT_THROW(DenseGrid(0), std::invalid_argument);
+  EXPECT_NO_THROW(DenseGrid(1));
+}
+
+TEST(DenseGrid, SizeIsSideSquared) {
+  const DenseGrid g(7);
+  EXPECT_EQ(g.side(), 7u);
+  EXPECT_EQ(g.size(), 49u);
+  EXPECT_DOUBLE_EQ(g.spacing(), 1.0 / 7.0);
+}
+
+TEST(DenseGrid, ForNetworkSizeUsesNLogN) {
+  // n = 100: m = 100*log(100) ~ 460.5, side = ceil(sqrt(460.5)) = 22.
+  const DenseGrid g = DenseGrid::for_network_size(100);
+  EXPECT_EQ(g.side(), 22u);
+  EXPECT_GE(static_cast<double>(g.size()), 100.0 * std::log(100.0));
+  EXPECT_THROW((void)DenseGrid::for_network_size(1), std::invalid_argument);
+}
+
+TEST(DenseGrid, PointsAreCellCenters) {
+  const DenseGrid g(4);
+  const geom::Vec2 p = g.point(0, 0);
+  EXPECT_DOUBLE_EQ(p.x, 0.125);
+  EXPECT_DOUBLE_EQ(p.y, 0.125);
+  const geom::Vec2 q = g.point(3, 3);
+  EXPECT_DOUBLE_EQ(q.x, 0.875);
+  EXPECT_DOUBLE_EQ(q.y, 0.875);
+}
+
+TEST(DenseGrid, PointsInsideUnitSquare) {
+  const DenseGrid g(13);
+  g.for_each([](std::size_t, const geom::Vec2& p) {
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  });
+}
+
+TEST(DenseGrid, FlatIndexConsistentWithRowCol) {
+  const DenseGrid g(5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      const geom::Vec2 a = g.point(r, c);
+      const geom::Vec2 b = g.point(r * 5 + c);
+      EXPECT_EQ(a.x, b.x);
+      EXPECT_EQ(a.y, b.y);
+    }
+  }
+}
+
+TEST(DenseGrid, AllPointsDistinct) {
+  const DenseGrid g(9);
+  std::set<std::pair<double, double>> seen;
+  g.for_each([&](std::size_t, const geom::Vec2& p) { seen.insert({p.x, p.y}); });
+  EXPECT_EQ(seen.size(), g.size());
+}
+
+TEST(DenseGrid, OutOfRangeThrows) {
+  const DenseGrid g(3);
+  EXPECT_THROW((void)g.point(3, 0), std::out_of_range);
+  EXPECT_THROW((void)g.point(0, 3), std::out_of_range);
+  EXPECT_THROW((void)g.point(9), std::out_of_range);
+}
+
+TEST(DenseGrid, AllPointsEarlyExit) {
+  const DenseGrid g(10);
+  int visits = 0;
+  const bool result = g.all_points([&](const geom::Vec2&) {
+    ++visits;
+    return visits < 5;  // fail on the 5th point
+  });
+  EXPECT_FALSE(result);
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(DenseGrid, AllPointsTrueWhenAllPass) {
+  const DenseGrid g(6);
+  EXPECT_TRUE(g.all_points([](const geom::Vec2&) { return true; }));
+}
+
+TEST(DenseGrid, CountPoints) {
+  const DenseGrid g(10);
+  const std::size_t left_half = g.count_points([](const geom::Vec2& p) {
+    return p.x < 0.5;
+  });
+  EXPECT_EQ(left_half, 50u);
+}
+
+TEST(DenseGrid, ForEachVisitsAllIndices) {
+  const DenseGrid g(4);
+  std::set<std::size_t> indices;
+  g.for_each([&](std::size_t i, const geom::Vec2&) { indices.insert(i); });
+  EXPECT_EQ(indices.size(), 16u);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), 15u);
+}
+
+}  // namespace
+}  // namespace fvc::core

@@ -1,0 +1,176 @@
+#include "fvc/core/k_full_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+std::vector<double> evenly_spaced(std::size_t count, double offset = 0.0) {
+  std::vector<double> dirs;
+  for (std::size_t j = 0; j < count; ++j) {
+    dirs.push_back(geom::normalize_angle(
+        offset + static_cast<double>(j) * kTwoPi / static_cast<double>(count)));
+  }
+  return dirs;
+}
+
+TEST(MinDirectionMultiplicity, EmptyIsZero) {
+  const KFullViewResult r = min_direction_multiplicity(std::span<const double>{}, 1.0);
+  EXPECT_EQ(r.min_multiplicity, 0u);
+}
+
+TEST(MinDirectionMultiplicity, SingleSensorThetaPi) {
+  // theta = pi: the single arc covers the whole circle -> multiplicity 1.
+  const std::vector<double> dirs = {2.0};
+  EXPECT_EQ(min_direction_multiplicity(dirs, kPi).min_multiplicity, 1u);
+  // theta < pi: a gap exists -> multiplicity 0.
+  EXPECT_EQ(min_direction_multiplicity(dirs, kPi - 0.1).min_multiplicity, 0u);
+}
+
+TEST(MinDirectionMultiplicity, FourEvenSensors) {
+  const auto dirs = evenly_spaced(4);
+  // theta = pi/2: each direction is within pi/2 of exactly 2-3 sensors;
+  // the minimum over the circle is 2 (at directions between two sensors...
+  // actually at a sensor direction: itself + the two at +-pi/2 = 3; at a
+  // 45-degree diagonal: the two flanking sensors = 2).
+  EXPECT_EQ(min_direction_multiplicity(dirs, kHalfPi).min_multiplicity, 2u);
+  // theta just under pi/4: diagonals see nobody.
+  EXPECT_EQ(min_direction_multiplicity(dirs, kHalfPi / 2.0 - 0.01).min_multiplicity, 0u);
+  // theta just over pi/4: every direction sees at least one.
+  EXPECT_EQ(min_direction_multiplicity(dirs, kHalfPi / 2.0 + 0.01).min_multiplicity, 1u);
+}
+
+TEST(MinDirectionMultiplicity, WeakestDirectionIsAchieving) {
+  stats::Pcg32 rng(91);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i < 3 + static_cast<std::size_t>(iter % 6); ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.3, kPi);
+    const KFullViewResult r = min_direction_multiplicity(dirs, theta);
+    // Count sensors within theta of the reported weakest direction: must
+    // equal the reported minimum.
+    std::size_t count = 0;
+    for (double v : dirs) {
+      if (geom::angular_distance(v, r.weakest_direction) <= theta) {
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, r.min_multiplicity) << "iter=" << iter;
+  }
+}
+
+TEST(MinDirectionMultiplicity, MatchesBruteForceProbe) {
+  stats::Pcg32 rng(92);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i < 2 + static_cast<std::size_t>(iter % 7); ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.3, kPi - 0.05);
+    const std::size_t sweep = min_direction_multiplicity(dirs, theta).min_multiplicity;
+    // Dense probe: the probe minimum can only over- or equal the true min
+    // (it may miss a thin sliver), never undercut it.
+    std::size_t probe_min = dirs.size();
+    for (double d = 0.0; d < kTwoPi; d += 0.003) {
+      std::size_t c = 0;
+      for (double v : dirs) {
+        if (geom::angular_distance(v, d) <= theta) {
+          ++c;
+        }
+      }
+      probe_min = std::min(probe_min, c);
+    }
+    EXPECT_LE(sweep, probe_min) << "iter=" << iter;
+    // With a 0.003 step the sliver scenario is rare; allow at most 1 off.
+    EXPECT_GE(sweep + 1, probe_min) << "iter=" << iter;
+  }
+}
+
+TEST(KFullViewCovered, KZeroAlwaysTrue) {
+  EXPECT_TRUE(k_full_view_covered(std::span<const double>{}, 1.0, 0));
+}
+
+TEST(KFullViewCovered, KOneEqualsExactFullView) {
+  stats::Pcg32 rng(93);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(iter % 10); ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.2, kPi);
+    EXPECT_EQ(k_full_view_covered(dirs, theta, 1),
+              full_view_covered(dirs, theta).covered)
+        << "iter=" << iter;
+  }
+}
+
+TEST(KFullViewCovered, MonotoneInK) {
+  const auto dirs = evenly_spaced(12, 0.1);
+  const double theta = kHalfPi;
+  std::size_t k = 1;
+  while (k_full_view_covered(dirs, theta, k)) {
+    ++k;
+  }
+  // Once it fails for k it fails for all larger k.
+  EXPECT_FALSE(k_full_view_covered(dirs, theta, k + 1));
+  EXPECT_FALSE(k_full_view_covered(dirs, theta, k + 5));
+}
+
+TEST(KFullViewCovered, SensorRemovalDegradesGracefully) {
+  // The fault-tolerance motivation: a k-full-view covered point stays
+  // (k-1)-full-view covered after any one sensor is removed.
+  stats::Pcg32 rng(94);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i < 8; ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double theta = stats::uniform_in(rng, 0.8, kPi);
+    const std::size_t k = min_direction_multiplicity(dirs, theta).min_multiplicity;
+    if (k < 2) {
+      continue;
+    }
+    for (std::size_t drop = 0; drop < dirs.size(); ++drop) {
+      std::vector<double> rest = dirs;
+      rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(drop));
+      EXPECT_TRUE(k_full_view_covered(rest, theta, k - 1))
+          << "iter=" << iter << " drop=" << drop;
+    }
+  }
+}
+
+TEST(FullViewDegree, NetworkOverload) {
+  stats::Pcg32 rng(95);
+  const auto profile = HeterogeneousProfile::homogeneous(0.3, kTwoPi);
+  const Network net = deploy::deploy_uniform_network(profile, 200, rng);
+  const geom::Vec2 p{0.5, 0.5};
+  const double theta = kHalfPi;
+  const std::size_t degree = full_view_degree(net, p, theta);
+  EXPECT_EQ(degree > 0, full_view_covered(net, p, theta).covered);
+  EXPECT_TRUE(k_full_view_covered(net, p, theta, degree));
+  EXPECT_FALSE(k_full_view_covered(net, p, theta, degree + 1));
+}
+
+TEST(MinDirectionMultiplicity, ValidatesTheta) {
+  const std::vector<double> dirs = {1.0};
+  EXPECT_THROW((void)min_direction_multiplicity(dirs, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)k_full_view_covered(dirs, kPi + 0.1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::core

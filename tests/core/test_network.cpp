@@ -1,0 +1,130 @@
+#include "fvc/core/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+Camera make_camera(geom::Vec2 pos, double orientation, double radius, double fov) {
+  Camera cam;
+  cam.position = pos;
+  cam.orientation = orientation;
+  cam.radius = radius;
+  cam.fov = fov;
+  return cam;
+}
+
+std::vector<Camera> random_cameras(std::size_t count, std::uint64_t seed,
+                                   double radius = 0.15, double fov = 1.5) {
+  stats::Pcg32 rng(seed);
+  std::vector<Camera> cams;
+  cams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cams.push_back(make_camera({stats::uniform01(rng), stats::uniform01(rng)},
+                               stats::uniform_in(rng, 0.0, geom::kTwoPi), radius, fov));
+  }
+  return cams;
+}
+
+TEST(Network, EmptyNetwork) {
+  const Network net;
+  EXPECT_TRUE(net.empty());
+  EXPECT_EQ(net.size(), 0u);
+  EXPECT_FALSE(net.is_covered({0.5, 0.5}));
+  EXPECT_TRUE(net.viewed_directions({0.5, 0.5}).empty());
+}
+
+TEST(Network, ValidatesCameras) {
+  std::vector<Camera> cams = {make_camera({0.5, 0.5}, 0.0, -1.0, 1.0)};
+  EXPECT_THROW(Network{cams}, std::invalid_argument);
+}
+
+TEST(Network, WrapsPositions) {
+  std::vector<Camera> cams = {make_camera({1.5, -0.25}, 0.0, 0.1, 1.0)};
+  const Network net(cams);
+  EXPECT_DOUBLE_EQ(net.camera(0).position.x, 0.5);
+  EXPECT_DOUBLE_EQ(net.camera(0).position.y, 0.75);
+}
+
+TEST(Network, MaxRadius) {
+  std::vector<Camera> cams = {make_camera({0.1, 0.1}, 0.0, 0.1, 1.0),
+                              make_camera({0.2, 0.2}, 0.0, 0.3, 1.0)};
+  const Network net(std::move(cams));
+  EXPECT_DOUBLE_EQ(net.max_radius(), 0.3);
+}
+
+TEST(Network, MeanSensingArea) {
+  std::vector<Camera> cams = {make_camera({0.1, 0.1}, 0.0, 0.1, 2.0),
+                              make_camera({0.2, 0.2}, 0.0, 0.2, 1.0)};
+  const Network net(std::move(cams));
+  const double expected = 0.5 * (0.5 * 2.0 * 0.01 + 0.5 * 1.0 * 0.04);
+  EXPECT_NEAR(net.mean_sensing_area(), expected, 1e-15);
+  EXPECT_DOUBLE_EQ(Network().mean_sensing_area(), 0.0);
+}
+
+TEST(Network, CoveringCamerasMatchesBruteForce) {
+  const auto cams = random_cameras(300, 42);
+  const Network net(cams);
+  stats::Pcg32 rng(43);
+  for (int q = 0; q < 200; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    std::vector<std::size_t> brute;
+    for (std::size_t i = 0; i < cams.size(); ++i) {
+      if (covers(cams[i], p)) {
+        brute.push_back(i);
+      }
+    }
+    EXPECT_EQ(net.covering_cameras(p), brute);
+    EXPECT_EQ(net.coverage_degree(p), brute.size());
+    EXPECT_EQ(net.is_covered(p), !brute.empty());
+  }
+}
+
+TEST(Network, ViewedDirectionsMatchCoveringSet) {
+  const auto cams = random_cameras(200, 44);
+  const Network net(cams);
+  stats::Pcg32 rng(45);
+  for (int q = 0; q < 100; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const auto covering = net.covering_cameras(p);
+    auto dirs = net.viewed_directions(p);
+    ASSERT_EQ(dirs.size(), covering.size());
+    std::vector<double> expected;
+    for (std::size_t i : covering) {
+      expected.push_back(viewed_direction(net.camera(i), p));
+    }
+    std::sort(dirs.begin(), dirs.end());
+    std::sort(expected.begin(), expected.end());
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      EXPECT_NEAR(dirs[i], expected[i], 1e-12);
+    }
+  }
+}
+
+TEST(Network, ViewedDirectionsIntoClearsOutput) {
+  const auto cams = random_cameras(50, 46);
+  const Network net(cams);
+  std::vector<double> dirs = {99.0, 98.0};
+  net.viewed_directions_into({0.5, 0.5}, dirs);
+  for (double d : dirs) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, geom::kTwoPi);
+  }
+}
+
+TEST(Network, CameraAccessorBounds) {
+  const Network net(random_cameras(3, 47));
+  EXPECT_NO_THROW((void)net.camera(2));
+  EXPECT_THROW((void)net.camera(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fvc::core

@@ -1,0 +1,118 @@
+/// Plane-mode (bounded square) behaviour of coverage and Network — the
+/// substrate of the BOUNDARY ablation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+using geom::kHalfPi;
+using geom::kTwoPi;
+using geom::SpaceMode;
+
+Camera omni_at(geom::Vec2 pos, double radius) {
+  Camera cam;
+  cam.position = pos;
+  cam.orientation = 0.0;
+  cam.radius = radius;
+  cam.fov = kTwoPi;
+  return cam;
+}
+
+TEST(PlaneCoverage, NoWrapAcrossSeam) {
+  const Camera cam = omni_at({0.95, 0.5}, 0.2);
+  EXPECT_TRUE(covers(cam, {0.05, 0.5}, SpaceMode::kTorus));
+  EXPECT_FALSE(covers(cam, {0.05, 0.5}, SpaceMode::kPlane));
+  EXPECT_TRUE(covers(cam, {0.85, 0.5}, SpaceMode::kPlane));
+}
+
+TEST(PlaneCoverage, AgreesWithTorusInInterior) {
+  stats::Pcg32 rng(11);
+  for (int i = 0; i < 300; ++i) {
+    Camera cam;
+    cam.position = {stats::uniform_in(rng, 0.35, 0.65), stats::uniform_in(rng, 0.35, 0.65)};
+    cam.orientation = stats::uniform_in(rng, 0.0, kTwoPi);
+    cam.radius = 0.2;
+    cam.fov = stats::uniform_in(rng, 0.5, kTwoPi);
+    const geom::Vec2 p{stats::uniform_in(rng, 0.35, 0.65),
+                       stats::uniform_in(rng, 0.35, 0.65)};
+    EXPECT_EQ(covers(cam, p, SpaceMode::kTorus), covers(cam, p, SpaceMode::kPlane));
+  }
+}
+
+TEST(PlaneNetwork, RejectsOutOfBoundsPositions) {
+  std::vector<Camera> cams = {omni_at({1.5, 0.5}, 0.1)};
+  EXPECT_THROW(Network(cams, SpaceMode::kPlane), std::invalid_argument);
+  // Torus mode wraps instead.
+  EXPECT_NO_THROW(Network(cams, SpaceMode::kTorus));
+}
+
+TEST(PlaneNetwork, ModeAccessor) {
+  const Network torus(std::vector<Camera>{omni_at({0.5, 0.5}, 0.1)});
+  EXPECT_EQ(torus.mode(), SpaceMode::kTorus);
+  const Network plane(std::vector<Camera>{omni_at({0.5, 0.5}, 0.1)}, SpaceMode::kPlane);
+  EXPECT_EQ(plane.mode(), SpaceMode::kPlane);
+}
+
+TEST(PlaneNetwork, QueriesUseMode) {
+  std::vector<Camera> cams = {omni_at({0.97, 0.5}, 0.15)};
+  const Network torus(cams, SpaceMode::kTorus);
+  const Network plane(cams, SpaceMode::kPlane);
+  const geom::Vec2 seam_point{0.05, 0.5};
+  EXPECT_TRUE(torus.is_covered(seam_point));
+  EXPECT_FALSE(plane.is_covered(seam_point));
+  EXPECT_EQ(torus.coverage_degree(seam_point), 1u);
+  EXPECT_EQ(plane.coverage_degree(seam_point), 0u);
+}
+
+TEST(PlaneNetwork, CoverageDegreeMatchesBruteForce) {
+  stats::Pcg32 rng(12);
+  const auto profile = HeterogeneousProfile::homogeneous(0.18, 2.0);
+  std::vector<Camera> cams = deploy::deploy_uniform(profile, 200, rng);
+  const Network plane(cams, SpaceMode::kPlane);
+  for (int q = 0; q < 150; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    std::size_t brute = 0;
+    for (const Camera& cam : cams) {
+      brute += covers(cam, p, SpaceMode::kPlane) ? 1 : 0;
+    }
+    EXPECT_EQ(plane.coverage_degree(p), brute);
+  }
+}
+
+/// The boundary penalty the paper's torus assumption removes: the same
+/// deployment covers LESS of the square in plane mode, and the loss
+/// concentrates at the edges.
+TEST(PlaneNetwork, BoundaryPenaltyExists) {
+  stats::Pcg32 rng(13);
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, kTwoPi);
+  const std::vector<Camera> cams = deploy::deploy_uniform(profile, 250, rng);
+  const Network torus(cams, SpaceMode::kTorus);
+  const Network plane(cams, SpaceMode::kPlane);
+  const DenseGrid grid(20);
+  const double theta = kHalfPi;
+  const auto torus_stats = evaluate_region(torus, grid, theta);
+  const auto plane_stats = evaluate_region(plane, grid, theta);
+  EXPECT_LE(plane_stats.full_view_ok, torus_stats.full_view_ok);
+  // Per-point: plane coverage implies torus coverage (wrap only adds).
+  std::vector<double> dirs;
+  grid.for_each([&](std::size_t, const geom::Vec2& p) {
+    if (full_view_covered(plane, p, theta).covered) {
+      EXPECT_TRUE(full_view_covered(torus, p, theta).covered);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace fvc::core

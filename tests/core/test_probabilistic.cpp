@@ -1,0 +1,230 @@
+#include "fvc/core/probabilistic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+Camera omni_at(geom::Vec2 pos, double radius) {
+  Camera cam;
+  cam.position = pos;
+  cam.orientation = 0.0;
+  cam.radius = radius;
+  cam.fov = kTwoPi;
+  return cam;
+}
+
+TEST(ProbabilisticModel, Validation) {
+  ProbabilisticModel m;
+  m.certain_fraction = -0.1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.certain_fraction = 1.1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.certain_fraction = 0.5;
+  m.decay = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.decay = 0.0;
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(DetectionProbability, PiecewiseShape) {
+  const Camera cam = omni_at({0.5, 0.5}, 0.2);
+  const ProbabilisticModel model{0.5, 10.0};
+  // Inside the certain zone: 1.
+  EXPECT_DOUBLE_EQ(detection_probability(cam, {0.55, 0.5}, model), 1.0);
+  EXPECT_DOUBLE_EQ(detection_probability(cam, {0.6, 0.5}, model), 1.0);  // d = r_certain
+  // Decay zone: exp(-decay * (d - r_certain)).
+  EXPECT_NEAR(detection_probability(cam, {0.65, 0.5}, model), std::exp(-10.0 * 0.05),
+              1e-12);
+  EXPECT_NEAR(detection_probability(cam, {0.7, 0.5}, model), std::exp(-10.0 * 0.1),
+              1e-12);
+  // Beyond the radius: 0.
+  EXPECT_DOUBLE_EQ(detection_probability(cam, {0.71, 0.5}, model), 0.0);
+}
+
+TEST(DetectionProbability, RespectsAngularGate) {
+  Camera cam = omni_at({0.5, 0.5}, 0.3);
+  cam.fov = kHalfPi;  // faces +x
+  const ProbabilisticModel model{0.5, 5.0};
+  EXPECT_GT(detection_probability(cam, {0.6, 0.5}, model), 0.0);
+  EXPECT_DOUBLE_EQ(detection_probability(cam, {0.4, 0.5}, model), 0.0);  // behind
+}
+
+TEST(DetectionProbability, ZeroDecayIsBinaryModel) {
+  const Camera cam = omni_at({0.5, 0.5}, 0.2);
+  const ProbabilisticModel model{0.3, 0.0};
+  stats::Pcg32 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const double prob = detection_probability(cam, p, model);
+    EXPECT_EQ(prob > 0.0, covers(cam, p));
+    if (prob > 0.0) {
+      EXPECT_DOUBLE_EQ(prob, 1.0);
+    }
+  }
+}
+
+TEST(DetectionProbability, MonotoneInDistance) {
+  const Camera cam = omni_at({0.5, 0.5}, 0.3);
+  const ProbabilisticModel model{0.4, 8.0};
+  double prev = 1.1;
+  for (double d = 0.02; d <= 0.3; d += 0.02) {
+    const double p = detection_probability(cam, {0.5 + d, 0.5}, model);
+    EXPECT_LE(p, prev + 1e-12) << "d=" << d;
+    prev = p;
+  }
+}
+
+TEST(WeightedDirections, MatchesBinaryCoveringSet) {
+  stats::Pcg32 rng(2);
+  const auto profile = HeterogeneousProfile::homogeneous(0.25, 2.0);
+  const Network net = deploy::deploy_uniform_network(profile, 200, rng);
+  const ProbabilisticModel model{0.5, 6.0};
+  for (int q = 0; q < 50; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const auto weighted = weighted_directions(net, p, model);
+    // Every binary-covered sensor has positive probability and appears.
+    EXPECT_EQ(weighted.size(), net.covering_cameras(p).size());
+    for (const auto& wd : weighted) {
+      EXPECT_GT(wd.probability, 0.0);
+      EXPECT_LE(wd.probability, 1.0);
+    }
+  }
+}
+
+TEST(FullViewConfidence, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(full_view_confidence(std::span<const WeightedDirection>{}, 1.0), 0.0);
+}
+
+TEST(FullViewConfidence, UncoveredGapGivesZero) {
+  const std::vector<WeightedDirection> dirs = {{0.0, 1.0}, {1.0, 1.0}};
+  // theta = 0.3: huge gap opposite the two sensors.
+  EXPECT_DOUBLE_EQ(full_view_confidence(dirs, 0.3), 0.0);
+}
+
+TEST(FullViewConfidence, MinOfWeightsWhenFullyCovered) {
+  // Four sensors at right angles with theta = pi/2 cover every direction;
+  // the confidence is the weakest best-sensor over directions.  Diagonal
+  // directions see two sensors; the best of the two applies.
+  const std::vector<WeightedDirection> dirs = {
+      {0.0, 1.0}, {geom::kHalfPi, 0.8}, {kPi, 0.6}, {3.0 * geom::kHalfPi, 0.9}};
+  const double conf = full_view_confidence(dirs, kHalfPi);
+  // Worst direction: around the sensor with weight 0.6 — wait, direction
+  // pi itself sees sensors at pi/2, pi, 3pi/2 -> best 0.9... The weakest
+  // direction is wherever the best reachable weight is smallest; with
+  // theta=pi/2 every direction reaches two or three sensors.  Directions
+  // strictly between pi/2 and pi (exclusive of endpoints' far sides) reach
+  // {pi/2, pi} plus possibly {0 or 3pi/2}; just past pi/2+... The exact
+  // value must be one of the weights:
+  EXPECT_TRUE(std::abs(conf - 0.8) < 1e-9 || std::abs(conf - 0.9) < 1e-9 ||
+              std::abs(conf - 1.0) < 1e-9 || std::abs(conf - 0.6) < 1e-9);
+  // And it must lower-bound the binary criterion: positive iff binary
+  // full-view covered.
+  std::vector<double> plain;
+  for (const auto& wd : dirs) {
+    plain.push_back(wd.direction);
+  }
+  EXPECT_EQ(conf > 0.0, full_view_covered(plain, kHalfPi).covered);
+}
+
+TEST(FullViewConfidence, UniformWeightsReduceToBinary) {
+  stats::Pcg32 rng(3);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<WeightedDirection> dirs;
+    std::vector<double> plain;
+    for (std::size_t i = 0; i < 1 + static_cast<std::size_t>(iter % 8); ++i) {
+      const double d = stats::uniform_in(rng, 0.0, kTwoPi);
+      dirs.push_back({d, 1.0});
+      plain.push_back(d);
+    }
+    const double theta = stats::uniform_in(rng, 0.2, kPi);
+    const double conf = full_view_confidence(dirs, theta);
+    const bool binary = full_view_covered(plain, theta).covered;
+    EXPECT_EQ(conf == 1.0, binary) << "iter=" << iter;
+    EXPECT_TRUE(conf == 0.0 || conf == 1.0) << "iter=" << iter;
+  }
+}
+
+TEST(FullViewConfidence, ThresholdEquivalence) {
+  // confidence >= p_min  <=>  binary full view over sensors with p >= p_min.
+  stats::Pcg32 rng(4);
+  const auto profile = HeterogeneousProfile::homogeneous(0.3, kTwoPi);
+  const Network net = deploy::deploy_uniform_network(profile, 150, rng);
+  const ProbabilisticModel model{0.3, 8.0};
+  const double theta = kHalfPi;
+  for (int q = 0; q < 80; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    for (double p_min : {0.2, 0.5, 0.9}) {
+      const bool thresholded =
+          full_view_covered_with_confidence(net, p, theta, model, p_min);
+      std::vector<double> strong;
+      for (const auto& wd : weighted_directions(net, p, model)) {
+        if (wd.probability >= p_min) {
+          strong.push_back(wd.direction);
+        }
+      }
+      EXPECT_EQ(thresholded, full_view_covered(strong, theta).covered)
+          << "q=" << q << " p_min=" << p_min;
+    }
+  }
+}
+
+TEST(EffectiveRadius, InvertsTheDecay) {
+  const ProbabilisticModel model{0.5, 10.0};
+  const double r_max = 0.3;
+  for (double p_min : {0.9, 0.5, 0.2}) {
+    const double r_eff = effective_radius(r_max, model, p_min);
+    // Probability at r_eff equals p_min (when r_eff < r_max).
+    if (r_eff < r_max) {
+      EXPECT_NEAR(std::exp(-model.decay * (r_eff - 0.5 * r_max)), p_min, 1e-12);
+    }
+  }
+  // p_min = 1 -> certain radius; decay 0 -> full radius.
+  EXPECT_DOUBLE_EQ(effective_radius(r_max, model, 1.0), 0.15);
+  EXPECT_DOUBLE_EQ(effective_radius(r_max, ProbabilisticModel{0.5, 0.0}, 0.7), r_max);
+}
+
+TEST(EffectiveRadius, CappedAtRMax) {
+  const ProbabilisticModel gentle{0.9, 0.1};
+  EXPECT_DOUBLE_EQ(effective_radius(0.2, gentle, 0.99), 0.2);
+}
+
+TEST(EffectiveRadius, Validation) {
+  const ProbabilisticModel m{0.5, 5.0};
+  EXPECT_THROW((void)effective_radius(0.0, m, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)effective_radius(0.2, m, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)effective_radius(0.2, m, 1.5), std::invalid_argument);
+}
+
+TEST(FullViewConfidence, MonotoneUnderSensorAddition) {
+  stats::Pcg32 rng(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<WeightedDirection> dirs;
+    for (std::size_t i = 0; i < 4; ++i) {
+      dirs.push_back({stats::uniform_in(rng, 0.0, kTwoPi),
+                      stats::uniform_in(rng, 0.1, 1.0)});
+    }
+    const double theta = stats::uniform_in(rng, 0.5, kPi);
+    const double before = full_view_confidence(dirs, theta);
+    dirs.push_back({stats::uniform_in(rng, 0.0, kTwoPi),
+                    stats::uniform_in(rng, 0.1, 1.0)});
+    EXPECT_GE(full_view_confidence(dirs, theta), before - 1e-12) << "iter=" << iter;
+  }
+}
+
+}  // namespace
+}  // namespace fvc::core

@@ -1,0 +1,170 @@
+#include "fvc/core/region_coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fvc/core/k_full_view.hpp"
+#include "fvc/deploy/lattice.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+Network dense_lattice_network(double theta) {
+  // A lattice dense and omnidirectional enough to full-view cover everything:
+  // sites every 0.05 with 16-camera fans of fov pi/2 and radius 0.2.
+  deploy::LatticeConfig cfg;
+  cfg.edge = 0.05;
+  cfg.radius = 0.2;
+  cfg.fov = kHalfPi;
+  cfg.per_site = std::max<std::size_t>(16, deploy::per_site_for_fov(cfg.fov));
+  (void)theta;
+  return deploy::deploy_triangular_lattice_network(cfg);
+}
+
+TEST(RegionCoverage, EmptyNetworkCoversNothing) {
+  const Network net;
+  const DenseGrid grid(8);
+  const RegionCoverageStats stats = evaluate_region(net, grid, kHalfPi);
+  EXPECT_EQ(stats.total_points, 64u);
+  EXPECT_EQ(stats.covered_1, 0u);
+  EXPECT_EQ(stats.full_view_ok, 0u);
+  EXPECT_EQ(stats.necessary_ok, 0u);
+  EXPECT_EQ(stats.sufficient_ok, 0u);
+  EXPECT_DOUBLE_EQ(stats.fraction_full_view(), 0.0);
+  EXPECT_FALSE(stats.all_necessary());
+}
+
+TEST(RegionCoverage, DenseLatticeCoversEverything) {
+  const double theta = kHalfPi;
+  const Network net = dense_lattice_network(theta);
+  const DenseGrid grid(12);
+  const RegionCoverageStats stats = evaluate_region(net, grid, theta);
+  EXPECT_EQ(stats.covered_1, stats.total_points);
+  EXPECT_EQ(stats.full_view_ok, stats.total_points);
+  EXPECT_EQ(stats.necessary_ok, stats.total_points);
+  EXPECT_TRUE(stats.all_full_view());
+  EXPECT_TRUE(stats.all_necessary());
+  EXPECT_DOUBLE_EQ(stats.fraction_full_view(), 1.0);
+}
+
+TEST(RegionCoverage, CountsAreNested) {
+  // sufficient <= full_view <= necessary <= covered_1 for every deployment.
+  stats::Pcg32 rng(77);
+  const auto profile = HeterogeneousProfile::homogeneous(0.25, 2.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Network net = deploy::deploy_uniform_network(profile, 150, rng);
+    const DenseGrid grid(15);
+    const RegionCoverageStats st = evaluate_region(net, grid, 0.8);
+    EXPECT_LE(st.sufficient_ok, st.full_view_ok);
+    EXPECT_LE(st.full_view_ok, st.necessary_ok);
+    EXPECT_LE(st.necessary_ok, st.covered_1);
+    EXPECT_LE(st.covered_1, st.total_points);
+    // full view with theta implies k-coverage with k = ceil(pi/theta).
+    EXPECT_LE(st.full_view_ok, st.k_covered_ok);
+  }
+}
+
+TEST(RegionCoverage, GapStatisticsOrdered) {
+  stats::Pcg32 rng(78);
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, 2.0);
+  const Network net = deploy::deploy_uniform_network(profile, 200, rng);
+  const DenseGrid grid(10);
+  const RegionCoverageStats st = evaluate_region(net, grid, 0.8);
+  EXPECT_LE(st.min_max_gap, st.max_max_gap);
+  EXPECT_GE(st.min_max_gap, 0.0);
+  EXPECT_LE(st.max_max_gap, kTwoPi);
+}
+
+TEST(GridAllPredicates, AgreeWithEvaluateRegion) {
+  stats::Pcg32 rng(79);
+  const auto profile = HeterogeneousProfile::homogeneous(0.3, kTwoPi);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Network net = deploy::deploy_uniform_network(profile, 120, rng);
+    const DenseGrid grid(9);
+    const double theta = 1.2;
+    const RegionCoverageStats st = evaluate_region(net, grid, theta);
+    EXPECT_EQ(grid_all_necessary(net, grid, theta), st.all_necessary());
+    EXPECT_EQ(grid_all_sufficient(net, grid, theta), st.all_sufficient());
+    EXPECT_EQ(grid_all_full_view(net, grid, theta), st.all_full_view());
+    EXPECT_EQ(grid_all_k_covered(net, grid, implied_k(theta)),
+              st.k_covered_ok == st.total_points);
+  }
+}
+
+TEST(RegionCoverage, ThetaPiNecessaryEqualsOneCoverage) {
+  stats::Pcg32 rng(80);
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, 1.5);
+  const Network net = deploy::deploy_uniform_network(profile, 100, rng);
+  const DenseGrid grid(11);
+  const RegionCoverageStats st = evaluate_region(net, grid, kPi);
+  EXPECT_EQ(st.necessary_ok, st.covered_1);
+}
+
+TEST(MinFullViewDegree, ConsistentWithPerPointDegrees) {
+  stats::Pcg32 rng(81);
+  const auto profile = HeterogeneousProfile::homogeneous(0.3, geom::kTwoPi);
+  const Network net = deploy::deploy_uniform_network(profile, 300, rng);
+  const DenseGrid grid(8);
+  const double theta = kHalfPi;
+  const std::size_t min_degree = min_full_view_degree(net, grid, theta);
+  std::size_t brute = 1000000;
+  grid.for_each([&](std::size_t, const geom::Vec2& p) {
+    brute = std::min(brute, full_view_degree(net, p, theta));
+  });
+  EXPECT_EQ(min_degree, brute);
+  // Grid events line up with the degree.
+  EXPECT_EQ(min_degree >= 1, grid_all_full_view(net, grid, theta));
+}
+
+TEST(MinFullViewDegree, EmptyNetworkIsZero) {
+  EXPECT_EQ(min_full_view_degree(Network(), DenseGrid(5), kHalfPi), 0u);
+}
+
+TEST(FractionKFullView, DecreasesInK) {
+  stats::Pcg32 rng(82);
+  const auto profile = HeterogeneousProfile::homogeneous(0.3, 2.5);
+  const Network net = deploy::deploy_uniform_network(profile, 250, rng);
+  const DenseGrid grid(10);
+  const double theta = kHalfPi;
+  double prev = 1.1;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const double f = fraction_k_full_view(net, grid, theta, k);
+    EXPECT_LE(f, prev + 1e-12) << "k=" << k;
+    EXPECT_GE(f, 0.0);
+    prev = f;
+  }
+  // k = 1 equals the exact full-view fraction from evaluate_region.
+  EXPECT_DOUBLE_EQ(fraction_k_full_view(net, grid, theta, 1),
+                   evaluate_region(net, grid, theta).fraction_full_view());
+}
+
+TEST(RegionCoverage, FractionsMatchCounts) {
+  RegionCoverageStats st;
+  st.total_points = 200;
+  st.covered_1 = 150;
+  st.necessary_ok = 100;
+  st.full_view_ok = 80;
+  st.sufficient_ok = 60;
+  st.k_covered_ok = 90;
+  EXPECT_DOUBLE_EQ(st.fraction_covered_1(), 0.75);
+  EXPECT_DOUBLE_EQ(st.fraction_necessary(), 0.5);
+  EXPECT_DOUBLE_EQ(st.fraction_full_view(), 0.4);
+  EXPECT_DOUBLE_EQ(st.fraction_sufficient(), 0.3);
+  EXPECT_DOUBLE_EQ(st.fraction_k_covered(), 0.45);
+}
+
+TEST(RegionCoverage, ZeroTotalPointsFractionIsZero) {
+  const RegionCoverageStats st;
+  EXPECT_DOUBLE_EQ(st.fraction_full_view(), 0.0);
+}
+
+}  // namespace
+}  // namespace fvc::core

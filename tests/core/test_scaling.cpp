@@ -1,0 +1,93 @@
+#include "fvc/core/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::core {
+namespace {
+
+TEST(RegionScale, Validation) {
+  EXPECT_THROW(RegionScale(0.0), std::invalid_argument);
+  EXPECT_THROW(RegionScale(-100.0), std::invalid_argument);
+  EXPECT_NO_THROW(RegionScale(500.0));
+}
+
+TEST(RegionScale, PointRoundTrip) {
+  const RegionScale scale(250.0);
+  const geom::Vec2 physical{100.0, 175.0};
+  const geom::Vec2 unit = scale.to_unit(physical);
+  EXPECT_DOUBLE_EQ(unit.x, 0.4);
+  EXPECT_DOUBLE_EQ(unit.y, 0.7);
+  const geom::Vec2 back = scale.to_physical(unit);
+  EXPECT_DOUBLE_EQ(back.x, physical.x);
+  EXPECT_DOUBLE_EQ(back.y, physical.y);
+}
+
+TEST(RegionScale, LengthAndArea) {
+  const RegionScale scale(200.0);
+  EXPECT_DOUBLE_EQ(scale.length_to_unit(50.0), 0.25);
+  EXPECT_DOUBLE_EQ(scale.length_to_physical(0.25), 50.0);
+  EXPECT_DOUBLE_EQ(scale.area_to_unit(10000.0), 0.25);
+  EXPECT_DOUBLE_EQ(scale.area_to_physical(0.25), 10000.0);
+}
+
+TEST(RegionScale, CameraConversion) {
+  const RegionScale scale(1000.0);
+  Camera physical;
+  physical.position = {300.0, 800.0};
+  physical.orientation = 1.2;
+  physical.radius = 150.0;
+  physical.fov = 2.0;
+  physical.group = 3;
+  const Camera unit = scale.camera_to_unit(physical);
+  EXPECT_DOUBLE_EQ(unit.position.x, 0.3);
+  EXPECT_DOUBLE_EQ(unit.position.y, 0.8);
+  EXPECT_DOUBLE_EQ(unit.radius, 0.15);
+  EXPECT_DOUBLE_EQ(unit.orientation, 1.2);  // angles scale-free
+  EXPECT_DOUBLE_EQ(unit.fov, 2.0);
+  EXPECT_EQ(unit.group, 3u);
+  const Camera back = scale.camera_to_physical(unit);
+  EXPECT_DOUBLE_EQ(back.position.x, physical.position.x);
+  EXPECT_DOUBLE_EQ(back.radius, physical.radius);
+}
+
+TEST(RegionScale, FleetConversion) {
+  const RegionScale scale(100.0);
+  std::vector<Camera> fleet(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    fleet[i].position = {10.0 * static_cast<double>(i + 1), 20.0};
+    fleet[i].radius = 5.0;
+    fleet[i].fov = 1.0;
+  }
+  const auto unit = scale.fleet_to_unit(fleet);
+  ASSERT_EQ(unit.size(), 3u);
+  EXPECT_DOUBLE_EQ(unit[2].position.x, 0.3);
+  EXPECT_DOUBLE_EQ(unit[0].radius, 0.05);
+  const auto back = scale.fleet_to_physical(unit);
+  EXPECT_DOUBLE_EQ(back[1].position.x, 20.0);
+}
+
+/// The planner workflow in physical units: the sensing AREA converts by
+/// L^2, so the paper's CSA thresholds translate consistently.
+TEST(RegionScale, CsaTranslatesByAreaScaling) {
+  const RegionScale scale(500.0);  // a 500m x 500m estate
+  const double n = 1000.0;
+  const double theta = geom::kHalfPi;
+  const double csa_unit = analysis::csa_sufficient(n, theta);
+  const double csa_m2 = scale.area_to_physical(csa_unit);
+  // Required physical sensing area per camera equals the unit-square CSA
+  // times L^2 exactly.
+  EXPECT_DOUBLE_EQ(csa_m2, csa_unit * 500.0 * 500.0);
+  // A camera with phi r^2/2 = csa_m2 in meters has a unit radius equal to
+  // the unit-square requirement.
+  const double fov = 2.0;
+  const double radius_m = std::sqrt(2.0 * csa_m2 / fov);
+  EXPECT_NEAR(scale.length_to_unit(radius_m), std::sqrt(2.0 * csa_unit / fov), 1e-12);
+}
+
+}  // namespace
+}  // namespace fvc::core

@@ -1,0 +1,120 @@
+#include "fvc/core/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/geometry/torus.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+std::vector<geom::Vec2> random_points(std::size_t count, std::uint64_t seed) {
+  stats::Pcg32 rng(seed);
+  std::vector<geom::Vec2> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back({stats::uniform01(rng), stats::uniform01(rng)});
+  }
+  return pts;
+}
+
+TEST(SpatialIndex, EmptyIndex) {
+  const SpatialIndex idx;
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.candidates({0.5, 0.5}).empty());
+}
+
+TEST(SpatialIndex, RejectsNonPositiveRadius) {
+  const auto pts = random_points(10, 1);
+  EXPECT_THROW(SpatialIndex(pts, 0.0), std::invalid_argument);
+  EXPECT_THROW(SpatialIndex(pts, -1.0), std::invalid_argument);
+}
+
+TEST(SpatialIndex, SizeMatches) {
+  const auto pts = random_points(123, 2);
+  const SpatialIndex idx(pts, 0.1);
+  EXPECT_EQ(idx.size(), 123u);
+  EXPECT_FALSE(idx.empty());
+}
+
+TEST(SpatialIndex, LargeRadiusFallsBackToSingleCell) {
+  const auto pts = random_points(50, 3);
+  const SpatialIndex idx(pts, 0.6);  // 1/0.6 < 3 cells -> single bucket
+  EXPECT_EQ(idx.cells_per_side(), 1u);
+  // Every point is a candidate for every query.
+  EXPECT_EQ(idx.candidates({0.2, 0.8}).size(), 50u);
+}
+
+TEST(SpatialIndex, SingleCellVisitsEachPointOnce) {
+  const auto pts = random_points(20, 4);
+  const SpatialIndex idx(pts, 0.9);
+  std::vector<std::size_t> seen;
+  idx.for_each_candidate({0.5, 0.5}, [&](std::size_t i) { seen.push_back(i); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+/// Completeness: every stored point within the query radius must appear in
+/// the candidate set (candidates may include farther points; they may not
+/// miss near ones).  Exercises wraparound heavily via edge-hugging queries.
+TEST(SpatialIndexProperty, CandidatesIncludeAllNearPoints) {
+  const double radius = 0.07;
+  const auto pts = random_points(400, 5);
+  const SpatialIndex idx(pts, radius);
+  stats::Pcg32 rng(6);
+  for (int q = 0; q < 300; ++q) {
+    // Bias queries toward the seams to stress wraparound.
+    geom::Vec2 query;
+    if (q % 3 == 0) {
+      query = {stats::uniform_in(rng, -0.02, 0.02), stats::uniform01(rng)};
+    } else if (q % 3 == 1) {
+      query = {stats::uniform01(rng), stats::uniform_in(rng, 0.97, 1.02)};
+    } else {
+      query = {stats::uniform01(rng), stats::uniform01(rng)};
+    }
+    const auto cand = idx.candidates(query);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (geom::UnitTorus::distance(pts[i], query) <= radius) {
+        EXPECT_TRUE(std::binary_search(cand.begin(), cand.end(), i))
+            << "query (" << query.x << "," << query.y << ") missed point " << i;
+      }
+    }
+  }
+}
+
+TEST(SpatialIndexProperty, NoDuplicateCandidates) {
+  const auto pts = random_points(300, 7);
+  const SpatialIndex idx(pts, 0.05);
+  stats::Pcg32 rng(8);
+  for (int q = 0; q < 100; ++q) {
+    const geom::Vec2 query{stats::uniform01(rng), stats::uniform01(rng)};
+    const auto cand = idx.candidates(query);
+    EXPECT_TRUE(std::adjacent_find(cand.begin(), cand.end()) == cand.end());
+  }
+}
+
+TEST(SpatialIndex, CandidateSetIsLocal) {
+  // With small radius and many cells, the candidate set should be much
+  // smaller than the full point set (the whole reason the index exists).
+  const auto pts = random_points(5000, 9);
+  const SpatialIndex idx(pts, 0.03);
+  const auto cand = idx.candidates({0.5, 0.5});
+  EXPECT_LT(cand.size(), 300u);
+}
+
+TEST(SpatialIndex, PointsOutsideCellAreWrapped) {
+  std::vector<geom::Vec2> pts = {{1.2, -0.3}};  // wraps to (0.2, 0.7)
+  const SpatialIndex idx(pts, 0.1);
+  const auto cand = idx.candidates({0.2, 0.7});
+  ASSERT_EQ(cand.size(), 1u);
+  EXPECT_EQ(cand[0], 0u);
+}
+
+}  // namespace
+}  // namespace fvc::core

@@ -1,0 +1,135 @@
+#include "fvc/deploy/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/connect/critical.hpp"
+#include "fvc/geometry/torus.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+namespace fvc::deploy {
+namespace {
+
+using core::CameraGroupSpec;
+using core::HeterogeneousProfile;
+
+ClusterConfig config() {
+  ClusterConfig cfg;
+  cfg.parent_intensity = 15.0;
+  cfg.mean_children = 12.0;
+  cfg.spread = 0.04;
+  return cfg;
+}
+
+TEST(ClusterConfig, Validation) {
+  ClusterConfig cfg = config();
+  cfg.parent_intensity = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = config();
+  cfg.mean_children = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = config();
+  cfg.spread = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(config().validate());
+  EXPECT_DOUBLE_EQ(config().expected_count(), 180.0);
+}
+
+TEST(DeployMaternCluster, CountMatchesIntensity) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(1);
+  stats::OnlineStats counts;
+  for (int t = 0; t < 300; ++t) {
+    counts.add(static_cast<double>(deploy_matern_cluster(profile, config(), rng).size()));
+  }
+  EXPECT_NEAR(counts.mean(), 180.0, 6.0);
+  // Cluster processes are OVER-dispersed relative to Poisson:
+  // Var = lambda_p * c * (1 + c) > mean.
+  EXPECT_GT(counts.variance(), 1.5 * counts.mean());
+}
+
+TEST(DeployMaternCluster, PositionsInUnitCell) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(2);
+  const auto cams = deploy_matern_cluster(profile, config(), rng);
+  for (const auto& cam : cams) {
+    EXPECT_GE(cam.position.x, 0.0);
+    EXPECT_LT(cam.position.x, 1.0);
+    EXPECT_GE(cam.position.y, 0.0);
+    EXPECT_LT(cam.position.y, 1.0);
+  }
+}
+
+TEST(DeployMaternCluster, PositionsActuallyCluster) {
+  // Nearest-neighbour distances under clustering are much smaller than
+  // under a uniform deployment of the same expected count.
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(3);
+  ClusterConfig tight = config();
+  tight.spread = 0.02;
+  stats::OnlineStats cluster_nn;
+  for (int t = 0; t < 10; ++t) {
+    const auto cams = deploy_matern_cluster(profile, tight, rng);
+    if (cams.size() < 2) {
+      continue;
+    }
+    for (const auto& a : cams) {
+      double best = 1.0;
+      for (const auto& b : cams) {
+        const double d = geom::UnitTorus::distance(a.position, b.position);
+        if (d > 0.0) {
+          best = std::min(best, d);
+        }
+      }
+      cluster_nn.add(best);
+    }
+  }
+  // Uniform ~180 points: mean NN distance ~ 0.5/sqrt(180) ~ 0.037;
+  // clustered with spread 0.02 must be far below that.
+  EXPECT_LT(cluster_nn.mean(), 0.018);
+}
+
+TEST(DeployMaternCluster, GroupThinning) {
+  const HeterogeneousProfile profile({CameraGroupSpec{0.3, 0.1, 1.0},
+                                      CameraGroupSpec{0.7, 0.2, 0.5}});
+  stats::Pcg32 rng(4);
+  std::size_t g0 = 0;
+  std::size_t total = 0;
+  for (int t = 0; t < 100; ++t) {
+    const auto cams = deploy_matern_cluster(profile, config(), rng);
+    total += cams.size();
+    for (const auto& cam : cams) {
+      g0 += cam.group == 0 ? 1 : 0;
+      if (cam.group == 0) {
+        EXPECT_DOUBLE_EQ(cam.radius, 0.1);
+      } else {
+        EXPECT_DOUBLE_EQ(cam.radius, 0.2);
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(g0) / static_cast<double>(total), 0.3, 0.02);
+}
+
+TEST(DeployMaternCluster, Deterministic) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 a(5);
+  stats::Pcg32 b(5);
+  const auto ca = deploy_matern_cluster(profile, config(), a);
+  const auto cb = deploy_matern_cluster(profile, config(), b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].position, cb[i].position);
+  }
+}
+
+TEST(DeployMaternClusterNetwork, Builds) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.15, 2.0);
+  stats::Pcg32 rng(6);
+  const auto net = deploy_matern_cluster_network(profile, config(), rng);
+  EXPECT_GT(net.size(), 50u);
+}
+
+}  // namespace
+}  // namespace fvc::deploy

@@ -1,0 +1,129 @@
+#include "fvc/deploy/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/grid.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/torus.hpp"
+
+namespace fvc::deploy {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+TEST(TriangularLatticeSites, CountMatchesSpacing) {
+  const auto sites = triangular_lattice_sites(0.1);
+  // cols = ceil(10) = 10, rows = ceil(1/(0.1*sqrt(3)/2)) = ceil(11.55) = 12.
+  EXPECT_EQ(sites.size(), 120u);
+}
+
+TEST(TriangularLatticeSites, AllInsideUnitCell) {
+  for (double l : {0.05, 0.13, 0.31, 1.0}) {
+    for (const auto& s : triangular_lattice_sites(l)) {
+      EXPECT_GE(s.x, 0.0);
+      EXPECT_LT(s.x, 1.0 + 1e-12);
+      EXPECT_GE(s.y, 0.0);
+      EXPECT_LT(s.y, 1.0);
+    }
+  }
+}
+
+TEST(TriangularLatticeSites, OddRowsAreOffset) {
+  const auto sites = triangular_lattice_sites(0.25);
+  // cols = 4; row 0 starts at x=0, row 1 at x=0.125.
+  EXPECT_DOUBLE_EQ(sites[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(sites[4].x, 0.125);
+}
+
+TEST(TriangularLatticeSites, Validation) {
+  EXPECT_THROW((void)triangular_lattice_sites(0.0), std::invalid_argument);
+  EXPECT_THROW((void)triangular_lattice_sites(1.5), std::invalid_argument);
+}
+
+TEST(TriangularLatticeSites, NearestNeighborSpacingRoughlyEdge) {
+  const double l = 0.1;
+  const auto sites = triangular_lattice_sites(l);
+  // The min over pairwise torus distances should be close to the edge
+  // (realized spacing may be slightly smaller due to rounding).
+  double min_d = 1.0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      min_d = std::min(min_d, geom::UnitTorus::distance(sites[i], sites[j]));
+    }
+  }
+  EXPECT_GT(min_d, 0.5 * l);
+  EXPECT_LT(min_d, 1.5 * l);
+}
+
+TEST(DeployTriangularLattice, CameraCountAndFan) {
+  LatticeConfig cfg;
+  cfg.edge = 0.2;
+  cfg.radius = 0.25;
+  cfg.fov = kHalfPi;
+  cfg.per_site = 4;
+  const auto cams = deploy_triangular_lattice(cfg);
+  const auto sites = triangular_lattice_sites(cfg.edge);
+  EXPECT_EQ(cams.size(), sites.size() * 4u);
+  // First four cameras share the first site and fan evenly.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(cams[j].position, sites[0]);
+    EXPECT_NEAR(cams[j].orientation, static_cast<double>(j) * kHalfPi, 1e-12);
+  }
+}
+
+TEST(DeployTriangularLattice, Validation) {
+  LatticeConfig cfg;
+  cfg.radius = 0.0;
+  EXPECT_THROW((void)deploy_triangular_lattice(cfg), std::invalid_argument);
+  cfg.radius = 0.1;
+  cfg.fov = 0.0;
+  EXPECT_THROW((void)deploy_triangular_lattice(cfg), std::invalid_argument);
+  cfg.fov = 1.0;
+  cfg.per_site = 0;
+  EXPECT_THROW((void)deploy_triangular_lattice(cfg), std::invalid_argument);
+}
+
+TEST(PerSiteForFov, Ceiling) {
+  EXPECT_EQ(per_site_for_fov(kTwoPi), 1u);
+  EXPECT_EQ(per_site_for_fov(kPi), 2u);
+  EXPECT_EQ(per_site_for_fov(kHalfPi), 4u);
+  EXPECT_EQ(per_site_for_fov(1.0), 7u);
+  EXPECT_THROW((void)per_site_for_fov(0.0), std::invalid_argument);
+}
+
+/// The baseline guarantee: an omnidirectional-per-site lattice with radius
+/// past the first ring full-view covers the whole region for theta >= pi/6
+/// (neighbour sites are 60 degrees apart as seen from interior points).
+TEST(DeployTriangularLattice, DeterministicFullViewCoverage) {
+  LatticeConfig cfg;
+  cfg.edge = 0.1;
+  cfg.radius = 0.25;  // reaches well past the first lattice ring
+  cfg.fov = kHalfPi;
+  cfg.per_site = per_site_for_fov(cfg.fov);
+  const auto net = deploy_triangular_lattice_network(cfg);
+  const core::DenseGrid grid(21);
+  const double theta = kPi / 4.0;  // > pi/6
+  EXPECT_TRUE(core::grid_all_full_view(net, grid, theta));
+}
+
+TEST(DeployTriangularLattice, SparseLatticeLeavesHoles) {
+  LatticeConfig cfg;
+  cfg.edge = 0.45;
+  cfg.radius = 0.1;  // shorter than the edge: gaps between sites
+  cfg.fov = kTwoPi;
+  cfg.per_site = 1;
+  const auto net = deploy_triangular_lattice_network(cfg);
+  const core::DenseGrid grid(15);
+  const core::RegionCoverageStats st = core::evaluate_region(net, grid, kHalfPi);
+  EXPECT_LT(st.fraction_covered_1(), 1.0);
+}
+
+}  // namespace
+}  // namespace fvc::deploy

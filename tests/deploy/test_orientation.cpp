@@ -1,0 +1,69 @@
+#include "fvc/deploy/orientation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+namespace fvc::deploy {
+namespace {
+
+TEST(RandomOrientation, InRange) {
+  stats::Pcg32 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double o = random_orientation(rng);
+    EXPECT_GE(o, 0.0);
+    EXPECT_LT(o, geom::kTwoPi);
+  }
+}
+
+TEST(RandomOrientation, UniformMoments) {
+  stats::Pcg32 rng(2);
+  stats::OnlineStats s;
+  for (int i = 0; i < 30000; ++i) {
+    s.add(random_orientation(rng));
+  }
+  EXPECT_NEAR(s.mean(), geom::kPi, 0.03);
+  EXPECT_NEAR(s.variance(), geom::kTwoPi * geom::kTwoPi / 12.0, 0.1);
+}
+
+TEST(RandomizeOrientations, OverwritesAll) {
+  std::vector<core::Camera> cams(10);
+  for (auto& cam : cams) {
+    cam.orientation = -1.0;
+    cam.radius = 0.1;
+    cam.fov = 1.0;
+  }
+  stats::Pcg32 rng(3);
+  randomize_orientations(cams, rng);
+  for (const auto& cam : cams) {
+    EXPECT_GE(cam.orientation, 0.0);
+    EXPECT_LT(cam.orientation, geom::kTwoPi);
+  }
+}
+
+TEST(EvenlySpacedOrientations, SpacingAndOffset) {
+  const auto fan = evenly_spaced_orientations(4, 0.25);
+  ASSERT_EQ(fan.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(fan[j],
+                geom::normalize_angle(0.25 + static_cast<double>(j) * geom::kHalfPi),
+                1e-12);
+  }
+}
+
+TEST(EvenlySpacedOrientations, SingleDirection) {
+  const auto fan = evenly_spaced_orientations(1, 1.0);
+  ASSERT_EQ(fan.size(), 1u);
+  EXPECT_DOUBLE_EQ(fan[0], 1.0);
+}
+
+TEST(EvenlySpacedOrientations, Validation) {
+  EXPECT_THROW((void)evenly_spaced_orientations(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::deploy

@@ -1,0 +1,102 @@
+#include "fvc/deploy/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+namespace fvc::deploy {
+namespace {
+
+using core::CameraGroupSpec;
+using core::HeterogeneousProfile;
+
+TEST(DeployPoisson, CountIsPoissonDistributed) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(1);
+  stats::OnlineStats counts;
+  const double density = 120.0;
+  for (int t = 0; t < 3000; ++t) {
+    counts.add(static_cast<double>(deploy_poisson(profile, density, rng).size()));
+  }
+  EXPECT_NEAR(counts.mean(), density, 1.0);
+  EXPECT_NEAR(counts.variance(), density, 8.0);  // Poisson: var == mean
+}
+
+TEST(DeployPoisson, ThinningFractions) {
+  const HeterogeneousProfile profile({CameraGroupSpec{0.3, 0.1, 1.0},
+                                      CameraGroupSpec{0.7, 0.2, 0.5}});
+  stats::Pcg32 rng(2);
+  std::size_t g0 = 0;
+  std::size_t total = 0;
+  for (int t = 0; t < 300; ++t) {
+    const auto cams = deploy_poisson(profile, 200.0, rng);
+    total += cams.size();
+    for (const auto& cam : cams) {
+      g0 += cam.group == 0 ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(g0) / static_cast<double>(total), 0.3, 0.01);
+}
+
+TEST(DeployPoisson, GroupParametersApplied) {
+  const HeterogeneousProfile profile({CameraGroupSpec{0.5, 0.1, 1.0},
+                                      CameraGroupSpec{0.5, 0.2, 0.4}});
+  stats::Pcg32 rng(3);
+  const auto cams = deploy_poisson(profile, 500.0, rng);
+  for (const auto& cam : cams) {
+    if (cam.group == 0) {
+      EXPECT_DOUBLE_EQ(cam.radius, 0.1);
+      EXPECT_DOUBLE_EQ(cam.fov, 1.0);
+    } else {
+      ASSERT_EQ(cam.group, 1u);
+      EXPECT_DOUBLE_EQ(cam.radius, 0.2);
+      EXPECT_DOUBLE_EQ(cam.fov, 0.4);
+    }
+  }
+}
+
+TEST(DeployPoisson, PositionsInUnitSquare) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(4);
+  const auto cams = deploy_poisson(profile, 1000.0, rng);
+  for (const auto& cam : cams) {
+    EXPECT_GE(cam.position.x, 0.0);
+    EXPECT_LT(cam.position.x, 1.0);
+    EXPECT_GE(cam.position.y, 0.0);
+    EXPECT_LT(cam.position.y, 1.0);
+  }
+}
+
+TEST(DeployPoisson, DeterministicGivenSeed) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 a(9);
+  stats::Pcg32 b(9);
+  const auto ca = deploy_poisson(profile, 150.0, a);
+  const auto cb = deploy_poisson(profile, 150.0, b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].position, cb[i].position);
+  }
+}
+
+TEST(DeployPoisson, RejectsBadDensity) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(5);
+  EXPECT_THROW((void)deploy_poisson(profile, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)deploy_poisson(profile, -5.0, rng), std::invalid_argument);
+}
+
+TEST(DeployPoissonNetwork, Builds) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.15, geom::kTwoPi);
+  stats::Pcg32 rng(6);
+  const auto net = deploy_poisson_network(profile, 400.0, rng);
+  EXPECT_GT(net.size(), 300u);
+  EXPECT_LT(net.size(), 500u);
+}
+
+}  // namespace
+}  // namespace fvc::deploy

@@ -1,0 +1,108 @@
+#include "fvc/deploy/uniform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+namespace fvc::deploy {
+namespace {
+
+using core::CameraGroupSpec;
+using core::HeterogeneousProfile;
+
+TEST(DeployUniform, CountAndParameters) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.12, 1.3);
+  stats::Pcg32 rng(1);
+  const auto cams = deploy_uniform(profile, 250, rng);
+  ASSERT_EQ(cams.size(), 250u);
+  for (const auto& cam : cams) {
+    EXPECT_DOUBLE_EQ(cam.radius, 0.12);
+    EXPECT_DOUBLE_EQ(cam.fov, 1.3);
+    EXPECT_EQ(cam.group, 0u);
+    EXPECT_GE(cam.position.x, 0.0);
+    EXPECT_LT(cam.position.x, 1.0);
+    EXPECT_GE(cam.position.y, 0.0);
+    EXPECT_LT(cam.position.y, 1.0);
+    EXPECT_GE(cam.orientation, 0.0);
+    EXPECT_LT(cam.orientation, geom::kTwoPi);
+  }
+}
+
+TEST(DeployUniform, HeterogeneousGroupCounts) {
+  const HeterogeneousProfile profile({CameraGroupSpec{0.25, 0.1, 1.0},
+                                      CameraGroupSpec{0.75, 0.2, 0.5}});
+  stats::Pcg32 rng(2);
+  const auto cams = deploy_uniform(profile, 400, rng);
+  std::size_t g0 = 0;
+  std::size_t g1 = 0;
+  for (const auto& cam : cams) {
+    (cam.group == 0 ? g0 : g1) += 1;
+    if (cam.group == 0) {
+      EXPECT_DOUBLE_EQ(cam.radius, 0.1);
+      EXPECT_DOUBLE_EQ(cam.fov, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(cam.radius, 0.2);
+      EXPECT_DOUBLE_EQ(cam.fov, 0.5);
+    }
+  }
+  EXPECT_EQ(g0, 100u);
+  EXPECT_EQ(g1, 300u);
+}
+
+TEST(DeployUniform, DeterministicGivenSeed) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng_a(7);
+  stats::Pcg32 rng_b(7);
+  const auto a = deploy_uniform(profile, 50, rng_a);
+  const auto b = deploy_uniform(profile, 50, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position, b[i].position);
+    EXPECT_EQ(a[i].orientation, b[i].orientation);
+  }
+}
+
+TEST(DeployUniform, PositionsLookUniform) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(3);
+  const auto cams = deploy_uniform(profile, 20000, rng);
+  stats::OnlineStats xs;
+  stats::OnlineStats ys;
+  for (const auto& cam : cams) {
+    xs.add(cam.position.x);
+    ys.add(cam.position.y);
+  }
+  EXPECT_NEAR(xs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(ys.mean(), 0.5, 0.01);
+  EXPECT_NEAR(xs.variance(), 1.0 / 12.0, 0.005);
+  EXPECT_NEAR(ys.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(DeployUniform, OrientationsLookUniform) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(4);
+  const auto cams = deploy_uniform(profile, 20000, rng);
+  stats::OnlineStats os;
+  for (const auto& cam : cams) {
+    os.add(cam.orientation);
+  }
+  EXPECT_NEAR(os.mean(), geom::kPi, 0.05);
+  EXPECT_NEAR(os.variance(), geom::kTwoPi * geom::kTwoPi / 12.0, 0.1);
+}
+
+TEST(DeployUniformNetwork, BuildsQueryableNetwork) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, geom::kTwoPi);
+  stats::Pcg32 rng(5);
+  const auto net = deploy_uniform_network(profile, 300, rng);
+  EXPECT_EQ(net.size(), 300u);
+  EXPECT_DOUBLE_EQ(net.max_radius(), 0.2);
+  // With omnidirectional cameras of radius 0.2 and n=300, the center is
+  // essentially surely covered (P(miss) = (1-pi*0.04)^300 ~ 3e-18).
+  EXPECT_TRUE(net.is_covered({0.5, 0.5}));
+}
+
+}  // namespace
+}  // namespace fvc::deploy

@@ -1,0 +1,124 @@
+#include "fvc/deploy/von_mises.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::deploy {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+std::vector<double> draw(std::size_t count, double mu, double kappa, std::uint64_t seed) {
+  stats::Pcg32 rng(seed);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(sample_von_mises(rng, mu, kappa));
+  }
+  return out;
+}
+
+TEST(VonMises, Validation) {
+  stats::Pcg32 rng(1);
+  EXPECT_THROW((void)sample_von_mises(rng, 0.0, -0.1), std::invalid_argument);
+}
+
+TEST(VonMises, RangeAlwaysNormalized) {
+  const auto xs = draw(2000, 1.3, 3.0, 2);
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, kTwoPi);
+  }
+}
+
+TEST(VonMises, KappaZeroIsUniform) {
+  const auto xs = draw(30000, 2.0, 0.0, 3);
+  // Uniform: mean resultant length near 0.
+  EXPECT_LT(mean_resultant_length(xs), 0.02);
+}
+
+TEST(VonMises, ConcentratesAroundMu) {
+  for (double mu : {0.0, kHalfPi, 4.0}) {
+    const auto xs = draw(20000, mu, 8.0, 5 + static_cast<std::uint64_t>(mu * 10));
+    EXPECT_NEAR(geom::angular_distance(circular_mean(xs), mu), 0.0, 0.05) << mu;
+    EXPECT_GT(mean_resultant_length(xs), 0.9) << mu;
+  }
+}
+
+TEST(VonMises, ResultantLengthMatchesTheory) {
+  // R(kappa) = I1(kappa)/I0(kappa); spot values: R(1) ~ 0.4464, R(4) ~ 0.8635.
+  const auto x1 = draw(50000, 0.0, 1.0, 7);
+  EXPECT_NEAR(mean_resultant_length(x1), 0.4464, 0.01);
+  const auto x4 = draw(50000, 0.0, 4.0, 8);
+  EXPECT_NEAR(mean_resultant_length(x4), 0.8635, 0.01);
+}
+
+TEST(VonMises, ConcentrationMonotoneInKappa) {
+  double prev = 0.0;
+  for (double kappa : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double r = mean_resultant_length(
+        draw(20000, 1.0, kappa, 9 + static_cast<std::uint64_t>(kappa * 10)));
+    EXPECT_GT(r, prev) << "kappa=" << kappa;
+    prev = r;
+  }
+}
+
+TEST(VonMises, SymmetricAroundMu) {
+  const double mu = 2.5;
+  const auto xs = draw(40000, mu, 3.0, 10);
+  std::size_t left = 0;
+  for (double x : xs) {
+    if (geom::normalize_signed(x - mu) < 0.0) {
+      ++left;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(left) / static_cast<double>(xs.size()), 0.5, 0.01);
+}
+
+TEST(DeployVonMises, OrientationsBiasedPositionsUniform) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(11);
+  const auto cams = deploy_uniform_von_mises(profile, 3000, rng, kHalfPi, 6.0);
+  ASSERT_EQ(cams.size(), 3000u);
+  std::vector<double> orientations;
+  double mean_x = 0.0;
+  for (const auto& cam : cams) {
+    orientations.push_back(cam.orientation);
+    mean_x += cam.position.x;
+  }
+  EXPECT_NEAR(geom::angular_distance(circular_mean(orientations), kHalfPi), 0.0, 0.1);
+  EXPECT_GT(mean_resultant_length(orientations), 0.8);
+  EXPECT_NEAR(mean_x / 3000.0, 0.5, 0.03);  // positions stay uniform
+}
+
+TEST(DeployVonMises, KappaZeroMatchesStandardModel) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(12);
+  const auto cams = deploy_uniform_von_mises(profile, 5000, rng, 0.0, 0.0);
+  std::vector<double> orientations;
+  for (const auto& cam : cams) {
+    orientations.push_back(cam.orientation);
+  }
+  EXPECT_LT(mean_resultant_length(orientations), 0.03);
+}
+
+TEST(CircularStats, EdgeCases) {
+  EXPECT_DOUBLE_EQ(circular_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_resultant_length({}), 0.0);
+  EXPECT_NEAR(circular_mean({1.0}), 1.0, 1e-12);
+  EXPECT_NEAR(mean_resultant_length({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  // Antipodal pair: resultant 0.
+  EXPECT_NEAR(mean_resultant_length({0.0, kPi}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fvc::deploy

@@ -1,0 +1,159 @@
+#include "fvc/energy/duty_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/analysis/exact_theory.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+#include "fvc/stats/summary.hpp"
+
+namespace fvc::energy {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+
+std::vector<core::Camera> fleet_of(std::size_t n, double radius, std::uint64_t seed) {
+  stats::Pcg32 rng(seed);
+  return deploy::deploy_uniform(HeterogeneousProfile::homogeneous(radius, 2.0), n, rng);
+}
+
+TEST(SampleAwake, EdgeProbabilities) {
+  const auto fleet = fleet_of(100, 0.1, 1);
+  stats::Pcg32 rng(2);
+  EXPECT_TRUE(sample_awake(fleet, 0.0, rng).empty());
+  EXPECT_EQ(sample_awake(fleet, 1.0, rng).size(), 100u);
+  EXPECT_THROW((void)sample_awake(fleet, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)sample_awake(fleet, 1.1, rng), std::invalid_argument);
+}
+
+TEST(SampleAwake, BinomialCount) {
+  const auto fleet = fleet_of(200, 0.1, 3);
+  stats::Pcg32 rng(4);
+  stats::OnlineStats counts;
+  for (int t = 0; t < 500; ++t) {
+    counts.add(static_cast<double>(sample_awake(fleet, 0.3, rng).size()));
+  }
+  EXPECT_NEAR(counts.mean(), 60.0, 2.0);
+  EXPECT_NEAR(counts.variance(), 200.0 * 0.3 * 0.7, 8.0);
+}
+
+TEST(SampleAwake, PreservesCameraParameters) {
+  const auto fleet = fleet_of(50, 0.17, 5);
+  stats::Pcg32 rng(6);
+  const auto awake = sample_awake(fleet, 0.5, rng);
+  for (const core::Camera& cam : awake) {
+    EXPECT_DOUBLE_EQ(cam.radius, 0.17);
+    EXPECT_DOUBLE_EQ(cam.fov, 2.0);
+  }
+}
+
+/// Duty-cycling is distributionally equivalent to scaling every sensing
+/// area by p — the covering-count law is Binomial(n, p*s) either way, so
+/// the exact Stevens mixture prices both identically.
+TEST(SampleAwake, AreaEquivalenceWithExactTheory) {
+  const std::size_t n = 400;
+  const double radius = 0.2;
+  const double theta = kHalfPi;
+  const double p = 0.4;
+  const auto full_profile = HeterogeneousProfile::homogeneous(radius, 2.0);
+  const double thinned_theory = analysis::prob_point_full_view_uniform(
+      full_profile.scaled_area(p), n, theta);
+  // Monte-Carlo of actual duty-cycled subsets.
+  stats::OnlineStats frac;
+  const core::DenseGrid grid(16);
+  for (std::uint64_t t = 0; t < 30; ++t) {
+    stats::Pcg32 rng(stats::mix64(700, t));
+    const auto fleet = deploy::deploy_uniform(full_profile, n, rng);
+    const core::Network net(sample_awake(fleet, p, rng));
+    frac.add(core::evaluate_region(net, grid, theta).fraction_full_view());
+  }
+  EXPECT_NEAR(frac.mean(), thinned_theory, 3.0 * frac.stderr_mean() + 0.02);
+}
+
+TEST(LifetimeConfig, Validation) {
+  LifetimeConfig cfg;
+  cfg.awake_probability = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.battery_rounds = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.theta = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.grid_side = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.max_rounds = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(LifetimeConfig{}.validate());
+}
+
+TEST(SimulateLifetime, SparseFleetDiesImmediately) {
+  const auto fleet = fleet_of(20, 0.05, 7);
+  LifetimeConfig cfg;
+  cfg.awake_probability = 0.5;
+  cfg.theta = kHalfPi;
+  cfg.grid_side = 8;
+  const LifetimeResult r = simulate_lifetime(fleet, cfg, 8);
+  EXPECT_EQ(r.rounds_covered, 0u);
+  ASSERT_TRUE(r.first_failure_round.has_value());
+  EXPECT_EQ(*r.first_failure_round, 0u);
+}
+
+TEST(SimulateLifetime, DenseFleetSurvivesUntilBatteriesDrain) {
+  const auto fleet = fleet_of(800, 0.35, 9);
+  LifetimeConfig cfg;
+  cfg.awake_probability = 0.6;
+  cfg.battery_rounds = 5;
+  cfg.theta = kHalfPi;
+  cfg.grid_side = 8;
+  cfg.max_rounds = 200;
+  const LifetimeResult r = simulate_lifetime(fleet, cfg, 10);
+  // Plenty of redundancy: survives several rounds, then batteries die and
+  // coverage collapses well before max_rounds.
+  EXPECT_GT(r.rounds_covered, 3u);
+  ASSERT_TRUE(r.first_failure_round.has_value());
+  EXPECT_LT(*r.first_failure_round, 60u);
+}
+
+TEST(SimulateLifetime, LowerDutyCycleLastsLonger) {
+  const auto fleet = fleet_of(900, 0.35, 11);
+  LifetimeConfig high;
+  high.awake_probability = 0.9;
+  high.battery_rounds = 6;
+  high.theta = kHalfPi;
+  high.grid_side = 8;
+  LifetimeConfig low = high;
+  low.awake_probability = 0.45;
+  stats::OnlineStats high_life;
+  stats::OnlineStats low_life;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    high_life.add(static_cast<double>(simulate_lifetime(fleet, high, 100 + s)
+                                          .first_failure_round.value_or(10000)));
+    low_life.add(static_cast<double>(simulate_lifetime(fleet, low, 200 + s)
+                                         .first_failure_round.value_or(10000)));
+  }
+  // Sleeping more stretches the battery budget across more rounds.
+  EXPECT_GT(low_life.mean(), high_life.mean());
+}
+
+TEST(SimulateLifetime, Deterministic) {
+  const auto fleet = fleet_of(300, 0.3, 13);
+  LifetimeConfig cfg;
+  cfg.theta = kHalfPi;
+  cfg.grid_side = 8;
+  cfg.battery_rounds = 4;
+  const LifetimeResult a = simulate_lifetime(fleet, cfg, 77);
+  const LifetimeResult b = simulate_lifetime(fleet, cfg, 77);
+  EXPECT_EQ(a.rounds_covered, b.rounds_covered);
+  EXPECT_EQ(a.cameras_alive, b.cameras_alive);
+}
+
+}  // namespace
+}  // namespace fvc::energy

@@ -1,0 +1,119 @@
+#include "fvc/geometry/angle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace fvc::geom {
+namespace {
+
+TEST(NormalizeAngle, IdentityInRange) {
+  EXPECT_DOUBLE_EQ(normalize_angle(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(kTwoPi - 1e-9), kTwoPi - 1e-9);
+}
+
+TEST(NormalizeAngle, WrapsNegative) {
+  EXPECT_NEAR(normalize_angle(-kHalfPi), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(normalize_angle(-kTwoPi - 1.0), kTwoPi - 1.0, 1e-12);
+}
+
+TEST(NormalizeAngle, WrapsLargePositive) {
+  EXPECT_NEAR(normalize_angle(5.0 * kTwoPi + 0.25), 0.25, 1e-10);
+}
+
+TEST(NormalizeAngle, ExactMultiplesOfTwoPi) {
+  EXPECT_DOUBLE_EQ(normalize_angle(kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(-kTwoPi), 0.0);
+  EXPECT_LT(normalize_angle(-1e-18), kTwoPi);  // never returns 2*pi itself
+}
+
+TEST(NormalizeSigned, Range) {
+  EXPECT_DOUBLE_EQ(normalize_signed(0.0), 0.0);
+  EXPECT_NEAR(normalize_signed(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(normalize_signed(-kPi - 0.1), kPi - 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(normalize_signed(kPi), -kPi);  // pi maps to -pi (half-open)
+}
+
+TEST(AngularDistance, Basics) {
+  EXPECT_DOUBLE_EQ(angular_distance(0.0, 0.0), 0.0);
+  EXPECT_NEAR(angular_distance(0.0, kPi), kPi, 1e-12);
+  EXPECT_NEAR(angular_distance(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angular_distance(kTwoPi - 0.1, 0.1), 0.2, 1e-12);
+}
+
+TEST(AngularDistance, Symmetric) {
+  for (double a : {0.0, 1.0, 3.0, 5.5}) {
+    for (double b : {0.2, 2.2, 4.4, 6.1}) {
+      EXPECT_NEAR(angular_distance(a, b), angular_distance(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(AngularDistance, BoundedByPi) {
+  for (double a = 0.0; a < kTwoPi; a += 0.37) {
+    for (double b = 0.0; b < kTwoPi; b += 0.41) {
+      const double d = angular_distance(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, kPi + 1e-15);
+    }
+  }
+}
+
+TEST(AngularDistance, TriangleInequalityOnCircle) {
+  for (double a = 0.0; a < kTwoPi; a += 0.7) {
+    for (double b = 0.0; b < kTwoPi; b += 0.9) {
+      for (double c = 0.0; c < kTwoPi; c += 1.1) {
+        EXPECT_LE(angular_distance(a, c),
+                  angular_distance(a, b) + angular_distance(b, c) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(CcwDelta, Basics) {
+  EXPECT_DOUBLE_EQ(ccw_delta(0.0, 1.0), 1.0);
+  EXPECT_NEAR(ccw_delta(1.0, 0.0), kTwoPi - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ccw_delta(2.0, 2.0), 0.0);
+}
+
+TEST(AngleInArc, InsideAndOutside) {
+  EXPECT_TRUE(angle_in_arc(0.5, 0.0, 1.0));
+  EXPECT_TRUE(angle_in_arc(0.0, 0.0, 1.0));   // closed at start
+  EXPECT_TRUE(angle_in_arc(1.0, 0.0, 1.0));   // closed at end
+  EXPECT_FALSE(angle_in_arc(1.5, 0.0, 1.0));
+  EXPECT_FALSE(angle_in_arc(-0.25, 0.0, 1.0));
+}
+
+TEST(AngleInArc, WrapsAroundZero) {
+  // Arc from 6.0 spanning 1.0 covers [6.0, 6.0+1.0] which wraps past 2*pi.
+  EXPECT_TRUE(angle_in_arc(6.1, 6.0, 1.0));
+  EXPECT_TRUE(angle_in_arc(0.2, 6.0, 1.0));
+  EXPECT_FALSE(angle_in_arc(1.0, 6.0, 1.0));
+  EXPECT_FALSE(angle_in_arc(5.9, 6.0, 1.0));
+}
+
+TEST(AngleInArc, FullCircle) {
+  for (double a = 0.0; a < kTwoPi; a += 0.3) {
+    EXPECT_TRUE(angle_in_arc(a, 1.2, kTwoPi));
+  }
+}
+
+TEST(AngleInArc, DegenerateZeroWidth) {
+  EXPECT_TRUE(angle_in_arc(1.0, 1.0, 0.0));
+  EXPECT_FALSE(angle_in_arc(1.1, 1.0, 0.0));
+  EXPECT_FALSE(angle_in_arc(1.0, 1.0, -0.5));  // negative width contains nothing
+}
+
+TEST(LerpCcw, EndpointsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(lerp_ccw(1.0, 2.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lerp_ccw(1.0, 2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp_ccw(1.0, 2.0, 0.5), 1.5);
+  // Wrapping: from 6.0 to 0.5 CCW passes through 0.
+  EXPECT_NEAR(lerp_ccw(6.0, 0.5, 0.5),
+              normalize_angle(6.0 + 0.5 * ccw_delta(6.0, 0.5)), 1e-12);
+}
+
+}  // namespace
+}  // namespace fvc::geom

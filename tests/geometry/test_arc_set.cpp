@@ -1,0 +1,204 @@
+#include "fvc/geometry/arc_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::geom {
+namespace {
+
+TEST(Arc, FactoriesNormalize) {
+  const Arc a = Arc::from_start(-1.0, 0.5);
+  EXPECT_NEAR(a.start, kTwoPi - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.width, 0.5);
+
+  const Arc c = Arc::centered(0.0, 0.25);
+  EXPECT_NEAR(c.start, kTwoPi - 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(c.width, 0.5);
+  EXPECT_NEAR(c.bisector(), 0.0, 1e-12);
+}
+
+TEST(Arc, WidthClamped) {
+  EXPECT_DOUBLE_EQ(Arc::from_start(0.0, 10.0).width, kTwoPi);
+  EXPECT_DOUBLE_EQ(Arc::from_start(0.0, -1.0).width, 0.0);
+}
+
+TEST(Arc, ContainsWithWrap) {
+  const Arc a = Arc::centered(0.0, 0.3);
+  EXPECT_TRUE(a.contains(0.0));
+  EXPECT_TRUE(a.contains(0.29));
+  EXPECT_TRUE(a.contains(kTwoPi - 0.29));
+  EXPECT_FALSE(a.contains(0.31));
+  EXPECT_FALSE(a.contains(kPi));
+}
+
+TEST(Arc, EndAndBisector) {
+  const Arc a = Arc::from_start(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.end(), 3.0);
+  EXPECT_DOUBLE_EQ(a.bisector(), 2.0);
+}
+
+TEST(ArcSet, EmptySet) {
+  const ArcSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.covers_circle());
+  EXPECT_DOUBLE_EQ(s.covered_measure(), 0.0);
+  const auto holes = s.uncovered();
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(holes[0].width, kTwoPi);
+  EXPECT_TRUE(s.witness_uncovered().has_value());
+}
+
+TEST(ArcSet, SingleArc) {
+  ArcSet s;
+  s.add(Arc::from_start(0.0, 1.0));
+  EXPECT_FALSE(s.covers_circle());
+  EXPECT_NEAR(s.covered_measure(), 1.0, 1e-12);
+  EXPECT_TRUE(s.covers(0.5));
+  EXPECT_FALSE(s.covers(2.0));
+  const auto holes = s.uncovered();
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_NEAR(holes[0].width, kTwoPi - 1.0, 1e-12);
+  EXPECT_NEAR(holes[0].start, 1.0, 1e-12);
+}
+
+TEST(ArcSet, TwoOverlappingArcsMerge) {
+  ArcSet s;
+  s.add(Arc::from_start(0.0, 1.0));
+  s.add(Arc::from_start(0.5, 1.0));
+  EXPECT_NEAR(s.covered_measure(), 1.5, 1e-12);
+  EXPECT_EQ(s.uncovered().size(), 1u);
+}
+
+TEST(ArcSet, DisjointArcs) {
+  ArcSet s;
+  s.add(Arc::from_start(0.0, 1.0));
+  s.add(Arc::from_start(3.0, 1.0));
+  EXPECT_NEAR(s.covered_measure(), 2.0, 1e-12);
+  const auto holes = s.uncovered();
+  EXPECT_EQ(holes.size(), 2u);
+}
+
+TEST(ArcSet, WrappingArcMergesAcrossZero) {
+  ArcSet s;
+  s.add(Arc::from_start(kTwoPi - 0.5, 1.0));  // covers [2pi-0.5, 0.5]
+  EXPECT_TRUE(s.covers(0.0));
+  EXPECT_TRUE(s.covers(0.4));
+  EXPECT_TRUE(s.covers(kTwoPi - 0.4));
+  EXPECT_FALSE(s.covers(1.0));
+  EXPECT_NEAR(s.covered_measure(), 1.0, 1e-12);
+  EXPECT_EQ(s.uncovered().size(), 1u);
+}
+
+TEST(ArcSet, FullCoverageByThreeArcs) {
+  ArcSet s;
+  s.add(Arc::from_start(0.0, 2.5));
+  s.add(Arc::from_start(2.0, 2.5));
+  s.add(Arc::from_start(4.0, 2.5));
+  EXPECT_TRUE(s.covers_circle());
+  EXPECT_DOUBLE_EQ(s.covered_measure(), kTwoPi);
+  EXPECT_TRUE(s.uncovered().empty());
+  EXPECT_FALSE(s.witness_uncovered().has_value());
+}
+
+TEST(ArcSet, FullCircleArc) {
+  ArcSet s;
+  s.add(Arc::from_start(1.0, kTwoPi));
+  EXPECT_TRUE(s.covers_circle());
+}
+
+TEST(ArcSet, WitnessIsActuallyUncovered) {
+  ArcSet s;
+  s.add(Arc::from_start(0.0, 1.0));
+  s.add(Arc::from_start(2.0, 1.0));
+  s.add(Arc::from_start(5.0, 0.5));
+  const auto w = s.witness_uncovered();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(s.covers(*w));
+}
+
+TEST(ArcSet, ClearResets) {
+  ArcSet s;
+  s.add(Arc::from_start(0.0, kTwoPi));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.covers_circle());
+}
+
+TEST(MaxCircularGap, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(max_circular_gap({}), kTwoPi);
+  const std::array<double, 1> one = {1.0};
+  EXPECT_DOUBLE_EQ(max_circular_gap(one), kTwoPi);
+}
+
+TEST(MaxCircularGap, TwoOppositeDirections) {
+  const std::array<double, 2> dirs = {0.0, kPi};
+  EXPECT_NEAR(max_circular_gap(dirs), kPi, 1e-12);
+}
+
+TEST(MaxCircularGap, UnevenSpacing) {
+  const std::array<double, 3> dirs = {0.0, 0.5, 1.0};
+  EXPECT_NEAR(max_circular_gap(dirs), kTwoPi - 1.0, 1e-12);
+}
+
+TEST(MaxCircularGap, UnsortedInputAndNegativeAngles) {
+  const std::array<double, 3> dirs = {1.0, -0.5, 0.25};  // -0.5 wraps to 2*pi-0.5
+  const std::array<double, 3> sorted_equiv = {0.25, 1.0, kTwoPi - 0.5};
+  EXPECT_NEAR(max_circular_gap(dirs), max_circular_gap(sorted_equiv), 1e-12);
+}
+
+TEST(MaxCircularGap, InfoReportsGapStart) {
+  const std::array<double, 3> dirs = {0.0, 0.5, 1.0};
+  const CircularGap g = max_circular_gap_info(dirs);
+  ASSERT_TRUE(g.after_dir.has_value());
+  EXPECT_NEAR(*g.after_dir, 1.0, 1e-12);
+  EXPECT_NEAR(g.width, kTwoPi - 1.0, 1e-12);
+}
+
+TEST(MaxCircularGap, DuplicatesIgnored) {
+  const std::array<double, 4> dirs = {1.0, 1.0, 4.0, 4.0};
+  EXPECT_NEAR(max_circular_gap(dirs), kTwoPi - 3.0, 1e-12);
+}
+
+/// Property: for random direction sets, the gap of the set equals 2*pi
+/// minus the covered measure when each direction carries a zero-width arc —
+/// cross-validate gap vs ArcSet holes: the largest hole between arcs of
+/// half-width h equals max_gap - 2h (when positive).
+TEST(MaxCircularGapProperty, ConsistentWithArcSetHoles) {
+  stats::Pcg32 rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t count = 2 + iter % 7;
+    std::vector<double> dirs;
+    dirs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      dirs.push_back(stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+    const double h = stats::uniform_in(rng, 0.05, 0.8);
+    ArcSet arcs;
+    for (double d : dirs) {
+      arcs.add(Arc::centered(d, h));
+    }
+    const double gap = max_circular_gap(dirs);
+    if (gap <= 2.0 * h) {
+      EXPECT_TRUE(arcs.covers_circle())
+          << "gap=" << gap << " h=" << h << " iter=" << iter;
+    } else {
+      const auto holes = arcs.uncovered();
+      ASSERT_FALSE(holes.empty());
+      double widest = 0.0;
+      for (const Arc& hole : holes) {
+        widest = std::max(widest, hole.width);
+      }
+      EXPECT_NEAR(widest, gap - 2.0 * h, 1e-9)
+          << "gap=" << gap << " h=" << h << " iter=" << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvc::geom

@@ -1,0 +1,118 @@
+#include "fvc/geometry/sector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::geom {
+namespace {
+
+TEST(Sector, MakeValidates) {
+  EXPECT_THROW((void)Sector::make(-1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW((void)Sector::make(0.0, 0.0, 1.0));
+}
+
+TEST(Sector, ContainsRespectRadius) {
+  const Sector s = Sector::make(1.0, 0.0, kHalfPi);
+  EXPECT_TRUE(s.contains({0.5, 0.5}));
+  EXPECT_FALSE(s.contains({1.0, 1.0}));  // norm sqrt(2) > 1
+  EXPECT_TRUE(s.contains({1.0, 0.0}));   // on the boundary circle
+}
+
+TEST(Sector, ContainsRespectAngle) {
+  const Sector s = Sector::make(1.0, 0.0, kHalfPi);  // first quadrant
+  EXPECT_TRUE(s.contains({0.5, 0.5}));
+  EXPECT_FALSE(s.contains({-0.5, 0.5}));
+  EXPECT_FALSE(s.contains({0.5, -0.5}));
+  EXPECT_TRUE(s.contains({0.9, 0.0}));  // on the start edge (closed)
+  EXPECT_TRUE(s.contains({0.0, 0.9}));  // on the end edge (closed)
+}
+
+TEST(Sector, ApexAlwaysContained) {
+  const Sector s = Sector::make(0.5, 1.0, 0.2);
+  EXPECT_TRUE(s.contains({0.0, 0.0}));
+}
+
+TEST(Sector, WithBisector) {
+  const Sector s = Sector::with_bisector(1.0, 0.0, kHalfPi);
+  EXPECT_TRUE(s.contains(Vec2::from_angle(0.0) * 0.5));
+  EXPECT_TRUE(s.contains(Vec2::from_angle(kHalfPi / 2.0 - 0.01) * 0.5));
+  EXPECT_FALSE(s.contains(Vec2::from_angle(kHalfPi / 2.0 + 0.01) * 0.5));
+  EXPECT_TRUE(s.contains(Vec2::from_angle(-kHalfPi / 2.0 + 0.01) * 0.5));
+}
+
+TEST(Sector, Area) {
+  const Sector s = Sector::make(2.0, 0.0, 1.5);
+  EXPECT_DOUBLE_EQ(s.area(), 0.5 * 1.5 * 4.0);
+  // Full disc:
+  const Sector full = Sector::make(1.0, 0.0, kTwoPi);
+  EXPECT_NEAR(full.area(), kPi, 1e-12);
+}
+
+TEST(SectorPartition, ExactDivision) {
+  // sector angle pi/2 divides 2*pi exactly into 4 sectors, no remainder.
+  const auto arcs = sector_partition(kHalfPi);
+  ASSERT_EQ(arcs.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(arcs[j].start, static_cast<double>(j) * kHalfPi, 1e-12);
+    EXPECT_DOUBLE_EQ(arcs[j].width, kHalfPi);
+  }
+}
+
+TEST(SectorPartition, WithRemainderAddsExtraSector) {
+  // sector angle 2.5: floor(2*pi/2.5) = 2 full sectors, remainder ~1.28,
+  // plus the paper's extra sector T_{k+1} centred on the remainder's
+  // bisector => 3 sectors in total (= ceil(2*pi/2.5)).
+  const auto arcs = sector_partition(2.5);
+  ASSERT_EQ(arcs.size(), 3u);
+  // The extra sector has full width 2.5 and its bisector at the centre of
+  // the remainder region [5.0, 2*pi].
+  EXPECT_DOUBLE_EQ(arcs[2].width, 2.5);
+  EXPECT_NEAR(arcs[2].bisector(), 5.0 + 0.5 * (kTwoPi - 5.0), 1e-9);
+}
+
+TEST(SectorPartition, PaperConstructionCoversCircle) {
+  for (double w : {0.3, 0.7, 1.0, kHalfPi, 2.0, kPi, 5.0, kTwoPi}) {
+    const auto arcs = sector_partition(w);
+    // Every direction must lie in at least one sector.
+    for (double a = 0.0; a < kTwoPi; a += 0.01) {
+      bool inside = false;
+      for (const Arc& arc : arcs) {
+        if (arc.contains(a)) {
+          inside = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(inside) << "w=" << w << " a=" << a;
+    }
+  }
+}
+
+TEST(SectorPartition, CountMatchesCeil) {
+  EXPECT_EQ(sector_partition_size(kTwoPi), 1u);
+  EXPECT_EQ(sector_partition_size(kPi), 2u);
+  EXPECT_EQ(sector_partition_size(kHalfPi), 4u);
+  // Non-dividing angle: ceil(2*pi/w) sectors in total (floor + remainder).
+  EXPECT_EQ(sector_partition_size(2.0), 4u);  // 2*pi/2 = 3.14 -> ceil = 4
+}
+
+TEST(SectorPartition, StartLineShiftsAllSectors) {
+  const auto base = sector_partition(kHalfPi, 0.0);
+  const auto shifted = sector_partition(kHalfPi, 0.3);
+  ASSERT_EQ(base.size(), shifted.size());
+  for (std::size_t j = 0; j < base.size(); ++j) {
+    EXPECT_NEAR(normalize_angle(shifted[j].start - base[j].start), 0.3, 1e-12);
+  }
+}
+
+TEST(SectorPartition, RejectsBadAngles) {
+  EXPECT_THROW((void)sector_partition(0.0), std::invalid_argument);
+  EXPECT_THROW((void)sector_partition(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)sector_partition(kTwoPi + 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::geom

@@ -1,0 +1,56 @@
+#include "fvc/geometry/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::geom {
+namespace {
+
+TEST(SpaceDisplacement, PlaneIsPlainDifference) {
+  const Vec2 a{0.1, 0.2};
+  const Vec2 b{0.9, 0.8};
+  const Vec2 d = displacement(a, b, SpaceMode::kPlane);
+  EXPECT_DOUBLE_EQ(d.x, 0.8);
+  EXPECT_DOUBLE_EQ(d.y, 0.6);
+}
+
+TEST(SpaceDisplacement, TorusWraps) {
+  const Vec2 a{0.1, 0.5};
+  const Vec2 b{0.9, 0.5};
+  const Vec2 d = displacement(a, b, SpaceMode::kTorus);
+  EXPECT_NEAR(d.x, -0.2, 1e-15);
+  EXPECT_DOUBLE_EQ(d.y, 0.0);
+}
+
+TEST(SpaceDistance, ModesAgreeAwayFromSeams) {
+  stats::Pcg32 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    // Points in the central quarter: no wrap shortcut exists.
+    const Vec2 a{stats::uniform_in(rng, 0.3, 0.7), stats::uniform_in(rng, 0.3, 0.7)};
+    const Vec2 b{stats::uniform_in(rng, 0.3, 0.7), stats::uniform_in(rng, 0.3, 0.7)};
+    EXPECT_NEAR(space_distance(a, b, SpaceMode::kTorus),
+                space_distance(a, b, SpaceMode::kPlane), 1e-12);
+  }
+}
+
+TEST(SpaceDistance, TorusNeverLonger) {
+  stats::Pcg32 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 a{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 b{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_LE(space_distance(a, b, SpaceMode::kTorus),
+              space_distance(a, b, SpaceMode::kPlane) + 1e-12);
+  }
+}
+
+TEST(SpaceDistance, SeamPointsDifferAcrossModes) {
+  const Vec2 a{0.02, 0.5};
+  const Vec2 b{0.98, 0.5};
+  EXPECT_NEAR(space_distance(a, b, SpaceMode::kTorus), 0.04, 1e-12);
+  EXPECT_NEAR(space_distance(a, b, SpaceMode::kPlane), 0.96, 1e-12);
+}
+
+}  // namespace
+}  // namespace fvc::geom

@@ -1,0 +1,130 @@
+#include "fvc/geometry/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::geom {
+namespace {
+
+TEST(WrapUnit, Basics) {
+  EXPECT_DOUBLE_EQ(wrap_unit(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(wrap_unit(1.25), 0.25);
+  EXPECT_DOUBLE_EQ(wrap_unit(-0.25), 0.75);
+  EXPECT_DOUBLE_EQ(wrap_unit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_unit(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_unit(-3.0), 0.0);
+}
+
+TEST(WrapUnit, NeverReturnsOne) {
+  EXPECT_LT(wrap_unit(-1e-18), 1.0);
+  EXPECT_GE(wrap_unit(-1e-18), 0.0);
+}
+
+TEST(WrapDelta, ShortestPath) {
+  EXPECT_DOUBLE_EQ(wrap_delta(0.1, 0.3), 0.2);
+  EXPECT_DOUBLE_EQ(wrap_delta(0.3, 0.1), -0.2);
+  EXPECT_NEAR(wrap_delta(0.9, 0.1), 0.2, 1e-15);   // wraps forward
+  EXPECT_NEAR(wrap_delta(0.1, 0.9), -0.2, 1e-15);  // wraps backward
+}
+
+TEST(WrapDelta, HalfwayIsHalfOpen) {
+  const double d = wrap_delta(0.0, 0.5);
+  EXPECT_GE(d, -0.5);
+  EXPECT_LT(d, 0.5);
+  EXPECT_DOUBLE_EQ(std::abs(d), 0.5);
+}
+
+TEST(UnitTorusWrap, IntoCanonicalCell) {
+  const Vec2 w = UnitTorus::wrap({1.25, -0.5});
+  EXPECT_DOUBLE_EQ(w.x, 0.25);
+  EXPECT_DOUBLE_EQ(w.y, 0.5);
+}
+
+TEST(UnitTorusDisplacement, ComponentsInHalfOpenBox) {
+  stats::Pcg32 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 a{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 b{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 d = UnitTorus::displacement(a, b);
+    EXPECT_GE(d.x, -0.5);
+    EXPECT_LT(d.x, 0.5);
+    EXPECT_GE(d.y, -0.5);
+    EXPECT_LT(d.y, 0.5);
+  }
+}
+
+TEST(UnitTorusDisplacement, AntisymmetricUpToWrap) {
+  stats::Pcg32 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 b{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 dab = UnitTorus::displacement(a, b);
+    const Vec2 dba = UnitTorus::displacement(b, a);
+    // |d(a,b)| == |d(b,a)| always (signs may differ only at the +-1/2 edge).
+    EXPECT_NEAR(dab.norm(), dba.norm(), 1e-12);
+  }
+}
+
+TEST(UnitTorusDistance, Symmetry) {
+  stats::Pcg32 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 b{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_NEAR(UnitTorus::distance(a, b), UnitTorus::distance(b, a), 1e-12);
+  }
+}
+
+TEST(UnitTorusDistance, TriangleInequality) {
+  stats::Pcg32 rng(10);
+  for (int i = 0; i < 300; ++i) {
+    const Vec2 a{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 b{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 c{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_LE(UnitTorus::distance(a, c),
+              UnitTorus::distance(a, b) + UnitTorus::distance(b, c) + 1e-12);
+  }
+}
+
+TEST(UnitTorusDistance, WrapsAcrossEdges) {
+  EXPECT_NEAR(UnitTorus::distance({0.05, 0.5}, {0.95, 0.5}), 0.1, 1e-12);
+  EXPECT_NEAR(UnitTorus::distance({0.5, 0.05}, {0.5, 0.95}), 0.1, 1e-12);
+  EXPECT_NEAR(UnitTorus::distance({0.05, 0.05}, {0.95, 0.95}),
+              std::sqrt(0.02), 1e-12);
+}
+
+TEST(UnitTorusDistance, MaxDistanceAtCellCenterOffset) {
+  EXPECT_NEAR(UnitTorus::distance({0.0, 0.0}, {0.5, 0.5}), UnitTorus::max_distance(),
+              1e-12);
+  stats::Pcg32 rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const Vec2 a{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 b{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_LE(UnitTorus::distance(a, b), UnitTorus::max_distance() + 1e-12);
+  }
+}
+
+TEST(UnitTorusDistance, InvariantUnderTranslation) {
+  stats::Pcg32 rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 b{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 t{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_NEAR(UnitTorus::distance(a, b),
+                UnitTorus::distance(UnitTorus::wrap(a + t), UnitTorus::wrap(b + t)),
+                1e-12);
+  }
+}
+
+TEST(UnitTorusDistance2, MatchesDistanceSquared) {
+  const Vec2 a{0.1, 0.2};
+  const Vec2 b{0.8, 0.9};
+  EXPECT_NEAR(UnitTorus::distance2(a, b),
+              UnitTorus::distance(a, b) * UnitTorus::distance(a, b), 1e-12);
+}
+
+}  // namespace
+}  // namespace fvc::geom

@@ -1,0 +1,117 @@
+#include "fvc/geometry/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::geom {
+namespace {
+
+TEST(Vec2, DefaultConstructsToZero) {
+  const Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+  v /= 4.0;
+  EXPECT_EQ(v, Vec2(1.0, 1.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+  // cross > 0 when b is CCW of a
+  EXPECT_GT(Vec2(1.0, 0.0).cross(Vec2(0.0, 1.0)), 0.0);
+}
+
+TEST(Vec2, NormAndNorm2) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(Vec2, AngleMatchesAtan2) {
+  EXPECT_DOUBLE_EQ(Vec2(1.0, 0.0).angle(), 0.0);
+  EXPECT_DOUBLE_EQ(Vec2(0.0, 1.0).angle(), kHalfPi);
+  EXPECT_DOUBLE_EQ(Vec2(-1.0, 0.0).angle(), kPi);
+  EXPECT_DOUBLE_EQ(Vec2(0.0, -1.0).angle(), -kHalfPi);
+}
+
+TEST(Vec2, FromAngleRoundTrips) {
+  for (double a : {0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0}) {
+    const Vec2 v = Vec2::from_angle(a);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+    EXPECT_NEAR(normalize_angle(v.angle()), normalize_angle(a), 1e-12);
+  }
+}
+
+TEST(Vec2, NormalizedGivesUnitVector) {
+  const Vec2 v = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(v.x, 0.6, 1e-15);
+  EXPECT_NEAR(v.y, 0.8, 1e-15);
+}
+
+TEST(Vec2, NormalizedThrowsOnZeroVector) {
+  EXPECT_THROW((void)Vec2{}.normalized(), std::invalid_argument);
+}
+
+TEST(Vec2, RotatedQuarterTurn) {
+  const Vec2 v = Vec2{1.0, 0.0}.rotated(kHalfPi);
+  EXPECT_NEAR(v.x, 0.0, 1e-15);
+  EXPECT_NEAR(v.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.5, -1.5};
+  for (double a : {0.3, 1.1, 2.9, -0.7}) {
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), 1e-12);
+  }
+}
+
+TEST(Vec2, DistanceHelpers) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance2(a, b), 25.0);
+}
+
+TEST(Vec2, AlmostEqual) {
+  EXPECT_TRUE(almost_equal({1.0, 2.0}, {1.0, 2.0}));
+  EXPECT_TRUE(almost_equal({1.0, 2.0}, {1.0 + 1e-13, 2.0 - 1e-13}));
+  EXPECT_FALSE(almost_equal({1.0, 2.0}, {1.0 + 1e-6, 2.0}));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream ss;
+  ss << Vec2{1.5, -2.5};
+  EXPECT_EQ(ss.str(), "(1.5, -2.5)");
+}
+
+}  // namespace
+}  // namespace fvc::geom

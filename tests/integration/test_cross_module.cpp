@@ -1,0 +1,138 @@
+/// Cross-module property suite: invariants that span several subsystems,
+/// parameterized over deployment scheme, effective angle, and population.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fvc/analysis/exact_theory.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/k_full_view.hpp"
+#include "fvc/core/probabilistic.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/io/network_io.hpp"
+#include "fvc/occlusion/obstacles.hpp"
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/trial.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+#include <sstream>
+
+namespace fvc {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+/// (deployment, theta, n)
+using Setup = std::tuple<sim::Deployment, double, std::size_t>;
+
+class CrossModule : public ::testing::TestWithParam<Setup> {
+ protected:
+  [[nodiscard]] core::Network make_network(std::uint64_t seed) const {
+    const auto [deployment, theta, n] = GetParam();
+    sim::TrialConfig cfg{HeterogeneousProfile::homogeneous(0.22, 2.0), n, theta,
+                         deployment, std::nullopt};
+    return sim::deploy(cfg, seed);
+  }
+};
+
+TEST_P(CrossModule, IoRoundTripPreservesEveryPredicate) {
+  const auto [deployment, theta, n] = GetParam();
+  const core::Network net = make_network(11);
+  std::stringstream ss;
+  io::save_cameras(ss, net.cameras());
+  const core::Network restored(io::load_cameras(ss));
+  stats::Pcg32 rng(12);
+  for (int q = 0; q < 60; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_EQ(core::full_view_covered(net, p, theta).covered,
+              core::full_view_covered(restored, p, theta).covered);
+    EXPECT_EQ(core::meets_necessary_condition(net, p, theta),
+              core::meets_necessary_condition(restored, p, theta));
+    EXPECT_EQ(net.coverage_degree(p), restored.coverage_degree(p));
+  }
+}
+
+TEST_P(CrossModule, KFullViewDegreeConsistentWithExactPredicate) {
+  const auto [deployment, theta, n] = GetParam();
+  const core::Network net = make_network(13);
+  stats::Pcg32 rng(14);
+  for (int q = 0; q < 80; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const std::size_t degree = core::full_view_degree(net, p, theta);
+    EXPECT_EQ(degree >= 1, core::full_view_covered(net, p, theta).covered);
+    // Degree never exceeds the covering count.
+    EXPECT_LE(degree, net.coverage_degree(p));
+  }
+}
+
+TEST_P(CrossModule, ZeroDecayConfidenceEqualsBinaryPredicate) {
+  const auto [deployment, theta, n] = GetParam();
+  const core::Network net = make_network(15);
+  const core::ProbabilisticModel binary_model{1.0, 0.0};  // no decay zone
+  stats::Pcg32 rng(16);
+  for (int q = 0; q < 60; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const double conf = core::full_view_confidence(net, p, theta, binary_model);
+    EXPECT_EQ(conf == 1.0, core::full_view_covered(net, p, theta).covered);
+  }
+}
+
+TEST_P(CrossModule, EmptyObstacleFieldIsTransparent) {
+  const auto [deployment, theta, n] = GetParam();
+  const core::Network net = make_network(17);
+  const occlusion::ObstacleField field;
+  stats::Pcg32 rng(18);
+  for (int q = 0; q < 40; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const auto dirs = occlusion::viewed_directions_with_occlusion(net, p, field);
+    EXPECT_EQ(core::full_view_covered(dirs, theta).covered,
+              core::full_view_covered(net, p, theta).covered);
+  }
+}
+
+TEST_P(CrossModule, RegionStatsBoundedAndNested) {
+  const auto [deployment, theta, n] = GetParam();
+  const core::Network net = make_network(19);
+  const core::DenseGrid grid(14);
+  const auto st = core::evaluate_region(net, grid, theta);
+  EXPECT_EQ(st.total_points, 196u);
+  EXPECT_LE(st.sufficient_ok, st.full_view_ok);
+  EXPECT_LE(st.full_view_ok, st.necessary_ok);
+  EXPECT_LE(st.necessary_ok, st.covered_1);
+  EXPECT_LE(st.full_view_ok, st.k_covered_ok);
+}
+
+/// The exact Stevens-mixture law agrees with the simulated full-view
+/// fraction for this setup (a coarse one-trial smoke version of the EXACT
+/// bench, run across the whole parameter grid).
+TEST_P(CrossModule, ExactTheoryTracksSimulatedFraction) {
+  const auto [deployment, theta, n] = GetParam();
+  const auto profile = HeterogeneousProfile::homogeneous(0.22, 2.0);
+  sim::TrialConfig cfg{profile, n, theta, deployment, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 15, 20, 4);
+  const double exact =
+      deployment == sim::Deployment::kUniform
+          ? analysis::prob_point_full_view_uniform(profile, n, theta)
+          : analysis::prob_point_full_view_poisson(profile, static_cast<double>(n),
+                                                   theta);
+  EXPECT_NEAR(est.full_view.mean(), exact, 3.0 * est.full_view.stderr_mean() + 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Setups, CrossModule,
+    ::testing::Values(Setup{sim::Deployment::kUniform, kHalfPi, 150},
+                      Setup{sim::Deployment::kUniform, kPi / 3.0, 250},
+                      Setup{sim::Deployment::kUniform, kPi, 100},
+                      Setup{sim::Deployment::kPoisson, kHalfPi, 150},
+                      Setup{sim::Deployment::kPoisson, 2.0, 200}));
+
+}  // namespace
+}  // namespace fvc

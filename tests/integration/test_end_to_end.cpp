@@ -1,0 +1,156 @@
+/// End-to-end workflows a downstream user would run: plan a network from
+/// the CSA theorems, deploy it, and verify coverage by simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/analysis/planner.hpp"
+#include "fvc/analysis/wang_cao.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/lattice.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/phase_scan.hpp"
+
+namespace fvc {
+namespace {
+
+using analysis::Condition;
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+
+TEST(EndToEnd, PlanDeployVerifySufficient) {
+  // 1. Plan: n = 400 cameras with fov 2.0, target the sufficient CSA with
+  //    a 3x engineering margin.
+  const std::size_t n = 400;
+  const double theta = kHalfPi;
+  const double fov = 2.0;
+  const double radius = analysis::required_radius(Condition::kSufficient,
+                                                  static_cast<double>(n), theta, fov, 3.0);
+  const auto profile = HeterogeneousProfile::homogeneous(radius, fov);
+  ASSERT_NEAR(profile.weighted_sensing_area(),
+              3.0 * analysis::csa_sufficient(static_cast<double>(n), theta), 1e-12);
+
+  // 2./3. Deploy uniformly and verify on the paper's dense grid, repeatedly.
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kUniform, std::nullopt};
+  const auto est = sim::estimate_grid_events(cfg, 25, 31337, 4);
+  EXPECT_GT(est.full_view.p(), 0.85);
+}
+
+TEST(EndToEnd, UnderProvisionedPlanFails) {
+  const std::size_t n = 400;
+  const double theta = kHalfPi;
+  const double fov = 2.0;
+  // Provision at 30% of the NECESSARY CSA: guaranteed failure regime.
+  const double radius = analysis::required_radius(Condition::kNecessary,
+                                                  static_cast<double>(n), theta, fov, 0.3);
+  sim::TrialConfig cfg{HeterogeneousProfile::homogeneous(radius, fov), n, theta,
+                       sim::Deployment::kUniform, std::nullopt};
+  const auto est = sim::estimate_grid_events(cfg, 25, 31338, 4);
+  EXPECT_LT(est.necessary.p(), 0.2);
+  EXPECT_LT(est.full_view.p(), 0.2);
+}
+
+TEST(EndToEnd, PopulationPlannerMatchesSimulation) {
+  // Fix the camera design, ask the planner for the population that reaches
+  // 2x the sufficient CSA, then verify by simulation.
+  const auto profile = HeterogeneousProfile::homogeneous(0.18, 2.2);
+  const double theta = kHalfPi;
+  const std::size_t n_star = analysis::required_population(
+      Condition::kSufficient, profile, theta, 2.0, 3, 1000000);
+  ASSERT_LE(n_star, 1000000u);
+  sim::TrialConfig cfg{profile, n_star, theta, sim::Deployment::kUniform, std::nullopt};
+  const auto est = sim::estimate_grid_events(cfg, 15, 31339, 4);
+  EXPECT_GT(est.full_view.p(), 0.8);
+}
+
+TEST(EndToEnd, HeterogeneousFleetBehavesLikeItsWeightedArea) {
+  // A mixed fleet (high-end + low-end) dialed to 3x sufficient CSA performs
+  // like a homogeneous fleet of the same weighted area.
+  const std::size_t n = 400;
+  const double theta = kHalfPi;
+  const double target =
+      3.0 * analysis::csa_sufficient(static_cast<double>(n), theta);
+  const HeterogeneousProfile mixed =
+      HeterogeneousProfile({core::CameraGroupSpec{0.3, 0.2, 1.0},
+                            core::CameraGroupSpec{0.7, 0.1, 2.5}})
+          .with_weighted_area(target);
+  const HeterogeneousProfile homo =
+      HeterogeneousProfile::homogeneous(0.15, 2.0).with_weighted_area(target);
+  sim::TrialConfig cfg_m{mixed, n, theta, sim::Deployment::kUniform, std::nullopt};
+  sim::TrialConfig cfg_h{homo, n, theta, sim::Deployment::kUniform, std::nullopt};
+  const auto em = sim::estimate_grid_events(cfg_m, 25, 41, 4);
+  const auto eh = sim::estimate_grid_events(cfg_h, 25, 42, 4);
+  // Both should succeed with high probability; their rates should be close.
+  EXPECT_GT(em.full_view.p(), 0.75);
+  EXPECT_GT(eh.full_view.p(), 0.75);
+  EXPECT_NEAR(em.full_view.p(), eh.full_view.p(), 0.25);
+}
+
+TEST(EndToEnd, LatticeBaselineBeatsRandomAtEqualBudget) {
+  // Deterministic lattice deployment achieves full-view coverage with a
+  // budget at which random deployment is unreliable — the paper's Section I
+  // motivation for studying the random-deployment penalty.
+  const double theta = kPi / 4.0;
+  const double fov = kHalfPi;
+
+  deploy::LatticeConfig lat;
+  lat.edge = 0.1;
+  lat.radius = 0.25;
+  lat.fov = fov;
+  lat.per_site = deploy::per_site_for_fov(fov);  // 4
+  const auto lattice_net = deploy::deploy_triangular_lattice_network(lat);
+  const std::size_t budget = lattice_net.size();
+
+  const core::DenseGrid grid(20);
+  EXPECT_TRUE(core::grid_all_full_view(lattice_net, grid, theta));
+
+  // Same camera count, same hardware, random placement.
+  sim::TrialConfig cfg{HeterogeneousProfile::homogeneous(lat.radius, fov), budget, theta,
+                       sim::Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 20;
+  const auto est = sim::estimate_grid_events(cfg, 20, 51, 4);
+  EXPECT_LT(est.full_view.p(), 1.0);  // random deployment is not guaranteed
+}
+
+TEST(EndToEnd, PhaseScanShowsTheGap) {
+  // Section VI-C: between the necessary and sufficient CSA the outcome is
+  // deployment-dependent — the success probability is strictly inside (0,1)
+  // somewhere in the band, while the extremes are near-deterministic.
+  sim::PhaseScanConfig scan;
+  scan.base = sim::TrialConfig{HeterogeneousProfile::homogeneous(0.2, 2.0), 300,
+                               kHalfPi, sim::Deployment::kUniform, std::nullopt};
+  scan.q_values = {0.3, 1.0, 1.6, 2.2, 5.0};
+  scan.trials = 30;
+  scan.master_seed = 61;
+  scan.threads = 4;
+  const auto points = sim::run_phase_scan(scan);
+  // Extremes.
+  EXPECT_LT(points.front().events.necessary.p(), 0.25);
+  EXPECT_GT(points.back().events.full_view.p(), 0.75);
+  // Monotone trend of the full-view event along q.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].events.full_view.p() + 0.15,
+              points[i - 1].events.full_view.p());
+  }
+}
+
+TEST(EndToEnd, WangCaoBoundIsConservative) {
+  // The Wang-Cao-style union bound must never exceed the simulated
+  // probability of the sufficient-condition event.
+  const std::size_t n = 400;
+  const double theta = kHalfPi;
+  const auto profile = HeterogeneousProfile::homogeneous(0.25, 2.0);
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kUniform, std::nullopt};
+  const double m = static_cast<double>(cfg.grid().size());
+  const double bound = analysis::grid_full_view_lower_bound(profile, n, theta, m);
+  const auto est = sim::estimate_grid_events(cfg, 25, 71, 4);
+  EXPECT_LE(bound, est.sufficient.p() + 0.1);
+}
+
+}  // namespace
+}  // namespace fvc

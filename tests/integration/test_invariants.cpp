@@ -1,0 +1,200 @@
+/// Property suite over whole deployed networks, checking the paper's
+/// structural invariants (DESIGN.md Section 6) on realistic inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/torus.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc {
+namespace {
+
+using core::Camera;
+using core::HeterogeneousProfile;
+using core::Network;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+using geom::Vec2;
+
+/// Parameterized over the effective angle theta.
+class NetworkInvariants : public ::testing::TestWithParam<double> {
+ protected:
+  [[nodiscard]] static Network random_network(std::uint64_t seed, std::size_t n,
+                                              double radius, double fov) {
+    stats::Pcg32 rng(seed);
+    return deploy::deploy_uniform_network(HeterogeneousProfile::homogeneous(radius, fov),
+                                          n, rng);
+  }
+};
+
+TEST_P(NetworkInvariants, PredicateNestingAtRandomPoints) {
+  const double theta = GetParam();
+  const Network net = random_network(100 + static_cast<std::uint64_t>(theta * 100), 200,
+                                     0.25, 2.0);
+  stats::Pcg32 rng(55);
+  for (int q = 0; q < 300; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const bool suf = core::meets_sufficient_condition(net, p, theta);
+    const bool fv = core::full_view_covered(net, p, theta).covered;
+    const bool nec = core::meets_necessary_condition(net, p, theta);
+    if (suf) {
+      EXPECT_TRUE(fv) << "theta=" << theta;
+    }
+    if (fv) {
+      EXPECT_TRUE(nec) << "theta=" << theta;
+    }
+    // Full view implies k-coverage with k = ceil(pi/theta) (Section VII-B).
+    if (fv) {
+      EXPECT_TRUE(core::k_covered(net, p, core::implied_k(theta))) << "theta=" << theta;
+    }
+    // Necessary condition implies 1-coverage.
+    if (nec) {
+      EXPECT_TRUE(net.is_covered(p)) << "theta=" << theta;
+    }
+  }
+}
+
+TEST_P(NetworkInvariants, AddingACameraNeverDestroysCoverage) {
+  const double theta = GetParam();
+  stats::Pcg32 rng(77);
+  const auto profile = HeterogeneousProfile::homogeneous(0.3, 2.5);
+  std::vector<Camera> cams = deploy::deploy_uniform(profile, 150, rng);
+  const Network before(cams);
+  Camera extra;
+  extra.position = {stats::uniform01(rng), stats::uniform01(rng)};
+  extra.orientation = stats::uniform_in(rng, 0.0, kTwoPi);
+  extra.radius = 0.3;
+  extra.fov = 2.5;
+  cams.push_back(extra);
+  const Network after(std::move(cams));
+  for (int q = 0; q < 150; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    if (core::full_view_covered(before, p, theta).covered) {
+      EXPECT_TRUE(core::full_view_covered(after, p, theta).covered);
+    }
+    if (core::meets_necessary_condition(before, p, theta)) {
+      EXPECT_TRUE(core::meets_necessary_condition(after, p, theta));
+    }
+    if (core::meets_sufficient_condition(before, p, theta)) {
+      EXPECT_TRUE(core::meets_sufficient_condition(after, p, theta));
+    }
+  }
+}
+
+TEST_P(NetworkInvariants, TorusTranslationInvariance) {
+  const double theta = GetParam();
+  stats::Pcg32 rng(88);
+  const auto profile = HeterogeneousProfile::homogeneous(0.25, 2.0);
+  const std::vector<Camera> cams = deploy::deploy_uniform(profile, 120, rng);
+  const Vec2 shift{0.371, 0.642};
+  std::vector<Camera> shifted = cams;
+  for (Camera& cam : shifted) {
+    cam.position = geom::UnitTorus::wrap(cam.position + shift);
+  }
+  const Network a(cams);
+  const Network b(std::move(shifted));
+  for (int q = 0; q < 200; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const Vec2 p_shifted = geom::UnitTorus::wrap(p + shift);
+    EXPECT_EQ(core::full_view_covered(a, p, theta).covered,
+              core::full_view_covered(b, p_shifted, theta).covered);
+    EXPECT_EQ(core::meets_necessary_condition(a, p, theta),
+              core::meets_necessary_condition(b, p_shifted, theta));
+    EXPECT_EQ(a.coverage_degree(p), b.coverage_degree(p_shifted));
+  }
+}
+
+TEST_P(NetworkInvariants, GrowingRadiusPreservesCoverage) {
+  const double theta = GetParam();
+  stats::Pcg32 rng(99);
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, 2.0);
+  std::vector<Camera> cams = deploy::deploy_uniform(profile, 150, rng);
+  const Network small(cams);
+  for (Camera& cam : cams) {
+    cam.radius *= 1.5;
+  }
+  const Network large(std::move(cams));
+  for (int q = 0; q < 150; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    if (core::full_view_covered(small, p, theta).covered) {
+      EXPECT_TRUE(core::full_view_covered(large, p, theta).covered);
+    }
+  }
+}
+
+TEST_P(NetworkInvariants, GrowingFovPreservesCoverage) {
+  const double theta = GetParam();
+  stats::Pcg32 rng(111);
+  const auto profile = HeterogeneousProfile::homogeneous(0.25, 1.2);
+  std::vector<Camera> cams = deploy::deploy_uniform(profile, 150, rng);
+  const Network narrow(cams);
+  for (Camera& cam : cams) {
+    cam.fov = std::min(cam.fov * 1.8, kTwoPi);
+  }
+  const Network wide(std::move(cams));
+  for (int q = 0; q < 150; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    if (core::full_view_covered(narrow, p, theta).covered) {
+      EXPECT_TRUE(core::full_view_covered(wide, p, theta).covered);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaSweep, NetworkInvariants,
+                         ::testing::Values(0.35, kHalfPi / 2.0, 1.0, kHalfPi,
+                                           2.0, kPi));
+
+TEST(ThetaPiDegeneration, NecessaryConditionIsExactlyOneCoverage) {
+  stats::Pcg32 rng(13);
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, 1.5);
+  const Network net = deploy::deploy_uniform_network(profile, 150, rng);
+  for (int q = 0; q < 500; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_EQ(core::meets_necessary_condition(net, p, kPi), net.is_covered(p));
+    // ...and exact full view at theta = pi is also 1-coverage.
+    EXPECT_EQ(core::full_view_covered(net, p, kPi).covered, net.is_covered(p));
+  }
+}
+
+/// Section VI-A, deployment level: matched-seed deployments from two
+/// equal-area designs have identical per-point coverage STATISTICS (not
+/// identical realizations).  Checked via close coverage fractions on a
+/// large sample.
+TEST(AreaEquivalence, EqualAreaDesignsStatisticallyIndistinguishable) {
+  const double s = 0.02;
+  struct Design {
+    double radius;
+    double fov;
+  };
+  const Design wide{std::sqrt(2.0 * s / 3.0), 3.0};
+  const Design narrow{std::sqrt(2.0 * s / 0.6), 0.6};
+  const double theta = kHalfPi;
+  const std::size_t n = 300;
+  const int trials = 60;
+  auto fraction = [&](const Design& d, std::uint64_t seed_base) {
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      stats::Pcg32 rng(seed_base + static_cast<std::uint64_t>(t));
+      const Network net = deploy::deploy_uniform_network(
+          HeterogeneousProfile::homogeneous(d.radius, d.fov), n, rng);
+      const core::DenseGrid grid(12);
+      total += core::evaluate_region(net, grid, theta).fraction_necessary();
+    }
+    return total / trials;
+  };
+  const double f_wide = fraction(wide, 1000);
+  const double f_narrow = fraction(narrow, 2000);
+  EXPECT_NEAR(f_wide, f_narrow, 0.05);
+}
+
+}  // namespace
+}  // namespace fvc

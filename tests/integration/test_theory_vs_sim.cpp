@@ -1,0 +1,198 @@
+/// Theory-vs-simulation validation of the paper's probability formulas:
+/// the closed forms of Sections III-V against the Monte-Carlo engine.
+/// These are the finite-n counterparts of the Theorem 1-4 claims.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/analysis/poisson_theory.hpp"
+#include "fvc/analysis/uniform_theory.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/stats/ks_test.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc {
+namespace {
+
+using core::CameraGroupSpec;
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+
+/// (radius, fov, theta, n) tuples chosen so theta divides the circle
+/// cleanly (the sector constructions have no overlapping remainder sector,
+/// making the independence-of-sectors formula exact for Poisson and a good
+/// approximation for uniform).
+using Config = std::tuple<double, double, double, std::size_t>;
+
+class TheoryVsSim : public ::testing::TestWithParam<Config> {};
+
+TEST_P(TheoryVsSim, UniformNecessaryFractionMatchesEquation2) {
+  const auto [radius, fov, theta, n] = GetParam();
+  const auto profile = HeterogeneousProfile::homogeneous(radius, fov);
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 40, 20240601, 4);
+  const double theory = analysis::point_success_necessary(profile, n, theta);
+  const double tol = 3.0 * est.necessary.stderr_mean() + 0.02;
+  EXPECT_NEAR(est.necessary.mean(), theory, tol)
+      << "r=" << radius << " fov=" << fov << " theta=" << theta << " n=" << n;
+}
+
+TEST_P(TheoryVsSim, UniformSufficientFractionMatchesEquation13) {
+  const auto [radius, fov, theta, n] = GetParam();
+  const auto profile = HeterogeneousProfile::homogeneous(radius, fov);
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 40, 20240602, 4);
+  const double theory = analysis::point_success_sufficient(profile, n, theta);
+  const double tol = 3.0 * est.sufficient.stderr_mean() + 0.02;
+  EXPECT_NEAR(est.sufficient.mean(), theory, tol);
+}
+
+TEST_P(TheoryVsSim, PoissonNecessaryFractionMatchesTheorem3) {
+  const auto [radius, fov, theta, n] = GetParam();
+  const auto profile = HeterogeneousProfile::homogeneous(radius, fov);
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kPoisson, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 40, 20240603, 4);
+  const double theory =
+      analysis::prob_point_necessary_poisson(profile, static_cast<double>(n), theta);
+  const double tol = 3.0 * est.necessary.stderr_mean() + 0.02;
+  EXPECT_NEAR(est.necessary.mean(), theory, tol);
+}
+
+TEST_P(TheoryVsSim, PoissonSufficientFractionMatchesTheorem4) {
+  const auto [radius, fov, theta, n] = GetParam();
+  const auto profile = HeterogeneousProfile::homogeneous(radius, fov);
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kPoisson, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 40, 20240604, 4);
+  const double theory =
+      analysis::prob_point_sufficient_poisson(profile, static_cast<double>(n), theta);
+  const double tol = 3.0 * est.sufficient.stderr_mean() + 0.02;
+  EXPECT_NEAR(est.sufficient.mean(), theory, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CleanThetaConfigs, TheoryVsSim,
+    ::testing::Values(Config{0.22, 2.0, kHalfPi, 200},      // k_N=2, k_S=4
+                      Config{0.28, 1.2, kHalfPi, 300},      // narrower fov
+                      Config{0.25, geom::kTwoPi, kHalfPi, 150},  // omnidirectional
+                      Config{0.30, 2.4, kPi / 3.0, 250},    // k_N=3, k_S=6
+                      Config{0.26, 3.0, kPi, 120}));        // degenerate 1-coverage
+
+/// Heterogeneous two-group profile against the heterogeneous closed forms.
+TEST(TheoryVsSimHeterogeneous, TwoGroupUniformNecessary) {
+  const HeterogeneousProfile profile({CameraGroupSpec{0.4, 0.30, 1.2},
+                                      CameraGroupSpec{0.6, 0.20, 2.4}});
+  const std::size_t n = 250;
+  const double theta = kHalfPi;
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 40, 99, 4);
+  const double theory = analysis::point_success_necessary(profile, n, theta);
+  EXPECT_NEAR(est.necessary.mean(), theory, 3.0 * est.necessary.stderr_mean() + 0.02);
+}
+
+TEST(TheoryVsSimHeterogeneous, ThreeGroupPoissonNecessary) {
+  const HeterogeneousProfile profile({CameraGroupSpec{0.2, 0.35, 0.9},
+                                      CameraGroupSpec{0.5, 0.22, 1.8},
+                                      CameraGroupSpec{0.3, 0.15, 3.0}});
+  const std::size_t n = 300;
+  const double theta = kHalfPi;
+  sim::TrialConfig cfg{profile, n, theta, sim::Deployment::kPoisson, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 40, 100, 4);
+  const double theory =
+      analysis::prob_point_necessary_poisson(profile, static_cast<double>(n), theta);
+  EXPECT_NEAR(est.necessary.mean(), theory, 3.0 * est.necessary.stderr_mean() + 0.02);
+}
+
+/// 1-coverage degeneration: the simulated 1-coverage fraction matches
+/// 1 - (1 - s)^n (the classical uniform-coverage formula the paper reduces
+/// to at theta = pi via eq. (19)).
+TEST(OneCoverageDegeneration, FractionMatchesClassicalFormula) {
+  const double radius = 0.2;
+  const double fov = 1.5;
+  const std::size_t n = 200;
+  const auto profile = HeterogeneousProfile::homogeneous(radius, fov);
+  sim::TrialConfig cfg{profile, n, kPi, sim::Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 16;
+  const auto est = sim::estimate_fractions(cfg, 40, 101, 4);
+  const double s = 0.5 * fov * radius * radius;
+  const double theory = 1.0 - std::pow(1.0 - s, static_cast<double>(n));
+  EXPECT_NEAR(est.covered_1.mean(), theory, 3.0 * est.covered_1.stderr_mean() + 0.01);
+  // At theta = pi the necessary-condition fraction IS the coverage fraction.
+  EXPECT_NEAR(est.necessary.mean(), est.covered_1.mean(), 1e-12);
+}
+
+/// The distributional premise behind every probability in the paper (and
+/// behind the exact Stevens mixture): viewed directions of sensors
+/// covering a fixed point are i.i.d. Uniform[0, 2*pi).  Validated with a
+/// Kolmogorov-Smirnov test on pooled covering directions.
+TEST(DistributionalPremises, ViewedDirectionsOfCoveringSensorsAreUniform) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.3, 1.7);
+  const geom::Vec2 target{0.37, 0.61};
+  std::vector<double> pooled;
+  stats::Pcg32 rng(0xD12);
+  for (int trial = 0; trial < 200 && pooled.size() < 3000; ++trial) {
+    const auto net = deploy::deploy_uniform_network(profile, 150, rng);
+    for (double d : net.viewed_directions(target)) {
+      pooled.push_back(d);
+    }
+  }
+  ASSERT_GT(pooled.size(), 500u);
+  EXPECT_TRUE(stats::ks_uniform_ok(pooled, 0.0, geom::kTwoPi, 0.001))
+      << "KS D = " << stats::ks_statistic_uniform(pooled, 0.0, geom::kTwoPi)
+      << " over " << pooled.size() << " directions";
+}
+
+/// ...and deployment coordinates are uniform per axis.
+TEST(DistributionalPremises, DeploymentCoordinatesAreUniform) {
+  const auto profile = HeterogeneousProfile::homogeneous(0.1, 1.0);
+  stats::Pcg32 rng(0xD13);
+  const auto cams = deploy::deploy_uniform(profile, 4000, rng);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& cam : cams) {
+    xs.push_back(cam.position.x);
+    ys.push_back(cam.position.y);
+  }
+  EXPECT_TRUE(stats::ks_uniform_ok(xs, 0.0, 1.0, 0.001));
+  EXPECT_TRUE(stats::ks_uniform_ok(ys, 0.0, 1.0, 0.001));
+}
+
+/// Threshold behaviour (Theorem 1 finite-n shadow): well below the
+/// necessary CSA the grid event fails almost always; well above the
+/// sufficient CSA full-view coverage holds almost always.
+TEST(ThresholdBehaviour, BelowNecessaryFailsAboveSufficientSucceeds) {
+  const std::size_t n = 300;
+  const double theta = kHalfPi;
+  const double fov = 2.0;
+  const double csa_nec = analysis::csa_necessary(static_cast<double>(n), theta);
+  const double csa_suf = analysis::csa_sufficient(static_cast<double>(n), theta);
+
+  auto run_at = [&](double area, std::uint64_t seed) {
+    const double radius = std::sqrt(2.0 * area / fov);
+    sim::TrialConfig cfg{HeterogeneousProfile::homogeneous(radius, fov), n, theta,
+                         sim::Deployment::kUniform, std::nullopt};
+    // Paper-faithful grid (m = n log n) keeps the event definitions honest.
+    return sim::estimate_grid_events(cfg, 30, seed, 4);
+  };
+
+  const auto below = run_at(0.3 * csa_nec, 7001);
+  EXPECT_LT(below.necessary.p(), 0.2);
+
+  const auto above = run_at(4.0 * csa_suf, 7002);
+  EXPECT_GT(above.sufficient.p(), 0.8);
+  EXPECT_GT(above.full_view.p(), 0.8);
+}
+
+}  // namespace
+}  // namespace fvc

@@ -1,0 +1,119 @@
+#include "fvc/io/network_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::io {
+namespace {
+
+using core::Camera;
+using core::HeterogeneousProfile;
+
+std::vector<Camera> sample_cameras() {
+  stats::Pcg32 rng(1);
+  const HeterogeneousProfile profile({core::CameraGroupSpec{0.4, 0.15, 1.2},
+                                      core::CameraGroupSpec{0.6, 0.25, 2.4}});
+  return deploy::deploy_uniform(profile, 37, rng);
+}
+
+TEST(NetworkIo, RoundTripIsBitExact) {
+  const auto cameras = sample_cameras();
+  std::stringstream ss;
+  save_cameras(ss, cameras);
+  const auto loaded = load_cameras(ss);
+  ASSERT_EQ(loaded.size(), cameras.size());
+  for (std::size_t i = 0; i < cameras.size(); ++i) {
+    EXPECT_EQ(loaded[i].position, cameras[i].position) << i;
+    EXPECT_EQ(loaded[i].orientation, cameras[i].orientation) << i;
+    EXPECT_EQ(loaded[i].radius, cameras[i].radius) << i;
+    EXPECT_EQ(loaded[i].fov, cameras[i].fov) << i;
+    EXPECT_EQ(loaded[i].group, cameras[i].group) << i;
+  }
+}
+
+TEST(NetworkIo, EmptyFleetRoundTrips) {
+  std::stringstream ss;
+  save_cameras(ss, {});
+  EXPECT_TRUE(load_cameras(ss).empty());
+}
+
+TEST(NetworkIo, HeaderRequired) {
+  std::stringstream ss("0.5 0.5 0 0.1 1 0\n");
+  EXPECT_THROW((void)load_cameras(ss), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW((void)load_cameras(empty), std::runtime_error);
+  std::stringstream wrong("fvc-cameras v9\n");
+  EXPECT_THROW((void)load_cameras(wrong), std::runtime_error);
+}
+
+TEST(NetworkIo, CommentsAndBlanksSkipped) {
+  std::stringstream ss;
+  ss << kFormatHeader << "\n# comment\n\n0.5 0.5 1.0 0.1 2.0 3\n";
+  const auto loaded = load_cameras(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].group, 3u);
+}
+
+TEST(NetworkIo, MalformedLinesRejected) {
+  {
+    std::stringstream ss;
+    ss << kFormatHeader << "\n0.5 0.5 1.0 0.1\n";  // too few fields
+    EXPECT_THROW((void)load_cameras(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;
+    ss << kFormatHeader << "\n0.5 0.5 1.0 0.1 2.0 3 extra\n";  // trailing token
+    EXPECT_THROW((void)load_cameras(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;
+    ss << kFormatHeader << "\nnot numbers at all\n";
+    EXPECT_THROW((void)load_cameras(ss), std::runtime_error);
+  }
+}
+
+TEST(NetworkIo, InvalidCamerasRejected) {
+  std::stringstream ss;
+  ss << kFormatHeader << "\n0.5 0.5 1.0 -0.1 2.0 0\n";  // negative radius
+  EXPECT_THROW((void)load_cameras(ss), std::runtime_error);
+  std::stringstream ss2;
+  ss2 << kFormatHeader << "\n0.5 0.5 1.0 0.1 9.0 0\n";  // fov > 2*pi
+  EXPECT_THROW((void)load_cameras(ss2), std::runtime_error);
+}
+
+TEST(NetworkIo, FileRoundTrip) {
+  const auto cameras = sample_cameras();
+  const std::string path = "/tmp/fvc_io_test_cameras.txt";
+  save_cameras_file(path, cameras);
+  const auto loaded = load_cameras_file(path);
+  EXPECT_EQ(loaded.size(), cameras.size());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_cameras_file("/tmp/definitely_missing_fvc_file.txt"),
+               std::runtime_error);
+}
+
+TEST(NetworkIo, LoadedFleetBuildsIdenticalNetwork) {
+  const auto cameras = sample_cameras();
+  std::stringstream ss;
+  save_cameras(ss, cameras);
+  const core::Network original(cameras);
+  const core::Network restored(load_cameras(ss));
+  stats::Pcg32 rng(42);
+  for (int q = 0; q < 50; ++q) {
+    const geom::Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_EQ(original.coverage_degree(p), restored.coverage_degree(p));
+  }
+}
+
+}  // namespace
+}  // namespace fvc::io

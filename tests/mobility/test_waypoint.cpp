@@ -1,0 +1,154 @@
+#include "fvc/mobility/waypoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::mobility {
+namespace {
+
+using core::Camera;
+using core::HeterogeneousProfile;
+
+std::vector<Camera> fleet_of(std::size_t n, std::uint64_t seed) {
+  stats::Pcg32 rng(seed);
+  return deploy::deploy_uniform(HeterogeneousProfile::homogeneous(0.2, 2.0), n, rng);
+}
+
+TEST(MobilityConfig, Validation) {
+  MobilityConfig cfg;
+  cfg.speed_min = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.speed_min = 0.2;
+  cfg.speed_max = 0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.speed_max = 0.3;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(WaypointMobility, StepMovesCamerasBoundedBySpeed) {
+  stats::Pcg32 rng(1);
+  MobilityConfig cfg;
+  cfg.speed_min = 0.05;
+  cfg.speed_max = 0.10;
+  WaypointMobility fleet(fleet_of(50, 2), cfg, rng);
+  const auto before = fleet.cameras();
+  const double dt = 0.5;
+  fleet.step(dt, rng);
+  const auto& after = fleet.cameras();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double moved = geom::distance(before[i].position, after[i].position);
+    // Straight-line movement: at most speed_max * dt (waypoint turns can
+    // only shorten the net displacement).
+    EXPECT_LE(moved, cfg.speed_max * dt + 1e-9) << "camera " << i;
+  }
+}
+
+TEST(WaypointMobility, PositionsStayInUnitSquare) {
+  stats::Pcg32 rng(3);
+  MobilityConfig cfg;
+  WaypointMobility fleet(fleet_of(40, 4), cfg, rng);
+  for (int s = 0; s < 50; ++s) {
+    fleet.step(0.3, rng);
+    for (const Camera& cam : fleet.cameras()) {
+      EXPECT_GE(cam.position.x, 0.0);
+      EXPECT_LE(cam.position.x, 1.0);
+      EXPECT_GE(cam.position.y, 0.0);
+      EXPECT_LE(cam.position.y, 1.0);
+    }
+  }
+}
+
+TEST(WaypointMobility, FixedPolicyKeepsOrientations) {
+  stats::Pcg32 rng(5);
+  MobilityConfig cfg;
+  cfg.policy = OrientationPolicy::kFixed;
+  const auto initial = fleet_of(30, 6);
+  WaypointMobility fleet(initial, cfg, rng);
+  for (int s = 0; s < 10; ++s) {
+    fleet.step(0.2, rng);
+  }
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fleet.cameras()[i].orientation, initial[i].orientation);
+  }
+}
+
+TEST(WaypointMobility, AlignPolicyFacesTravel) {
+  stats::Pcg32 rng(7);
+  MobilityConfig cfg;
+  cfg.policy = OrientationPolicy::kAlignWithMotion;
+  WaypointMobility fleet(fleet_of(30, 8), cfg, rng);
+  const auto before = fleet.cameras();
+  fleet.step(0.05, rng);  // short step: no waypoint flips for most cameras
+  const auto& after = fleet.cameras();
+  std::size_t aligned = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const geom::Vec2 motion = after[i].position - before[i].position;
+    if (motion.norm() < 1e-9) {
+      continue;
+    }
+    if (geom::angular_distance(after[i].orientation,
+                               geom::normalize_angle(motion.angle())) < 1e-6) {
+      ++aligned;
+    }
+  }
+  EXPECT_GT(aligned, 25u);
+}
+
+TEST(WaypointMobility, DeterministicGivenSeeds) {
+  MobilityConfig cfg;
+  stats::Pcg32 ra(9);
+  stats::Pcg32 rb(9);
+  WaypointMobility a(fleet_of(20, 10), cfg, ra);
+  WaypointMobility b(fleet_of(20, 10), cfg, rb);
+  for (int s = 0; s < 20; ++s) {
+    a.step(0.25, ra);
+    b.step(0.25, rb);
+  }
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.cameras()[i].position, b.cameras()[i].position);
+  }
+}
+
+TEST(WaypointMobility, StepValidation) {
+  stats::Pcg32 rng(11);
+  WaypointMobility fleet(fleet_of(5, 12), MobilityConfig{}, rng);
+  EXPECT_THROW(fleet.step(0.0, rng), std::invalid_argument);
+  EXPECT_THROW(fleet.step(-1.0, rng), std::invalid_argument);
+}
+
+TEST(SimulateDynamicCoverage, MobilityExpandsEverCoverage) {
+  stats::Pcg32 rng(13);
+  MobilityConfig cfg;
+  cfg.speed_min = 0.1;
+  cfg.speed_max = 0.2;
+  // Deliberately sparse: static coverage is partial.
+  WaypointMobility fleet(fleet_of(60, 14), cfg, rng);
+  const core::DenseGrid grid(12);
+  const DynamicCoverageStats stats =
+      simulate_dynamic_coverage(fleet, grid, geom::kHalfPi, 40, 0.25, rng);
+  EXPECT_EQ(stats.steps, 40u);
+  EXPECT_EQ(stats.grid_points, 144u);
+  EXPECT_GE(stats.ever_fraction, stats.initial_fraction);
+  EXPECT_GE(stats.ever_fraction, stats.mean_instant_fraction - 1e-12);
+  EXPECT_LT(stats.initial_fraction, 1.0);  // truly sparse at t=0
+  EXPECT_GT(stats.ever_fraction, stats.initial_fraction + 0.05);  // mobility pays
+}
+
+TEST(SimulateDynamicCoverage, Validation) {
+  stats::Pcg32 rng(15);
+  WaypointMobility fleet(fleet_of(5, 16), MobilityConfig{}, rng);
+  const core::DenseGrid grid(4);
+  EXPECT_THROW((void)simulate_dynamic_coverage(fleet, grid, geom::kHalfPi, 0, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_dynamic_coverage(fleet, grid, 0.0, 10, 0.1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::mobility

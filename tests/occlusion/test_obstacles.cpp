@@ -1,0 +1,156 @@
+#include "fvc/occlusion/obstacles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/core/full_view.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::occlusion {
+namespace {
+
+using geom::SpaceMode;
+using geom::Vec2;
+
+TEST(PointSegmentDistance, Basics) {
+  // Perpendicular foot inside the segment.
+  EXPECT_NEAR(point_segment_distance({0.5, 1.0}, {0.0, 0.0}, {1.0, 0.0}), 1.0, 1e-12);
+  // Foot beyond the ends: distance to the nearer endpoint.
+  EXPECT_NEAR(point_segment_distance({2.0, 1.0}, {0.0, 0.0}, {1.0, 0.0}),
+              std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(point_segment_distance({-1.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}), 1.0, 1e-12);
+  // Point on the segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({0.3, 0.0}, {0.0, 0.0}, {1.0, 0.0}), 0.0);
+  // Degenerate segment.
+  EXPECT_NEAR(point_segment_distance({1.0, 1.0}, {0.0, 0.0}, {0.0, 0.0}),
+              std::sqrt(2.0), 1e-12);
+}
+
+TEST(ObstacleField, Validation) {
+  EXPECT_THROW(ObstacleField({Disc{{0.5, 0.5}, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(ObstacleField({Disc{{0.5, 0.5}, -0.1}}), std::invalid_argument);
+  EXPECT_NO_THROW(ObstacleField({Disc{{0.5, 0.5}, 0.1}}));
+}
+
+TEST(ObstacleField, RandomGeneration) {
+  stats::Pcg32 rng(1);
+  const ObstacleField field = ObstacleField::random(20, 0.03, rng);
+  EXPECT_EQ(field.size(), 20u);
+  EXPECT_NEAR(field.total_area(), 20.0 * geom::kPi * 0.03 * 0.03, 1e-12);
+  for (const Disc& d : field.discs()) {
+    EXPECT_GE(d.center.x, 0.0);
+    EXPECT_LT(d.center.x, 1.0);
+  }
+}
+
+TEST(Blocks, DirectHit) {
+  const ObstacleField field({Disc{{0.5, 0.5}, 0.05}});
+  // Sight line straight through the centre.
+  EXPECT_TRUE(field.blocks({0.3, 0.5}, {0.7, 0.5}, SpaceMode::kPlane));
+  // Sight line passing well clear.
+  EXPECT_FALSE(field.blocks({0.3, 0.7}, {0.7, 0.7}, SpaceMode::kPlane));
+  // Grazing at exactly the radius does NOT block (open interior).
+  EXPECT_FALSE(field.blocks({0.3, 0.55}, {0.7, 0.55}, SpaceMode::kPlane));
+  EXPECT_TRUE(field.blocks({0.3, 0.549}, {0.7, 0.549}, SpaceMode::kPlane));
+}
+
+TEST(Blocks, SegmentEndingBeforeObstacle) {
+  const ObstacleField field({Disc{{0.5, 0.5}, 0.05}});
+  EXPECT_FALSE(field.blocks({0.2, 0.5}, {0.4, 0.5}, SpaceMode::kPlane));
+}
+
+TEST(Blocks, TorusWrapSightLine) {
+  const ObstacleField field({Disc{{0.0, 0.5}, 0.04}});  // obstacle on the seam
+  // Torus sight line from 0.9 to 0.1 crosses the seam at x ~ 0 and hits it.
+  EXPECT_TRUE(field.blocks({0.9, 0.5}, {0.1, 0.5}, SpaceMode::kTorus));
+  // Plane sight line goes the long way through the middle: misses it.
+  EXPECT_FALSE(field.blocks({0.9, 0.5}, {0.1, 0.5}, SpaceMode::kPlane));
+}
+
+TEST(Blocks, EmptyFieldNeverBlocks) {
+  const ObstacleField field;
+  EXPECT_FALSE(field.blocks({0.0, 0.0}, {1.0, 1.0}));
+}
+
+TEST(CoversWithOcclusion, RequiresBothPredicates) {
+  core::Camera cam;
+  cam.position = {0.3, 0.5};
+  cam.orientation = 0.0;
+  cam.radius = 0.4;
+  cam.fov = geom::kHalfPi;
+  const ObstacleField field({Disc{{0.45, 0.5}, 0.03}});
+  const Vec2 behind_wall{0.6, 0.5};
+  ASSERT_TRUE(core::covers(cam, behind_wall));
+  EXPECT_FALSE(covers_with_occlusion(cam, behind_wall, field));
+  const Vec2 clear{0.5, 0.62};
+  ASSERT_TRUE(core::covers(cam, clear));
+  EXPECT_TRUE(covers_with_occlusion(cam, clear, field));
+  const Vec2 outside{0.8, 0.5};
+  EXPECT_FALSE(covers_with_occlusion(cam, outside, field));
+}
+
+TEST(ViewedDirectionsWithOcclusion, SubsetOfUnoccluded) {
+  stats::Pcg32 rng(2);
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.25, 2.0);
+  const core::Network net = deploy::deploy_uniform_network(profile, 200, rng);
+  const ObstacleField field = ObstacleField::random(15, 0.04, rng);
+  for (int q = 0; q < 60; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const auto with = viewed_directions_with_occlusion(net, p, field);
+    const auto without = net.viewed_directions(p);
+    EXPECT_LE(with.size(), without.size());
+    // Every occluded-visible direction is also visible without obstacles.
+    for (double d : with) {
+      bool found = false;
+      for (double e : without) {
+        if (std::abs(d - e) < 1e-12) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(ViewedDirectionsWithOcclusion, EmptyFieldMatchesNetwork) {
+  stats::Pcg32 rng(3);
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.2, 1.5);
+  const core::Network net = deploy::deploy_uniform_network(profile, 100, rng);
+  const ObstacleField field;
+  for (int q = 0; q < 30; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    EXPECT_EQ(viewed_directions_with_occlusion(net, p, field).size(),
+              net.viewed_directions(p).size());
+  }
+}
+
+TEST(Occlusion, ObstaclesOnlyReduceFullViewCoverage) {
+  stats::Pcg32 rng(4);
+  const auto profile = core::HeterogeneousProfile::homogeneous(0.25, 2.5);
+  const core::Network net = deploy::deploy_uniform_network(profile, 250, rng);
+  const ObstacleField field = ObstacleField::random(25, 0.05, rng);
+  const double theta = geom::kHalfPi;
+  int with_count = 0;
+  int without_count = 0;
+  for (int q = 0; q < 200; ++q) {
+    const Vec2 p{stats::uniform01(rng), stats::uniform01(rng)};
+    const auto with = viewed_directions_with_occlusion(net, p, field);
+    const bool covered_with = core::full_view_covered(with, theta).covered;
+    const bool covered_without = core::full_view_covered(net, p, theta).covered;
+    with_count += covered_with ? 1 : 0;
+    without_count += covered_without ? 1 : 0;
+    if (covered_with) {
+      EXPECT_TRUE(covered_without);  // occlusion can only remove sensors
+    }
+  }
+  EXPECT_LE(with_count, without_count);
+}
+
+}  // namespace
+}  // namespace fvc::occlusion

@@ -1,0 +1,121 @@
+#include "fvc/opt/orient_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::opt {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+
+AimConfig config() {
+  AimConfig cfg;
+  cfg.theta = kHalfPi;
+  cfg.candidates = 12;
+  cfg.max_sweeps = 6;
+  return cfg;
+}
+
+core::Network random_net(std::size_t n, double radius, double fov, std::uint64_t seed) {
+  stats::Pcg32 rng(seed);
+  return deploy::deploy_uniform_network(HeterogeneousProfile::homogeneous(radius, fov), n,
+                                        rng);
+}
+
+TEST(AimConfig, Validation) {
+  AimConfig cfg = config();
+  cfg.theta = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = config();
+  cfg.candidates = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = config();
+  cfg.max_sweeps = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(config().validate());
+}
+
+TEST(OptimizeOrientations, EmptyNetwork) {
+  const AimResult r = optimize_orientations(core::Network(), core::DenseGrid(6), config());
+  EXPECT_TRUE(r.cameras.empty());
+  EXPECT_EQ(r.initial_covered, 0u);
+  EXPECT_EQ(r.final_covered, 0u);
+}
+
+TEST(OptimizeOrientations, NeverWorsensCoverage) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const core::Network net = random_net(120, 0.2, 1.2, seed);
+    const core::DenseGrid grid(12);
+    const AimResult r = optimize_orientations(net, grid, config());
+    EXPECT_GE(r.final_covered, r.initial_covered) << "seed=" << seed;
+  }
+}
+
+TEST(OptimizeOrientations, ImprovesAMarginalFleet) {
+  // Narrow lenses with random aim waste most of their field of view;
+  // coordinate ascent must find real improvements.
+  const core::Network net = random_net(150, 0.22, 1.0, 42);
+  const core::DenseGrid grid(12);
+  const AimResult r = optimize_orientations(net, grid, config());
+  EXPECT_GT(r.final_covered, r.initial_covered);
+  EXPECT_GT(r.reorientations, 0u);
+  EXPECT_GE(r.sweeps_used, 1u);
+}
+
+TEST(OptimizeOrientations, ResultNetworkMatchesReportedScore) {
+  const core::Network net = random_net(100, 0.25, 1.5, 7);
+  const core::DenseGrid grid(10);
+  const AimConfig cfg = config();
+  const AimResult r = optimize_orientations(net, grid, cfg);
+  const core::Network aimed(r.cameras);
+  std::size_t covered = 0;
+  std::vector<double> dirs;
+  grid.for_each([&](std::size_t, const geom::Vec2& p) {
+    aimed.viewed_directions_into(p, dirs);
+    covered += core::full_view_covered(dirs, cfg.theta).covered ? 1 : 0;
+  });
+  EXPECT_EQ(covered, r.final_covered);
+}
+
+TEST(OptimizeOrientations, OnlyOrientationsChange) {
+  const core::Network net = random_net(80, 0.2, 1.2, 9);
+  const AimResult r = optimize_orientations(net, core::DenseGrid(10), config());
+  ASSERT_EQ(r.cameras.size(), net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(r.cameras[i].position, net.camera(i).position);
+    EXPECT_EQ(r.cameras[i].radius, net.camera(i).radius);
+    EXPECT_EQ(r.cameras[i].fov, net.camera(i).fov);
+  }
+}
+
+TEST(OptimizeOrientations, Deterministic) {
+  const core::Network net = random_net(90, 0.2, 1.2, 11);
+  const core::DenseGrid grid(10);
+  const AimResult a = optimize_orientations(net, grid, config());
+  const AimResult b = optimize_orientations(net, grid, config());
+  EXPECT_EQ(a.final_covered, b.final_covered);
+  EXPECT_EQ(a.reorientations, b.reorientations);
+  for (std::size_t i = 0; i < a.cameras.size(); ++i) {
+    EXPECT_EQ(a.cameras[i].orientation, b.cameras[i].orientation);
+  }
+}
+
+TEST(OptimizeOrientations, OmnidirectionalFleetIsAlreadyOptimal) {
+  // fov = 2*pi: orientation is irrelevant, so no re-aim can help and the
+  // sweep converges immediately.
+  const core::Network net = random_net(100, 0.25, geom::kTwoPi, 13);
+  const AimResult r = optimize_orientations(net, core::DenseGrid(10), config());
+  EXPECT_EQ(r.final_covered, r.initial_covered);
+  EXPECT_EQ(r.reorientations, 0u);
+  EXPECT_EQ(r.sweeps_used, 1u);
+}
+
+}  // namespace
+}  // namespace fvc::opt

@@ -1,0 +1,81 @@
+#include "fvc/report/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fvc::report {
+namespace {
+
+TEST(CoverageMap, ConstructionValidation) {
+  EXPECT_THROW(CoverageMap(0, [](const geom::Vec2&) { return 0.0; }),
+               std::invalid_argument);
+}
+
+TEST(CoverageMap, SamplesCellCenters) {
+  const CoverageMap map(4, [](const geom::Vec2& p) { return p.x; });
+  EXPECT_EQ(map.side(), 4u);
+  EXPECT_DOUBLE_EQ(map.value(0, 0), 0.125);
+  EXPECT_DOUBLE_EQ(map.value(0, 3), 0.875);
+  EXPECT_DOUBLE_EQ(map.value(3, 1), 0.375);  // value depends on x only
+}
+
+TEST(CoverageMap, MinMaxTracked) {
+  const CoverageMap map(8, [](const geom::Vec2& p) { return p.x + p.y; });
+  EXPECT_NEAR(map.min_value(), 0.0625 + 0.0625, 1e-12);
+  EXPECT_NEAR(map.max_value(), 0.9375 + 0.9375, 1e-12);
+}
+
+TEST(CoverageMap, ValueBoundsChecked) {
+  const CoverageMap map(3, [](const geom::Vec2&) { return 1.0; });
+  EXPECT_THROW((void)map.value(3, 0), std::out_of_range);
+  EXPECT_THROW((void)map.value(0, 3), std::out_of_range);
+}
+
+TEST(CoverageMap, AsciiDimensionsAndRamp) {
+  const CoverageMap map(5, [](const geom::Vec2& p) { return p.y; });
+  std::ostringstream ss;
+  map.render_ascii(ss);
+  const std::string out = ss.str();
+  // 5 lines of 5 characters.
+  ASSERT_EQ(out.size(), 5u * 6u);
+  // Top line (y near 1) is the brightest character, bottom the darkest.
+  EXPECT_EQ(out[0], '@');
+  EXPECT_EQ(out[4 * 6], ' ');
+}
+
+TEST(CoverageMap, ConstantFieldRendering) {
+  const CoverageMap ones(3, [](const geom::Vec2&) { return 1.0; });
+  std::ostringstream s1;
+  ones.render_ascii(s1);
+  EXPECT_EQ(s1.str().find(' '), std::string::npos);
+  const CoverageMap zeros(3, [](const geom::Vec2&) { return 0.0; });
+  std::ostringstream s0;
+  zeros.render_ascii(s0);
+  EXPECT_EQ(s0.str(), "   \n   \n   \n");
+}
+
+TEST(CoverageMap, PpmHeaderAndSize) {
+  const CoverageMap map(6, [](const geom::Vec2& p) { return p.x; });
+  std::ostringstream ss;
+  map.write_ppm(ss);
+  const std::string out = ss.str();
+  EXPECT_EQ(out.rfind("P6\n6 6\n255\n", 0), 0u);
+  // Header + 6*6 RGB triples.
+  EXPECT_EQ(out.size(), std::string("P6\n6 6\n255\n").size() + 6u * 6u * 3u);
+}
+
+TEST(CoverageMap, PpmGrayscaleMonotone) {
+  const CoverageMap map(2, [](const geom::Vec2& p) { return p.x; });
+  std::ostringstream ss;
+  map.write_ppm(ss);
+  const std::string out = ss.str();
+  const std::size_t header = std::string("P6\n2 2\n255\n").size();
+  const auto left = static_cast<unsigned char>(out[header]);
+  const auto right = static_cast<unsigned char>(out[header + 3]);
+  EXPECT_LT(left, right);
+}
+
+}  // namespace
+}  // namespace fvc::report

@@ -1,0 +1,52 @@
+#include "fvc/report/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fvc::report {
+namespace {
+
+TEST(SeriesSet, EmptyWritesNothing) {
+  SeriesSet s;
+  std::ostringstream ss;
+  s.write_csv(ss);
+  EXPECT_TRUE(ss.str().empty());
+  EXPECT_EQ(s.length(), 0u);
+}
+
+TEST(SeriesSet, BasicCsv) {
+  SeriesSet s;
+  s.add_column("x", {1.0, 2.0});
+  s.add_column("y", {0.5, 0.25});
+  EXPECT_EQ(s.columns(), 2u);
+  EXPECT_EQ(s.length(), 2u);
+  std::ostringstream ss;
+  s.write_csv(ss);
+  EXPECT_EQ(ss.str(), "x,y\n1,0.5\n2,0.25\n");
+}
+
+TEST(SeriesSet, RaggedColumnsThrow) {
+  SeriesSet s;
+  s.add_column("x", {1.0, 2.0});
+  s.add_column("y", {0.5});
+  std::ostringstream ss;
+  EXPECT_THROW(s.write_csv(ss), std::logic_error);
+}
+
+TEST(SeriesSet, EmptyNameRejected) {
+  SeriesSet s;
+  EXPECT_THROW(s.add_column("", {1.0}), std::invalid_argument);
+}
+
+TEST(SeriesSet, HighPrecisionValues) {
+  SeriesSet s;
+  s.add_column("v", {0.1234567891});
+  std::ostringstream ss;
+  s.write_csv(ss);
+  EXPECT_NE(ss.str().find("0.1234567891"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fvc::report

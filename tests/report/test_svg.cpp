@@ -1,0 +1,141 @@
+#include "fvc/report/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::report {
+namespace {
+
+std::string render(const SvgCanvas& canvas) {
+  std::ostringstream ss;
+  canvas.write(ss);
+  return ss.str();
+}
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgCanvas, Validation) {
+  EXPECT_THROW(SvgCanvas(0.0), std::invalid_argument);
+  EXPECT_THROW(SvgCanvas(-5.0), std::invalid_argument);
+}
+
+TEST(SvgCanvas, EmptyDocumentWellFormed) {
+  const std::string out = render(SvgCanvas(100.0));
+  EXPECT_EQ(out.rfind("<svg ", 0), 0u);
+  EXPECT_NE(out.find("width=\"100\""), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgCanvas, CircleMappingFlipsY) {
+  SvgCanvas canvas(100.0);
+  canvas.circle({0.25, 0.75}, 0.1, "#ff0000");
+  const std::string out = render(canvas);
+  // x = 0.25 -> 25px; y = 0.75 -> (1-0.75)*100 = 25px; r = 10px.
+  EXPECT_NE(out.find("cx=\"25.00\""), std::string::npos);
+  EXPECT_NE(out.find("cy=\"25.00\""), std::string::npos);
+  EXPECT_NE(out.find("r=\"10.00\""), std::string::npos);
+  EXPECT_EQ(canvas.element_count(), 1u);
+}
+
+TEST(SvgCanvas, SectorEmitsPathOrFullCircle) {
+  SvgCanvas canvas(100.0);
+  canvas.sector({0.5, 0.5}, 0.2, 0.0, geom::kHalfPi, "#00ff00");
+  canvas.sector({0.5, 0.5}, 0.2, 0.0, geom::kTwoPi, "#0000ff");  // full disc
+  const std::string out = render(canvas);
+  EXPECT_EQ(count_of(out, "<path "), 1u);
+  EXPECT_EQ(count_of(out, "<circle "), 1u);
+}
+
+TEST(SvgCanvas, LargeArcFlag) {
+  SvgCanvas small(100.0);
+  small.sector({0.5, 0.5}, 0.2, 0.0, 1.0, "#000000");
+  EXPECT_NE(render(small).find(" 0 0 0 "), std::string::npos);  // small arc
+  SvgCanvas large(100.0);
+  large.sector({0.5, 0.5}, 0.2, 0.0, 4.0, "#000000");
+  EXPECT_NE(render(large).find(" 0 1 0 "), std::string::npos);  // large arc
+}
+
+TEST(SvgCanvas, PolylineNeedsTwoPoints) {
+  SvgCanvas canvas(100.0);
+  canvas.polyline({{0.1, 0.1}}, "#000000");
+  EXPECT_EQ(canvas.element_count(), 0u);
+  canvas.polyline({{0.1, 0.1}, {0.9, 0.9}, {0.5, 0.2}}, "#000000");
+  EXPECT_EQ(canvas.element_count(), 1u);
+  EXPECT_NE(render(canvas).find("<polyline "), std::string::npos);
+}
+
+TEST(SvgCanvas, RectNormalizesCorners) {
+  SvgCanvas canvas(100.0);
+  canvas.rect({0.8, 0.9}, {0.2, 0.1}, "#cccccc");
+  const std::string out = render(canvas);
+  EXPECT_NE(out.find("x=\"20.00\""), std::string::npos);
+  EXPECT_NE(out.find("width=\"60.00\""), std::string::npos);
+  EXPECT_NE(out.find("height=\"80.00\""), std::string::npos);
+}
+
+TEST(SvgCanvas, TextEscapesXml) {
+  SvgCanvas canvas(100.0);
+  canvas.text({0.5, 0.5}, "a < b & c > d");
+  const std::string out = render(canvas);
+  EXPECT_NE(out.find("a &lt; b &amp; c &gt; d"), std::string::npos);
+  EXPECT_EQ(out.find("a < b"), std::string::npos);
+}
+
+TEST(RenderNetworkSvg, DrawsSectorsAndPositions) {
+  stats::Pcg32 rng(1);
+  const auto net = deploy::deploy_uniform_network(
+      core::HeterogeneousProfile::homogeneous(0.15, 1.5), 20, rng);
+  std::ostringstream ss;
+  NetworkSvgOptions opts;
+  render_network_svg(ss, net, opts);
+  const std::string out = ss.str();
+  // 20 sector paths + 20 position dots + background rect.
+  EXPECT_EQ(count_of(out, "<path "), 20u);
+  EXPECT_EQ(count_of(out, "<circle "), 20u);
+  EXPECT_EQ(count_of(out, "<rect "), 1u);
+}
+
+TEST(RenderNetworkSvg, HoleMarkersForSparseFleet) {
+  stats::Pcg32 rng(2);
+  const auto net = deploy::deploy_uniform_network(
+      core::HeterogeneousProfile::homogeneous(0.05, 1.0), 10, rng);
+  std::ostringstream ss;
+  NetworkSvgOptions opts;
+  opts.draw_sectors = false;
+  opts.draw_positions = false;
+  opts.hole_theta = geom::kHalfPi;
+  opts.hole_grid_side = 8;
+  render_network_svg(ss, net, opts);
+  // Essentially every one of the 64 audit points is a hole.
+  EXPECT_GE(count_of(ss.str(), "<circle "), 60u);
+}
+
+TEST(RenderNetworkSvg, DenseFleetHasNoHoles) {
+  stats::Pcg32 rng(3);
+  const auto net = deploy::deploy_uniform_network(
+      core::HeterogeneousProfile::homogeneous(0.45, geom::kTwoPi), 400, rng);
+  std::ostringstream ss;
+  NetworkSvgOptions opts;
+  opts.draw_sectors = false;
+  opts.draw_positions = false;
+  opts.hole_theta = geom::kHalfPi;
+  opts.hole_grid_side = 8;
+  render_network_svg(ss, net, opts);
+  EXPECT_EQ(count_of(ss.str(), "<circle "), 0u);
+}
+
+}  // namespace
+}  // namespace fvc::report

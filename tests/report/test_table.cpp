@@ -1,0 +1,68 @@
+#include "fvc/report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fvc::report {
+namespace {
+
+TEST(Table, ConstructionValidation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  EXPECT_NO_THROW(Table({"a"}));
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, PrintLayout) {
+  Table t({"n", "csa"});
+  t.add_row({"100", "0.5"});
+  t.add_row({"100000", "0.001"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  // Header, rule and two rows.
+  EXPECT_NE(out.find("|      n |   csa |"), std::string::npos);
+  EXPECT_NE(out.find("| 100000 | 0.001 |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.23456, 4), "1.2346");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(FmtSci, Scientific) {
+  const std::string s = fmt_sci(0.000123, 2);
+  EXPECT_NE(s.find("1.23e-04"), std::string::npos);
+}
+
+TEST(FmtCi, Layout) {
+  EXPECT_EQ(fmt_ci(0.5, 0.4, 0.6, 2), "0.50 [0.40, 0.60]");
+}
+
+TEST(FmtInterval, Layout) {
+  EXPECT_EQ(fmt_interval(0.25, 0.75, 2), "[0.25, 0.75]");
+}
+
+TEST(FmtPoint, Layout) {
+  EXPECT_EQ(fmt_point(0.1, 0.9, 1), "(0.1, 0.9)");
+}
+
+TEST(FmtSigned, AlwaysShowsSign) {
+  EXPECT_EQ(fmt_signed(0.125, 3), "+0.125");
+  EXPECT_EQ(fmt_signed(-0.5, 2), "-0.50");
+  EXPECT_EQ(fmt_signed(0.0, 1), "+0.0");
+}
+
+}  // namespace
+}  // namespace fvc::report

@@ -1,0 +1,116 @@
+#include "fvc/sim/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::sim {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+
+TrialConfig trial_config(double radius) {
+  TrialConfig cfg{HeterogeneousProfile::homogeneous(radius, 2.5), 120, kHalfPi,
+                  Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 8;
+  return cfg;
+}
+
+AdaptiveConfig adaptive_config() {
+  AdaptiveConfig cfg;
+  cfg.max_ci_width = 0.25;
+  cfg.batch = 10;
+  cfg.min_trials = 10;
+  cfg.max_trials = 400;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(AdaptiveConfig, Validation) {
+  AdaptiveConfig cfg = adaptive_config();
+  cfg.max_ci_width = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = adaptive_config();
+  cfg.max_ci_width = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = adaptive_config();
+  cfg.batch = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = adaptive_config();
+  cfg.min_trials = 100;
+  cfg.max_trials = 50;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(adaptive_config().validate());
+}
+
+TEST(EstimateEventsAdaptive, ObviousCasesStopEarly) {
+  // A saturated fleet: every trial succeeds, the CI tightens fast.
+  const AdaptiveEstimate r =
+      estimate_events_adaptive(trial_config(0.45), adaptive_config(), 1);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.trials_used, 100u);
+  EXPECT_EQ(r.events.full_view.successes, r.events.full_view.trials);
+}
+
+TEST(EstimateEventsAdaptive, HopelessCasesStopEarlyToo) {
+  const AdaptiveEstimate r =
+      estimate_events_adaptive(trial_config(0.03), adaptive_config(), 2);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.trials_used, 100u);
+  EXPECT_EQ(r.events.full_view.successes, 0u);
+}
+
+TEST(EstimateEventsAdaptive, MidBandUsesMoreTrials) {
+  // Dial the radius so P(full view) sits mid-range: the CI narrows slowly.
+  AdaptiveConfig cfg = adaptive_config();
+  cfg.max_ci_width = 0.15;
+  // Find a mid-band radius by a coarse scan (deterministic).
+  double mid_radius = 0.15;
+  for (double r = 0.1; r <= 0.3; r += 0.02) {
+    const auto probe = estimate_events_adaptive(trial_config(r), adaptive_config(), 3);
+    const double p = probe.events.full_view.p();
+    if (p > 0.25 && p < 0.75) {
+      mid_radius = r;
+      break;
+    }
+  }
+  const AdaptiveEstimate obvious =
+      estimate_events_adaptive(trial_config(0.45), cfg, 4);
+  const AdaptiveEstimate mid =
+      estimate_events_adaptive(trial_config(mid_radius), cfg, 4);
+  EXPECT_GT(mid.trials_used, obvious.trials_used);
+}
+
+TEST(EstimateEventsAdaptive, RespectsTrialCap) {
+  AdaptiveConfig cfg = adaptive_config();
+  cfg.max_ci_width = 0.001;  // unreachable with 60 trials
+  cfg.max_trials = 60;
+  const AdaptiveEstimate r = estimate_events_adaptive(trial_config(0.18), cfg, 5);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.trials_used, 60u);
+}
+
+TEST(EstimateEventsAdaptive, DeterministicAndThreadCountInvariant) {
+  AdaptiveConfig one = adaptive_config();
+  one.threads = 1;
+  AdaptiveConfig four = adaptive_config();
+  four.threads = 4;
+  const AdaptiveEstimate a = estimate_events_adaptive(trial_config(0.2), one, 7);
+  const AdaptiveEstimate b = estimate_events_adaptive(trial_config(0.2), four, 7);
+  EXPECT_EQ(a.trials_used, b.trials_used);
+  EXPECT_EQ(a.events.full_view.successes, b.events.full_view.successes);
+  EXPECT_EQ(a.events.necessary.successes, b.events.necessary.successes);
+}
+
+TEST(EstimateEventsAdaptive, CountsAreNested) {
+  const AdaptiveEstimate r =
+      estimate_events_adaptive(trial_config(0.2), adaptive_config(), 8);
+  EXPECT_LE(r.events.sufficient.successes, r.events.full_view.successes);
+  EXPECT_LE(r.events.full_view.successes, r.events.necessary.successes);
+}
+
+}  // namespace
+}  // namespace fvc::sim

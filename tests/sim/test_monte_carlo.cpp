@@ -1,0 +1,111 @@
+#include "fvc/sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::sim {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kTwoPi;
+
+TrialConfig fast_config() {
+  TrialConfig cfg{HeterogeneousProfile::homogeneous(0.3, 2.5), 120, kHalfPi,
+                  Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 10;
+  return cfg;
+}
+
+TEST(EventEstimate, Accessors) {
+  EventEstimate e;
+  e.trials = 100;
+  e.successes = 25;
+  EXPECT_DOUBLE_EQ(e.p(), 0.25);
+  const auto ci = e.wilson();
+  EXPECT_LT(ci.lo, 0.25);
+  EXPECT_GT(ci.hi, 0.25);
+}
+
+TEST(EstimateGridEvents, CountsAndNesting) {
+  const GridEventsEstimate est = estimate_grid_events(fast_config(), 40, 7, 4);
+  EXPECT_EQ(est.necessary.trials, 40u);
+  EXPECT_EQ(est.full_view.trials, 40u);
+  EXPECT_EQ(est.sufficient.trials, 40u);
+  // Event nesting carries to counts.
+  EXPECT_LE(est.sufficient.successes, est.full_view.successes);
+  EXPECT_LE(est.full_view.successes, est.necessary.successes);
+}
+
+TEST(EstimateGridEvents, DeterministicAcrossThreadCounts) {
+  const TrialConfig cfg = fast_config();
+  const GridEventsEstimate a = estimate_grid_events(cfg, 30, 99, 1);
+  const GridEventsEstimate b = estimate_grid_events(cfg, 30, 99, 8);
+  EXPECT_EQ(a.necessary.successes, b.necessary.successes);
+  EXPECT_EQ(a.full_view.successes, b.full_view.successes);
+  EXPECT_EQ(a.sufficient.successes, b.sufficient.successes);
+}
+
+TEST(EstimateGridEvents, SeedChangesResults) {
+  const TrialConfig cfg = fast_config();
+  const GridEventsEstimate a = estimate_grid_events(cfg, 60, 1, 4);
+  const GridEventsEstimate b = estimate_grid_events(cfg, 60, 2, 4);
+  // With a borderline configuration the counts almost surely differ; allow
+  // equality on at most two of the three events to keep flake risk tiny.
+  const int same = (a.necessary.successes == b.necessary.successes ? 1 : 0) +
+                   (a.full_view.successes == b.full_view.successes ? 1 : 0) +
+                   (a.sufficient.successes == b.sufficient.successes ? 1 : 0);
+  EXPECT_LE(same, 2);
+}
+
+TEST(EstimateGridEvents, Validation) {
+  EXPECT_THROW((void)estimate_grid_events(fast_config(), 0, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(EstimateFractions, AllFractionsInUnitInterval) {
+  const FractionEstimate est = estimate_fractions(fast_config(), 20, 11, 4);
+  for (const auto* s : {&est.covered_1, &est.necessary, &est.full_view,
+                        &est.sufficient, &est.k_covered}) {
+    EXPECT_EQ(s->count(), 20u);
+    EXPECT_GE(s->min(), 0.0);
+    EXPECT_LE(s->max(), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(est.deployed_count.mean(), 120.0);  // uniform: exact n
+}
+
+TEST(EstimateFractions, NestingOfMeans) {
+  const FractionEstimate est = estimate_fractions(fast_config(), 25, 12, 4);
+  EXPECT_LE(est.sufficient.mean(), est.full_view.mean() + 1e-12);
+  EXPECT_LE(est.full_view.mean(), est.necessary.mean() + 1e-12);
+  EXPECT_LE(est.necessary.mean(), est.covered_1.mean() + 1e-12);
+}
+
+TEST(EstimateFractions, PoissonDeployedCountVaries) {
+  TrialConfig cfg = fast_config();
+  cfg.deployment = Deployment::kPoisson;
+  const FractionEstimate est = estimate_fractions(cfg, 30, 13, 4);
+  EXPECT_NEAR(est.deployed_count.mean(), 120.0, 15.0);
+  EXPECT_GT(est.deployed_count.stddev(), 1.0);
+}
+
+TEST(EstimateFractions, Validation) {
+  EXPECT_THROW((void)estimate_fractions(fast_config(), 0, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(EstimateGridEvents, MoreAreaMoreCoverage) {
+  TrialConfig small = fast_config();
+  small.profile = HeterogeneousProfile::homogeneous(0.15, 1.0);
+  TrialConfig large = fast_config();
+  large.profile = HeterogeneousProfile::homogeneous(0.4, kTwoPi);
+  const GridEventsEstimate a = estimate_grid_events(small, 40, 5, 4);
+  const GridEventsEstimate b = estimate_grid_events(large, 40, 5, 4);
+  EXPECT_LE(a.necessary.successes, b.necessary.successes);
+}
+
+}  // namespace
+}  // namespace fvc::sim

@@ -1,0 +1,75 @@
+#include "fvc/sim/phase_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/analysis/csa.hpp"
+#include "fvc/geometry/angle.hpp"
+
+namespace fvc::sim {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+
+PhaseScanConfig small_scan() {
+  PhaseScanConfig cfg;
+  cfg.base = TrialConfig{HeterogeneousProfile::homogeneous(0.2, 2.0), 150, kHalfPi,
+                         Deployment::kUniform, std::nullopt};
+  cfg.base.grid_side = 10;
+  cfg.q_values = {0.4, 1.0, 3.0};
+  cfg.trials = 25;
+  cfg.master_seed = 5;
+  cfg.threads = 4;
+  return cfg;
+}
+
+TEST(PhaseScan, DialsWeightedAreaToQTimesCsa) {
+  const auto points = run_phase_scan(small_scan());
+  ASSERT_EQ(points.size(), 3u);
+  const double csa = analysis::csa_necessary(150.0, kHalfPi);
+  for (const auto& pt : points) {
+    EXPECT_NEAR(pt.weighted_area, pt.q * csa, 1e-9);
+  }
+}
+
+TEST(PhaseScan, CoverageIncreasesWithQ) {
+  const auto points = run_phase_scan(small_scan());
+  // Necessary-condition success counts must be (weakly) increasing in q,
+  // and strongly separated between the extremes.
+  EXPECT_LE(points[0].events.necessary.successes, points[2].events.necessary.successes);
+  EXPECT_LT(points[0].events.necessary.p() + 0.3, points[2].events.necessary.p() + 1e-9);
+}
+
+TEST(PhaseScan, EventNestingPerPoint) {
+  const auto points = run_phase_scan(small_scan());
+  for (const auto& pt : points) {
+    EXPECT_LE(pt.events.sufficient.successes, pt.events.full_view.successes);
+    EXPECT_LE(pt.events.full_view.successes, pt.events.necessary.successes);
+  }
+}
+
+TEST(PhaseScan, Deterministic) {
+  const auto a = run_phase_scan(small_scan());
+  const auto b = run_phase_scan(small_scan());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].events.necessary.successes, b[i].events.necessary.successes);
+    EXPECT_EQ(a[i].events.full_view.successes, b[i].events.full_view.successes);
+  }
+}
+
+TEST(PhaseScan, Validation) {
+  PhaseScanConfig cfg = small_scan();
+  cfg.q_values.clear();
+  EXPECT_THROW((void)run_phase_scan(cfg), std::invalid_argument);
+  cfg = small_scan();
+  cfg.trials = 0;
+  EXPECT_THROW((void)run_phase_scan(cfg), std::invalid_argument);
+  cfg = small_scan();
+  cfg.q_values = {0.0};
+  EXPECT_THROW((void)run_phase_scan(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::sim

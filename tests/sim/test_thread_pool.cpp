@@ -1,0 +1,93 @@
+#include "fvc/sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fvc::sim {
+namespace {
+
+TEST(DefaultThreadCount, Positive) {
+  EXPECT_GE(default_thread_count(), 1u);
+  EXPECT_LE(default_thread_count(), 64u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  const std::size_t count = 10000;
+  std::vector<std::atomic<int>> visits(count);
+  parallel_for(count, 8, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadIsSequential) {
+  std::vector<std::size_t> order;
+  parallel_for(100, 1, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelFor, ThreadsClampedToCount) {
+  // More threads than work items must not deadlock or double-run.
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(3, 100, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ResultsIdenticalAcrossThreadCounts) {
+  const std::size_t count = 5000;
+  auto run = [count](std::size_t threads) {
+    std::vector<double> out(count);
+    parallel_for(count, threads,
+                 [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; });
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  const double s1 = run(1);
+  EXPECT_EQ(run(2), s1);
+  EXPECT_EQ(run(7), s1);
+  EXPECT_EQ(run(16), s1);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 42) {
+                       throw std::runtime_error("boom");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionStopsRemainingWork) {
+  std::atomic<int> done{0};
+  try {
+    parallel_for(100000, 4, [&](std::size_t i) {
+      if (i == 0) {
+        throw std::runtime_error("early");
+      }
+      done.fetch_add(1);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // The drain isn't instantaneous, but most work must be skipped.
+  EXPECT_LT(done.load(), 100000);
+}
+
+}  // namespace
+}  // namespace fvc::sim

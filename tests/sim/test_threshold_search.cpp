@@ -1,0 +1,91 @@
+#include "fvc/sim/threshold_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+namespace {
+
+TEST(FindThreshold, ExactStepFunction) {
+  // Deterministic step at q = 0.37.
+  const auto step = [](double q, std::uint64_t) { return q >= 0.37 ? 1.0 : 0.0; };
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 0.0;
+  cfg.q_hi = 1.0;
+  cfg.target = 0.5;
+  cfg.iterations = 20;
+  EXPECT_NEAR(find_threshold(step, cfg), 0.37, 1e-5);
+}
+
+TEST(FindThreshold, SmoothSigmoid) {
+  const auto sigmoid = [](double q, std::uint64_t) {
+    return 1.0 / (1.0 + std::exp(-20.0 * (q - 1.5)));
+  };
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 0.0;
+  cfg.q_hi = 3.0;
+  cfg.iterations = 16;
+  cfg.target = 0.5;
+  EXPECT_NEAR(find_threshold(sigmoid, cfg), 1.5, 1e-3);
+  cfg.target = 0.9;
+  // sigmoid^{-1}(0.9) = 1.5 + ln(9)/20
+  EXPECT_NEAR(find_threshold(sigmoid, cfg), 1.5 + std::log(9.0) / 20.0, 1e-3);
+}
+
+TEST(FindThreshold, NoisyEstimatorStillConverges) {
+  const auto noisy = [](double q, std::uint64_t seed) {
+    stats::Pcg32 rng(seed);
+    const double p_true = 1.0 / (1.0 + std::exp(-15.0 * (q - 2.0)));
+    int hits = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+      hits += stats::bernoulli(rng, p_true) ? 1 : 0;
+    }
+    return static_cast<double>(hits) / trials;
+  };
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 0.5;
+  cfg.q_hi = 4.0;
+  cfg.iterations = 10;
+  cfg.seed = 77;
+  EXPECT_NEAR(find_threshold(noisy, cfg), 2.0, 0.15);
+}
+
+TEST(FindThreshold, DeterministicGivenSeed) {
+  const auto noisy = [](double q, std::uint64_t seed) {
+    stats::Pcg32 rng(seed);
+    return q * 0.3 + 0.001 * stats::uniform01(rng);
+  };
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 0.0;
+  cfg.q_hi = 3.0;
+  cfg.seed = 5;
+  EXPECT_DOUBLE_EQ(find_threshold(noisy, cfg), find_threshold(noisy, cfg));
+}
+
+TEST(FindThreshold, Validation) {
+  const auto f = [](double, std::uint64_t) { return 0.5; };
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 1.0;
+  cfg.q_hi = 0.0;
+  EXPECT_THROW((void)find_threshold(f, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.target = 0.0;
+  EXPECT_THROW((void)find_threshold(f, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.target = 1.0;
+  EXPECT_THROW((void)find_threshold(f, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.iterations = 0;
+  EXPECT_THROW((void)find_threshold(f, cfg), std::invalid_argument);
+  cfg = {};
+  EXPECT_THROW((void)find_threshold(nullptr, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::sim

@@ -1,0 +1,99 @@
+#include "fvc/stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::stats {
+namespace {
+
+TEST(Proportion, BasicsAndValidation) {
+  EXPECT_DOUBLE_EQ(proportion(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(proportion(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(proportion(10, 10), 1.0);
+  EXPECT_THROW((void)proportion(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)proportion(11, 10), std::invalid_argument);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  for (std::size_t s : {0u, 1u, 5u, 50u, 99u, 100u}) {
+    const Interval ci = wilson_interval(s, 100);
+    const double p = proportion(s, 100);
+    EXPECT_LE(ci.lo, p);
+    EXPECT_GE(ci.hi, p);
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+  }
+}
+
+TEST(WilsonInterval, NonDegenerateAtExtremes) {
+  // Unlike Wald, Wilson gives informative intervals at 0 and n successes.
+  const Interval at_zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(at_zero.lo, 0.0);
+  EXPECT_GT(at_zero.hi, 0.0);
+  const Interval at_full = wilson_interval(50, 50);
+  EXPECT_LT(at_full.lo, 1.0);
+  EXPECT_DOUBLE_EQ(at_full.hi, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithTrials) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(WilsonInterval, WiderAtHigherConfidence) {
+  const Interval z95 = wilson_interval(30, 100, 1.96);
+  const Interval z99 = wilson_interval(30, 100, 2.576);
+  EXPECT_GT(z99.width(), z95.width());
+}
+
+TEST(WaldInterval, MatchesHandComputation) {
+  const Interval ci = wald_interval(50, 100, 1.96);
+  // p=0.5, half = 1.96*sqrt(0.25/100) = 0.098
+  EXPECT_NEAR(ci.lo, 0.402, 1e-3);
+  EXPECT_NEAR(ci.hi, 0.598, 1e-3);
+}
+
+TEST(WaldInterval, DegenerateAtExtremes) {
+  const Interval ci = wald_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 0.0);  // the known Wald pathology
+}
+
+TEST(IntervalStruct, WidthAndContains) {
+  const Interval ci{0.2, 0.6};
+  EXPECT_DOUBLE_EQ(ci.width(), 0.4);
+  EXPECT_TRUE(ci.contains(0.2));
+  EXPECT_TRUE(ci.contains(0.4));
+  EXPECT_TRUE(ci.contains(0.6));
+  EXPECT_FALSE(ci.contains(0.61));
+}
+
+/// Statistical property: the 95% Wilson interval should cover the true p
+/// in roughly 95% of repeated experiments.
+TEST(WilsonInterval, EmpiricalCoverage) {
+  Pcg32 rng(123);
+  const double p_true = 0.37;
+  const std::size_t trials_per_exp = 200;
+  const int experiments = 2000;
+  int covered = 0;
+  for (int e = 0; e < experiments; ++e) {
+    std::size_t hits = 0;
+    for (std::size_t t = 0; t < trials_per_exp; ++t) {
+      hits += bernoulli(rng, p_true) ? 1 : 0;
+    }
+    if (wilson_interval(hits, trials_per_exp).contains(p_true)) {
+      ++covered;
+    }
+  }
+  const double coverage = static_cast<double>(covered) / experiments;
+  EXPECT_GT(coverage, 0.92);
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace fvc::stats

@@ -1,0 +1,131 @@
+#include "fvc/stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/stats/summary.hpp"
+
+namespace fvc::stats {
+namespace {
+
+TEST(Uniform01, RangeAndMean) {
+  Pcg32 rng(1);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = uniform01(rng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(UniformIn, RangeAndValidation) {
+  Pcg32 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = uniform_in(rng, -2.0, 3.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 3.0);
+  }
+  EXPECT_THROW((void)uniform_in(rng, 1.0, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(uniform_in(rng, 2.0, 2.0), 2.0);
+}
+
+TEST(UniformBelow, RangeAndRoughUniformity) {
+  Pcg32 rng(3);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t v = uniform_below(rng, 7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+  EXPECT_THROW((void)uniform_below(rng, 0), std::invalid_argument);
+}
+
+TEST(Bernoulli, EdgeCases) {
+  Pcg32 rng(4);
+  EXPECT_FALSE(bernoulli(rng, 0.0));
+  EXPECT_FALSE(bernoulli(rng, -1.0));
+  EXPECT_TRUE(bernoulli(rng, 1.0));
+  EXPECT_TRUE(bernoulli(rng, 2.0));
+}
+
+TEST(Bernoulli, Frequency) {
+  Pcg32 rng(5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hits += bernoulli(rng, 0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Poisson, ZeroMean) {
+  Pcg32 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(poisson(rng, 0.0), 0u);
+  }
+}
+
+TEST(Poisson, SmallMeanMoments) {
+  Pcg32 rng(7);
+  OnlineStats s;
+  const double mean = 3.5;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(static_cast<double>(poisson(rng, mean)));
+  }
+  EXPECT_NEAR(s.mean(), mean, 0.05);
+  EXPECT_NEAR(s.variance(), mean, 0.15);
+}
+
+TEST(Poisson, LargeMeanMoments) {
+  // Exercises the chunked splitting path (mean > 30).
+  Pcg32 rng(8);
+  OnlineStats s;
+  const double mean = 250.0;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(poisson(rng, mean)));
+  }
+  EXPECT_NEAR(s.mean(), mean, 0.6);
+  EXPECT_NEAR(s.variance(), mean, 10.0);
+}
+
+TEST(Poisson, RejectsBadMean) {
+  Pcg32 rng(9);
+  EXPECT_THROW((void)poisson(rng, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)poisson(rng, std::nan("")), std::invalid_argument);
+}
+
+TEST(StandardNormal, Moments) {
+  Pcg32 rng(10);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(standard_normal(rng));
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.05);
+}
+
+TEST(Distributions, DeterministicGivenSeed) {
+  Pcg32 a(11);
+  Pcg32 b(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(uniform01(a), uniform01(b));
+  }
+  Pcg32 c(12);
+  Pcg32 d(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(poisson(c, 10.0), poisson(d, 10.0));
+  }
+}
+
+}  // namespace
+}  // namespace fvc::stats

@@ -1,0 +1,88 @@
+#include "fvc/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fvc::stats {
+namespace {
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_NO_THROW(Histogram(0.0, 1.0, 1));
+}
+
+TEST(Histogram, BinningBasics) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.55);  // bin 2
+  h.add(0.9);   // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive -> overflow
+  h.add(1.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BoundaryGoesToLowerBinStart) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.0);
+  h.add(0.25);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BinCenter) {
+  Histogram h(0.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 1.75);
+}
+
+TEST(Histogram, Fraction) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);  // empty histogram
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.7);
+  h.add(2.0);  // overflow counts in the denominator
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.add((static_cast<double>(i) + 0.5) / 100.0);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.1);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.1);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_THROW((void)h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileEmpty) {
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, CountOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fvc::stats

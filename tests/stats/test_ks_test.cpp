@@ -1,0 +1,97 @@
+#include "fvc/stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::stats {
+namespace {
+
+TEST(KsStatistic, Validation) {
+  const auto id = [](double x) { return x; };
+  EXPECT_THROW((void)ks_statistic({}, id), std::invalid_argument);
+  const std::vector<double> xs = {0.5};
+  EXPECT_THROW((void)ks_statistic(xs, nullptr), std::invalid_argument);
+  EXPECT_THROW((void)ks_statistic(xs, [](double) { return 2.0; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)ks_statistic_uniform(xs, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(KsStatistic, PerfectQuantilesGiveSmallD) {
+  // Sample at the midpoints i+0.5/n of Uniform[0,1]: D = 1/(2n).
+  std::vector<double> xs;
+  const std::size_t n = 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back((static_cast<double>(i) + 0.5) / static_cast<double>(n));
+  }
+  EXPECT_NEAR(ks_statistic_uniform(xs, 0.0, 1.0), 0.005, 1e-12);
+}
+
+TEST(KsStatistic, DegenerateSampleGivesLargeD) {
+  const std::vector<double> xs(50, 0.5);
+  EXPECT_NEAR(ks_statistic_uniform(xs, 0.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(KsStatistic, UnsortedInputHandled) {
+  const std::vector<double> a = {0.9, 0.1, 0.5, 0.3, 0.7};
+  const std::vector<double> b = {0.1, 0.3, 0.5, 0.7, 0.9};
+  EXPECT_DOUBLE_EQ(ks_statistic_uniform(a, 0.0, 1.0),
+                   ks_statistic_uniform(b, 0.0, 1.0));
+}
+
+TEST(KsPValue, KnownBehaviour) {
+  EXPECT_THROW((void)ks_p_value(0.5, 0), std::invalid_argument);
+  EXPECT_THROW((void)ks_p_value(-0.1, 10), std::invalid_argument);
+  EXPECT_THROW((void)ks_p_value(1.1, 10), std::invalid_argument);
+  // Tiny statistic: p ~ 1.  Huge statistic: p ~ 0.
+  EXPECT_GT(ks_p_value(0.001, 100), 0.99);
+  EXPECT_LT(ks_p_value(0.5, 100), 1e-6);
+  // Monotone decreasing in d.
+  EXPECT_GT(ks_p_value(0.05, 200), ks_p_value(0.10, 200));
+}
+
+TEST(KsUniform, AcceptsGenuinelyUniformSamples) {
+  Pcg32 rng(1);
+  int accepted = 0;
+  const int experiments = 50;
+  for (int e = 0; e < experiments; ++e) {
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i) {
+      xs.push_back(uniform01(rng));
+    }
+    accepted += ks_uniform_ok(xs, 0.0, 1.0, 0.01) ? 1 : 0;
+  }
+  // alpha = 0.01: expect ~99% acceptance; demand >= 45/50.
+  EXPECT_GE(accepted, 45);
+}
+
+TEST(KsUniform, RejectsBiasedSamples) {
+  Pcg32 rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    const double u = uniform01(rng);
+    xs.push_back(u * u);  // pushed toward 0
+  }
+  EXPECT_FALSE(ks_uniform_ok(xs, 0.0, 1.0, 0.01));
+}
+
+TEST(KsStatistic, CustomCdf) {
+  // Exponential(1) sample tested against its own CDF should pass.
+  Pcg32 rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(-std::log(1.0 - uniform01(rng)));
+  }
+  const double d = ks_statistic(xs, [](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x);
+  });
+  EXPECT_GT(ks_p_value(d, xs.size()), 0.01);
+}
+
+}  // namespace
+}  // namespace fvc::stats

@@ -1,0 +1,142 @@
+#include "fvc/track/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/deploy/lattice.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::track {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+using geom::kPi;
+using geom::Vec2;
+
+TEST(StraightPath, SamplesAndFacing) {
+  const Trajectory t = straight_path({0.1, 0.5}, {0.5, 0.5}, 0.1);
+  ASSERT_GE(t.size(), 5u);
+  EXPECT_EQ(t.points.size(), t.facing.size());
+  EXPECT_EQ(t.points.front(), Vec2(0.1, 0.5));
+  EXPECT_NEAR(geom::distance(t.points.back(), {0.5, 0.5}), 0.0, 1e-12);
+  for (double f : t.facing) {
+    EXPECT_NEAR(f, 0.0, 1e-12);  // moving in +x
+  }
+  // Evenly spaced along the segment.
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    EXPECT_NEAR(geom::distance(t.points[i - 1], t.points[i]), 0.1, 1e-9);
+  }
+}
+
+TEST(StraightPath, Validation) {
+  EXPECT_THROW((void)straight_path({0, 0}, {1, 1}, 0.0), std::invalid_argument);
+}
+
+TEST(RandomWaypointPath, StructureAndBounds) {
+  stats::Pcg32 rng(1);
+  const Trajectory t = random_waypoint_path(rng, 5, 0.05);
+  EXPECT_GT(t.size(), 10u);
+  EXPECT_EQ(t.points.size(), t.facing.size());
+  for (const Vec2& p : t.points) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+  // Step bound: consecutive samples at most `step` apart (waypoint landings
+  // can be shorter).
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(geom::distance(t.points[i - 1], t.points[i]), 0.05 + 1e-9);
+  }
+}
+
+TEST(RandomWaypointPath, FacingMatchesMotion) {
+  stats::Pcg32 rng(2);
+  const Trajectory t = random_waypoint_path(rng, 3, 0.02);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const Vec2 motion = t.points[i] - t.points[i - 1];
+    if (motion.norm() < 1e-9) {
+      continue;
+    }
+    EXPECT_NEAR(geom::angular_distance(t.facing[i],
+                                       geom::normalize_angle(motion.angle())),
+                0.0, 1e-9)
+        << "i=" << i;
+  }
+}
+
+TEST(RandomWaypointPath, Validation) {
+  stats::Pcg32 rng(3);
+  EXPECT_THROW((void)random_waypoint_path(rng, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)random_waypoint_path(rng, 3, 0.0), std::invalid_argument);
+}
+
+TEST(EvaluateTrajectory, EmptyNetworkCapturesNothing) {
+  stats::Pcg32 rng(4);
+  const Trajectory t = random_waypoint_path(rng, 3, 0.05);
+  const TrackReport r = evaluate_trajectory(core::Network(), t, kHalfPi);
+  EXPECT_EQ(r.samples, t.size());
+  EXPECT_EQ(r.full_view_samples, 0u);
+  EXPECT_EQ(r.facing_captured_samples, 0u);
+  EXPECT_FALSE(r.first_capture.has_value());
+  EXPECT_DOUBLE_EQ(r.full_view_fraction(), 0.0);
+}
+
+TEST(EvaluateTrajectory, DenseLatticeCapturesEverything) {
+  deploy::LatticeConfig cfg;
+  cfg.edge = 0.08;
+  cfg.radius = 0.22;
+  cfg.fov = kHalfPi;
+  cfg.per_site = deploy::per_site_for_fov(cfg.fov);
+  const core::Network net = deploy::deploy_triangular_lattice_network(cfg);
+  stats::Pcg32 rng(5);
+  const Trajectory t = random_waypoint_path(rng, 4, 0.03);
+  const TrackReport r = evaluate_trajectory(net, t, kPi / 4.0);
+  EXPECT_EQ(r.full_view_samples, r.samples);
+  EXPECT_EQ(r.facing_captured_samples, r.samples);
+  ASSERT_TRUE(r.first_capture.has_value());
+  EXPECT_EQ(*r.first_capture, 0u);
+}
+
+TEST(EvaluateTrajectory, FullViewImpliesFacingCaptured) {
+  stats::Pcg32 rng(6);
+  const auto profile = HeterogeneousProfile::homogeneous(0.2, 2.0);
+  const core::Network net = deploy::deploy_uniform_network(profile, 250, rng);
+  const Trajectory t = random_waypoint_path(rng, 6, 0.04);
+  const TrackReport r = evaluate_trajectory(net, t, kHalfPi);
+  // Full-view coverage at a sample makes every facing direction safe, so:
+  EXPECT_LE(r.full_view_samples, r.facing_captured_samples);
+  EXPECT_LE(r.facing_captured_fraction(), 1.0);
+  EXPECT_GE(r.facing_captured_fraction(), r.full_view_fraction());
+}
+
+TEST(EvaluateTrajectory, FirstCaptureIndexIsFirst) {
+  stats::Pcg32 rng(7);
+  const auto profile = HeterogeneousProfile::homogeneous(0.15, 1.5);
+  const core::Network net = deploy::deploy_uniform_network(profile, 120, rng);
+  const Trajectory t = random_waypoint_path(rng, 6, 0.04);
+  const TrackReport r = evaluate_trajectory(net, t, kHalfPi);
+  if (r.first_capture.has_value()) {
+    std::vector<double> dirs;
+    for (std::size_t i = 0; i < *r.first_capture; ++i) {
+      net.viewed_directions_into(t.points[i], dirs);
+      EXPECT_FALSE(core::is_safe_direction(dirs, t.facing[i], kHalfPi)) << i;
+    }
+  }
+}
+
+TEST(EvaluateTrajectory, RaggedTrajectoryRejected) {
+  Trajectory bad;
+  bad.points = {{0.5, 0.5}};
+  const core::Network net;
+  EXPECT_THROW((void)evaluate_trajectory(net, bad, kHalfPi), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::track

@@ -1,0 +1,19 @@
+/// fvc_sim — command-line driver for the full-view-coverage library.
+/// All command logic lives in fvc::cli (src/fvc/cli/commands.cpp) where it
+/// is unit-tested; this binary only parses, dispatches, and reports errors.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fvc/cli/args.hpp"
+#include "fvc/cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const fvc::cli::Args args = fvc::cli::Args::parse(argc - 1, argv + 1);
+    return fvc::cli::run_command(args, std::cout) == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
