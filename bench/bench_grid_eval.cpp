@@ -1,0 +1,103 @@
+/// MICRO — google-benchmark timings for the batched grid-evaluation engine
+/// against the scalar point-at-a-time oracle it replaced.  The headline
+/// configuration is the ISSUE target: n = 1000 cameras on a 64x64 grid
+/// (whole-grid scan of all three predicates).  `tools/bench_compare` runs
+/// the same comparison standalone and records it in BENCH_grid_eval.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/grid_eval.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/sim/parallel_region.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace {
+
+using namespace fvc;
+
+core::HeterogeneousProfile bench_profile() {
+  return core::HeterogeneousProfile(std::vector<core::CameraGroupSpec>{
+      {0.5, 0.08, geom::kTwoPi}, {0.5, 0.12, 2.0}});
+}
+
+core::Network bench_network(std::size_t n) {
+  stats::Pcg32 rng = stats::make_child_rng(20240805, n);
+  return deploy::deploy_uniform_network(bench_profile(), n, rng);
+}
+
+constexpr double kTheta = fvc::geom::kPi / 4.0;
+
+void BM_EvaluateRegionScalar(benchmark::State& state) {
+  const core::Network net = bench_network(1000);
+  const core::DenseGrid grid(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_region_scalar(net, grid, kTheta));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_EvaluateRegionScalar)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateRegionBatched(benchmark::State& state) {
+  const core::Network net = bench_network(1000);
+  const core::DenseGrid grid(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // Includes engine construction (candidate binning), as evaluate_region
+    // pays it on every call.
+    benchmark::DoNotOptimize(core::evaluate_region(net, grid, kTheta));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_EvaluateRegionBatched)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateRegionRowParallel(benchmark::State& state) {
+  const core::Network net = bench_network(1000);
+  const core::DenseGrid grid(64);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::evaluate_region_parallel(net, grid, kTheta, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_EvaluateRegionRowParallel)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_GridEventsBatchedEarlyExit(benchmark::State& state) {
+  // The trial runner's workload: event bits with early exit.
+  const core::Network net = bench_network(1000);
+  const core::DenseGrid grid(64);
+  for (auto _ : state) {
+    const core::GridEvalEngine engine(net, grid, kTheta);
+    core::GridEvalScratch scratch;
+    bool fv = true;
+    bool suf = true;
+    bool nec = true;
+    for (std::size_t row = 0; row < engine.rows() && nec; ++row) {
+      const core::GridRowEvents re = engine.row_events(row, scratch, fv, suf);
+      nec = re.all_necessary;
+      fv = fv && re.all_full_view;
+      suf = suf && re.all_sufficient;
+    }
+    benchmark::DoNotOptimize(nec);
+  }
+}
+BENCHMARK(BM_GridEventsBatchedEarlyExit)->Unit(benchmark::kMillisecond);
+
+void BM_EngineConstruction(benchmark::State& state) {
+  // Candidate-binning cost alone, to show it is a small fraction of a scan.
+  const core::Network net = bench_network(static_cast<std::size_t>(state.range(0)));
+  const core::DenseGrid grid(64);
+  for (auto _ : state) {
+    const core::GridEvalEngine engine(net, grid, kTheta);
+    benchmark::DoNotOptimize(engine.cells_per_side());
+  }
+}
+BENCHMARK(BM_EngineConstruction)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -22,6 +22,14 @@ FullViewResult full_view_covered(std::span<const double> viewed_dirs, double the
   validate_theta(theta);
   FullViewResult res;
   res.covering_count = viewed_dirs.size();
+  if (viewed_dirs.empty()) {
+    // Zero covering sensors: never full-view covered (even at theta = pi),
+    // the whole circle is one gap, and every direction is unsafe — report
+    // direction 0 as the witness.
+    res.max_gap = geom::kTwoPi;
+    res.witness_unsafe_direction = 0.0;
+    return res;
+  }
   const geom::CircularGap gap = geom::max_circular_gap_info(viewed_dirs);
   res.max_gap = gap.width;
   // Safe arcs have half-width theta around each viewed direction, so the

@@ -41,6 +41,9 @@ struct FullViewResult {
 };
 
 /// Exact full-view coverage from viewed directions.
+/// An empty `viewed_dirs` span (zero covering sensors) is well-defined:
+/// not covered, `max_gap == 2*pi`, `covering_count == 0`, and the witness
+/// is direction 0 (every facing direction is unsafe).
 /// \pre theta in (0, pi]
 [[nodiscard]] FullViewResult full_view_covered(std::span<const double> viewed_dirs,
                                                double theta);
@@ -51,6 +54,9 @@ struct FullViewResult {
 
 /// True iff direction `d` is *safe* for the given viewed directions
 /// (Definition 1: some covering sensor within angular distance theta).
+/// With zero covering sensors no direction is safe (always false); at
+/// theta = pi every direction is within angular distance theta of any
+/// viewed direction, so the result is simply `!viewed_dirs.empty()`.
 [[nodiscard]] bool is_safe_direction(std::span<const double> viewed_dirs, double d,
                                      double theta);
 

@@ -1,0 +1,609 @@
+#include "fvc/core/grid_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "fvc/core/coverage.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/sector.hpp"
+
+namespace fvc::core {
+
+namespace {
+
+/// ccw_delta for inputs already normalized to [0, 2*pi).  Bit-identical to
+/// `geom::ccw_delta(from, to)` on that domain: there, fmod is the identity
+/// (|to - from| < 2*pi), so the only operations are the subtraction, the
+/// conditional + 2*pi, and the wrap-to-zero guard — replicated here without
+/// the fmod call.  tests/core/test_grid_eval.cpp checks the equivalence.
+inline double ccw_from_normalized(double from, double to) {
+  double d = to - from;
+  if (d < 0.0) {
+    d += geom::kTwoPi;
+  }
+  if (d >= geom::kTwoPi) {
+    d = 0.0;
+  }
+  return d;
+}
+
+/// `sectors_all_hit` of the scalar oracle, over precomputed arcs and the
+/// sorted angle buffer.  Arc containment is closed on both endpoints, as in
+/// `geom::angle_in_arc` (width is clamped to [0, 2*pi] by construction, so
+/// the oracle's width >= 2*pi fast path coincides with the comparison).
+/// Exactness of the two-candidate test: split the directions at the arc
+/// start s.  For d >= s the predicate value is fl(d - s), monotone in d, so
+/// if any such d hits then the FIRST d >= s hits; for d < s it is
+/// fl(fl(d - s) + 2*pi), also monotone, so if any such d hits then the
+/// smallest direction hits.  Testing those two candidates with the exact
+/// predicate therefore decides existence.  Partition arcs have ascending
+/// starts, so the first-candidate cursor advances monotonically and the
+/// whole check is one merged sweep.
+inline bool arcs_all_hit(std::span<const double> sorted_dirs,
+                         std::span<const geom::Arc> arcs) {
+  if (sorted_dirs.empty()) {
+    return arcs.empty();
+  }
+  const double front = sorted_dirs.front();
+  std::size_t idx = 0;
+  for (const geom::Arc& arc : arcs) {
+    while (idx < sorted_dirs.size() && sorted_dirs[idx] < arc.start) {
+      ++idx;
+    }
+    const bool hit = (idx < sorted_dirs.size() &&
+                      ccw_from_normalized(arc.start, sorted_dirs[idx]) <= arc.width) ||
+                     ccw_from_normalized(arc.start, front) <= arc.width;
+    if (!hit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Largest circular gap of an already-sorted, normalized angle buffer.
+/// Replicates `geom::max_circular_gap_info` (which normalizes — a no-op on
+/// [0, 2*pi) inputs — sorts a copy, and scans) without the copy.
+struct SortedGap {
+  double width = geom::kTwoPi;
+  double after = 0.0;
+  bool has_after = false;
+};
+
+inline SortedGap max_gap_sorted(std::span<const double> sorted_dirs) {
+  if (sorted_dirs.empty()) {
+    return {};
+  }
+  SortedGap g;
+  g.width = geom::kTwoPi - (sorted_dirs.back() - sorted_dirs.front());
+  g.after = sorted_dirs.back();
+  g.has_after = true;
+  for (std::size_t i = 0; i + 1 < sorted_dirs.size(); ++i) {
+    const double gap = sorted_dirs[i + 1] - sorted_dirs[i];
+    if (gap > g.width) {
+      g.width = gap;
+      g.after = sorted_dirs[i];
+    }
+  }
+  return g;
+}
+
+inline FullViewResult full_view_from_sorted(std::span<const double> sorted_dirs,
+                                            double theta) {
+  FullViewResult res;
+  res.covering_count = sorted_dirs.size();
+  const SortedGap gap = max_gap_sorted(sorted_dirs);
+  res.max_gap = gap.width;
+  res.covered = !sorted_dirs.empty() && gap.width <= 2.0 * theta;
+  if (!res.covered) {
+    if (gap.has_after) {
+      res.witness_unsafe_direction = geom::normalize_angle(gap.after + 0.5 * gap.width);
+    } else {
+      res.witness_unsafe_direction = 0.0;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+GridEvalEngine::GridEvalEngine(const Network& net, const DenseGrid& grid, double theta)
+    : net_(&net), grid_(grid), theta_(theta) {
+  validate_theta(theta);
+  implied_k_ = implied_k(theta);
+  mode_ = net.mode();
+  necessary_arcs_ = geom::sector_partition(2.0 * theta);
+  sufficient_arcs_ = geom::sector_partition(theta);
+  bin_cameras();
+}
+
+void GridEvalEngine::bin_cameras() {
+  const std::span<const Camera> cams = net_->cameras();
+  if (cams.size() > static_cast<std::size_t>(~std::uint32_t{0})) {
+    throw std::invalid_argument("GridEvalEngine: too many cameras");
+  }
+  // Cell sizing: correctness is set-based (every camera lands in every cell
+  // it could cover a point of), so the cell count only trades binning cost
+  // against candidate-list tightness.  Cells of about a third of the
+  // sensing radius keep the per-point candidate list within ~1.5x of the
+  // true in-radius count while the binned entry count stays ~n * pi * 9
+  // regardless of radius; the cap bounds construction cost on tiny grids
+  // and degenerate radii.
+  const double r = std::max(net_->max_radius(), 1e-6);
+  const auto target = static_cast<std::size_t>(std::ceil(3.0 / r));
+  const std::size_t cap =
+      std::min<std::size_t>(256, 4 * std::max<std::size_t>(1, grid_.side()));
+  cells_ = std::clamp<std::size_t>(target, 1, cap);
+  if (cams.empty()) {
+    cells_ = 1;
+  }
+  const double h = 1.0 / static_cast<double>(cells_);
+  const auto c = static_cast<std::ptrdiff_t>(cells_);
+
+  // Enumerate, for each camera, the cells whose rectangle is within its
+  // sensing radius.  Positions are pre-wrapped into [0,1) (torus) or lie in
+  // [0,1] (plane), so the unwrapped window [pos - r, pos + r] is exact: on
+  // the torus a cell at axis distance <= r < 1/2 appears in the window with
+  // its short-way displacement, and windows spanning the whole circle are
+  // clamped to one copy of each cell.
+  struct Pair {
+    std::uint32_t cell;
+    std::uint32_t cam;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(cams.size() * 16);
+  auto for_each_cell = [&](std::size_t i, const auto& emit) {
+    const Camera& cam = cams[i];
+    const double cr = cam.radius;
+    // In plane mode there is no wraparound coverage, so the window is
+    // clamped to the unit square; on the torus a window spanning the whole
+    // axis is clamped to one copy of each cell.
+    auto axis_range = [&](double pos, std::ptrdiff_t& lo, std::ptrdiff_t& span) {
+      lo = static_cast<std::ptrdiff_t>(std::floor((pos - cr) / h));
+      auto hi = static_cast<std::ptrdiff_t>(std::floor((pos + cr) / h));
+      if (mode_ == geom::SpaceMode::kPlane) {
+        lo = std::clamp<std::ptrdiff_t>(lo, 0, c - 1);
+        hi = std::clamp<std::ptrdiff_t>(hi, 0, c - 1);
+        span = hi - lo + 1;
+      } else {
+        span = std::min<std::ptrdiff_t>(hi - lo + 1, c);
+      }
+    };
+    std::ptrdiff_t x_lo = 0, x_span = 0, y_lo = 0, y_span = 0;
+    axis_range(cam.position.x, x_lo, x_span);
+    axis_range(cam.position.y, y_lo, y_span);
+    // The exact rectangle-distance prune is valid whenever the unwrapped
+    // cell coordinates are the short-way displacement: always in plane
+    // mode, and on the torus when neither axis window wraps fully.
+    const bool prune = mode_ == geom::SpaceMode::kPlane || (x_span < c && y_span < c);
+    const double r2 = cr * cr;
+    for (std::ptrdiff_t ix = 0; ix < x_span; ++ix) {
+      const std::ptrdiff_t cx = x_lo + ix;
+      const double cell_x_lo = static_cast<double>(cx) * h;
+      const double dx = std::max({0.0, cell_x_lo - cam.position.x,
+                                  cam.position.x - (cell_x_lo + h)});
+      for (std::ptrdiff_t iy = 0; iy < y_span; ++iy) {
+        const std::ptrdiff_t cy = y_lo + iy;
+        const double cell_y_lo = static_cast<double>(cy) * h;
+        const double dy = std::max({0.0, cell_y_lo - cam.position.y,
+                                    cam.position.y - (cell_y_lo + h)});
+        if (prune && dx * dx + dy * dy > r2) {
+          continue;
+        }
+        const std::size_t bx = static_cast<std::size_t>(((cx % c) + c) % c);
+        const std::size_t by = static_cast<std::size_t>(((cy % c) + c) % c);
+        emit(bx * cells_ + by);
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < cams.size(); ++i) {
+    for_each_cell(i, [&](std::size_t bucket) {
+      pairs.push_back({static_cast<std::uint32_t>(bucket), static_cast<std::uint32_t>(i)});
+    });
+  }
+
+  // Counting-sort the pairs into CSR layout.
+  const std::size_t buckets = cells_ * cells_;
+  cell_offsets_.assign(buckets + 1, 0);
+  for (const Pair& p : pairs) {
+    ++cell_offsets_[p.cell + 1];
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    cell_offsets_[b + 1] += cell_offsets_[b];
+  }
+  cell_entries_.resize(pairs.size());
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (const Pair& p : pairs) {
+    cell_entries_[cursor[p.cell]++] = p.cam;
+  }
+
+  // Precompute one fused-kernel record per entry.  The torus unwrap shift
+  // k must satisfy round(fl(p - s)) == k for EVERY grid point p of the
+  // cell, so that `(p - s) - k` (exact: |fl(p-s) - k| <= 1/2 is within the
+  // Sterbenz range for k = +-1) followed by wrap_delta's two boundary
+  // fixups reproduces `geom::wrap_delta(s, p)` bit-for-bit.  The 1e-9
+  // margin absorbs the per-point rounding of fl(p - s); entries that
+  // cannot satisfy it (cells near half-torus distance, or cells_ == 1)
+  // fall back to the oracle displacement per point.
+  cell_recs_.resize(cell_entries_.size());
+  cell_flags_.resize(cell_entries_.size());
+  // Trig is evaluated once per camera, not once per (cell, camera) entry —
+  // a camera typically appears in tens of cells.
+  std::vector<CandRec> cam_recs(cams.size());
+  std::vector<std::uint8_t> cam_flags(cams.size());
+  for (std::size_t i = 0; i < cams.size(); ++i) {
+    const Camera& cam = cams[i];
+    CandRec& rec = cam_recs[i];
+    rec.sx = cam.position.x;
+    rec.sy = cam.position.y;
+    rec.r2 = cam.radius * cam.radius;
+    rec.cu = std::cos(cam.orientation);
+    rec.su = std::sin(cam.orientation);
+    const double chs = std::cos(0.5 * cam.fov);
+    rec.q = chs * std::abs(chs);
+    cam_flags[i] = (0.5 * cam.fov >= geom::kPi) ? kOmni : std::uint8_t{0};
+  }
+  const bool plane = mode_ == geom::SpaceMode::kPlane;
+  auto axis_shift = [&](double cell_lo, double s, double& k_out) -> bool {
+    if (plane) {
+      k_out = 0.0;  // plane displacement is the plain subtraction
+      return true;
+    }
+    const double dlo = cell_lo - s;
+    const double dhi = (cell_lo + h) - s;
+    const double k = std::round(0.5 * (dlo + dhi));
+    if (dlo <= k - 0.5 + 1e-9 || dhi >= k + 0.5 - 1e-9) {
+      return false;
+    }
+    k_out = k;
+    return true;
+  };
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double cell_x_lo = static_cast<double>(b / cells_) * h;
+    const double cell_y_lo = static_cast<double>(b % cells_) * h;
+    for (std::uint32_t e = cell_offsets_[b]; e < cell_offsets_[b + 1]; ++e) {
+      const std::uint32_t cam = cell_entries_[e];
+      CandRec& rec = cell_recs_[e];
+      rec = cam_recs[cam];
+      std::uint8_t flags = cam_flags[cam];
+      if (axis_shift(cell_x_lo, rec.sx, rec.kx) &&
+          axis_shift(cell_y_lo, rec.sy, rec.ky)) {
+        flags |= kFastDisp;
+      }
+      cell_flags_[e] = flags;
+    }
+  }
+}
+
+std::span<const std::uint32_t> GridEvalEngine::cell_candidates(std::size_t cx,
+                                                               std::size_t cy) const {
+  const std::size_t b = cx * cells_ + cy;
+  return {cell_entries_.data() + cell_offsets_[b],
+          cell_offsets_[b + 1] - cell_offsets_[b]};
+}
+
+std::size_t GridEvalEngine::point_cell(const geom::Vec2& p) const {
+  const auto c = static_cast<double>(cells_);
+  const auto cx = std::min<std::size_t>(static_cast<std::size_t>(std::max(p.x, 0.0) * c),
+                                        cells_ - 1);
+  const auto cy = std::min<std::size_t>(static_cast<std::size_t>(std::max(p.y, 0.0) * c),
+                                        cells_ - 1);
+  return cx * cells_ + cy;
+}
+
+std::span<const std::uint32_t> GridEvalEngine::candidates(const geom::Vec2& p) const {
+  const std::size_t b = point_cell(p);
+  return {cell_entries_.data() + cell_offsets_[b],
+          cell_offsets_[b + 1] - cell_offsets_[b]};
+}
+
+void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scratch) const {
+  std::vector<double>& out = scratch.angles;
+  // The fused kernel.  Per candidate entry: displacement via the
+  // precomputed unwrap shift (bit-identical to geom::displacement, see
+  // bin_cameras), radius test on the squared distance, then the trig-free
+  // field-of-view classifier — the real-math condition
+  //     angular_distance(angle(d), orientation) <= fov/2
+  //       <=>  dot(d, u) >= |d| * cos(fov/2)        (u = unit orientation)
+  //       <=>  dot*|dot| >= q * |d|^2               (x*|x| is monotone)
+  // decided outside a 1e-9 relative band around the threshold; inside the
+  // band (or when the cell-wide shift is invalid) the scalar oracle's exact
+  // arithmetic is used, so the covered SET always matches `covers`.
+  // atan2 runs only for cameras that actually cover the point, and the
+  // oracle's `normalize_angle(dir_sp + pi)` reduces to a branch because
+  // fmod is the identity on [0, 2*pi).
+  const std::size_t b = point_cell(p);
+  const std::span<const Camera> cams = net_->cameras();
+  const bool torus = mode_ == geom::SpaceMode::kTorus;
+  const std::uint32_t lo = cell_offsets_[b];
+  const std::uint32_t hi = cell_offsets_[b + 1];
+  // Classify loop: branchless bitwise predicate plus a branchless
+  // compaction of the covered displacements, so the only data-dependent
+  // branches left are the two [[unlikely]] fallbacks.  atan2 (the single
+  // most expensive operation) runs in its own tight loop over the ~covered
+  // survivors instead of stalling the classify pipeline.
+  std::vector<double>& xs = scratch.dxs;
+  std::vector<double>& ys = scratch.dys;
+  if (xs.size() < hi - lo) {
+    xs.resize(hi - lo);
+    ys.resize(hi - lo);
+  }
+  std::size_t m = 0;
+  for (std::uint32_t e = lo; e < hi; ++e) {
+    const CandRec& rec = cell_recs_[e];
+    const std::uint8_t flags = cell_flags_[e];
+    if (!(flags & kFastDisp)) [[unlikely]] {
+      if (const auto dir = viewed_direction_if_covered(cams[cell_entries_[e]], p, mode_)) {
+        out.push_back(*dir);
+      }
+      continue;
+    }
+    double dx = p.x - rec.sx;
+    double dy = p.y - rec.sy;
+    if (torus) {
+      dx -= rec.kx;
+      if (dx >= 0.5) {
+        dx -= 1.0;
+      }
+      if (dx < -0.5) {
+        dx += 1.0;
+      }
+      dy -= rec.ky;
+      if (dy >= 0.5) {
+        dy -= 1.0;
+      }
+      if (dy < -0.5) {
+        dy += 1.0;
+      }
+    }
+    const double n2 = dx * dx + dy * dy;
+    const double dot = dx * rec.cu + dy * rec.su;
+    const double lhs = dot * std::abs(dot);
+    const double rhs = rec.q * n2;
+    const double band = 1e-9 * n2;
+    const bool in_radius = n2 <= rec.r2;
+    const bool omni = (flags & kOmni) != 0;
+    bool covered = in_radius & (omni | (lhs - rhs > band));
+    if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
+      if (n2 == 0.0) {
+        out.push_back(0.0);  // point coincides with the camera
+        continue;
+      }
+      const Camera& cam = cams[cell_entries_[e]];
+      covered =
+          geom::angular_distance(std::atan2(dy, dx), cam.orientation) <= 0.5 * cam.fov;
+    }
+    if (covered & (n2 == 0.0)) [[unlikely]] {  // omni camera at the point
+      out.push_back(0.0);
+      continue;
+    }
+    xs[m] = dx;
+    ys[m] = dy;
+    m += static_cast<std::size_t>(covered);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    const double v = std::atan2(ys[j], xs[j]) + geom::kPi;
+    out.push_back(v >= geom::kTwoPi ? 0.0 : v);
+  }
+}
+
+std::size_t GridEvalEngine::covered_count_at_least(const geom::Vec2& p,
+                                                   std::size_t k) const {
+  // Coverage-count variant of gather_directions: same covered set, no
+  // atan2 on the fast path, early exit at k.
+  const std::size_t b = point_cell(p);
+  const std::span<const Camera> cams = net_->cameras();
+  const bool torus = mode_ == geom::SpaceMode::kTorus;
+  std::size_t count = 0;
+  for (std::uint32_t e = cell_offsets_[b]; e < cell_offsets_[b + 1] && count < k; ++e) {
+    const CandRec& rec = cell_recs_[e];
+    const std::uint8_t flags = cell_flags_[e];
+    if (!(flags & kFastDisp)) {
+      if (covers(cams[cell_entries_[e]], p, mode_)) {
+        ++count;
+      }
+      continue;
+    }
+    double dx = p.x - rec.sx;
+    double dy = p.y - rec.sy;
+    if (torus) {
+      dx -= rec.kx;
+      if (dx >= 0.5) {
+        dx -= 1.0;
+      }
+      if (dx < -0.5) {
+        dx += 1.0;
+      }
+      dy -= rec.ky;
+      if (dy >= 0.5) {
+        dy -= 1.0;
+      }
+      if (dy < -0.5) {
+        dy += 1.0;
+      }
+    }
+    const double n2 = dx * dx + dy * dy;
+    const double dot = dx * rec.cu + dy * rec.su;
+    const double lhs = dot * std::abs(dot);
+    const double rhs = rec.q * n2;
+    const double band = 1e-9 * n2;
+    const bool in_radius = n2 <= rec.r2;
+    const bool omni = (flags & kOmni) != 0;
+    bool covered = in_radius & (omni | (lhs - rhs > band));
+    if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
+      if (n2 == 0.0) {
+        ++count;  // point coincides with the camera: always covered
+        continue;
+      }
+      const Camera& cam = cams[cell_entries_[e]];
+      covered =
+          geom::angular_distance(std::atan2(dy, dx), cam.orientation) <= 0.5 * cam.fov;
+    }
+    count += static_cast<std::size_t>(covered);
+  }
+  return count;
+}
+
+std::span<const double> GridEvalEngine::sorted_directions(std::size_t row,
+                                                          std::size_t col,
+                                                          GridEvalScratch& scratch) const {
+  std::vector<double>& a = scratch.angles;
+  a.clear();
+  gather_directions(grid_.point(row, col), scratch);
+  // Direction buffers are small (the point's covering-camera count), so
+  // insertion sort beats std::sort's dispatch; the sorted sequence is the
+  // same for any comparison sort (the values are NaN-free doubles).
+  if (a.size() <= 48) {
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      const double v = a[i];
+      std::size_t j = i;
+      for (; j > 0 && a[j - 1] > v; --j) {
+        a[j] = a[j - 1];
+      }
+      a[j] = v;
+    }
+  } else {
+    std::sort(a.begin(), a.end());
+  }
+  return a;
+}
+
+FullViewResult GridEvalEngine::point_full_view(std::size_t row, std::size_t col,
+                                               GridEvalScratch& scratch) const {
+  return full_view_from_sorted(sorted_directions(row, col, scratch), theta_);
+}
+
+bool GridEvalEngine::point_necessary(std::size_t row, std::size_t col,
+                                     GridEvalScratch& scratch) const {
+  return arcs_all_hit(sorted_directions(row, col, scratch), necessary_arcs_);
+}
+
+bool GridEvalEngine::point_sufficient(std::size_t row, std::size_t col,
+                                      GridEvalScratch& scratch) const {
+  return arcs_all_hit(sorted_directions(row, col, scratch), sufficient_arcs_);
+}
+
+GridRowStats GridEvalEngine::row_stats(std::size_t row, GridEvalScratch& scratch) const {
+  GridRowStats rs;
+  bool first = true;
+  for (std::size_t col = 0; col < cols(); ++col) {
+    const std::span<const double> dirs = sorted_directions(row, col, scratch);
+    if (!dirs.empty()) {
+      ++rs.covered_1;
+    }
+    if (dirs.size() >= implied_k_) {
+      ++rs.k_covered_ok;
+    }
+    const SortedGap gap = max_gap_sorted(dirs);
+    if (!dirs.empty() && gap.width <= 2.0 * theta_) {
+      ++rs.full_view_ok;
+    }
+    if (arcs_all_hit(dirs, necessary_arcs_)) {
+      ++rs.necessary_ok;
+    }
+    if (arcs_all_hit(dirs, sufficient_arcs_)) {
+      ++rs.sufficient_ok;
+    }
+    if (first) {
+      rs.min_max_gap = rs.max_max_gap = gap.width;
+      first = false;
+    } else {
+      rs.min_max_gap = std::min(rs.min_max_gap, gap.width);
+      rs.max_max_gap = std::max(rs.max_max_gap, gap.width);
+    }
+  }
+  return rs;
+}
+
+RegionCoverageStats GridEvalEngine::evaluate(GridEvalScratch& scratch) const {
+  RegionCoverageStats stats;
+  stats.total_points = grid_.size();
+  for (std::size_t row = 0; row < rows(); ++row) {
+    const GridRowStats rs = row_stats(row, scratch);
+    stats.covered_1 += rs.covered_1;
+    stats.necessary_ok += rs.necessary_ok;
+    stats.full_view_ok += rs.full_view_ok;
+    stats.sufficient_ok += rs.sufficient_ok;
+    stats.k_covered_ok += rs.k_covered_ok;
+    if (row == 0) {
+      stats.min_max_gap = rs.min_max_gap;
+      stats.max_max_gap = rs.max_max_gap;
+    } else {
+      stats.min_max_gap = std::min(stats.min_max_gap, rs.min_max_gap);
+      stats.max_max_gap = std::max(stats.max_max_gap, rs.max_max_gap);
+    }
+  }
+  return stats;
+}
+
+GridRowEvents GridEvalEngine::row_events(std::size_t row, GridEvalScratch& scratch,
+                                         bool need_full_view,
+                                         bool need_sufficient) const {
+  GridRowEvents ev;
+  ev.all_full_view = need_full_view;
+  ev.all_sufficient = need_sufficient;
+  for (std::size_t col = 0; col < cols(); ++col) {
+    const std::span<const double> dirs = sorted_directions(row, col, scratch);
+    if (!arcs_all_hit(dirs, necessary_arcs_)) {
+      return {false, false, false};
+    }
+    if (ev.all_full_view) {
+      const SortedGap gap = max_gap_sorted(dirs);
+      if (dirs.empty() || gap.width > 2.0 * theta_) {
+        ev.all_full_view = false;
+        ev.all_sufficient = false;  // sufficient implies full view
+      }
+    }
+    if (ev.all_sufficient && !arcs_all_hit(dirs, sufficient_arcs_)) {
+      ev.all_sufficient = false;
+    }
+  }
+  return ev;
+}
+
+bool GridEvalEngine::row_all_necessary(std::size_t row, GridEvalScratch& scratch) const {
+  for (std::size_t col = 0; col < cols(); ++col) {
+    if (!arcs_all_hit(sorted_directions(row, col, scratch), necessary_arcs_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GridEvalEngine::row_all_sufficient(std::size_t row, GridEvalScratch& scratch) const {
+  for (std::size_t col = 0; col < cols(); ++col) {
+    if (!arcs_all_hit(sorted_directions(row, col, scratch), sufficient_arcs_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GridEvalEngine::row_all_full_view(std::size_t row, GridEvalScratch& scratch) const {
+  for (std::size_t col = 0; col < cols(); ++col) {
+    const std::span<const double> dirs = sorted_directions(row, col, scratch);
+    if (dirs.empty() || max_gap_sorted(dirs).width > 2.0 * theta_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GridEvalEngine::row_all_k_covered(std::size_t row, std::size_t k,
+                                       GridEvalScratch& scratch) const {
+  (void)scratch;
+  if (k == 0) {
+    return true;
+  }
+  for (std::size_t col = 0; col < cols(); ++col) {
+    const geom::Vec2 p = grid_.point(row, col);
+    if (covered_count_at_least(p, k) < k) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fvc::core

@@ -1,0 +1,190 @@
+/// \file grid_eval.hpp
+/// \brief Batched grid-evaluation engine for the full-view hot path.
+///
+/// Every Monte-Carlo experiment reduces to evaluating the three full-view
+/// predicates (sufficient => full-view => necessary) at every point of a
+/// `DenseGrid`.  The scalar path does this one point at a time: a 3x3
+/// bucket walk through the spatial index, a heap-allocated viewed-direction
+/// vector, and three predicate calls that each rebuild their sector
+/// partition and re-sort the directions.  This engine restructures that
+/// work into a cache-friendly pipeline:
+///
+///   1. *Candidate binning* — one pass over the cameras bins them to a
+///      uniform cell grid (CSR layout).  A camera lands in every cell whose
+///      rectangle is within its sensing radius, so per-cell candidate lists
+///      are tighter than the index's 3x3 superset and are shared by all
+///      grid points in the cell.
+///   2. *Fused kernel* — per point, the viewed angles of covering cameras
+///      are gathered into a reusable scratch buffer and sorted in place
+///      once; the exact max-gap test and both sector conditions are then
+///      evaluated from that same sorted buffer with zero per-point heap
+///      allocations (sector partitions are precomputed per scan).
+///   3. *Row batching* — rows are independent work units, so callers can
+///      evaluate them serially (`evaluate`) or hand rows to
+///      `sim::parallel_for` and merge the per-row results in row order
+///      (`sim::evaluate_region_parallel`), which keeps results bit-identical
+///      for any thread count.
+///
+/// Determinism contract: for a fixed (network, grid, theta) every method is
+/// a pure function of its arguments, and every result is **bit-identical**
+/// to the scalar oracle (`full_view_covered`, `meets_necessary_condition`,
+/// `meets_sufficient_condition`, `evaluate_region_scalar`) — the engine
+/// gathers exactly the same set of covering cameras and replicates the
+/// oracle's floating-point arithmetic.  `tests/core/test_grid_eval.cpp`
+/// enforces this differentially over randomized deployments.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/core/grid.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/geometry/arc_set.hpp"
+
+namespace fvc::core {
+
+/// Reusable scratch buffers for the fused kernel.  One instance per worker
+/// thread; after warm-up the kernel performs no heap allocations.
+struct GridEvalScratch {
+  std::vector<double> angles;  ///< sorted viewed directions of one point
+  std::vector<double> dxs;     ///< displacements of covered candidates
+  std::vector<double> dys;     ///< (compacted by the classify loop)
+};
+
+/// Predicate aggregates over one grid row (the engine's unit of batching).
+struct GridRowStats {
+  std::size_t covered_1 = 0;
+  std::size_t necessary_ok = 0;
+  std::size_t full_view_ok = 0;
+  std::size_t sufficient_ok = 0;
+  std::size_t k_covered_ok = 0;
+  double min_max_gap = 0.0;  ///< over the row's points
+  double max_max_gap = 0.0;
+};
+
+/// Early-exit event bits of one row, mirroring `run_trial_events`.
+struct GridRowEvents {
+  bool all_necessary = true;
+  bool all_full_view = true;
+  bool all_sufficient = true;
+};
+
+/// The batched engine.  Holds a reference to the network; the network (and
+/// the grid's dimensions) must outlive the engine.
+class GridEvalEngine {
+ public:
+  /// Precompute sector partitions and bin cameras to grid cells.
+  /// \pre theta in (0, pi] (throws std::invalid_argument otherwise)
+  GridEvalEngine(const Network& net, const DenseGrid& grid, double theta);
+
+  [[nodiscard]] std::size_t rows() const { return grid_.side(); }
+  [[nodiscard]] std::size_t cols() const { return grid_.side(); }
+  [[nodiscard]] double theta() const { return theta_; }
+
+  /// Gather the viewed directions of cameras covering grid point
+  /// (row, col) into `scratch.angles`, sorted ascending.  The returned span
+  /// aliases the scratch buffer and is invalidated by the next call.
+  std::span<const double> sorted_directions(std::size_t row, std::size_t col,
+                                            GridEvalScratch& scratch) const;
+
+  /// Exact full-view result at one grid point; bit-identical to
+  /// `full_view_covered(net, grid.point(row, col), theta)`.
+  [[nodiscard]] FullViewResult point_full_view(std::size_t row, std::size_t col,
+                                               GridEvalScratch& scratch) const;
+
+  /// Sector conditions at one grid point; bit-identical to the
+  /// `meets_*_condition(net, p, theta)` oracles (start_line = 0).
+  [[nodiscard]] bool point_necessary(std::size_t row, std::size_t col,
+                                     GridEvalScratch& scratch) const;
+  [[nodiscard]] bool point_sufficient(std::size_t row, std::size_t col,
+                                      GridEvalScratch& scratch) const;
+
+  /// All predicates fused over one row.  \pre row < rows()
+  [[nodiscard]] GridRowStats row_stats(std::size_t row, GridEvalScratch& scratch) const;
+
+  /// All predicates fused over the whole grid (serial row loop).
+  /// Bit-identical to `evaluate_region_scalar`.
+  [[nodiscard]] RegionCoverageStats evaluate(GridEvalScratch& scratch) const;
+
+  /// Early-exit event evaluation of one row.  Returns immediately on the
+  /// first necessary-condition failure (with every bit false, matching the
+  /// trial semantics: the necessary condition is necessary, so nothing can
+  /// hold).  `need_full_view` / `need_sufficient` skip predicates the
+  /// caller has already falsified on earlier rows.
+  [[nodiscard]] GridRowEvents row_events(std::size_t row, GridEvalScratch& scratch,
+                                         bool need_full_view,
+                                         bool need_sufficient) const;
+
+  /// Early-exit single-predicate row scans backing the `grid_all_*` API.
+  [[nodiscard]] bool row_all_necessary(std::size_t row, GridEvalScratch& scratch) const;
+  [[nodiscard]] bool row_all_sufficient(std::size_t row, GridEvalScratch& scratch) const;
+  [[nodiscard]] bool row_all_full_view(std::size_t row, GridEvalScratch& scratch) const;
+
+  /// True when every point of the row is covered by at least `k` cameras.
+  /// Counts coverage only (no angle gathering), with per-point early exit.
+  [[nodiscard]] bool row_all_k_covered(std::size_t row, std::size_t k,
+                                       GridEvalScratch& scratch) const;
+
+  /// Binned candidate camera indices for the engine cell containing `p`
+  /// (superset of the cameras covering any point of that cell).
+  [[nodiscard]] std::span<const std::uint32_t> candidates(const geom::Vec2& p) const;
+
+  /// Engine binning cells per side (diagnostics / tests).
+  [[nodiscard]] std::size_t cells_per_side() const { return cells_; }
+
+ private:
+  /// Per-candidate record of the fused kernel, one 64-byte line per entry.
+  /// `kx`/`ky` are the torus unwrap shifts (0 or +-1) that make the plain
+  /// subtraction `(p - s) - k` bit-identical to `geom::wrap_delta` for every
+  /// grid point of the entry's cell; `q` is the signed square of
+  /// cos(fov/2), used by the trig-free field-of-view classifier.
+  struct CandRec {
+    double sx = 0.0;
+    double sy = 0.0;
+    double kx = 0.0;
+    double ky = 0.0;
+    double r2 = 0.0;
+    double cu = 0.0;  ///< cos(orientation)
+    double su = 0.0;  ///< sin(orientation)
+    double q = 0.0;   ///< cos(fov/2) * |cos(fov/2)|
+  };
+  static constexpr std::uint8_t kFastDisp = 1;  ///< cell-wide shift is valid
+  static constexpr std::uint8_t kOmni = 2;      ///< fov/2 >= pi: no fov test
+
+  [[nodiscard]] std::span<const std::uint32_t> cell_candidates(std::size_t cx,
+                                                               std::size_t cy) const;
+  [[nodiscard]] std::size_t point_cell(const geom::Vec2& p) const;
+  void bin_cameras();
+
+  /// Fused gather: viewed directions of all covering cameras into
+  /// `scratch.angles` (unsorted); the allocation-free core of
+  /// `sorted_directions`.
+  void gather_directions(const geom::Vec2& p, GridEvalScratch& scratch) const;
+
+  /// Covering-camera count with early exit at `k` (no angle computation on
+  /// the fast path).
+  [[nodiscard]] std::size_t covered_count_at_least(const geom::Vec2& p,
+                                                   std::size_t k) const;
+
+  const Network* net_ = nullptr;
+  DenseGrid grid_;
+  double theta_ = 0.0;
+  std::size_t implied_k_ = 0;
+  geom::SpaceMode mode_ = geom::SpaceMode::kTorus;
+  std::vector<geom::Arc> necessary_arcs_;   ///< 2*theta partition, start 0
+  std::vector<geom::Arc> sufficient_arcs_;  ///< theta partition, start 0
+
+  // CSR candidate binning: cameras per engine cell, with one SoA record and
+  // one flag byte per (cell, camera) entry.
+  std::size_t cells_ = 1;
+  std::vector<std::uint32_t> cell_offsets_;  ///< size cells_^2 + 1
+  std::vector<std::uint32_t> cell_entries_;  ///< camera indices per cell
+  std::vector<CandRec> cell_recs_;           ///< parallel to cell_entries_
+  std::vector<std::uint8_t> cell_flags_;     ///< parallel to cell_entries_
+};
+
+}  // namespace fvc::core

@@ -10,6 +10,13 @@ namespace fvc::core {
 
 KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
                                            double theta) {
+  MultiplicitySweepScratch scratch;
+  return min_direction_multiplicity(viewed_dirs, theta, scratch);
+}
+
+KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
+                                           double theta,
+                                           MultiplicitySweepScratch& scratch) {
   validate_theta(theta);
   if (viewed_dirs.empty()) {
     return {0, 0.0};
@@ -19,11 +26,8 @@ KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
   // interval (x, next event).  The sweep starts just past 0, so it is
   // seeded with the arcs that CROSS 0 (start > end after normalization) —
   // arcs merely touching 0 at an endpoint are handled by their own events.
-  struct Event {
-    double angle;
-    int delta;  // +1 opens an arc, -1 closes one
-  };
-  std::vector<Event> events;
+  auto& events = scratch.events;  // (angle, delta) pairs
+  events.clear();
   events.reserve(2 * viewed_dirs.size());
   std::size_t initial = 0;  // arcs covering the interval just after 0
   std::size_t whole_circle = 0;  // theta == pi: arcs of width 2*pi
@@ -35,19 +39,20 @@ KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
     }
     const double start = geom::normalize_angle(d - theta);
     const double end = geom::normalize_angle(d + theta);
-    events.push_back({start, +1});
-    events.push_back({end, -1});
+    events.emplace_back(start, +1);
+    events.emplace_back(end, -1);
     if (start > end) {
       ++initial;
     }
   }
   initial += whole_circle;
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.angle != b.angle) {
-      return a.angle < b.angle;
-    }
-    return a.delta > b.delta;  // process opens before closes at equal angle
-  });
+  std::sort(events.begin(), events.end(),
+            [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
+              if (a.first != b.first) {
+                return a.first < b.first;
+              }
+              return a.second > b.second;  // process opens before closes at equal angle
+            });
   // Walk the circle from 0; the multiplicity between consecutive events is
   // constant.  Track the minimum over the open intervals just after each
   // close event (the sparsest directions) and at the interval before the
@@ -58,14 +63,14 @@ KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
   // minimum is attained (or 0 when the pre-event stretch is the minimum).
   double best_dir = 0.0;
   double prev_angle = 0.0;
-  for (const Event& e : events) {
-    // Interval (prev_angle, e.angle) carries `count`.
-    if (e.angle > prev_angle && count < best) {
+  for (const auto& [angle, delta] : events) {
+    // Interval (prev_angle, angle) carries `count`.
+    if (angle > prev_angle && count < best) {
       best = count;
-      best_dir = 0.5 * (prev_angle + e.angle);
+      best_dir = 0.5 * (prev_angle + angle);
     }
-    count = e.delta > 0 ? count + 1 : count - 1;
-    prev_angle = e.angle;
+    count = delta > 0 ? count + 1 : count - 1;
+    prev_angle = angle;
   }
   // Final stretch back to 2*pi (same multiplicity as the initial stretch).
   if (geom::kTwoPi > prev_angle && count < best) {

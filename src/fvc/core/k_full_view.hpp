@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "fvc/core/network.hpp"
 #include "fvc/geometry/vec2.hpp"
@@ -40,6 +42,20 @@ struct KFullViewResult {
 /// \pre theta in (0, pi]
 [[nodiscard]] KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
                                                          double theta);
+
+/// Reusable endpoint-event buffer for the multiplicity sweep.  The grid
+/// evaluators call the sweep once per point; routing them through this
+/// scratch removes the per-point event-vector allocation.
+struct MultiplicitySweepScratch {
+  /// (angle, delta) endpoint events; +1 opens an arc, -1 closes one.
+  std::vector<std::pair<double, int>> events;
+};
+
+/// As above, but using caller-owned scratch (allocation-free steady state).
+/// The result is identical to the scratch-free overload.
+[[nodiscard]] KFullViewResult min_direction_multiplicity(std::span<const double> viewed_dirs,
+                                                         double theta,
+                                                         MultiplicitySweepScratch& scratch);
 
 /// True iff every facing direction has at least k covering sensors within
 /// theta.  k = 0 is trivially true; k = 1 is exact full-view coverage.

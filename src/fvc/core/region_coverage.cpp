@@ -4,7 +4,9 @@
 #include <limits>
 #include <vector>
 
+#include "fvc/core/grid_eval.hpp"
 #include "fvc/core/k_full_view.hpp"
+#include "fvc/geometry/angle.hpp"
 
 namespace fvc::core {
 
@@ -32,6 +34,13 @@ double RegionCoverageStats::fraction_k_covered() const {
 
 RegionCoverageStats evaluate_region(const Network& net, const DenseGrid& grid,
                                     double theta) {
+  const GridEvalEngine engine(net, grid, theta);
+  GridEvalScratch scratch;
+  return engine.evaluate(scratch);
+}
+
+RegionCoverageStats evaluate_region_scalar(const Network& net, const DenseGrid& grid,
+                                           double theta) {
   validate_theta(theta);
   RegionCoverageStats stats;
   stats.total_points = grid.size();
@@ -68,59 +77,83 @@ RegionCoverageStats evaluate_region(const Network& net, const DenseGrid& grid,
 }
 
 bool grid_all_necessary(const Network& net, const DenseGrid& grid, double theta) {
-  validate_theta(theta);
-  std::vector<double> dirs;
-  return grid.all_points([&](const geom::Vec2& p) {
-    net.viewed_directions_into(p, dirs);
-    return meets_necessary_condition(dirs, theta);
-  });
+  const GridEvalEngine engine(net, grid, theta);
+  GridEvalScratch scratch;
+  for (std::size_t row = 0; row < engine.rows(); ++row) {
+    if (!engine.row_all_necessary(row, scratch)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool grid_all_sufficient(const Network& net, const DenseGrid& grid, double theta) {
-  validate_theta(theta);
-  std::vector<double> dirs;
-  return grid.all_points([&](const geom::Vec2& p) {
-    net.viewed_directions_into(p, dirs);
-    return meets_sufficient_condition(dirs, theta);
-  });
+  const GridEvalEngine engine(net, grid, theta);
+  GridEvalScratch scratch;
+  for (std::size_t row = 0; row < engine.rows(); ++row) {
+    if (!engine.row_all_sufficient(row, scratch)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool grid_all_full_view(const Network& net, const DenseGrid& grid, double theta) {
-  validate_theta(theta);
-  std::vector<double> dirs;
-  return grid.all_points([&](const geom::Vec2& p) {
-    net.viewed_directions_into(p, dirs);
-    return full_view_covered(dirs, theta).covered;
-  });
+  const GridEvalEngine engine(net, grid, theta);
+  GridEvalScratch scratch;
+  for (std::size_t row = 0; row < engine.rows(); ++row) {
+    if (!engine.row_all_full_view(row, scratch)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool grid_all_k_covered(const Network& net, const DenseGrid& grid, std::size_t k) {
-  return grid.all_points([&](const geom::Vec2& p) { return k_covered(net, p, k); });
+  if (k == 0) {
+    return true;
+  }
+  // The engine requires a theta, but the k-coverage scan only needs the
+  // candidate binning; any valid theta works.
+  const GridEvalEngine engine(net, grid, geom::kPi);
+  GridEvalScratch scratch;
+  for (std::size_t row = 0; row < engine.rows(); ++row) {
+    if (!engine.row_all_k_covered(row, k, scratch)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::size_t min_full_view_degree(const Network& net, const DenseGrid& grid, double theta) {
-  validate_theta(theta);
+  const GridEvalEngine engine(net, grid, theta);
+  GridEvalScratch scratch;
+  MultiplicitySweepScratch sweep;
   std::size_t min_degree = std::numeric_limits<std::size_t>::max();
-  std::vector<double> dirs;
-  grid.for_each([&](std::size_t, const geom::Vec2& p) {
-    if (min_degree == 0) {
-      return;
+  for (std::size_t row = 0; row < engine.rows() && min_degree > 0; ++row) {
+    for (std::size_t col = 0; col < engine.cols() && min_degree > 0; ++col) {
+      const auto dirs = engine.sorted_directions(row, col, scratch);
+      min_degree =
+          std::min(min_degree, min_direction_multiplicity(dirs, theta, sweep).min_multiplicity);
     }
-    net.viewed_directions_into(p, dirs);
-    min_degree =
-        std::min(min_degree, min_direction_multiplicity(dirs, theta).min_multiplicity);
-  });
+  }
   return min_degree == std::numeric_limits<std::size_t>::max() ? 0 : min_degree;
 }
 
 double fraction_k_full_view(const Network& net, const DenseGrid& grid, double theta,
                             std::size_t k) {
-  validate_theta(theta);
-  std::vector<double> dirs;
-  const std::size_t hits = grid.count_points([&](const geom::Vec2& p) {
-    net.viewed_directions_into(p, dirs);
-    return k_full_view_covered(dirs, theta, k);
-  });
+  const GridEvalEngine engine(net, grid, theta);
+  GridEvalScratch scratch;
+  MultiplicitySweepScratch sweep;
+  std::size_t hits = 0;
+  for (std::size_t row = 0; row < engine.rows(); ++row) {
+    for (std::size_t col = 0; col < engine.cols(); ++col) {
+      const auto dirs = engine.sorted_directions(row, col, scratch);
+      if (k == 0 || min_direction_multiplicity(dirs, theta, sweep).min_multiplicity >= k) {
+        ++hits;
+      }
+    }
+  }
   return static_cast<double>(hits) / static_cast<double>(grid.size());
 }
 

@@ -41,8 +41,17 @@ struct RegionCoverageStats {
 };
 
 /// Evaluate every predicate at every grid point.  O(grid * candidates).
+/// Backed by the batched `GridEvalEngine` (see grid_eval.hpp); bit-identical
+/// to `evaluate_region_scalar`.
 [[nodiscard]] RegionCoverageStats evaluate_region(const Network& net, const DenseGrid& grid,
                                                   double theta);
+
+/// The original point-at-a-time evaluation.  Kept as the reference oracle
+/// for the batched engine's differential tests and the bench_compare
+/// regression harness; prefer `evaluate_region` everywhere else.
+[[nodiscard]] RegionCoverageStats evaluate_region_scalar(const Network& net,
+                                                         const DenseGrid& grid,
+                                                         double theta);
 
 /// Early-exit whole-grid events (cheaper than evaluate_region when only the
 /// event bit is needed, as in the Monte-Carlo threshold scans).

@@ -1,0 +1,76 @@
+#include "fvc/sim/parallel_region.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "fvc/core/grid_eval.hpp"
+#include "fvc/sim/thread_pool.hpp"
+
+namespace fvc::sim {
+
+core::RegionCoverageStats evaluate_region_parallel(const core::Network& net,
+                                                   const core::DenseGrid& grid,
+                                                   double theta, std::size_t threads) {
+  const core::GridEvalEngine engine(net, grid, theta);
+  const std::size_t rows = engine.rows();
+  std::vector<core::GridRowStats> row_stats(rows);
+  parallel_for(rows, threads, [&](std::size_t row) {
+    thread_local core::GridEvalScratch scratch;
+    row_stats[row] = engine.row_stats(row, scratch);
+  });
+  // Reduce in row order.  The counts are order-independent sums and the
+  // min/max reductions are associative and commutative, so the totals are
+  // bit-identical to the serial scan regardless of how rows were scheduled.
+  core::RegionCoverageStats stats;
+  stats.total_points = grid.size();
+  for (std::size_t row = 0; row < rows; ++row) {
+    const core::GridRowStats& rs = row_stats[row];
+    stats.covered_1 += rs.covered_1;
+    stats.necessary_ok += rs.necessary_ok;
+    stats.full_view_ok += rs.full_view_ok;
+    stats.sufficient_ok += rs.sufficient_ok;
+    stats.k_covered_ok += rs.k_covered_ok;
+    if (row == 0) {
+      stats.min_max_gap = rs.min_max_gap;
+      stats.max_max_gap = rs.max_max_gap;
+    } else {
+      stats.min_max_gap = std::min(stats.min_max_gap, rs.min_max_gap);
+      stats.max_max_gap = std::max(stats.max_max_gap, rs.max_max_gap);
+    }
+  }
+  return stats;
+}
+
+GridEvents grid_events_parallel(const core::Network& net, const core::DenseGrid& grid,
+                                double theta, std::size_t threads) {
+  const core::GridEvalEngine engine(net, grid, theta);
+  const std::size_t rows = engine.rows();
+  std::vector<core::GridRowEvents> row_events(rows);
+  // Cooperative early exit: a necessary-condition failure anywhere decides
+  // the whole result, so later rows may be skipped.  Skipped rows default
+  // to all-true and cannot flip the AND-reduction, which keeps the result
+  // independent of scheduling.
+  std::atomic<bool> necessary_failed{false};
+  parallel_for(rows, threads, [&](std::size_t row) {
+    if (necessary_failed.load(std::memory_order_relaxed)) {
+      return;
+    }
+    thread_local core::GridEvalScratch scratch;
+    row_events[row] = engine.row_events(row, scratch, true, true);
+    if (!row_events[row].all_necessary) {
+      necessary_failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  GridEvents ev{true, true, true};
+  for (const core::GridRowEvents& re : row_events) {
+    if (!re.all_necessary) {
+      return {false, false, false};
+    }
+    ev.all_full_view = ev.all_full_view && re.all_full_view;
+    ev.all_sufficient = ev.all_sufficient && re.all_sufficient;
+  }
+  return ev;
+}
+
+}  // namespace fvc::sim

@@ -1,0 +1,45 @@
+/// \file parallel_region.hpp
+/// \brief Row-parallel batched grid evaluation for single deployments.
+///
+/// The Monte-Carlo estimators parallelize over *trials*, so per-trial grid
+/// scans stay serial.  Single-deployment workloads (the CLI tool, the CSA
+/// figure benches, interactive analysis of one large network) instead want
+/// parallelism *within* one grid scan.  These entry points batch the
+/// `GridEvalEngine` over grid rows through `sim::parallel_for`, writing
+/// per-row results into preallocated slots and reducing them in row order —
+/// so the result is bit-identical for every thread count (the determinism
+/// contract of monte_carlo.hpp, extended to the batched path; locked by
+/// tests/sim/test_determinism.cpp).
+
+#pragma once
+
+#include <cstddef>
+
+#include "fvc/core/grid.hpp"
+#include "fvc/core/network.hpp"
+#include "fvc/core/region_coverage.hpp"
+
+namespace fvc::sim {
+
+/// Row-parallel `core::evaluate_region`.  Bit-identical to the serial
+/// (and scalar) evaluation for any `threads` >= 1.
+[[nodiscard]] core::RegionCoverageStats evaluate_region_parallel(
+    const core::Network& net, const core::DenseGrid& grid, double theta,
+    std::size_t threads);
+
+/// Whole-grid events of one deployment (the H_N / full-view / H_S bits).
+struct GridEvents {
+  bool all_necessary = false;
+  bool all_full_view = false;
+  bool all_sufficient = false;
+};
+
+/// Row-parallel whole-grid event evaluation with cooperative early exit:
+/// once some row fails the necessary condition the remaining rows are
+/// skipped (the result is already {false, false, false}, matching
+/// `run_trial_events` semantics).  Bit-identical for any thread count.
+[[nodiscard]] GridEvents grid_events_parallel(const core::Network& net,
+                                              const core::DenseGrid& grid, double theta,
+                                              std::size_t threads);
+
+}  // namespace fvc::sim

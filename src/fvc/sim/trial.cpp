@@ -1,9 +1,9 @@
 #include "fvc/sim/trial.hpp"
 
 #include <stdexcept>
-#include <vector>
 
 #include "fvc/core/full_view.hpp"
+#include "fvc/core/grid_eval.hpp"
 #include "fvc/deploy/poisson.hpp"
 #include "fvc/deploy/uniform.hpp"
 #include "fvc/stats/rng.hpp"
@@ -42,23 +42,21 @@ core::Network deploy(const TrialConfig& cfg, std::uint64_t seed) {
 TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed) {
   const core::Network net = deploy(cfg, seed);
   const core::DenseGrid grid = cfg.grid();
+  // Batched row evaluation (trials are already parallel across workers, so
+  // the per-trial scan stays serial).  Per-point nesting is preserved: a
+  // necessary-condition failure anywhere fails everything, and predicates
+  // already falsified on earlier rows are skipped.
+  const core::GridEvalEngine engine(net, grid, cfg.theta);
+  core::GridEvalScratch scratch;
   TrialEvents ev{true, true, true};
-  std::vector<double> dirs;
-  const std::size_t total = grid.size();
-  for (std::size_t i = 0; i < total; ++i) {
-    const geom::Vec2 p = grid.point(i);
-    net.viewed_directions_into(p, dirs);
-    // Per-point nesting: a necessary-condition failure fails everything.
-    if (!core::meets_necessary_condition(dirs, cfg.theta)) {
+  for (std::size_t row = 0; row < engine.rows(); ++row) {
+    const core::GridRowEvents re =
+        engine.row_events(row, scratch, ev.all_full_view, ev.all_sufficient);
+    if (!re.all_necessary) {
       return {false, false, false};
     }
-    if (ev.all_full_view && !core::full_view_covered(dirs, cfg.theta).covered) {
-      ev.all_full_view = false;
-      ev.all_sufficient = false;  // sufficient implies full view
-    }
-    if (ev.all_sufficient && !core::meets_sufficient_condition(dirs, cfg.theta)) {
-      ev.all_sufficient = false;
-    }
+    ev.all_full_view = ev.all_full_view && re.all_full_view;
+    ev.all_sufficient = ev.all_sufficient && re.all_sufficient;
   }
   return ev;
 }

@@ -242,6 +242,39 @@ TEST(FullViewCovered, SufficientCountEvenlySpacedAlwaysCovers) {
   }
 }
 
+TEST(FullViewCovered, EmptySpanSemanticsFullyDefined) {
+  // Documented contract (full_view.hpp): zero covering sensors is a
+  // well-defined input for every theta — not covered (even at theta = pi),
+  // max_gap = 2*pi, and witness direction 0.
+  for (const double theta : {0.1, kHalfPi, kPi}) {
+    const FullViewResult r = full_view_covered(std::span<const double>{}, theta);
+    EXPECT_FALSE(r.covered);
+    EXPECT_EQ(r.max_gap, kTwoPi);
+    EXPECT_EQ(r.covering_count, 0u);
+    ASSERT_TRUE(r.witness_unsafe_direction.has_value());
+    EXPECT_EQ(*r.witness_unsafe_direction, 0.0);
+  }
+}
+
+TEST(IsSafeDirection, ThetaPiReducesToNonEmptiness) {
+  // At theta = pi every direction is within angular distance theta of any
+  // viewed direction, so safety is exactly "some sensor covers the point".
+  const std::array<double, 1> one = {1.0};
+  const std::array<double, 3> three = {0.3, 2.0, 5.5};
+  for (double d = 0.0; d < kTwoPi; d += 0.37) {
+    EXPECT_TRUE(is_safe_direction(one, d, kPi));
+    EXPECT_TRUE(is_safe_direction(three, d, kPi));
+    EXPECT_FALSE(is_safe_direction(std::span<const double>{}, d, kPi));
+  }
+}
+
+TEST(IsSafeDirection, EmptySpanNeverSafeAtAnyTheta) {
+  for (const double theta : {0.05, 1.0, kHalfPi, kPi}) {
+    EXPECT_FALSE(is_safe_direction(std::span<const double>{}, 0.0, theta));
+    EXPECT_FALSE(is_safe_direction(std::span<const double>{}, kPi, theta));
+  }
+}
+
 TEST(StartLine, NecessaryConditionDependsOnStartLineOnlyMildly) {
   // The paper fixes an arbitrary start line; rotating it can flip marginal
   // configurations but not clearly-covered ones.

@@ -1,0 +1,146 @@
+// Property tests for the predicate chain of full_view.hpp:
+//
+//   sufficient condition ==> exact full-view coverage ==> necessary condition
+//
+// over randomized viewed-direction sets, plus the remainder-sector edge
+// case: when 2*pi mod 2*theta != 0 the necessary partition carries an extra
+// sector T_{k+1} centred on the remainder's bisector, and a direction set
+// that hits every full sector but misses T_{k+1} must still fail.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "fvc/core/full_view.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/geometry/sector.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+using geom::kHalfPi;
+using geom::kPi;
+using geom::kTwoPi;
+
+// Angles that exercise exact division (pi/3, pi/2, pi), near-division
+// boundaries (pi/3 +- 1e-3), and generic irrational-ratio values.
+const double kChainThetas[] = {kPi / 12.0, kPi / 6.0,        kPi / 4.0,
+                               kPi / 3.0,  kPi / 3.0 - 1e-3, kPi / 3.0 + 1e-3,
+                               kHalfPi,    0.9,              1.234,
+                               kPi};
+
+void expect_chain_holds(const std::vector<double>& dirs, double theta,
+                        double start_line) {
+  const bool sufficient = meets_sufficient_condition(dirs, theta, start_line);
+  const bool covered = full_view_covered(dirs, theta).covered;
+  const bool necessary = meets_necessary_condition(dirs, theta, start_line);
+  // sufficient ==> covered ==> necessary, for any start line.
+  EXPECT_TRUE(!sufficient || covered)
+      << "sufficient held but exact coverage failed: theta=" << theta
+      << " start=" << start_line << " n=" << dirs.size();
+  EXPECT_TRUE(!covered || necessary)
+      << "exact coverage held but necessary failed: theta=" << theta
+      << " start=" << start_line << " n=" << dirs.size();
+}
+
+TEST(PredicateChain, NeverViolatedOnRandomDirectionSets) {
+  stats::Pcg32 rng = stats::make_child_rng(8101, 0);
+  for (const double theta : kChainThetas) {
+    for (int rep = 0; rep < 200; ++rep) {
+      const std::size_t count = stats::uniform_below(rng, 31);
+      std::vector<double> dirs(count);
+      for (double& d : dirs) {
+        d = stats::uniform_in(rng, 0.0, kTwoPi);
+      }
+      expect_chain_holds(dirs, theta, 0.0);
+      expect_chain_holds(dirs, theta, stats::uniform_in(rng, 0.0, kTwoPi));
+    }
+  }
+}
+
+TEST(PredicateChain, HoldsOnExactSectorBoundaries) {
+  // Directions pinned to multiples of theta/2, theta and 2*theta sit exactly
+  // on partition arc endpoints; closed containment must keep the chain.
+  for (const double theta : kChainThetas) {
+    for (const double step : {0.5 * theta, theta, 2.0 * theta}) {
+      std::vector<double> dirs;
+      for (double a = 0.0; a < kTwoPi; a += step) {
+        dirs.push_back(a);
+      }
+      expect_chain_holds(dirs, theta, 0.0);
+      expect_chain_holds(dirs, theta, theta);
+    }
+  }
+}
+
+TEST(PredicateChain, DenseSetsSatisfyEveryPredicate) {
+  // 1000 evenly spaced directions satisfy the sufficient condition for all
+  // test thetas, so the whole chain must report true.
+  std::vector<double> dirs;
+  for (std::size_t j = 0; j < 1000; ++j) {
+    dirs.push_back(static_cast<double>(j) * kTwoPi / 1000.0);
+  }
+  for (const double theta : kChainThetas) {
+    EXPECT_TRUE(meets_sufficient_condition(dirs, theta));
+    EXPECT_TRUE(full_view_covered(dirs, theta).covered);
+    EXPECT_TRUE(meets_necessary_condition(dirs, theta));
+  }
+}
+
+// theta = 0.9: the necessary partition has k = 3 full sectors of width 1.8
+// ([0,1.8], [1.8,3.6], [3.6,5.4]) and a remainder of 2*pi - 5.4 ~ 0.883, so
+// the extra sector T_4 spans [5.4 + 0.4417 - 0.9, 5.4 + 0.4417 + 0.9].
+// Directions at the three full-sector centres hit T_1..T_3 but miss T_4.
+TEST(RemainderSector, MissingTk1FailsNecessaryCondition) {
+  const double theta = 0.9;
+  ASSERT_EQ(geom::sector_partition_size(2.0 * theta), 4u);
+  const std::vector<double> centres = {0.9, 2.7, 4.5};
+  EXPECT_FALSE(meets_necessary_condition(centres, theta));
+  // Consistency: the exact predicate agrees (the wraparound gap from 4.5
+  // back to 0.9 is ~2.68 > 2*theta).
+  EXPECT_FALSE(full_view_covered(centres, theta).covered);
+  EXPECT_FALSE(meets_sufficient_condition(centres, theta));
+
+  // Adding a direction on T_4's bisector satisfies every sector.
+  const double remainder = kTwoPi - 3.0 * 2.0 * theta;
+  const double t4_bisector = 3.0 * 2.0 * theta + 0.5 * remainder;
+  std::vector<double> with_t4 = centres;
+  with_t4.push_back(t4_bisector);
+  EXPECT_TRUE(meets_necessary_condition(with_t4, theta));
+}
+
+TEST(RemainderSector, PartitionSizeStepsAcrossExactDivision) {
+  // At theta = pi/3 the necessary sector angle 2*theta divides 2*pi exactly
+  // (3 sectors, no remainder).  An epsilon below, the quotient stays 3 but
+  // a remainder appears (extra T_4); an epsilon above, the quotient drops
+  // to 2 and the remainder sector makes it 3 again.
+  EXPECT_EQ(geom::sector_partition_size(2.0 * (kPi / 3.0)), 3u);
+  EXPECT_EQ(geom::sector_partition_size(2.0 * (kPi / 3.0 - 1e-3)), 4u);
+  EXPECT_EQ(geom::sector_partition_size(2.0 * (kPi / 3.0 + 1e-3)), 3u);
+  // implied_k = ceil(pi/theta) steps at the same boundary.
+  EXPECT_EQ(implied_k(kPi / 3.0), 3u);
+  EXPECT_EQ(implied_k(kPi / 3.0 - 1e-3), 4u);
+  EXPECT_EQ(implied_k(kPi / 3.0 + 1e-3), 3u);
+}
+
+TEST(RemainderSector, ChainHoldsNearDivisionBoundary) {
+  // Stress the chain with direction counts around implied_k for thetas just
+  // below and above pi/3, where the partition layout changes shape.
+  stats::Pcg32 rng = stats::make_child_rng(8102, 1);
+  for (const double theta : {kPi / 3.0 - 1e-3, kPi / 3.0, kPi / 3.0 + 1e-3}) {
+    for (int rep = 0; rep < 300; ++rep) {
+      const std::size_t count = 2 + stats::uniform_below(rng, 6);
+      std::vector<double> dirs(count);
+      for (double& d : dirs) {
+        d = stats::uniform_in(rng, 0.0, kTwoPi);
+      }
+      expect_chain_holds(dirs, theta, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvc::core

@@ -1,0 +1,133 @@
+/// bench_compare — scalar-vs-batched regression harness for the grid
+/// evaluation hot path.
+///
+/// Runs the whole-grid three-predicate scan with the scalar oracle
+/// (`evaluate_region_scalar`), the batched engine (`evaluate_region`) and
+/// the row-parallel entry point (`sim::evaluate_region_parallel`), checks
+/// that all three produce bit-identical statistics, and writes a small JSON
+/// record (BENCH_grid_eval.json by default) so the speedup is tracked in
+/// version control and future PRs can detect regressions.
+///
+/// Usage: bench_compare [out.json] [n] [grid_side] [reps]
+///   defaults:          BENCH_grid_eval.json  1000  64  5
+///
+/// Exit status: 0 on success, 1 when the implementations disagree (the
+/// differential contract is part of the harness, not just the tests).
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/sim/parallel_region.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace {
+
+using namespace fvc;
+using Clock = std::chrono::steady_clock;
+
+double best_of_ms(std::size_t reps, const auto& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) {
+      best = ms;
+    }
+  }
+  return best;
+}
+
+bool same_stats(const core::RegionCoverageStats& a, const core::RegionCoverageStats& b) {
+  return a.total_points == b.total_points && a.covered_1 == b.covered_1 &&
+         a.necessary_ok == b.necessary_ok && a.full_view_ok == b.full_view_ok &&
+         a.sufficient_ok == b.sufficient_ok && a.k_covered_ok == b.k_covered_ok &&
+         a.min_max_gap == b.min_max_gap && a.max_max_gap == b.max_max_gap;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_grid_eval.json";
+  const std::size_t n = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 1000;
+  const std::size_t side = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 64;
+  const std::size_t reps =
+      std::max<std::size_t>(1, argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 5);
+  const double theta = geom::kPi / 4.0;
+  const std::size_t threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  const core::HeterogeneousProfile profile(std::vector<core::CameraGroupSpec>{
+      {0.5, 0.08, geom::kTwoPi}, {0.5, 0.12, 2.0}});
+  stats::Pcg32 rng = stats::make_child_rng(20240805, n);
+  const core::Network net = deploy::deploy_uniform_network(profile, n, rng);
+  const core::DenseGrid grid(side);
+
+  core::RegionCoverageStats scalar_stats;
+  core::RegionCoverageStats batched_stats;
+  core::RegionCoverageStats parallel_stats;
+  const double scalar_ms = best_of_ms(
+      reps, [&] { scalar_stats = core::evaluate_region_scalar(net, grid, theta); });
+  const double batched_ms =
+      best_of_ms(reps, [&] { batched_stats = core::evaluate_region(net, grid, theta); });
+  const double parallel_ms = best_of_ms(reps, [&] {
+    parallel_stats = sim::evaluate_region_parallel(net, grid, theta, threads);
+  });
+
+  if (!same_stats(scalar_stats, batched_stats) ||
+      !same_stats(scalar_stats, parallel_stats)) {
+    std::fprintf(stderr,
+                 "bench_compare: FAIL — batched/parallel results differ from the "
+                 "scalar oracle\n");
+    return 1;
+  }
+
+  const double speedup_batched = scalar_ms / batched_ms;
+  const double speedup_parallel = scalar_ms / parallel_ms;
+  std::printf("grid_eval whole-grid scan: n=%zu grid=%zux%zu theta=pi/4 reps=%zu\n", n,
+              side, side, reps);
+  std::printf("  scalar   : %9.3f ms\n", scalar_ms);
+  std::printf("  batched  : %9.3f ms  (%.2fx)\n", batched_ms, speedup_batched);
+  std::printf("  parallel : %9.3f ms  (%.2fx, %zu threads)\n", parallel_ms,
+              speedup_parallel, threads);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_compare: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"grid_eval_whole_grid_scan\",\n"
+               "  \"n\": %zu,\n"
+               "  \"grid_side\": %zu,\n"
+               "  \"theta\": \"pi/4\",\n"
+               "  \"reps\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"scalar_ms\": %.3f,\n"
+               "  \"batched_ms\": %.3f,\n"
+               "  \"parallel_ms\": %.3f,\n"
+               "  \"speedup_batched\": %.2f,\n"
+               "  \"speedup_parallel\": %.2f,\n"
+               "  \"results_bit_identical\": true\n"
+               "}\n",
+               n, side, reps, threads, scalar_ms, batched_ms, parallel_ms,
+               speedup_batched, speedup_parallel);
+  const bool write_error = std::ferror(out) != 0;
+  if (std::fclose(out) != 0 || write_error) {
+    std::fprintf(stderr, "bench_compare: failed writing %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
