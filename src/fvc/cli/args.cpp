@@ -71,6 +71,39 @@ std::size_t Args::get_size(const std::string& key, std::size_t fallback) const {
   return static_cast<std::size_t>(v);
 }
 
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("flag --" + key + " is not a boolean: " + v);
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(it->second, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " is not an integer: " + it->second);
+  }
+  if (consumed != it->second.size()) {
+    throw std::invalid_argument("flag --" + key + " has trailing junk: " + it->second);
+  }
+  return value;
+}
+
 void Args::expect_only(const std::set<std::string>& allowed) const {
   for (const auto& [key, value] : flags_) {
     if (allowed.count(key) == 0) {

@@ -33,6 +33,10 @@ class Args {
                                        const std::string& fallback) const;
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] std::size_t get_size(const std::string& key, std::size_t fallback) const;
+  /// Booleans accept 1/0, true/false, yes/no, on/off (case-sensitive).
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  /// Signed integer with full-token validation (no trailing junk).
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
 
   /// Verify every provided flag is in `allowed`; throws listing the first
   /// unknown flag otherwise.  Call once per subcommand.

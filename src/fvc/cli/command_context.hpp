@@ -1,0 +1,57 @@
+/// \file command_context.hpp
+/// \brief Everything a subcommand handler needs for one invocation.
+///
+/// A CommandContext bundles the parsed arguments, the stream the report
+/// goes to, the run's metrics tree (see fvc/obs) and a cancellation token
+/// an embedding layer may trip.  Handlers take `CommandContext&` instead
+/// of `(const Args&, std::ostream&)` so cross-cutting concerns can grow
+/// without touching every handler signature again.
+///
+/// Metrics policy: handlers may always record cheap scalars and spans into
+/// `root()` (the tree is discarded unless requested), but any *extra work*
+/// done only for observability — and any node handed to the sim layer's
+/// metered entry points — must be gated on `metrics_requested()` via
+/// `metrics_child()`, which returns nullptr when no report was asked for.
+
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "fvc/cli/args.hpp"
+#include "fvc/obs/cancellation.hpp"
+#include "fvc/obs/run_metrics.hpp"
+
+namespace fvc::cli {
+
+/// Per-invocation state shared by a subcommand handler and run_command.
+class CommandContext {
+ public:
+  CommandContext(const Args& args, std::ostream& out) : args_(args), out_(out) {}
+
+  CommandContext(const CommandContext&) = delete;
+  CommandContext& operator=(const CommandContext&) = delete;
+
+  [[nodiscard]] const Args& args() const { return args_; }
+  [[nodiscard]] std::ostream& out() { return out_; }
+  [[nodiscard]] obs::RunMetrics& metrics() { return metrics_; }
+  [[nodiscard]] obs::MetricsNode& root() { return metrics_.root(); }
+  [[nodiscard]] obs::CancellationToken& cancel() { return cancel_; }
+
+  /// True when the caller asked for a metrics report (--metrics FILE).
+  [[nodiscard]] bool metrics_requested() const { return args_.has("metrics"); }
+
+  /// Child of the root when metrics were requested, nullptr otherwise —
+  /// the shape the sim layer's RunOptions/metered entry points expect.
+  [[nodiscard]] obs::MetricsNode* metrics_child(std::string_view name) {
+    return metrics_requested() ? &metrics_.root().child(name) : nullptr;
+  }
+
+ private:
+  const Args& args_;
+  std::ostream& out_;
+  obs::RunMetrics metrics_;
+  obs::CancellationToken cancel_;
+};
+
+}  // namespace fvc::cli

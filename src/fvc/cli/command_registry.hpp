@@ -1,0 +1,51 @@
+/// \file command_registry.hpp
+/// \brief The single source of truth for fvc_sim's subcommands and flags.
+///
+/// Each subcommand is one CommandSpec row: name, one-line summary, handler
+/// and flag table.  Both the help text (print_help in commands.hpp) and
+/// the per-command `Args::expect_only` allowlists are generated from this
+/// table, so a flag added here is simultaneously documented and accepted —
+/// the two can no longer drift apart (tests/cli/test_commands.cpp locks
+/// this by diffing the help against the registry).
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fvc::cli {
+
+class CommandContext;
+
+/// One flag a subcommand accepts.
+struct FlagSpec {
+  std::string_view name;      ///< flag name without the leading "--"
+  std::string_view value;     ///< placeholder for help text, e.g. "N", "FILE"
+  std::string_view fallback;  ///< printed default; "" = optional, no default
+  std::string_view help;      ///< one-line description
+};
+
+/// One subcommand: name, summary, handler, and the flags it accepts.
+struct CommandSpec {
+  std::string_view name;
+  std::string_view summary;
+  int (*run)(CommandContext&);
+  std::vector<FlagSpec> flags;
+};
+
+/// All subcommands, in help order.
+[[nodiscard]] const std::vector<CommandSpec>& command_table();
+
+/// Flags every subcommand accepts (--metrics).
+[[nodiscard]] const std::vector<FlagSpec>& global_flags();
+
+/// Look a subcommand up by name; nullptr when unknown.
+[[nodiscard]] const CommandSpec* find_command(std::string_view name);
+
+/// `Args::expect_only` allowlist: the command's own flags plus the global
+/// ones.
+[[nodiscard]] std::set<std::string> allowed_flags(const CommandSpec& cmd);
+
+}  // namespace fvc::cli

@@ -1,6 +1,8 @@
 #include "fvc/cli/commands.hpp"
 
+#include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <vector>
 
 #include "fvc/analysis/csa.hpp"
@@ -9,62 +11,25 @@
 #include "fvc/analysis/poisson_theory.hpp"
 #include "fvc/analysis/uniform_theory.hpp"
 #include "fvc/barrier/barrier.hpp"
+#include "fvc/cli/command_registry.hpp"
 #include "fvc/core/full_view.hpp"
 #include "fvc/deploy/uniform.hpp"
 #include "fvc/geometry/angle.hpp"
 #include "fvc/io/network_io.hpp"
+#include "fvc/obs/json_export.hpp"
+#include "fvc/opt/greedy_repair.hpp"
+#include "fvc/opt/orient_optimizer.hpp"
 #include "fvc/report/heatmap.hpp"
 #include "fvc/report/table.hpp"
 #include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/parallel_region.hpp"
 #include "fvc/sim/phase_scan.hpp"
-#include "fvc/opt/greedy_repair.hpp"
-#include "fvc/opt/orient_optimizer.hpp"
 #include "fvc/sim/sweep.hpp"
 #include "fvc/sim/thread_pool.hpp"
 #include "fvc/stats/rng.hpp"
 #include "fvc/track/trajectory.hpp"
 
 namespace fvc::cli {
-
-void print_help(std::ostream& out) {
-  out <<
-      R"(fvc_sim — full-view coverage simulator (ICDCS 2012 reproduction)
-
-usage: fvc_sim <command> [--flag value ...]
-
-commands:
-  csa       --n 1000 --theta 0.785
-            print s_Nc and s_Sc (Theorems 1 and 2)
-  plan      --n 1000 --theta 0.785 --fov 2.0 --margin 1.5 [--radius R]
-            radius needed to hit margin * s_Sc; population for a fixed
-            --radius when provided
-  simulate  --n 500 --theta 0.785 --radius 0.15 --fov 2.0
-            [--trials 40] [--seed 1] [--poisson 1] [--grid-side S]
-            Monte-Carlo P(H_N), P(full view), P(H_S)
-  poisson   --n 500 --theta 0.785 --radius 0.15 --fov 2.0
-            closed-form P_N and P_S (Theorems 3 and 4)
-  exact     --n 500 --theta 0.785 --radius 0.15 --fov 2.0
-            exact per-point full-view law next to both sector bounds
-  phase     --n 500 --theta 0.785 [--q-lo 0.5] [--q-hi 3] [--points 6]
-            [--trials 30] [--seed 1]
-  map       --n 300 --theta 0.785 --radius 0.15 --fov 2.0
-            [--seed 1] [--side 48] [--save FILE] [--load FILE]
-            ASCII heatmap: '@' full-view covered, ' ' uncovered
-  barrier   --n 400 --theta 0.785 --radius 0.2 --fov 2.0 [--seed 1]
-            [--y-lo 0.45] [--y-hi 0.55]
-            weak/strong full-view barrier coverage of a strip
-  track     --n 400 --theta 0.785 --radius 0.2 --fov 2.0
-            [--walks 20] [--seed 1]
-            face-capture audit along random intruder walks
-  repair    --n 300 --theta 0.785 --radius 0.2 --fov 2.0 [--seed 1]
-            [--grid-side 20] [--save FILE] [--load FILE]
-            greedily patch holes until the grid is full-view covered
-  aim       --n 300 --theta 0.785 --radius 0.2 --fov 1.2 [--seed 1]
-            [--grid-side 16] [--candidates 12] [--save FILE] [--load FILE]
-            optimize camera orientations in place (positions fixed)
-  help      this text
-)";
-}
 
 namespace {
 
@@ -74,28 +39,36 @@ sim::TrialConfig config_from(const Args& args) {
   cfg.theta = args.get_double("theta", geom::kHalfPi);
   cfg.profile = core::HeterogeneousProfile::homogeneous(args.get_double("radius", 0.15),
                                                         args.get_double("fov", 2.0));
-  cfg.deployment = args.get_double("poisson", 0.0) != 0.0 ? sim::Deployment::kPoisson
-                                                          : sim::Deployment::kUniform;
+  cfg.deployment = args.get_bool("poisson", false) ? sim::Deployment::kPoisson
+                                                   : sim::Deployment::kUniform;
   if (args.has("grid-side")) {
     cfg.grid_side = args.get_size("grid-side", 32);
   }
   return cfg;
 }
 
-core::Network deploy_or_load(const Args& args) {
-  if (args.has("load")) {
-    return core::Network(io::load_cameras_file(args.get_string("load", "")));
-  }
-  const auto profile = core::HeterogeneousProfile::homogeneous(
-      args.get_double("radius", 0.15), args.get_double("fov", 2.0));
-  stats::Pcg32 rng(args.get_size("seed", 1));
-  return deploy::deploy_uniform_network(profile, args.get_size("n", 300), rng);
+core::Network deploy_or_load(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  obs::MetricsNode& node = ctx.root().child("deploy");
+  obs::Span span(node);
+  core::Network net = [&] {
+    if (args.has("load")) {
+      return core::Network(io::load_cameras_file(args.get_string("load", "")));
+    }
+    const auto profile = core::HeterogeneousProfile::homogeneous(
+        args.get_double("radius", 0.15), args.get_double("fov", 2.0));
+    stats::Pcg32 rng(args.get_size("seed", 1));
+    return deploy::deploy_uniform_network(profile, args.get_size("n", 300), rng);
+  }();
+  node.set("cameras", static_cast<double>(net.size()));
+  node.set("loaded", args.has("load") ? 1.0 : 0.0);
+  return net;
 }
 
 }  // namespace
 
-int cmd_csa(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta"});
+int cmd_csa(CommandContext& ctx) {
+  const Args& args = ctx.args();
   const double n = args.get_double("n", 1000.0);
   const double theta = args.get_double("theta", geom::kHalfPi);
   report::Table t({"quantity", "value"});
@@ -103,12 +76,13 @@ int cmd_csa(const Args& args, std::ostream& out) {
   t.add_row({"s_Sc (sufficient CSA)", report::fmt_sci(analysis::csa_sufficient(n, theta))});
   t.add_row({"sectors k_N", std::to_string(analysis::necessary_sector_count(theta))});
   t.add_row({"sectors k_S", std::to_string(analysis::sufficient_sector_count(theta))});
-  t.print(out);
+  t.print(ctx.out());
+  ctx.root().set("n", n);
   return 0;
 }
 
-int cmd_plan(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "fov", "margin", "radius"});
+int cmd_plan(CommandContext& ctx) {
+  const Args& args = ctx.args();
   const double n = args.get_double("n", 1000.0);
   const double theta = args.get_double("theta", geom::kHalfPi);
   const double fov = args.get_double("fov", 2.0);
@@ -125,17 +99,20 @@ int cmd_plan(const Args& args, std::ostream& out) {
         analysis::Condition::kSufficient, profile, theta, margin, 3, 100000000);
     t.add_row({"population for given radius", std::to_string(pop)});
   }
-  t.print(out);
+  t.print(ctx.out());
+  ctx.root().set("n", n);
   return 0;
 }
 
-int cmd_simulate(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov", "trials", "seed", "poisson",
-                    "grid-side"});
+int cmd_simulate(CommandContext& ctx) {
+  const Args& args = ctx.args();
   const sim::TrialConfig cfg = config_from(args);
+  sim::RunOptions options;
+  options.cancel = &ctx.cancel();
+  options.metrics = ctx.metrics_child("estimate");
   const auto est = sim::estimate_grid_events(cfg, args.get_size("trials", 40),
                                              args.get_size("seed", 1),
-                                             sim::default_thread_count());
+                                             sim::default_thread_count(), options);
   report::Table t({"event", "probability", "95% CI"});
   const auto row = [&](const char* name, const sim::EventEstimate& e) {
     const auto ci = e.wilson();
@@ -145,12 +122,12 @@ int cmd_simulate(const Args& args, std::ostream& out) {
   row("grid meets necessary condition (H_N)", est.necessary);
   row("grid full-view covered", est.full_view);
   row("grid meets sufficient condition (H_S)", est.sufficient);
-  t.print(out);
+  t.print(ctx.out());
   return 0;
 }
 
-int cmd_poisson(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov"});
+int cmd_poisson(CommandContext& ctx) {
+  const Args& args = ctx.args();
   const double n = args.get_double("n", 500.0);
   const double theta = args.get_double("theta", geom::kHalfPi);
   const auto profile = core::HeterogeneousProfile::homogeneous(
@@ -160,12 +137,13 @@ int cmd_poisson(const Args& args, std::ostream& out) {
              report::fmt(analysis::prob_point_necessary_poisson(profile, n, theta), 4)});
   t.add_row({"P_S (Theorem 4)",
              report::fmt(analysis::prob_point_sufficient_poisson(profile, n, theta), 4)});
-  t.print(out);
+  t.print(ctx.out());
+  ctx.root().set("n", n);
   return 0;
 }
 
-int cmd_exact(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov"});
+int cmd_exact(CommandContext& ctx) {
+  const Args& args = ctx.args();
   const std::size_t n = args.get_size("n", 500);
   const double theta = args.get_double("theta", geom::kHalfPi);
   const auto profile = core::HeterogeneousProfile::homogeneous(
@@ -177,12 +155,13 @@ int cmd_exact(const Args& args, std::ostream& out) {
              report::fmt(analysis::prob_point_full_view_uniform(profile, n, theta), 4)});
   t.add_row({"necessary condition (Sec III bound)",
              report::fmt(analysis::point_success_necessary(profile, n, theta), 4)});
-  t.print(out);
+  t.print(ctx.out());
+  ctx.root().set("n", static_cast<double>(n));
   return 0;
 }
 
-int cmd_phase(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "q-lo", "q-hi", "points", "trials", "seed"});
+int cmd_phase(CommandContext& ctx) {
+  const Args& args = ctx.args();
   sim::PhaseScanConfig scan;
   scan.base.n = args.get_size("n", 500);
   scan.base.theta = args.get_double("theta", geom::kHalfPi);
@@ -191,88 +170,139 @@ int cmd_phase(const Args& args, std::ostream& out) {
                                 args.get_size("points", 6));
   scan.trials = args.get_size("trials", 30);
   scan.master_seed = args.get_size("seed", 1);
+  scan.cancel = &ctx.cancel();
+  scan.metrics = ctx.metrics_child("phase");
+  std::optional<obs::Span> span;
+  if (scan.metrics != nullptr) {
+    span.emplace(*scan.metrics);
+  }
   const auto points = sim::run_phase_scan(scan);
+  if (span.has_value()) {
+    span->stop();
+  }
+  if (scan.metrics != nullptr) {
+    scan.metrics->set("points_requested", static_cast<double>(scan.q_values.size()));
+    scan.metrics->set("points_run", static_cast<double>(points.size()));
+  }
   report::Table t({"q", "P(H_N)", "P(full view)", "P(H_S)"});
   for (const auto& pt : points) {
     t.add_row({report::fmt(pt.q, 2), report::fmt(pt.events.necessary.p(), 3),
                report::fmt(pt.events.full_view.p(), 3),
                report::fmt(pt.events.sufficient.p(), 3)});
   }
-  t.print(out);
+  t.print(ctx.out());
   return 0;
 }
 
-int cmd_map(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov", "seed", "side", "save", "load"});
+int cmd_map(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  std::ostream& out = ctx.out();
   const double theta = args.get_double("theta", geom::kHalfPi);
-  const core::Network net = deploy_or_load(args);
+  const core::Network net = deploy_or_load(ctx);
   if (args.has("save")) {
     io::save_cameras_file(args.get_string("save", ""), net.cameras());
     out << "saved " << net.size() << " cameras to " << args.get_string("save", "")
         << "\n";
   }
-  std::vector<double> dirs;
-  const report::CoverageMap map(args.get_size("side", 48), [&](const geom::Vec2& p) {
-    net.viewed_directions_into(p, dirs);
-    return core::full_view_covered(dirs, theta).covered ? 1.0 : 0.0;
-  });
-  map.render_ascii(out);
+  const std::size_t side = args.get_size("side", 48);
+  {
+    obs::Span span(ctx.root().child("render"));
+    std::vector<double> dirs;
+    const report::CoverageMap map(side, [&](const geom::Vec2& p) {
+      net.viewed_directions_into(p, dirs);
+      return core::full_view_covered(dirs, theta).covered ? 1.0 : 0.0;
+    });
+    map.render_ascii(out);
+  }
   out << "('@' = full-view covered, ' ' = not)\n";
+  // Metrics-only extra pass: the ASCII map samples cell centers through the
+  // point API, so the engine counters come from a metered whole-grid
+  // evaluation on a grid of the same side (engine points == side^2).
+  if (obs::MetricsNode* node = ctx.metrics_child("region")) {
+    obs::Span span(*node);
+    const core::DenseGrid grid(side);
+    const core::RegionCoverageStats stats = sim::evaluate_region_parallel_metered(
+        net, grid, theta, sim::default_thread_count(), *node);
+    node->set("grid_points", static_cast<double>(stats.total_points));
+    node->set("covered_1_points", static_cast<double>(stats.covered_1));
+    node->set("full_view_points", static_cast<double>(stats.full_view_ok));
+  }
   return 0;
 }
 
-int cmd_barrier(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov", "seed", "y-lo", "y-hi", "load"});
+int cmd_barrier(CommandContext& ctx) {
+  const Args& args = ctx.args();
   const double theta = args.get_double("theta", geom::kHalfPi);
-  const core::Network net = deploy_or_load(args);
+  const core::Network net = deploy_or_load(ctx);
   barrier::BarrierSpec strip;
   strip.y_lo = args.get_double("y-lo", 0.45);
   strip.y_hi = args.get_double("y-hi", 0.55);
-  const barrier::BarrierResult r = barrier::evaluate_barrier(net, strip, theta);
+  obs::MetricsNode& node = ctx.root().child("barrier");
+  const barrier::BarrierResult r = [&] {
+    obs::Span span(node);
+    return barrier::evaluate_barrier(net, strip, theta);
+  }();
+  node.set("covered_fraction", r.covered_fraction);
+  node.set("weak_held", r.weak ? 1.0 : 0.0);
+  node.set("strong_held", r.strong ? 1.0 : 0.0);
   report::Table t({"barrier metric", "value"});
   t.add_row({"strip cells full-view covered", report::fmt(r.covered_fraction, 3)});
   t.add_row({"weak barrier (straight crossings)", r.weak ? "HELD" : "BREACHED"});
   t.add_row({"strong barrier (any crossing path)", r.strong ? "HELD" : "BREACHED"});
-  t.print(out);
+  t.print(ctx.out());
   return 0;
 }
 
-int cmd_track(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov", "seed", "walks", "load"});
+int cmd_track(CommandContext& ctx) {
+  const Args& args = ctx.args();
   const double theta = args.get_double("theta", geom::kHalfPi);
-  const core::Network net = deploy_or_load(args);
+  const core::Network net = deploy_or_load(ctx);
   stats::Pcg32 rng(args.get_size("seed", 1) ^ 0x77AC4);
   const std::size_t walks = args.get_size("walks", 20);
   double fv = 0.0;
   double facing = 0.0;
   std::size_t captured_walks = 0;
-  for (std::size_t w = 0; w < walks; ++w) {
-    const track::Trajectory path = track::random_waypoint_path(rng, 4, 0.02);
-    const track::TrackReport r = track::evaluate_trajectory(net, path, theta);
-    fv += r.full_view_fraction();
-    facing += r.facing_captured_fraction();
-    captured_walks += r.first_capture.has_value() ? 1 : 0;
+  obs::MetricsNode& node = ctx.root().child("walks");
+  {
+    obs::Span span(node);
+    for (std::size_t w = 0; w < walks; ++w) {
+      const track::Trajectory path = track::random_waypoint_path(rng, 4, 0.02);
+      const track::TrackReport r = track::evaluate_trajectory(net, path, theta);
+      fv += r.full_view_fraction();
+      facing += r.facing_captured_fraction();
+      captured_walks += r.first_capture.has_value() ? 1 : 0;
+    }
   }
+  node.set("walks", static_cast<double>(walks));
+  node.set("captured_walks", static_cast<double>(captured_walks));
   report::Table t({"tracking metric", "value"});
   t.add_row({"mean path full-view fraction", report::fmt(fv / static_cast<double>(walks), 3)});
   t.add_row({"mean facing-captured fraction",
              report::fmt(facing / static_cast<double>(walks), 3)});
   t.add_row({"walks with at least one capture",
              std::to_string(captured_walks) + "/" + std::to_string(walks)});
-  t.print(out);
+  t.print(ctx.out());
   return 0;
 }
 
-int cmd_repair(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov", "seed", "grid-side", "save", "load"});
+int cmd_repair(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  std::ostream& out = ctx.out();
   const double theta = args.get_double("theta", geom::kHalfPi);
-  const core::Network net = deploy_or_load(args);
+  const core::Network net = deploy_or_load(ctx);
   const core::DenseGrid grid(args.get_size("grid-side", 20));
   opt::RepairConfig cfg;
   cfg.theta = theta;
   cfg.camera_radius = args.get_double("radius", 0.2);
   cfg.camera_fov = args.get_double("fov", 2.0);
-  const opt::RepairResult result = opt::repair_full_view(net, grid, cfg);
+  obs::MetricsNode& node = ctx.root().child("repair");
+  const opt::RepairResult result = [&] {
+    obs::Span span(node);
+    return opt::repair_full_view(net, grid, cfg);
+  }();
+  node.set("initial_holes", static_cast<double>(result.initial_holes));
+  node.set("cameras_added", static_cast<double>(result.added.size()));
+  node.set("success", result.success ? 1.0 : 0.0);
   report::Table t({"repair metric", "value"});
   t.add_row({"grid points failing before", std::to_string(result.initial_holes)});
   t.add_row({"patch cameras added", std::to_string(result.added.size())});
@@ -287,16 +317,24 @@ int cmd_repair(const Args& args, std::ostream& out) {
   return result.success ? 0 : 1;
 }
 
-int cmd_aim(const Args& args, std::ostream& out) {
-  args.expect_only({"n", "theta", "radius", "fov", "seed", "grid-side", "candidates",
-                    "save", "load"});
+int cmd_aim(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  std::ostream& out = ctx.out();
   const double theta = args.get_double("theta", geom::kHalfPi);
-  const core::Network net = deploy_or_load(args);
+  const core::Network net = deploy_or_load(ctx);
   const core::DenseGrid grid(args.get_size("grid-side", 16));
   opt::AimConfig cfg;
   cfg.theta = theta;
   cfg.candidates = args.get_size("candidates", 12);
-  const opt::AimResult result = opt::optimize_orientations(net, grid, cfg);
+  obs::MetricsNode& node = ctx.root().child("aim");
+  const opt::AimResult result = [&] {
+    obs::Span span(node);
+    return opt::optimize_orientations(net, grid, cfg);
+  }();
+  node.set("initial_covered", static_cast<double>(result.initial_covered));
+  node.set("final_covered", static_cast<double>(result.final_covered));
+  node.set("reorientations", static_cast<double>(result.reorientations));
+  node.set("sweeps", static_cast<double>(result.sweeps_used));
   report::Table t({"aiming metric", "value"});
   t.add_row({"grid points covered before", std::to_string(result.initial_covered)});
   t.add_row({"grid points covered after", std::to_string(result.final_covered)});
@@ -321,42 +359,31 @@ int run_command(const Args& args, std::ostream& out) {
     print_help(out);
     return 0;
   }
-  if (cmd == "csa") {
-    return cmd_csa(args, out);
+  const CommandSpec* spec = find_command(cmd);
+  if (spec == nullptr) {
+    out << "unknown command: " << cmd << "\n\n";
+    print_help(out);
+    return 1;
   }
-  if (cmd == "plan") {
-    return cmd_plan(args, out);
+  args.expect_only(allowed_flags(*spec));
+  CommandContext ctx(args, out);
+  ctx.metrics().set_label("tool", "fvc_sim");
+  ctx.metrics().set_label("command", cmd);
+  int code = 0;
+  {
+    obs::Span run_span(ctx.root());
+    code = spec->run(ctx);
   }
-  if (cmd == "simulate") {
-    return cmd_simulate(args, out);
+  ctx.root().set("exit_code", static_cast<double>(code));
+  if (ctx.metrics_requested()) {
+    const std::string path = args.get_string("metrics", "");
+    if (path.empty()) {
+      throw std::invalid_argument("--metrics needs a file path");
+    }
+    obs::write_json_file(path, ctx.metrics());
+    out << "metrics: wrote " << path << "\n";
   }
-  if (cmd == "poisson") {
-    return cmd_poisson(args, out);
-  }
-  if (cmd == "exact") {
-    return cmd_exact(args, out);
-  }
-  if (cmd == "phase") {
-    return cmd_phase(args, out);
-  }
-  if (cmd == "map") {
-    return cmd_map(args, out);
-  }
-  if (cmd == "barrier") {
-    return cmd_barrier(args, out);
-  }
-  if (cmd == "track") {
-    return cmd_track(args, out);
-  }
-  if (cmd == "repair") {
-    return cmd_repair(args, out);
-  }
-  if (cmd == "aim") {
-    return cmd_aim(args, out);
-  }
-  out << "unknown command: " << cmd << "\n\n";
-  print_help(out);
-  return 1;
+  return code;
 }
 
 }  // namespace fvc::cli

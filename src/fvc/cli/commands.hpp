@@ -2,56 +2,62 @@
 /// \brief The fvc_sim subcommand implementations, as a library.
 ///
 /// Keeping the handlers out of main() makes them unit-testable: each takes
-/// parsed Args and an output stream and returns a process exit code.
+/// a CommandContext (parsed args, report stream, metrics tree, cancellation
+/// token — see command_context.hpp) and returns a process exit code.
 /// Errors surface as exceptions; the binary's main() catches and reports.
+/// The flag tables live in command_registry.hpp; run_command glues them
+/// together (allowlist check, root span, --metrics JSON export).
 
 #pragma once
 
 #include <iosfwd>
 
 #include "fvc/cli/args.hpp"
+#include "fvc/cli/command_context.hpp"
 
 namespace fvc::cli {
 
-/// Print the usage text.
+/// Print the usage text (generated from the command registry).
 void print_help(std::ostream& out);
 
 /// Theorems 1-2 thresholds for (n, theta).
-int cmd_csa(const Args& args, std::ostream& out);
+int cmd_csa(CommandContext& ctx);
 
 /// Inverse design: radius (and population when --radius given).
-int cmd_plan(const Args& args, std::ostream& out);
+int cmd_plan(CommandContext& ctx);
 
 /// Monte-Carlo grid-event probabilities.
-int cmd_simulate(const Args& args, std::ostream& out);
+int cmd_simulate(CommandContext& ctx);
 
 /// Theorems 3-4 closed forms.
-int cmd_poisson(const Args& args, std::ostream& out);
+int cmd_poisson(CommandContext& ctx);
 
 /// Exact per-point law (Stevens mixture) next to the two sector bounds.
-int cmd_exact(const Args& args, std::ostream& out);
+int cmd_exact(CommandContext& ctx);
 
 /// Phase scan of q = s_c/s_Nc.
-int cmd_phase(const Args& args, std::ostream& out);
+int cmd_phase(CommandContext& ctx);
 
 /// ASCII coverage heatmap of one deployment (optionally saved/loaded).
-int cmd_map(const Args& args, std::ostream& out);
+int cmd_map(CommandContext& ctx);
 
 /// Full-view barrier coverage of a strip for one deployment.
-int cmd_barrier(const Args& args, std::ostream& out);
+int cmd_barrier(CommandContext& ctx);
 
 /// Along-path capture audit for random intruder walks.
-int cmd_track(const Args& args, std::ostream& out);
+int cmd_track(CommandContext& ctx);
 
 /// Greedy hole repair: patch a deployment up to full-view coverage.
-int cmd_repair(const Args& args, std::ostream& out);
+int cmd_repair(CommandContext& ctx);
 
 /// One-shot orientation optimization of a deployment.
-int cmd_aim(const Args& args, std::ostream& out);
+int cmd_aim(CommandContext& ctx);
 
 /// Dispatch on args.command(); empty command prints help and returns
 /// failure, "help" prints help and succeeds, unknown commands report and
-/// fail.
+/// fail.  Builds the CommandContext, enforces the registry's flag
+/// allowlist, wraps the handler in the root span, and — when --metrics
+/// FILE was given — writes the fvc.metrics/1 JSON document to FILE.
 int run_command(const Args& args, std::ostream& out);
 
 }  // namespace fvc::cli

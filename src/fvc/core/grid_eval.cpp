@@ -8,6 +8,7 @@
 #include "fvc/core/coverage.hpp"
 #include "fvc/geometry/angle.hpp"
 #include "fvc/geometry/sector.hpp"
+#include "fvc/obs/run_metrics.hpp"
 
 namespace fvc::core {
 
@@ -108,6 +109,15 @@ inline FullViewResult full_view_from_sorted(std::span<const double> sorted_dirs,
 
 }  // namespace
 
+void GridEvalCounters::describe(obs::MetricsNode& node) const {
+  node.add("points", static_cast<double>(points));
+  node.add("candidates_total", static_cast<double>(candidates_total));
+  node.add("directions_total", static_cast<double>(directions_total));
+  node.add("trig_fallbacks", static_cast<double>(trig_fallbacks));
+  node.add("slow_path_entries", static_cast<double>(slow_path_entries));
+  node.histogram("candidates_per_point").merge(candidates_per_point);
+}
+
 GridEvalEngine::GridEvalEngine(const Network& net, const DenseGrid& grid, double theta)
     : net_(&net), grid_(grid), theta_(theta) {
   validate_theta(theta);
@@ -115,7 +125,38 @@ GridEvalEngine::GridEvalEngine(const Network& net, const DenseGrid& grid, double
   mode_ = net.mode();
   necessary_arcs_ = geom::sector_partition(2.0 * theta);
   sufficient_arcs_ = geom::sector_partition(theta);
+  const std::uint64_t t0 = obs::monotonic_ns();
   bin_cameras();
+  build_ns_ = obs::monotonic_ns() - t0;
+}
+
+GridEvalEngine::BinOccupancy GridEvalEngine::occupancy() const {
+  BinOccupancy occ;
+  occ.cells = cells_ * cells_;
+  occ.entries = cell_entries_.size();
+  for (std::size_t b = 0; b < occ.cells; ++b) {
+    const std::size_t count = cell_offsets_[b + 1] - cell_offsets_[b];
+    if (count == 0) {
+      ++occ.empty_cells;
+    }
+    occ.max_per_cell = std::max(occ.max_per_cell, count);
+  }
+  occ.mean_per_cell =
+      static_cast<double>(occ.entries) / static_cast<double>(occ.cells);
+  return occ;
+}
+
+void GridEvalEngine::describe(obs::MetricsNode& node) const {
+  const BinOccupancy occ = occupancy();
+  node.set("cameras", static_cast<double>(net_->size()));
+  node.set("grid_side", static_cast<double>(grid_.side()));
+  node.set("cells_per_side", static_cast<double>(cells_));
+  node.set("bin_cells", static_cast<double>(occ.cells));
+  node.set("bin_entries", static_cast<double>(occ.entries));
+  node.set("bin_empty_cells", static_cast<double>(occ.empty_cells));
+  node.set("bin_max_per_cell", static_cast<double>(occ.max_per_cell));
+  node.set("bin_mean_per_cell", occ.mean_per_cell);
+  node.child("build").add_elapsed_ns(build_ns_);
 }
 
 void GridEvalEngine::bin_cameras() {
@@ -319,6 +360,15 @@ void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scr
   const bool torus = mode_ == geom::SpaceMode::kTorus;
   const std::uint32_t lo = cell_offsets_[b];
   const std::uint32_t hi = cell_offsets_[b + 1];
+  // Metrics are per point (one pointer test), never per candidate; the
+  // rare-branch counters below sit inside already-[[unlikely]] blocks.
+  GridEvalCounters* const ctr = scratch.counters;
+  const std::size_t out_before = out.size();
+  if (ctr != nullptr) [[unlikely]] {
+    ++ctr->points;
+    ctr->candidates_total += hi - lo;
+    ctr->candidates_per_point.add(hi - lo);
+  }
   // Classify loop: branchless bitwise predicate plus a branchless
   // compaction of the covered displacements, so the only data-dependent
   // branches left are the two [[unlikely]] fallbacks.  atan2 (the single
@@ -335,6 +385,9 @@ void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scr
     const CandRec& rec = cell_recs_[e];
     const std::uint8_t flags = cell_flags_[e];
     if (!(flags & kFastDisp)) [[unlikely]] {
+      if (ctr != nullptr) {
+        ++ctr->slow_path_entries;
+      }
       if (const auto dir = viewed_direction_if_covered(cams[cell_entries_[e]], p, mode_)) {
         out.push_back(*dir);
       }
@@ -367,6 +420,9 @@ void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scr
     const bool omni = (flags & kOmni) != 0;
     bool covered = in_radius & (omni | (lhs - rhs > band));
     if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
+      if (ctr != nullptr) {
+        ++ctr->trig_fallbacks;
+      }
       if (n2 == 0.0) {
         out.push_back(0.0);  // point coincides with the camera
         continue;
@@ -386,6 +442,9 @@ void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scr
   for (std::size_t j = 0; j < m; ++j) {
     const double v = std::atan2(ys[j], xs[j]) + geom::kPi;
     out.push_back(v >= geom::kTwoPi ? 0.0 : v);
+  }
+  if (ctr != nullptr) [[unlikely]] {
+    ctr->directions_total += out.size() - out_before;
   }
 }
 

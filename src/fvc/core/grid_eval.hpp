@@ -44,8 +44,41 @@
 #include "fvc/core/network.hpp"
 #include "fvc/core/region_coverage.hpp"
 #include "fvc/geometry/arc_set.hpp"
+#include "fvc/obs/metrics.hpp"
+
+namespace fvc::obs {
+class MetricsNode;  // run_metrics.hpp; kept out of this hot header
+}
 
 namespace fvc::core {
+
+/// Engine observability counters (see fvc/obs).  Attached to a scratch —
+/// hence per worker thread, merged by the coordinating caller — so the
+/// hot path stays synchronization-free.  When no counters are attached
+/// the kernel pays one pointer test per grid *point*, never per
+/// candidate, and results are unchanged either way (counting does not
+/// touch the arithmetic).
+struct GridEvalCounters {
+  std::uint64_t points = 0;             ///< grid points gathered
+  std::uint64_t candidates_total = 0;   ///< binned candidates scanned
+  std::uint64_t directions_total = 0;   ///< covering directions emitted
+  std::uint64_t trig_fallbacks = 0;     ///< exact-arithmetic band fallbacks
+  std::uint64_t slow_path_entries = 0;  ///< entries without a cell-wide shift
+  obs::LogHistogram candidates_per_point;
+
+  void merge(const GridEvalCounters& other) {
+    points += other.points;
+    candidates_total += other.candidates_total;
+    directions_total += other.directions_total;
+    trig_fallbacks += other.trig_fallbacks;
+    slow_path_entries += other.slow_path_entries;
+    candidates_per_point.merge(other.candidates_per_point);
+  }
+
+  /// Export into a metrics node (counters plus the candidates-per-point
+  /// histogram).
+  void describe(obs::MetricsNode& node) const;
+};
 
 /// Reusable scratch buffers for the fused kernel.  One instance per worker
 /// thread; after warm-up the kernel performs no heap allocations.
@@ -53,6 +86,8 @@ struct GridEvalScratch {
   std::vector<double> angles;  ///< sorted viewed directions of one point
   std::vector<double> dxs;     ///< displacements of covered candidates
   std::vector<double> dys;     ///< (compacted by the classify loop)
+  /// Optional metrics destination; null (the default) disables counting.
+  GridEvalCounters* counters = nullptr;
 };
 
 /// Predicate aggregates over one grid row (the engine's unit of batching).
@@ -136,6 +171,25 @@ class GridEvalEngine {
   /// Engine binning cells per side (diagnostics / tests).
   [[nodiscard]] std::size_t cells_per_side() const { return cells_; }
 
+  /// Wall time spent binning cameras in the constructor (the "build"
+  /// stage; always measured — one clock pair per engine construction).
+  [[nodiscard]] std::uint64_t build_ns() const { return build_ns_; }
+
+  /// Candidate-bin shape, computed on demand from the CSR offsets.
+  struct BinOccupancy {
+    std::size_t cells = 0;         ///< total bins (cells_per_side squared)
+    std::size_t entries = 0;       ///< (cell, camera) entries
+    std::size_t empty_cells = 0;   ///< bins with no candidates
+    std::size_t max_per_cell = 0;  ///< densest bin
+    double mean_per_cell = 0.0;    ///< entries / cells
+  };
+  [[nodiscard]] BinOccupancy occupancy() const;
+
+  /// Export the engine's static shape (bin occupancy, build time, camera
+  /// count) into a metrics node; dynamic counters come from the scratch's
+  /// `GridEvalCounters` and are merged in by the caller.
+  void describe(obs::MetricsNode& node) const;
+
  private:
   /// Per-candidate record of the fused kernel, one 64-byte line per entry.
   /// `kx`/`ky` are the torus unwrap shifts (0 or +-1) that make the plain
@@ -173,6 +227,7 @@ class GridEvalEngine {
   const Network* net_ = nullptr;
   DenseGrid grid_;
   double theta_ = 0.0;
+  std::uint64_t build_ns_ = 0;
   std::size_t implied_k_ = 0;
   geom::SpaceMode mode_ = geom::SpaceMode::kTorus;
   std::vector<geom::Arc> necessary_arcs_;   ///< 2*theta partition, start 0

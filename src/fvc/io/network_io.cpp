@@ -7,6 +7,22 @@
 
 namespace fvc::io {
 
+namespace {
+
+/// Strip a trailing CR (files written on Windows / transferred in text
+/// mode) and any trailing spaces or tabs; v1 files are whitespace-token
+/// based, so neither can change the parsed cameras.
+void trim_line_end(std::string& line) {
+  std::size_t end = line.size();
+  while (end > 0 &&
+         (line[end - 1] == '\r' || line[end - 1] == ' ' || line[end - 1] == '\t')) {
+    --end;
+  }
+  line.resize(end);
+}
+
+}  // namespace
+
 void save_cameras(std::ostream& os, std::span<const core::Camera> cameras) {
   os << kFormatHeader << '\n';
   os << "# x y orientation radius fov group\n";
@@ -19,7 +35,10 @@ void save_cameras(std::ostream& os, std::span<const core::Camera> cameras) {
 
 std::vector<core::Camera> load_cameras(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kFormatHeader) {
+  if (std::getline(is, line)) {
+    trim_line_end(line);
+  }
+  if (!is || line != kFormatHeader) {
     throw std::runtime_error("load_cameras: missing or unknown header (expected '" +
                              std::string(kFormatHeader) + "')");
   }
@@ -27,6 +46,7 @@ std::vector<core::Camera> load_cameras(std::istream& is) {
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
+    trim_line_end(line);
     if (line.empty() || line.front() == '#') {
       continue;
     }

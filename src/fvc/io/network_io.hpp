@@ -5,7 +5,9 @@
 /// be saveable and reloadable bit-exactly.  Format: a versioned header
 /// line, then one camera per line as
 /// `x y orientation radius fov group`, whitespace-separated, full double
-/// round-trip precision.  Lines starting with '#' are comments.
+/// round-trip precision.  Lines starting with '#' are comments.  The
+/// loader tolerates CRLF line endings and trailing spaces/tabs, so files
+/// edited on Windows or shipped through text-mode transfers still load.
 
 #pragma once
 

@@ -1,0 +1,38 @@
+/// \file cancellation.hpp
+/// \brief Cooperative cancellation and progress reporting for long runs.
+///
+/// Long sweeps (thousands of Monte-Carlo trials) need two things the
+/// result types cannot carry: a way for the driver to say "stop now" and
+/// a way for the engine to say "t of N done".  Both are cooperative —
+/// workers poll the token between trials (never mid-kernel), so
+/// cancellation cannot corrupt per-slot results, and a cancelled run
+/// yields an estimate over exactly the trials that completed.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace fvc::obs {
+
+/// A cooperative stop flag.  `request_stop` may be called from any thread
+/// (a signal handler trampoline, a watchdog, a test); workers poll
+/// `stop_requested` at batch boundaries.
+class CancellationToken {
+ public:
+  void request_stop() { stopped_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stopped_{false};
+};
+
+/// Progress callback: (work items completed, total work items).  Invoked
+/// from the coordinating code under a mutex, so implementations need not
+/// be thread-safe; they must be fast (they sit between trials).
+using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
+
+}  // namespace fvc::obs

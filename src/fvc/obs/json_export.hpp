@@ -1,0 +1,47 @@
+/// \file json_export.hpp
+/// \brief Versioned JSON export of a RunMetrics tree.
+///
+/// Layout (schema "fvc.metrics/1"):
+///
+/// ```json
+/// {
+///   "schema": "fvc.metrics/1",
+///   "labels": { "command": "simulate", ... },
+///   "root": {
+///     "name": "run",
+///     "elapsed_ns": 123456,
+///     "counters": { "trials_run": 40 },
+///     "histograms": {
+///       "candidates_per_point": { "total": 4096, "buckets": [ ... 16 ... ] }
+///     },
+///     "children": [ { ...same shape... } ]
+///   }
+/// }
+/// ```
+///
+/// Stability rules: keys never disappear or change meaning within a
+/// schema version; counters/histograms/children may gain entries.  Output
+/// is deterministic for a given tree (maps iterate sorted, children keep
+/// insertion order), numbers are emitted with enough digits to round-trip
+/// doubles, and strings are escaped per RFC 8259.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fvc/obs/run_metrics.hpp"
+
+namespace fvc::obs {
+
+/// Write the document to a stream (pretty-printed, 2-space indent).
+void write_json(std::ostream& os, const RunMetrics& metrics);
+
+/// Convenience: the same document as a string.
+[[nodiscard]] std::string to_json(const RunMetrics& metrics);
+
+/// Write the document to a file; throws std::runtime_error when the file
+/// cannot be opened or the write fails.
+void write_json_file(const std::string& path, const RunMetrics& metrics);
+
+}  // namespace fvc::obs

@@ -1,0 +1,14 @@
+#include "fvc/obs/metrics.hpp"
+
+#include <chrono>
+
+namespace fvc::obs {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace fvc::obs

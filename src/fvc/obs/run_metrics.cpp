@@ -1,0 +1,37 @@
+#include "fvc/obs/run_metrics.hpp"
+
+namespace fvc::obs {
+
+MetricsNode& MetricsNode::child(std::string_view name) {
+  for (const std::unique_ptr<MetricsNode>& c : children_) {
+    if (c->name_ == name) {
+      return *c;
+    }
+  }
+  children_.push_back(std::make_unique<MetricsNode>(std::string(name)));
+  return *children_.back();
+}
+
+const MetricsNode* MetricsNode::find_child(std::string_view name) const {
+  for (const std::unique_ptr<MetricsNode>& c : children_) {
+    if (c->name_ == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+void MetricsNode::merge(const MetricsNode& other) {
+  elapsed_ns_ += other.elapsed_ns_;
+  for (const auto& [key, value] : other.counters_) {
+    counters_[key] += value;
+  }
+  for (const auto& [key, hist] : other.histograms_) {
+    histograms_[key].merge(hist);
+  }
+  for (const std::unique_ptr<MetricsNode>& c : other.children_) {
+    child(c->name_).merge(*c);
+  }
+}
+
+}  // namespace fvc::obs

@@ -1,0 +1,130 @@
+/// \file run_metrics.hpp
+/// \brief The RunMetrics tree: named nodes holding counters, histograms
+/// and elapsed time, built up by RAII spans and merged deterministically.
+///
+/// One `RunMetrics` describes one run (one CLI invocation, one bench
+/// record).  Its nodes form a tree mirroring the call structure: the CLI
+/// layer opens a span per stage ("deploy", "trials", "render"), the sim
+/// layer hangs engine/pool nodes underneath, and the JSON exporter walks
+/// the tree.  Nodes are NOT thread-safe: concurrent code records into
+/// per-worker (or per-slot) nodes and merges them on the coordinating
+/// thread, which keeps exported totals independent of scheduling — the
+/// same slot-merge idiom the Monte-Carlo engine uses for results.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fvc/obs/metrics.hpp"
+
+namespace fvc::obs {
+
+/// One node of the metrics tree.
+class MetricsNode {
+ public:
+  explicit MetricsNode(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Counters: doubles keyed by name (counts, byte totals, ratios).
+  void add(std::string_view counter, double delta) { counters_[std::string(counter)] += delta; }
+  void set(std::string_view counter, double value) { counters_[std::string(counter)] = value; }
+  [[nodiscard]] bool has_counter(std::string_view counter) const {
+    return counters_.find(std::string(counter)) != counters_.end();
+  }
+  [[nodiscard]] double counter(std::string_view counter) const {
+    const auto it = counters_.find(std::string(counter));
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, double>& counters() const { return counters_; }
+
+  /// Histograms: find-or-create by name.
+  [[nodiscard]] LogHistogram& histogram(std::string_view name) {
+    return histograms_[std::string(name)];
+  }
+  [[nodiscard]] const LogHistogram* find_histogram(std::string_view name) const {
+    const auto it = histograms_.find(std::string(name));
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const std::map<std::string, LogHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Children: find-or-create by name, preserving first-insertion order
+  /// (so exported documents are stable across runs).
+  [[nodiscard]] MetricsNode& child(std::string_view name);
+  [[nodiscard]] const MetricsNode* find_child(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<MetricsNode>>& children() const {
+    return children_;
+  }
+
+  /// Elapsed wall time attributed to this node (by Span, or directly).
+  void add_elapsed_ns(std::uint64_t ns) { elapsed_ns_ += ns; }
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return elapsed_ns_; }
+
+  /// Recursive structural merge: counters and elapsed add, histograms
+  /// merge, children merge by name (created when absent).
+  void merge(const MetricsNode& other);
+
+ private:
+  std::string name_;
+  std::uint64_t elapsed_ns_ = 0;
+  std::map<std::string, double> counters_;
+  std::map<std::string, LogHistogram> histograms_;
+  std::vector<std::unique_ptr<MetricsNode>> children_;
+};
+
+/// RAII span: attributes the wall time between construction and
+/// destruction to a node.  Spans on child nodes nest naturally — a parent
+/// span open across its children's spans yields the monotonic nesting
+/// invariant (sum of child elapsed <= parent elapsed) that the schema
+/// test enforces.
+class Span {
+ public:
+  explicit Span(MetricsNode& node) : node_(&node), start_ns_(monotonic_ns()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { stop(); }
+
+  /// Close the span early (idempotent).
+  void stop() {
+    if (node_ != nullptr) {
+      node_->add_elapsed_ns(monotonic_ns() - start_ns_);
+      node_ = nullptr;
+    }
+  }
+
+ private:
+  MetricsNode* node_;
+  std::uint64_t start_ns_;
+};
+
+/// The whole-run document: a schema identifier, flat string labels
+/// (command name, flag values), and the root span tree.
+class RunMetrics {
+ public:
+  /// Version of the exported JSON layout.  Bump when keys move or change
+  /// meaning; additions are backward-compatible and do not bump.
+  static constexpr std::string_view kSchema = "fvc.metrics/1";
+
+  RunMetrics() : root_("run") {}
+
+  [[nodiscard]] MetricsNode& root() { return root_; }
+  [[nodiscard]] const MetricsNode& root() const { return root_; }
+
+  void set_label(std::string_view key, std::string_view value) {
+    labels_[std::string(key)] = std::string(value);
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& labels() const { return labels_; }
+
+ private:
+  MetricsNode root_;
+  std::map<std::string, std::string> labels_;
+};
+
+}  // namespace fvc::obs

@@ -1,0 +1,72 @@
+/// \file sink.hpp
+/// \brief The sink model: where instrumented code writes its events.
+///
+/// Two call-site styles, one contract:
+///
+/// * **Runtime-gated** sites take a `MetricsNode*` (or a counters-struct
+///   pointer) that is null when metrics are off.  The disabled cost is one
+///   pointer test per batch of work — the style used by the engine hot
+///   paths, where the pointer test is hoisted out of the per-candidate
+///   loops.
+/// * **Template-gated** sites take any type satisfying `MetricSink`.
+///   Passing `NullSink` makes every recording call an empty inline
+///   function, so the instrumentation compiles away entirely — the
+///   compile-time-checked no-op sink.  `NodeSink` is the live counterpart
+///   writing into a `MetricsNode`.
+///
+/// The static_asserts at the bottom are the compile-time check: both
+/// sinks are guaranteed to satisfy the concept, so a template call site
+/// constrained on `MetricSink` accepts either and cannot silently drop a
+/// recording method.
+
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+#include "fvc/obs/run_metrics.hpp"
+
+namespace fvc::obs {
+
+/// Anything instrumented code can record into.
+template <typename S>
+concept MetricSink = requires(S s, std::string_view name, double v, std::uint64_t u) {
+  { s.add(name, v) } -> std::same_as<void>;
+  { s.add_elapsed_ns(u) } -> std::same_as<void>;
+  { s.observe(name, u) } -> std::same_as<void>;
+  { S::kEnabled } -> std::convertible_to<bool>;
+};
+
+/// The disabled sink: every method is an empty inline no-op and
+/// `kEnabled` lets call sites `if constexpr` away even the argument
+/// computation.
+struct NullSink {
+  static constexpr bool kEnabled = false;
+  void add(std::string_view, double) {}
+  void add_elapsed_ns(std::uint64_t) {}
+  void observe(std::string_view, std::uint64_t) {}
+};
+
+/// The live sink: records into one MetricsNode (`observe` feeds the
+/// node's histogram of the same name).
+class NodeSink {
+ public:
+  static constexpr bool kEnabled = true;
+  explicit NodeSink(MetricsNode& node) : node_(&node) {}
+  void add(std::string_view name, double v) { node_->add(name, v); }
+  void add_elapsed_ns(std::uint64_t ns) { node_->add_elapsed_ns(ns); }
+  void observe(std::string_view name, std::uint64_t value) {
+    node_->histogram(name).add(value);
+  }
+
+ private:
+  MetricsNode* node_;
+};
+
+static_assert(MetricSink<NullSink>, "NullSink must satisfy the sink contract");
+static_assert(MetricSink<NodeSink>, "NodeSink must satisfy the sink contract");
+static_assert(std::is_empty_v<NullSink>, "NullSink must stay stateless (zero cost)");
+
+}  // namespace fvc::obs

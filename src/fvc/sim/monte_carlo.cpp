@@ -1,8 +1,10 @@
 #include "fvc/sim/monte_carlo.hpp"
 
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "fvc/obs/run_metrics.hpp"
 #include "fvc/sim/thread_pool.hpp"
 #include "fvc/stats/rng.hpp"
 
@@ -32,6 +34,102 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
     est.necessary.successes += ev.all_necessary ? 1 : 0;
     est.full_view.successes += ev.all_full_view ? 1 : 0;
     est.sufficient.successes += ev.all_sufficient ? 1 : 0;
+  }
+  return est;
+}
+
+GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t trials,
+                                        std::uint64_t master_seed, std::size_t threads,
+                                        const RunOptions& options) {
+  if (options.cancel == nullptr && !options.progress && options.metrics == nullptr) {
+    return estimate_grid_events(cfg, trials, master_seed, threads);
+  }
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_grid_events: trials must be >= 1");
+  }
+  validate(cfg);
+  const bool metered = options.metrics != nullptr;
+  const std::uint64_t run_start_ns = metered ? obs::monotonic_ns() : 0;
+  struct Slot {
+    TrialEvents events;
+    TrialMetrics metrics;
+    std::uint64_t ns = 0;
+    bool ran = false;
+  };
+  std::vector<Slot> slots(trials);
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  PoolMetrics pool;
+  parallel_for(
+      trials, threads,
+      [&](std::size_t t) {
+        if (options.cancel != nullptr && options.cancel->stop_requested()) {
+          return;  // the slot stays !ran; its seed is simply unused
+        }
+        Slot& slot = slots[t];
+        const std::uint64_t seed = stats::mix64(master_seed, t);
+        if (metered) {
+          const std::uint64_t t0 = obs::monotonic_ns();
+          slot.events = run_trial_events(cfg, seed, &slot.metrics);
+          slot.ns = obs::monotonic_ns() - t0;
+        } else {
+          slot.events = run_trial_events(cfg, seed);
+        }
+        slot.ran = true;
+        if (options.progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          options.progress(++done, trials);
+        }
+      },
+      metered ? &pool : nullptr);
+
+  GridEventsEstimate est;
+  std::size_t ran = 0;
+  std::size_t early_exits = 0;
+  obs::DurationStats trial_time;
+  TrialMetrics merged;
+  for (const Slot& slot : slots) {
+    if (!slot.ran) {
+      continue;
+    }
+    ++ran;
+    est.necessary.successes += slot.events.all_necessary ? 1 : 0;
+    est.full_view.successes += slot.events.all_full_view ? 1 : 0;
+    est.sufficient.successes += slot.events.all_sufficient ? 1 : 0;
+    if (metered) {
+      early_exits += slot.metrics.early_exit ? 1 : 0;
+      trial_time.add(slot.ns);
+      merged.merge(slot.metrics);
+    }
+  }
+  est.necessary.trials = est.full_view.trials = est.sufficient.trials = ran;
+
+  if (metered) {
+    obs::MetricsNode& node = *options.metrics;
+    // Wall time of the whole estimate on `node` itself; the child nodes
+    // below carry *attributed* time (summed across workers), which may
+    // exceed this wall time under parallelism.
+    node.add_elapsed_ns(obs::monotonic_ns() - run_start_ns);
+    obs::MetricsNode& trials_node = node.child("trials");
+    trials_node.set("trials_requested", static_cast<double>(trials));
+    trials_node.set("trials_run", static_cast<double>(ran));
+    trials_node.set("trials_cancelled", static_cast<double>(trials - ran));
+    trials_node.set("early_exit_necessary", static_cast<double>(early_exits));
+    trials_node.set("rows_scanned", static_cast<double>(merged.rows_scanned));
+    trials_node.set("trial_ns_min", static_cast<double>(trial_time.min()));
+    trials_node.set("trial_ns_mean", trial_time.mean());
+    trials_node.set("trial_ns_max", static_cast<double>(trial_time.max()));
+    trials_node.add_elapsed_ns(trial_time.sum());
+    obs::LogHistogram& trial_us = trials_node.histogram("trial_us");
+    for (const Slot& slot : slots) {
+      if (slot.ran) {
+        trial_us.add(slot.ns / 1000);
+      }
+    }
+    obs::MetricsNode& engine_node = node.child("engine");
+    merged.engine.describe(engine_node);
+    engine_node.set("build_ns", static_cast<double>(merged.engine_build_ns));
+    describe(pool, node.child("pool"));
   }
   return est;
 }

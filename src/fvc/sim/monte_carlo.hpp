@@ -8,9 +8,14 @@
 
 #include <cstdint>
 
+#include "fvc/obs/cancellation.hpp"
 #include "fvc/sim/trial.hpp"
 #include "fvc/stats/confidence.hpp"
 #include "fvc/stats/summary.hpp"
+
+namespace fvc::obs {
+class MetricsNode;  // fvc/obs/run_metrics.hpp
+}
 
 namespace fvc::sim {
 
@@ -36,6 +41,32 @@ struct GridEventsEstimate {
                                                       std::size_t trials,
                                                       std::uint64_t master_seed,
                                                       std::size_t threads);
+
+/// Cross-cutting options of a Monte-Carlo run (all optional; the defaults
+/// reproduce the plain overloads exactly).
+struct RunOptions {
+  /// Cooperative cancellation: polled between trials.  A cancelled run
+  /// returns a PARTIAL estimate over exactly the trials that completed
+  /// (`EventEstimate::trials` reflects that count; it is 0 when
+  /// cancellation preceded every trial, in which case `p()` is undefined).
+  obs::CancellationToken* cancel = nullptr;
+  /// Called after every completed trial with (done, total), serialized
+  /// under an internal mutex; keep it fast.
+  obs::ProgressFn progress;
+  /// When non-null, filled with a subtree: `trials` (per-trial wall-time
+  /// stats, early-exit counts), `engine` (merged GridEvalEngine counters),
+  /// `pool` (worker busy/idle).  Collection never changes the estimates.
+  obs::MetricsNode* metrics = nullptr;
+};
+
+/// Options-taking variant of `estimate_grid_events`.  The estimate is
+/// bit-identical to the plain overload whenever the run is not cancelled,
+/// for any thread count and any metrics/progress settings.
+[[nodiscard]] GridEventsEstimate estimate_grid_events(const TrialConfig& cfg,
+                                                      std::size_t trials,
+                                                      std::uint64_t master_seed,
+                                                      std::size_t threads,
+                                                      const RunOptions& options);
 
 /// Monte-Carlo estimates of the per-point fractions, i.e. the empirical
 /// counterparts of the expected-area probabilities P(F_N,P)-bar, P_N, P_S.

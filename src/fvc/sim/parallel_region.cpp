@@ -5,20 +5,32 @@
 #include <vector>
 
 #include "fvc/core/grid_eval.hpp"
+#include "fvc/obs/run_metrics.hpp"
 #include "fvc/sim/thread_pool.hpp"
 
 namespace fvc::sim {
 
-core::RegionCoverageStats evaluate_region_parallel(const core::Network& net,
-                                                   const core::DenseGrid& grid,
-                                                   double theta, std::size_t threads) {
-  const core::GridEvalEngine engine(net, grid, theta);
+namespace {
+
+/// Shared core of the metered/unmetered row scans.  `counter_slots` is
+/// either empty (metrics off) or one `GridEvalCounters` per row, merged by
+/// the caller in row order.
+core::RegionCoverageStats scan_rows(const core::GridEvalEngine& engine,
+                                    const core::DenseGrid& grid, std::size_t threads,
+                                    std::vector<core::GridEvalCounters>* counter_slots,
+                                    PoolMetrics* pool) {
   const std::size_t rows = engine.rows();
   std::vector<core::GridRowStats> row_stats(rows);
-  parallel_for(rows, threads, [&](std::size_t row) {
-    thread_local core::GridEvalScratch scratch;
-    row_stats[row] = engine.row_stats(row, scratch);
-  });
+  parallel_for(
+      rows, threads,
+      [&](std::size_t row) {
+        thread_local core::GridEvalScratch scratch;
+        scratch.counters =
+            counter_slots != nullptr ? &(*counter_slots)[row] : nullptr;
+        row_stats[row] = engine.row_stats(row, scratch);
+        scratch.counters = nullptr;  // scratch outlives this call (thread_local)
+      },
+      pool);
   // Reduce in row order.  The counts are order-independent sums and the
   // min/max reductions are associative and commutative, so the totals are
   // bit-identical to the serial scan regardless of how rows were scheduled.
@@ -39,6 +51,39 @@ core::RegionCoverageStats evaluate_region_parallel(const core::Network& net,
       stats.max_max_gap = std::max(stats.max_max_gap, rs.max_max_gap);
     }
   }
+  return stats;
+}
+
+}  // namespace
+
+core::RegionCoverageStats evaluate_region_parallel(const core::Network& net,
+                                                   const core::DenseGrid& grid,
+                                                   double theta, std::size_t threads) {
+  const core::GridEvalEngine engine(net, grid, theta);
+  return scan_rows(engine, grid, threads, nullptr, nullptr);
+}
+
+core::RegionCoverageStats evaluate_region_parallel_metered(const core::Network& net,
+                                                           const core::DenseGrid& grid,
+                                                           double theta,
+                                                           std::size_t threads,
+                                                           obs::MetricsNode& node) {
+  const core::GridEvalEngine engine(net, grid, theta);
+  std::vector<core::GridEvalCounters> counter_slots(engine.rows());
+  PoolMetrics pool;
+  core::RegionCoverageStats stats;
+  {
+    const obs::Span scan_span(node.child("scan"));
+    stats = scan_rows(engine, grid, threads, &counter_slots, &pool);
+  }
+  obs::MetricsNode& engine_node = node.child("engine");
+  engine.describe(engine_node);
+  core::GridEvalCounters merged;
+  for (const core::GridEvalCounters& c : counter_slots) {
+    merged.merge(c);
+  }
+  merged.describe(engine_node);
+  describe(pool, node.child("pool"));
   return stats;
 }
 

@@ -19,6 +19,10 @@
 #include "fvc/core/network.hpp"
 #include "fvc/core/region_coverage.hpp"
 
+namespace fvc::obs {
+class MetricsNode;  // fvc/obs/run_metrics.hpp
+}
+
 namespace fvc::sim {
 
 /// Row-parallel `core::evaluate_region`.  Bit-identical to the serial
@@ -26,6 +30,18 @@ namespace fvc::sim {
 [[nodiscard]] core::RegionCoverageStats evaluate_region_parallel(
     const core::Network& net, const core::DenseGrid& grid, double theta,
     std::size_t threads);
+
+/// Metered variant: identical statistics (same engine, same row merge),
+/// plus a filled metrics subtree under `node`:
+///   engine  — static shape (bin occupancy, build span) and the merged
+///             per-row gather counters (candidate histogram, fallbacks)
+///   pool    — worker busy/idle time and task counts of the row loop
+///   scan    — span over the whole row scan
+/// Per-row counters live in per-row slots merged in row order, so the
+/// exported totals are deterministic for any thread count.
+[[nodiscard]] core::RegionCoverageStats evaluate_region_parallel_metered(
+    const core::Network& net, const core::DenseGrid& grid, double theta,
+    std::size_t threads, obs::MetricsNode& node);
 
 /// Whole-grid events of one deployment (the H_N / full-view / H_S bits).
 struct GridEvents {

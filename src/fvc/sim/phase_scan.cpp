@@ -1,8 +1,10 @@
 #include "fvc/sim/phase_scan.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "fvc/analysis/csa.hpp"
+#include "fvc/obs/run_metrics.hpp"
 #include "fvc/sim/thread_pool.hpp"
 #include "fvc/stats/rng.hpp"
 
@@ -28,13 +30,24 @@ std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
     if (!(q > 0.0)) {
       throw std::invalid_argument("run_phase_scan: q values must be positive");
     }
+    if (cfg.cancel != nullptr && cfg.cancel->stop_requested()) {
+      break;  // partial scan: every finished point is already in `points`
+    }
     TrialConfig point_cfg = cfg.base;
     point_cfg.profile = cfg.base.profile.with_weighted_area(q * csa_n);
     PhasePoint point;
     point.q = q;
     point.weighted_area = point_cfg.profile.weighted_sensing_area();
+    RunOptions options;
+    options.cancel = cfg.cancel;
+    if (cfg.metrics != nullptr) {
+      obs::MetricsNode& point_node = cfg.metrics->child("q_" + std::to_string(i));
+      point_node.set("q", q);
+      options.metrics = &point_node;
+    }
     point.events = estimate_grid_events(point_cfg, cfg.trials,
-                                        stats::mix64(cfg.master_seed, i), threads);
+                                        stats::mix64(cfg.master_seed, i), threads,
+                                        options);
     points.push_back(point);
   }
   return points;

@@ -34,6 +34,12 @@ struct PhaseScanConfig {
   std::size_t trials = 100;     ///< MC trials per point
   std::uint64_t master_seed = 1;
   std::size_t threads = 0;      ///< 0 = default_thread_count()
+  /// Optional observability (see fvc/obs): when `metrics` is non-null each
+  /// scan point fills a child node "q_<i>" (trial/engine/pool subtrees);
+  /// when `cancel` fires, the scan stops after the current point and
+  /// returns the points finished so far (possibly none).
+  obs::MetricsNode* metrics = nullptr;
+  obs::CancellationToken* cancel = nullptr;
 };
 
 /// Run the scan.  The base profile's *shape* (group fractions, fov values

@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "fvc/obs/metrics.hpp"
+#include "fvc/obs/run_metrics.hpp"
+
 namespace fvc::sim {
+
+void describe(const PoolMetrics& pool, obs::MetricsNode& node) {
+  node.set("workers", static_cast<double>(pool.workers.size()));
+  node.set("requested_threads", static_cast<double>(pool.requested_threads));
+  node.add("tasks", static_cast<double>(pool.total_tasks()));
+  node.add("busy_ns", static_cast<double>(pool.total_busy_ns()));
+  node.add("idle_ns", static_cast<double>(pool.total_idle_ns()));
+  node.add_elapsed_ns(pool.wall_ns);
+  const double capacity =
+      static_cast<double>(pool.wall_ns) * static_cast<double>(pool.workers.size());
+  node.set("utilization",
+           capacity > 0.0 ? static_cast<double>(pool.total_busy_ns()) / capacity : 0.0);
+  obs::LogHistogram& per_worker = node.histogram("tasks_per_worker");
+  for (const PoolMetrics::Worker& w : pool.workers) {
+    per_worker.add(w.tasks);
+  }
+}
 
 std::size_t default_thread_count() {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -11,27 +31,61 @@ std::size_t default_thread_count() {
 
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& fn) {
+  parallel_for(count, threads, fn, nullptr);
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn, PoolMetrics* metrics) {
+  if (metrics != nullptr) {
+    metrics->requested_threads = threads;
+    metrics->workers.clear();
+    metrics->wall_ns = 0;
+  }
   if (count == 0) {
     return;
   }
   threads = std::clamp<std::size_t>(threads, 1, count);
+  const std::uint64_t wall_start =
+      metrics != nullptr ? obs::monotonic_ns() : 0;
   if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) {
-      fn(i);
+    if (metrics == nullptr) {
+      for (std::size_t i = 0; i < count; ++i) {
+        fn(i);
+      }
+      return;
     }
+    PoolMetrics::Worker w;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t t0 = obs::monotonic_ns();
+      fn(i);
+      w.busy_ns += obs::monotonic_ns() - t0;
+      ++w.tasks;
+    }
+    metrics->workers.push_back(w);
+    metrics->wall_ns = obs::monotonic_ns() - wall_start;
     return;
   }
   std::atomic<std::size_t> cursor{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
-  auto worker = [&]() {
+  std::vector<PoolMetrics::Worker> worker_slots(metrics != nullptr ? threads : 0);
+  auto worker = [&](std::size_t self) {
+    PoolMetrics::Worker* const slot =
+        metrics != nullptr ? &worker_slots[self] : nullptr;
     while (true) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) {
         return;
       }
       try {
-        fn(i);
+        if (slot != nullptr) {
+          const std::uint64_t t0 = obs::monotonic_ns();
+          fn(i);
+          slot->busy_ns += obs::monotonic_ns() - t0;
+          ++slot->tasks;
+        } else {
+          fn(i);
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) {
@@ -45,10 +99,14 @@ void parallel_for(std::size_t count, std::size_t threads,
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back(worker);
+    pool.emplace_back(worker, t);
   }
   for (std::thread& t : pool) {
     t.join();
+  }
+  if (metrics != nullptr) {
+    metrics->workers = std::move(worker_slots);
+    metrics->wall_ns = obs::monotonic_ns() - wall_start;
   }
   if (first_error) {
     std::rethrow_exception(first_error);

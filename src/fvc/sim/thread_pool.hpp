@@ -5,22 +5,68 @@
 /// shared atomic cursor is all the scheduling needed.  Results are written
 /// into caller-owned per-index slots, which keeps the engine deterministic
 /// regardless of thread count.
+///
+/// Observability: the metered overload fills an `obs`-style `PoolMetrics`
+/// — per-worker task counts and busy time, plus the wall time of the
+/// whole parallel section — so utilization (busy / (workers * wall)) and
+/// imbalance are visible in exported metrics.  The unmetered overload
+/// takes the exact same code path with a null metrics pointer: no clock
+/// calls per task, no overhead.
 
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+namespace fvc::obs {
+class MetricsNode;  // fvc/obs/run_metrics.hpp
+}
+
 namespace fvc::sim {
 
 /// Number of worker threads to use by default: hardware concurrency,
 /// clamped to [1, 64].
 [[nodiscard]] std::size_t default_thread_count();
+
+/// Utilization metrics of one parallel_for section.  Filled only by the
+/// metered overload; per-worker slots are written by their own worker and
+/// aggregated after the join, so no synchronization is involved.
+struct PoolMetrics {
+  struct Worker {
+    std::uint64_t tasks = 0;    ///< indices this worker claimed
+    std::uint64_t busy_ns = 0;  ///< wall time inside fn(i)
+  };
+  std::uint64_t wall_ns = 0;    ///< whole-section wall time (fork to join)
+  std::size_t requested_threads = 0;  ///< caller's thread argument
+  std::vector<Worker> workers;  ///< one entry per actual worker
+
+  [[nodiscard]] std::uint64_t total_tasks() const {
+    std::uint64_t t = 0;
+    for (const Worker& w : workers) {
+      t += w.tasks;
+    }
+    return t;
+  }
+  [[nodiscard]] std::uint64_t total_busy_ns() const {
+    std::uint64_t t = 0;
+    for (const Worker& w : workers) {
+      t += w.busy_ns;
+    }
+    return t;
+  }
+  /// Total idle time: worker-seconds the section held but did not use.
+  [[nodiscard]] std::uint64_t total_idle_ns() const {
+    const std::uint64_t capacity = wall_ns * workers.size();
+    const std::uint64_t busy = total_busy_ns();
+    return capacity > busy ? capacity - busy : 0;
+  }
+};
 
 /// Run `fn(i)` for every i in [0, count) across `threads` workers.  Indices
 /// are claimed from an atomic cursor, so work is balanced even when trial
@@ -29,5 +75,16 @@ namespace fvc::sim {
 /// after all workers join.
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& fn);
+
+/// Metered variant: additionally fills `metrics` (when non-null) with
+/// per-worker busy time and task counts.  Scheduling and results are
+/// identical to the unmetered overload.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn, PoolMetrics* metrics);
+
+/// Export pool utilization into a metrics node: `workers`, `tasks`,
+/// `busy_ns`, `idle_ns`, `utilization`, plus a per-worker `tasks_per_worker`
+/// histogram (imbalance shows up as spread across buckets).
+void describe(const PoolMetrics& pool, obs::MetricsNode& node);
 
 }  // namespace fvc::sim

@@ -40,6 +40,11 @@ core::Network deploy(const TrialConfig& cfg, std::uint64_t seed) {
 }
 
 TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed) {
+  return run_trial_events(cfg, seed, nullptr);
+}
+
+TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed,
+                             TrialMetrics* metrics) {
   const core::Network net = deploy(cfg, seed);
   const core::DenseGrid grid = cfg.grid();
   // Batched row evaluation (trials are already parallel across workers, so
@@ -48,11 +53,21 @@ TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed) {
   // already falsified on earlier rows are skipped.
   const core::GridEvalEngine engine(net, grid, cfg.theta);
   core::GridEvalScratch scratch;
+  if (metrics != nullptr) {
+    metrics->engine_build_ns += engine.build_ns();
+    scratch.counters = &metrics->engine;
+  }
   TrialEvents ev{true, true, true};
   for (std::size_t row = 0; row < engine.rows(); ++row) {
     const core::GridRowEvents re =
         engine.row_events(row, scratch, ev.all_full_view, ev.all_sufficient);
+    if (metrics != nullptr) {
+      ++metrics->rows_scanned;
+    }
     if (!re.all_necessary) {
+      if (metrics != nullptr) {
+        metrics->early_exit = true;
+      }
       return {false, false, false};
     }
     ev.all_full_view = ev.all_full_view && re.all_full_view;

@@ -8,6 +8,7 @@
 
 #include "fvc/core/camera_group.hpp"
 #include "fvc/core/grid.hpp"
+#include "fvc/core/grid_eval.hpp"
 #include "fvc/core/network.hpp"
 #include "fvc/core/region_coverage.hpp"
 
@@ -51,6 +52,27 @@ struct TrialEvents {
 
 /// Run one trial and report the whole-grid events.
 [[nodiscard]] TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed);
+
+/// Per-trial observability record (see fvc/obs): the engine's gather
+/// counters plus the scan shape.  Results are unaffected by collection.
+struct TrialMetrics {
+  core::GridEvalCounters engine;      ///< fused-kernel counters of the scan
+  std::uint64_t engine_build_ns = 0;  ///< candidate-binning time
+  std::uint64_t rows_scanned = 0;     ///< rows visited before any early exit
+  bool early_exit = false;            ///< necessary condition failed mid-scan
+
+  void merge(const TrialMetrics& other) {
+    engine.merge(other.engine);
+    engine_build_ns += other.engine_build_ns;
+    rows_scanned += other.rows_scanned;
+    early_exit = early_exit || other.early_exit;
+  }
+};
+
+/// Metered variant: when `metrics` is non-null, fills it with the trial's
+/// engine counters.  Events are identical to the unmetered overload.
+[[nodiscard]] TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed,
+                                           TrialMetrics* metrics);
 
 /// Run one trial and report the full per-point aggregate counts (no early
 /// exit); used for the fraction/expected-area experiments.

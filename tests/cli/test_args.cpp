@@ -61,6 +61,39 @@ TEST(Args, SizeRejectsNegativeAndFractional) {
   EXPECT_THROW((void)frac.get_size("n", 0), std::invalid_argument);
 }
 
+TEST(Args, GetBool) {
+  const Args args = parse({"--a", "1", "--b", "true", "--c", "yes", "--d", "on",
+                           "--e", "0", "--f", "false", "--g", "no", "--h", "off"});
+  for (const char* key : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(args.get_bool(key, false)) << key;
+  }
+  for (const char* key : {"e", "f", "g", "h"}) {
+    EXPECT_FALSE(args.get_bool(key, true)) << key;
+  }
+  EXPECT_TRUE(args.get_bool("absent", true));
+  EXPECT_FALSE(args.get_bool("absent", false));
+}
+
+TEST(Args, GetBoolRejectsJunk) {
+  const Args args = parse({"--flag", "maybe"});
+  EXPECT_THROW((void)args.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Args, GetInt) {
+  const Args args = parse({"--pos", "42", "--neg", "-17", "--zero", "0"});
+  EXPECT_EQ(args.get_int("pos", 0), 42);
+  EXPECT_EQ(args.get_int("neg", 0), -17);
+  EXPECT_EQ(args.get_int("zero", 5), 0);
+  EXPECT_EQ(args.get_int("absent", -3), -3);
+}
+
+TEST(Args, GetIntRejectsJunkAndFractions) {
+  const Args args = parse({"--a", "12x", "--b", "2.5", "--c", "abc"});
+  EXPECT_THROW((void)args.get_int("a", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("b", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("c", 0), std::invalid_argument);
+}
+
 TEST(Args, ExpectOnly) {
   const Args args = parse({"cmd", "--good", "1", "--bad", "2"});
   EXPECT_THROW(args.expect_only({"good"}), std::invalid_argument);

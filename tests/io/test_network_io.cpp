@@ -61,6 +61,45 @@ TEST(NetworkIo, CommentsAndBlanksSkipped) {
   EXPECT_EQ(loaded[0].group, 3u);
 }
 
+TEST(NetworkIo, CrlfLineEndingsRoundTrip) {
+  // A v1 file written on (or shipped through) Windows gains \r\n endings;
+  // the cameras parsed must be bit-identical to the \n original.
+  const auto cameras = sample_cameras();
+  std::stringstream ss;
+  save_cameras(ss, cameras);
+  std::string text = ss.str();
+  std::string crlf;
+  crlf.reserve(text.size() + cameras.size() + 2);
+  for (const char c : text) {
+    if (c == '\n') {
+      crlf += "\r\n";
+    } else {
+      crlf += c;
+    }
+  }
+  std::stringstream windows(crlf);
+  const auto loaded = load_cameras(windows);
+  ASSERT_EQ(loaded.size(), cameras.size());
+  for (std::size_t i = 0; i < cameras.size(); ++i) {
+    EXPECT_EQ(loaded[i].position, cameras[i].position) << i;
+    EXPECT_EQ(loaded[i].orientation, cameras[i].orientation) << i;
+    EXPECT_EQ(loaded[i].radius, cameras[i].radius) << i;
+    EXPECT_EQ(loaded[i].fov, cameras[i].fov) << i;
+    EXPECT_EQ(loaded[i].group, cameras[i].group) << i;
+  }
+}
+
+TEST(NetworkIo, TrailingWhitespaceTolerated) {
+  std::stringstream ss;
+  ss << kFormatHeader << " \t\r\n"      // header with trailing junk
+     << "# comment \r\n"
+     << "0.5 0.5 1.0 0.1 2.0 3 \t \r\n"  // camera line with trailing blanks
+     << "   \r\n";                        // whitespace-only line
+  const auto loaded = load_cameras(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].group, 3u);
+}
+
 TEST(NetworkIo, MalformedLinesRejected) {
   {
     std::stringstream ss;

@@ -1,0 +1,119 @@
+#include "fvc/obs/json_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/minijson.hpp"
+
+namespace fvc::obs {
+namespace {
+
+using testsupport::JsonValue;
+using testsupport::parse_json;
+
+RunMetrics sample_metrics() {
+  RunMetrics m;
+  m.set_label("command", "simulate");
+  m.set_label("weird", "tab\there \"quoted\" \\slash\n");
+  m.root().set("exit_code", 0.0);
+  m.root().add_elapsed_ns(1000);
+  MetricsNode& engine = m.root().child("engine");
+  engine.set("points", 1024.0);
+  engine.set("ratio", 0.125);
+  engine.histogram("candidates_per_point").add(3);
+  engine.histogram("candidates_per_point").add(17);
+  m.root().child("pool").set("workers", 4.0);
+  return m;
+}
+
+TEST(JsonExport, DocumentParsesAndKeepsStructure) {
+  const JsonValue doc = parse_json(to_json(sample_metrics()));
+  EXPECT_EQ(doc.at("schema").str(), "fvc.metrics/1");
+  EXPECT_EQ(doc.at("labels").at("command").str(), "simulate");
+
+  const JsonValue& root = doc.at("root");
+  EXPECT_EQ(root.at("name").str(), "run");
+  EXPECT_DOUBLE_EQ(root.at("elapsed_ns").number(), 1000.0);
+  EXPECT_DOUBLE_EQ(root.at("counters").at("exit_code").number(), 0.0);
+
+  // Children keep insertion order: engine before pool.
+  const auto& children = root.at("children").arr();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].at("name").str(), "engine");
+  EXPECT_EQ(children[1].at("name").str(), "pool");
+
+  const JsonValue& engine = children[0];
+  EXPECT_DOUBLE_EQ(engine.at("counters").at("points").number(), 1024.0);
+  EXPECT_DOUBLE_EQ(engine.at("counters").at("ratio").number(), 0.125);
+  const JsonValue& hist =
+      engine.at("histograms").at("candidates_per_point");
+  EXPECT_DOUBLE_EQ(hist.at("total").number(), 2.0);
+  EXPECT_EQ(hist.at("buckets").arr().size(), LogHistogram::kBuckets);
+}
+
+TEST(JsonExport, StringEscapingRoundTrips) {
+  const JsonValue doc = parse_json(to_json(sample_metrics()));
+  EXPECT_EQ(doc.at("labels").at("weird").str(), "tab\there \"quoted\" \\slash\n");
+}
+
+TEST(JsonExport, DeterministicForSameTree) {
+  // Counters/labels are sorted maps and children keep insertion order, so
+  // the same logical tree always renders to the same bytes (modulo the
+  // recorded values themselves, which are identical here).
+  RunMetrics a;
+  a.set_label("z", "1");
+  a.set_label("a", "2");
+  a.root().set("beta", 1.0);
+  a.root().set("alpha", 2.0);
+  RunMetrics b;
+  b.set_label("a", "2");
+  b.set_label("z", "1");
+  b.root().set("alpha", 2.0);
+  b.root().set("beta", 1.0);
+  EXPECT_EQ(to_json(a), to_json(b));
+}
+
+TEST(JsonExport, EmptyRunIsValid) {
+  const RunMetrics m;
+  const JsonValue doc = parse_json(to_json(m));
+  EXPECT_TRUE(doc.at("labels").obj().empty());
+  EXPECT_TRUE(doc.at("root").at("children").arr().empty());
+  EXPECT_TRUE(doc.at("root").at("counters").obj().empty());
+  EXPECT_TRUE(doc.at("root").at("histograms").obj().empty());
+}
+
+TEST(JsonExport, DoublesRoundTrip) {
+  RunMetrics m;
+  const double tricky = 0.1 + 0.2;  // not representable exactly
+  m.root().set("tricky", tricky);
+  m.root().set("big", 1e18);
+  m.root().set("negative", -42.0);
+  const JsonValue doc = parse_json(to_json(m));
+  EXPECT_DOUBLE_EQ(doc.at("root").at("counters").at("tricky").number(), tricky);
+  EXPECT_DOUBLE_EQ(doc.at("root").at("counters").at("big").number(), 1e18);
+  EXPECT_DOUBLE_EQ(doc.at("root").at("counters").at("negative").number(), -42.0);
+}
+
+TEST(JsonExport, WriteFileAndReadBack) {
+  const std::string path = "/tmp/fvc_obs_test_metrics.json";
+  write_json_file(path, sample_metrics());
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const JsonValue doc = parse_json(ss.str());
+  EXPECT_EQ(doc.at("schema").str(), "fvc.metrics/1");
+  std::remove(path.c_str());
+}
+
+TEST(JsonExport, WriteFileThrowsOnBadPath) {
+  EXPECT_THROW(write_json_file("/nonexistent_dir_fvc/metrics.json", RunMetrics()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fvc::obs

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "fvc/geometry/angle.hpp"
+#include "fvc/obs/run_metrics.hpp"
 
 namespace fvc::sim {
 namespace {
@@ -95,6 +98,110 @@ TEST(EstimateFractions, PoissonDeployedCountVaries) {
 TEST(EstimateFractions, Validation) {
   EXPECT_THROW((void)estimate_fractions(fast_config(), 0, 1, 1),
                std::invalid_argument);
+}
+
+TEST(RunOptions, DefaultOptionsMatchPlainOverload) {
+  const TrialConfig cfg = fast_config();
+  const GridEventsEstimate plain = estimate_grid_events(cfg, 25, 17, 4);
+  const GridEventsEstimate opt = estimate_grid_events(cfg, 25, 17, 4, RunOptions{});
+  EXPECT_EQ(plain.necessary.successes, opt.necessary.successes);
+  EXPECT_EQ(plain.full_view.successes, opt.full_view.successes);
+  EXPECT_EQ(plain.sufficient.successes, opt.sufficient.successes);
+}
+
+TEST(RunOptions, MetricsCollectionDoesNotChangeEstimates) {
+  const TrialConfig cfg = fast_config();
+  const GridEventsEstimate plain = estimate_grid_events(cfg, 25, 17, 4);
+  obs::MetricsNode node("estimate");
+  RunOptions options;
+  options.metrics = &node;
+  const GridEventsEstimate metered = estimate_grid_events(cfg, 25, 17, 4, options);
+  EXPECT_EQ(plain.necessary.successes, metered.necessary.successes);
+  EXPECT_EQ(plain.full_view.successes, metered.full_view.successes);
+  EXPECT_EQ(plain.sufficient.successes, metered.sufficient.successes);
+}
+
+TEST(RunOptions, MetricsTreeHasTrialsEngineAndPool) {
+  obs::MetricsNode node("estimate");
+  RunOptions options;
+  options.metrics = &node;
+  (void)estimate_grid_events(fast_config(), 10, 3, 4, options);
+  const obs::MetricsNode* trials = node.find_child("trials");
+  ASSERT_NE(trials, nullptr);
+  EXPECT_DOUBLE_EQ(trials->counter("trials_requested"), 10.0);
+  EXPECT_DOUBLE_EQ(trials->counter("trials_run"), 10.0);
+  EXPECT_DOUBLE_EQ(trials->counter("trials_cancelled"), 0.0);
+  ASSERT_NE(trials->find_histogram("trial_us"), nullptr);
+  EXPECT_EQ(trials->find_histogram("trial_us")->total(), 10u);
+  const obs::MetricsNode* engine = node.find_child("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GT(engine->counter("points"), 0.0);
+  EXPECT_GE(engine->counter("candidates_total"), engine->counter("directions_total"));
+  const obs::MetricsNode* pool = node.find_child("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->counter("workers"), 1.0);
+  EXPECT_DOUBLE_EQ(pool->counter("tasks"), 10.0);
+}
+
+TEST(RunOptions, MetricsTotalsDeterministicAcrossThreadCounts) {
+  const TrialConfig cfg = fast_config();
+  const auto run = [&](std::size_t threads) {
+    obs::MetricsNode node("estimate");
+    RunOptions options;
+    options.metrics = &node;
+    (void)estimate_grid_events(cfg, 20, 23, threads, options);
+    return node.find_child("engine")->counter("points");
+  };
+  const double p1 = run(1);
+  EXPECT_DOUBLE_EQ(run(4), p1);
+  EXPECT_DOUBLE_EQ(run(8), p1);
+}
+
+TEST(RunOptions, ProgressReportsEveryTrialInOrder) {
+  std::vector<std::size_t> seen;
+  RunOptions options;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 12u);
+    seen.push_back(done);
+  };
+  (void)estimate_grid_events(fast_config(), 12, 5, 4, options);
+  ASSERT_EQ(seen.size(), 12u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i + 1);  // serialized under the progress mutex
+  }
+}
+
+TEST(RunOptions, CancellationYieldsPartialEstimate) {
+  obs::CancellationToken cancel;
+  RunOptions options;
+  options.cancel = &cancel;
+  std::size_t fired = 0;
+  options.progress = [&](std::size_t done, std::size_t) {
+    ++fired;
+    if (done >= 3) {
+      cancel.request_stop();
+    }
+  };
+  const GridEventsEstimate est =
+      estimate_grid_events(fast_config(), 50, 5, 1, options);
+  // Single-threaded: exactly the trials before the stop request ran.
+  EXPECT_EQ(est.necessary.trials, 3u);
+  EXPECT_EQ(fired, 3u);
+  EXPECT_LE(est.necessary.successes, est.necessary.trials);
+}
+
+TEST(RunOptions, PreCancelledRunReportsZeroTrials) {
+  obs::CancellationToken cancel;
+  cancel.request_stop();
+  RunOptions options;
+  options.cancel = &cancel;
+  obs::MetricsNode node("estimate");
+  options.metrics = &node;
+  const GridEventsEstimate est =
+      estimate_grid_events(fast_config(), 8, 5, 2, options);
+  EXPECT_EQ(est.necessary.trials, 0u);
+  EXPECT_EQ(est.necessary.successes, 0u);
+  EXPECT_DOUBLE_EQ(node.find_child("trials")->counter("trials_cancelled"), 8.0);
 }
 
 TEST(EstimateGridEvents, MoreAreaMoreCoverage) {

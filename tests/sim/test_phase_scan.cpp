@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "fvc/analysis/csa.hpp"
 #include "fvc/geometry/angle.hpp"
+#include "fvc/obs/cancellation.hpp"
+#include "fvc/obs/run_metrics.hpp"
 
 namespace fvc::sim {
 namespace {
@@ -56,6 +59,47 @@ TEST(PhaseScan, Deterministic) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].events.necessary.successes, b[i].events.necessary.successes);
     EXPECT_EQ(a[i].events.full_view.successes, b[i].events.full_view.successes);
+  }
+}
+
+TEST(PhaseScan, PreCancelledScanReturnsNoPoints) {
+  PhaseScanConfig cfg = small_scan();
+  obs::CancellationToken cancel;
+  cancel.request_stop();
+  cfg.cancel = &cancel;
+  EXPECT_TRUE(run_phase_scan(cfg).empty());
+}
+
+TEST(PhaseScan, MetricsFillPerPointSubtrees) {
+  PhaseScanConfig cfg = small_scan();
+  obs::MetricsNode node("phase");
+  cfg.metrics = &node;
+  const auto points = run_phase_scan(cfg);
+  ASSERT_EQ(points.size(), cfg.q_values.size());
+  for (std::size_t i = 0; i < cfg.q_values.size(); ++i) {
+    const obs::MetricsNode* point = node.find_child("q_" + std::to_string(i));
+    ASSERT_NE(point, nullptr) << i;
+    EXPECT_DOUBLE_EQ(point->counter("q"), cfg.q_values[i]);
+    ASSERT_NE(point->find_child("trials"), nullptr) << i;
+    EXPECT_DOUBLE_EQ(point->find_child("trials")->counter("trials_run"),
+                     static_cast<double>(cfg.trials));
+  }
+}
+
+TEST(PhaseScan, MetricsCollectionDoesNotChangeResults) {
+  const auto plain = run_phase_scan(small_scan());
+  PhaseScanConfig cfg = small_scan();
+  obs::MetricsNode node("phase");
+  cfg.metrics = &node;
+  const auto metered = run_phase_scan(cfg);
+  ASSERT_EQ(plain.size(), metered.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].events.necessary.successes,
+              metered[i].events.necessary.successes);
+    EXPECT_EQ(plain[i].events.full_view.successes,
+              metered[i].events.full_view.successes);
+    EXPECT_EQ(plain[i].events.sufficient.successes,
+              metered[i].events.sufficient.successes);
   }
 }
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fvc/obs/run_metrics.hpp"
+
 namespace fvc::sim {
 namespace {
 
@@ -60,6 +62,48 @@ TEST(ParallelFor, ResultsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(run(2), s1);
   EXPECT_EQ(run(7), s1);
   EXPECT_EQ(run(16), s1);
+}
+
+TEST(PoolMetrics, AccountsForEveryTask) {
+  PoolMetrics pool;
+  std::vector<std::atomic<int>> visits(200);
+  parallel_for(200, 4, [&](std::size_t i) { visits[i].fetch_add(1); }, &pool);
+  for (auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+  EXPECT_EQ(pool.requested_threads, 4u);
+  EXPECT_GE(pool.workers.size(), 1u);
+  EXPECT_LE(pool.workers.size(), 4u);
+  EXPECT_EQ(pool.total_tasks(), 200u);
+  // Busy time is bounded by the section's worker-seconds capacity.
+  EXPECT_LE(pool.total_busy_ns(), pool.wall_ns * pool.workers.size());
+  EXPECT_EQ(pool.total_idle_ns(),
+            pool.wall_ns * pool.workers.size() - pool.total_busy_ns());
+}
+
+TEST(PoolMetrics, NullPointerMeansUnmetered) {
+  // The 4-arg overload with nullptr must behave exactly like the 3-arg one.
+  std::vector<std::size_t> order;
+  parallel_for(50, 1, [&](std::size_t i) { order.push_back(i); }, nullptr);
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(PoolMetrics, DescribeExportsUtilization) {
+  PoolMetrics pool;
+  parallel_for(64, 2, [](std::size_t) {}, &pool);
+  obs::MetricsNode node("pool");
+  describe(pool, node);
+  EXPECT_DOUBLE_EQ(node.counter("tasks"), 64.0);
+  EXPECT_GE(node.counter("workers"), 1.0);
+  EXPECT_DOUBLE_EQ(node.counter("requested_threads"), 2.0);
+  EXPECT_GE(node.counter("utilization"), 0.0);
+  EXPECT_LE(node.counter("utilization"), 1.0);
+  EXPECT_EQ(node.elapsed_ns(), pool.wall_ns);
+  ASSERT_NE(node.find_histogram("tasks_per_worker"), nullptr);
+  EXPECT_EQ(node.find_histogram("tasks_per_worker")->total(), pool.workers.size());
 }
 
 TEST(ParallelFor, PropagatesException) {

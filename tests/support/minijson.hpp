@@ -1,0 +1,264 @@
+/// \file minijson.hpp
+/// \brief A tiny recursive-descent JSON reader for tests.
+///
+/// The library deliberately has no JSON *parsing* dependency; the schema
+/// tests still need to read back what fvc::obs::write_json produced.  This
+/// parser covers exactly RFC 8259 (objects, arrays, strings with escapes,
+/// numbers, true/false/null) with strict error checking, and is test-only —
+/// it never ships in a library target.
+
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fvc::testsupport {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  JsonValue() : v_(nullptr) {}
+  explicit JsonValue(Storage v) : v_(std::move(v)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool boolean() const { return get<bool>("boolean"); }
+  [[nodiscard]] double number() const { return get<double>("number"); }
+  [[nodiscard]] const std::string& str() const { return get<std::string>("string"); }
+  [[nodiscard]] const Array& arr() const { return get<Array>("array"); }
+  [[nodiscard]] const Object& obj() const { return get<Object>("object"); }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return obj().find(key) != obj().end();
+  }
+  /// Object member access; throws std::out_of_range on a missing key.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const Object& o = obj();
+    const auto it = o.find(key);
+    if (it == o.end()) {
+      throw std::out_of_range("minijson: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+
+  Storage v_;
+
+ private:
+  template <typename T>
+  [[nodiscard]] const T& get(const char* what) const {
+    if (!std::holds_alternative<T>(v_)) {
+      throw std::runtime_error(std::string("minijson: value is not a ") + what);
+    }
+    return std::get<T>(v_);
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) {
+      fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("minijson: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+    }
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      return parse_object();
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == '"') {
+      return JsonValue(JsonValue::Storage(parse_string()));
+    }
+    if (consume_literal("true")) {
+      return JsonValue(JsonValue::Storage(true));
+    }
+    if (consume_literal("false")) {
+      return JsonValue(JsonValue::Storage(false));
+    }
+    if (consume_literal("null")) {
+      return JsonValue(JsonValue::Storage(nullptr));
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(JsonValue::Storage(std::move(members)));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(JsonValue::Storage(std::move(members)));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(JsonValue::Storage(std::move(items)));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(JsonValue::Storage(std::move(items)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) {
+        fail("unterminated string");
+      }
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) {
+        fail("unterminated escape");
+      }
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) {
+            fail("truncated \\u escape");
+          }
+          const unsigned long cp = std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Tests only produce ASCII; anything else degrades to '?'.
+          out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("invalid value");
+    }
+    const std::string token = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("invalid number '" + token + "'");
+    }
+    return JsonValue(JsonValue::Storage(value));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parse one JSON document; throws std::runtime_error on malformed input.
+[[nodiscard]] inline JsonValue parse_json(const std::string& text) {
+  return detail::Parser(text).parse_document();
+}
+
+}  // namespace fvc::testsupport

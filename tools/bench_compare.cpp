@@ -8,6 +8,11 @@
 /// record (BENCH_grid_eval.json by default) so the speedup is tracked in
 /// version control and future PRs can detect regressions.
 ///
+/// The record also embeds one fvc.metrics/1 document (see fvc/obs) from an
+/// extra *metered* parallel pass — engine shape, candidate histograms and
+/// pool utilization — taken outside the timed reps so the timings stay
+/// those of the unmetered hot path.
+///
 /// Usage: bench_compare [out.json] [n] [grid_side] [reps]
 ///   defaults:          BENCH_grid_eval.json  1000  64  5
 ///
@@ -19,6 +24,8 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +33,8 @@
 #include "fvc/core/region_coverage.hpp"
 #include "fvc/deploy/uniform.hpp"
 #include "fvc/geometry/angle.hpp"
+#include "fvc/obs/json_export.hpp"
+#include "fvc/obs/run_metrics.hpp"
 #include "fvc/sim/parallel_region.hpp"
 #include "fvc/stats/rng.hpp"
 
@@ -53,6 +62,23 @@ bool same_stats(const core::RegionCoverageStats& a, const core::RegionCoverageSt
          a.necessary_ok == b.necessary_ok && a.full_view_ok == b.full_view_ok &&
          a.sufficient_ok == b.sufficient_ok && a.k_covered_ok == b.k_covered_ok &&
          a.min_max_gap == b.min_max_gap && a.max_max_gap == b.max_max_gap;
+}
+
+/// Re-indent an already-rendered JSON document so it nests as the value of
+/// an outer object key (first line unchanged — it follows the key).
+std::string indent_json(const std::string& doc, const std::string& pad) {
+  std::string out;
+  out.reserve(doc.size());
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    out.push_back(doc[i]);
+    if (doc[i] == '\n' && i + 1 < doc.size()) {
+      out += pad;
+    }
+  }
+  while (!out.empty() && out.back() == '\n') {
+    out.pop_back();
+  }
+  return out;
 }
 
 }  // namespace
@@ -91,6 +117,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One metered pass, outside the timed reps: must still agree bit-exactly
+  // (metrics collection never changes arithmetic), and its metrics tree is
+  // embedded in the record below.
+  obs::RunMetrics metrics;
+  metrics.set_label("tool", "bench_compare");
+  metrics.set_label("bench", "grid_eval_whole_grid_scan");
+  core::RegionCoverageStats metered_stats;
+  {
+    obs::Span span(metrics.root());
+    metered_stats = sim::evaluate_region_parallel_metered(net, grid, theta, threads,
+                                                          metrics.root());
+  }
+  if (!same_stats(scalar_stats, metered_stats)) {
+    std::fprintf(stderr,
+                 "bench_compare: FAIL — metered parallel results differ from the "
+                 "scalar oracle\n");
+    return 1;
+  }
+
   const double speedup_batched = scalar_ms / batched_ms;
   const double speedup_parallel = scalar_ms / parallel_ms;
   std::printf("grid_eval whole-grid scan: n=%zu grid=%zux%zu theta=pi/4 reps=%zu\n", n,
@@ -100,31 +145,37 @@ int main(int argc, char** argv) {
   std::printf("  parallel : %9.3f ms  (%.2fx, %zu threads)\n", parallel_ms,
               speedup_parallel, threads);
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
+  std::ostringstream record;
+  record << "{\n";
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "  \"bench\": \"grid_eval_whole_grid_scan\",\n"
+                "  \"n\": %zu,\n"
+                "  \"grid_side\": %zu,\n"
+                "  \"theta\": \"pi/4\",\n"
+                "  \"reps\": %zu,\n"
+                "  \"threads\": %zu,\n"
+                "  \"scalar_ms\": %.3f,\n"
+                "  \"batched_ms\": %.3f,\n"
+                "  \"parallel_ms\": %.3f,\n"
+                "  \"speedup_batched\": %.2f,\n"
+                "  \"speedup_parallel\": %.2f,\n"
+                "  \"results_bit_identical\": true,\n",
+                n, side, reps, threads, scalar_ms, batched_ms, parallel_ms,
+                speedup_batched, speedup_parallel);
+  record << buf;
+  record << "  \"metrics\": " << indent_json(obs::to_json(metrics), "  ") << "\n";
+  record << "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
     std::fprintf(stderr, "bench_compare: cannot open %s for writing\n",
                  out_path.c_str());
     return 1;
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"grid_eval_whole_grid_scan\",\n"
-               "  \"n\": %zu,\n"
-               "  \"grid_side\": %zu,\n"
-               "  \"theta\": \"pi/4\",\n"
-               "  \"reps\": %zu,\n"
-               "  \"threads\": %zu,\n"
-               "  \"scalar_ms\": %.3f,\n"
-               "  \"batched_ms\": %.3f,\n"
-               "  \"parallel_ms\": %.3f,\n"
-               "  \"speedup_batched\": %.2f,\n"
-               "  \"speedup_parallel\": %.2f,\n"
-               "  \"results_bit_identical\": true\n"
-               "}\n",
-               n, side, reps, threads, scalar_ms, batched_ms, parallel_ms,
-               speedup_batched, speedup_parallel);
-  const bool write_error = std::ferror(out) != 0;
-  if (std::fclose(out) != 0 || write_error) {
+  out << record.str();
+  out.flush();
+  if (!out) {
     std::fprintf(stderr, "bench_compare: failed writing %s\n", out_path.c_str());
     return 1;
   }
