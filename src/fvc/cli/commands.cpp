@@ -12,6 +12,7 @@
 #include "fvc/analysis/uniform_theory.hpp"
 #include "fvc/barrier/barrier.hpp"
 #include "fvc/cli/command_registry.hpp"
+#include "fvc/core/cpu_features.hpp"
 #include "fvc/core/full_view.hpp"
 #include "fvc/deploy/uniform.hpp"
 #include "fvc/geometry/angle.hpp"
@@ -366,9 +367,31 @@ int run_command(const Args& args, std::ostream& out) {
     return 1;
   }
   args.expect_only(allowed_flags(*spec));
+  // --kernel pins the grid-eval kernel variant for every engine the command
+  // constructs.  Validation (unknown name, variant not compiled in or not
+  // executable on this CPU) happens at engine construction via
+  // resolve_kernel, which throws rather than silently falling back.  The
+  // pin is process-global, so it is cleared on every exit path — callers
+  // (tests) may invoke run_command repeatedly.
+  struct KernelPinGuard {
+    ~KernelPinGuard() { core::set_forced_kernel(std::nullopt); }
+  } kernel_pin_guard;
+  if (args.has("kernel")) {
+    const std::string name = args.get_string("kernel", "");
+    const auto variant = core::kernel_from_name(name);
+    if (!variant.has_value()) {
+      throw std::invalid_argument(
+          "--kernel: unknown variant '" + name +
+          "' (expected scalar, generic, avx2, or neon)");
+    }
+    core::set_forced_kernel(*variant);
+  }
   CommandContext ctx(args, out);
   ctx.metrics().set_label("tool", "fvc_sim");
   ctx.metrics().set_label("command", cmd);
+  if (args.has("kernel")) {
+    ctx.metrics().set_label("kernel", args.get_string("kernel", ""));
+  }
   int code = 0;
   {
     obs::Span run_span(ctx.root());

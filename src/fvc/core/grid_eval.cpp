@@ -1,11 +1,14 @@
 #include "fvc/core/grid_eval.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
-#include "fvc/core/coverage.hpp"
+#include "fvc/core/grid_eval_kernel.hpp"
 #include "fvc/geometry/angle.hpp"
 #include "fvc/geometry/sector.hpp"
 #include "fvc/obs/run_metrics.hpp"
@@ -13,6 +16,26 @@
 namespace fvc::core {
 
 namespace {
+
+/// Vectorized classify entry point for a dispatched variant; nullptr for
+/// the scalar variant (and, defensively, for variants this build lacks —
+/// resolve_kernel already rejects those).
+detail::ClassifyFn classify_for(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kGeneric:
+      return &detail::classify_generic;
+#if defined(FVC_KERNEL_AVX2)
+    case KernelVariant::kAvx2:
+      return &detail::classify_avx2;
+#endif
+#if defined(FVC_KERNEL_NEON)
+    case KernelVariant::kNeon:
+      return &detail::classify_neon;
+#endif
+    default:
+      return nullptr;
+  }
+}
 
 /// ccw_delta for inputs already normalized to [0, 2*pi).  Bit-identical to
 /// `geom::ccw_delta(from, to)` on that domain: there, fmod is the identity
@@ -114,7 +137,6 @@ void GridEvalCounters::describe(obs::MetricsNode& node) const {
   node.add("candidates_total", static_cast<double>(candidates_total));
   node.add("directions_total", static_cast<double>(directions_total));
   node.add("trig_fallbacks", static_cast<double>(trig_fallbacks));
-  node.add("slow_path_entries", static_cast<double>(slow_path_entries));
   node.histogram("candidates_per_point").merge(candidates_per_point);
 }
 
@@ -123,11 +145,19 @@ GridEvalEngine::GridEvalEngine(const Network& net, const DenseGrid& grid, double
   validate_theta(theta);
   implied_k_ = implied_k(theta);
   mode_ = net.mode();
+  kernel_ = resolve_kernel();
+  classify_ = classify_for(kernel_);
+  note_kernel_dispatch(kernel_);
   necessary_arcs_ = geom::sector_partition(2.0 * theta);
   sufficient_arcs_ = geom::sector_partition(theta);
   const std::uint64_t t0 = obs::monotonic_ns();
   bin_cameras();
   build_ns_ = obs::monotonic_ns() - t0;
+}
+
+void GridEvalEngine::CandSoA::resize(std::size_t n) {
+  stride = n;
+  data.resize(7 * n);
 }
 
 GridEvalEngine::BinOccupancy GridEvalEngine::occupancy() const {
@@ -156,7 +186,22 @@ void GridEvalEngine::describe(obs::MetricsNode& node) const {
   node.set("bin_empty_cells", static_cast<double>(occ.empty_cells));
   node.set("bin_max_per_cell", static_cast<double>(occ.max_per_cell));
   node.set("bin_mean_per_cell", occ.mean_per_cell);
+  // The engine's own span covers construction; evaluation time is merged
+  // in by the caller (it is per scratch, not per engine).
+  node.add_elapsed_ns(build_ns_);
   node.child("build").add_elapsed_ns(build_ns_);
+  describe_kernel_dispatch(kernel_, node);
+}
+
+void describe_kernel_dispatch(KernelVariant active, obs::MetricsNode& node) {
+  node.set("kernel_lanes", static_cast<double>(kernel_lanes(active)));
+  node.set(std::string("kernel_") += kernel_name(active), 1.0);
+  obs::MetricsNode& disp = node.child("kernel_dispatch");
+  for (std::size_t i = 0; i < kKernelVariantCount; ++i) {
+    const auto v = static_cast<KernelVariant>(i);
+    disp.set(std::string("engines_") += kernel_name(v),
+             static_cast<double>(kernel_dispatch_count(v)));
+  }
 }
 
 void GridEvalEngine::bin_cameras() {
@@ -189,11 +234,15 @@ void GridEvalEngine::bin_cameras() {
   // its short-way displacement, and windows spanning the whole circle are
   // clamped to one copy of each cell.
   struct Pair {
-    std::uint32_t cell;
+    std::uint32_t key;  ///< cell bucket (counting-sort key)
     std::uint32_t cam;
   };
   std::vector<Pair> pairs;
-  pairs.reserve(cams.size() * 16);
+  // Reserve the worst-case window area so the push_back loop never
+  // reallocates (regrowth copies megabytes mid-enumeration).
+  const auto span_bound = std::min<std::size_t>(
+      cells_, static_cast<std::size_t>(2.0 * r * static_cast<double>(cells_)) + 2);
+  pairs.reserve(cams.size() * span_bound * span_bound);
   auto for_each_cell = [&](std::size_t i, const auto& emit) {
     const Camera& cam = cams[i];
     const double cr = cam.radius;
@@ -219,64 +268,60 @@ void GridEvalEngine::bin_cameras() {
     // mode, and on the torus when neither axis window wraps fully.
     const bool prune = mode_ == geom::SpaceMode::kPlane || (x_span < c && y_span < c);
     const double r2 = cr * cr;
+    // Everything that depends on one axis only — wrapped index, squared
+    // rectangle distance — is hoisted out of the column x row product (the
+    // per-cell modulo by a runtime divisor otherwise dominates
+    // enumeration).
+    std::array<std::uint32_t, 256> by_arr;
+    std::array<double, 256> dy2_arr;
+    for (std::ptrdiff_t iy = 0; iy < y_span; ++iy) {
+      const std::ptrdiff_t cy = y_lo + iy;
+      const double cell_y_lo = static_cast<double>(cy) * h;
+      const double dy = std::max({0.0, cell_y_lo - cam.position.y,
+                                  cam.position.y - (cell_y_lo + h)});
+      dy2_arr[static_cast<std::size_t>(iy)] = dy * dy;
+      by_arr[static_cast<std::size_t>(iy)] =
+          static_cast<std::uint32_t>(((cy % c) + c) % c);
+    }
     for (std::ptrdiff_t ix = 0; ix < x_span; ++ix) {
       const std::ptrdiff_t cx = x_lo + ix;
       const double cell_x_lo = static_cast<double>(cx) * h;
       const double dx = std::max({0.0, cell_x_lo - cam.position.x,
                                   cam.position.x - (cell_x_lo + h)});
+      const double dx2 = dx * dx;
+      const std::size_t bx = static_cast<std::size_t>(((cx % c) + c) % c);
+      const std::size_t row_base = bx * cells_;
       for (std::ptrdiff_t iy = 0; iy < y_span; ++iy) {
-        const std::ptrdiff_t cy = y_lo + iy;
-        const double cell_y_lo = static_cast<double>(cy) * h;
-        const double dy = std::max({0.0, cell_y_lo - cam.position.y,
-                                    cam.position.y - (cell_y_lo + h)});
-        if (prune && dx * dx + dy * dy > r2) {
+        if (prune && dx2 + dy2_arr[static_cast<std::size_t>(iy)] > r2) {
           continue;
         }
-        const std::size_t bx = static_cast<std::size_t>(((cx % c) + c) % c);
-        const std::size_t by = static_cast<std::size_t>(((cy % c) + c) % c);
-        emit(bx * cells_ + by);
+        emit(row_base + by_arr[static_cast<std::size_t>(iy)]);
       }
     }
   };
 
   for (std::size_t i = 0; i < cams.size(); ++i) {
     for_each_cell(i, [&](std::size_t bucket) {
-      pairs.push_back({static_cast<std::uint32_t>(bucket), static_cast<std::uint32_t>(i)});
+      pairs.push_back(
+          {static_cast<std::uint32_t>(bucket), static_cast<std::uint32_t>(i)});
     });
   }
 
-  // Counting-sort the pairs into CSR layout.
   const std::size_t buckets = cells_ * cells_;
-  cell_offsets_.assign(buckets + 1, 0);
-  for (const Pair& p : pairs) {
-    ++cell_offsets_[p.cell + 1];
-  }
-  for (std::size_t b = 0; b < buckets; ++b) {
-    cell_offsets_[b + 1] += cell_offsets_[b];
-  }
-  cell_entries_.resize(pairs.size());
-  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
-  for (const Pair& p : pairs) {
-    cell_entries_[cursor[p.cell]++] = p.cam;
-  }
 
-  // Precompute one fused-kernel record per entry.  The torus unwrap shift
-  // k must satisfy round(fl(p - s)) == k for EVERY grid point p of the
-  // cell, so that `(p - s) - k` (exact: |fl(p-s) - k| <= 1/2 is within the
-  // Sterbenz range for k = +-1) followed by wrap_delta's two boundary
-  // fixups reproduces `geom::wrap_delta(s, p)` bit-for-bit.  The 1e-9
-  // margin absorbs the per-point rounding of fl(p - s); entries that
-  // cannot satisfy it (cells near half-torus distance, or cells_ == 1)
-  // fall back to the oracle displacement per point.
-  cell_recs_.resize(cell_entries_.size());
-  cell_flags_.resize(cell_entries_.size());
-  // Trig is evaluated once per camera, not once per (cell, camera) entry —
-  // a camera typically appears in tens of cells.
-  std::vector<CandRec> cam_recs(cams.size());
-  std::vector<std::uint8_t> cam_flags(cams.size());
+  // Precompute one fused-kernel record per camera, not per (cell, camera)
+  // entry — a camera typically appears in tens of cells, and the trig
+  // calls dominate the record.
+  struct CamRec {
+    double sx, sy, r2, cu, su, q, omni;
+  };
+  // The omni marker is an all-bits-set double so the lane kernel can OR it
+  // straight into its comparison masks; it is never used arithmetically.
+  const double omni_mask = std::bit_cast<double>(~std::uint64_t{0});
+  std::vector<CamRec> cam_recs(cams.size());
   for (std::size_t i = 0; i < cams.size(); ++i) {
     const Camera& cam = cams[i];
-    CandRec& rec = cam_recs[i];
+    CamRec& rec = cam_recs[i];
     rec.sx = cam.position.x;
     rec.sy = cam.position.y;
     rec.r2 = cam.radius * cam.radius;
@@ -284,37 +329,43 @@ void GridEvalEngine::bin_cameras() {
     rec.su = std::sin(cam.orientation);
     const double chs = std::cos(0.5 * cam.fov);
     rec.q = chs * std::abs(chs);
-    cam_flags[i] = (0.5 * cam.fov >= geom::kPi) ? kOmni : std::uint8_t{0};
+    rec.omni = 0.5 * cam.fov >= geom::kPi ? omni_mask : 0.0;
   }
-  const bool plane = mode_ == geom::SpaceMode::kPlane;
-  auto axis_shift = [&](double cell_lo, double s, double& k_out) -> bool {
-    if (plane) {
-      k_out = 0.0;  // plane displacement is the plain subtraction
-      return true;
-    }
-    const double dlo = cell_lo - s;
-    const double dhi = (cell_lo + h) - s;
-    const double k = std::round(0.5 * (dlo + dhi));
-    if (dlo <= k - 0.5 + 1e-9 || dhi >= k + 0.5 - 1e-9) {
-      return false;
-    }
-    k_out = k;
-    return true;
-  };
+  // Counting-sort the pairs by cell so each cell's entries are one dense
+  // range the vectorized kernel consumes in whole lane groups.  Only the
+  // 4-byte camera ids are scattered; the SoA fields are then filled in a
+  // separate sequential pass (sequential writes to seven streams beat one
+  // scatter of 56-byte records by a wide margin).
+  cell_offsets_.assign(buckets + 1, 0);
+  for (const Pair& pr : pairs) {
+    ++cell_offsets_[pr.key + 1];
+  }
   for (std::size_t b = 0; b < buckets; ++b) {
-    const double cell_x_lo = static_cast<double>(b / cells_) * h;
-    const double cell_y_lo = static_cast<double>(b % cells_) * h;
-    for (std::uint32_t e = cell_offsets_[b]; e < cell_offsets_[b + 1]; ++e) {
-      const std::uint32_t cam = cell_entries_[e];
-      CandRec& rec = cell_recs_[e];
-      rec = cam_recs[cam];
-      std::uint8_t flags = cam_flags[cam];
-      if (axis_shift(cell_x_lo, rec.sx, rec.kx) &&
-          axis_shift(cell_y_lo, rec.sy, rec.ky)) {
-        flags |= kFastDisp;
-      }
-      cell_flags_[e] = flags;
-    }
+    cell_offsets_[b + 1] += cell_offsets_[b];
+  }
+  cell_entries_.resize(pairs.size());
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (const Pair& pr : pairs) {
+    cell_entries_[cursor[pr.key]++] = pr.cam;
+  }
+
+  soa_.resize(pairs.size());
+  double* const f_sx = soa_.mut(0);
+  double* const f_sy = soa_.mut(1);
+  double* const f_r2 = soa_.mut(2);
+  double* const f_cu = soa_.mut(3);
+  double* const f_su = soa_.mut(4);
+  double* const f_q = soa_.mut(5);
+  double* const f_om = soa_.mut(6);
+  for (std::size_t w = 0; w < cell_entries_.size(); ++w) {
+    const CamRec& rec = cam_recs[cell_entries_[w]];
+    f_sx[w] = rec.sx;
+    f_sy[w] = rec.sy;
+    f_r2[w] = rec.r2;
+    f_cu[w] = rec.cu;
+    f_su[w] = rec.su;
+    f_q[w] = rec.q;
+    f_om[w] = rec.omni;
   }
 }
 
@@ -340,28 +391,74 @@ std::span<const std::uint32_t> GridEvalEngine::candidates(const geom::Vec2& p) c
           cell_offsets_[b + 1] - cell_offsets_[b]};
 }
 
-void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scratch) const {
-  std::vector<double>& out = scratch.angles;
-  // The fused kernel.  Per candidate entry: displacement via the
-  // precomputed unwrap shift (bit-identical to geom::displacement, see
-  // bin_cameras), radius test on the squared distance, then the trig-free
-  // field-of-view classifier — the real-math condition
+void GridEvalEngine::classify_entry(std::size_t e, const geom::Vec2& p,
+                                    GridEvalScratch& scratch, std::vector<double>& out,
+                                    double* xs, double* ys, std::size_t& m) const {
+  // The scalar oracle path, one entry at a time: displacement via the
+  // per-point torus unwrap — the subtraction, `d -= round(d)`, and the
+  // d >= 0.5 boundary fixup are `geom::wrap_delta` bit-for-bit
+  // (wrap_delta's d < -0.5 fixup is dead code: a round-to-nearest
+  // remainder lies in [-0.5, +0.5]), hence bit-identical to
+  // geom::displacement — then the radius test on the squared distance and
+  // trig-free field-of-view classifier — the real-math condition
   //     angular_distance(angle(d), orientation) <= fov/2
   //       <=>  dot(d, u) >= |d| * cos(fov/2)        (u = unit orientation)
   //       <=>  dot*|dot| >= q * |d|^2               (x*|x| is monotone)
   // decided outside a 1e-9 relative band around the threshold; inside the
-  // band (or when the cell-wide shift is invalid) the scalar oracle's exact
-  // arithmetic is used, so the covered SET always matches `covers`.
-  // atan2 runs only for cameras that actually cover the point, and the
-  // oracle's `normalize_angle(dir_sp + pi)` reduces to a branch because
-  // fmod is the identity on [0, 2*pi).
+  // band the scalar oracle's exact arithmetic is used, so the covered SET
+  // always matches `covers`.  The vectorized kernels replicate exactly
+  // this operation sequence per lane and route band/zero-distance lanes
+  // back here, so every variant stays bit-identical.  The rare-branch
+  // counters sit inside already-[[unlikely]] blocks.
+  GridEvalCounters* const ctr = scratch.counters;
+  double dx = p.x - soa_.sx()[e];
+  double dy = p.y - soa_.sy()[e];
+  if (mode_ == geom::SpaceMode::kTorus) {
+    dx -= std::round(dx);
+    if (dx >= 0.5) {
+      dx -= 1.0;
+    }
+    dy -= std::round(dy);
+    if (dy >= 0.5) {
+      dy -= 1.0;
+    }
+  }
+  const double n2 = dx * dx + dy * dy;
+  const double dot = dx * soa_.cu()[e] + dy * soa_.su()[e];
+  const double lhs = dot * std::abs(dot);
+  const double rhs = soa_.q()[e] * n2;
+  const double band = 1e-9 * n2;
+  const bool in_radius = n2 <= soa_.r2()[e];
+  const bool omni = std::bit_cast<std::uint64_t>(soa_.omni()[e]) != 0;
+  bool covered = in_radius & (omni | (lhs - rhs > band));
+  if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
+    if (ctr != nullptr) {
+      ++ctr->trig_fallbacks;
+    }
+    if (n2 == 0.0) {
+      out.push_back(0.0);  // point coincides with the camera
+      return;
+    }
+    const Camera& cam = net_->cameras()[cell_entries_[e]];
+    covered =
+        geom::angular_distance(std::atan2(dy, dx), cam.orientation) <= 0.5 * cam.fov;
+  }
+  if (covered & (n2 == 0.0)) [[unlikely]] {  // omni camera at the point
+    out.push_back(0.0);
+    return;
+  }
+  // Branchless compaction: always write, advance on coverage.
+  xs[m] = dx;
+  ys[m] = dy;
+  m += static_cast<std::size_t>(covered);
+}
+
+void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scratch) const {
+  std::vector<double>& out = scratch.angles;
   const std::size_t b = point_cell(p);
-  const std::span<const Camera> cams = net_->cameras();
-  const bool torus = mode_ == geom::SpaceMode::kTorus;
   const std::uint32_t lo = cell_offsets_[b];
   const std::uint32_t hi = cell_offsets_[b + 1];
-  // Metrics are per point (one pointer test), never per candidate; the
-  // rare-branch counters below sit inside already-[[unlikely]] blocks.
+  // Metrics are per point (one pointer test), never per candidate.
   GridEvalCounters* const ctr = scratch.counters;
   const std::size_t out_before = out.size();
   if (ctr != nullptr) [[unlikely]] {
@@ -369,11 +466,6 @@ void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scr
     ctr->candidates_total += hi - lo;
     ctr->candidates_per_point.add(hi - lo);
   }
-  // Classify loop: branchless bitwise predicate plus a branchless
-  // compaction of the covered displacements, so the only data-dependent
-  // branches left are the two [[unlikely]] fallbacks.  atan2 (the single
-  // most expensive operation) runs in its own tight loop over the ~covered
-  // survivors instead of stalling the classify pipeline.
   std::vector<double>& xs = scratch.dxs;
   std::vector<double>& ys = scratch.dys;
   if (xs.size() < hi - lo) {
@@ -381,67 +473,48 @@ void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scr
     ys.resize(hi - lo);
   }
   std::size_t m = 0;
-  for (std::uint32_t e = lo; e < hi; ++e) {
-    const CandRec& rec = cell_recs_[e];
-    const std::uint8_t flags = cell_flags_[e];
-    if (!(flags & kFastDisp)) [[unlikely]] {
-      if (ctr != nullptr) {
-        ++ctr->slow_path_entries;
+  std::uint32_t e = lo;
+  // Lane-parallel classify over whole lane groups of the cell's entries.
+  // Lanes the kernel flags as special — exact-arithmetic band hits and
+  // zero-distance hits — are replayed through the scalar path, which
+  // re-derives their classification (and counters) exactly as the scalar
+  // kernel would.
+  if (classify_ != nullptr) {
+    const std::size_t vec_n = (hi - lo) & ~std::size_t{3};
+    if (vec_n != 0) {
+      if (scratch.special.size() < hi - lo) {
+        scratch.special.resize(hi - lo);
       }
-      if (const auto dir = viewed_direction_if_covered(cams[cell_entries_[e]], p, mode_)) {
-        out.push_back(*dir);
+      const detail::CandSpans spans{soa_.sx() + lo, soa_.sy() + lo,
+                                    soa_.r2() + lo, soa_.cu() + lo,
+                                    soa_.su() + lo, soa_.q() + lo,
+                                    soa_.omni() + lo};
+      const detail::ClassifyResult res =
+          classify_(spans, vec_n, p.x, p.y, mode_ == geom::SpaceMode::kTorus,
+                    xs.data(), ys.data(), scratch.special.data());
+      m = res.covered;
+      for (std::size_t j = 0; j < res.special; ++j) {
+        classify_entry(lo + scratch.special[j], p, scratch, out, xs.data(), ys.data(), m);
       }
-      continue;
+      e = lo + static_cast<std::uint32_t>(vec_n);
     }
-    double dx = p.x - rec.sx;
-    double dy = p.y - rec.sy;
-    if (torus) {
-      dx -= rec.kx;
-      if (dx >= 0.5) {
-        dx -= 1.0;
-      }
-      if (dx < -0.5) {
-        dx += 1.0;
-      }
-      dy -= rec.ky;
-      if (dy >= 0.5) {
-        dy -= 1.0;
-      }
-      if (dy < -0.5) {
-        dy += 1.0;
-      }
-    }
-    const double n2 = dx * dx + dy * dy;
-    const double dot = dx * rec.cu + dy * rec.su;
-    const double lhs = dot * std::abs(dot);
-    const double rhs = rec.q * n2;
-    const double band = 1e-9 * n2;
-    const bool in_radius = n2 <= rec.r2;
-    const bool omni = (flags & kOmni) != 0;
-    bool covered = in_radius & (omni | (lhs - rhs > band));
-    if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
-      if (ctr != nullptr) {
-        ++ctr->trig_fallbacks;
-      }
-      if (n2 == 0.0) {
-        out.push_back(0.0);  // point coincides with the camera
-        continue;
-      }
-      const Camera& cam = cams[cell_entries_[e]];
-      covered =
-          geom::angular_distance(std::atan2(dy, dx), cam.orientation) <= 0.5 * cam.fov;
-    }
-    if (covered & (n2 == 0.0)) [[unlikely]] {  // omni camera at the point
-      out.push_back(0.0);
-      continue;
-    }
-    xs[m] = dx;
-    ys[m] = dy;
-    m += static_cast<std::size_t>(covered);
   }
+  // Scalar path: the whole cell (scalar variant), or the remainder tail
+  // (vector variants).
+  for (; e < hi; ++e) {
+    classify_entry(e, p, scratch, out, xs.data(), ys.data(), m);
+  }
+  // atan2 (the single most expensive operation) runs in its own tight loop
+  // over the ~covered survivors instead of stalling the classify pipeline.
+  // The oracle's `normalize_angle(dir_sp + pi)` reduces to a branch because
+  // fmod is the identity on [0, 2*pi).  One resize + raw writes, so the
+  // loop carries no per-element capacity check.
+  const std::size_t base = out.size();
+  out.resize(base + m);
+  double* const emit = out.data() + base;
   for (std::size_t j = 0; j < m; ++j) {
     const double v = std::atan2(ys[j], xs[j]) + geom::kPi;
-    out.push_back(v >= geom::kTwoPi ? 0.0 : v);
+    emit[j] = v >= geom::kTwoPi ? 0.0 : v;
   }
   if (ctr != nullptr) [[unlikely]] {
     ctr->directions_total += out.size() - out_before;
@@ -457,39 +530,25 @@ std::size_t GridEvalEngine::covered_count_at_least(const geom::Vec2& p,
   const bool torus = mode_ == geom::SpaceMode::kTorus;
   std::size_t count = 0;
   for (std::uint32_t e = cell_offsets_[b]; e < cell_offsets_[b + 1] && count < k; ++e) {
-    const CandRec& rec = cell_recs_[e];
-    const std::uint8_t flags = cell_flags_[e];
-    if (!(flags & kFastDisp)) {
-      if (covers(cams[cell_entries_[e]], p, mode_)) {
-        ++count;
-      }
-      continue;
-    }
-    double dx = p.x - rec.sx;
-    double dy = p.y - rec.sy;
+    double dx = p.x - soa_.sx()[e];
+    double dy = p.y - soa_.sy()[e];
     if (torus) {
-      dx -= rec.kx;
+      dx -= std::round(dx);
       if (dx >= 0.5) {
         dx -= 1.0;
       }
-      if (dx < -0.5) {
-        dx += 1.0;
-      }
-      dy -= rec.ky;
+      dy -= std::round(dy);
       if (dy >= 0.5) {
         dy -= 1.0;
       }
-      if (dy < -0.5) {
-        dy += 1.0;
-      }
     }
     const double n2 = dx * dx + dy * dy;
-    const double dot = dx * rec.cu + dy * rec.su;
+    const double dot = dx * soa_.cu()[e] + dy * soa_.su()[e];
     const double lhs = dot * std::abs(dot);
-    const double rhs = rec.q * n2;
+    const double rhs = soa_.q()[e] * n2;
     const double band = 1e-9 * n2;
-    const bool in_radius = n2 <= rec.r2;
-    const bool omni = (flags & kOmni) != 0;
+    const bool in_radius = n2 <= soa_.r2()[e];
+    const bool omni = std::bit_cast<std::uint64_t>(soa_.omni()[e]) != 0;
     bool covered = in_radius & (omni | (lhs - rhs > band));
     if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
       if (n2 == 0.0) {
@@ -513,16 +572,42 @@ std::span<const double> GridEvalEngine::sorted_directions(std::size_t row,
   gather_directions(grid_.point(row, col), scratch);
   // Direction buffers are small (the point's covering-camera count), so
   // insertion sort beats std::sort's dispatch; the sorted sequence is the
-  // same for any comparison sort (the values are NaN-free doubles).
-  if (a.size() <= 48) {
-    for (std::size_t i = 1; i < a.size(); ++i) {
-      const double v = a[i];
+  // same for any comparison sort (the values are NaN-free doubles in
+  // [0, 2*pi)).  Mid-sized buffers get a 32-bucket counting presort first:
+  // the bucket index floor(v * 32 / 2*pi) is monotone in v, so the scatter
+  // leaves only intra-bucket inversions and the insertion pass runs in
+  // near-linear time instead of n^2/4 moves.
+  const std::size_t n = a.size();
+  auto insertion = [](double* buf, std::size_t len) {
+    for (std::size_t i = 1; i < len; ++i) {
+      const double v = buf[i];
       std::size_t j = i;
-      for (; j > 0 && a[j - 1] > v; --j) {
-        a[j] = a[j - 1];
+      for (; j > 0 && buf[j - 1] > v; --j) {
+        buf[j] = buf[j - 1];
       }
-      a[j] = v;
+      buf[j] = v;
     }
+  };
+  if (n <= 12) {
+    insertion(a.data(), n);
+  } else if (n <= 48) {
+    const double scale = 32.0 / geom::kTwoPi;
+    unsigned cnt[33] = {0};
+    unsigned bk[48];
+    double tmp[48];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto b = std::min(static_cast<unsigned>(a[i] * scale), 31U);
+      bk[i] = b;
+      ++cnt[b + 1];
+    }
+    for (std::size_t b = 0; b < 32; ++b) {
+      cnt[b + 1] += cnt[b];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[cnt[bk[i]]++] = a[i];
+    }
+    std::copy(tmp, tmp + n, a.data());
+    insertion(a.data(), n);
   } else {
     std::sort(a.begin(), a.end());
   }

@@ -19,7 +19,18 @@
 ///      once; the exact max-gap test and both sector conditions are then
 ///      evaluated from that same sorted buffer with zero per-point heap
 ///      allocations (sector partitions are precomputed per scan).
-///   3. *Row batching* — rows are independent work units, so callers can
+///   3. *Lane-parallel classify* — candidate records are stored as
+///      structure-of-arrays spans per CSR cell and classified 4 lanes at a
+///      time by an explicitly vectorized kernel (grid_eval_kernel.hpp)
+///      selected by runtime CPU dispatch (cpu_features.hpp: scalar /
+///      generic / avx2 / neon, pinnable via FVC_FORCE_KERNEL or the CLI's
+///      --kernel).  Lane arithmetic replicates the scalar IEEE operation
+///      sequence exactly (including the per-point torus unwrap, which is
+///      `geom::wrap_delta` lane-for-lane); the remainder tail and
+///      exact-arithmetic band hits reuse the scalar per-entry path, and
+///      atan2-bearing direction emission stays scalar — so every variant
+///      is bit-identical (enforced by tests/core/test_grid_eval_kernels).
+///   4. *Row batching* — rows are independent work units, so callers can
 ///      evaluate them serially (`evaluate`) or hand rows to
 ///      `sim::parallel_for` and merge the per-row results in row order
 ///      (`sim::evaluate_region_parallel`), which keeps results bit-identical
@@ -39,6 +50,7 @@
 #include <span>
 #include <vector>
 
+#include "fvc/core/cpu_features.hpp"
 #include "fvc/core/full_view.hpp"
 #include "fvc/core/grid.hpp"
 #include "fvc/core/network.hpp"
@@ -52,6 +64,18 @@ class MetricsNode;  // run_metrics.hpp; kept out of this hot header
 
 namespace fvc::core {
 
+namespace detail {
+// grid_eval_kernel.hpp; kept out of this hot header.  The alias must
+// match detail::ClassifyFn there (the structs may stay incomplete in a
+// function-pointer type).
+struct CandSpans;
+struct ClassifyResult;
+using ClassifyFn = ClassifyResult (*)(const CandSpans& c, std::size_t count,
+                                      double px, double py, bool torus,
+                                      double* xs, double* ys,
+                                      std::uint32_t* special);
+}  // namespace detail
+
 /// Engine observability counters (see fvc/obs).  Attached to a scratch —
 /// hence per worker thread, merged by the coordinating caller — so the
 /// hot path stays synchronization-free.  When no counters are attached
@@ -59,11 +83,10 @@ namespace fvc::core {
 /// candidate, and results are unchanged either way (counting does not
 /// touch the arithmetic).
 struct GridEvalCounters {
-  std::uint64_t points = 0;             ///< grid points gathered
-  std::uint64_t candidates_total = 0;   ///< binned candidates scanned
-  std::uint64_t directions_total = 0;   ///< covering directions emitted
-  std::uint64_t trig_fallbacks = 0;     ///< exact-arithmetic band fallbacks
-  std::uint64_t slow_path_entries = 0;  ///< entries without a cell-wide shift
+  std::uint64_t points = 0;            ///< grid points gathered
+  std::uint64_t candidates_total = 0;  ///< binned candidates scanned
+  std::uint64_t directions_total = 0;  ///< covering directions emitted
+  std::uint64_t trig_fallbacks = 0;    ///< exact-arithmetic band fallbacks
   obs::LogHistogram candidates_per_point;
 
   void merge(const GridEvalCounters& other) {
@@ -71,7 +94,6 @@ struct GridEvalCounters {
     candidates_total += other.candidates_total;
     directions_total += other.directions_total;
     trig_fallbacks += other.trig_fallbacks;
-    slow_path_entries += other.slow_path_entries;
     candidates_per_point.merge(other.candidates_per_point);
   }
 
@@ -86,6 +108,9 @@ struct GridEvalScratch {
   std::vector<double> angles;  ///< sorted viewed directions of one point
   std::vector<double> dxs;     ///< displacements of covered candidates
   std::vector<double> dys;     ///< (compacted by the classify loop)
+  /// Lane indices the vectorized kernel routes back to the scalar path
+  /// (exact-arithmetic band hits, zero-distance hits).
+  std::vector<std::uint32_t> special;
   /// Optional metrics destination; null (the default) disables counting.
   GridEvalCounters* counters = nullptr;
 };
@@ -186,33 +211,57 @@ class GridEvalEngine {
   [[nodiscard]] BinOccupancy occupancy() const;
 
   /// Export the engine's static shape (bin occupancy, build time, camera
-  /// count) into a metrics node; dynamic counters come from the scratch's
-  /// `GridEvalCounters` and are merged in by the caller.
+  /// count, active kernel and dispatch counters) into a metrics node;
+  /// dynamic counters come from the scratch's `GridEvalCounters` and are
+  /// merged in by the caller.
   void describe(obs::MetricsNode& node) const;
 
+  /// The kernel variant runtime dispatch selected for this engine.
+  [[nodiscard]] KernelVariant kernel() const { return kernel_; }
+
  private:
-  /// Per-candidate record of the fused kernel, one 64-byte line per entry.
-  /// `kx`/`ky` are the torus unwrap shifts (0 or +-1) that make the plain
-  /// subtraction `(p - s) - k` bit-identical to `geom::wrap_delta` for every
-  /// grid point of the entry's cell; `q` is the signed square of
-  /// cos(fov/2), used by the trig-free field-of-view classifier.
-  struct CandRec {
-    double sx = 0.0;
-    double sy = 0.0;
-    double kx = 0.0;
-    double ky = 0.0;
-    double r2 = 0.0;
-    double cu = 0.0;  ///< cos(orientation)
-    double su = 0.0;  ///< sin(orientation)
-    double q = 0.0;   ///< cos(fov/2) * |cos(fov/2)|
+  /// Candidate records in structure-of-arrays layout: one parallel span
+  /// per field, indexed by CSR entry, so the vectorized kernel loads each
+  /// field as one contiguous lane group.  `q` is the signed square of
+  /// cos(fov/2), used by the trig-free field-of-view classifier; `omni` is
+  /// an all-bits-set double mask (never used arithmetically) for cameras
+  /// with fov/2 >= pi.  The torus unwrap shift is NOT stored: the classify
+  /// paths recompute it per point as `d -= round(d)` plus wrap_delta's
+  /// boundary fixups, which is both exact (see grid_eval_kernel.hpp) and
+  /// cheaper than streaming two more field blocks through the kernel.
+  /// One contiguous buffer of seven field blocks (`stride` doubles each) —
+  /// a single allocation, because engine construction is on the hot path
+  /// of Monte-Carlo trials and separate quarter-megabyte vectors cost
+  /// ~1 ms of page faults per engine.
+  struct CandSoA {
+    std::vector<double> data;
+    std::size_t stride = 0;
+    void resize(std::size_t n);
+    // NOLINTBEGIN(readability-identifier-naming) — span accessors
+    [[nodiscard]] const double* sx() const { return data.data(); }
+    [[nodiscard]] const double* sy() const { return data.data() + stride; }
+    [[nodiscard]] const double* r2() const { return data.data() + 2 * stride; }
+    [[nodiscard]] const double* cu() const { return data.data() + 3 * stride; }
+    [[nodiscard]] const double* su() const { return data.data() + 4 * stride; }
+    [[nodiscard]] const double* q() const { return data.data() + 5 * stride; }
+    [[nodiscard]] const double* omni() const { return data.data() + 6 * stride; }
+    [[nodiscard]] double* mut(std::size_t field) { return data.data() + field * stride; }
+    // NOLINTEND(readability-identifier-naming)
   };
-  static constexpr std::uint8_t kFastDisp = 1;  ///< cell-wide shift is valid
-  static constexpr std::uint8_t kOmni = 2;      ///< fov/2 >= pi: no fov test
 
   [[nodiscard]] std::span<const std::uint32_t> cell_candidates(std::size_t cx,
                                                                std::size_t cy) const;
   [[nodiscard]] std::size_t point_cell(const geom::Vec2& p) const;
   void bin_cameras();
+
+  /// The scalar per-entry classify path (also the oracle): classifies CSR
+  /// entry `e` against `p`, appending immediate directions (fallback-band
+  /// and zero-distance hits) to `out` and compacting covered displacements
+  /// into xs/ys at m.  Shared by the scalar kernel loop, the vectorized
+  /// kernel's remainder tail, and its special-lane replay.
+  void classify_entry(std::size_t e, const geom::Vec2& p, GridEvalScratch& scratch,
+                      std::vector<double>& out, double* xs, double* ys,
+                      std::size_t& m) const;
 
   /// Fused gather: viewed directions of all covering cameras into
   /// `scratch.angles` (unsorted); the allocation-free core of
@@ -230,16 +279,23 @@ class GridEvalEngine {
   std::uint64_t build_ns_ = 0;
   std::size_t implied_k_ = 0;
   geom::SpaceMode mode_ = geom::SpaceMode::kTorus;
+  KernelVariant kernel_ = KernelVariant::kScalar;
+  detail::ClassifyFn classify_ = nullptr;  ///< non-null for vector variants
   std::vector<geom::Arc> necessary_arcs_;   ///< 2*theta partition, start 0
   std::vector<geom::Arc> sufficient_arcs_;  ///< theta partition, start 0
 
-  // CSR candidate binning: cameras per engine cell, with one SoA record and
-  // one flag byte per (cell, camera) entry.
+  // CSR candidate binning: cameras per engine cell, with one SoA record
+  // per (cell, camera) entry.
   std::size_t cells_ = 1;
   std::vector<std::uint32_t> cell_offsets_;  ///< size cells_^2 + 1
   std::vector<std::uint32_t> cell_entries_;  ///< camera indices per cell
-  std::vector<CandRec> cell_recs_;           ///< parallel to cell_entries_
-  std::vector<std::uint8_t> cell_flags_;     ///< parallel to cell_entries_
+  CandSoA soa_;                              ///< parallel to cell_entries_
 };
+
+/// Export the active kernel choice (name, lane width) and the process-wide
+/// dispatch counters into `node` — the observability face of
+/// cpu_features.hpp, shared by GridEvalEngine::describe and the sim
+/// layer's trial metering.
+void describe_kernel_dispatch(KernelVariant active, obs::MetricsNode& node);
 
 }  // namespace fvc::core

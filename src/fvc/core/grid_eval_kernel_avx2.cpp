@@ -1,0 +1,25 @@
+/// The AVX2 classify kernel.  This translation unit is the only one in
+/// the build compiled with -mavx2 (see src/CMakeLists.txt): it must
+/// contain nothing but the kernel instantiation, and must not define any
+/// inline/template symbol another TU could also instantiate — otherwise
+/// the linker could fold a baseline caller onto AVX2 code and fault on
+/// pre-AVX2 hosts.  Its single exported symbol, classify_avx2, is reached
+/// only after runtime dispatch (cpu_features.hpp) confirms AVX2.
+
+#if !defined(__AVX2__)
+#error "grid_eval_kernel_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include "fvc/core/grid_eval_kernel.hpp"
+#include "fvc/core/simd.hpp"
+
+namespace fvc::core::detail {
+
+ClassifyResult classify_avx2(const CandSpans& c, std::size_t count, double px,
+                             double py, bool torus, double* xs, double* ys,
+                             std::uint32_t* special) {
+  return classify_batches<simd::Avx2Batch>(c, count, px, py, torus, xs, ys,
+                                           special);
+}
+
+}  // namespace fvc::core::detail

@@ -1,0 +1,19 @@
+/// The portable classify kernel: the 4-wide batch template over plain
+/// per-lane double arithmetic, compiled at the baseline ISA (the compiler
+/// may auto-vectorize the lane loops with whatever the baseline allows).
+/// Always compiled; the runtime fallback on hosts without AVX2/NEON and
+/// the FVC_FORCE_KERNEL=generic target of the differential tests.
+
+#include "fvc/core/grid_eval_kernel.hpp"
+#include "fvc/core/simd.hpp"
+
+namespace fvc::core::detail {
+
+ClassifyResult classify_generic(const CandSpans& c, std::size_t count, double px,
+                                double py, bool torus, double* xs, double* ys,
+                                std::uint32_t* special) {
+  return classify_batches<simd::GenericBatch>(c, count, px, py, torus, xs, ys,
+                                              special);
+}
+
+}  // namespace fvc::core::detail

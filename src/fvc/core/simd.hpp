@@ -1,0 +1,402 @@
+/// \file simd.hpp
+/// \brief Portable fixed-width batch abstraction: 4 double lanes.
+///
+/// One batch type per backend, all exposing the same static interface so
+/// the classify kernel (grid_eval_kernel.hpp) is written once as a
+/// template and instantiated per backend in its own translation unit:
+///
+///   GenericBatch  plain per-lane double arithmetic; compiles at the
+///                 baseline ISA everywhere (the compiler is free to
+///                 auto-vectorize the lane loops)
+///   Avx2Batch     __m256d; only defined when the including TU is
+///                 compiled with AVX2 (-mavx2), i.e. inside
+///                 grid_eval_kernel_avx2.cpp
+///   NeonBatch     two float64x2_t halves; only defined on AArch64
+///
+/// Bit-identity contract: every arithmetic op maps to exactly one IEEE-754
+/// binary64 operation per lane (add/sub/mul, round-to-nearest-even), `abs`
+/// clears the sign bit, and comparisons are the ordered IEEE predicates —
+/// so a lane computes bit-for-bit what the scalar oracle computes for the
+/// same candidate.  Nothing here may introduce FMA contraction (the
+/// backends use distinct mul and add operations, and kernel TUs are built
+/// with -ffp-contract=off); that would change rounding and break the
+/// engine's differential tests.
+///
+/// Masks are represented as batches whose lanes are all-ones / all-zero
+/// bit patterns (the native form of both vector ISAs).  All-ones is a NaN
+/// as a double, so masks must only meet bitwise ops — the kernel keeps
+/// arithmetic and mask domains strictly separate.
+
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace fvc::core::simd {
+
+inline constexpr std::size_t kLanes = 4;
+
+/// Portable fallback backend: a fixed array of 4 doubles with per-lane
+/// loops.  Comparisons and bit ops go through uint64 bit casts.
+struct GenericBatch {
+  static constexpr std::size_t kWidth = kLanes;
+  double v[kWidth];
+
+  [[nodiscard]] static GenericBatch load(const double* p) {
+    GenericBatch b;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      b.v[i] = p[i];
+    }
+    return b;
+  }
+  [[nodiscard]] static GenericBatch broadcast(double x) {
+    GenericBatch b;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      b.v[i] = x;
+    }
+    return b;
+  }
+  void store(double* p) const {
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      p[i] = v[i];
+    }
+  }
+
+  [[nodiscard]] friend GenericBatch operator+(GenericBatch a, GenericBatch b) {
+    GenericBatch r;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      r.v[i] = a.v[i] + b.v[i];
+    }
+    return r;
+  }
+  [[nodiscard]] friend GenericBatch operator-(GenericBatch a, GenericBatch b) {
+    GenericBatch r;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      r.v[i] = a.v[i] - b.v[i];
+    }
+    return r;
+  }
+  [[nodiscard]] friend GenericBatch operator*(GenericBatch a, GenericBatch b) {
+    GenericBatch r;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      r.v[i] = a.v[i] * b.v[i];
+    }
+    return r;
+  }
+
+  [[nodiscard]] static GenericBatch abs(GenericBatch a) {
+    GenericBatch r;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      r.v[i] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[i]) &
+                                     0x7FFFFFFFFFFFFFFFULL);
+    }
+    return r;
+  }
+
+  /// Round each lane to the nearest integer.  Tie handling differs across
+  /// backends (here std::round: halves away from zero; the vector backends
+  /// round halves to even) — callers may only use round_nearest where the
+  /// tie difference is erased downstream, as in the torus unwrap of
+  /// grid_eval_kernel.hpp, whose boundary fixups map both tie results to
+  /// the same value.
+  [[nodiscard]] static GenericBatch round_nearest(GenericBatch a) {
+    GenericBatch r;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      r.v[i] = std::round(a.v[i]);
+    }
+    return r;
+  }
+
+ private:
+  template <class Pred>
+  [[nodiscard]] static GenericBatch cmp(GenericBatch a, GenericBatch b, Pred pred) {
+    GenericBatch r;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      r.v[i] = std::bit_cast<double>(pred(a.v[i], b.v[i]) ? ~std::uint64_t{0}
+                                                          : std::uint64_t{0});
+    }
+    return r;
+  }
+  template <class Op>
+  [[nodiscard]] static GenericBatch bits(GenericBatch a, GenericBatch b, Op op) {
+    GenericBatch r;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      r.v[i] = std::bit_cast<double>(op(std::bit_cast<std::uint64_t>(a.v[i]),
+                                        std::bit_cast<std::uint64_t>(b.v[i])));
+    }
+    return r;
+  }
+
+ public:
+  [[nodiscard]] static GenericBatch cmp_le(GenericBatch a, GenericBatch b) {
+    return cmp(a, b, [](double x, double y) { return x <= y; });
+  }
+  [[nodiscard]] static GenericBatch cmp_lt(GenericBatch a, GenericBatch b) {
+    return cmp(a, b, [](double x, double y) { return x < y; });
+  }
+  [[nodiscard]] static GenericBatch cmp_ge(GenericBatch a, GenericBatch b) {
+    return cmp(a, b, [](double x, double y) { return x >= y; });
+  }
+  [[nodiscard]] static GenericBatch cmp_gt(GenericBatch a, GenericBatch b) {
+    return cmp(a, b, [](double x, double y) { return x > y; });
+  }
+  [[nodiscard]] static GenericBatch cmp_eq(GenericBatch a, GenericBatch b) {
+    return cmp(a, b, [](double x, double y) { return x == y; });
+  }
+
+  [[nodiscard]] static GenericBatch bit_and(GenericBatch a, GenericBatch b) {
+    return bits(a, b, [](std::uint64_t x, std::uint64_t y) { return x & y; });
+  }
+  [[nodiscard]] static GenericBatch bit_or(GenericBatch a, GenericBatch b) {
+    return bits(a, b, [](std::uint64_t x, std::uint64_t y) { return x | y; });
+  }
+  /// a & ~b (keep a where b's mask is clear).
+  [[nodiscard]] static GenericBatch bit_andnot(GenericBatch a, GenericBatch b) {
+    return bits(a, b, [](std::uint64_t x, std::uint64_t y) { return x & ~y; });
+  }
+
+  /// mask ? a : b per lane; mask lanes must be all-ones or all-zero.
+  [[nodiscard]] static GenericBatch select(GenericBatch mask, GenericBatch a,
+                                           GenericBatch b) {
+    return bit_or(bit_and(a, mask), bit_andnot(b, mask));
+  }
+
+  /// Bit i set iff lane i's mask is all-ones (tests the sign bit, like
+  /// movemask on x86).
+  [[nodiscard]] int movemask() const {
+    int m = 0;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      m |= static_cast<int>(std::bit_cast<std::uint64_t>(v[i]) >> 63U)
+           << static_cast<int>(i);
+    }
+    return m;
+  }
+
+  /// Left-pack the lanes selected by `mask` to dst[0..popcount) and return
+  /// the popcount.  May write all kWidth slots of dst (the tail beyond the
+  /// popcount is garbage), so dst must have room for kWidth doubles.
+  static std::size_t compress_store(double* dst, GenericBatch a, int mask) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      dst[n] = a.v[i];
+      n += static_cast<std::size_t>((mask >> i) & 1);
+    }
+    return n;
+  }
+};
+
+#if defined(__AVX2__)
+/// AVX2 backend: one 256-bit register of 4 doubles.  vmulpd/vaddpd/vsubpd
+/// are exactly-rounded IEEE ops, vandpd clears the sign bit for abs, and
+/// vcmppd with ordered predicates matches the scalar comparisons
+/// (operands are never NaN in the kernel's arithmetic domain).
+struct Avx2Batch {
+  static constexpr std::size_t kWidth = kLanes;
+  __m256d v;
+
+  [[nodiscard]] static Avx2Batch load(const double* p) {
+    return {_mm256_loadu_pd(p)};
+  }
+  [[nodiscard]] static Avx2Batch broadcast(double x) {
+    return {_mm256_set1_pd(x)};
+  }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  [[nodiscard]] friend Avx2Batch operator+(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx2Batch operator-(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  [[nodiscard]] friend Avx2Batch operator*(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+
+  [[nodiscard]] static Avx2Batch abs(Avx2Batch a) {
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    return {_mm256_andnot_pd(sign, a.v)};
+  }
+
+  /// Round to nearest integer, halves to even (vroundpd; see the tie
+  /// caveat on GenericBatch::round_nearest).
+  [[nodiscard]] static Avx2Batch round_nearest(Avx2Batch a) {
+    return {_mm256_round_pd(a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+  }
+
+  [[nodiscard]] static Avx2Batch cmp_le(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+  }
+  [[nodiscard]] static Avx2Batch cmp_lt(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+  }
+  [[nodiscard]] static Avx2Batch cmp_ge(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+  }
+  [[nodiscard]] static Avx2Batch cmp_gt(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+  }
+  [[nodiscard]] static Avx2Batch cmp_eq(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)};
+  }
+
+  [[nodiscard]] static Avx2Batch bit_and(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_and_pd(a.v, b.v)};
+  }
+  [[nodiscard]] static Avx2Batch bit_or(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_or_pd(a.v, b.v)};
+  }
+  [[nodiscard]] static Avx2Batch bit_andnot(Avx2Batch a, Avx2Batch b) {
+    return {_mm256_andnot_pd(b.v, a.v)};  // intrinsic computes ~first & second
+  }
+
+  [[nodiscard]] static Avx2Batch select(Avx2Batch mask, Avx2Batch a, Avx2Batch b) {
+    return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+  }
+
+  [[nodiscard]] int movemask() const { return _mm256_movemask_pd(v); }
+
+  /// Left-pack via one 8x32 permute: double lane k is the 32-bit lane pair
+  /// (2k, 2k+1), so a 16-entry table of float-lane permutations compresses
+  /// the whole register in two instructions — no serial per-lane loop.
+  /// Writes all 32 bytes of dst (garbage beyond the popcount).
+  static std::size_t compress_store(double* dst, Avx2Batch a, int mask) {
+    alignas(32) static constexpr std::uint32_t kPack[16][8] = {
+        {0, 1, 2, 3, 4, 5, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7},
+        {2, 3, 0, 1, 4, 5, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7},
+        {4, 5, 0, 1, 2, 3, 6, 7}, {0, 1, 4, 5, 2, 3, 6, 7},
+        {2, 3, 4, 5, 0, 1, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7},
+        {6, 7, 0, 1, 2, 3, 4, 5}, {0, 1, 6, 7, 2, 3, 4, 5},
+        {2, 3, 6, 7, 0, 1, 4, 5}, {0, 1, 2, 3, 6, 7, 4, 5},
+        {4, 5, 6, 7, 0, 1, 2, 3}, {0, 1, 4, 5, 6, 7, 2, 3},
+        {2, 3, 4, 5, 6, 7, 0, 1}, {0, 1, 2, 3, 4, 5, 6, 7}};
+    const __m256i idx = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kPack[static_cast<unsigned>(mask)]));
+    const __m256 packed = _mm256_permutevar8x32_ps(_mm256_castpd_ps(a.v), idx);
+    _mm256_storeu_pd(dst, _mm256_castps_pd(packed));
+    return static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(mask)));
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__aarch64__)
+/// NEON backend: two 128-bit halves.  vadd/vsub/vmulq_f64 are the plain
+/// (non-fused) IEEE ops; comparisons return uint64x2_t lane masks.
+struct NeonBatch {
+  static constexpr std::size_t kWidth = kLanes;
+  float64x2_t lo, hi;
+
+  [[nodiscard]] static NeonBatch load(const double* p) {
+    return {vld1q_f64(p), vld1q_f64(p + 2)};
+  }
+  [[nodiscard]] static NeonBatch broadcast(double x) {
+    return {vdupq_n_f64(x), vdupq_n_f64(x)};
+  }
+  void store(double* p) const {
+    vst1q_f64(p, lo);
+    vst1q_f64(p + 2, hi);
+  }
+
+  [[nodiscard]] friend NeonBatch operator+(NeonBatch a, NeonBatch b) {
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  [[nodiscard]] friend NeonBatch operator-(NeonBatch a, NeonBatch b) {
+    return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+  }
+  [[nodiscard]] friend NeonBatch operator*(NeonBatch a, NeonBatch b) {
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+
+  [[nodiscard]] static NeonBatch abs(NeonBatch a) {
+    return {vabsq_f64(a.lo), vabsq_f64(a.hi)};
+  }
+
+  /// Round to nearest integer, halves to even (frintn; see the tie caveat
+  /// on GenericBatch::round_nearest).
+  [[nodiscard]] static NeonBatch round_nearest(NeonBatch a) {
+    return {vrndnq_f64(a.lo), vrndnq_f64(a.hi)};
+  }
+
+ private:
+  [[nodiscard]] static NeonBatch from_masks(uint64x2_t mlo, uint64x2_t mhi) {
+    return {vreinterpretq_f64_u64(mlo), vreinterpretq_f64_u64(mhi)};
+  }
+  [[nodiscard]] static uint64x2_t mask_lo(NeonBatch a) {
+    return vreinterpretq_u64_f64(a.lo);
+  }
+  [[nodiscard]] static uint64x2_t mask_hi(NeonBatch a) {
+    return vreinterpretq_u64_f64(a.hi);
+  }
+
+ public:
+  [[nodiscard]] static NeonBatch cmp_le(NeonBatch a, NeonBatch b) {
+    return from_masks(vcleq_f64(a.lo, b.lo), vcleq_f64(a.hi, b.hi));
+  }
+  [[nodiscard]] static NeonBatch cmp_lt(NeonBatch a, NeonBatch b) {
+    return from_masks(vcltq_f64(a.lo, b.lo), vcltq_f64(a.hi, b.hi));
+  }
+  [[nodiscard]] static NeonBatch cmp_ge(NeonBatch a, NeonBatch b) {
+    return from_masks(vcgeq_f64(a.lo, b.lo), vcgeq_f64(a.hi, b.hi));
+  }
+  [[nodiscard]] static NeonBatch cmp_gt(NeonBatch a, NeonBatch b) {
+    return from_masks(vcgtq_f64(a.lo, b.lo), vcgtq_f64(a.hi, b.hi));
+  }
+  [[nodiscard]] static NeonBatch cmp_eq(NeonBatch a, NeonBatch b) {
+    return from_masks(vceqq_f64(a.lo, b.lo), vceqq_f64(a.hi, b.hi));
+  }
+
+  [[nodiscard]] static NeonBatch bit_and(NeonBatch a, NeonBatch b) {
+    return from_masks(vandq_u64(mask_lo(a), mask_lo(b)),
+                      vandq_u64(mask_hi(a), mask_hi(b)));
+  }
+  [[nodiscard]] static NeonBatch bit_or(NeonBatch a, NeonBatch b) {
+    return from_masks(vorrq_u64(mask_lo(a), mask_lo(b)),
+                      vorrq_u64(mask_hi(a), mask_hi(b)));
+  }
+  /// a & ~b (note vbicq computes first & ~second).
+  [[nodiscard]] static NeonBatch bit_andnot(NeonBatch a, NeonBatch b) {
+    return from_masks(vbicq_u64(mask_lo(a), mask_lo(b)),
+                      vbicq_u64(mask_hi(a), mask_hi(b)));
+  }
+
+  [[nodiscard]] static NeonBatch select(NeonBatch mask, NeonBatch a, NeonBatch b) {
+    return {vbslq_f64(mask_lo(mask), a.lo, b.lo),
+            vbslq_f64(mask_hi(mask), a.hi, b.hi)};
+  }
+
+  [[nodiscard]] int movemask() const {
+    const uint64x2_t l = vshrq_n_u64(mask_lo(*this), 63);
+    const uint64x2_t h = vshrq_n_u64(mask_hi(*this), 63);
+    return static_cast<int>(vgetq_lane_u64(l, 0)) |
+           (static_cast<int>(vgetq_lane_u64(l, 1)) << 1) |
+           (static_cast<int>(vgetq_lane_u64(h, 0)) << 2) |
+           (static_cast<int>(vgetq_lane_u64(h, 1)) << 3);
+  }
+
+  /// Left-pack the lanes selected by `mask` (see GenericBatch); NEON has
+  /// no cross-register double permute, so spill and pack scalar-wise.
+  /// May write all kWidth slots of dst.
+  static std::size_t compress_store(double* dst, NeonBatch a, int mask) {
+    double buf[kWidth];
+    a.store(buf);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      dst[n] = buf[i];
+      n += static_cast<std::size_t>((mask >> i) & 1);
+    }
+    return n;
+  }
+};
+#endif  // __aarch64__
+
+}  // namespace fvc::core::simd

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fvc/core/grid_eval.hpp"
 #include "fvc/obs/run_metrics.hpp"
 #include "fvc/sim/thread_pool.hpp"
 #include "fvc/stats/rng.hpp"
@@ -129,6 +130,13 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
     obs::MetricsNode& engine_node = node.child("engine");
     merged.engine.describe(engine_node);
     engine_node.set("build_ns", static_cast<double>(merged.engine_build_ns));
+    // Attributed time (candidate binning summed across trials): without
+    // this the engine node exports "elapsed_ns": 0 even though every trial
+    // paid a construction cost.
+    engine_node.add_elapsed_ns(merged.engine_build_ns);
+    // Every trial resolves the same variant (pin/env are fixed for the
+    // run), so the run-level resolve names the kernel the trials used.
+    core::describe_kernel_dispatch(core::resolve_kernel(), engine_node);
     describe(pool, node.child("pool"));
   }
   return est;

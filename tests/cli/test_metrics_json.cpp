@@ -135,6 +135,19 @@ TEST(MetricsJson, SimulateEstimateSubtree) {
       engine.at("histograms").at("candidates_per_point").at("total").number(), points);
   EXPECT_GE(engine.at("counters").at("candidates_total").number(),
             engine.at("counters").at("directions_total").number());
+  // Regression: the engine node used to export "elapsed_ns": 0 — it must
+  // carry the attributed construction time (candidate binning, summed
+  // across trials) and agree with the build_ns counter.
+  EXPECT_GT(engine.at("elapsed_ns").number(), 0.0);
+  EXPECT_GT(engine.at("counters").at("build_ns").number(), 0.0);
+  EXPECT_DOUBLE_EQ(engine.at("elapsed_ns").number(),
+                   engine.at("counters").at("build_ns").number());
+  // The kernel dispatch record rides on the same node: lane width of the
+  // active variant plus process-wide engines-constructed counters.
+  EXPECT_GE(engine.at("counters").at("kernel_lanes").number(), 1.0);
+  const JsonValue& dispatch = child_named(engine, "kernel_dispatch");
+  EXPECT_TRUE(dispatch.at("counters").contains("engines_scalar"));
+  EXPECT_TRUE(dispatch.at("counters").contains("engines_generic"));
 
   const JsonValue& pool = child_named(est, "pool");
   EXPECT_DOUBLE_EQ(pool.at("counters").at("tasks").number(), 6.0);
@@ -179,6 +192,25 @@ TEST(MetricsJson, PhasePerPointSubtrees) {
     point_sum += child.at("elapsed_ns").number();
   }
   EXPECT_LE(point_sum, phase.at("elapsed_ns").number());
+}
+
+TEST(MetricsJson, KernelFlagPinsVariantAndLabelsTheRun) {
+  const RunResult r = run_with_metrics({"simulate", "--n", "100", "--radius", "0.3",
+                                        "--trials", "2", "--grid-side", "6",
+                                        "--kernel", "scalar"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_EQ(r.doc.at("labels").at("kernel").str(), "scalar");
+  const JsonValue& engine =
+      child_named(child_named(r.doc.at("root"), "estimate"), "engine");
+  EXPECT_DOUBLE_EQ(engine.at("counters").at("kernel_lanes").number(), 1.0);
+  EXPECT_DOUBLE_EQ(engine.at("counters").at("kernel_scalar").number(), 1.0);
+}
+
+TEST(MetricsJson, UnknownKernelNameIsRejected) {
+  const char* tokens[] = {"csa", "--kernel", "sse9"};
+  const Args args = Args::parse(3, tokens);
+  std::ostringstream out;
+  EXPECT_THROW((void)run_command(args, out), std::invalid_argument);
 }
 
 TEST(MetricsJson, NoMetricsFlagWritesNothing) {

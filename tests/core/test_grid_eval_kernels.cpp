@@ -1,0 +1,283 @@
+// Differential tests across the grid-eval kernel variants (cpu_features.hpp:
+// scalar / generic / avx2 / neon).  The contract under test is the dispatch
+// layer's core promise: pinning any *supported* variant changes only speed —
+// every per-point direction list and every aggregate statistic is
+// bit-identical to the scalar variant (which test_grid_eval.cpp in turn
+// proves identical to the coverage oracles).  Double comparisons go through
+// std::bit_cast<uint64_t> so even a sign-of-zero or NaN-payload divergence
+// would fail.  Pinning an *unsupported* variant must throw, never silently
+// fall back — that is what makes the CI forced-kernel legs trustworthy.
+
+#include "fvc/core/grid_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fvc/core/cpu_features.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::core {
+namespace {
+
+using geom::kPi;
+using geom::kTwoPi;
+
+// RAII pin: tests must never leak a forced kernel into later tests (the
+// pin is process-global), even when an ASSERT unwinds mid-test.
+class ForcedKernel {
+ public:
+  explicit ForcedKernel(KernelVariant v) { set_forced_kernel(v); }
+  ~ForcedKernel() { set_forced_kernel(std::nullopt); }
+  ForcedKernel(const ForcedKernel&) = delete;
+  ForcedKernel& operator=(const ForcedKernel&) = delete;
+};
+
+std::vector<KernelVariant> all_variants() {
+  std::vector<KernelVariant> out;
+  for (std::size_t i = 0; i < kKernelVariantCount; ++i) {
+    out.push_back(static_cast<KernelVariant>(i));
+  }
+  return out;
+}
+
+// Random heterogeneous profile (same shape as test_grid_eval.cpp), with an
+// omnidirectional group forced in: fov = 2*pi exercises the kernel's omni
+// bit-mask lanes alongside sector lanes in the same batch.
+HeterogeneousProfile random_profile_with_omni(stats::Pcg32& rng) {
+  const std::size_t u = 2 + stats::uniform_below(rng, 2);
+  std::vector<CameraGroupSpec> groups(u);
+  double remaining = 1.0;
+  for (std::size_t y = 0; y < u; ++y) {
+    CameraGroupSpec& g = groups[y];
+    if (y + 1 == u) {
+      g.fraction = remaining;
+    } else {
+      g.fraction = remaining * stats::uniform_in(rng, 0.2, 0.8);
+      remaining -= g.fraction;
+    }
+    g.radius = stats::uniform_in(rng, 0.05, 0.35);
+    g.fov = (y == 0) ? kTwoPi : stats::uniform_in(rng, 0.5, kTwoPi);
+  }
+  return HeterogeneousProfile(std::move(groups));
+}
+
+// Evaluate `net` with the kernel pinned to `v`: every sorted per-point
+// direction list plus the whole-grid aggregate, flattened for comparison.
+struct PinnedRun {
+  std::vector<std::vector<double>> directions;  // per grid point, row-major
+  RegionCoverageStats stats;
+};
+
+PinnedRun run_pinned(KernelVariant v, const Network& net, const DenseGrid& grid,
+                     double theta) {
+  ForcedKernel pin(v);
+  const GridEvalEngine engine(net, grid, theta);
+  EXPECT_EQ(engine.kernel(), v);
+  GridEvalScratch scratch;
+  PinnedRun run;
+  for (std::size_t row = 0; row < grid.side(); ++row) {
+    for (std::size_t col = 0; col < grid.side(); ++col) {
+      const std::span<const double> dirs = engine.sorted_directions(row, col, scratch);
+      run.directions.emplace_back(dirs.begin(), dirs.end());
+    }
+  }
+  run.stats = engine.evaluate(scratch);
+  return run;
+}
+
+// Bitwise equality of two pinned runs (ASSERTs on first divergence).
+void expect_runs_identical(const PinnedRun& ref, const PinnedRun& got,
+                           KernelVariant v, double theta) {
+  ASSERT_EQ(ref.directions.size(), got.directions.size());
+  for (std::size_t p = 0; p < ref.directions.size(); ++p) {
+    ASSERT_EQ(ref.directions[p].size(), got.directions[p].size())
+        << "kernel=" << kernel_name(v) << " theta=" << theta << " point=" << p;
+    for (std::size_t j = 0; j < ref.directions[p].size(); ++j) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(ref.directions[p][j]),
+                std::bit_cast<std::uint64_t>(got.directions[p][j]))
+          << "kernel=" << kernel_name(v) << " theta=" << theta << " point=" << p
+          << " dir=" << j;
+    }
+  }
+  EXPECT_EQ(ref.stats.total_points, got.stats.total_points);
+  EXPECT_EQ(ref.stats.covered_1, got.stats.covered_1);
+  EXPECT_EQ(ref.stats.necessary_ok, got.stats.necessary_ok);
+  EXPECT_EQ(ref.stats.full_view_ok, got.stats.full_view_ok);
+  EXPECT_EQ(ref.stats.sufficient_ok, got.stats.sufficient_ok);
+  EXPECT_EQ(ref.stats.k_covered_ok, got.stats.k_covered_ok);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.stats.min_max_gap),
+            std::bit_cast<std::uint64_t>(got.stats.min_max_gap));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.stats.max_max_gap),
+            std::bit_cast<std::uint64_t>(got.stats.max_max_gap));
+}
+
+// Run every supported variant against the pinned-scalar reference.
+void expect_all_variants_identical(const Network& net, const DenseGrid& grid,
+                                   double theta) {
+  const PinnedRun ref = run_pinned(KernelVariant::kScalar, net, grid, theta);
+  for (const KernelVariant v : all_variants()) {
+    if (v == KernelVariant::kScalar || !kernel_supported(v)) {
+      continue;
+    }
+    const PinnedRun got = run_pinned(v, net, grid, theta);
+    expect_runs_identical(ref, got, v, theta);
+  }
+}
+
+// The build always supports scalar and generic; vector variants depend on
+// the host.  This documents the baseline CI legs can always force.
+TEST(GridEvalKernels, ScalarAndGenericAlwaysSupported) {
+  EXPECT_TRUE(kernel_supported(KernelVariant::kScalar));
+  EXPECT_TRUE(kernel_supported(KernelVariant::kGeneric));
+  EXPECT_TRUE(kernel_supported(preferred_kernel()));
+}
+
+// 12 seeds x 3 thetas of randomized heterogeneous torus deployments with a
+// guaranteed omnidirectional group.  n = 3..60 keeps many cells at 1-3
+// candidates — counts not divisible by the 4-lane width — so the scalar
+// remainder tail runs in the same pass as full batches.
+TEST(GridEvalKernels, RandomizedDeploymentsBitIdenticalAcrossVariants) {
+  constexpr double thetas[] = {kPi / 6.0, kPi / 4.0, kPi};
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    stats::Pcg32 rng = stats::make_child_rng(7001, seed);
+    const HeterogeneousProfile profile = random_profile_with_omni(rng);
+    const std::size_t n = 3 + stats::uniform_below(rng, 58);
+    const Network net = deploy::deploy_uniform_network(profile, n, rng);
+    const DenseGrid grid(6);
+    for (const double theta : thetas) {
+      expect_all_variants_identical(net, grid, theta);
+    }
+  }
+}
+
+// A sparse network on a fine grid leaves most engine cells with zero
+// candidates: the kernels must agree on (and survive) empty spans.
+TEST(GridEvalKernels, SparseNetworkWithEmptyCells) {
+  stats::Pcg32 rng = stats::make_child_rng(7002, 0);
+  const HeterogeneousProfile profile(
+      std::vector<CameraGroupSpec>{{1.0, 0.05, kTwoPi}});
+  const Network net = deploy::deploy_uniform_network(profile, 2, rng);
+  const DenseGrid grid(8);
+  expect_all_variants_identical(net, grid, kPi / 4.0);
+  // Fully empty network too.
+  expect_all_variants_identical(Network(), grid, kPi / 4.0);
+}
+
+// Cell candidate counts 1..9 (every remainder class mod 4, plus counts
+// below one batch): a single-cell-dominated network via one tight cluster.
+TEST(GridEvalKernels, RemainderTailCountsAgree) {
+  for (std::size_t n = 1; n <= 9; ++n) {
+    std::vector<Camera> cams;
+    for (std::size_t i = 0; i < n; ++i) {
+      Camera c;
+      const double a = kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+      c.position = {0.5 + 0.02 * std::cos(a), 0.5 + 0.02 * std::sin(a)};
+      c.orientation = a;
+      c.radius = 0.3;
+      c.fov = (i % 2 == 0) ? kTwoPi : 1.5;
+      cams.push_back(c);
+    }
+    const Network net(std::move(cams), geom::SpaceMode::kTorus);
+    const DenseGrid grid(5);
+    expect_all_variants_identical(net, grid, kPi / 3.0);
+  }
+}
+
+// Pinning a variant the build/CPU cannot execute must throw at engine
+// construction (std::runtime_error from resolve_kernel) — the loud-failure
+// contract the CI forced-kernel matrix relies on.  On every host at least
+// one of avx2/neon is unsupported, so this always exercises the throw.
+TEST(GridEvalKernels, UnsupportedPinThrows) {
+  const Network net;
+  const DenseGrid grid(4);
+  bool saw_unsupported = false;
+  for (const KernelVariant v : all_variants()) {
+    if (kernel_supported(v)) {
+      continue;
+    }
+    saw_unsupported = true;
+    ForcedKernel pin(v);
+    EXPECT_THROW(GridEvalEngine(net, grid, kPi / 4.0), std::runtime_error)
+        << "kernel=" << kernel_name(v);
+  }
+  EXPECT_TRUE(saw_unsupported)
+      << "expected at least one of avx2/neon to be unsupported on this host";
+}
+
+// FVC_FORCE_KERNEL drives dispatch when no programmatic pin is set, and an
+// unknown name fails loudly.  (POSIX setenv; these tests are Linux-only CI.)
+TEST(GridEvalKernels, EnvironmentPinRespectedAndValidated) {
+  // CI legs run this whole binary under FVC_FORCE_KERNEL; save and restore
+  // the leg's value so later tests keep running pinned.
+  const char* orig_env = std::getenv("FVC_FORCE_KERNEL");
+  const std::string orig = orig_env != nullptr ? orig_env : "";
+  const bool had_orig = orig_env != nullptr;
+  ASSERT_FALSE(forced_kernel().has_value());
+  ASSERT_EQ(setenv("FVC_FORCE_KERNEL", "generic", 1), 0);
+  EXPECT_EQ(resolve_kernel(), KernelVariant::kGeneric);
+  {
+    const Network net;
+    const DenseGrid grid(4);
+    const GridEvalEngine engine(net, grid, kPi / 4.0);
+    EXPECT_EQ(engine.kernel(), KernelVariant::kGeneric);
+  }
+  ASSERT_EQ(setenv("FVC_FORCE_KERNEL", "sse9", 1), 0);
+  EXPECT_THROW((void)resolve_kernel(), std::runtime_error);
+  // A programmatic pin outranks the environment.
+  {
+    ForcedKernel pin(KernelVariant::kScalar);
+    ASSERT_EQ(setenv("FVC_FORCE_KERNEL", "generic", 1), 0);
+    EXPECT_EQ(resolve_kernel(), KernelVariant::kScalar);
+  }
+  if (had_orig) {
+    ASSERT_EQ(setenv("FVC_FORCE_KERNEL", orig.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("FVC_FORCE_KERNEL"), 0);
+    EXPECT_EQ(resolve_kernel(), preferred_kernel());
+  }
+}
+
+// Name round-trip and lane widths: the stable strings CI legs and the CLI
+// --kernel flag rely on.
+TEST(GridEvalKernels, NamesRoundTripAndLanes) {
+  for (const KernelVariant v : all_variants()) {
+    const auto back = kernel_from_name(kernel_name(v));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_FALSE(kernel_from_name("sse2").has_value());
+  EXPECT_FALSE(kernel_from_name("").has_value());
+  EXPECT_EQ(kernel_lanes(KernelVariant::kScalar), 1u);
+  EXPECT_EQ(kernel_lanes(KernelVariant::kGeneric), 4u);
+  EXPECT_EQ(kernel_lanes(KernelVariant::kAvx2), 4u);
+  EXPECT_EQ(kernel_lanes(KernelVariant::kNeon), 4u);
+}
+
+// Constructing an engine bumps the dispatch counter of exactly the variant
+// it resolved to.
+TEST(GridEvalKernels, DispatchCountersTrackConstruction) {
+  const Network net;
+  const DenseGrid grid(4);
+  ForcedKernel pin(KernelVariant::kGeneric);
+  const std::uint64_t before = kernel_dispatch_count(KernelVariant::kGeneric);
+  const GridEvalEngine engine(net, grid, kPi / 4.0);
+  EXPECT_EQ(engine.kernel(), KernelVariant::kGeneric);
+  EXPECT_EQ(kernel_dispatch_count(KernelVariant::kGeneric), before + 1);
+}
+
+}  // namespace
+}  // namespace fvc::core

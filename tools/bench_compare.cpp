@@ -25,11 +25,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fvc/core/cpu_features.hpp"
 #include "fvc/core/region_coverage.hpp"
 #include "fvc/deploy/uniform.hpp"
 #include "fvc/geometry/angle.hpp"
@@ -98,6 +100,12 @@ int main(int argc, char** argv) {
   const core::Network net = deploy::deploy_uniform_network(profile, n, rng);
   const core::DenseGrid grid(side);
 
+  // The kernel variant every batched/parallel pass below will dispatch to
+  // (resolved exactly as engine construction does, including any
+  // FVC_FORCE_KERNEL pin) — recorded so the JSON ties each timing to the
+  // ISA that produced it.
+  const core::KernelVariant kernel = core::resolve_kernel();
+
   core::RegionCoverageStats scalar_stats;
   core::RegionCoverageStats batched_stats;
   core::RegionCoverageStats parallel_stats;
@@ -115,6 +123,26 @@ int main(int argc, char** argv) {
                  "bench_compare: FAIL — batched/parallel results differ from the "
                  "scalar oracle\n");
     return 1;
+  }
+
+  // Thread-scaling sweep at fixed work: tracks whether adding threads buys
+  // anything release-over-release (row-parallel results are bit-identical
+  // for any thread count, so each leg is also a differential check).
+  const std::size_t sweep_threads[] = {1, 2, 4};
+  double sweep_ms[std::size(sweep_threads)] = {};
+  for (std::size_t i = 0; i < std::size(sweep_threads); ++i) {
+    core::RegionCoverageStats sweep_stats;
+    sweep_ms[i] = best_of_ms(reps, [&] {
+      sweep_stats =
+          sim::evaluate_region_parallel(net, grid, theta, sweep_threads[i]);
+    });
+    if (!same_stats(scalar_stats, sweep_stats)) {
+      std::fprintf(stderr,
+                   "bench_compare: FAIL — parallel results at %zu threads differ "
+                   "from the scalar oracle\n",
+                   sweep_threads[i]);
+      return 1;
+    }
   }
 
   // One metered pass, outside the timed reps: must still agree bit-exactly
@@ -140,10 +168,17 @@ int main(int argc, char** argv) {
   const double speedup_parallel = scalar_ms / parallel_ms;
   std::printf("grid_eval whole-grid scan: n=%zu grid=%zux%zu theta=pi/4 reps=%zu\n", n,
               side, side, reps);
+  std::printf("  kernel   : %s (%zu lanes)\n",
+              std::string(core::kernel_name(kernel)).c_str(),
+              core::kernel_lanes(kernel));
   std::printf("  scalar   : %9.3f ms\n", scalar_ms);
   std::printf("  batched  : %9.3f ms  (%.2fx)\n", batched_ms, speedup_batched);
   std::printf("  parallel : %9.3f ms  (%.2fx, %zu threads)\n", parallel_ms,
               speedup_parallel, threads);
+  for (std::size_t i = 0; i < std::size(sweep_threads); ++i) {
+    std::printf("  threads=%zu: %9.3f ms  (%.2fx)\n", sweep_threads[i], sweep_ms[i],
+                scalar_ms / sweep_ms[i]);
+  }
 
   std::ostringstream record;
   record << "{\n";
@@ -155,15 +190,28 @@ int main(int argc, char** argv) {
                 "  \"theta\": \"pi/4\",\n"
                 "  \"reps\": %zu,\n"
                 "  \"threads\": %zu,\n"
+                "  \"kernel\": \"%s\",\n"
+                "  \"kernel_lanes\": %zu,\n"
                 "  \"scalar_ms\": %.3f,\n"
                 "  \"batched_ms\": %.3f,\n"
                 "  \"parallel_ms\": %.3f,\n"
                 "  \"speedup_batched\": %.2f,\n"
                 "  \"speedup_parallel\": %.2f,\n"
                 "  \"results_bit_identical\": true,\n",
-                n, side, reps, threads, scalar_ms, batched_ms, parallel_ms,
+                n, side, reps, threads,
+                std::string(core::kernel_name(kernel)).c_str(),
+                core::kernel_lanes(kernel), scalar_ms, batched_ms, parallel_ms,
                 speedup_batched, speedup_parallel);
   record << buf;
+  record << "  \"thread_sweep\": [\n";
+  for (std::size_t i = 0; i < std::size(sweep_threads); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %zu, \"parallel_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                  sweep_threads[i], sweep_ms[i], scalar_ms / sweep_ms[i],
+                  i + 1 < std::size(sweep_threads) ? "," : "");
+    record << buf;
+  }
+  record << "  ],\n";
   record << "  \"metrics\": " << indent_json(obs::to_json(metrics), "  ") << "\n";
   record << "}\n";
 
