@@ -137,8 +137,11 @@ KernelVariant resolve_kernel() {
   }
   // Re-read the environment on every resolve (engine constructions are
   // rare next to the work an engine does) so harnesses can change it
-  // without restarting the process.
-  if (const char* env = std::getenv("FVC_FORCE_KERNEL")) {
+  // without restarting the process.  Set-but-empty means unset: CI matrix
+  // legs and shell harnesses export FVC_FORCE_KERNEL="" for the
+  // auto-dispatch configuration.
+  if (const char* env = std::getenv("FVC_FORCE_KERNEL");
+      env != nullptr && env[0] != '\0') {
     const std::optional<KernelVariant> v = kernel_from_name(env);
     if (!v.has_value()) {
       throw std::runtime_error(

@@ -24,7 +24,8 @@
 ///   1. a programmatic pin (`set_forced_kernel`, used by the CLI's
 ///      `--kernel` flag and the differential tests), else
 ///   2. the `FVC_FORCE_KERNEL` environment variable (re-read on every
-///      resolve so tests and harnesses can change it), else
+///      resolve so tests and harnesses can change it; a set-but-empty
+///      value counts as unset), else
 ///   3. the best variant the running CPU supports.
 ///
 /// Pinning a variant the build does not contain or the CPU cannot execute

@@ -17,6 +17,11 @@ namespace fvc::core {
 
 namespace {
 
+/// Upper bound on engine binning cells per side.  Sizes the per-axis
+/// scratch arrays in bin_cameras' enumeration loop, so the cell-count
+/// clamp there must never exceed it.
+constexpr std::size_t kMaxCellsPerSide = 256;
+
 /// Vectorized classify entry point for a dispatched variant; nullptr for
 /// the scalar variant (and, defensively, for variants this build lacks —
 /// resolve_kernel already rejects those).
@@ -218,8 +223,8 @@ void GridEvalEngine::bin_cameras() {
   // and degenerate radii.
   const double r = std::max(net_->max_radius(), 1e-6);
   const auto target = static_cast<std::size_t>(std::ceil(3.0 / r));
-  const std::size_t cap =
-      std::min<std::size_t>(256, 4 * std::max<std::size_t>(1, grid_.side()));
+  const std::size_t cap = std::min<std::size_t>(
+      kMaxCellsPerSide, 4 * std::max<std::size_t>(1, grid_.side()));
   cells_ = std::clamp<std::size_t>(target, 1, cap);
   if (cams.empty()) {
     cells_ = 1;
@@ -272,8 +277,9 @@ void GridEvalEngine::bin_cameras() {
     // rectangle distance — is hoisted out of the column x row product (the
     // per-cell modulo by a runtime divisor otherwise dominates
     // enumeration).
-    std::array<std::uint32_t, 256> by_arr;
-    std::array<double, 256> dy2_arr;
+    // y_span <= c <= cells_ <= kMaxCellsPerSide in both axis-range modes.
+    std::array<std::uint32_t, kMaxCellsPerSide> by_arr;
+    std::array<double, kMaxCellsPerSide> dy2_arr;
     for (std::ptrdiff_t iy = 0; iy < y_span; ++iy) {
       const std::ptrdiff_t cy = y_lo + iy;
       const double cell_y_lo = static_cast<double>(cy) * h;

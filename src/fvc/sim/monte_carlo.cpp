@@ -134,9 +134,13 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
     // this the engine node exports "elapsed_ns": 0 even though every trial
     // paid a construction cost.
     engine_node.add_elapsed_ns(merged.engine_build_ns);
-    // Every trial resolves the same variant (pin/env are fixed for the
-    // run), so the run-level resolve names the kernel the trials used.
-    core::describe_kernel_dispatch(core::resolve_kernel(), engine_node);
+    // The variant captured from the trial engines themselves (every trial
+    // dispatches the same one: pin/env are fixed for the run).  Absent only
+    // when cancellation preceded every trial — then no engine existed and
+    // re-resolving here could even throw, discarding completed results.
+    if (merged.kernel.has_value()) {
+      core::describe_kernel_dispatch(*merged.kernel, engine_node);
+    }
     describe(pool, node.child("pool"));
   }
   return est;

@@ -237,6 +237,10 @@ TEST(GridEvalKernels, EnvironmentPinRespectedAndValidated) {
   }
   ASSERT_EQ(setenv("FVC_FORCE_KERNEL", "sse9", 1), 0);
   EXPECT_THROW((void)resolve_kernel(), std::runtime_error);
+  // Set-but-empty counts as unset, not as an unknown kernel: CI matrix
+  // legs export FVC_FORCE_KERNEL="" for the auto-dispatch configurations.
+  ASSERT_EQ(setenv("FVC_FORCE_KERNEL", "", 1), 0);
+  EXPECT_EQ(resolve_kernel(), preferred_kernel());
   // A programmatic pin outranks the environment.
   {
     ForcedKernel pin(KernelVariant::kScalar);
