@@ -21,6 +21,8 @@
 #include "fvc/cli/args.hpp"
 #include "fvc/obs/cancellation.hpp"
 #include "fvc/obs/run_metrics.hpp"
+#include "fvc/obs/trace.hpp"
+#include "fvc/obs/watchdog.hpp"
 
 namespace fvc::cli {
 
@@ -47,11 +49,33 @@ class CommandContext {
     return metrics_requested() ? &metrics_.root().child(name) : nullptr;
   }
 
+  /// The stall watchdog run_command armed for this invocation (nullptr
+  /// when --stall-timeout-ms was not given).
+  [[nodiscard]] obs::Watchdog* watchdog() { return watchdog_; }
+  void set_watchdog(obs::Watchdog* watchdog) { watchdog_ = watchdog; }
+
+  /// The ProgressFn a handler should hand to the sim layer's RunOptions /
+  /// scan configs.  Deliberately *empty* (falsy) when nothing consumes
+  /// progress — no watchdog armed and no trace session installed — so the
+  /// sim layer's untraced fast path (which short-circuits on a falsy
+  /// progress callback) stays engaged.
+  [[nodiscard]] obs::ProgressFn progress_fn() {
+    if (watchdog_ == nullptr && !obs::trace_active()) {
+      return {};
+    }
+    return [this](std::size_t done, std::size_t total) {
+      if (watchdog_ != nullptr) {
+        watchdog_->note_progress(done, total);
+      }
+    };
+  }
+
  private:
   const Args& args_;
   std::ostream& out_;
   obs::RunMetrics metrics_;
   obs::CancellationToken cancel_;
+  obs::Watchdog* watchdog_ = nullptr;
 };
 
 }  // namespace fvc::cli

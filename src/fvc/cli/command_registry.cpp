@@ -123,6 +123,15 @@ const std::vector<FlagSpec>& global_flags() {
       {"kernel", "NAME", "",
        "pin the grid-eval kernel variant (scalar|generic|avx2|neon); "
        "results are bit-identical, only speed changes"},
+      {"trace", "FILE", "",
+       "write a fvc.trace/1 Chrome-trace JSON timeline of the run to FILE "
+       "(open in Perfetto or chrome://tracing)"},
+      {"stall-timeout-ms", "MS", "",
+       "arm the stall watchdog: report when no progress is made for MS "
+       "milliseconds (0 or unset = off)"},
+      {"stall-stop", "0|1", "",
+       "with --stall-timeout-ms: also request cooperative stop when a "
+       "stall is flagged"},
   };
   return flags;
 }

@@ -1,5 +1,8 @@
 #include "fvc/cli/commands.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
@@ -18,6 +21,9 @@
 #include "fvc/geometry/angle.hpp"
 #include "fvc/io/network_io.hpp"
 #include "fvc/obs/json_export.hpp"
+#include "fvc/obs/trace.hpp"
+#include "fvc/obs/trace_export.hpp"
+#include "fvc/obs/watchdog.hpp"
 #include "fvc/opt/greedy_repair.hpp"
 #include "fvc/opt/orient_optimizer.hpp"
 #include "fvc/report/heatmap.hpp"
@@ -33,6 +39,20 @@
 namespace fvc::cli {
 
 namespace {
+
+/// The cancellation token of the command currently inside run_command.
+/// Written only by run_command (install/clear) and read by the SIGINT
+/// trampoline, so request_active_command_stop stays async-signal-safe:
+/// lock-free atomics only, no allocation, no locks.
+std::atomic<obs::CancellationToken*> g_active_token{nullptr};
+
+/// RAII install/clear of g_active_token around a handler invocation.
+struct ActiveTokenGuard {
+  explicit ActiveTokenGuard(obs::CancellationToken& token) {
+    g_active_token.store(&token, std::memory_order_release);
+  }
+  ~ActiveTokenGuard() { g_active_token.store(nullptr, std::memory_order_release); }
+};
 
 sim::TrialConfig config_from(const Args& args) {
   sim::TrialConfig cfg;
@@ -67,6 +87,14 @@ core::Network deploy_or_load(CommandContext& ctx) {
 }
 
 }  // namespace
+
+void request_active_command_stop() {
+  obs::CancellationToken* const token =
+      g_active_token.load(std::memory_order_acquire);
+  if (token != nullptr) {
+    token->request_stop();
+  }
+}
 
 int cmd_csa(CommandContext& ctx) {
   const Args& args = ctx.args();
@@ -110,6 +138,7 @@ int cmd_simulate(CommandContext& ctx) {
   const sim::TrialConfig cfg = config_from(args);
   sim::RunOptions options;
   options.cancel = &ctx.cancel();
+  options.progress = ctx.progress_fn();
   options.metrics = ctx.metrics_child("estimate");
   const auto est = sim::estimate_grid_events(cfg, args.get_size("trials", 40),
                                              args.get_size("seed", 1),
@@ -172,6 +201,7 @@ int cmd_phase(CommandContext& ctx) {
   scan.trials = args.get_size("trials", 30);
   scan.master_seed = args.get_size("seed", 1);
   scan.cancel = &ctx.cancel();
+  scan.progress = ctx.progress_fn();
   scan.metrics = ctx.metrics_child("phase");
   std::optional<obs::Span> span;
   if (scan.metrics != nullptr) {
@@ -392,12 +422,55 @@ int run_command(const Args& args, std::ostream& out) {
   if (args.has("kernel")) {
     ctx.metrics().set_label("kernel", args.get_string("kernel", ""));
   }
+
+  // --trace FILE: collect a timeline for the whole handler and export it
+  // below.  The session is installed before the watchdog starts so the
+  // monitor thread's own events land in a ring too.
+  const std::string trace_path =
+      args.has("trace") ? args.get_string("trace", "") : std::string();
+  if (args.has("trace") && trace_path.empty()) {
+    throw std::invalid_argument("--trace needs a file path");
+  }
+  std::optional<obs::TraceSession> trace_session;
+  if (!trace_path.empty()) {
+    trace_session.emplace();
+    trace_session->install();
+  }
+
+  // --stall-timeout-ms MS: arm the watchdog for this invocation.  It feeds
+  // on ctx.progress_fn() via the handler's sim-layer options.
+  std::optional<obs::Watchdog> watchdog;
+  const std::uint64_t stall_timeout_ms = args.get_size("stall-timeout-ms", 0);
+  if (stall_timeout_ms > 0) {
+    obs::WatchdogConfig wd;
+    wd.stall_timeout_ms = stall_timeout_ms;
+    wd.poll_interval_ms = std::min<std::uint64_t>(stall_timeout_ms, 100);
+    wd.cancel = &ctx.cancel();
+    wd.request_stop_on_stall = args.get_bool("stall-stop", false);
+    watchdog.emplace(std::move(wd));
+    ctx.set_watchdog(&*watchdog);
+  }
+
   int code = 0;
   {
+    const ActiveTokenGuard token_guard(ctx.cancel());
     obs::Span run_span(ctx.root());
+    const obs::TraceScope cmd_scope("command", obs::TraceCategory::kCli);
     code = spec->run(ctx);
   }
+  // Join the monitor before draining so the drained timeline includes any
+  // stall instants and no writer outlives the session.
+  if (watchdog.has_value()) {
+    ctx.set_watchdog(nullptr);
+    watchdog->stop();
+  }
+  const bool cancelled = ctx.cancel().stop_requested();
+  if (cancelled && code == 0) {
+    code = kExitCancelled;
+    out << "cancelled: partial results (completed work only)\n";
+  }
   ctx.root().set("exit_code", static_cast<double>(code));
+  ctx.root().set("cancelled", cancelled ? 1.0 : 0.0);
   if (ctx.metrics_requested()) {
     const std::string path = args.get_string("metrics", "");
     if (path.empty()) {
@@ -405,6 +478,21 @@ int run_command(const Args& args, std::ostream& out) {
     }
     obs::write_json_file(path, ctx.metrics());
     out << "metrics: wrote " << path << "\n";
+  }
+  if (trace_session.has_value()) {
+    const obs::TraceSession::Drained drained = trace_session->drain();
+    trace_session->uninstall();
+    obs::TraceExportMeta meta;
+    meta.process_name = "fvc_sim";
+    meta.labels["command"] = cmd;
+    if (args.has("kernel")) {
+      meta.labels["kernel"] = args.get_string("kernel", "");
+    }
+    if (cancelled) {
+      meta.labels["cancelled"] = "1";
+    }
+    obs::write_chrome_trace_file(trace_path, drained, meta);
+    out << "trace: wrote " << trace_path << "\n";
   }
   return code;
 }

@@ -17,6 +17,16 @@
 
 namespace fvc::cli {
 
+/// Exit code of a run that was cooperatively cancelled (SIGINT or
+/// watchdog): the report, metrics, and trace cover only the work that
+/// completed.  Mirrors the shell convention 128 + SIGINT.
+inline constexpr int kExitCancelled = 130;
+
+/// Request cooperative stop on the command currently inside run_command,
+/// if any.  Async-signal-safe (one atomic load and one relaxed store) —
+/// this is the SIGINT trampoline target for tools/fvc_sim.cpp.
+void request_active_command_stop();
+
 /// Print the usage text (generated from the command registry).
 void print_help(std::ostream& out);
 

@@ -12,6 +12,7 @@
 #include "fvc/geometry/angle.hpp"
 #include "fvc/geometry/sector.hpp"
 #include "fvc/obs/run_metrics.hpp"
+#include "fvc/obs/trace.hpp"
 
 namespace fvc::core {
 
@@ -155,6 +156,8 @@ GridEvalEngine::GridEvalEngine(const Network& net, const DenseGrid& grid, double
   note_kernel_dispatch(kernel_);
   necessary_arcs_ = geom::sector_partition(2.0 * theta);
   sufficient_arcs_ = geom::sector_partition(theta);
+  const obs::TraceScope scope("engine.build", obs::TraceCategory::kEngine,
+                              "cameras", net.size());
   const std::uint64_t t0 = obs::monotonic_ns();
   bin_cameras();
   build_ns_ = obs::monotonic_ns() - t0;
@@ -668,6 +671,9 @@ GridRowStats GridEvalEngine::row_stats(std::size_t row, GridEvalScratch& scratch
 }
 
 RegionCoverageStats GridEvalEngine::evaluate(GridEvalScratch& scratch) const {
+  const obs::TraceScope scope("engine.evaluate", obs::TraceCategory::kEngine,
+                              "points", grid_.size(), "kernel_lanes",
+                              kernel_lanes(kernel_));
   RegionCoverageStats stats;
   stats.total_points = grid_.size();
   for (std::size_t row = 0; row < rows(); ++row) {

@@ -1,0 +1,185 @@
+#include "fvc/obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fvc::obs {
+
+namespace {
+
+/// Escape per RFC 8259 (same rules as json_export.cpp; duplicated rather
+/// than shared so the two exporters stay independently header-light).
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Microseconds with nanosecond fraction, rebased to the timeline origin.
+void write_ts(std::ostream& os, std::uint64_t ts_ns, std::uint64_t origin_ns) {
+  const std::uint64_t rel = ts_ns - origin_ns;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(rel / 1000),
+                static_cast<unsigned long long>(rel % 1000));
+  os << buf;
+}
+
+const char* phase_code(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kBegin:
+      return "B";
+    case TracePhase::kEnd:
+      return "E";
+    case TracePhase::kInstant:
+      return "i";
+    case TracePhase::kCounter:
+      return "C";
+  }
+  return "i";
+}
+
+void write_event(std::ostream& os, const TraceEvent& ev, std::uint64_t origin_ns) {
+  os << "    { \"name\": ";
+  write_escaped(os, ev.name != nullptr ? ev.name : "(unnamed)");
+  os << ", \"cat\": ";
+  write_escaped(os, trace_category_name(ev.category));
+  os << ", \"ph\": \"" << phase_code(ev.phase) << "\"";
+  if (ev.phase == TracePhase::kInstant) {
+    os << ", \"s\": \"t\"";  // thread-scoped instant marker
+  }
+  os << ", \"pid\": 1, \"tid\": " << ev.tid << ", \"ts\": ";
+  write_ts(os, ev.ts_ns, origin_ns);
+  if (ev.arg1_name != nullptr || ev.arg2_name != nullptr) {
+    os << ", \"args\": {";
+    bool first = true;
+    if (ev.arg1_name != nullptr) {
+      os << " ";
+      write_escaped(os, ev.arg1_name);
+      os << ": " << ev.arg1;
+      first = false;
+    }
+    if (ev.arg2_name != nullptr) {
+      os << (first ? " " : ", ");
+      write_escaped(os, ev.arg2_name);
+      os << ": " << ev.arg2;
+    }
+    os << " }";
+  }
+  os << " }";
+}
+
+}  // namespace
+
+std::string_view trace_category_name(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kEngine:
+      return "engine";
+    case TraceCategory::kPool:
+      return "pool";
+    case TraceCategory::kTrial:
+      return "trial";
+    case TraceCategory::kScan:
+      return "scan";
+    case TraceCategory::kWatchdog:
+      return "watchdog";
+    case TraceCategory::kCli:
+      return "cli";
+  }
+  return "cli";
+}
+
+void write_chrome_trace(std::ostream& os, const TraceSession::Drained& drained,
+                        const TraceExportMeta& meta) {
+  std::uint64_t origin_ns = 0;
+  if (!drained.events.empty()) {
+    origin_ns = drained.events.front().ts_ns;  // events are sorted by ts
+  }
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\n";
+  os << "    \"schema\": ";
+  write_escaped(os, kTraceSchema);
+  os << ",\n    \"threads\": " << drained.threads;
+  os << ",\n    \"events\": " << drained.events.size();
+  os << ",\n    \"evicted\": " << drained.evicted;
+  for (const auto& [key, value] : meta.labels) {
+    os << ",\n    ";
+    write_escaped(os, key);
+    os << ": ";
+    write_escaped(os, value);
+  }
+  os << "\n  },\n  \"traceEvents\": [\n";
+
+  // Metadata events: process name once, thread names for every tid that
+  // emitted something (the watchdog and short-lived workers included).
+  os << "    { \"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+        "\"args\": { \"name\": ";
+  write_escaped(os, meta.process_name);
+  os << " } }";
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& ev : drained.events) {
+    tids.insert(ev.tid);
+  }
+  for (const std::uint32_t tid : tids) {
+    os << ",\n    { \"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << tid << ", \"args\": { \"name\": \"fvc thread " << tid << "\" } }";
+  }
+  for (const TraceEvent& ev : drained.events) {
+    os << ",\n";
+    write_event(os, ev, origin_ns);
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string to_chrome_trace(const TraceSession::Drained& drained,
+                            const TraceExportMeta& meta) {
+  std::ostringstream ss;
+  write_chrome_trace(ss, drained, meta);
+  return ss.str();
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const TraceSession::Drained& drained,
+                             const TraceExportMeta& meta) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+  }
+  write_chrome_trace(os, drained, meta);
+  if (!os) {
+    throw std::runtime_error("write_chrome_trace_file: write failed for " + path);
+  }
+}
+
+}  // namespace fvc::obs

@@ -1,0 +1,72 @@
+/// \file trace_export.hpp
+/// \brief Chrome-trace-format rendering of a drained trace timeline.
+///
+/// Renders a `TraceSession::Drained` as the Chrome trace-event JSON object
+/// format — loadable in Perfetto (https://ui.perfetto.dev) and
+/// chrome://tracing.  Layout:
+///
+/// ```json
+/// {
+///   "displayTimeUnit": "ms",
+///   "otherData": { "schema": "fvc.trace/1", "threads": 2, "evicted": 0,
+///                  "...labels..." : "..." },
+///   "traceEvents": [
+///     { "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+///       "args": { "name": "fvc_sim" } },
+///     { "name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+///       "args": { "name": "fvc thread 1" } },
+///     { "name": "trial", "cat": "trial", "ph": "B", "pid": 1, "tid": 1,
+///       "ts": 12.345, "args": { "index": 7 } },
+///     { "name": "trial", "cat": "trial", "ph": "E", ... },
+///     { "name": "trials_done", "ph": "C", "ts": ...,
+///       "args": { "trials_done": 8 } },
+///     { "name": "watchdog.stall", "ph": "i", "s": "g", ... }
+///   ]
+/// }
+/// ```
+///
+/// Timestamps are microseconds (the Chrome trace unit) with nanosecond
+/// fractions, rebased to the earliest drained event so timelines start at
+/// zero.  Stability rules mirror fvc.metrics/1: keys never change meaning
+/// within a schema version; events and otherData entries may be added.
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "fvc/obs/trace.hpp"
+
+namespace fvc::obs {
+
+/// Version tag written into otherData.schema.
+inline constexpr std::string_view kTraceSchema = "fvc.trace/1";
+
+/// Stable lower-case Chrome-trace category ("cat") name of a category.
+[[nodiscard]] std::string_view trace_category_name(TraceCategory category);
+
+/// Document-level context of one exported trace.
+struct TraceExportMeta {
+  std::string process_name = "fvc";  ///< rendered as the process_name metadata
+  /// Free-form labels copied into otherData next to schema/threads/evicted
+  /// (command name, flag values — same idea as RunMetrics labels).
+  std::map<std::string, std::string> labels;
+};
+
+/// Write the Chrome-trace JSON document for one drained timeline.
+void write_chrome_trace(std::ostream& os, const TraceSession::Drained& drained,
+                        const TraceExportMeta& meta = {});
+
+/// The same document as a string.
+[[nodiscard]] std::string to_chrome_trace(const TraceSession::Drained& drained,
+                                          const TraceExportMeta& meta = {});
+
+/// Write the document to a file; throws std::runtime_error when the file
+/// cannot be opened or the write fails.
+void write_chrome_trace_file(const std::string& path,
+                             const TraceSession::Drained& drained,
+                             const TraceExportMeta& meta = {});
+
+}  // namespace fvc::obs

@@ -1,0 +1,115 @@
+#include "fvc/obs/watchdog.hpp"
+
+#include <chrono>
+#include <iostream>
+
+#include "fvc/obs/trace_export.hpp"
+
+namespace fvc::obs {
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(std::move(config)) {
+  heartbeat_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  stop();
+}
+
+void Watchdog::note_progress(std::size_t done, std::size_t total) {
+  last_done_.store(done, std::memory_order_relaxed);
+  last_total_.store(total, std::memory_order_relaxed);
+  heartbeat_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+}
+
+ProgressFn Watchdog::progress_fn() {
+  return [this](std::size_t done, std::size_t total) {
+    note_progress(done, total);
+  };
+}
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) {
+    monitor_.join();
+  }
+}
+
+void Watchdog::monitor_loop() {
+  const auto poll = std::chrono::milliseconds(
+      config_.poll_interval_ms == 0 ? 1 : config_.poll_interval_ms);
+  // Armed while the current quiet period has not been flagged yet; any
+  // heartbeat newer than the flagged one re-arms.
+  std::uint64_t flagged_at_heartbeat = ~std::uint64_t{0};
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, poll, [this] { return stop_requested_; });
+    if (stop_requested_) {
+      break;
+    }
+    const std::uint64_t beat = heartbeat_ns_.load(std::memory_order_relaxed);
+    const std::uint64_t now = monotonic_ns();
+    const std::uint64_t quiet_ms = now > beat ? (now - beat) / 1'000'000 : 0;
+    if (quiet_ms < config_.stall_timeout_ms) {
+      flagged_at_heartbeat = ~std::uint64_t{0};
+      continue;
+    }
+    if (flagged_at_heartbeat == beat) {
+      continue;  // already reported this quiet period
+    }
+    flagged_at_heartbeat = beat;
+    lock.unlock();
+    flag_stall(quiet_ms);
+    lock.lock();
+  }
+}
+
+void Watchdog::flag_stall(std::uint64_t quiet_ms) {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+
+  StallReport report;
+  report.stalled_for_ms = quiet_ms;
+  report.last_done = static_cast<std::size_t>(last_done_.load(std::memory_order_relaxed));
+  report.last_total = static_cast<std::size_t>(last_total_.load(std::memory_order_relaxed));
+  if (TraceSession* session = TraceSession::current()) {
+    report.threads = session->thread_states();
+  }
+
+  trace_instant("watchdog.stall", TraceCategory::kWatchdog, "stalled_for_ms",
+                quiet_ms);
+
+  std::ostream& os = config_.diagnostics != nullptr ? *config_.diagnostics : std::cerr;
+  os << "fvc watchdog: no progress for " << quiet_ms << " ms (last "
+     << report.last_done << "/" << report.last_total << " done)";
+  if (report.threads.empty()) {
+    os << "; no trace session installed\n";
+  } else {
+    os << "\n";
+    for (const TraceSession::ThreadState& st : report.threads) {
+      os << "  thread " << st.tid << ": " << st.produced << " events";
+      if (st.has_last && st.last.name != nullptr) {
+        os << ", last \"" << st.last.name << "\" ("
+           << trace_category_name(st.last.category) << ")";
+      }
+      os << "\n";
+    }
+  }
+  os.flush();
+
+  if (config_.on_stall) {
+    config_.on_stall(report);
+  }
+  if (config_.request_stop_on_stall && config_.cancel != nullptr) {
+    config_.cancel->request_stop();
+    trace_instant("watchdog.requested_stop", TraceCategory::kWatchdog);
+  }
+}
+
+}  // namespace fvc::obs

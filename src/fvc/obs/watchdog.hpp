@@ -1,0 +1,95 @@
+/// \file watchdog.hpp
+/// \brief Stall detection for long-running sweeps.
+///
+/// A `Watchdog` owns a monitor thread that watches a heartbeat fed by the
+/// run's `ProgressFn`.  When the heartbeat stops advancing for longer than
+/// the configured deadline the watchdog flags a stall exactly once per
+/// quiet period: it emits a `watchdog.stall` trace instant, prints a
+/// diagnostic (last progress seen, per-thread trace state from the
+/// installed `TraceSession`, if any) to the configured stream, invokes the
+/// optional `on_stall` callback, and — when asked — requests cooperative
+/// stop on the run's `CancellationToken`.  New progress re-arms the
+/// detector, so a run that stalls, recovers, and stalls again is reported
+/// twice.
+///
+/// The watchdog never blocks the traced code: `note_progress` is two
+/// relaxed atomic stores, and all reporting happens on the monitor thread.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fvc/obs/cancellation.hpp"
+#include "fvc/obs/trace.hpp"
+
+namespace fvc::obs {
+
+/// Everything the watchdog knows at the moment it flags a stall.
+struct StallReport {
+  std::uint64_t stalled_for_ms = 0;  ///< quiet time when flagged
+  std::size_t last_done = 0;         ///< last ProgressFn done value (0 if none)
+  std::size_t last_total = 0;        ///< last ProgressFn total value (0 if none)
+  /// Per-thread trace snapshots from the installed session; empty when no
+  /// session is installed or tracing is compiled out.
+  std::vector<TraceSession::ThreadState> threads;
+};
+
+struct WatchdogConfig {
+  std::uint64_t stall_timeout_ms = 30000;  ///< quiet period that counts as a stall
+  std::uint64_t poll_interval_ms = 100;    ///< monitor wake cadence
+  CancellationToken* cancel = nullptr;     ///< token to stop on stall (optional)
+  bool request_stop_on_stall = false;      ///< stop the run when flagged?
+  std::ostream* diagnostics = nullptr;     ///< stall report sink; nullptr = std::cerr
+  std::function<void(const StallReport&)> on_stall;  ///< test/driver hook
+};
+
+/// Monitor-thread stall detector.  Construction starts the monitor;
+/// destruction (or `stop()`) joins it.  `progress_fn()` adapts the
+/// heartbeat to the `ProgressFn` plumbing that sweeps already carry.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config);
+  ~Watchdog();  ///< stops the monitor thread
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Heartbeat: callable from any thread, wait-free.
+  void note_progress(std::size_t done, std::size_t total);
+
+  /// A ProgressFn forwarding to note_progress (safe to copy; must not
+  /// outlive the watchdog).
+  [[nodiscard]] ProgressFn progress_fn();
+
+  /// Stalls flagged so far (monotone; re-armed stalls count again).
+  [[nodiscard]] std::uint64_t stalls_flagged() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Join the monitor thread early; idempotent.
+  void stop();
+
+ private:
+  void monitor_loop();
+  void flag_stall(std::uint64_t quiet_ms);
+
+  WatchdogConfig config_;
+  std::atomic<std::uint64_t> heartbeat_ns_;
+  std::atomic<std::uint64_t> last_done_{0};
+  std::atomic<std::uint64_t> last_total_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by mutex_
+  std::thread monitor_;
+};
+
+}  // namespace fvc::obs

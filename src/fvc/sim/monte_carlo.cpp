@@ -6,6 +6,7 @@
 
 #include "fvc/core/grid_eval.hpp"
 #include "fvc/obs/run_metrics.hpp"
+#include "fvc/obs/trace.hpp"
 #include "fvc/sim/thread_pool.hpp"
 #include "fvc/stats/rng.hpp"
 
@@ -27,6 +28,7 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
   validate(cfg);
   std::vector<TrialEvents> results(trials);
   parallel_for(trials, threads, [&](std::size_t t) {
+    const obs::TraceScope scope("trial", obs::TraceCategory::kTrial, "index", t);
     results[t] = run_trial_events(cfg, stats::mix64(master_seed, t));
   });
   GridEventsEstimate est;
@@ -69,17 +71,22 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
         }
         Slot& slot = slots[t];
         const std::uint64_t seed = stats::mix64(master_seed, t);
-        if (metered) {
-          const std::uint64_t t0 = obs::monotonic_ns();
-          slot.events = run_trial_events(cfg, seed, &slot.metrics);
-          slot.ns = obs::monotonic_ns() - t0;
-        } else {
-          slot.events = run_trial_events(cfg, seed);
+        {
+          const obs::TraceScope scope("trial", obs::TraceCategory::kTrial,
+                                      "index", t);
+          if (metered) {
+            const std::uint64_t t0 = obs::monotonic_ns();
+            slot.events = run_trial_events(cfg, seed, &slot.metrics);
+            slot.ns = obs::monotonic_ns() - t0;
+          } else {
+            slot.events = run_trial_events(cfg, seed);
+          }
         }
         slot.ran = true;
         if (options.progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           options.progress(++done, trials);
+          obs::trace_counter("trials_done", obs::TraceCategory::kTrial, done);
         }
       },
       metered ? &pool : nullptr);
@@ -158,6 +165,7 @@ FractionEstimate estimate_fractions(const TrialConfig& cfg, std::size_t trials,
   };
   std::vector<PerTrial> results(trials);
   parallel_for(trials, threads, [&](std::size_t t) {
+    const obs::TraceScope scope("trial", obs::TraceCategory::kTrial, "index", t);
     const std::uint64_t seed = stats::mix64(master_seed, t);
     const core::Network net = deploy(cfg, seed);
     results[t].deployed = net.size();

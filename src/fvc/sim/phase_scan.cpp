@@ -5,6 +5,7 @@
 
 #include "fvc/analysis/csa.hpp"
 #include "fvc/obs/run_metrics.hpp"
+#include "fvc/sim/sweep.hpp"
 #include "fvc/sim/thread_pool.hpp"
 #include "fvc/stats/rng.hpp"
 
@@ -17,22 +18,25 @@ std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
   if (cfg.trials == 0) {
     throw std::invalid_argument("run_phase_scan: trials must be >= 1");
   }
+  for (const double q : cfg.q_values) {
+    if (!(q > 0.0)) {
+      throw std::invalid_argument("run_phase_scan: q values must be positive");
+    }
+  }
   validate(cfg.base);
   const std::size_t threads =
       cfg.threads == 0 ? default_thread_count() : cfg.threads;
   const double csa_n =
       analysis::csa_necessary(static_cast<double>(cfg.base.n), cfg.base.theta);
+  const std::size_t total_trials = cfg.q_values.size() * cfg.trials;
 
   std::vector<PhasePoint> points;
   points.reserve(cfg.q_values.size());
-  for (std::size_t i = 0; i < cfg.q_values.size(); ++i) {
+  SweepOptions sweep;
+  sweep.cancel = cfg.cancel;  // cancellation is polled per *point* here and
+                              // per *trial* inside estimate_grid_events
+  run_sweep(cfg.q_values.size(), sweep, [&](std::size_t i) {
     const double q = cfg.q_values[i];
-    if (!(q > 0.0)) {
-      throw std::invalid_argument("run_phase_scan: q values must be positive");
-    }
-    if (cfg.cancel != nullptr && cfg.cancel->stop_requested()) {
-      break;  // partial scan: every finished point is already in `points`
-    }
     TrialConfig point_cfg = cfg.base;
     point_cfg.profile = cfg.base.profile.with_weighted_area(q * csa_n);
     PhasePoint point;
@@ -40,6 +44,13 @@ std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
     point.weighted_area = point_cfg.profile.weighted_sensing_area();
     RunOptions options;
     options.cancel = cfg.cancel;
+    if (cfg.progress) {
+      // Fine-grained, scan-wide progress: trials from earlier points plus
+      // the trials done inside the current one.
+      options.progress = [&cfg, i, total_trials](std::size_t done, std::size_t) {
+        cfg.progress(i * cfg.trials + done, total_trials);
+      };
+    }
     if (cfg.metrics != nullptr) {
       obs::MetricsNode& point_node = cfg.metrics->child("q_" + std::to_string(i));
       point_node.set("q", q);
@@ -49,7 +60,7 @@ std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
                                         stats::mix64(cfg.master_seed, i), threads,
                                         options);
     points.push_back(point);
-  }
+  });
   return points;
 }
 

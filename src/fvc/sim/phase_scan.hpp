@@ -37,9 +37,12 @@ struct PhaseScanConfig {
   /// Optional observability (see fvc/obs): when `metrics` is non-null each
   /// scan point fills a child node "q_<i>" (trial/engine/pool subtrees);
   /// when `cancel` fires, the scan stops after the current point and
-  /// returns the points finished so far (possibly none).
+  /// returns the points finished so far (possibly none); `progress` is
+  /// reported trial-by-trial across the whole scan, as
+  /// progress(trials finished so far, q_values.size() * trials).
   obs::MetricsNode* metrics = nullptr;
   obs::CancellationToken* cancel = nullptr;
+  obs::ProgressFn progress;
 };
 
 /// Run the scan.  The base profile's *shape* (group fractions, fov values

@@ -4,6 +4,7 @@
 
 #include "fvc/obs/metrics.hpp"
 #include "fvc/obs/run_metrics.hpp"
+#include "fvc/obs/trace.hpp"
 
 namespace fvc::sim {
 
@@ -45,17 +46,23 @@ void parallel_for(std::size_t count, std::size_t threads,
     return;
   }
   threads = std::clamp<std::size_t>(threads, 1, count);
+  const obs::TraceScope pool_scope("pool.parallel_for", obs::TraceCategory::kPool,
+                                   "count", count, "threads", threads);
   const std::uint64_t wall_start =
       metrics != nullptr ? obs::monotonic_ns() : 0;
   if (threads == 1) {
     if (metrics == nullptr) {
       for (std::size_t i = 0; i < count; ++i) {
+        const obs::TraceScope task_scope("pool.task", obs::TraceCategory::kPool,
+                                         "index", i);
         fn(i);
       }
       return;
     }
     PoolMetrics::Worker w;
     for (std::size_t i = 0; i < count; ++i) {
+      const obs::TraceScope task_scope("pool.task", obs::TraceCategory::kPool,
+                                       "index", i);
       const std::uint64_t t0 = obs::monotonic_ns();
       fn(i);
       w.busy_ns += obs::monotonic_ns() - t0;
@@ -70,14 +77,20 @@ void parallel_for(std::size_t count, std::size_t threads,
   std::exception_ptr first_error;
   std::vector<PoolMetrics::Worker> worker_slots(metrics != nullptr ? threads : 0);
   auto worker = [&](std::size_t self) {
+    const obs::TraceScope worker_scope("pool.worker", obs::TraceCategory::kPool,
+                                       "worker", self);
     PoolMetrics::Worker* const slot =
         metrics != nullptr ? &worker_slots[self] : nullptr;
     while (true) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) {
+        obs::trace_instant("pool.queue_empty", obs::TraceCategory::kPool,
+                           "worker", self);
         return;
       }
       try {
+        const obs::TraceScope task_scope("pool.task", obs::TraceCategory::kPool,
+                                         "index", i);
         if (slot != nullptr) {
           const std::uint64_t t0 = obs::monotonic_ns();
           fn(i);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fvc/obs/trace.hpp"
 #include "fvc/stats/rng.hpp"
 
 namespace fvc::sim {
@@ -22,13 +23,24 @@ double find_threshold(const ProbabilityAt& estimate, const ThresholdSearchConfig
   double lo = config.q_lo;
   double hi = config.q_hi;
   for (int iter = 0; iter < config.iterations; ++iter) {
+    if (config.cancel != nullptr && config.cancel->stop_requested()) {
+      break;  // return the bracket narrowed so far
+    }
     const double mid = 0.5 * (lo + hi);
-    const double p =
-        estimate(mid, stats::mix64(config.seed, static_cast<std::uint64_t>(iter)));
+    double p = 0.0;
+    {
+      const obs::TraceScope scope("threshold.step", obs::TraceCategory::kScan,
+                                  "step", static_cast<std::uint64_t>(iter));
+      p = estimate(mid, stats::mix64(config.seed, static_cast<std::uint64_t>(iter)));
+    }
     if (p < config.target) {
       lo = mid;
     } else {
       hi = mid;
+    }
+    if (config.progress) {
+      config.progress(static_cast<std::size_t>(iter) + 1,
+                      static_cast<std::size_t>(config.iterations));
     }
   }
   return 0.5 * (lo + hi);

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "fvc/obs/cancellation.hpp"
+
 namespace fvc::sim {
 
 /// A probability estimator at a scalar operating point q.  Implementations
@@ -27,6 +29,12 @@ struct ThresholdSearchConfig {
   double target = 0.5;     ///< probability level to locate
   int iterations = 8;      ///< bisection steps (resolution (q_hi-q_lo)/2^iters)
   std::uint64_t seed = 1;  ///< base seed; each step derives its own stream
+  /// Optional observability: a fired `cancel` stops the bisection at the
+  /// next step boundary and the current midpoint estimate is returned (a
+  /// coarser but valid bracket); `progress` is reported per finished step
+  /// as progress(steps done, iterations).
+  obs::CancellationToken* cancel = nullptr;
+  obs::ProgressFn progress;
 };
 
 /// Locate the crossing.  Requires target in (0,1), q_lo < q_hi,

@@ -6,6 +6,7 @@
 #include "fvc/core/grid_eval.hpp"
 #include "fvc/deploy/poisson.hpp"
 #include "fvc/deploy/uniform.hpp"
+#include "fvc/obs/trace.hpp"
 #include "fvc/stats/rng.hpp"
 
 namespace fvc::sim {
@@ -59,6 +60,9 @@ TrialEvents run_trial_events(const TrialConfig& cfg, std::uint64_t seed,
     scratch.counters = &metrics->engine;
   }
   TrialEvents ev{true, true, true};
+  const obs::TraceScope scan_scope("engine.scan", obs::TraceCategory::kEngine,
+                                   "points", grid.size(), "kernel_lanes",
+                                   core::kernel_lanes(engine.kernel()));
   for (std::size_t row = 0; row < engine.rows(); ++row) {
     const core::GridRowEvents re =
         engine.row_events(row, scratch, ev.all_full_view, ev.all_sufficient);

@@ -1,0 +1,149 @@
+/// Watchdog tests: a synthetic stalled run must be flagged within the
+/// configured deadline, the flag must carry the last-seen progress and
+/// request cooperative stop when asked, and fresh progress must re-arm the
+/// detector.  Timeouts here are tens of milliseconds so the suite stays
+/// fast; generous waits keep the assertions robust on loaded CI machines.
+
+#include "fvc/obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "fvc/obs/cancellation.hpp"
+
+namespace fvc::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Block until `pred()` holds or `limit` elapses; returns pred().
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds limit) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return pred();
+    }
+    std::this_thread::sleep_for(2ms);
+  }
+  return true;
+}
+
+TEST(Watchdog, FlagsSyntheticStallWithinDeadline) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool flagged = false;
+  StallReport seen;
+  std::ostringstream diagnostics;
+  WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 50;
+  cfg.poll_interval_ms = 5;
+  cfg.diagnostics = &diagnostics;
+  cfg.on_stall = [&](const StallReport& report) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen = report;
+    flagged = true;
+    cv.notify_all();
+  };
+  Watchdog dog(std::move(cfg));
+  dog.note_progress(7, 40);
+  // ... and then nothing: the synthetic stall.
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    // 50ms deadline + 5ms poll: 2s is deadline * 40 of slack for CI.
+    ASSERT_TRUE(cv.wait_for(lock, 2s, [&] { return flagged; }))
+        << "stall not flagged within the deadline";
+    EXPECT_EQ(seen.last_done, 7u);
+    EXPECT_EQ(seen.last_total, 40u);
+    EXPECT_GE(seen.stalled_for_ms, 50u);
+  }
+  dog.stop();
+  EXPECT_EQ(dog.stalls_flagged(), 1u) << "one quiet period, one flag";
+  const std::string text = diagnostics.str();
+  EXPECT_NE(text.find("no progress for"), std::string::npos);
+  EXPECT_NE(text.find("7/40"), std::string::npos);
+}
+
+TEST(Watchdog, RequestsCooperativeStopWhenConfigured) {
+  CancellationToken token;
+  WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 30;
+  cfg.poll_interval_ms = 5;
+  cfg.cancel = &token;
+  cfg.request_stop_on_stall = true;
+  std::ostringstream diagnostics;
+  cfg.diagnostics = &diagnostics;
+  Watchdog dog(std::move(cfg));
+  EXPECT_TRUE(wait_until([&] { return token.stop_requested(); }, 2000ms))
+      << "watchdog never tripped the cancellation token";
+  dog.stop();
+}
+
+TEST(Watchdog, DoesNotFlagWhileProgressKeepsArriving) {
+  std::atomic<std::uint64_t> flags{0};
+  WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 60;
+  cfg.poll_interval_ms = 5;
+  std::ostringstream diagnostics;
+  cfg.diagnostics = &diagnostics;
+  cfg.on_stall = [&](const StallReport&) { flags.fetch_add(1); };
+  Watchdog dog(std::move(cfg));
+  const ProgressFn progress = dog.progress_fn();
+  for (int i = 0; i < 20; ++i) {
+    progress(static_cast<std::size_t>(i), 20);
+    std::this_thread::sleep_for(10ms);  // well under the 60ms deadline
+  }
+  dog.stop();
+  EXPECT_EQ(flags.load(), 0u) << "flagged a run that was making progress";
+}
+
+TEST(Watchdog, RearmsAfterProgressResumesAndFlagsAgain) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t flags = 0;
+  WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 40;
+  cfg.poll_interval_ms = 5;
+  std::ostringstream diagnostics;
+  cfg.diagnostics = &diagnostics;
+  cfg.on_stall = [&](const StallReport&) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++flags;
+    cv.notify_all();
+  };
+  Watchdog dog(std::move(cfg));
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, 2s, [&] { return flags >= 1; }));
+    EXPECT_EQ(flags, 1u) << "a single quiet period must flag exactly once";
+  }
+  dog.note_progress(1, 2);  // recovery re-arms the detector
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, 2s, [&] { return flags >= 2; }))
+        << "second stall after recovery was not flagged";
+  }
+  dog.stop();
+  EXPECT_EQ(dog.stalls_flagged(), flags);
+}
+
+TEST(Watchdog, StopIsIdempotentAndJoinsMonitor) {
+  std::ostringstream diagnostics;
+  WatchdogConfig cfg;
+  cfg.stall_timeout_ms = 10000;
+  cfg.poll_interval_ms = 5;
+  cfg.diagnostics = &diagnostics;
+  Watchdog dog(std::move(cfg));
+  dog.stop();
+  dog.stop();  // second stop must be a no-op, and the destructor a third
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fvc::obs

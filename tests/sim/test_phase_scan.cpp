@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "fvc/analysis/csa.hpp"
 #include "fvc/geometry/angle.hpp"
@@ -68,6 +70,60 @@ TEST(PhaseScan, PreCancelledScanReturnsNoPoints) {
   cancel.request_stop();
   cfg.cancel = &cancel;
   EXPECT_TRUE(run_phase_scan(cfg).empty());
+}
+
+TEST(PhaseScan, CancellationMidScanReturnsCompletedPoints) {
+  PhaseScanConfig cfg = small_scan();
+  obs::CancellationToken cancel;
+  cfg.cancel = &cancel;
+  std::size_t reports = 0;
+  const std::size_t total_trials = cfg.q_values.size() * cfg.trials;
+  cfg.progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, total_trials);
+    ++reports;
+    // Trip the token once the first q-point has fully completed; the scan
+    // must keep that point's result and stop before starting the next one.
+    if (done >= cfg.trials) {
+      cancel.request_stop();
+    }
+  };
+  const auto points = run_phase_scan(cfg);
+  ASSERT_EQ(points.size(), 1u) << "only the completed point survives";
+  EXPECT_DOUBLE_EQ(points[0].q, cfg.q_values[0]);
+  EXPECT_GE(reports, cfg.trials);
+}
+
+TEST(PhaseScan, ProgressIsMonotoneAcrossTheWholeScan) {
+  PhaseScanConfig cfg = small_scan();
+  const std::size_t total_trials = cfg.q_values.size() * cfg.trials;
+  std::vector<std::size_t> dones;
+  cfg.progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, total_trials);
+    dones.push_back(done);
+  };
+  const auto points = run_phase_scan(cfg);
+  ASSERT_EQ(points.size(), cfg.q_values.size());
+  ASSERT_FALSE(dones.empty());
+  // The per-point callbacks are rebased by i * trials, so the done counter
+  // must climb monotonically across point boundaries and finish at 100%.
+  for (std::size_t i = 1; i < dones.size(); ++i) {
+    EXPECT_GE(dones[i], dones[i - 1]) << "progress went backwards at " << i;
+  }
+  EXPECT_EQ(dones.back(), total_trials);
+}
+
+TEST(PhaseScan, ProgressCallbackDoesNotChangeResults) {
+  const auto plain = run_phase_scan(small_scan());
+  PhaseScanConfig cfg = small_scan();
+  cfg.progress = [](std::size_t, std::size_t) {};
+  const auto observed = run_phase_scan(cfg);
+  ASSERT_EQ(plain.size(), observed.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].events.necessary.successes,
+              observed[i].events.necessary.successes);
+    EXPECT_EQ(plain[i].events.full_view.successes,
+              observed[i].events.full_view.successes);
+  }
 }
 
 TEST(PhaseScan, MetricsFillPerPointSubtrees) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "fvc/stats/distributions.hpp"
 #include "fvc/stats/rng.hpp"
@@ -85,6 +87,56 @@ TEST(FindThreshold, Validation) {
   EXPECT_THROW((void)find_threshold(f, cfg), std::invalid_argument);
   cfg = {};
   EXPECT_THROW((void)find_threshold(nullptr, cfg), std::invalid_argument);
+}
+
+TEST(FindThreshold, CancellationStopsBisectionAtStepBoundary) {
+  obs::CancellationToken cancel;
+  int calls = 0;
+  const auto step = [&](double q, std::uint64_t) {
+    if (++calls == 3) {
+      cancel.request_stop();  // fires during step 3; step 4 never starts
+    }
+    return q >= 0.37 ? 1.0 : 0.0;
+  };
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 0.0;
+  cfg.q_hi = 1.0;
+  cfg.iterations = 20;
+  cfg.cancel = &cancel;
+  const double coarse = find_threshold(step, cfg);
+  EXPECT_EQ(calls, 3);
+  // The result is the midpoint of the bracket narrowed so far: a coarser
+  // but valid estimate, within the 3-step resolution of the full answer.
+  EXPECT_NEAR(coarse, 0.37, (cfg.q_hi - cfg.q_lo) / 8.0);
+}
+
+TEST(FindThreshold, PreCancelledReturnsInitialMidpoint) {
+  obs::CancellationToken cancel;
+  cancel.request_stop();
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 1.0;
+  cfg.q_hi = 3.0;
+  cfg.cancel = &cancel;
+  const auto f = [](double, std::uint64_t) -> double {
+    ADD_FAILURE() << "estimator must not run when pre-cancelled";
+    return 0.5;
+  };
+  EXPECT_DOUBLE_EQ(find_threshold(f, cfg), 2.0);
+}
+
+TEST(FindThreshold, ProgressReportsEveryStep) {
+  std::vector<std::size_t> dones;
+  ThresholdSearchConfig cfg;
+  cfg.q_lo = 0.0;
+  cfg.q_hi = 1.0;
+  cfg.iterations = 6;
+  cfg.progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 6u);
+    dones.push_back(done);
+  };
+  const auto f = [](double q, std::uint64_t) { return q; };
+  (void)find_threshold(f, cfg);
+  EXPECT_EQ(dones, (std::vector<std::size_t>{1, 2, 3, 4, 5, 6}));
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +38,7 @@
 #include "fvc/geometry/angle.hpp"
 #include "fvc/obs/json_export.hpp"
 #include "fvc/obs/run_metrics.hpp"
+#include "fvc/obs/trace.hpp"
 #include "fvc/sim/parallel_region.hpp"
 #include "fvc/stats/rng.hpp"
 
@@ -145,6 +147,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Traced re-run of the batched scan: same work with a live TraceSession,
+  // so the ≤5% tracing-overhead budget is tracked run over run next to the
+  // timings it taxes.  Results must stay bit-identical (tracing never
+  // touches arithmetic).  In FVC_TRACING=OFF builds the emit sites are
+  // stubs and the pair should time the same to noise.
+  double batched_traced_ms = 0.0;
+  std::uint64_t trace_events = 0;
+  {
+    obs::TraceSession session(1 << 16);
+    session.install();
+    core::RegionCoverageStats traced_stats;
+    batched_traced_ms = best_of_ms(
+        reps, [&] { traced_stats = core::evaluate_region(net, grid, theta); });
+    const obs::TraceSession::Drained drained = session.drain();
+    session.uninstall();
+    trace_events = drained.events.size() + drained.evicted;
+    if (!same_stats(scalar_stats, traced_stats)) {
+      std::fprintf(stderr,
+                   "bench_compare: FAIL — traced batched results differ from the "
+                   "scalar oracle\n");
+      return 1;
+    }
+  }
+  const double trace_overhead_pct =
+      batched_ms > 0.0 ? (batched_traced_ms / batched_ms - 1.0) * 100.0 : 0.0;
+
   // One metered pass, outside the timed reps: must still agree bit-exactly
   // (metrics collection never changes arithmetic), and its metrics tree is
   // embedded in the record below.
@@ -173,6 +201,9 @@ int main(int argc, char** argv) {
               core::kernel_lanes(kernel));
   std::printf("  scalar   : %9.3f ms\n", scalar_ms);
   std::printf("  batched  : %9.3f ms  (%.2fx)\n", batched_ms, speedup_batched);
+  std::printf("  traced   : %9.3f ms  (%+.1f%% vs batched, %llu events)\n",
+              batched_traced_ms, trace_overhead_pct,
+              static_cast<unsigned long long>(trace_events));
   std::printf("  parallel : %9.3f ms  (%.2fx, %zu threads)\n", parallel_ms,
               speedup_parallel, threads);
   for (std::size_t i = 0; i < std::size(sweep_threads); ++i) {
@@ -197,11 +228,18 @@ int main(int argc, char** argv) {
                 "  \"parallel_ms\": %.3f,\n"
                 "  \"speedup_batched\": %.2f,\n"
                 "  \"speedup_parallel\": %.2f,\n"
+                "  \"tracing_compiled\": %s,\n"
+                "  \"batched_traced_ms\": %.3f,\n"
+                "  \"trace_overhead_pct\": %.1f,\n"
+                "  \"trace_events\": %llu,\n"
                 "  \"results_bit_identical\": true,\n",
                 n, side, reps, threads,
                 std::string(core::kernel_name(kernel)).c_str(),
                 core::kernel_lanes(kernel), scalar_ms, batched_ms, parallel_ms,
-                speedup_batched, speedup_parallel);
+                speedup_batched, speedup_parallel,
+                obs::kTraceEnabled ? "true" : "false", batched_traced_ms,
+                trace_overhead_pct,
+                static_cast<unsigned long long>(trace_events));
   record << buf;
   record << "  \"thread_sweep\": [\n";
   for (std::size_t i = 0; i < std::size(sweep_threads); ++i) {

@@ -2,16 +2,35 @@
 /// All command logic lives in fvc::cli (src/fvc/cli/commands.cpp) where it
 /// is unit-tested; this binary only parses, dispatches, and reports errors.
 
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 
 #include "fvc/cli/args.hpp"
 #include "fvc/cli/commands.hpp"
 
+namespace {
+
+/// SIGINT trampoline: request cooperative stop on the active command.
+/// request_active_command_stop is async-signal-safe (lock-free atomics
+/// only); workers stop at the next trial boundary, run_command flushes the
+/// metrics/trace for the completed work and exits with kExitCancelled
+/// (130).  A second Ctrl-C falls back to the default disposition, so a
+/// stuck run can still be killed.
+extern "C" void handle_sigint(int) {
+  fvc::cli::request_active_command_stop();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, &handle_sigint);
   try {
     const fvc::cli::Args args = fvc::cli::Args::parse(argc - 1, argv + 1);
-    return fvc::cli::run_command(args, std::cout) == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+    // Exit codes pass through verbatim so "cancelled, partial results"
+    // (130) stays distinguishable from ordinary failure (1).
+    return fvc::cli::run_command(args, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return EXIT_FAILURE;
