@@ -21,8 +21,12 @@ void check_theta(double theta) {
   }
 }
 
+/// Sector-count rounding is single-sourced in geom (see angle.hpp): a
+/// blanket epsilon subtracted before ceil undercounted ratios that sit just
+/// above an integer, and disagreed with the partition's residual-sector
+/// branch.  All counts here now share the partition's rule.
 std::size_t ceil_ratio(double num, double den) {
-  return static_cast<std::size_t>(std::ceil(num / den - 1e-12));
+  return geom::sector_count(num, den);
 }
 
 }  // namespace

@@ -32,7 +32,12 @@ const std::vector<CommandSpec>& command_table() {
         {"trials", "T", "40", "Monte-Carlo trials"},
         {"seed", "S", "1", "master RNG seed"},
         {"poisson", "0|1", "0", "Poisson deployment instead of uniform"},
-        {"grid-side", "M", "", "grid side override (default: n log n rule)"}}},
+        {"grid-side", "M", "", "grid side override (default: n log n rule)"},
+        {"shard-index", "I", "", "run only trials with index = I mod --shard-count"},
+        {"shard-count", "K", "", "total shards of a partitioned run"},
+        {"checkpoint", "FILE", "", "write a fvc.checkpoint/1 resume file to FILE"},
+        {"checkpoint-every", "K", "16", "flush the checkpoint every K trials"},
+        {"resume", "0|1", "", "skip trials already recorded in --checkpoint FILE"}}},
       {"poisson",
        "closed-form P_N and P_S (Theorems 3 and 4)",
        &cmd_poisson,
@@ -56,7 +61,42 @@ const std::vector<CommandSpec>& command_table() {
         {"q-hi", "Q", "3", "highest CSA multiplier"},
         {"points", "K", "6", "scan points"},
         {"trials", "T", "30", "Monte-Carlo trials per point"},
-        {"seed", "S", "1", "master RNG seed"}}},
+        {"seed", "S", "1", "master RNG seed"},
+        {"shard-index", "I", "", "run only points with index = I mod --shard-count"},
+        {"shard-count", "K", "", "total shards of a partitioned run"},
+        {"checkpoint", "FILE", "", "write a fvc.checkpoint/1 resume file to FILE"},
+        {"checkpoint-every", "K", "16", "flush the checkpoint every K points"},
+        {"resume", "0|1", "", "skip points already recorded in --checkpoint FILE"}}},
+      {"threshold",
+       "locate the q where a grid event's probability crosses a target "
+       "(repeated noisy bisection; the repeat is the shardable unit)",
+       &cmd_threshold,
+       {{"n", "N", "500", "population size"},
+        {"theta", "RAD", "0.785", "effective angle"},
+        {"radius", "R", "0.15", "sensing radius"},
+        {"fov", "RAD", "2.0", "camera field of view"},
+        {"poisson", "0|1", "0", "Poisson deployment instead of uniform"},
+        {"grid-side", "M", "", "grid side override (default: n log n rule)"},
+        {"q-lo", "Q", "0.5", "bracket low (event surely fails)"},
+        {"q-hi", "Q", "4", "bracket high (event surely holds)"},
+        {"target", "P", "0.5", "probability level to locate"},
+        {"iterations", "I", "6", "bisection steps per repeat"},
+        {"trials", "T", "30", "Monte-Carlo trials per estimate"},
+        {"repeats", "R", "4", "independent searches to run"},
+        {"event", "NAME", "full-view",
+         "event to threshold (necessary|full-view|sufficient)"},
+        {"seed", "S", "1", "master RNG seed"},
+        {"shard-index", "I", "", "run only repeats with index = I mod --shard-count"},
+        {"shard-count", "K", "", "total shards of a partitioned run"},
+        {"checkpoint", "FILE", "", "write a fvc.checkpoint/1 resume file to FILE"},
+        {"checkpoint-every", "K", "16", "flush the checkpoint every K repeats"},
+        {"resume", "0|1", "", "skip repeats already recorded in --checkpoint FILE"}}},
+      {"merge-shards",
+       "fold shard checkpoints into one final report (refuses seed/config "
+       "mismatches; exit 1 when units are missing)",
+       &cmd_merge_shards,
+       {{"inputs", "FILES", "", "comma-separated shard checkpoint files"},
+        {"output", "FILE", "", "also write the merged checkpoint to FILE"}}},
       {"map",
        "ASCII heatmap: '@' full-view covered, ' ' uncovered",
        &cmd_map,

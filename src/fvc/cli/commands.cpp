@@ -14,6 +14,7 @@
 #include "fvc/analysis/poisson_theory.hpp"
 #include "fvc/analysis/uniform_theory.hpp"
 #include "fvc/barrier/barrier.hpp"
+#include "fvc/cli/checkpointing.hpp"
 #include "fvc/cli/command_registry.hpp"
 #include "fvc/core/cpu_features.hpp"
 #include "fvc/core/full_view.hpp"
@@ -28,11 +29,13 @@
 #include "fvc/opt/orient_optimizer.hpp"
 #include "fvc/report/heatmap.hpp"
 #include "fvc/report/table.hpp"
+#include "fvc/io/checkpoint.hpp"
 #include "fvc/sim/monte_carlo.hpp"
 #include "fvc/sim/parallel_region.hpp"
 #include "fvc/sim/phase_scan.hpp"
 #include "fvc/sim/sweep.hpp"
 #include "fvc/sim/thread_pool.hpp"
+#include "fvc/sim/threshold_search.hpp"
 #include "fvc/stats/rng.hpp"
 #include "fvc/track/trajectory.hpp"
 
@@ -136,23 +139,53 @@ int cmd_plan(CommandContext& ctx) {
 int cmd_simulate(CommandContext& ctx) {
   const Args& args = ctx.args();
   const sim::TrialConfig cfg = config_from(args);
+  const std::size_t trials = args.get_size("trials", 40);
+  const std::uint64_t seed = args.get_size("seed", 1);
   sim::RunOptions options;
   options.cancel = &ctx.cancel();
   options.progress = ctx.progress_fn();
   options.metrics = ctx.metrics_child("estimate");
-  const auto est = sim::estimate_grid_events(cfg, args.get_size("trials", 40),
-                                             args.get_size("seed", 1),
-                                             sim::default_thread_count(), options);
-  report::Table t({"event", "probability", "95% CI"});
-  const auto row = [&](const char* name, const sim::EventEstimate& e) {
-    const auto ci = e.wilson();
-    t.add_row({name, report::fmt(e.p(), 3),
-               report::fmt_interval(ci.lo, ci.hi, 3)});
+  const CheckpointOptions ckpt = checkpoint_options_from(args);
+  if (!ckpt.unit_driven()) {
+    const auto est = sim::estimate_grid_events(cfg, trials, seed,
+                                               sim::default_thread_count(), options);
+    report::Table t({"event", "probability", "95% CI"});
+    const auto row = [&](const char* name, const sim::EventEstimate& e) {
+      const auto ci = e.wilson();
+      t.add_row({name, report::fmt(e.p(), 3),
+                 report::fmt_interval(ci.lo, ci.hi, 3)});
+    };
+    row("grid meets necessary condition (H_N)", est.necessary);
+    row("grid full-view covered", est.full_view);
+    row("grid meets sufficient condition (H_S)", est.sufficient);
+    t.print(ctx.out());
+    return 0;
+  }
+  // Sharded / checkpointed / resumed: drive the run through an explicit
+  // unit list and fold the report from the checkpoint document, so it
+  // covers resumed work too (and only this shard's slice when sharded).
+  CanonicalConfig canon;
+  canon.add("cmd", "simulate");
+  canon.add("n", static_cast<std::uint64_t>(cfg.n));
+  canon.add("theta", cfg.theta);
+  canon.add("radius", args.get_double("radius", 0.15));
+  canon.add("fov", args.get_double("fov", 2.0));
+  canon.add("poisson", static_cast<std::uint64_t>(args.get_bool("poisson", false)));
+  if (cfg.grid_side.has_value()) {
+    canon.add("grid-side", static_cast<std::uint64_t>(*cfg.grid_side));
+  }
+  canon.add("trials", static_cast<std::uint64_t>(trials));
+  CheckpointSession session(ckpt, "simulate", seed, canon.digest(), trials);
+  options.trial_indices = session.pending();
+  options.on_trial = [&session](std::uint64_t index, const sim::TrialEvents& events) {
+    session.record(index, sim::encode_trial_events(events));
   };
-  row("grid meets necessary condition (H_N)", est.necessary);
-  row("grid full-view covered", est.full_view);
-  row("grid meets sufficient condition (H_S)", est.sufficient);
-  t.print(ctx.out());
+  if (!session.pending().empty()) {
+    (void)sim::estimate_grid_events(cfg, trials, seed, sim::default_thread_count(),
+                                    options);
+  }
+  session.finish();
+  render_checkpoint_report(ctx.out(), session.checkpoint());
   return 0;
 }
 
@@ -203,17 +236,45 @@ int cmd_phase(CommandContext& ctx) {
   scan.cancel = &ctx.cancel();
   scan.progress = ctx.progress_fn();
   scan.metrics = ctx.metrics_child("phase");
+  const CheckpointOptions ckpt = checkpoint_options_from(args);
+  std::optional<CheckpointSession> session;
+  if (ckpt.unit_driven()) {
+    CanonicalConfig canon;
+    canon.add("cmd", "phase");
+    canon.add("n", static_cast<std::uint64_t>(scan.base.n));
+    canon.add("theta", scan.base.theta);
+    canon.add("q-lo", args.get_double("q-lo", 0.5));
+    canon.add("q-hi", args.get_double("q-hi", 3.0));
+    canon.add("points", static_cast<std::uint64_t>(scan.q_values.size()));
+    canon.add("trials", static_cast<std::uint64_t>(scan.trials));
+    session.emplace(ckpt, "phase", scan.master_seed, canon.digest(),
+                    scan.q_values.size());
+    scan.point_indices = session->pending();
+    scan.on_point = [&session](const sim::PhasePoint& point) {
+      session->record(point.index, sim::encode_phase_point(point));
+    };
+  }
   std::optional<obs::Span> span;
   if (scan.metrics != nullptr) {
     span.emplace(*scan.metrics);
   }
-  const auto points = sim::run_phase_scan(scan);
+  std::vector<sim::PhasePoint> points;
+  if (!session.has_value() || !session->pending().empty()) {
+    points = sim::run_phase_scan(scan);
+  }
   if (span.has_value()) {
     span->stop();
   }
   if (scan.metrics != nullptr) {
-    scan.metrics->set("points_requested", static_cast<double>(scan.q_values.size()));
+    const std::size_t requested = session.has_value() ? session->pending().size()
+                                                      : scan.q_values.size();
+    scan.metrics->set("points_requested", static_cast<double>(requested));
     scan.metrics->set("points_run", static_cast<double>(points.size()));
+  }
+  if (session.has_value()) {
+    session->finish();
+    render_checkpoint_report(ctx.out(), session->checkpoint());
+    return 0;
   }
   report::Table t({"q", "P(H_N)", "P(full view)", "P(H_S)"});
   for (const auto& pt : points) {
@@ -223,6 +284,131 @@ int cmd_phase(CommandContext& ctx) {
   }
   t.print(ctx.out());
   return 0;
+}
+
+int cmd_threshold(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  const sim::TrialConfig base = config_from(args);
+  const std::size_t trials = args.get_size("trials", 30);
+  const std::size_t repeats = args.get_size("repeats", 4);
+  const std::uint64_t seed = args.get_size("seed", 1);
+  const std::string event = args.get_string("event", "full-view");
+  if (event != "necessary" && event != "full-view" && event != "sufficient") {
+    throw std::invalid_argument(
+        "--event: expected necessary, full-view, or sufficient");
+  }
+  sim::ThresholdRepeatConfig rc;
+  rc.base.q_lo = args.get_double("q-lo", 0.5);
+  rc.base.q_hi = args.get_double("q-hi", 4.0);
+  rc.base.target = args.get_double("target", 0.5);
+  rc.base.iterations = static_cast<int>(args.get_size("iterations", 6));
+  rc.base.seed = seed;
+  rc.base.cancel = &ctx.cancel();
+  rc.base.progress = ctx.progress_fn();
+  rc.repeats = repeats;
+  const double csa_n =
+      analysis::csa_necessary(static_cast<double>(base.n), base.theta);
+  const std::size_t threads = sim::default_thread_count();
+  const auto estimator = [&](double q, std::uint64_t step_seed) {
+    sim::TrialConfig point_cfg = base;
+    point_cfg.profile = base.profile.with_weighted_area(q * csa_n);
+    sim::RunOptions opt;
+    opt.cancel = &ctx.cancel();
+    const auto est =
+        sim::estimate_grid_events(point_cfg, trials, step_seed, threads, opt);
+    if (est.full_view.trials == 0) {
+      return 0.0;  // cancelled before any trial ran; the repeat is dropped
+    }
+    if (event == "necessary") {
+      return est.necessary.p();
+    }
+    if (event == "sufficient") {
+      return est.sufficient.p();
+    }
+    return est.full_view.p();
+  };
+  // Always run through a session: without --checkpoint it just accumulates
+  // the outcomes in memory, giving one render path for plain, sharded and
+  // resumed invocations alike.
+  CanonicalConfig canon;
+  canon.add("cmd", "threshold");
+  canon.add("n", static_cast<std::uint64_t>(base.n));
+  canon.add("theta", base.theta);
+  canon.add("radius", args.get_double("radius", 0.15));
+  canon.add("fov", args.get_double("fov", 2.0));
+  canon.add("poisson", static_cast<std::uint64_t>(args.get_bool("poisson", false)));
+  if (base.grid_side.has_value()) {
+    canon.add("grid-side", static_cast<std::uint64_t>(*base.grid_side));
+  }
+  canon.add("q-lo", rc.base.q_lo);
+  canon.add("q-hi", rc.base.q_hi);
+  canon.add("target", rc.base.target);
+  canon.add("iterations", static_cast<std::uint64_t>(rc.base.iterations));
+  canon.add("trials", static_cast<std::uint64_t>(trials));
+  canon.add("repeats", static_cast<std::uint64_t>(repeats));
+  canon.add("event", event);
+  CheckpointSession session(checkpoint_options_from(args), "threshold", seed,
+                            canon.digest(), repeats);
+  rc.repeat_indices = session.pending();
+  rc.on_repeat = [&session](const sim::ThresholdOutcome& outcome) {
+    session.record(outcome.index, {outcome.q});
+  };
+  obs::MetricsNode* node = ctx.metrics_child("threshold");
+  std::size_t ran = 0;
+  if (!session.pending().empty()) {
+    std::optional<obs::Span> span;
+    if (node != nullptr) {
+      span.emplace(*node);
+    }
+    ran = sim::run_threshold_repeats(estimator, rc).size();
+  }
+  if (node != nullptr) {
+    node->set("repeats_requested", static_cast<double>(session.pending().size()));
+    node->set("repeats_run", static_cast<double>(ran));
+  }
+  session.finish();
+  render_checkpoint_report(ctx.out(), session.checkpoint());
+  return 0;
+}
+
+int cmd_merge_shards(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  std::ostream& out = ctx.out();
+  const std::string inputs = args.get_string("inputs", "");
+  if (inputs.empty()) {
+    throw std::invalid_argument(
+        "merge-shards: --inputs a.ckpt,b.ckpt,... is required");
+  }
+  std::vector<io::Checkpoint> shards;
+  std::size_t start = 0;
+  while (start <= inputs.size()) {
+    const std::size_t comma = inputs.find(',', start);
+    const std::string path =
+        inputs.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (path.empty()) {
+      throw std::invalid_argument("merge-shards: empty path in --inputs");
+    }
+    shards.push_back(io::load_checkpoint_file(path));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  const io::Checkpoint merged = io::merge_checkpoints(shards);
+  if (args.has("output")) {
+    const std::string output = args.get_string("output", "");
+    io::save_checkpoint_file(output, merged);
+    out << "merged checkpoint: wrote " << output << "\n";
+  }
+  out << "merged " << shards.size() << " shard(s): " << merged.units.size() << "/"
+      << merged.total_units << " units\n";
+  render_checkpoint_report(out, merged);
+  ctx.root().set("shards", static_cast<double>(shards.size()));
+  ctx.root().set("units_merged", static_cast<double>(merged.units.size()));
+  ctx.root().set("units_total", static_cast<double>(merged.total_units));
+  // Non-zero when units are missing, so scripts (and CI) can demand a
+  // complete merge without parsing the report.
+  return merged.complete() ? 0 : 1;
 }
 
 int cmd_map(CommandContext& ctx) {
@@ -421,6 +607,13 @@ int run_command(const Args& args, std::ostream& out) {
   ctx.metrics().set_label("command", cmd);
   if (args.has("kernel")) {
     ctx.metrics().set_label("kernel", args.get_string("kernel", ""));
+  }
+  // Shard identity travels in the metrics labels so a merged document
+  // (RunMetrics::merge keeps the merger's labels, adopts shard-only ones)
+  // still says which slice each export described.
+  if (args.has("shard-count")) {
+    ctx.metrics().set_label("shard_index", args.get_string("shard-index", "0"));
+    ctx.metrics().set_label("shard_count", args.get_string("shard-count", "1"));
   }
 
   // --trace FILE: collect a timeline for the whole handler and export it

@@ -48,6 +48,12 @@ int cmd_exact(CommandContext& ctx);
 /// Phase scan of q = s_c/s_Nc.
 int cmd_phase(CommandContext& ctx);
 
+/// Repeated noisy-bisection threshold location (shardable per repeat).
+int cmd_threshold(CommandContext& ctx);
+
+/// Fold shard checkpoints into one final report (refuses mismatches).
+int cmd_merge_shards(CommandContext& ctx);
+
 /// ASCII coverage heatmap of one deployment (optionally saved/loaded).
 int cmd_map(CommandContext& ctx);
 

@@ -1,5 +1,6 @@
 #include "fvc/core/camera.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "fvc/geometry/angle.hpp"
@@ -7,10 +8,19 @@
 namespace fvc::core {
 
 void validate(const Camera& cam) {
-  if (cam.radius < 0.0) {
-    throw std::invalid_argument("Camera: negative sensing radius");
+  // Non-finite fields slip through ordered comparisons (NaN compares false
+  // against everything), so reject them explicitly: a single NaN position
+  // or radius silently poisons every coverage predicate downstream.
+  if (!std::isfinite(cam.position.x) || !std::isfinite(cam.position.y)) {
+    throw std::invalid_argument("Camera: position must be finite");
   }
-  if (!(cam.fov > 0.0) || cam.fov > geom::kTwoPi) {
+  if (!std::isfinite(cam.orientation)) {
+    throw std::invalid_argument("Camera: orientation must be finite");
+  }
+  if (!std::isfinite(cam.radius) || cam.radius < 0.0) {
+    throw std::invalid_argument("Camera: sensing radius must be finite and non-negative");
+  }
+  if (!std::isfinite(cam.fov) || !(cam.fov > 0.0) || cam.fov > geom::kTwoPi) {
     throw std::invalid_argument("Camera: angle of view must be in (0, 2*pi]");
   }
 }

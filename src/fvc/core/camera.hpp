@@ -29,8 +29,9 @@ struct Camera {
   }
 };
 
-/// Validate a camera's parameters; throws std::invalid_argument when the
-/// radius is negative or the angle of view is outside (0, 2*pi].
+/// Validate a camera's parameters; throws std::invalid_argument when any
+/// field is non-finite, the radius is negative, or the angle of view is
+/// outside (0, 2*pi].
 void validate(const Camera& cam);
 
 }  // namespace fvc::core

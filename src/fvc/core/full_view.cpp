@@ -124,7 +124,7 @@ bool k_covered(const Network& net, const geom::Vec2& p, std::size_t k) {
 
 std::size_t implied_k(double theta) {
   validate_theta(theta);
-  return static_cast<std::size_t>(std::ceil(geom::kPi / theta - 1e-12));
+  return geom::sector_count(geom::kPi, theta);
 }
 
 }  // namespace fvc::core

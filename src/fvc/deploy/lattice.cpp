@@ -66,7 +66,9 @@ std::size_t per_site_for_fov(double fov) {
   if (!(fov > 0.0) || fov > geom::kTwoPi) {
     throw std::invalid_argument("per_site_for_fov: fov must be in (0, 2*pi]");
   }
-  return static_cast<std::size_t>(std::ceil(geom::kTwoPi / fov - 1e-12));
+  // Same rounding rule as the sector partitions (geom/angle.hpp), so a fov
+  // that divides 2*pi up to float noise yields exactly 2*pi/fov cameras.
+  return geom::sector_count(geom::kTwoPi, fov);
 }
 
 }  // namespace fvc::deploy

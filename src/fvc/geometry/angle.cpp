@@ -47,4 +47,28 @@ double lerp_ccw(double a, double b, double t) {
   return normalize_angle(a + t * ccw_delta(a, b));
 }
 
+bool sector_division_exact(double total, double part) {
+  const double q = total / part;
+  const double r = std::round(q);
+  return r > 0.0 && std::abs(q - r) <= kSectorDivisionTol * q;
+}
+
+std::size_t sector_count(double total, double part) {
+  const double q = total / part;
+  const double r = std::round(q);
+  if (r > 0.0 && std::abs(q - r) <= kSectorDivisionTol * q) {
+    return static_cast<std::size_t>(r);
+  }
+  return static_cast<std::size_t>(std::ceil(q));
+}
+
+std::size_t full_sector_count(double total, double part) {
+  const double q = total / part;
+  const double r = std::round(q);
+  if (r > 0.0 && std::abs(q - r) <= kSectorDivisionTol * q) {
+    return static_cast<std::size_t>(r);
+  }
+  return static_cast<std::size_t>(std::floor(q));
+}
+
 }  // namespace fvc::geom

@@ -13,6 +13,8 @@
 
 #pragma once
 
+#include <cstddef>
+
 namespace fvc::geom {
 
 inline constexpr double kPi = 3.14159265358979323846;
@@ -40,5 +42,39 @@ inline constexpr double kHalfPi = 0.5 * kPi;
 
 /// Linear interpolation along the CCW arc from `a` to `b` (t in [0,1]).
 [[nodiscard]] double lerp_ccw(double a, double b, double t);
+
+/// --- Sector-count rounding rule (single source of truth) -----------------
+///
+/// The paper's sector constructions divide a total angle (pi or 2*pi) by a
+/// sector angle, and three different decisions hang off that quotient: the
+/// Theorem 1/2 sector counts (ceil(pi/theta), ceil(2*pi/theta)), the
+/// implied coverage degree, and whether the partition geometry needs the
+/// residual sector T_{k+1} (2*pi mod w != 0).  With floating-point theta,
+/// "divides exactly" is a tolerance decision — and if the count and the
+/// residual branch use different tolerances they can disagree, producing a
+/// partition with one sector more or fewer than the count it pairs with.
+/// Every such decision in the library goes through these helpers.
+///
+/// Rule: the quotient `total/part` is treated as exact when it lies within
+/// `kSectorDivisionTol` (relative) of an integer — wide enough to absorb
+/// the few-ulp noise of representing pi/theta in doubles, narrow enough
+/// that a deliberate offset of 1e-9 rad (relative deviation ~6e-10) still
+/// counts as inexact and rounds up.
+inline constexpr double kSectorDivisionTol = 1e-12;
+
+/// True when `total/part` is an integer under the rounding rule.
+/// \pre part > 0, total > 0
+[[nodiscard]] bool sector_division_exact(double total, double part);
+
+/// ceil(total/part) under the rounding rule: the nearest integer when the
+/// division is exact, the true ceiling otherwise.
+/// \pre part > 0, total > 0
+[[nodiscard]] std::size_t sector_count(double total, double part);
+
+/// floor(total/part) under the rounding rule; equals sector_count when the
+/// division is exact and sector_count - 1 otherwise.  This is the number
+/// of *full* sectors the partition lays down before the residual.
+/// \pre part > 0, total > 0
+[[nodiscard]] std::size_t full_sector_count(double total, double part);
 
 }  // namespace fvc::geom

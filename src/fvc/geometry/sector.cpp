@@ -40,18 +40,22 @@ std::vector<Arc> sector_partition(double sector_angle, double start_line) {
   }
   // Paper construction (Figures 4 and 6): floor(2*pi/w) full sectors T_j,
   // then — when a remainder region T_alpha is left — one extra sector of
-  // the full width centred on T_alpha's bisector.
-  const auto k = static_cast<std::size_t>(std::floor(kTwoPi / sector_angle + 1e-12));
+  // the full width centred on T_alpha's bisector.  Whether a remainder is
+  // left is decided by the shared sector-count rounding rule (angle.hpp),
+  // so the partition always has exactly sector_count(2*pi, w) arcs and can
+  // never disagree with the Theorem 1/2 counts derived from the same rule.
+  const std::size_t k = full_sector_count(kTwoPi, sector_angle);
+  const bool exact = sector_division_exact(kTwoPi, sector_angle);
   std::vector<Arc> arcs;
   arcs.reserve(k + 1);
   for (std::size_t j = 0; j < k; ++j) {
     arcs.push_back(Arc::from_start(start_line + static_cast<double>(j) * sector_angle,
                                    sector_angle));
   }
-  const double remainder = kTwoPi - static_cast<double>(k) * sector_angle;
-  if (remainder > 1e-9) {
+  if (!exact) {
     // T_alpha spans [start + k*angle, start + 2*pi]; T_{k+1} shares its
     // bisector but has full width `sector_angle`.
+    const double remainder = kTwoPi - static_cast<double>(k) * sector_angle;
     const double alpha_bisector =
         normalize_angle(start_line + static_cast<double>(k) * sector_angle + 0.5 * remainder);
     arcs.push_back(Arc::centered(alpha_bisector, 0.5 * sector_angle));
@@ -60,7 +64,10 @@ std::vector<Arc> sector_partition(double sector_angle, double start_line) {
 }
 
 std::size_t sector_partition_size(double sector_angle) {
-  return sector_partition(sector_angle).size();
+  if (!(sector_angle > 0.0) || sector_angle > kTwoPi) {
+    throw std::invalid_argument("sector_partition_size: sector_angle must be in (0, 2*pi]");
+  }
+  return sector_count(kTwoPi, sector_angle);
 }
 
 }  // namespace fvc::geom

@@ -28,7 +28,10 @@ void save_cameras(std::ostream& os, std::span<const core::Camera> cameras);
 
 /// Read cameras from `is`.
 /// \throws std::runtime_error on a missing/unknown header, malformed line,
-/// or invalid camera parameters (every loaded camera is validated).
+/// or invalid camera parameters; every loaded camera is validated (finite
+/// fields, radius >= 0, fov in (0, 2*pi]) and errors name the offending
+/// line, so a nan/inf coordinate or a negative radius cannot silently
+/// poison downstream evaluations.
 [[nodiscard]] std::vector<core::Camera> load_cameras(std::istream& is);
 
 /// File-path conveniences.

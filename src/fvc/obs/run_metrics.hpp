@@ -122,6 +122,18 @@ class RunMetrics {
   }
   [[nodiscard]] const std::map<std::string, std::string>& labels() const { return labels_; }
 
+  /// Fold another run's document into this one: the trees merge
+  /// structurally (see MetricsNode::merge) and the other run's labels fill
+  /// in keys this run lacks — keys present in both keep THIS run's value,
+  /// so a merge of shard documents keeps the merger's identity labels
+  /// while still adopting shard-only annotations.
+  void merge(const RunMetrics& other) {
+    root_.merge(other.root_);
+    for (const auto& [key, value] : other.labels()) {
+      labels_.emplace(key, value);
+    }
+  }
+
  private:
   MetricsNode root_;
   std::map<std::string, std::string> labels_;

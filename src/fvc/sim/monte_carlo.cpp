@@ -44,13 +44,26 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
 GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t trials,
                                         std::uint64_t master_seed, std::size_t threads,
                                         const RunOptions& options) {
-  if (options.cancel == nullptr && !options.progress && options.metrics == nullptr) {
+  if (options.cancel == nullptr && !options.progress && options.metrics == nullptr &&
+      options.trial_indices.empty() && !options.on_trial) {
     return estimate_grid_events(cfg, trials, master_seed, threads);
   }
   if (trials == 0) {
     throw std::invalid_argument("estimate_grid_events: trials must be >= 1");
   }
   validate(cfg);
+  const std::span<const std::uint64_t> subset = options.trial_indices;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    if (subset[i] >= trials || (i > 0 && subset[i] <= subset[i - 1])) {
+      throw std::invalid_argument(
+          "estimate_grid_events: trial_indices must be strictly increasing and < trials");
+    }
+  }
+  // The work list this call actually runs: all of [0, trials), or the
+  // caller's shard/remainder subset.  Work slot w runs trial index
+  // subset[w], whose seed depends only on (master_seed, index) — never on
+  // the slot — so partitions recombine bit-exactly.
+  const std::size_t work = subset.empty() ? trials : subset.size();
   const bool metered = options.metrics != nullptr;
   const std::uint64_t run_start_ns = metered ? obs::monotonic_ns() : 0;
   struct Slot {
@@ -59,17 +72,18 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
     std::uint64_t ns = 0;
     bool ran = false;
   };
-  std::vector<Slot> slots(trials);
+  std::vector<Slot> slots(work);
   std::mutex progress_mutex;
   std::size_t done = 0;
   PoolMetrics pool;
   parallel_for(
-      trials, threads,
-      [&](std::size_t t) {
+      work, threads,
+      [&](std::size_t w) {
         if (options.cancel != nullptr && options.cancel->stop_requested()) {
           return;  // the slot stays !ran; its seed is simply unused
         }
-        Slot& slot = slots[t];
+        Slot& slot = slots[w];
+        const std::uint64_t t = subset.empty() ? w : subset[w];
         const std::uint64_t seed = stats::mix64(master_seed, t);
         {
           const obs::TraceScope scope("trial", obs::TraceCategory::kTrial,
@@ -83,10 +97,16 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
           }
         }
         slot.ran = true;
-        if (options.progress) {
+        if (options.progress || options.on_trial) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
-          options.progress(++done, trials);
-          obs::trace_counter("trials_done", obs::TraceCategory::kTrial, done);
+          if (options.on_trial) {
+            options.on_trial(t, slot.events);
+          }
+          ++done;
+          if (options.progress) {
+            options.progress(done, work);
+            obs::trace_counter("trials_done", obs::TraceCategory::kTrial, done);
+          }
         }
       },
       metered ? &pool : nullptr);
@@ -119,9 +139,9 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
     // exceed this wall time under parallelism.
     node.add_elapsed_ns(obs::monotonic_ns() - run_start_ns);
     obs::MetricsNode& trials_node = node.child("trials");
-    trials_node.set("trials_requested", static_cast<double>(trials));
+    trials_node.set("trials_requested", static_cast<double>(work));
     trials_node.set("trials_run", static_cast<double>(ran));
-    trials_node.set("trials_cancelled", static_cast<double>(trials - ran));
+    trials_node.set("trials_cancelled", static_cast<double>(work - ran));
     trials_node.set("early_exit_necessary", static_cast<double>(early_exits));
     trials_node.set("rows_scanned", static_cast<double>(merged.rows_scanned));
     trials_node.set("trial_ns_min", static_cast<double>(trial_time.min()));
@@ -149,6 +169,38 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
       core::describe_kernel_dispatch(*merged.kernel, engine_node);
     }
     describe(pool, node.child("pool"));
+  }
+  return est;
+}
+
+std::vector<double> encode_trial_events(const TrialEvents& events) {
+  return {events.all_necessary ? 1.0 : 0.0, events.all_full_view ? 1.0 : 0.0,
+          events.all_sufficient ? 1.0 : 0.0};
+}
+
+TrialEvents decode_trial_events(std::span<const double> payload) {
+  if (payload.size() != 3) {
+    throw std::invalid_argument("decode_trial_events: payload must hold 3 values");
+  }
+  for (const double v : payload) {
+    if (v != 0.0 && v != 1.0) {
+      throw std::invalid_argument("decode_trial_events: payload values must be 0 or 1");
+    }
+  }
+  TrialEvents events;
+  events.all_necessary = payload[0] == 1.0;
+  events.all_full_view = payload[1] == 1.0;
+  events.all_sufficient = payload[2] == 1.0;
+  return events;
+}
+
+GridEventsEstimate aggregate_grid_events(std::span<const TrialEvents> events) {
+  GridEventsEstimate est;
+  est.necessary.trials = est.full_view.trials = est.sufficient.trials = events.size();
+  for (const TrialEvents& ev : events) {
+    est.necessary.successes += ev.all_necessary ? 1 : 0;
+    est.full_view.successes += ev.all_full_view ? 1 : 0;
+    est.sufficient.successes += ev.all_sufficient ? 1 : 0;
   }
   return est;
 }

@@ -7,6 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
 
 #include "fvc/obs/cancellation.hpp"
 #include "fvc/sim/trial.hpp"
@@ -57,6 +60,17 @@ struct RunOptions {
   /// stats, early-exit counts), `engine` (merged GridEvalEngine counters),
   /// `pool` (worker busy/idle).  Collection never changes the estimates.
   obs::MetricsNode* metrics = nullptr;
+  /// When non-empty, run ONLY these trial indices (a shard of [0, trials),
+  /// or the not-yet-done remainder of a resumed run).  Each index t still
+  /// draws its seed as mix64(master_seed, t), so the union of disjoint
+  /// subsets reproduces the unsharded run bit-for-bit.  Indices must be
+  /// strictly increasing and < trials.  The returned estimate counts only
+  /// the trials this call ran; callers folding a sharded run aggregate
+  /// via `on_trial` payloads instead.
+  std::span<const std::uint64_t> trial_indices;
+  /// Called after every completed trial with its index and events,
+  /// serialized under an internal mutex (the checkpoint hook).
+  std::function<void(std::uint64_t index, const TrialEvents& events)> on_trial;
 };
 
 /// Options-taking variant of `estimate_grid_events`.  The estimate is
@@ -67,6 +81,20 @@ struct RunOptions {
                                                       std::uint64_t master_seed,
                                                       std::size_t threads,
                                                       const RunOptions& options);
+
+/// Checkpoint payload codec for one trial: the three event bits as
+/// doubles, in TrialEvents field order.  The layout is part of the
+/// "simulate" entry of the fvc.checkpoint/1 format.
+[[nodiscard]] std::vector<double> encode_trial_events(const TrialEvents& events);
+/// Inverse of `encode_trial_events`; throws std::invalid_argument when the
+/// payload is not three values in {0, 1}.
+[[nodiscard]] TrialEvents decode_trial_events(std::span<const double> payload);
+
+/// Fold per-trial events (e.g. decoded from merged checkpoints) into the
+/// estimate the uninterrupted run would have produced.  The fold is
+/// order-independent — success counts are integer sums — so any shard
+/// interleaving yields the same result.
+[[nodiscard]] GridEventsEstimate aggregate_grid_events(std::span<const TrialEvents> events);
 
 /// Monte-Carlo estimates of the per-point fractions, i.e. the empirical
 /// counterparts of the expected-area probabilities P(F_N,P)-bar, P_N, P_S.

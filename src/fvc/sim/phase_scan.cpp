@@ -23,23 +23,38 @@ std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
       throw std::invalid_argument("run_phase_scan: q values must be positive");
     }
   }
+  for (std::size_t i = 0; i < cfg.point_indices.size(); ++i) {
+    if (cfg.point_indices[i] >= cfg.q_values.size() ||
+        (i > 0 && cfg.point_indices[i] <= cfg.point_indices[i - 1])) {
+      throw std::invalid_argument(
+          "run_phase_scan: point_indices must be strictly increasing and "
+          "< q_values.size()");
+    }
+  }
   validate(cfg.base);
   const std::size_t threads =
       cfg.threads == 0 ? default_thread_count() : cfg.threads;
   const double csa_n =
       analysis::csa_necessary(static_cast<double>(cfg.base.n), cfg.base.theta);
-  const std::size_t total_trials = cfg.q_values.size() * cfg.trials;
+  // The points this call actually scans (all of them, or a shard/resume
+  // subset); point i keeps seed mix64(master_seed, i) either way.
+  const std::size_t n_points =
+      cfg.point_indices.empty() ? cfg.q_values.size() : cfg.point_indices.size();
+  const std::size_t total_trials = n_points * cfg.trials;
 
   std::vector<PhasePoint> points;
-  points.reserve(cfg.q_values.size());
+  points.reserve(n_points);
   SweepOptions sweep;
   sweep.cancel = cfg.cancel;  // cancellation is polled per *point* here and
                               // per *trial* inside estimate_grid_events
-  run_sweep(cfg.q_values.size(), sweep, [&](std::size_t i) {
+  run_sweep(n_points, sweep, [&](std::size_t w) {
+    const std::size_t i =
+        cfg.point_indices.empty() ? w : static_cast<std::size_t>(cfg.point_indices[w]);
     const double q = cfg.q_values[i];
     TrialConfig point_cfg = cfg.base;
     point_cfg.profile = cfg.base.profile.with_weighted_area(q * csa_n);
     PhasePoint point;
+    point.index = i;
     point.q = q;
     point.weighted_area = point_cfg.profile.weighted_sensing_area();
     RunOptions options;
@@ -47,8 +62,8 @@ std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
     if (cfg.progress) {
       // Fine-grained, scan-wide progress: trials from earlier points plus
       // the trials done inside the current one.
-      options.progress = [&cfg, i, total_trials](std::size_t done, std::size_t) {
-        cfg.progress(i * cfg.trials + done, total_trials);
+      options.progress = [&cfg, w, total_trials](std::size_t done, std::size_t) {
+        cfg.progress(w * cfg.trials + done, total_trials);
       };
     }
     if (cfg.metrics != nullptr) {
@@ -59,9 +74,52 @@ std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg) {
     point.events = estimate_grid_events(point_cfg, cfg.trials,
                                         stats::mix64(cfg.master_seed, i), threads,
                                         options);
+    // A point interrupted mid-estimate must not look finished: skip the
+    // checkpoint hook (and the result row) unless every trial ran.
+    if (point.events.full_view.trials != cfg.trials) {
+      return;
+    }
+    if (cfg.on_point) {
+      cfg.on_point(point);
+    }
     points.push_back(point);
   });
   return points;
+}
+
+std::vector<double> encode_phase_point(const PhasePoint& point) {
+  return {point.q,
+          point.weighted_area,
+          static_cast<double>(point.events.necessary.successes),
+          static_cast<double>(point.events.necessary.trials),
+          static_cast<double>(point.events.full_view.successes),
+          static_cast<double>(point.events.full_view.trials),
+          static_cast<double>(point.events.sufficient.successes),
+          static_cast<double>(point.events.sufficient.trials)};
+}
+
+PhasePoint decode_phase_point(std::uint64_t index, std::span<const double> payload) {
+  if (payload.size() != 8) {
+    throw std::invalid_argument("decode_phase_point: payload must hold 8 values");
+  }
+  for (std::size_t i = 2; i < 8; ++i) {
+    if (payload[i] < 0.0 || payload[i] != static_cast<double>(
+                                              static_cast<std::uint64_t>(payload[i]))) {
+      throw std::invalid_argument(
+          "decode_phase_point: counts must be non-negative integers");
+    }
+  }
+  PhasePoint point;
+  point.index = static_cast<std::size_t>(index);
+  point.q = payload[0];
+  point.weighted_area = payload[1];
+  point.events.necessary.successes = static_cast<std::size_t>(payload[2]);
+  point.events.necessary.trials = static_cast<std::size_t>(payload[3]);
+  point.events.full_view.successes = static_cast<std::size_t>(payload[4]);
+  point.events.full_view.trials = static_cast<std::size_t>(payload[5]);
+  point.events.sufficient.successes = static_cast<std::size_t>(payload[6]);
+  point.events.sufficient.trials = static_cast<std::size_t>(payload[7]);
+  return point;
 }
 
 }  // namespace fvc::sim

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "fvc/sim/monte_carlo.hpp"
@@ -22,6 +24,7 @@ namespace fvc::sim {
 
 /// One row of a phase scan.
 struct PhasePoint {
+  std::size_t index = 0;        ///< position in the q grid (the shard unit)
   double q = 0.0;               ///< multiplier of the necessary CSA
   double weighted_area = 0.0;   ///< realized s_c at this point
   GridEventsEstimate events;    ///< MC event probabilities
@@ -43,11 +46,30 @@ struct PhaseScanConfig {
   obs::MetricsNode* metrics = nullptr;
   obs::CancellationToken* cancel = nullptr;
   obs::ProgressFn progress;
+  /// When non-empty, scan ONLY these q-grid indices (a shard of
+  /// [0, q_values.size()), or the remainder of a resumed scan).  Point i
+  /// keeps its seed mix64(master_seed, i) regardless of which process runs
+  /// it, so disjoint subsets recombine into the unsharded scan bit-exactly.
+  /// Indices must be strictly increasing and < q_values.size().
+  std::span<const std::uint64_t> point_indices;
+  /// Called after each finished point (the checkpoint hook).  Points run
+  /// sequentially, so no locking is involved.
+  std::function<void(const PhasePoint& point)> on_point;
 };
 
 /// Run the scan.  The base profile's *shape* (group fractions, fov values
 /// and radius ratios) is preserved; only the overall sensing-area scale is
 /// dialed per point.
 [[nodiscard]] std::vector<PhasePoint> run_phase_scan(const PhaseScanConfig& cfg);
+
+/// Checkpoint payload codec for one scan point: [q, weighted_area, then
+/// the three (successes, trials) pairs of the events].  The layout is part
+/// of the "phase" entry of the fvc.checkpoint/1 format; the point's index
+/// travels next to the payload in the checkpoint unit itself.
+[[nodiscard]] std::vector<double> encode_phase_point(const PhasePoint& point);
+/// Inverse of `encode_phase_point` (index comes from the checkpoint unit);
+/// throws std::invalid_argument on a malformed payload.
+[[nodiscard]] PhasePoint decode_phase_point(std::uint64_t index,
+                                            std::span<const double> payload);
 
 }  // namespace fvc::sim

@@ -46,4 +46,49 @@ double find_threshold(const ProbabilityAt& estimate, const ThresholdSearchConfig
   return 0.5 * (lo + hi);
 }
 
+std::vector<ThresholdOutcome> run_threshold_repeats(const ProbabilityAt& estimate,
+                                                    const ThresholdRepeatConfig& config) {
+  if (config.repeats == 0) {
+    throw std::invalid_argument("run_threshold_repeats: repeats must be >= 1");
+  }
+  for (std::size_t i = 0; i < config.repeat_indices.size(); ++i) {
+    if (config.repeat_indices[i] >= config.repeats ||
+        (i > 0 && config.repeat_indices[i] <= config.repeat_indices[i - 1])) {
+      throw std::invalid_argument(
+          "run_threshold_repeats: repeat_indices must be strictly increasing and "
+          "< repeats");
+    }
+  }
+  const std::size_t count = config.repeat_indices.empty()
+                                ? config.repeats
+                                : config.repeat_indices.size();
+  std::vector<ThresholdOutcome> outcomes;
+  outcomes.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    if (config.base.cancel != nullptr && config.base.cancel->stop_requested()) {
+      break;  // finished repeats only; a partial bisection is not resumable
+    }
+    const std::uint64_t r =
+        config.repeat_indices.empty() ? w : config.repeat_indices[w];
+    ThresholdSearchConfig repeat_cfg = config.base;
+    repeat_cfg.seed = stats::mix64(config.base.seed, r);
+    // The per-repeat cancel stays wired so a mid-bisection SIGINT still
+    // stops promptly — but a repeat it interrupted is discarded below, not
+    // reported as finished.
+    repeat_cfg.progress = {};
+    const double q = find_threshold(estimate, repeat_cfg);
+    if (config.base.cancel != nullptr && config.base.cancel->stop_requested()) {
+      break;  // this repeat was cut short mid-bisection; drop it
+    }
+    outcomes.push_back(ThresholdOutcome{r, q});
+    if (config.on_repeat) {
+      config.on_repeat(outcomes.back());
+    }
+    if (config.base.progress) {
+      config.base.progress(w + 1, count);
+    }
+  }
+  return outcomes;
+}
+
 }  // namespace fvc::sim

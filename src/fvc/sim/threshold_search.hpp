@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "fvc/obs/cancellation.hpp"
 
@@ -44,5 +46,38 @@ struct ThresholdSearchConfig {
 /// errors well under the local slope.
 [[nodiscard]] double find_threshold(const ProbabilityAt& estimate,
                                     const ThresholdSearchConfig& config);
+
+/// One finished repeat of a repeated threshold search.
+struct ThresholdOutcome {
+  std::uint64_t index = 0;  ///< repeat index (the shard unit)
+  double q = 0.0;           ///< crossing point this repeat located
+};
+
+/// A *repeated* search: `repeats` independent bisections, repeat r seeded
+/// with mix64(base.seed, r).  A single bisection is inherently sequential
+/// (each step's bracket depends on the previous estimate), so the repeat —
+/// not the step — is the unit that shards, checkpoints and resumes; the
+/// spread across repeats doubles as the noise bar a single bisection
+/// cannot provide.
+struct ThresholdRepeatConfig {
+  ThresholdSearchConfig base;   ///< bracket/target/iterations; base.seed is
+                                ///< the master seed, per-repeat streams are
+                                ///< derived from it
+  std::size_t repeats = 1;
+  /// When non-empty, run ONLY these repeat indices (a shard of
+  /// [0, repeats), or the remainder of a resumed run).  Strictly
+  /// increasing, each < repeats.
+  std::span<const std::uint64_t> repeat_indices;
+  /// Called after each finished repeat (the checkpoint hook).
+  std::function<void(const ThresholdOutcome& outcome)> on_repeat;
+};
+
+/// Run the repeats sequentially; a fired base.cancel stops at the next
+/// repeat boundary (finished repeats are returned; no partial repeat is
+/// ever reported, because a half-bisected bracket is not a resumable
+/// unit).  Outcomes depend only on (base config, repeat index), so
+/// disjoint index subsets recombine into the unsharded run bit-exactly.
+[[nodiscard]] std::vector<ThresholdOutcome> run_threshold_repeats(
+    const ProbabilityAt& estimate, const ThresholdRepeatConfig& config);
 
 }  // namespace fvc::sim

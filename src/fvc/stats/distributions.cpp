@@ -48,7 +48,18 @@ bool bernoulli(Pcg32& rng, double p) {
 
 namespace {
 
+/// Largest mean handed to one Knuth loop.  exp(-kKnuthChunk) ~ 9.4e-14 —
+/// fourteen orders of magnitude above the smallest normal double — so the
+/// running product compares against l long before it could underflow.
+constexpr double kKnuthChunk = 30.0;
+
 std::uint64_t poisson_knuth(Pcg32& rng, double mean) {
+  // Guard the underflow invariant at the only place it could break: a
+  // future edit raising the chunk past ~700 would make l subnormal or 0
+  // and turn the loop below into an unbounded denormal grind.
+  if (!(mean <= kKnuthChunk)) {
+    throw std::logic_error("poisson_knuth: mean exceeds the underflow-safe chunk");
+  }
   const double l = std::exp(-mean);
   std::uint64_t k = 0;
   double p = 1.0;
@@ -59,16 +70,27 @@ std::uint64_t poisson_knuth(Pcg32& rng, double mean) {
   return k - 1;
 }
 
+/// Normal approximation with continuity correction, clamped at 0.  The
+/// moments match Poisson(mean) to O(1/sqrt(mean)) relative error.
+std::uint64_t poisson_normal(Pcg32& rng, double mean) {
+  const double draw = mean + std::sqrt(mean) * standard_normal(rng);
+  const double rounded = std::floor(draw + 0.5);
+  return rounded <= 0.0 ? 0 : static_cast<std::uint64_t>(rounded);
+}
+
 }  // namespace
 
-std::uint64_t poisson(Pcg32& rng, double mean) {
+std::uint64_t poisson(Pcg32& rng, double mean, PoissonMethod method) {
   if (mean < 0.0 || !std::isfinite(mean)) {
     throw std::invalid_argument("poisson: mean must be finite and non-negative");
   }
+  if (method == PoissonMethod::kNormalAboveCutoff && mean > kPoissonNormalCutoff) {
+    return poisson_normal(rng, mean);
+  }
   std::uint64_t total = 0;
-  while (mean > 30.0) {
-    total += poisson_knuth(rng, 30.0);
-    mean -= 30.0;
+  while (mean > kKnuthChunk) {
+    total += poisson_knuth(rng, kKnuthChunk);
+    mean -= kKnuthChunk;
   }
   if (mean > 0.0) {
     total += poisson_knuth(rng, mean);

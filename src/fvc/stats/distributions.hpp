@@ -26,13 +26,38 @@ namespace fvc::stats {
 /// Bernoulli(p).
 [[nodiscard]] bool bernoulli(Pcg32& rng, double p);
 
-/// Poisson(mean).  Knuth multiplication for mean <= 30, else the normal
-/// approximation with continuity correction is *not* used — instead we
-/// split the mean: Poisson(a+b) = Poisson(a) + Poisson(b), recursing on
-/// chunks of 30, which stays exact (sum of independent Poissons) at the
-/// cost of O(mean/30) work.  Means in these experiments are at most a few
-/// thousand, so this is fast enough and bias-free.
-[[nodiscard]] std::uint64_t poisson(Pcg32& rng, double mean);
+/// How `poisson` samples (see below).  The default is the historical
+/// chunked-Knuth path, so every existing caller keeps its exact RNG stream
+/// layout; the approximate path is an explicit opt-in for the large-mean
+/// regime (the theta*n_y*r_y^2 means of Theorem 3/4 validation sweeps can
+/// reach 1e4..1e6, where O(mean) exact sampling dominates the run).
+enum class PoissonMethod {
+  /// Exact chunked Knuth multiplication: O(mean) draws, bias-free.
+  kExactChunked,
+  /// Chunked Knuth below kPoissonNormalCutoff, normal approximation with
+  /// continuity correction above it: O(1) draws at large mean, relative
+  /// moment error O(1/sqrt(mean)).  Changes the RNG stream layout, so runs
+  /// mixing methods are not comparable draw-for-draw.
+  kNormalAboveCutoff,
+};
+
+/// Mean above which kNormalAboveCutoff switches to the normal
+/// approximation.  At 256 the skewness correction it omits is ~1/16 of a
+/// standard deviation, well under the Monte-Carlo noise of any sweep that
+/// needs this path.
+inline constexpr double kPoissonNormalCutoff = 256.0;
+
+/// Poisson(mean).  The default method is the exact chunked-Knuth sampler:
+/// Knuth multiplication for mean <= 30, larger means split as
+/// Poisson(a+b) = Poisson(a) + Poisson(b) on chunks of 30, which stays
+/// exact (sum of independent Poissons) at the cost of O(mean/30) work.
+/// Chunking also keeps exp(-chunk) far above the denormal range — the
+/// running product in Knuth's loop never underflows to garbage the way a
+/// single exp(-mean) comparison would for mean >~ 745.
+/// Pass PoissonMethod::kNormalAboveCutoff to opt in to O(1) sampling at
+/// large mean (see the enum for the trade-off).
+[[nodiscard]] std::uint64_t poisson(Pcg32& rng, double mean,
+                                    PoissonMethod method = PoissonMethod::kExactChunked);
 
 /// Standard normal via Box-Muller (one value per call; the partner draw is
 /// discarded for simplicity and statelessness).

@@ -25,6 +25,40 @@ TEST(SectorCounts, MatchPaper) {
   EXPECT_EQ(sufficient_sector_count(1.0), 7u);  // ceil(6.28...) = 7
 }
 
+TEST(SectorCounts, ExactDivisorsOfPiAreNotOvercounted) {
+  // Regression for the old blanket `ceil(x - 1e-12)`: it silently
+  // UNDERCOUNTED any quotient that landed within 1e-12 BELOW an integer,
+  // and call sites disagreed about whether pi/(pi/3) = 3.0000000000000004
+  // should count as 3 or 4.  The single-sourced rule (relative snap, then
+  // ceil) pins all four paper cases.
+  EXPECT_EQ(necessary_sector_count(kHalfPi), 2u);     // ceil(pi / (pi/2)) = 2
+  EXPECT_EQ(sufficient_sector_count(kHalfPi), 4u);    // ceil(2pi / (pi/2)) = 4
+  EXPECT_EQ(necessary_sector_count(kPi / 3.0), 3u);   // ceil(pi / (pi/3)) = 3
+  EXPECT_EQ(sufficient_sector_count(kPi / 3.0), 6u);  // ceil(2pi / (pi/3)) = 6
+}
+
+TEST(SectorCounts, NearExactThetaKeepsTheDeliberateOffset) {
+  // theta a hair under pi/2 genuinely needs one more sector; a hair over
+  // needs one fewer.  1e-9 rad is ~1e3 times the snapping tolerance, so
+  // the fix must NOT flatten these into the exact case.
+  EXPECT_EQ(necessary_sector_count(kHalfPi - 1e-9), 3u);
+  EXPECT_EQ(necessary_sector_count(kHalfPi + 1e-9), 2u);
+  EXPECT_EQ(sufficient_sector_count(kHalfPi - 1e-9), 5u);
+  EXPECT_EQ(sufficient_sector_count(kHalfPi + 1e-9), 4u);
+}
+
+TEST(Csa, SectorCountJumpMovesTheCsaWithIt) {
+  // The CSA at theta = pi/2 - 1e-9 prices 3 necessary sectors, at
+  // pi/2 + 1e-9 only 2 — so the threshold must step DOWN across the jump,
+  // and the exact point must price like the upper branch (2 sectors).
+  const double n = 1000.0;
+  const double below = csa_necessary(n, kHalfPi - 1e-9);
+  const double at = csa_necessary(n, kHalfPi);
+  const double above = csa_necessary(n, kHalfPi + 1e-9);
+  EXPECT_GT(below, at);
+  EXPECT_NEAR(at, above, 1e-6 * at);
+}
+
 TEST(SectorCounts, Validation) {
   EXPECT_THROW((void)necessary_sector_count(0.0), std::invalid_argument);
   EXPECT_THROW((void)necessary_sector_count(kPi + 0.1), std::invalid_argument);

@@ -1,0 +1,238 @@
+/// CLI-level coverage of the shard / checkpoint / resume / merge flow: the
+/// same tables must come out whether a run was one process, N shards later
+/// folded by merge-shards, or a resumed invocation over an existing file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fvc/cli/commands.hpp"
+#include "support/minijson.hpp"
+
+namespace fvc::cli {
+namespace {
+
+std::pair<int, std::string> run(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  const Args args = Args::parse(static_cast<int>(argv.size()), argv.data());
+  std::ostringstream out;
+  const int code = run_command(args, out);
+  return {code, out.str()};
+}
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(CheckpointCli, CheckpointedSimulateMatchesPlainRun) {
+  const auto [plain_code, plain_out] =
+      run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "6",
+           "--grid-side", "8", "--seed", "9"});
+  ASSERT_EQ(plain_code, 0);
+  TempFile ck("/tmp/fvc_cli_ck_simulate.json");
+  const auto [code, out] =
+      run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "6",
+           "--grid-side", "8", "--seed", "9", "--checkpoint", ck.path.c_str()});
+  EXPECT_EQ(code, 0);
+  // Same estimates, same table — the folded-from-checkpoint report must be
+  // indistinguishable from the inline one.
+  EXPECT_EQ(out, plain_out);
+  EXPECT_EQ(out.find("partial:"), std::string::npos) << "unexpected partial run";
+  std::ifstream file(ck.path);
+  EXPECT_TRUE(file.good()) << "checkpoint file missing";
+}
+
+TEST(CheckpointCli, ShardedSimulateMergesToTheUnshardedReport) {
+  TempFile full("/tmp/fvc_cli_ck_full.json");
+  const auto [full_code, full_out] =
+      run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "7",
+           "--grid-side", "8", "--seed", "3", "--checkpoint", full.path.c_str()});
+  ASSERT_EQ(full_code, 0);
+
+  TempFile s0("/tmp/fvc_cli_ck_s0.json");
+  TempFile s1("/tmp/fvc_cli_ck_s1.json");
+  TempFile s2("/tmp/fvc_cli_ck_s2.json");
+  const TempFile* shards[] = {&s0, &s1, &s2};
+  for (int i = 0; i < 3; ++i) {
+    const std::string index = std::to_string(i);
+    const auto [code, out] =
+        run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "7",
+             "--grid-side", "8", "--seed", "3", "--shard-index", index.c_str(),
+             "--shard-count", "3", "--checkpoint", shards[i]->path.c_str()});
+    EXPECT_EQ(code, 0) << "shard " << i;
+    EXPECT_NE(out.find("partial:"), std::string::npos) << "shard " << i;
+  }
+
+  const std::string inputs = s0.path + "," + s1.path + "," + s2.path;
+  const auto [code, out] = run({"merge-shards", "--inputs", inputs.c_str()});
+  EXPECT_EQ(code, 0);  // complete merge
+  EXPECT_NE(out.find("merged 3 shard(s): 7/7 units"), std::string::npos);
+  // The merged report embeds exactly the unsharded table.
+  EXPECT_NE(out.find(full_out), std::string::npos);
+}
+
+TEST(CheckpointCli, MergeOfAnIncompleteSetExitsNonZero) {
+  TempFile s0("/tmp/fvc_cli_ck_half.json");
+  const auto [shard_code, shard_out] =
+      run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "6",
+           "--grid-side", "8", "--shard-index", "0", "--shard-count", "2",
+           "--checkpoint", s0.path.c_str()});
+  ASSERT_EQ(shard_code, 0);
+  const auto [code, out] = run({"merge-shards", "--inputs", s0.path.c_str()});
+  EXPECT_EQ(code, 1);  // units missing -> scripts can detect it
+  EXPECT_NE(out.find("partial:"), std::string::npos);
+}
+
+TEST(CheckpointCli, MergeRejectsShardsFromDifferentSeeds) {
+  TempFile a("/tmp/fvc_cli_ck_seed1.json");
+  TempFile b("/tmp/fvc_cli_ck_seed2.json");
+  ASSERT_EQ(run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "4",
+                 "--grid-side", "8", "--seed", "1", "--shard-index", "0",
+                 "--shard-count", "2", "--checkpoint", a.path.c_str()})
+                .first,
+            0);
+  ASSERT_EQ(run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "4",
+                 "--grid-side", "8", "--seed", "2", "--shard-index", "1",
+                 "--shard-count", "2", "--checkpoint", b.path.c_str()})
+                .first,
+            0);
+  const std::string inputs = a.path + "," + b.path;
+  EXPECT_THROW((void)run({"merge-shards", "--inputs", inputs.c_str()}),
+               std::runtime_error);
+}
+
+TEST(CheckpointCli, ResumeOfACompleteRunSkipsTheWorkAndReprintsTheReport) {
+  TempFile ck("/tmp/fvc_cli_ck_resume.json");
+  const auto [first_code, first_out] =
+      run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "5",
+           "--grid-side", "8", "--seed", "7", "--checkpoint", ck.path.c_str()});
+  ASSERT_EQ(first_code, 0);
+  const auto [code, out] =
+      run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "5",
+           "--grid-side", "8", "--seed", "7", "--checkpoint", ck.path.c_str(),
+           "--resume", "1"});
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(out, first_out);  // nothing re-ran; folded from the file alone
+}
+
+TEST(CheckpointCli, ResumeRefusesACheckpointFromAnotherConfiguration) {
+  TempFile ck("/tmp/fvc_cli_ck_mismatch.json");
+  ASSERT_EQ(run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "4",
+                 "--grid-side", "8", "--checkpoint", ck.path.c_str()})
+                .first,
+            0);
+  // Different n -> different config digest.
+  EXPECT_THROW((void)run({"simulate", "--n", "121", "--radius", "0.3", "--trials",
+                          "4", "--grid-side", "8", "--checkpoint", ck.path.c_str(),
+                          "--resume", "1"}),
+               std::runtime_error);
+  // Different seed is tracked separately from the digest.
+  EXPECT_THROW((void)run({"simulate", "--n", "120", "--radius", "0.3", "--trials",
+                          "4", "--grid-side", "8", "--seed", "99", "--checkpoint",
+                          ck.path.c_str(), "--resume", "1"}),
+               std::runtime_error);
+}
+
+TEST(CheckpointCli, FlagValidation) {
+  EXPECT_THROW((void)run({"simulate", "--shard-index", "1"}), std::invalid_argument);
+  EXPECT_THROW((void)run({"simulate", "--shard-index", "2", "--shard-count", "2"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)run({"simulate", "--resume", "1"}), std::invalid_argument);
+  EXPECT_THROW((void)run({"simulate", "--checkpoint-every", "4"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)run({"merge-shards"}), std::invalid_argument);
+  const std::string bad = ",/tmp/a.json";  // leading empty segment
+  EXPECT_THROW((void)run({"merge-shards", "--inputs", bad.c_str()}),
+               std::invalid_argument);
+}
+
+TEST(CheckpointCli, PhaseShardsMergeToTheCheckpointedScan) {
+  TempFile full("/tmp/fvc_cli_ck_phase_full.json");
+  const auto [full_code, full_out] =
+      run({"phase", "--n", "120", "--points", "4", "--trials", "5", "--seed", "2",
+           "--checkpoint", full.path.c_str()});
+  ASSERT_EQ(full_code, 0);
+  EXPECT_NE(full_out.find("P(H_N)"), std::string::npos);
+
+  TempFile s0("/tmp/fvc_cli_ck_phase_s0.json");
+  TempFile s1("/tmp/fvc_cli_ck_phase_s1.json");
+  const TempFile* shards[] = {&s0, &s1};
+  for (int i = 0; i < 2; ++i) {
+    const std::string index = std::to_string(i);
+    ASSERT_EQ(run({"phase", "--n", "120", "--points", "4", "--trials", "5",
+                   "--seed", "2", "--shard-index", index.c_str(), "--shard-count",
+                   "2", "--checkpoint", shards[i]->path.c_str()})
+                  .first,
+              0);
+  }
+  const std::string inputs = s0.path + "," + s1.path;
+  const auto [code, out] = run({"merge-shards", "--inputs", inputs.c_str()});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find(full_out), std::string::npos);
+}
+
+TEST(CheckpointCli, ThresholdCommandReportsRepeatsAndSummary) {
+  const auto [code, out] =
+      run({"threshold", "--n", "100", "--radius", "0.3", "--grid-side", "6",
+           "--trials", "4", "--repeats", "2", "--iterations", "2"});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("q threshold"), std::string::npos);
+  EXPECT_NE(out.find("mean q"), std::string::npos);
+  EXPECT_EQ(out.find("partial:"), std::string::npos);
+}
+
+TEST(CheckpointCli, ThresholdShardsMergeToTheCheckpointedRun) {
+  TempFile full("/tmp/fvc_cli_ck_thr_full.json");
+  const auto [full_code, full_out] =
+      run({"threshold", "--n", "100", "--radius", "0.3", "--grid-side", "6",
+           "--trials", "4", "--repeats", "3", "--iterations", "2", "--seed", "5",
+           "--checkpoint", full.path.c_str()});
+  ASSERT_EQ(full_code, 0);
+
+  TempFile s0("/tmp/fvc_cli_ck_thr_s0.json");
+  TempFile s1("/tmp/fvc_cli_ck_thr_s1.json");
+  const TempFile* shards[] = {&s0, &s1};
+  for (int i = 0; i < 2; ++i) {
+    const std::string index = std::to_string(i);
+    ASSERT_EQ(run({"threshold", "--n", "100", "--radius", "0.3", "--grid-side",
+                   "6", "--trials", "4", "--repeats", "3", "--iterations", "2",
+                   "--seed", "5", "--shard-index", index.c_str(), "--shard-count",
+                   "2", "--checkpoint", shards[i]->path.c_str()})
+                  .first,
+              0);
+  }
+  const std::string inputs = s0.path + "," + s1.path;
+  const auto [code, out] = run({"merge-shards", "--inputs", inputs.c_str()});
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find(full_out), std::string::npos);
+}
+
+TEST(CheckpointCli, ThresholdRejectsUnknownEvent) {
+  EXPECT_THROW((void)run({"threshold", "--event", "bogus"}), std::invalid_argument);
+}
+
+TEST(CheckpointCli, ShardedRunLabelsItsMetricsDocument) {
+  TempFile metrics("/tmp/fvc_cli_ck_metrics.json");
+  ASSERT_EQ(run({"simulate", "--n", "120", "--radius", "0.3", "--trials", "4",
+                 "--grid-side", "8", "--shard-index", "1", "--shard-count", "3",
+                 "--metrics", metrics.path.c_str()})
+                .first,
+            0);
+  std::ifstream file(metrics.path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto doc = testsupport::parse_json(buffer.str());
+  EXPECT_EQ(doc.at("labels").at("shard_index").str(), "1");
+  EXPECT_EQ(doc.at("labels").at("shard_count").str(), "3");
+}
+
+}  // namespace
+}  // namespace fvc::cli

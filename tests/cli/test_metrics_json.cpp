@@ -90,6 +90,17 @@ const JsonValue& child_named(const JsonValue& node, const std::string& name) {
 }
 
 TEST(MetricsJson, EveryCommandEmitsAValidDocument) {
+  // merge-shards folds existing checkpoint files; produce a complete one
+  // for it to consume (a 1-way "partition").
+  const char* merge_input = "/tmp/fvc_cli_metrics_merge_input.json";
+  {
+    const char* tokens[] = {"simulate", "--n",        "100", "--radius",
+                            "0.3",      "--trials",   "3",   "--grid-side",
+                            "6",        "--checkpoint", merge_input};
+    const Args args = Args::parse(11, tokens);
+    std::ostringstream out;
+    ASSERT_EQ(run_command(args, out), 0);
+  }
   const std::vector<std::vector<const char*>> invocations = {
       {"csa"},
       {"plan", "--radius", "0.1"},
@@ -97,6 +108,9 @@ TEST(MetricsJson, EveryCommandEmitsAValidDocument) {
       {"poisson"},
       {"exact", "--n", "200"},
       {"phase", "--n", "120", "--points", "2", "--trials", "3"},
+      {"threshold", "--n", "100", "--radius", "0.3", "--grid-side", "6", "--trials",
+       "3", "--repeats", "2", "--iterations", "2"},
+      {"merge-shards", "--inputs", merge_input},
       {"map", "--n", "100", "--radius", "0.3", "--side", "10"},
       {"barrier", "--n", "200", "--radius", "0.25"},
       {"track", "--n", "150", "--radius", "0.25", "--walks", "3"},
@@ -111,6 +125,7 @@ TEST(MetricsJson, EveryCommandEmitsAValidDocument) {
     check_document(r.doc, argv[0]);
     EXPECT_NE(r.output.find("metrics: wrote"), std::string::npos) << argv[0];
   }
+  std::remove(merge_input);
 }
 
 TEST(MetricsJson, SimulateEstimateSubtree) {

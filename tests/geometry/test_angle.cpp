@@ -106,6 +106,61 @@ TEST(AngleInArc, DegenerateZeroWidth) {
   EXPECT_FALSE(angle_in_arc(1.0, 1.0, -0.5));  // negative width contains nothing
 }
 
+TEST(SectorCount, ExactDivisorsSnapInsteadOfOvercounting) {
+  // The historical bug: ceil(q - 1e-12) with an ABSOLUTE epsilon.  pi/theta
+  // for theta = pi/2 is exactly 2.0 in floating point, but expressions that
+  // arrive a few ulp above (via kTwoPi/theta style chains) used to round up
+  // to 3 or down to 1 depending on the call site.  The shared rule treats a
+  // quotient within 1e-12 RELATIVE of an integer as that integer.
+  EXPECT_EQ(sector_count(kPi, kHalfPi), 2u);
+  EXPECT_EQ(sector_count(kTwoPi, kHalfPi), 4u);
+  EXPECT_EQ(sector_count(kPi, kPi / 3.0), 3u);
+  EXPECT_EQ(sector_count(kTwoPi, kPi / 3.0), 6u);
+  EXPECT_EQ(full_sector_count(kTwoPi, kHalfPi), 4u);
+  EXPECT_EQ(full_sector_count(kTwoPi, kPi / 3.0), 6u);
+  EXPECT_TRUE(sector_division_exact(kTwoPi, kHalfPi));
+  EXPECT_TRUE(sector_division_exact(kPi, kPi / 3.0));
+}
+
+TEST(SectorCount, DeliberateOffsetsStayInexact) {
+  // 1e-9 rad is a DELIBERATE perturbation (relative deviation ~6e-10, far
+  // above the 1e-12 snapping tolerance): theta slightly below pi/2 needs an
+  // extra sector, theta slightly above does not.
+  EXPECT_EQ(sector_count(kPi, kHalfPi - 1e-9), 3u);
+  EXPECT_EQ(sector_count(kPi, kHalfPi + 1e-9), 2u);
+  EXPECT_EQ(sector_count(kTwoPi, kHalfPi - 1e-9), 5u);
+  EXPECT_EQ(sector_count(kTwoPi, kHalfPi + 1e-9), 4u);
+  EXPECT_FALSE(sector_division_exact(kTwoPi, kHalfPi - 1e-9));
+  EXPECT_FALSE(sector_division_exact(kTwoPi, kHalfPi + 1e-9));
+  EXPECT_EQ(full_sector_count(kTwoPi, kHalfPi - 1e-9), 4u);
+  EXPECT_EQ(full_sector_count(kTwoPi, kHalfPi + 1e-9), 3u);
+}
+
+TEST(SectorCount, UlpNoiseSnapsToTheIntegerQuotient) {
+  // A quotient a few ulp off an integer (the error profile of computing
+  // 2*pi/(pi/3) in doubles) must land on the integer for BOTH the ceil and
+  // the floor flavor — the old code could disagree between them, producing
+  // a residual sector the count did not include.
+  const double part = kTwoPi / 6.0;          // 6 sectors, with rounding noise
+  EXPECT_EQ(sector_count(kTwoPi, part), 6u);
+  EXPECT_EQ(full_sector_count(kTwoPi, part), 6u);
+  const double noisy = kPi * (1.0 + 4.0e-16);  // ~2 ulp above pi
+  EXPECT_EQ(sector_count(kTwoPi, noisy), 2u);
+  EXPECT_EQ(full_sector_count(kTwoPi, noisy), 2u);
+}
+
+TEST(SectorCount, CeilAndFloorAgreeExactlyWhenExact) {
+  for (double part : {0.3, 0.7, 1.1, kHalfPi, kPi / 3.0, 2.0, kPi}) {
+    const std::size_t up = sector_count(kTwoPi, part);
+    const std::size_t down = full_sector_count(kTwoPi, part);
+    if (sector_division_exact(kTwoPi, part)) {
+      EXPECT_EQ(up, down) << part;
+    } else {
+      EXPECT_EQ(up, down + 1) << part;
+    }
+  }
+}
+
 TEST(LerpCcw, EndpointsAndMidpoint) {
   EXPECT_DOUBLE_EQ(lerp_ccw(1.0, 2.0, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(lerp_ccw(1.0, 2.0, 1.0), 2.0);

@@ -1,0 +1,251 @@
+#include "fvc/io/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/minijson.hpp"
+
+namespace fvc::io {
+namespace {
+
+using fvc::testsupport::JsonValue;
+using fvc::testsupport::parse_json;
+
+Checkpoint sample_checkpoint() {
+  Checkpoint cp;
+  cp.kind = "simulate";
+  cp.master_seed = 0xDEADBEEFCAFEF00DULL;
+  cp.config_digest = config_digest64("cmd=simulate;n=200;theta=1.5;");
+  cp.total_units = 5;
+  cp.shard_index = 1;
+  cp.shard_count = 2;
+  cp.units = {{1, {1.0, 0.0, 1.0}}, {3, {0.0, 0.0, 0.0}}};
+  return cp;
+}
+
+TEST(Checkpoint, SchemaGolden) {
+  // The on-disk document is the contract other tooling (merge-shards, CI
+  // golden checks) reads; pin its field layout via an independent parser.
+  std::ostringstream os;
+  write_checkpoint(os, sample_checkpoint());
+  const JsonValue doc = parse_json(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").str(), "fvc.checkpoint/1");
+  EXPECT_EQ(doc.at("kind").str(), "simulate");
+  EXPECT_EQ(doc.at("master_seed").str(), "0xdeadbeefcafef00d");
+  EXPECT_EQ(doc.at("total_units").number(), 5.0);
+  EXPECT_EQ(doc.at("shard_index").number(), 1.0);
+  EXPECT_EQ(doc.at("shard_count").number(), 2.0);
+  // config_digest is also a hex string (64-bit values do not survive a
+  // round-trip through JSON doubles).
+  EXPECT_TRUE(doc.at("config_digest").is_string());
+  EXPECT_EQ(doc.at("config_digest").str().substr(0, 2), "0x");
+  const auto& units = doc.at("units").arr();
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].at("index").number(), 1.0);
+  ASSERT_EQ(units[0].at("payload").arr().size(), 3u);
+  EXPECT_EQ(units[0].at("payload").arr()[0].number(), 1.0);
+  EXPECT_EQ(units[1].at("index").number(), 3.0);
+}
+
+TEST(Checkpoint, RoundTripIsExact) {
+  Checkpoint cp = sample_checkpoint();
+  cp.master_seed = 0xFFFFFFFFFFFFFFFFULL;  // > 2^53: breaks if stored as a double
+  cp.units[0].payload = {0.1, 1e-300, 1.7976931348623157e308};
+  std::stringstream ss;
+  write_checkpoint(ss, cp);
+  const Checkpoint back = read_checkpoint(ss);
+  EXPECT_EQ(back.kind, cp.kind);
+  EXPECT_EQ(back.master_seed, cp.master_seed);
+  EXPECT_EQ(back.config_digest, cp.config_digest);
+  EXPECT_EQ(back.total_units, cp.total_units);
+  EXPECT_EQ(back.shard_index, cp.shard_index);
+  EXPECT_EQ(back.shard_count, cp.shard_count);
+  ASSERT_EQ(back.units.size(), cp.units.size());
+  for (std::size_t i = 0; i < cp.units.size(); ++i) {
+    EXPECT_EQ(back.units[i].index, cp.units[i].index);
+    EXPECT_EQ(back.units[i].payload, cp.units[i].payload) << i;  // bit-exact
+  }
+}
+
+TEST(Checkpoint, NonFinitePayloadRejectedAtWrite) {
+  Checkpoint cp = sample_checkpoint();
+  cp.units[0].payload = {std::numeric_limits<double>::quiet_NaN()};
+  std::ostringstream os;
+  EXPECT_THROW(write_checkpoint(os, cp), std::runtime_error);
+}
+
+TEST(Checkpoint, NormalizeSortsAndDedupsLastWins) {
+  Checkpoint cp;
+  cp.total_units = 4;
+  cp.units = {{3, {1.0}}, {0, {2.0}}, {3, {9.0}}, {1, {4.0}}};
+  cp.normalize();
+  ASSERT_EQ(cp.units.size(), 3u);
+  EXPECT_EQ(cp.units[0].index, 0u);
+  EXPECT_EQ(cp.units[1].index, 1u);
+  EXPECT_EQ(cp.units[2].index, 3u);
+  EXPECT_EQ(cp.units[2].payload, (std::vector<double>{9.0}));  // last write wins
+  EXPECT_EQ(cp.completed_indices(), (std::vector<std::uint64_t>{0, 1, 3}));
+  EXPECT_FALSE(cp.complete());
+  cp.units.push_back({2, {0.0}});
+  cp.normalize();
+  EXPECT_TRUE(cp.complete());
+}
+
+TEST(Checkpoint, ReadRejectsBadDocuments) {
+  const std::string good = [] {
+    std::ostringstream os;
+    write_checkpoint(os, sample_checkpoint());
+    return os.str();
+  }();
+  // Unknown schema tag.
+  {
+    std::string doc = good;
+    const auto pos = doc.find("fvc.checkpoint/1");
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, 16, "fvc.checkpoint/9");
+    std::istringstream is(doc);
+    EXPECT_THROW((void)read_checkpoint(is), std::runtime_error);
+  }
+  // Truncated document.
+  {
+    std::istringstream is(good.substr(0, good.size() / 2));
+    EXPECT_THROW((void)read_checkpoint(is), std::runtime_error);
+  }
+  // Not JSON at all.
+  {
+    std::istringstream is("this is not a checkpoint");
+    EXPECT_THROW((void)read_checkpoint(is), std::runtime_error);
+  }
+  // Unknown key: catches silent field loss when the schema evolves.
+  {
+    std::istringstream is(R"({"schema": "fvc.checkpoint/1", "kind": "simulate",
+      "master_seed": "0x1", "config_digest": "0x1", "total_units": 1,
+      "shard_index": 0, "shard_count": 1, "units": [], "bogus": 1})");
+    EXPECT_THROW((void)read_checkpoint(is), std::runtime_error);
+  }
+}
+
+TEST(Checkpoint, SaveFileIsAtomicAndLoadable) {
+  const std::string path = "/tmp/fvc_test_checkpoint.json";
+  const Checkpoint cp = sample_checkpoint();
+  save_checkpoint_file(path, cp);
+  // No staging file may survive a successful save.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  const Checkpoint back = load_checkpoint_file(path);
+  EXPECT_EQ(back.master_seed, cp.master_seed);
+  EXPECT_EQ(back.units.size(), cp.units.size());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_checkpoint_file(path), std::runtime_error);
+}
+
+TEST(Checkpoint, ConfigDigestSeparatesConfigs) {
+  const std::uint64_t a = config_digest64("cmd=simulate;n=200;");
+  const std::uint64_t b = config_digest64("cmd=simulate;n=201;");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, config_digest64("cmd=simulate;n=200;"));
+}
+
+Checkpoint shard_of(std::uint64_t index, std::uint64_t count,
+                    std::vector<CheckpointUnit> units) {
+  Checkpoint cp;
+  cp.kind = "simulate";
+  cp.master_seed = 42;
+  cp.config_digest = 7;
+  cp.total_units = 4;
+  cp.shard_index = index;
+  cp.shard_count = count;
+  cp.units = std::move(units);
+  return cp;
+}
+
+TEST(MergeCheckpoints, FoldsDisjointShardsIntoCompleteRun) {
+  const Checkpoint a = shard_of(0, 2, {{0, {1.0}}, {2, {0.0}}});
+  const Checkpoint b = shard_of(1, 2, {{1, {1.0}}, {3, {1.0}}});
+  const std::vector<Checkpoint> shards{a, b};
+  const Checkpoint merged = merge_checkpoints(shards);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.shard_index, 0u);
+  EXPECT_EQ(merged.shard_count, 1u);
+  ASSERT_EQ(merged.units.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(merged.units[i].index, i);
+  }
+  EXPECT_EQ(merged.units[2].payload, (std::vector<double>{0.0}));
+}
+
+TEST(MergeCheckpoints, PartialUnionStaysIncomplete) {
+  const Checkpoint a = shard_of(0, 2, {{0, {1.0}}});
+  const Checkpoint b = shard_of(1, 2, {{1, {1.0}}});
+  const std::vector<Checkpoint> shards{a, b};
+  const Checkpoint merged = merge_checkpoints(shards);
+  EXPECT_FALSE(merged.complete());
+  EXPECT_EQ(merged.units.size(), 2u);
+}
+
+TEST(MergeCheckpoints, RejectsMismatchedIdentity) {
+  const Checkpoint base = shard_of(0, 2, {{0, {1.0}}});
+  {
+    Checkpoint other = shard_of(1, 2, {{1, {1.0}}});
+    other.kind = "phase";
+    const std::vector<Checkpoint> shards{base, other};
+    EXPECT_THROW((void)merge_checkpoints(shards), std::runtime_error);
+  }
+  {
+    Checkpoint other = shard_of(1, 2, {{1, {1.0}}});
+    other.master_seed = 43;
+    const std::vector<Checkpoint> shards{base, other};
+    EXPECT_THROW((void)merge_checkpoints(shards), std::runtime_error);
+  }
+  {
+    Checkpoint other = shard_of(1, 2, {{1, {1.0}}});
+    other.config_digest = 8;
+    const std::vector<Checkpoint> shards{base, other};
+    EXPECT_THROW((void)merge_checkpoints(shards), std::runtime_error);
+  }
+  {
+    Checkpoint other = shard_of(1, 2, {{1, {1.0}}});
+    other.total_units = 5;
+    const std::vector<Checkpoint> shards{base, other};
+    EXPECT_THROW((void)merge_checkpoints(shards), std::runtime_error);
+  }
+  {
+    Checkpoint other = shard_of(1, 3, {{1, {1.0}}});
+    const std::vector<Checkpoint> shards{base, other};
+    EXPECT_THROW((void)merge_checkpoints(shards), std::runtime_error);
+  }
+}
+
+TEST(MergeCheckpoints, RejectsOverlappingUnits) {
+  // Two shards claiming the same unit would double-count it in the folded
+  // statistics — must refuse, not silently dedup.
+  const Checkpoint a = shard_of(0, 2, {{0, {1.0}}, {2, {1.0}}});
+  const Checkpoint b = shard_of(1, 2, {{1, {1.0}}, {2, {0.0}}});
+  const std::vector<Checkpoint> shards{a, b};
+  EXPECT_THROW((void)merge_checkpoints(shards), std::runtime_error);
+}
+
+TEST(MergeCheckpoints, RejectsEmptyInput) {
+  const std::vector<Checkpoint> none;
+  EXPECT_THROW((void)merge_checkpoints(none), std::runtime_error);
+}
+
+TEST(MergeCheckpoints, SingleShardPassesThrough) {
+  const Checkpoint a = shard_of(0, 1, {{1, {1.0}}, {0, {0.0}}});
+  const std::vector<Checkpoint> one{a};
+  const Checkpoint merged = merge_checkpoints(one);
+  EXPECT_EQ(merged.units.size(), 2u);
+  EXPECT_EQ(merged.units[0].index, 0u);
+  EXPECT_FALSE(merged.complete());  // units 2, 3 missing
+}
+
+}  // namespace
+}  // namespace fvc::io

@@ -127,6 +127,76 @@ TEST(NetworkIo, InvalidCamerasRejected) {
   EXPECT_THROW((void)load_cameras(ss2), std::runtime_error);
 }
 
+TEST(NetworkIo, NonFiniteFieldsRejectedPerClass) {
+  // Whether the stream layer parses "nan"/"inf" tokens is implementation
+  // defined; either way the loader must reject the line (as malformed or as
+  // an invalid camera) instead of letting a non-finite field poison every
+  // downstream geometric predicate.  One case per field class.
+  const char* bad_lines[] = {
+      "nan 0.5 1.0 0.1 2.0 0",   // x not finite
+      "0.5 nan 1.0 0.1 2.0 0",   // y not finite
+      "0.5 0.5 inf 0.1 2.0 0",   // orientation not finite
+      "0.5 0.5 1.0 nan 2.0 0",   // radius not finite
+      "0.5 0.5 1.0 inf 2.0 0",   // radius infinite
+      "0.5 0.5 1.0 0.1 nan 0",   // fov not finite
+      "0.5 0.5 1.0 -0.1 2.0 0",  // radius negative
+      "0.5 0.5 1.0 0.1 0.0 0",   // fov = 0 outside (0, 2*pi]
+      "0.5 0.5 1.0 0.1 -1.0 0",  // fov negative
+      "0.5 0.5 1.0 0.1 6.3 0",   // fov > 2*pi
+  };
+  for (const char* line : bad_lines) {
+    std::stringstream ss;
+    ss << kFormatHeader << "\n" << line << "\n";
+    EXPECT_THROW((void)load_cameras(ss), std::runtime_error) << line;
+  }
+}
+
+TEST(NetworkIo, ValidationErrorsNameTheOffendingLine) {
+  std::stringstream ss;
+  ss << kFormatHeader << "\n"
+     << "# comment\n"
+     << "0.5 0.5 1.0 0.1 2.0 0\n"
+     << "0.5 0.5 1.0 nan 2.0 0\n";  // line 4 of the file
+  try {
+    (void)load_cameras(ss);
+    FAIL() << "nan radius must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(NetworkIo, SaveLoadPropertyRoundTrip) {
+  // Property test over random valid fleets: whatever save_cameras writes,
+  // load_cameras must accept and reproduce bit-exactly — including awkward
+  // magnitudes near the validation boundaries.
+  stats::Pcg32 rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Camera> cameras;
+    const std::size_t count = 1 + static_cast<std::size_t>(stats::uniform_below(rng, 12));
+    for (std::size_t i = 0; i < count; ++i) {
+      Camera cam;
+      cam.position = {stats::uniform_in(rng, -10.0, 10.0),
+                      stats::uniform_in(rng, -10.0, 10.0)};
+      cam.orientation = stats::uniform_in(rng, -100.0, 100.0);
+      cam.radius = stats::uniform_in(rng, 0.0, 1e6);
+      cam.fov = stats::uniform_in(rng, 1e-12, 2.0 * 3.141592653589793);
+      cam.group = stats::uniform_below(rng, 4);
+      cameras.push_back(cam);
+    }
+    std::stringstream ss;
+    save_cameras(ss, cameras);
+    const auto loaded = load_cameras(ss);
+    ASSERT_EQ(loaded.size(), cameras.size()) << round;
+    for (std::size_t i = 0; i < cameras.size(); ++i) {
+      EXPECT_EQ(loaded[i].position, cameras[i].position) << round << ":" << i;
+      EXPECT_EQ(loaded[i].orientation, cameras[i].orientation) << round << ":" << i;
+      EXPECT_EQ(loaded[i].radius, cameras[i].radius) << round << ":" << i;
+      EXPECT_EQ(loaded[i].fov, cameras[i].fov) << round << ":" << i;
+      EXPECT_EQ(loaded[i].group, cameras[i].group) << round << ":" << i;
+    }
+  }
+}
+
 TEST(NetworkIo, FileRoundTrip) {
   const auto cameras = sample_cameras();
   const std::string path = "/tmp/fvc_io_test_cameras.txt";

@@ -1,0 +1,91 @@
+#include "fvc/sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace fvc::sim {
+namespace {
+
+TEST(ShardSpec, DefaultIsUnsharded) {
+  const ShardSpec spec;
+  EXPECT_FALSE(spec.is_sharded());
+  for (std::uint64_t u = 0; u < 10; ++u) {
+    EXPECT_TRUE(spec.owns(u));
+  }
+}
+
+TEST(ShardSpec, OwnsIsRoundRobin) {
+  const ShardSpec spec{1, 3};
+  EXPECT_TRUE(spec.is_sharded());
+  EXPECT_FALSE(spec.owns(0));
+  EXPECT_TRUE(spec.owns(1));
+  EXPECT_FALSE(spec.owns(2));
+  EXPECT_FALSE(spec.owns(3));
+  EXPECT_TRUE(spec.owns(4));
+}
+
+TEST(ShardSpec, ValidateRejectsDegenerateSpecs) {
+  EXPECT_THROW(validate(ShardSpec{0, 0}), std::invalid_argument);
+  EXPECT_THROW(validate(ShardSpec{3, 3}), std::invalid_argument);
+  EXPECT_THROW(validate(ShardSpec{7, 2}), std::invalid_argument);
+  EXPECT_NO_THROW(validate(ShardSpec{0, 1}));
+  EXPECT_NO_THROW(validate(ShardSpec{6, 7}));
+}
+
+TEST(OwnedUnits, PartitionCoversEveryUnitExactlyOnce) {
+  // The core sharding invariant: for any shard count, the union of the
+  // shards' owned units is [0, total) and the shards are pairwise disjoint.
+  for (std::size_t count : {1u, 2u, 3u, 7u, 16u}) {
+    const std::uint64_t total = 41;  // prime, deliberately not a multiple
+    std::set<std::uint64_t> seen;
+    std::size_t total_owned = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto units = owned_units(ShardSpec{i, count}, total, {});
+      EXPECT_TRUE(std::is_sorted(units.begin(), units.end()));
+      for (const std::uint64_t u : units) {
+        EXPECT_LT(u, total);
+        EXPECT_TRUE(seen.insert(u).second) << "unit " << u << " owned twice";
+      }
+      total_owned += units.size();
+    }
+    EXPECT_EQ(total_owned, total) << "count=" << count;
+  }
+}
+
+TEST(OwnedUnits, UnshardedIsIdentity) {
+  const auto units = owned_units(ShardSpec{}, 5, {});
+  EXPECT_EQ(units, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(OwnedUnits, SkipListSubtractsCompletedWork) {
+  // Resume case: units 1 and 7 already sit in the checkpoint, so shard 1/2
+  // (odd indices below 10) has only 3, 5, 9 left.
+  const std::vector<std::uint64_t> skip{1, 7};
+  const auto units = owned_units(ShardSpec{1, 2}, 10, skip);
+  EXPECT_EQ(units, (std::vector<std::uint64_t>{3, 5, 9}));
+}
+
+TEST(OwnedUnits, FullySkippedShardHasNothingPending) {
+  const std::vector<std::uint64_t> skip{0, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(owned_units(ShardSpec{0, 2}, 6, skip).empty());
+  EXPECT_TRUE(owned_units(ShardSpec{}, 6, skip).empty());
+}
+
+TEST(OwnedUnits, ZeroTotalIsEmpty) {
+  EXPECT_TRUE(owned_units(ShardSpec{0, 3}, 0, {}).empty());
+}
+
+TEST(OwnedUnits, SkipFromOtherShardsIsIgnored) {
+  // A merged skip list may contain indices other shards own; subtracting
+  // them must not disturb this shard's pending set.
+  const std::vector<std::uint64_t> skip{0, 2, 4};  // all owned by shard 0/2
+  const auto units = owned_units(ShardSpec{1, 2}, 6, skip);
+  EXPECT_EQ(units, (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace fvc::sim

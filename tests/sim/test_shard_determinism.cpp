@@ -1,0 +1,291 @@
+/// Satellite determinism suite: sharded and killed-then-resumed runs must
+/// recombine into results bitwise identical to the uninterrupted run, for
+/// all three unit kinds (trials, scan points, threshold repeats).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "fvc/geometry/angle.hpp"
+#include "fvc/obs/cancellation.hpp"
+#include "fvc/sim/monte_carlo.hpp"
+#include "fvc/sim/phase_scan.hpp"
+#include "fvc/sim/shard.hpp"
+#include "fvc/sim/threshold_search.hpp"
+#include "fvc/stats/distributions.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace fvc::sim {
+namespace {
+
+using core::HeterogeneousProfile;
+using geom::kHalfPi;
+
+TrialConfig fast_config() {
+  TrialConfig cfg{HeterogeneousProfile::homogeneous(0.3, 2.5), 120, kHalfPi,
+                  Deployment::kUniform, std::nullopt};
+  cfg.grid_side = 10;
+  return cfg;
+}
+
+void expect_same(const GridEventsEstimate& a, const GridEventsEstimate& b) {
+  EXPECT_EQ(a.necessary.trials, b.necessary.trials);
+  EXPECT_EQ(a.necessary.successes, b.necessary.successes);
+  EXPECT_EQ(a.full_view.trials, b.full_view.trials);
+  EXPECT_EQ(a.full_view.successes, b.full_view.successes);
+  EXPECT_EQ(a.sufficient.trials, b.sufficient.trials);
+  EXPECT_EQ(a.sufficient.successes, b.sufficient.successes);
+}
+
+/// Run the trials a shard owns, returning index -> events.
+std::map<std::uint64_t, TrialEvents> run_shard(const TrialConfig& cfg,
+                                               std::size_t trials,
+                                               std::uint64_t seed,
+                                               const ShardSpec& shard) {
+  const std::vector<std::uint64_t> mine = owned_units(shard, trials, {});
+  std::map<std::uint64_t, TrialEvents> out;
+  RunOptions options;
+  options.trial_indices = mine;
+  options.on_trial = [&](std::uint64_t index, const TrialEvents& events) {
+    out.emplace(index, events);
+  };
+  if (!mine.empty()) {
+    (void)estimate_grid_events(cfg, trials, seed, 4, options);
+  }
+  return out;
+}
+
+GridEventsEstimate fold(const std::map<std::uint64_t, TrialEvents>& by_index) {
+  std::vector<TrialEvents> ordered;
+  ordered.reserve(by_index.size());
+  for (const auto& [index, events] : by_index) {
+    ordered.push_back(events);
+  }
+  return aggregate_grid_events(ordered);
+}
+
+TEST(ShardDeterminism, ShardedTrialsFoldToTheUnshardedEstimate) {
+  const TrialConfig cfg = fast_config();
+  const std::size_t trials = 42;
+  const std::uint64_t seed = 17;
+  const GridEventsEstimate whole = estimate_grid_events(cfg, trials, seed, 4);
+  for (std::size_t count : {2u, 3u, 7u}) {
+    std::map<std::uint64_t, TrialEvents> all;
+    for (std::size_t i = 0; i < count; ++i) {
+      auto part = run_shard(cfg, trials, seed, ShardSpec{i, count});
+      for (auto& [index, events] : part) {
+        ASSERT_TRUE(all.emplace(index, events).second)
+            << "unit " << index << " ran in two shards";
+      }
+    }
+    ASSERT_EQ(all.size(), trials) << count << "-way";
+    expect_same(fold(all), whole);
+  }
+}
+
+TEST(ShardDeterminism, TrialPayloadCodecRoundTrips) {
+  const auto collected = run_shard(fast_config(), 12, 3, ShardSpec{});
+  ASSERT_EQ(collected.size(), 12u);
+  for (const auto& [index, events] : collected) {
+    const TrialEvents back = decode_trial_events(encode_trial_events(events));
+    EXPECT_EQ(back.all_necessary, events.all_necessary) << index;
+    EXPECT_EQ(back.all_full_view, events.all_full_view) << index;
+    EXPECT_EQ(back.all_sufficient, events.all_sufficient) << index;
+  }
+}
+
+TEST(ShardDeterminism, KilledThenResumedTrialsMatchUninterrupted) {
+  const TrialConfig cfg = fast_config();
+  const std::size_t trials = 30;
+  const std::uint64_t seed = 23;
+  const GridEventsEstimate whole = estimate_grid_events(cfg, trials, seed, 4);
+
+  // "Kill" the run after 7 trials: single-threaded so the cut is exact.
+  std::map<std::uint64_t, TrialEvents> completed;
+  obs::CancellationToken cancel;
+  RunOptions first;
+  first.cancel = &cancel;
+  first.on_trial = [&](std::uint64_t index, const TrialEvents& events) {
+    completed.emplace(index, events);
+    if (completed.size() >= 7) {
+      cancel.request_stop();
+    }
+  };
+  (void)estimate_grid_events(cfg, trials, seed, 1, first);
+  ASSERT_EQ(completed.size(), 7u);
+
+  // Resume: run exactly the units the checkpoint does not hold.
+  std::vector<std::uint64_t> done;
+  for (const auto& [index, events] : completed) {
+    done.push_back(index);
+  }
+  const std::vector<std::uint64_t> remaining = owned_units(ShardSpec{}, trials, done);
+  ASSERT_EQ(remaining.size(), trials - 7);
+  RunOptions second;
+  second.trial_indices = remaining;
+  second.on_trial = [&](std::uint64_t index, const TrialEvents& events) {
+    ASSERT_TRUE(completed.emplace(index, events).second) << index;
+  };
+  (void)estimate_grid_events(cfg, trials, seed, 4, second);
+  ASSERT_EQ(completed.size(), trials);
+  expect_same(fold(completed), whole);
+}
+
+PhaseScanConfig small_scan() {
+  PhaseScanConfig cfg;
+  cfg.base = fast_config();
+  cfg.base.n = 150;
+  cfg.q_values = {0.4, 0.8, 1.2, 2.0, 3.0};
+  cfg.trials = 20;
+  cfg.master_seed = 5;
+  cfg.threads = 4;
+  return cfg;
+}
+
+void expect_same_points(const std::vector<PhasePoint>& a,
+                        const std::vector<PhasePoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].q, b[i].q);                          // bitwise
+    EXPECT_EQ(a[i].weighted_area, b[i].weighted_area);  // bitwise
+    expect_same(a[i].events, b[i].events);
+  }
+}
+
+TEST(ShardDeterminism, ShardedPhaseScanFoldsToTheUnshardedScan) {
+  const PhaseScanConfig base = small_scan();
+  const std::vector<PhasePoint> whole = run_phase_scan(base);
+  ASSERT_EQ(whole.size(), base.q_values.size());
+  for (std::size_t count : {2u, 3u}) {
+    std::map<std::uint64_t, PhasePoint> by_index;
+    for (std::size_t i = 0; i < count; ++i) {
+      PhaseScanConfig shard_cfg = small_scan();
+      const std::vector<std::uint64_t> mine =
+          owned_units(ShardSpec{i, count}, base.q_values.size(), {});
+      shard_cfg.point_indices = mine;
+      for (const PhasePoint& point : run_phase_scan(shard_cfg)) {
+        ASSERT_TRUE(by_index.emplace(point.index, point).second) << point.index;
+      }
+    }
+    ASSERT_EQ(by_index.size(), whole.size()) << count << "-way";
+    std::vector<PhasePoint> folded;
+    for (const auto& [index, point] : by_index) {
+      folded.push_back(point);
+    }
+    expect_same_points(folded, whole);
+  }
+}
+
+TEST(ShardDeterminism, PhasePointCodecRoundTrips) {
+  PhaseScanConfig cfg = small_scan();
+  cfg.q_values = {0.7, 1.5};
+  for (const PhasePoint& point : run_phase_scan(cfg)) {
+    const PhasePoint back = decode_phase_point(point.index, encode_phase_point(point));
+    EXPECT_EQ(back.index, point.index);
+    EXPECT_EQ(back.q, point.q);
+    EXPECT_EQ(back.weighted_area, point.weighted_area);
+    expect_same(back.events, point.events);
+  }
+}
+
+/// A cheap deterministic stand-in estimator: logistic in q, seed-jittered.
+ProbabilityAt toy_estimator() {
+  return [](double q, std::uint64_t seed) {
+    stats::Pcg32 rng(seed);
+    const double noise = 0.02 * (stats::uniform01(rng) - 0.5);
+    return 1.0 / (1.0 + std::exp(-4.0 * (q - 1.0))) + noise;
+  };
+}
+
+TEST(ShardDeterminism, ShardedThresholdRepeatsFoldToTheUnshardedRun) {
+  ThresholdRepeatConfig cfg;
+  cfg.base.q_lo = 0.2;
+  cfg.base.q_hi = 3.0;
+  cfg.base.target = 0.5;
+  cfg.base.iterations = 8;
+  cfg.base.seed = 11;
+  cfg.repeats = 7;
+  const auto estimator = toy_estimator();
+  const std::vector<ThresholdOutcome> whole = run_threshold_repeats(estimator, cfg);
+  ASSERT_EQ(whole.size(), 7u);
+  for (std::size_t count : {2u, 3u}) {
+    std::map<std::uint64_t, double> by_index;
+    for (std::size_t i = 0; i < count; ++i) {
+      ThresholdRepeatConfig shard_cfg = cfg;
+      const std::vector<std::uint64_t> mine =
+          owned_units(ShardSpec{i, count}, cfg.repeats, {});
+      shard_cfg.repeat_indices = mine;
+      for (const ThresholdOutcome& out : run_threshold_repeats(estimator, shard_cfg)) {
+        ASSERT_TRUE(by_index.emplace(out.index, out.q).second) << out.index;
+      }
+    }
+    ASSERT_EQ(by_index.size(), whole.size()) << count << "-way";
+    for (const ThresholdOutcome& out : whole) {
+      EXPECT_EQ(by_index.at(out.index), out.q) << out.index;  // bitwise
+    }
+  }
+}
+
+TEST(ShardDeterminism, ResumedThresholdRepeatsMatchUninterrupted) {
+  ThresholdRepeatConfig cfg;
+  cfg.base.q_lo = 0.2;
+  cfg.base.q_hi = 3.0;
+  cfg.base.iterations = 6;
+  cfg.base.seed = 29;
+  cfg.repeats = 5;
+  const auto estimator = toy_estimator();
+  const std::vector<ThresholdOutcome> whole = run_threshold_repeats(estimator, cfg);
+
+  // Interrupt after 2 repeats...
+  obs::CancellationToken cancel;
+  ThresholdRepeatConfig first = cfg;
+  first.base.cancel = &cancel;
+  std::map<std::uint64_t, double> completed;
+  first.on_repeat = [&](const ThresholdOutcome& out) {
+    completed.emplace(out.index, out.q);
+    if (completed.size() >= 2) {
+      cancel.request_stop();
+    }
+  };
+  (void)run_threshold_repeats(estimator, first);
+  ASSERT_EQ(completed.size(), 2u);
+
+  // ...then resume the remaining indices.
+  std::vector<std::uint64_t> done;
+  for (const auto& [index, q] : completed) {
+    done.push_back(index);
+  }
+  ThresholdRepeatConfig second = cfg;
+  const std::vector<std::uint64_t> remaining =
+      owned_units(ShardSpec{}, cfg.repeats, done);
+  second.repeat_indices = remaining;
+  for (const ThresholdOutcome& out : run_threshold_repeats(estimator, second)) {
+    ASSERT_TRUE(completed.emplace(out.index, out.q).second) << out.index;
+  }
+  ASSERT_EQ(completed.size(), whole.size());
+  for (const ThresholdOutcome& out : whole) {
+    EXPECT_EQ(completed.at(out.index), out.q) << out.index;
+  }
+}
+
+TEST(ShardDeterminism, SubsetValidationRejectsBadIndices) {
+  const TrialConfig cfg = fast_config();
+  const std::vector<std::uint64_t> decreasing{3, 1};
+  RunOptions bad_order;
+  bad_order.trial_indices = decreasing;
+  EXPECT_THROW((void)estimate_grid_events(cfg, 10, 1, 1, bad_order),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> out_of_range{4, 10};
+  RunOptions bad_range;
+  bad_range.trial_indices = out_of_range;
+  EXPECT_THROW((void)estimate_grid_events(cfg, 10, 1, 1, bad_range),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fvc::sim

@@ -102,6 +102,54 @@ TEST(Poisson, RejectsBadMean) {
   Pcg32 rng(9);
   EXPECT_THROW((void)poisson(rng, -1.0), std::invalid_argument);
   EXPECT_THROW((void)poisson(rng, std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)poisson(rng, -1.0, PoissonMethod::kNormalAboveCutoff),
+               std::invalid_argument);
+}
+
+TEST(Poisson, NormalApproximationMatchesMomentsAtHugeMean) {
+  // Satellite check for the opt-in O(1) path: at mean ~1e4 the normal
+  // approximation must reproduce the Poisson mean and variance to within
+  // Monte-Carlo noise (stderr of the mean at 20000 draws is ~0.7).
+  Pcg32 rng(13);
+  OnlineStats s;
+  const double mean = 1.0e4;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(
+        poisson(rng, mean, PoissonMethod::kNormalAboveCutoff)));
+  }
+  EXPECT_NEAR(s.mean(), mean, 4.0);              // ~5 stderr
+  EXPECT_NEAR(s.variance(), mean, 0.05 * mean);  // 5% relative
+  EXPECT_GE(s.min(), 0.0);                       // clamped, never negative
+}
+
+TEST(Poisson, MethodsIdenticalBelowCutoff) {
+  // kNormalAboveCutoff only changes behavior ABOVE the cutoff; below it the
+  // two methods must consume the identical RNG stream and return identical
+  // values, so existing seeds reproduce bit-for-bit.
+  for (double mean : {0.0, 3.5, 30.0, 100.0, kPoissonNormalCutoff}) {
+    Pcg32 exact(14);
+    Pcg32 approx(14);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(poisson(exact, mean),
+                poisson(approx, mean, PoissonMethod::kNormalAboveCutoff))
+          << mean;
+    }
+  }
+}
+
+TEST(Poisson, DefaultPathSurvivesMeansPastExpUnderflow) {
+  // Regression for the underflow bug class: a single exp(-mean) threshold
+  // degenerates for mean >~ 745 (denormal/zero), turning Knuth's loop into
+  // garbage.  The chunked sampler must stay sane well past that point.
+  Pcg32 rng(15);
+  OnlineStats s;
+  const double mean = 800.0;
+  for (int i = 0; i < 4000; ++i) {
+    s.add(static_cast<double>(poisson(rng, mean)));
+  }
+  EXPECT_NEAR(s.mean(), mean, 3.0);
+  EXPECT_NEAR(s.variance(), mean, 0.15 * mean);
+  EXPECT_GT(s.min(), 0.0);  // P(X=0) = e^-800: a zero draw means underflow
 }
 
 TEST(StandardNormal, Moments) {

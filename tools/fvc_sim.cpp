@@ -13,10 +13,12 @@ namespace {
 
 /// SIGINT trampoline: request cooperative stop on the active command.
 /// request_active_command_stop is async-signal-safe (lock-free atomics
-/// only); workers stop at the next trial boundary, run_command flushes the
-/// metrics/trace for the completed work and exits with kExitCancelled
-/// (130).  A second Ctrl-C falls back to the default disposition, so a
-/// stuck run can still be killed.
+/// only); workers stop at the next trial boundary, the handler flushes a
+/// valid checkpoint covering the completed units (when --checkpoint was
+/// given), and run_command flushes the metrics/trace before exiting with
+/// kExitCancelled (130) — so an interrupted run resumes with --resume
+/// instead of starting over.  A second Ctrl-C falls back to the default
+/// disposition, so a stuck run can still be killed.
 extern "C" void handle_sigint(int) {
   fvc::cli::request_active_command_stop();
   std::signal(SIGINT, SIG_DFL);
