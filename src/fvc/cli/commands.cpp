@@ -145,6 +145,7 @@ int cmd_simulate(CommandContext& ctx) {
   options.cancel = &ctx.cancel();
   options.progress = ctx.progress_fn();
   options.metrics = ctx.metrics_child("estimate");
+  options.grain = args.get_size("grain", 0);
   const CheckpointOptions ckpt = checkpoint_options_from(args);
   if (!ckpt.unit_driven()) {
     const auto est = sim::estimate_grid_events(cfg, trials, seed,
@@ -314,6 +315,7 @@ int cmd_threshold(CommandContext& ctx) {
     point_cfg.profile = base.profile.with_weighted_area(q * csa_n);
     sim::RunOptions opt;
     opt.cancel = &ctx.cancel();
+    opt.grain = args.get_size("grain", 0);
     const auto est =
         sim::estimate_grid_events(point_cfg, trials, step_seed, threads, opt);
     if (est.full_view.trials == 0) {
@@ -439,7 +441,8 @@ int cmd_map(CommandContext& ctx) {
     obs::Span span(*node);
     const core::DenseGrid grid(side);
     const core::RegionCoverageStats stats = sim::evaluate_region_parallel_metered(
-        net, grid, theta, sim::default_thread_count(), *node);
+        net, grid, theta, sim::default_thread_count(), *node,
+        args.get_size("grain", 0));
     node->set("grid_points", static_cast<double>(stats.total_points));
     node->set("covered_1_points", static_cast<double>(stats.covered_1));
     node->set("full_view_points", static_cast<double>(stats.full_view_ok));

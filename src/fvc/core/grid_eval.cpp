@@ -670,6 +670,30 @@ GridRowStats GridEvalEngine::row_stats(std::size_t row, GridEvalScratch& scratch
   return rs;
 }
 
+GridRowStats GridEvalEngine::block_stats(std::size_t row_begin, std::size_t row_end,
+                                         GridEvalScratch& scratch) const {
+  // Row-order fold, initialized from the first row: identical to the slice
+  // [row_begin, row_end) of the serial reduction in `evaluate`, so block
+  // partitions recombine bit-exactly.
+  GridRowStats acc;
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    const GridRowStats rs = row_stats(row, scratch);
+    acc.covered_1 += rs.covered_1;
+    acc.necessary_ok += rs.necessary_ok;
+    acc.full_view_ok += rs.full_view_ok;
+    acc.sufficient_ok += rs.sufficient_ok;
+    acc.k_covered_ok += rs.k_covered_ok;
+    if (row == row_begin) {
+      acc.min_max_gap = rs.min_max_gap;
+      acc.max_max_gap = rs.max_max_gap;
+    } else {
+      acc.min_max_gap = std::min(acc.min_max_gap, rs.min_max_gap);
+      acc.max_max_gap = std::max(acc.max_max_gap, rs.max_max_gap);
+    }
+  }
+  return acc;
+}
+
 RegionCoverageStats GridEvalEngine::evaluate(GridEvalScratch& scratch) const {
   const obs::TraceScope scope("engine.evaluate", obs::TraceCategory::kEngine,
                               "points", grid_.size(), "kernel_lanes",

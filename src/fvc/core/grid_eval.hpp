@@ -31,10 +31,10 @@
 ///      atan2-bearing direction emission stays scalar — so every variant
 ///      is bit-identical (enforced by tests/core/test_grid_eval_kernels).
 ///   4. *Row batching* — rows are independent work units, so callers can
-///      evaluate them serially (`evaluate`) or hand rows to
-///      `sim::parallel_for` and merge the per-row results in row order
-///      (`sim::evaluate_region_parallel`), which keeps results bit-identical
-///      for any thread count.
+///      evaluate them serially (`evaluate`), or hand contiguous row blocks
+///      to `sim::parallel_for_blocked` via `block_stats` and merge the
+///      per-block results in block order (`sim::evaluate_region_parallel`),
+///      which keeps results bit-identical for any thread count and grain.
 ///
 /// Determinism contract: for a fixed (network, grid, theta) every method is
 /// a pure function of its arguments, and every result is **bit-identical**
@@ -165,6 +165,16 @@ class GridEvalEngine {
 
   /// All predicates fused over one row.  \pre row < rows()
   [[nodiscard]] GridRowStats row_stats(std::size_t row, GridEvalScratch& scratch) const;
+
+  /// All predicates fused over the contiguous row block
+  /// [row_begin, row_end), reduced in row order — so folding the per-block
+  /// results of a partition of [0, rows()) in block order replays the
+  /// serial scan's reduction exactly (the blocked scheduler's bit-identity
+  /// contract; see sim/parallel_region.hpp).  One engine call per block
+  /// keeps the parallel scan's callback cost at one indirection per block
+  /// rather than per row.  \pre row_begin < row_end <= rows()
+  [[nodiscard]] GridRowStats block_stats(std::size_t row_begin, std::size_t row_end,
+                                         GridEvalScratch& scratch) const;
 
   /// All predicates fused over the whole grid (serial row loop).
   /// Bit-identical to `evaluate_region_scalar`.

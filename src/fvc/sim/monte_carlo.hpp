@@ -71,6 +71,11 @@ struct RunOptions {
   /// Called after every completed trial with its index and events,
   /// serialized under an internal mutex (the checkpoint hook).
   std::function<void(std::uint64_t index, const TrialEvents& events)> on_trial;
+  /// Trials per scheduler claim (the CLI's --grain).  0 keeps the default
+  /// of 1: trial costs vary wildly (early exits), so fine-grained claiming
+  /// is what balances them, and one atomic claim is noise next to a trial.
+  /// Raise it only when trials are so short the claim cost shows up.
+  std::size_t grain = 0;
 };
 
 /// Options-taking variant of `estimate_grid_events`.  The estimate is

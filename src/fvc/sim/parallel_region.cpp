@@ -12,43 +12,70 @@ namespace fvc::sim {
 
 namespace {
 
-/// Shared core of the metered/unmetered row scans.  `counter_slots` is
-/// either empty (metrics off) or one `GridEvalCounters` per row, merged by
-/// the caller in row order.
+/// Scheduling shape of one blocked row scan, resolved once so the block
+/// callback, the slot allocation and the reduction all agree on it.
+struct BlockPlan {
+  std::size_t workers = 0;  ///< clamped worker count (slot key range)
+  std::size_t grain = 0;    ///< resolved rows per block (>= 1)
+  std::size_t blocks = 0;   ///< ceil(rows / grain)
+};
+
+BlockPlan plan_blocks(std::size_t rows, std::size_t threads, std::size_t grain) {
+  BlockPlan plan;
+  if (rows == 0) {
+    return plan;
+  }
+  plan.workers = std::clamp<std::size_t>(threads, 1, rows);
+  plan.grain = grain == 0 ? choose_grain(rows, plan.workers)
+                          : std::min(grain, rows);
+  plan.blocks = (rows + plan.grain - 1) / plan.grain;
+  return plan;
+}
+
+/// Shared core of the metered/unmetered row scans.  Workers claim `grain`
+/// contiguous rows per cursor claim and fuse them through one
+/// `block_stats` engine call, writing one slot per block; the slots are
+/// reduced in block order, which is exactly row order, so the totals are
+/// bit-identical to the serial scan for every thread count and grain.
+/// `counter_slots` is either empty (metrics off) or one `GridEvalCounters`
+/// per worker — the totals are order-independent sums, so merging the
+/// worker slots in worker order is deterministic even though which rows a
+/// worker ran is not.
 core::RegionCoverageStats scan_rows(const core::GridEvalEngine& engine,
-                                    const core::DenseGrid& grid, std::size_t threads,
+                                    const core::DenseGrid& grid, const BlockPlan& plan,
                                     std::vector<core::GridEvalCounters>* counter_slots,
                                     PoolMetrics* pool) {
   const std::size_t rows = engine.rows();
-  std::vector<core::GridRowStats> row_stats(rows);
-  parallel_for(
-      rows, threads,
-      [&](std::size_t row) {
+  std::vector<core::GridRowStats> block_stats(plan.blocks);
+  parallel_for_blocked(
+      rows, plan.workers, plan.grain,
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
         thread_local core::GridEvalScratch scratch;
         scratch.counters =
-            counter_slots != nullptr ? &(*counter_slots)[row] : nullptr;
-        row_stats[row] = engine.row_stats(row, scratch);
+            counter_slots != nullptr ? &(*counter_slots)[worker] : nullptr;
+        block_stats[begin / plan.grain] = engine.block_stats(begin, end, scratch);
         scratch.counters = nullptr;  // scratch outlives this call (thread_local)
       },
       pool);
-  // Reduce in row order.  The counts are order-independent sums and the
-  // min/max reductions are associative and commutative, so the totals are
-  // bit-identical to the serial scan regardless of how rows were scheduled.
+  // Reduce in block order.  Each block was folded over its rows in row
+  // order, so this fold replays the serial scan's row-order reduction
+  // exactly (regrouped associatively): bit-identical totals regardless of
+  // which worker ran which block.
   core::RegionCoverageStats stats;
   stats.total_points = grid.size();
-  for (std::size_t row = 0; row < rows; ++row) {
-    const core::GridRowStats& rs = row_stats[row];
-    stats.covered_1 += rs.covered_1;
-    stats.necessary_ok += rs.necessary_ok;
-    stats.full_view_ok += rs.full_view_ok;
-    stats.sufficient_ok += rs.sufficient_ok;
-    stats.k_covered_ok += rs.k_covered_ok;
-    if (row == 0) {
-      stats.min_max_gap = rs.min_max_gap;
-      stats.max_max_gap = rs.max_max_gap;
+  for (std::size_t block = 0; block < plan.blocks; ++block) {
+    const core::GridRowStats& bs = block_stats[block];
+    stats.covered_1 += bs.covered_1;
+    stats.necessary_ok += bs.necessary_ok;
+    stats.full_view_ok += bs.full_view_ok;
+    stats.sufficient_ok += bs.sufficient_ok;
+    stats.k_covered_ok += bs.k_covered_ok;
+    if (block == 0) {
+      stats.min_max_gap = bs.min_max_gap;
+      stats.max_max_gap = bs.max_max_gap;
     } else {
-      stats.min_max_gap = std::min(stats.min_max_gap, rs.min_max_gap);
-      stats.max_max_gap = std::max(stats.max_max_gap, rs.max_max_gap);
+      stats.min_max_gap = std::min(stats.min_max_gap, bs.min_max_gap);
+      stats.max_max_gap = std::max(stats.max_max_gap, bs.max_max_gap);
     }
   }
   return stats;
@@ -58,23 +85,27 @@ core::RegionCoverageStats scan_rows(const core::GridEvalEngine& engine,
 
 core::RegionCoverageStats evaluate_region_parallel(const core::Network& net,
                                                    const core::DenseGrid& grid,
-                                                   double theta, std::size_t threads) {
+                                                   double theta, std::size_t threads,
+                                                   std::size_t grain) {
   const core::GridEvalEngine engine(net, grid, theta);
-  return scan_rows(engine, grid, threads, nullptr, nullptr);
+  return scan_rows(engine, grid, plan_blocks(engine.rows(), threads, grain), nullptr,
+                   nullptr);
 }
 
 core::RegionCoverageStats evaluate_region_parallel_metered(const core::Network& net,
                                                            const core::DenseGrid& grid,
                                                            double theta,
                                                            std::size_t threads,
-                                                           obs::MetricsNode& node) {
+                                                           obs::MetricsNode& node,
+                                                           std::size_t grain) {
   const core::GridEvalEngine engine(net, grid, theta);
-  std::vector<core::GridEvalCounters> counter_slots(engine.rows());
+  const BlockPlan plan = plan_blocks(engine.rows(), threads, grain);
+  std::vector<core::GridEvalCounters> counter_slots(plan.workers);
   PoolMetrics pool;
   core::RegionCoverageStats stats;
   {
     const obs::Span scan_span(node.child("scan"));
-    stats = scan_rows(engine, grid, threads, &counter_slots, &pool);
+    stats = scan_rows(engine, grid, plan, &counter_slots, &pool);
   }
   obs::MetricsNode& engine_node = node.child("engine");
   engine.describe(engine_node);
@@ -88,32 +119,44 @@ core::RegionCoverageStats evaluate_region_parallel_metered(const core::Network& 
 }
 
 GridEvents grid_events_parallel(const core::Network& net, const core::DenseGrid& grid,
-                                double theta, std::size_t threads) {
+                                double theta, std::size_t threads, std::size_t grain) {
   const core::GridEvalEngine engine(net, grid, theta);
   const std::size_t rows = engine.rows();
-  std::vector<core::GridRowEvents> row_events(rows);
+  const BlockPlan plan = plan_blocks(rows, threads, grain);
+  std::vector<core::GridRowEvents> block_events(plan.blocks);
   // Cooperative early exit: a necessary-condition failure anywhere decides
-  // the whole result, so later rows may be skipped.  Skipped rows default
-  // to all-true and cannot flip the AND-reduction, which keeps the result
-  // independent of scheduling.
+  // the whole result, so later rows (checked between the rows of a block
+  // too) may be skipped.  Skipped rows default to all-true and cannot flip
+  // the AND-reduction, which keeps the result independent of scheduling.
   std::atomic<bool> necessary_failed{false};
-  parallel_for(rows, threads, [&](std::size_t row) {
-    if (necessary_failed.load(std::memory_order_relaxed)) {
-      return;
-    }
-    thread_local core::GridEvalScratch scratch;
-    row_events[row] = engine.row_events(row, scratch, true, true);
-    if (!row_events[row].all_necessary) {
-      necessary_failed.store(true, std::memory_order_relaxed);
-    }
-  });
+  parallel_for_blocked(rows, plan.workers, plan.grain,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         thread_local core::GridEvalScratch scratch;
+                         core::GridRowEvents acc;
+                         for (std::size_t row = begin; row < end; ++row) {
+                           if (necessary_failed.load(std::memory_order_relaxed)) {
+                             break;
+                           }
+                           const core::GridRowEvents re =
+                               engine.row_events(row, scratch, true, true);
+                           acc.all_necessary = acc.all_necessary && re.all_necessary;
+                           acc.all_full_view = acc.all_full_view && re.all_full_view;
+                           acc.all_sufficient =
+                               acc.all_sufficient && re.all_sufficient;
+                           if (!re.all_necessary) {
+                             necessary_failed.store(true, std::memory_order_relaxed);
+                             break;
+                           }
+                         }
+                         block_events[begin / plan.grain] = acc;
+                       });
   GridEvents ev{true, true, true};
-  for (const core::GridRowEvents& re : row_events) {
-    if (!re.all_necessary) {
+  for (const core::GridRowEvents& be : block_events) {
+    if (!be.all_necessary) {
       return {false, false, false};
     }
-    ev.all_full_view = ev.all_full_view && re.all_full_view;
-    ev.all_sufficient = ev.all_sufficient && re.all_sufficient;
+    ev.all_full_view = ev.all_full_view && be.all_full_view;
+    ev.all_sufficient = ev.all_sufficient && be.all_sufficient;
   }
   return ev;
 }

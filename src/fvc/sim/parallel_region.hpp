@@ -1,15 +1,20 @@
 /// \file parallel_region.hpp
-/// \brief Row-parallel batched grid evaluation for single deployments.
+/// \brief Block-parallel batched grid evaluation for single deployments.
 ///
 /// The Monte-Carlo estimators parallelize over *trials*, so per-trial grid
 /// scans stay serial.  Single-deployment workloads (the CLI tool, the CSA
 /// figure benches, interactive analysis of one large network) instead want
 /// parallelism *within* one grid scan.  These entry points batch the
-/// `GridEvalEngine` over grid rows through `sim::parallel_for`, writing
-/// per-row results into preallocated slots and reducing them in row order —
-/// so the result is bit-identical for every thread count (the determinism
-/// contract of monte_carlo.hpp, extended to the batched path; locked by
-/// tests/sim/test_determinism.cpp).
+/// `GridEvalEngine` over contiguous row blocks through
+/// `sim::parallel_for_blocked`: workers claim `grain` rows per atomic
+/// cursor claim (grain 0 = `choose_grain(rows, threads)`), evaluate the
+/// block through one engine call (`GridEvalEngine::block_stats` — no
+/// per-row callback indirection), and write one result slot per block.
+/// Block slots are reduced in block order, which is exactly row order —
+/// so the result is bit-identical to the serial scan for every thread
+/// count and grain (the determinism contract of monte_carlo.hpp, extended
+/// to the batched path; locked by tests/sim/test_determinism.cpp and
+/// tests/sim/test_parallel_identity.cpp).
 
 #pragma once
 
@@ -25,23 +30,26 @@ class MetricsNode;  // fvc/obs/run_metrics.hpp
 
 namespace fvc::sim {
 
-/// Row-parallel `core::evaluate_region`.  Bit-identical to the serial
-/// (and scalar) evaluation for any `threads` >= 1.
+/// Block-parallel `core::evaluate_region`.  Bit-identical to the serial
+/// (and scalar) evaluation for any `threads` >= 1 and any `grain`
+/// (0 = automatic: `choose_grain(rows, threads)`).
 [[nodiscard]] core::RegionCoverageStats evaluate_region_parallel(
     const core::Network& net, const core::DenseGrid& grid, double theta,
-    std::size_t threads);
+    std::size_t threads, std::size_t grain = 0);
 
-/// Metered variant: identical statistics (same engine, same row merge),
+/// Metered variant: identical statistics (same engine, same block merge),
 /// plus a filled metrics subtree under `node`:
 ///   engine  — static shape (bin occupancy, build span) and the merged
-///             per-row gather counters (candidate histogram, fallbacks)
-///   pool    — worker busy/idle time and task counts of the row loop
+///             gather counters (candidate histogram, fallbacks)
+///   pool    — worker busy/idle time, block/task counts and the grain of
+///             the row loop
 ///   scan    — span over the whole row scan
-/// Per-row counters live in per-row slots merged in row order, so the
-/// exported totals are deterministic for any thread count.
+/// Gather counters live in per-worker slots merged in worker order; the
+/// totals are order-independent sums, so the exported values are
+/// deterministic for any thread count and grain.
 [[nodiscard]] core::RegionCoverageStats evaluate_region_parallel_metered(
     const core::Network& net, const core::DenseGrid& grid, double theta,
-    std::size_t threads, obs::MetricsNode& node);
+    std::size_t threads, obs::MetricsNode& node, std::size_t grain = 0);
 
 /// Whole-grid events of one deployment (the H_N / full-view / H_S bits).
 struct GridEvents {
@@ -50,12 +58,14 @@ struct GridEvents {
   bool all_sufficient = false;
 };
 
-/// Row-parallel whole-grid event evaluation with cooperative early exit:
+/// Block-parallel whole-grid event evaluation with cooperative early exit:
 /// once some row fails the necessary condition the remaining rows are
 /// skipped (the result is already {false, false, false}, matching
-/// `run_trial_events` semantics).  Bit-identical for any thread count.
+/// `run_trial_events` semantics).  Bit-identical for any thread count and
+/// grain.
 [[nodiscard]] GridEvents grid_events_parallel(const core::Network& net,
                                               const core::DenseGrid& grid, double theta,
-                                              std::size_t threads);
+                                              std::size_t threads,
+                                              std::size_t grain = 0);
 
 }  // namespace fvc::sim

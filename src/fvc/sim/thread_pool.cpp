@@ -11,14 +11,13 @@ namespace fvc::sim {
 void describe(const PoolMetrics& pool, obs::MetricsNode& node) {
   node.set("workers", static_cast<double>(pool.workers.size()));
   node.set("requested_threads", static_cast<double>(pool.requested_threads));
+  node.set("grain", static_cast<double>(pool.grain));
   node.add("tasks", static_cast<double>(pool.total_tasks()));
+  node.add("blocks", static_cast<double>(pool.total_blocks()));
   node.add("busy_ns", static_cast<double>(pool.total_busy_ns()));
   node.add("idle_ns", static_cast<double>(pool.total_idle_ns()));
   node.add_elapsed_ns(pool.wall_ns);
-  const double capacity =
-      static_cast<double>(pool.wall_ns) * static_cast<double>(pool.workers.size());
-  node.set("utilization",
-           capacity > 0.0 ? static_cast<double>(pool.total_busy_ns()) / capacity : 0.0);
+  node.set("utilization", pool.utilization());
   obs::LogHistogram& per_worker = node.histogram("tasks_per_worker");
   for (const PoolMetrics::Worker& w : pool.workers) {
     per_worker.add(w.tasks);
@@ -30,15 +29,17 @@ std::size_t default_thread_count() {
   return std::clamp<std::size_t>(hc == 0 ? 1 : hc, 1, 64);
 }
 
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn) {
-  parallel_for(count, threads, fn, nullptr);
+std::size_t choose_grain(std::size_t count, std::size_t threads, std::size_t min_grain) {
+  threads = std::max<std::size_t>(threads, 1);
+  const std::size_t even = count / (threads * kGrainOversubscribe);
+  return std::max<std::size_t>({even, min_grain, 1});
 }
 
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn, PoolMetrics* metrics) {
+void parallel_for_blocked(std::size_t count, std::size_t threads, std::size_t grain,
+                          const ParallelBlockFn& fn, PoolMetrics* metrics) {
   if (metrics != nullptr) {
     metrics->requested_threads = threads;
+    metrics->grain = 0;
     metrics->workers.clear();
     metrics->wall_ns = 0;
   }
@@ -46,30 +47,37 @@ void parallel_for(std::size_t count, std::size_t threads,
     return;
   }
   threads = std::clamp<std::size_t>(threads, 1, count);
+  grain = grain == 0 ? choose_grain(count, threads) : std::min(grain, count);
+  if (metrics != nullptr) {
+    metrics->grain = grain;
+  }
+  // The event payload carries two args; grain is recoverable from any
+  // pool.block slice ("count" = block width), so the section keeps the
+  // historical count/threads pair.
   const obs::TraceScope pool_scope("pool.parallel_for", obs::TraceCategory::kPool,
                                    "count", count, "threads", threads);
   const std::uint64_t wall_start =
       metrics != nullptr ? obs::monotonic_ns() : 0;
   if (threads == 1) {
-    if (metrics == nullptr) {
-      for (std::size_t i = 0; i < count; ++i) {
-        const obs::TraceScope task_scope("pool.task", obs::TraceCategory::kPool,
-                                         "index", i);
-        fn(i);
-      }
-      return;
-    }
     PoolMetrics::Worker w;
-    for (std::size_t i = 0; i < count; ++i) {
-      const obs::TraceScope task_scope("pool.task", obs::TraceCategory::kPool,
-                                       "index", i);
-      const std::uint64_t t0 = obs::monotonic_ns();
-      fn(i);
-      w.busy_ns += obs::monotonic_ns() - t0;
-      ++w.tasks;
+    for (std::size_t begin = 0; begin < count; begin += grain) {
+      const std::size_t end = std::min(begin + grain, count);
+      const obs::TraceScope block_scope("pool.block", obs::TraceCategory::kPool,
+                                        "begin", begin, "count", end - begin);
+      if (metrics == nullptr) {
+        fn(begin, end, 0);
+      } else {
+        const std::uint64_t t0 = obs::monotonic_ns();
+        fn(begin, end, 0);
+        w.busy_ns += obs::monotonic_ns() - t0;
+        w.tasks += end - begin;
+        ++w.blocks;
+      }
     }
-    metrics->workers.push_back(w);
-    metrics->wall_ns = obs::monotonic_ns() - wall_start;
+    if (metrics != nullptr) {
+      metrics->workers.push_back(w);
+      metrics->wall_ns = obs::monotonic_ns() - wall_start;
+    }
     return;
   }
   std::atomic<std::size_t> cursor{0};
@@ -82,22 +90,24 @@ void parallel_for(std::size_t count, std::size_t threads,
     PoolMetrics::Worker* const slot =
         metrics != nullptr ? &worker_slots[self] : nullptr;
     while (true) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) {
+      const std::size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count) {
         obs::trace_instant("pool.queue_empty", obs::TraceCategory::kPool,
                            "worker", self);
         return;
       }
+      const std::size_t end = std::min(begin + grain, count);
       try {
-        const obs::TraceScope task_scope("pool.task", obs::TraceCategory::kPool,
-                                         "index", i);
+        const obs::TraceScope block_scope("pool.block", obs::TraceCategory::kPool,
+                                          "begin", begin, "count", end - begin);
         if (slot != nullptr) {
           const std::uint64_t t0 = obs::monotonic_ns();
-          fn(i);
+          fn(begin, end, self);
           slot->busy_ns += obs::monotonic_ns() - t0;
-          ++slot->tasks;
+          slot->tasks += end - begin;
+          ++slot->blocks;
         } else {
-          fn(i);
+          fn(begin, end, self);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -124,6 +134,26 @@ void parallel_for(std::size_t count, std::size_t threads,
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for(count, threads, fn, nullptr);
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn, PoolMetrics* metrics) {
+  // Grain 1: each block is exactly one index, preserving the historical
+  // per-index claiming (right for trial workloads with high unit-cost
+  // variance).  The adapter runs `begin` only — end is always begin + 1.
+  parallel_for_blocked(
+      count, threads, 1,
+      [&fn](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      },
+      metrics);
 }
 
 }  // namespace fvc::sim

@@ -81,6 +81,44 @@ TEST(PoolMetrics, AccountsForEveryTask) {
             pool.wall_ns * pool.workers.size() - pool.total_busy_ns());
 }
 
+TEST(PoolMetrics, DegenerateSectionsHaveZeroIdleAndUtilization) {
+  // A default-constructed (never-run) section: no workers, no wall time.
+  // total_idle_ns() must not underflow and utilization must not divide by
+  // zero — both report 0.
+  const PoolMetrics never_run;
+  EXPECT_EQ(never_run.total_idle_ns(), 0u);
+  EXPECT_DOUBLE_EQ(never_run.utilization(), 0.0);
+
+  // A count=0 section leaves the metrics in the same degenerate state.
+  PoolMetrics empty;
+  parallel_for(0, 4, [](std::size_t) {}, &empty);
+  EXPECT_EQ(empty.wall_ns, 0u);
+  EXPECT_TRUE(empty.workers.empty());
+  EXPECT_EQ(empty.total_idle_ns(), 0u);
+  EXPECT_DOUBLE_EQ(empty.utilization(), 0.0);
+
+  // Workers but zero wall (timer granularity can produce this): idle is 0,
+  // not a wrapped-around huge value.
+  PoolMetrics zero_wall;
+  zero_wall.workers.resize(2);
+  zero_wall.workers[0].busy_ns = 5;
+  EXPECT_EQ(zero_wall.total_idle_ns(), 0u);
+  EXPECT_DOUBLE_EQ(zero_wall.utilization(), 0.0);
+}
+
+TEST(PoolMetrics, UtilizationClampedWhenBusyExceedsCapacity) {
+  // Clock skew between the per-block timers and the section wall timer can
+  // make summed busy time exceed wall * workers; the accessors saturate
+  // instead of reporting idle underflow or utilization > 1.
+  PoolMetrics pool;
+  pool.wall_ns = 100;
+  pool.workers.resize(2);
+  pool.workers[0].busy_ns = 150;
+  pool.workers[1].busy_ns = 140;  // busy 290 > capacity 200
+  EXPECT_EQ(pool.total_idle_ns(), 0u);
+  EXPECT_DOUBLE_EQ(pool.utilization(), 1.0);
+}
+
 TEST(PoolMetrics, NullPointerMeansUnmetered) {
   // The 4-arg overload with nullptr must behave exactly like the 3-arg one.
   std::vector<std::size_t> order;

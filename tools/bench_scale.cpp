@@ -1,0 +1,327 @@
+/// bench_scale — thread/grain scaling harness for the blocked parallel
+/// grid scan.
+///
+/// Sweeps a (grid side, population) ladder through the block-parallel
+/// entry point `sim::evaluate_region_parallel` over a threads x grain x
+/// kernel matrix, timing each cell against the serial batched engine
+/// (`core::evaluate_region`) under the same kernel pin.  Every cell's
+/// statistics must be bit-identical to the serial scan — a mismatch is a
+/// nonzero exit, not a footnote.  Worker utilization per cell comes from a
+/// metered pass (`evaluate_region_parallel_metered`) taken outside the
+/// timed reps, so the timings stay those of the unmetered hot path.
+///
+/// The deployment radius is scaled ~ 1/sqrt(n) so the expected candidate
+/// count per grid point stays constant across the ladder: the sweep then
+/// isolates *scheduling* behaviour (rows x threads x grain), not density
+/// effects.
+///
+/// Usage:
+///   bench_scale [out.json] [sides] [ns] [threads] [grains] [reps] [kernels]
+///     out.json  output path                    default BENCH_scale.json
+///     sides     comma list of grid sides       default 512,1024,2048
+///     ns        comma list of populations,     default 10000,100000,1000000
+///               zipped with `sides` (the shorter list's last entry repeats)
+///     threads   comma list of thread counts    default 1,2,4
+///     grains    comma list of grains (0=auto)  default 1,0
+///     reps      best-of repetitions per cell   default 3
+///     kernels   comma list of kernel variants  default auto (resolved)
+///
+/// The JSON record (schema fvc.bench_scale/1) embeds hardware_concurrency:
+/// speedups are only meaningful relative to the cores the run actually
+/// had.  CI runs the smoke configuration on multi-core runners and gates
+/// on the 2-thread wall time there.
+///
+/// Exit status: 0 on success, 1 on bit-identity violation or bad usage.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fvc/core/cpu_features.hpp"
+#include "fvc/core/region_coverage.hpp"
+#include "fvc/deploy/uniform.hpp"
+#include "fvc/geometry/angle.hpp"
+#include "fvc/obs/run_metrics.hpp"
+#include "fvc/obs/trace.hpp"
+#include "fvc/sim/parallel_region.hpp"
+#include "fvc/stats/rng.hpp"
+
+namespace {
+
+using namespace fvc;
+using Clock = std::chrono::steady_clock;
+
+double best_of_ms(std::size_t reps, const auto& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) {
+      best = ms;
+    }
+  }
+  return best;
+}
+
+bool same_stats(const core::RegionCoverageStats& a, const core::RegionCoverageStats& b) {
+  return a.total_points == b.total_points && a.covered_1 == b.covered_1 &&
+         a.necessary_ok == b.necessary_ok && a.full_view_ok == b.full_view_ok &&
+         a.sufficient_ok == b.sufficient_ok && a.k_covered_ok == b.k_covered_ok &&
+         a.min_max_gap == b.min_max_gap && a.max_max_gap == b.max_max_gap;
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& arg, const char* what) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const long long v = std::atoll(item.c_str());
+    if (v < 0) {
+      std::fprintf(stderr, "bench_scale: bad %s entry '%s'\n", what, item.c_str());
+      std::exit(1);
+    }
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bench_scale: empty %s list\n", what);
+    std::exit(1);
+  }
+  return out;
+}
+
+struct Cell {
+  std::size_t threads = 0;
+  std::size_t grain = 0;       // requested (0 = auto)
+  std::size_t grain_used = 0;  // what the scheduler ran with
+  double ms = 0.0;
+  double speedup = 0.0;
+  double utilization = 0.0;
+};
+
+struct KernelRecord {
+  std::string name;
+  double serial_ms = 0.0;
+  std::vector<Cell> cells;
+};
+
+struct ConfigRecord {
+  std::size_t side = 0;
+  std::size_t n = 0;
+  double radius_omni = 0.0;
+  double radius_sector = 0.0;
+  std::vector<KernelRecord> kernels;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+  const std::vector<std::size_t> sides =
+      parse_size_list(argc > 2 ? argv[2] : "512,1024,2048", "sides");
+  const std::vector<std::size_t> ns =
+      parse_size_list(argc > 3 ? argv[3] : "10000,100000,1000000", "ns");
+  const std::vector<std::size_t> thread_list =
+      parse_size_list(argc > 4 ? argv[4] : "1,2,4", "threads");
+  const std::vector<std::size_t> grain_list =
+      parse_size_list(argc > 5 ? argv[5] : "1,0", "grains");
+  const std::size_t reps =
+      std::max<std::size_t>(1, argc > 6 ? static_cast<std::size_t>(std::atoll(argv[6])) : 3);
+  const std::string kernels_arg = argc > 7 ? argv[7] : "auto";
+  const double theta = geom::kPi / 4.0;
+
+  // Resolve the kernel matrix up front.  "auto" = whatever resolve_kernel
+  // picks (honouring FVC_FORCE_KERNEL); explicit names must be runnable.
+  std::vector<core::KernelVariant> kernels;
+  {
+    std::stringstream ss(kernels_arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) {
+        continue;
+      }
+      if (item == "auto") {
+        kernels.push_back(core::resolve_kernel());
+        continue;
+      }
+      const std::optional<core::KernelVariant> v = core::kernel_from_name(item);
+      if (!v.has_value()) {
+        std::fprintf(stderr, "bench_scale: unknown kernel '%s'\n", item.c_str());
+        return 1;
+      }
+      if (!core::kernel_supported(*v)) {
+        std::fprintf(stderr, "bench_scale: kernel '%s' not runnable here — skipped\n",
+                     item.c_str());
+        continue;
+      }
+      kernels.push_back(*v);
+    }
+  }
+  if (kernels.empty()) {
+    std::fprintf(stderr, "bench_scale: no runnable kernels in '%s'\n",
+                 kernels_arg.c_str());
+    return 1;
+  }
+
+  const std::size_t config_count = std::max(sides.size(), ns.size());
+  std::vector<ConfigRecord> configs;
+  bool all_identical = true;
+
+  for (std::size_t c = 0; c < config_count; ++c) {
+    ConfigRecord rec;
+    rec.side = sides[std::min(c, sides.size() - 1)];
+    rec.n = ns[std::min(c, ns.size() - 1)];
+    if (rec.side == 0 || rec.n == 0) {
+      std::fprintf(stderr, "bench_scale: sides and ns entries must be >= 1\n");
+      return 1;
+    }
+    // Constant expected candidates per grid point across the ladder:
+    // r ~ 1/sqrt(n), anchored at the bench_compare profile (n = 1000).
+    const double scale = std::sqrt(1000.0 / static_cast<double>(rec.n));
+    rec.radius_omni = 0.08 * scale;
+    rec.radius_sector = 0.12 * scale;
+    const core::HeterogeneousProfile profile(std::vector<core::CameraGroupSpec>{
+        {0.5, rec.radius_omni, geom::kTwoPi}, {0.5, rec.radius_sector, 2.0}});
+    stats::Pcg32 rng = stats::make_child_rng(20250808, rec.n + rec.side);
+    const core::Network net = deploy::deploy_uniform_network(profile, rec.n, rng);
+    const core::DenseGrid grid(rec.side);
+    std::printf("config: grid=%zux%zu n=%zu (r=%.4f/%.4f)\n", rec.side, rec.side,
+                rec.n, rec.radius_omni, rec.radius_sector);
+
+    for (const core::KernelVariant kv : kernels) {
+      core::set_forced_kernel(kv);
+      KernelRecord krec;
+      krec.name = std::string(core::kernel_name(kv));
+      core::RegionCoverageStats serial_stats;
+      krec.serial_ms = best_of_ms(
+          reps, [&] { serial_stats = core::evaluate_region(net, grid, theta); });
+      std::printf("  kernel=%-7s serial %9.3f ms\n", krec.name.c_str(),
+                  krec.serial_ms);
+
+      for (const std::size_t threads : thread_list) {
+        for (const std::size_t grain : grain_list) {
+          Cell cell;
+          cell.threads = threads;
+          cell.grain = grain;
+          core::RegionCoverageStats par_stats;
+          cell.ms = best_of_ms(reps, [&] {
+            par_stats = sim::evaluate_region_parallel(net, grid, theta, threads, grain);
+          });
+          if (!same_stats(serial_stats, par_stats)) {
+            std::fprintf(stderr,
+                         "bench_scale: FAIL — threads=%zu grain=%zu kernel=%s "
+                         "differs from the serial scan\n",
+                         threads, grain, krec.name.c_str());
+            all_identical = false;
+          }
+          // Metered pass, outside the timed reps: utilization + the grain
+          // the scheduler actually used; must still be bit-identical.
+          obs::MetricsNode node("scan");
+          const core::RegionCoverageStats metered_stats =
+              sim::evaluate_region_parallel_metered(net, grid, theta, threads, node,
+                                                    grain);
+          if (!same_stats(serial_stats, metered_stats)) {
+            std::fprintf(stderr,
+                         "bench_scale: FAIL — metered threads=%zu grain=%zu "
+                         "kernel=%s differs from the serial scan\n",
+                         threads, grain, krec.name.c_str());
+            all_identical = false;
+          }
+          const obs::MetricsNode* pool = node.find_child("pool");
+          cell.utilization = pool != nullptr ? pool->counter("utilization") : 0.0;
+          cell.grain_used =
+              pool != nullptr ? static_cast<std::size_t>(pool->counter("grain")) : 0;
+          cell.speedup = cell.ms > 0.0 ? krec.serial_ms / cell.ms : 0.0;
+          std::printf(
+              "    threads=%zu grain=%zu(->%zu): %9.3f ms  (%.2fx, util %.2f)\n",
+              threads, grain, cell.grain_used, cell.ms, cell.speedup,
+              cell.utilization);
+          krec.cells.push_back(cell);
+        }
+      }
+      rec.kernels.push_back(std::move(krec));
+    }
+    core::set_forced_kernel(std::nullopt);
+    configs.push_back(std::move(rec));
+  }
+
+  std::ostringstream record;
+  char buf[512];
+  record << "{\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"schema\": \"fvc.bench_scale/1\",\n"
+                "  \"bench\": \"blocked_parallel_grid_scan\",\n"
+                "  \"theta\": \"pi/4\",\n"
+                "  \"reps\": %zu,\n"
+                "  \"hardware_concurrency\": %u,\n"
+                "  \"tracing_compiled\": %s,\n"
+                "  \"results_bit_identical\": %s,\n",
+                reps, std::thread::hardware_concurrency(),
+                obs::kTraceEnabled ? "true" : "false",
+                all_identical ? "true" : "false");
+  record << buf;
+  record << "  \"configs\": [\n";
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const ConfigRecord& rec = configs[c];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\n"
+                  "      \"grid_side\": %zu,\n"
+                  "      \"n\": %zu,\n"
+                  "      \"radius_omni\": %.6f,\n"
+                  "      \"radius_sector\": %.6f,\n",
+                  rec.side, rec.n, rec.radius_omni, rec.radius_sector);
+    record << buf;
+    record << "      \"kernels\": [\n";
+    for (std::size_t k = 0; k < rec.kernels.size(); ++k) {
+      const KernelRecord& krec = rec.kernels[k];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"kernel\": \"%s\", \"serial_ms\": %.3f, \"cells\": [\n",
+                    krec.name.c_str(), krec.serial_ms);
+      record << buf;
+      for (std::size_t i = 0; i < krec.cells.size(); ++i) {
+        const Cell& cell = krec.cells[i];
+        std::snprintf(buf, sizeof(buf),
+                      "          {\"threads\": %zu, \"grain\": %zu, "
+                      "\"grain_used\": %zu, \"ms\": %.3f, \"speedup\": %.2f, "
+                      "\"utilization\": %.3f}%s\n",
+                      cell.threads, cell.grain, cell.grain_used, cell.ms,
+                      cell.speedup, cell.utilization,
+                      i + 1 < krec.cells.size() ? "," : "");
+        record << buf;
+      }
+      record << "        ]}" << (k + 1 < rec.kernels.size() ? "," : "") << "\n";
+    }
+    record << "      ]\n";
+    record << "    }" << (c + 1 < configs.size() ? "," : "") << "\n";
+  }
+  record << "  ]\n";
+  record << "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_scale: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << record.str();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_scale: failed writing %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}
