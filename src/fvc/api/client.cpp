@@ -1,0 +1,20 @@
+#include "fvc/api/client.hpp"
+
+#include <stdexcept>
+
+namespace fvc::api {
+
+std::string Client::request(std::string_view body) {
+  std::optional<std::string> response = try_request(body);
+  if (!response.has_value()) {
+    throw std::runtime_error("fvc.query client: daemon closed the connection");
+  }
+  return *std::move(response);
+}
+
+std::optional<std::string> Client::try_request(std::string_view body) {
+  write_frame(fd_.get(), body);
+  return read_frame(fd_.get());
+}
+
+}  // namespace fvc::api

@@ -1,0 +1,231 @@
+#include "fvc/api/server.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "fvc/api/socket_io.hpp"
+#include "fvc/api/wire.hpp"
+
+namespace fvc::api {
+
+namespace {
+
+/// Poll tick: how long a blocked accept/read waits before re-checking the
+/// stop flag — the upper bound on shutdown latency per thread.
+constexpr int kPollMs = 100;
+
+std::string error_response(std::string_view message) {
+  JsonObjectWriter w;
+  w.add_bool("ok", false);
+  w.add_string("schema", kQuerySchema);
+  w.add_string("error", message);
+  return w.finish();
+}
+
+void add_region_fields(JsonObjectWriter& w, const RegionAnswer& ans) {
+  w.add_integer("row_begin", ans.row_begin);
+  w.add_integer("row_end", ans.row_end);
+  w.add_integer("total_points", ans.stats.total_points);
+  w.add_integer("covered_1", ans.stats.covered_1);
+  w.add_integer("necessary_ok", ans.stats.necessary_ok);
+  w.add_integer("full_view_ok", ans.stats.full_view_ok);
+  w.add_integer("sufficient_ok", ans.stats.sufficient_ok);
+  w.add_integer("k_covered_ok", ans.stats.k_covered_ok);
+  w.add_number("min_max_gap", ans.stats.min_max_gap);
+  w.add_number("max_max_gap", ans.stats.max_max_gap);
+  w.add_integer("tiles_total", ans.tiles_total);
+  w.add_integer("tiles_cached", ans.tiles_cached);
+  w.add_integer("tiles_computed", ans.tiles_computed);
+}
+
+std::size_t get_index(const WireObject& obj, std::size_t bound) {
+  const double raw = get_number(obj, "index");
+  if (raw < 0.0 || raw != static_cast<double>(static_cast<std::size_t>(raw)) ||
+      static_cast<std::size_t>(raw) >= bound) {
+    throw WireError("wire: 'index' out of range");
+  }
+  return static_cast<std::size_t>(raw);
+}
+
+std::string handle_what_if(Session& session, const WireObject& req) {
+  const std::string& action = get_string(req, "action");
+  if (action == "add") {
+    core::Camera cam;
+    cam.position = {get_number(req, "x"), get_number(req, "y")};
+    cam.orientation = get_number_or(req, "orientation", 0.0);
+    cam.radius = get_number(req, "radius");
+    cam.fov = get_number(req, "fov");
+    cam.group = static_cast<std::uint32_t>(get_number_or(req, "group", 0.0));
+    (void)session.add_camera(cam);
+  } else if (action == "remove") {
+    (void)session.remove_camera(get_index(req, session.camera_count()));
+  } else if (action == "move") {
+    const std::size_t index = get_index(req, session.camera_count());
+    core::Camera cam = session.camera(index);  // absent fields keep current
+    cam.position = {get_number_or(req, "x", cam.position.x),
+                    get_number_or(req, "y", cam.position.y)};
+    cam.orientation = get_number_or(req, "orientation", cam.orientation);
+    cam.radius = get_number_or(req, "radius", cam.radius);
+    cam.fov = get_number_or(req, "fov", cam.fov);
+    (void)session.move_camera(index, cam);
+  } else if (action == "set_theta") {
+    (void)session.set_theta(get_number(req, "theta"));
+  } else {
+    throw WireError("wire: unknown what_if action '" + action + "'");
+  }
+  JsonObjectWriter w;
+  w.add_bool("ok", true);
+  w.add_string("schema", kQuerySchema);
+  w.add_string("digest", session.digest_hex());
+  w.add_integer("cameras", session.camera_count());
+  w.add_number("theta", session.theta());
+  return w.finish();
+}
+
+}  // namespace
+
+std::string handle_query(Session& session, std::string_view body) {
+  try {
+    const WireObject req = parse_flat_object(body);
+    const std::string& op = get_string(req, "op");
+    if (op == "point") {
+      const PointAnswer ans =
+          session.query_point(get_number(req, "x"), get_number(req, "y"));
+      JsonObjectWriter w;
+      w.add_bool("ok", true);
+      w.add_string("schema", kQuerySchema);
+      w.add_string("digest", session.digest_hex());
+      w.add_bool("covered", ans.covered);
+      w.add_bool("necessary", ans.necessary);
+      w.add_bool("sufficient", ans.sufficient);
+      w.add_number("max_gap", ans.max_gap);
+      w.add_integer("covering_count", ans.covering_count);
+      return w.finish();
+    }
+    if (op == "region") {
+      const RegionAnswer ans =
+          session.query_region(get_number(req, "y_lo"), get_number(req, "y_hi"));
+      JsonObjectWriter w;
+      w.add_bool("ok", true);
+      w.add_string("schema", kQuerySchema);
+      w.add_string("digest", session.digest_hex());
+      add_region_fields(w, ans);
+      return w.finish();
+    }
+    if (op == "what_if") {
+      return handle_what_if(session, req);
+    }
+    if (op == "info") {
+      const TileCacheStats& cs = session.cache().stats();
+      JsonObjectWriter w;
+      w.add_bool("ok", true);
+      w.add_string("schema", kQuerySchema);
+      w.add_string("digest", session.digest_hex());
+      w.add_integer("cameras", session.camera_count());
+      w.add_number("theta", session.theta());
+      w.add_integer("grid_side", session.grid_side());
+      w.add_integer("tile_rows", session.tile_rows());
+      w.add_integer("cache_capacity", session.cache().capacity());
+      w.add_integer("cache_size", session.cache().size());
+      w.add_integer("cache_hits", cs.hits);
+      w.add_integer("cache_misses", cs.misses);
+      w.add_integer("cache_evictions", cs.evictions);
+      w.add_integer("cache_carried_forward", cs.carried_forward);
+      return w.finish();
+    }
+    return error_response("unknown op '" + op + "'");
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+namespace {
+
+/// Shared state of one daemon run.
+struct ServeState {
+  Session* session = nullptr;
+  std::mutex session_mutex;
+  std::atomic<bool> draining{false};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+};
+
+/// True when `fd` has a readable byte within one poll tick.
+bool wait_readable(int fd) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  return ::poll(&p, 1, kPollMs) > 0 && (p.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+void client_loop(ServeState& state, ScopedFd fd) {
+  try {
+    // Serve until drain: the response in flight still goes out (the check
+    // sits at the loop top), then the connection closes and the client
+    // reads EOF — its signal that the daemon is gone.
+    while (!state.draining.load(std::memory_order_relaxed)) {
+      if (!wait_readable(fd.get())) {
+        continue;
+      }
+      const std::optional<std::string> body = read_frame(fd.get());
+      if (!body.has_value()) {
+        return;  // clean EOF: client hung up
+      }
+      std::string response;
+      {
+        const std::lock_guard<std::mutex> lock(state.session_mutex);
+        response = handle_query(*state.session, *body);
+      }
+      state.requests.fetch_add(1, std::memory_order_relaxed);
+      if (response.rfind("{\"ok\":false", 0) == 0) {
+        state.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      write_frame(fd.get(), response);
+    }
+  } catch (const std::exception&) {
+    // Framing desync or a vanished peer: drop the connection.  The
+    // daemon itself must outlive any one client.
+  }
+}
+
+}  // namespace
+
+ServeReport serve(Session& session, const ServerConfig& cfg,
+                  obs::CancellationToken& cancel) {
+  const ScopedFd listener = unix_listen(cfg.socket_path, cfg.backlog);
+  ServeState state;
+  state.session = &session;
+  ServeReport report;
+  std::vector<std::thread> clients;
+  while (!cancel.stop_requested()) {
+    if (!wait_readable(listener.get())) {
+      continue;
+    }
+    ScopedFd conn(::accept(listener.get(), nullptr, nullptr));
+    if (!conn.valid()) {
+      continue;  // raced a client that already gave up
+    }
+    ++report.connections;
+    clients.emplace_back(
+        [&state, fd = std::move(conn)]() mutable { client_loop(state, std::move(fd)); });
+  }
+  // Graceful drain: no new connections, let handlers finish the request
+  // in flight (they notice `draining` at their next poll tick), join all.
+  state.draining.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  ::unlink(cfg.socket_path.c_str());
+  report.requests = state.requests.load();
+  report.errors = state.errors.load();
+  return report;
+}
+
+}  // namespace fvc::api

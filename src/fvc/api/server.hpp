@@ -1,0 +1,60 @@
+/// \file server.hpp
+/// \brief The `fvc serve` daemon: fvc.query/1 over a local AF_UNIX socket.
+///
+/// The server accepts concurrent clients (one handler thread per
+/// connection) but serializes Session access under one mutex — the
+/// parallelism that matters lives *inside* each region query, where the
+/// Session batches missing tiles into the SIMD kernel through
+/// `sim::parallel_for_blocked`.  Serialization is also what makes
+/// concurrent clients deterministic: every request sees a consistent
+/// deployment digest, and interleaved what-if edits cannot tear a query.
+///
+/// Shutdown is cooperative: the accept loop polls the cancellation token
+/// (the CLI's SIGINT trampoline trips it), stops accepting, then drains —
+/// handler threads notice the stop flag at their next poll tick, finish
+/// the request in flight, and join.  The CLI layer then exits 130 with
+/// the final metrics flush, like every other cancelled command.
+///
+/// Error policy per connection: a malformed body (bad JSON, missing
+/// field, unknown op) gets an `ok:false` response and the connection
+/// lives on; a broken frame prefix (oversized or truncated) closes the
+/// connection — after framing desyncs there is no trustworthy boundary
+/// to resume at.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fvc/api/session.hpp"
+#include "fvc/obs/cancellation.hpp"
+
+namespace fvc::api {
+
+/// Serve-daemon knobs.
+struct ServerConfig {
+  std::string socket_path;  ///< AF_UNIX path to listen on
+  int backlog = 16;         ///< listen(2) backlog
+};
+
+/// Accounting the daemon reports after draining.
+struct ServeReport {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;  ///< ok:false responses sent
+};
+
+/// Answer one fvc.query/1 request body against `session`, returning the
+/// response body.  Pure request->response logic, shared by the daemon
+/// and the protocol tests; never throws (failures become ok:false).
+[[nodiscard]] std::string handle_query(Session& session, std::string_view body);
+
+/// Run the daemon until `cancel` trips: bind `cfg.socket_path`, accept
+/// and serve concurrent clients against `session`, then drain and
+/// return the accounting.  \throws std::runtime_error when the socket
+/// cannot be bound.
+[[nodiscard]] ServeReport serve(Session& session, const ServerConfig& cfg,
+                                obs::CancellationToken& cancel);
+
+}  // namespace fvc::api

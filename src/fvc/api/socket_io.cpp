@@ -1,0 +1,142 @@
+#include "fvc/api/socket_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fvc/api/wire.hpp"
+
+namespace fvc::api {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+ScopedFd& ScopedFd::operator=(ScopedFd&& other) noexcept {
+  if (this != &other) {
+    reset(other.release());
+  }
+  return *this;
+}
+
+int ScopedFd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+ScopedFd unix_listen(const std::string& path, int backlog) {
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("socket");
+  }
+  // A previous daemon's socket file blocks bind; it is dead weight (a
+  // live daemon would still hold the listening fd, and connecting clients
+  // would find out immediately either way).
+  ::unlink(path.c_str());
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("listen(" + path + ")");
+  }
+  return fd;
+}
+
+ScopedFd unix_connect(const std::string& path) {
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("socket");
+  }
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw_errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+namespace {
+
+/// Read exactly n bytes; false on EOF at a frame boundary (offset 0 of
+/// the prefix), throws WireError on EOF inside a frame.
+bool read_exact(int fd, unsigned char* buf, std::size_t n, bool at_boundary) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::read(fd, buf + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("read");
+    }
+    if (got == 0) {
+      if (at_boundary && off == 0) {
+        return false;
+      }
+      throw WireError("wire: connection closed mid-frame");
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> read_frame(int fd) {
+  unsigned char header[4];
+  if (!read_exact(fd, header, sizeof header, /*at_boundary=*/true)) {
+    return std::nullopt;
+  }
+  const std::size_t n = decode_frame_length(header);
+  std::string payload(n, '\0');
+  if (n > 0) {
+    read_exact(fd, reinterpret_cast<unsigned char*>(payload.data()), n,
+               /*at_boundary=*/false);
+  }
+  return payload;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t put =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace fvc::api

@@ -1,0 +1,70 @@
+#include "fvc/api/tile_cache.hpp"
+
+#include <stdexcept>
+
+namespace fvc::api {
+
+namespace {
+
+/// splitmix64 finalizer — the same avalanche the stats layer uses for
+/// seed mixing; cheap and well-distributed for composite keys.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::size_t TileKeyHash::operator()(const TileKey& k) const noexcept {
+  std::uint64_t h = mix(k.digest);
+  h = mix(h ^ k.theta_bits);
+  h = mix(h ^ k.k);
+  h = mix(h ^ (static_cast<std::uint64_t>(k.row_begin) << 32 | k.row_end));
+  return static_cast<std::size_t>(h);
+}
+
+TileCache::TileCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TileCache: capacity must be >= 1");
+  }
+}
+
+bool TileCache::lookup(const TileKey& key, core::GridRowStats& out) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  order_.splice(order_.begin(), order_, it->second);  // refresh recency
+  out = it->second->value;
+  return true;
+}
+
+void TileCache::insert(const TileKey& key, const core::GridRowStats& value) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->value = value;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Entry& victim = order_.back();
+    map_.erase(victim.key);
+    order_.pop_back();
+    ++stats_.evictions;
+  }
+  order_.push_front(Entry{key, value});
+  map_.emplace(key, order_.begin());
+}
+
+void TileCache::clear() {
+  map_.clear();
+  order_.clear();
+}
+
+}  // namespace fvc::api

@@ -1,0 +1,99 @@
+/// \file wire.hpp
+/// \brief The `fvc.query/1` wire format: length-prefixed flat-JSON frames.
+///
+/// A frame is a 4-byte big-endian unsigned length N followed by N bytes of
+/// UTF-8 JSON.  The JSON body is a *flat* object — string, number, or
+/// boolean values only; nested objects and arrays are rejected — which
+/// keeps the parser small, the protocol greppable, and every client
+/// implementable in a few lines of any language.  Frames above
+/// `kMaxFrameBytes` are rejected before the body is read (a malformed or
+/// hostile length prefix must not drive allocation).
+///
+/// Requests name their operation in `op`:
+///   {"op":"point","x":0.5,"y":0.25}
+///   {"op":"region","y_lo":0.4,"y_hi":0.6}
+///   {"op":"what_if","action":"add","x":..,"y":..,"orientation":..,
+///    "radius":..,"fov":..,"group":..}
+///   {"op":"what_if","action":"remove","index":3}
+///   {"op":"what_if","action":"move","index":3,"x":..,"y":..,...}
+///   {"op":"what_if","action":"set_theta","theta":0.5}
+///   {"op":"info"}
+/// Responses always carry `ok` plus either the answer fields and the
+/// current deployment `digest` ("0x%016x"), or `error` with a message.
+/// Doubles travel as %.17g (full round-trip, the repo-wide convention),
+/// so served numbers are bit-identical to locally computed ones.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fvc::api {
+
+/// Schema tag carried in every response.
+inline constexpr const char* kQuerySchema = "fvc.query/1";
+
+/// Upper bound on a frame body; larger length prefixes are rejected.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+/// Protocol-level failure (malformed JSON, oversized frame, bad field).
+/// Servers turn it into an `ok:false` response; a broken length prefix
+/// instead closes the connection.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One value of a flat JSON object.
+struct WireValue {
+  enum class Kind { kNumber, kString, kBool };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string string;
+  bool boolean = false;
+};
+
+/// A parsed flat JSON object.
+using WireObject = std::map<std::string, WireValue, std::less<>>;
+
+/// Parse a flat JSON object.  \throws WireError on malformed input,
+/// nesting, duplicate keys, or non-finite numbers.
+[[nodiscard]] WireObject parse_flat_object(std::string_view json);
+
+/// Field accessors; \throws WireError when missing or the wrong kind.
+[[nodiscard]] double get_number(const WireObject& obj, std::string_view key);
+[[nodiscard]] const std::string& get_string(const WireObject& obj,
+                                            std::string_view key);
+[[nodiscard]] bool get_bool(const WireObject& obj, std::string_view key);
+/// Missing key returns `fallback` (type mismatches still throw).
+[[nodiscard]] double get_number_or(const WireObject& obj, std::string_view key,
+                                   double fallback);
+
+/// Incremental writer for a flat JSON object (keys in call order).
+class JsonObjectWriter {
+ public:
+  void add_string(std::string_view key, std::string_view value);
+  void add_number(std::string_view key, double value);  ///< %.17g
+  void add_integer(std::string_view key, std::uint64_t value);
+  void add_bool(std::string_view key, bool value);
+  /// The completed object; the writer may not be reused afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  void sep();
+  std::string body_ = "{";
+};
+
+/// Prepend the 4-byte big-endian length prefix.
+/// \throws WireError when `payload` exceeds kMaxFrameBytes.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Parse the length prefix from >= 4 buffered bytes.
+/// \throws WireError when the announced length exceeds kMaxFrameBytes.
+[[nodiscard]] std::size_t decode_frame_length(const unsigned char header[4]);
+
+}  // namespace fvc::api

@@ -152,6 +152,20 @@ const std::vector<CommandSpec>& command_table() {
         {"candidates", "K", "12", "candidate orientations per camera"},
         {"save", "FILE", "", "save the re-aimed deployment to FILE"},
         {"load", "FILE", "", "load the deployment from FILE"}}},
+      {"serve",
+       "hot-engine coverage query daemon speaking fvc.query/1 over a local "
+       "socket (SIGINT drains and exits 130)",
+       &cmd_serve,
+       {{"socket", "PATH", "", "unix socket path to listen on (required)"},
+        {"n", "N", "300", "population size"},
+        {"theta", "RAD", "0.785", "effective angle"},
+        {"radius", "R", "0.15", "sensing radius"},
+        {"fov", "RAD", "2.0", "camera field of view"},
+        {"seed", "S", "1", "deployment RNG seed"},
+        {"load", "FILE", "", "load the deployment from FILE"},
+        {"grid-side", "M", "64", "region-query evaluation grid side"},
+        {"tile-rows", "K", "8", "grid rows per cached tile"},
+        {"cache-tiles", "C", "1024", "tile cache capacity (entries)"}}},
   };
   return table;
 }

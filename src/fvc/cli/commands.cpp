@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "fvc/analysis/csa.hpp"
+#include "fvc/api/server.hpp"
+#include "fvc/api/session.hpp"
 #include "fvc/analysis/exact_theory.hpp"
 #include "fvc/analysis/planner.hpp"
 #include "fvc/analysis/poisson_theory.hpp"
@@ -110,7 +112,7 @@ int cmd_csa(CommandContext& ctx) {
   t.add_row({"sectors k_S", std::to_string(analysis::sufficient_sector_count(theta))});
   t.print(ctx.out());
   ctx.root().set("n", n);
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_plan(CommandContext& ctx) {
@@ -133,7 +135,7 @@ int cmd_plan(CommandContext& ctx) {
   }
   t.print(ctx.out());
   ctx.root().set("n", n);
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_simulate(CommandContext& ctx) {
@@ -160,7 +162,7 @@ int cmd_simulate(CommandContext& ctx) {
     row("grid full-view covered", est.full_view);
     row("grid meets sufficient condition (H_S)", est.sufficient);
     t.print(ctx.out());
-    return 0;
+    return kExitSuccess;
   }
   // Sharded / checkpointed / resumed: drive the run through an explicit
   // unit list and fold the report from the checkpoint document, so it
@@ -187,7 +189,7 @@ int cmd_simulate(CommandContext& ctx) {
   }
   session.finish();
   render_checkpoint_report(ctx.out(), session.checkpoint());
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_poisson(CommandContext& ctx) {
@@ -203,7 +205,7 @@ int cmd_poisson(CommandContext& ctx) {
              report::fmt(analysis::prob_point_sufficient_poisson(profile, n, theta), 4)});
   t.print(ctx.out());
   ctx.root().set("n", n);
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_exact(CommandContext& ctx) {
@@ -221,7 +223,7 @@ int cmd_exact(CommandContext& ctx) {
              report::fmt(analysis::point_success_necessary(profile, n, theta), 4)});
   t.print(ctx.out());
   ctx.root().set("n", static_cast<double>(n));
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_phase(CommandContext& ctx) {
@@ -275,7 +277,7 @@ int cmd_phase(CommandContext& ctx) {
   if (session.has_value()) {
     session->finish();
     render_checkpoint_report(ctx.out(), session->checkpoint());
-    return 0;
+    return kExitSuccess;
   }
   report::Table t({"q", "P(H_N)", "P(full view)", "P(H_S)"});
   for (const auto& pt : points) {
@@ -284,7 +286,7 @@ int cmd_phase(CommandContext& ctx) {
                report::fmt(pt.events.sufficient.p(), 3)});
   }
   t.print(ctx.out());
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_threshold(CommandContext& ctx) {
@@ -370,7 +372,7 @@ int cmd_threshold(CommandContext& ctx) {
   }
   session.finish();
   render_checkpoint_report(ctx.out(), session.checkpoint());
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_merge_shards(CommandContext& ctx) {
@@ -410,7 +412,7 @@ int cmd_merge_shards(CommandContext& ctx) {
   ctx.root().set("units_total", static_cast<double>(merged.total_units));
   // Non-zero when units are missing, so scripts (and CI) can demand a
   // complete merge without parsing the report.
-  return merged.complete() ? 0 : 1;
+  return merged.complete() ? kExitSuccess : kExitFailure;
 }
 
 int cmd_map(CommandContext& ctx) {
@@ -440,14 +442,14 @@ int cmd_map(CommandContext& ctx) {
   if (obs::MetricsNode* node = ctx.metrics_child("region")) {
     obs::Span span(*node);
     const core::DenseGrid grid(side);
-    const core::RegionCoverageStats stats = sim::evaluate_region_parallel_metered(
-        net, grid, theta, sim::default_thread_count(), *node,
-        args.get_size("grain", 0));
+    const core::RegionCoverageStats stats = sim::evaluate_region_parallel(
+        net, grid, theta, sim::default_thread_count(), args.get_size("grain", 0),
+        node);
     node->set("grid_points", static_cast<double>(stats.total_points));
     node->set("covered_1_points", static_cast<double>(stats.covered_1));
     node->set("full_view_points", static_cast<double>(stats.full_view_ok));
   }
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_barrier(CommandContext& ctx) {
@@ -470,7 +472,7 @@ int cmd_barrier(CommandContext& ctx) {
   t.add_row({"weak barrier (straight crossings)", r.weak ? "HELD" : "BREACHED"});
   t.add_row({"strong barrier (any crossing path)", r.strong ? "HELD" : "BREACHED"});
   t.print(ctx.out());
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_track(CommandContext& ctx) {
@@ -502,7 +504,7 @@ int cmd_track(CommandContext& ctx) {
   t.add_row({"walks with at least one capture",
              std::to_string(captured_walks) + "/" + std::to_string(walks)});
   t.print(ctx.out());
-  return 0;
+  return kExitSuccess;
 }
 
 int cmd_repair(CommandContext& ctx) {
@@ -534,7 +536,7 @@ int cmd_repair(CommandContext& ctx) {
     out << "saved " << fixed.size() << " cameras to " << args.get_string("save", "")
         << "\n";
   }
-  return result.success ? 0 : 1;
+  return result.success ? kExitSuccess : kExitFailure;
 }
 
 int cmd_aim(CommandContext& ctx) {
@@ -566,24 +568,75 @@ int cmd_aim(CommandContext& ctx) {
     out << "saved " << result.cameras.size() << " cameras to "
         << args.get_string("save", "") << "\n";
   }
-  return 0;
+  return kExitSuccess;
+}
+
+int cmd_serve(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  std::ostream& out = ctx.out();
+  const std::string socket_path = args.get_string("socket", "");
+  if (socket_path.empty()) {
+    throw std::invalid_argument("serve: --socket PATH is required");
+  }
+  const core::Network net = deploy_or_load(ctx);
+
+  api::SessionConfig scfg;
+  scfg.cameras.assign(net.cameras().begin(), net.cameras().end());
+  scfg.theta = args.get_double("theta", geom::kHalfPi);
+  scfg.grid_side = args.get_size("grid-side", 64);
+  scfg.tile_rows = args.get_size("tile-rows", 8);
+  scfg.cache_tiles = args.get_size("cache-tiles", 1024);
+  scfg.grain = args.get_size("grain", 1);
+  scfg.metrics = ctx.metrics_child("session");
+  scfg.progress = ctx.progress_fn();
+  api::Session session(std::move(scfg));
+
+  api::ServerConfig cfg;
+  cfg.socket_path = socket_path;
+  out << "serving " << session.camera_count() << " cameras (digest "
+      << session.digest_hex() << ", grid " << session.grid_side() << "x"
+      << session.grid_side() << ") on " << socket_path << "\n";
+  out.flush();  // the smoke harness waits for this line before connecting
+  const api::ServeReport report = [&] {
+    obs::MetricsNode& node = ctx.root().child("serve");
+    obs::Span span(node);
+    api::ServeReport r = api::serve(session, cfg, ctx.cancel());
+    node.set("connections", static_cast<double>(r.connections));
+    node.set("requests", static_cast<double>(r.requests));
+    node.set("errors", static_cast<double>(r.errors));
+    return r;
+  }();
+  report::Table t({"serve metric", "value"});
+  t.add_row({"connections", std::to_string(report.connections)});
+  t.add_row({"requests served", std::to_string(report.requests)});
+  t.add_row({"error responses", std::to_string(report.errors)});
+  const api::TileCacheStats& cs = session.cache().stats();
+  t.add_row({"tile cache hits", std::to_string(cs.hits)});
+  t.add_row({"tile cache misses", std::to_string(cs.misses)});
+  t.add_row({"tile cache evictions", std::to_string(cs.evictions)});
+  t.add_row({"tiles carried across edits", std::to_string(cs.carried_forward)});
+  t.print(out);
+  // The accept loop only exits on cancellation, so run_command's
+  // cancelled && code == 0 path reports kExitCancelled (130) — the clean
+  // SIGINT drain the CI smoke leg asserts on.
+  return kExitSuccess;
 }
 
 int run_command(const Args& args, std::ostream& out) {
   const std::string& cmd = args.command();
   if (cmd.empty()) {
     print_help(out);
-    return 1;
+    return kExitFailure;
   }
   if (cmd == "help") {
     print_help(out);
-    return 0;
+    return kExitSuccess;
   }
   const CommandSpec* spec = find_command(cmd);
   if (spec == nullptr) {
     out << "unknown command: " << cmd << "\n\n";
     print_help(out);
-    return 1;
+    return kExitFailure;
   }
   args.expect_only(allowed_flags(*spec));
   // --kernel pins the grid-eval kernel variant for every engine the command
@@ -647,7 +700,7 @@ int run_command(const Args& args, std::ostream& out) {
     ctx.set_watchdog(&*watchdog);
   }
 
-  int code = 0;
+  int code = kExitSuccess;
   {
     const ActiveTokenGuard token_guard(ctx.cancel());
     obs::Span run_span(ctx.root());
@@ -661,7 +714,7 @@ int run_command(const Args& args, std::ostream& out) {
     watchdog->stop();
   }
   const bool cancelled = ctx.cancel().stop_requested();
-  if (cancelled && code == 0) {
+  if (cancelled && code == kExitSuccess) {
     code = kExitCancelled;
     out << "cancelled: partial results (completed work only)\n";
   }

@@ -14,13 +14,9 @@
 
 #include "fvc/cli/args.hpp"
 #include "fvc/cli/command_context.hpp"
+#include "fvc/cli/exit_codes.hpp"
 
 namespace fvc::cli {
-
-/// Exit code of a run that was cooperatively cancelled (SIGINT or
-/// watchdog): the report, metrics, and trace cover only the work that
-/// completed.  Mirrors the shell convention 128 + SIGINT.
-inline constexpr int kExitCancelled = 130;
 
 /// Request cooperative stop on the command currently inside run_command,
 /// if any.  Async-signal-safe (one atomic load and one relaxed store) —
@@ -68,6 +64,9 @@ int cmd_repair(CommandContext& ctx);
 
 /// One-shot orientation optimization of a deployment.
 int cmd_aim(CommandContext& ctx);
+
+/// Hot-engine coverage query daemon over a local socket (fvc.query/1).
+int cmd_serve(CommandContext& ctx);
 
 /// Dispatch on args.command(); empty command prints help and returns
 /// failure, "help" prints help and succeeds, unknown commands report and

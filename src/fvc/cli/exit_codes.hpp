@@ -1,0 +1,29 @@
+/// \file exit_codes.hpp
+/// \brief The process exit codes every fvc_sim subcommand (and the serve
+/// daemon) reports through.
+///
+/// Exit codes are part of the CLI contract: scripts, the CI smoke legs and
+/// the orchestration layer branch on them, so the values live in one place
+/// instead of as scattered literals.  The meanings:
+///
+///   kExitSuccess    — the command ran to completion.
+///   kExitFailure    — ordinary failure: usage errors, a failed merge
+///                     (missing units), a repair that ran out of budget,
+///                     unhandled exceptions reported by main().
+///   kExitCancelled  — the run was cooperatively cancelled (SIGINT or the
+///                     stall watchdog) and the report/metrics/trace cover
+///                     only the completed work.  Mirrors the shell
+///                     convention 128 + SIGINT; distinguishable from
+///                     kExitFailure so "partial results, resumable" is
+///                     scriptable.
+#pragma once
+
+namespace fvc::cli {
+
+inline constexpr int kExitSuccess = 0;
+inline constexpr int kExitFailure = 1;
+
+/// 128 + SIGINT: cancelled with partial (but valid, resumable) results.
+inline constexpr int kExitCancelled = 130;
+
+}  // namespace fvc::cli

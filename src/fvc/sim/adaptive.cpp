@@ -32,9 +32,13 @@ AdaptiveEstimate estimate_events_adaptive(const TrialConfig& trial_cfg,
   while (next_trial < cfg.max_trials) {
     const std::size_t count = std::min(cfg.batch, cfg.max_trials - next_trial);
     std::vector<TrialEvents> batch(count);
-    parallel_for(count, threads, [&](std::size_t i) {
-      batch[i] = run_trial_events(trial_cfg, stats::mix64(master_seed, next_trial + i));
-    });
+    parallel_for_blocked(count, threads, 1,
+                         [&](std::size_t begin, std::size_t end, std::size_t) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             batch[i] = run_trial_events(
+                                 trial_cfg, stats::mix64(master_seed, next_trial + i));
+                           }
+                         });
     next_trial += count;
     for (const TrialEvents& ev : batch) {
       result.events.necessary.successes += ev.all_necessary ? 1 : 0;

@@ -20,8 +20,14 @@ stats::Interval EventEstimate::wilson(double z) const {
   return stats::wilson_interval(successes, trials, z);
 }
 
-GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t trials,
-                                        std::uint64_t master_seed, std::size_t threads) {
+namespace {
+
+/// Bare estimator: no cancellation/progress/metrics/shard machinery at all
+/// — the fast path the default (empty) RunOptions resolve to.
+GridEventsEstimate estimate_grid_events_bare(const TrialConfig& cfg,
+                                             std::size_t trials,
+                                             std::uint64_t master_seed,
+                                             std::size_t threads) {
   if (trials == 0) {
     throw std::invalid_argument("estimate_grid_events: trials must be >= 1");
   }
@@ -48,12 +54,14 @@ GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t tria
   return est;
 }
 
+}  // namespace
+
 GridEventsEstimate estimate_grid_events(const TrialConfig& cfg, std::size_t trials,
                                         std::uint64_t master_seed, std::size_t threads,
                                         const RunOptions& options) {
   if (options.cancel == nullptr && !options.progress && options.metrics == nullptr &&
       options.trial_indices.empty() && !options.on_trial && options.grain <= 1) {
-    return estimate_grid_events(cfg, trials, master_seed, threads);
+    return estimate_grid_events_bare(cfg, trials, master_seed, threads);
   }
   if (trials == 0) {
     throw std::invalid_argument("estimate_grid_events: trials must be >= 1");
@@ -231,13 +239,20 @@ FractionEstimate estimate_fractions(const TrialConfig& cfg, std::size_t trials,
     std::size_t deployed = 0;
   };
   std::vector<PerTrial> results(trials);
-  parallel_for(trials, threads, [&](std::size_t t) {
-    const obs::TraceScope scope("trial", obs::TraceCategory::kTrial, "index", t);
-    const std::uint64_t seed = stats::mix64(master_seed, t);
-    const core::Network net = deploy(cfg, seed);
-    results[t].deployed = net.size();
-    results[t].stats = core::evaluate_region(net, cfg.grid(), cfg.theta);
-  });
+  // Grain 1: each trial is a whole deployment + grid scan, which dwarfs a
+  // cursor claim; per-trial seeding keeps the slots order-independent.
+  parallel_for_blocked(trials, threads, 1,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t t = begin; t < end; ++t) {
+                           const obs::TraceScope scope(
+                               "trial", obs::TraceCategory::kTrial, "index", t);
+                           const std::uint64_t seed = stats::mix64(master_seed, t);
+                           const core::Network net = deploy(cfg, seed);
+                           results[t].deployed = net.size();
+                           results[t].stats =
+                               core::evaluate_region(net, cfg.grid(), cfg.theta);
+                         }
+                       });
   FractionEstimate est;
   for (const PerTrial& r : results) {
     est.covered_1.add(r.stats.fraction_covered_1());

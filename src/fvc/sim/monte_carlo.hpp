@@ -38,15 +38,8 @@ struct GridEventsEstimate {
   EventEstimate sufficient;  ///< P(H_S): grid meets the sufficient condition
 };
 
-/// Run `trials` independent trials of `cfg` on `threads` workers and count
-/// the whole-grid events.
-[[nodiscard]] GridEventsEstimate estimate_grid_events(const TrialConfig& cfg,
-                                                      std::size_t trials,
-                                                      std::uint64_t master_seed,
-                                                      std::size_t threads);
-
 /// Cross-cutting options of a Monte-Carlo run (all optional; the defaults
-/// reproduce the plain overloads exactly).
+/// reproduce the bare estimate exactly).
 struct RunOptions {
   /// Cooperative cancellation: polled between trials.  A cancelled run
   /// returns a PARTIAL estimate over exactly the trials that completed
@@ -78,14 +71,15 @@ struct RunOptions {
   std::size_t grain = 0;
 };
 
-/// Options-taking variant of `estimate_grid_events`.  The estimate is
-/// bit-identical to the plain overload whenever the run is not cancelled,
-/// for any thread count and any metrics/progress settings.
+/// Run `trials` independent trials of `cfg` on `threads` workers and count
+/// the whole-grid events.  The default (empty) options run the bare
+/// estimator; the estimate is bit-identical for any thread count and any
+/// metrics/progress settings whenever the run is not cancelled.
 [[nodiscard]] GridEventsEstimate estimate_grid_events(const TrialConfig& cfg,
                                                       std::size_t trials,
                                                       std::uint64_t master_seed,
                                                       std::size_t threads,
-                                                      const RunOptions& options);
+                                                      const RunOptions& options = {});
 
 /// Checkpoint payload codec for one trial: the three event bits as
 /// doubles, in TrialEvents field order.  The layout is part of the

@@ -86,35 +86,28 @@ core::RegionCoverageStats scan_rows(const core::GridEvalEngine& engine,
 core::RegionCoverageStats evaluate_region_parallel(const core::Network& net,
                                                    const core::DenseGrid& grid,
                                                    double theta, std::size_t threads,
-                                                   std::size_t grain) {
-  const core::GridEvalEngine engine(net, grid, theta);
-  return scan_rows(engine, grid, plan_blocks(engine.rows(), threads, grain), nullptr,
-                   nullptr);
-}
-
-core::RegionCoverageStats evaluate_region_parallel_metered(const core::Network& net,
-                                                           const core::DenseGrid& grid,
-                                                           double theta,
-                                                           std::size_t threads,
-                                                           obs::MetricsNode& node,
-                                                           std::size_t grain) {
+                                                   std::size_t grain,
+                                                   obs::MetricsNode* metrics) {
   const core::GridEvalEngine engine(net, grid, theta);
   const BlockPlan plan = plan_blocks(engine.rows(), threads, grain);
+  if (metrics == nullptr) {
+    return scan_rows(engine, grid, plan, nullptr, nullptr);
+  }
   std::vector<core::GridEvalCounters> counter_slots(plan.workers);
   PoolMetrics pool;
   core::RegionCoverageStats stats;
   {
-    const obs::Span scan_span(node.child("scan"));
+    const obs::Span scan_span(metrics->child("scan"));
     stats = scan_rows(engine, grid, plan, &counter_slots, &pool);
   }
-  obs::MetricsNode& engine_node = node.child("engine");
+  obs::MetricsNode& engine_node = metrics->child("engine");
   engine.describe(engine_node);
   core::GridEvalCounters merged;
   for (const core::GridEvalCounters& c : counter_slots) {
     merged.merge(c);
   }
   merged.describe(engine_node);
-  describe(pool, node.child("pool"));
+  describe(pool, metrics->child("pool"));
   return stats;
 }
 

@@ -32,13 +32,12 @@ namespace fvc::sim {
 
 /// Block-parallel `core::evaluate_region`.  Bit-identical to the serial
 /// (and scalar) evaluation for any `threads` >= 1 and any `grain`
-/// (0 = automatic: `choose_grain(rows, threads)`).
-[[nodiscard]] core::RegionCoverageStats evaluate_region_parallel(
-    const core::Network& net, const core::DenseGrid& grid, double theta,
-    std::size_t threads, std::size_t grain = 0);
-
-/// Metered variant: identical statistics (same engine, same block merge),
-/// plus a filled metrics subtree under `node`:
+/// (0 = automatic: `choose_grain(rows, threads)`), whether or not metrics
+/// are collected.
+///
+/// `metrics` (default null: no collection, no clock calls) selects the
+/// metered path: identical statistics (same engine, same block merge), plus
+/// a filled subtree under the node:
 ///   engine  — static shape (bin occupancy, build span) and the merged
 ///             gather counters (candidate histogram, fallbacks)
 ///   pool    — worker busy/idle time, block/task counts and the grain of
@@ -47,9 +46,10 @@ namespace fvc::sim {
 /// Gather counters live in per-worker slots merged in worker order; the
 /// totals are order-independent sums, so the exported values are
 /// deterministic for any thread count and grain.
-[[nodiscard]] core::RegionCoverageStats evaluate_region_parallel_metered(
+[[nodiscard]] core::RegionCoverageStats evaluate_region_parallel(
     const core::Network& net, const core::DenseGrid& grid, double theta,
-    std::size_t threads, obs::MetricsNode& node, std::size_t grain = 0);
+    std::size_t threads, std::size_t grain = 0,
+    obs::MetricsNode* metrics = nullptr);
 
 /// Whole-grid events of one deployment (the H_N / full-view / H_S bits).
 struct GridEvents {

@@ -136,11 +136,11 @@ void parallel_for_blocked(std::size_t count, std::size_t threads, std::size_t gr
   }
 }
 
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn) {
-  parallel_for(count, threads, fn, nullptr);
-}
-
+// The adapter itself is deprecated; defining it must not warn.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t)>& fn, PoolMetrics* metrics) {
   // Grain 1: each block is exactly one index, preserving the historical
@@ -155,5 +155,8 @@ void parallel_for(std::size_t count, std::size_t threads,
       },
       metrics);
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace fvc::sim

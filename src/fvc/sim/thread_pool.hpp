@@ -140,16 +140,21 @@ void parallel_for_blocked(std::size_t count, std::size_t threads, std::size_t gr
                           const ParallelBlockFn& fn, PoolMetrics* metrics = nullptr);
 
 /// Run `fn(i)` for every i in [0, count) across `threads` workers: the
-/// blocked scheduler at grain 1, for workloads (Monte-Carlo trials) whose
-/// per-index cost dwarfs a cursor claim and varies too much to batch.
+/// blocked scheduler at grain 1.  `metrics` (default null: no collection)
+/// fills per-worker busy time and task counts; scheduling and results are
+/// identical either way.
+///
+/// Deprecated: grain 1 pays one cursor claim and one std::function call
+/// per index.  Call `parallel_for_blocked` instead — pass grain 1
+/// explicitly if per-index blocks are genuinely right (Monte-Carlo trials
+/// whose unit cost dwarfs a claim), or 0 for `choose_grain`.  Removal is
+/// tracked in docs/ARCHITECTURE.md ("Blocked scheduling").
+[[deprecated(
+    "use parallel_for_blocked(count, threads, grain, fn) — this grain-1 "
+    "adapter will be removed (see docs/ARCHITECTURE.md)")]]
 void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn);
-
-/// Metered variant: additionally fills `metrics` (when non-null) with
-/// per-worker busy time and task counts.  Scheduling and results are
-/// identical to the unmetered overload.
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn, PoolMetrics* metrics);
+                  const std::function<void(std::size_t)>& fn,
+                  PoolMetrics* metrics = nullptr);
 
 /// Export pool utilization into a metrics node: `workers`, `tasks`,
 /// `blocks`, `grain`, `busy_ns`, `idle_ns`, `utilization`, plus a

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fvc/cli/command_registry.hpp"
@@ -117,7 +121,9 @@ TEST(MetricsJson, EveryCommandEmitsAValidDocument) {
       {"repair", "--n", "120", "--radius", "0.2", "--grid-side", "8"},
       {"aim", "--n", "100", "--radius", "0.2", "--fov", "1.5", "--grid-side", "8"},
   };
-  ASSERT_EQ(invocations.size(), command_table().size())
+  // serve blocks until cancelled, so it is exercised separately below;
+  // the +1 keeps this guard demanding an entry for every new subcommand.
+  ASSERT_EQ(invocations.size() + 1, command_table().size())
       << "new subcommand missing from the metrics schema test";
   for (const auto& argv : invocations) {
     const RunResult r = run_with_metrics(argv);
@@ -126,6 +132,34 @@ TEST(MetricsJson, EveryCommandEmitsAValidDocument) {
     EXPECT_NE(r.output.find("metrics: wrote"), std::string::npos) << argv[0];
   }
   std::remove(merge_input);
+
+  // serve: run on a thread, request cooperative stop once the socket is
+  // bound (proof the handler is inside its accept loop), and demand the
+  // drained run still exits 130 and flushes a valid partial document.
+  const std::string sock = "/tmp/fvc_cli_metrics_every_serve.sock";
+  const std::string serve_metrics = "/tmp/fvc_cli_metrics_every_serve.json";
+  std::remove(sock.c_str());
+  const char* serve_tokens[] = {"serve",       "--socket", sock.c_str(),
+                                "--n",         "40",       "--grid-side",
+                                "8",           "--metrics", serve_metrics.c_str()};
+  const Args serve_args = Args::parse(9, serve_tokens);
+  std::ostringstream serve_out;
+  int serve_code = -1;
+  std::thread server([&] { serve_code = run_command(serve_args, serve_out); });
+  for (int i = 0; i < 500 && ::access(sock.c_str(), F_OK) != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(::access(sock.c_str(), F_OK), 0) << "serve never bound its socket";
+  request_active_command_stop();
+  server.join();
+  EXPECT_EQ(serve_code, kExitCancelled);
+  std::ifstream is(serve_metrics);
+  ASSERT_TRUE(is.good()) << "metrics file missing for serve";
+  std::stringstream ss;
+  ss << is.rdbuf();
+  std::remove(serve_metrics.c_str());
+  check_document(parse_json(ss.str()), "serve");
+  EXPECT_NE(serve_out.str().find("metrics: wrote"), std::string::npos);
 }
 
 TEST(MetricsJson, SimulateEstimateSubtree) {

@@ -119,8 +119,8 @@ TEST(ParallelIdentity, MeteredScanIsBitIdenticalToo) {
   const core::RegionCoverageStats serial = core::evaluate_region(net, grid, theta);
   for (const std::size_t grain : kGrains) {
     obs::MetricsNode node("region");
-    expect_bitwise_equal(serial, evaluate_region_parallel_metered(net, grid, theta, 3,
-                                                                  node, grain));
+    expect_bitwise_equal(
+        serial, evaluate_region_parallel(net, grid, theta, 3, grain, &node));
     // The metered pool subtree reflects the blocked schedule.
     EXPECT_EQ(node.child("pool").counter("tasks"), 17.0);
   }

@@ -9,6 +9,12 @@
 
 #include "fvc/obs/run_metrics.hpp"
 
+// This file deliberately keeps exercising the deprecated grain-1
+// `parallel_for` adapter until it is removed (see docs/ARCHITECTURE.md).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace fvc::sim {
 namespace {
 

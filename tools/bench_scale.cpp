@@ -232,8 +232,7 @@ int main(int argc, char** argv) {
           // the scheduler actually used; must still be bit-identical.
           obs::MetricsNode node("scan");
           const core::RegionCoverageStats metered_stats =
-              sim::evaluate_region_parallel_metered(net, grid, theta, threads, node,
-                                                    grain);
+              sim::evaluate_region_parallel(net, grid, theta, threads, grain, &node);
           if (!same_stats(serial_stats, metered_stats)) {
             std::fprintf(stderr,
                          "bench_scale: FAIL — metered threads=%zu grain=%zu "

@@ -3,11 +3,11 @@
 /// is unit-tested; this binary only parses, dispatches, and reports errors.
 
 #include <csignal>
-#include <cstdlib>
 #include <iostream>
 
 #include "fvc/cli/args.hpp"
 #include "fvc/cli/commands.hpp"
+#include "fvc/cli/exit_codes.hpp"
 
 namespace {
 
@@ -35,6 +35,6 @@ int main(int argc, char** argv) {
     return fvc::cli::run_command(args, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return EXIT_FAILURE;
+    return fvc::cli::kExitFailure;
   }
 }
