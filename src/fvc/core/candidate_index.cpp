@@ -1,0 +1,82 @@
+#include "fvc/core/candidate_index.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fvc::core {
+
+namespace {
+
+constexpr std::array<std::string_view, kIndexVariantCount> kNames = {
+    "flat", "hier", "stream"};
+
+std::atomic<std::uint64_t> g_dispatch_counts[kIndexVariantCount];
+
+/// The programmatic pin.  Encoded as variant index + 1 (0 = not pinned)
+/// so the whole state fits one lock-free atomic.
+std::atomic<int> g_forced{0};
+
+}  // namespace
+
+std::string_view index_name(IndexVariant v) {
+  return kNames.at(static_cast<std::size_t>(v));
+}
+
+std::optional<IndexVariant> index_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kIndexVariantCount; ++i) {
+    if (kNames[i] == name) {
+      return static_cast<IndexVariant>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+IndexVariant preferred_index() { return IndexVariant::kStream; }
+
+void set_forced_index(std::optional<IndexVariant> v) {
+  g_forced.store(v.has_value() ? static_cast<int>(*v) + 1 : 0,
+                 std::memory_order_relaxed);
+}
+
+std::optional<IndexVariant> forced_index() {
+  const int raw = g_forced.load(std::memory_order_relaxed);
+  if (raw == 0) {
+    return std::nullopt;
+  }
+  return static_cast<IndexVariant>(raw - 1);
+}
+
+IndexVariant resolve_index() {
+  if (const std::optional<IndexVariant> pinned = forced_index()) {
+    return *pinned;
+  }
+  // Re-read the environment on every resolve (engine constructions are
+  // rare next to the work an engine does) so harnesses can change it
+  // without restarting the process.  Set-but-empty means unset, matching
+  // FVC_FORCE_KERNEL.
+  if (const char* env = std::getenv("FVC_FORCE_INDEX");
+      env != nullptr && env[0] != '\0') {
+    const std::optional<IndexVariant> v = index_from_name(env);
+    if (!v.has_value()) {
+      throw std::runtime_error(std::string("FVC_FORCE_INDEX: unknown index '") +
+                               env + "' (expected flat|hier|stream)");
+    }
+    return *v;
+  }
+  return preferred_index();
+}
+
+void note_index_dispatch(IndexVariant v) {
+  g_dispatch_counts[static_cast<std::size_t>(v)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t index_dispatch_count(IndexVariant v) {
+  return g_dispatch_counts[static_cast<std::size_t>(v)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace fvc::core

@@ -1,9 +1,10 @@
 #include "fvc/core/grid_eval.hpp"
 
 #include <algorithm>
-#include <array>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -18,10 +19,21 @@ namespace fvc::core {
 
 namespace {
 
-/// Upper bound on engine binning cells per side.  Sizes the per-axis
-/// scratch arrays in bin_cameras' enumeration loop, so the cell-count
-/// clamp there must never exceed it.
-constexpr std::size_t kMaxCellsPerSide = 256;
+/// Absolute ceiling on index cells per side: keeps the fine-cell bucket
+/// key (cells^2) within the 32-bit counting-sort keys.  Far above any
+/// radius the sizing rule meets in practice (it binds only below
+/// max_radius ~ 5e-5); the per-grid 4 * side cap binds first on real
+/// configurations.
+constexpr std::size_t kAbsoluteMaxCells = 65535;
+
+/// Unique id per engine instance; keys the per-scratch stream row slices
+/// so a scratch can be handed from one engine to another (rebuilds, trial
+/// loops) without serving a stale slice.  Starts at 1: a default
+/// RowSlice's generation 0 never matches.
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 /// Vectorized classify entry point for a dispatched variant; nullptr for
 /// the scalar variant (and, defensively, for variants this build lacks —
@@ -154,12 +166,26 @@ GridEvalEngine::GridEvalEngine(const Network& net, const DenseGrid& grid, double
   kernel_ = resolve_kernel();
   classify_ = classify_for(kernel_);
   note_kernel_dispatch(kernel_);
+  index_ = resolve_index();
+  note_index_dispatch(index_);
+  generation_ = next_generation();
   necessary_arcs_ = geom::sector_partition(2.0 * theta);
   sufficient_arcs_ = geom::sector_partition(theta);
   const obs::TraceScope scope("engine.build", obs::TraceCategory::kEngine,
                               "cameras", net.size());
   const std::uint64_t t0 = obs::monotonic_ns();
-  bin_cameras();
+  compute_cells();
+  switch (index_) {
+    case IndexVariant::kFlat:
+      build_flat();
+      break;
+    case IndexVariant::kHier:
+      build_hier();
+      break;
+    case IndexVariant::kStream:
+      build_stream();
+      break;
+  }
   build_ns_ = obs::monotonic_ns() - t0;
 }
 
@@ -170,18 +196,66 @@ void GridEvalEngine::CandSoA::resize(std::size_t n) {
 
 GridEvalEngine::BinOccupancy GridEvalEngine::occupancy() const {
   BinOccupancy occ;
-  occ.cells = cells_ * cells_;
-  occ.entries = cell_entries_.size();
-  for (std::size_t b = 0; b < occ.cells; ++b) {
-    const std::size_t count = cell_offsets_[b + 1] - cell_offsets_[b];
+  auto tally = [&occ](std::size_t count) {
     if (count == 0) {
       ++occ.empty_cells;
     }
     occ.max_per_cell = std::max(occ.max_per_cell, count);
+  };
+  switch (index_) {
+    case IndexVariant::kFlat: {
+      occ.cells = cells_ * cells_;
+      occ.entries = cell_entries_.size();
+      for (std::size_t b = 0; b < occ.cells; ++b) {
+        tally(cell_offsets_[b + 1] - cell_offsets_[b]);
+      }
+      break;
+    }
+    case IndexVariant::kHier: {
+      // Bins are the index's leaves: whole tiles where unsubdivided, the
+      // tile-local fine cells where subdivided.
+      occ.entries = cell_entries_.size();
+      constexpr std::size_t kLocals = kHierSubdiv * kHierSubdiv;
+      for (std::size_t t = 0; t < tiles_ * tiles_; ++t) {
+        if (tile_slot_[t] == 0) {
+          ++occ.cells;
+          tally(tile_offsets_[t + 1] - tile_offsets_[t]);
+        } else {
+          occ.cells += kLocals;
+          const std::uint32_t* fo =
+              fine_offsets_.data() + (tile_slot_[t] - 1) * (kLocals + 1);
+          for (std::size_t i = 0; i < kLocals; ++i) {
+            tally(fo[i + 1] - fo[i]);
+          }
+        }
+      }
+      break;
+    }
+    case IndexVariant::kStream: {
+      // Bins are the y strips: the build-time structure (row slices are
+      // per-scratch and transient).
+      occ.cells = cells_;
+      occ.entries = strip_entries_.size();
+      for (std::size_t s = 0; s < cells_; ++s) {
+        tally(strip_offsets_[s + 1] - strip_offsets_[s]);
+      }
+      break;
+    }
   }
-  occ.mean_per_cell =
-      static_cast<double>(occ.entries) / static_cast<double>(occ.cells);
+  occ.mean_per_cell = occ.cells == 0
+                          ? 0.0
+                          : static_cast<double>(occ.entries) /
+                                static_cast<double>(occ.cells);
   return occ;
+}
+
+std::size_t GridEvalEngine::index_bytes() const {
+  const std::size_t u32 = sizeof(std::uint32_t);
+  return cell_offsets_.size() * u32 + cell_entries_.size() * u32 +
+         soa_.data.size() * sizeof(double) + tile_offsets_.size() * u32 +
+         tile_slot_.size() * u32 + fine_offsets_.size() * u32 +
+         strip_offsets_.size() * u32 + strip_entries_.size() * u32 +
+         cam_soa_.data.size() * sizeof(double);
 }
 
 void GridEvalEngine::describe(obs::MetricsNode& node) const {
@@ -189,6 +263,9 @@ void GridEvalEngine::describe(obs::MetricsNode& node) const {
   node.set("cameras", static_cast<double>(net_->size()));
   node.set("grid_side", static_cast<double>(grid_.side()));
   node.set("cells_per_side", static_cast<double>(cells_));
+  node.set("cells_target", static_cast<double>(cells_target_));
+  node.set("cells_clamped", cells_clamped_ ? 1.0 : 0.0);
+  node.set("index_bytes", static_cast<double>(index_bytes()));
   node.set("bin_cells", static_cast<double>(occ.cells));
   node.set("bin_entries", static_cast<double>(occ.entries));
   node.set("bin_empty_cells", static_cast<double>(occ.empty_cells));
@@ -199,6 +276,7 @@ void GridEvalEngine::describe(obs::MetricsNode& node) const {
   node.add_elapsed_ns(build_ns_);
   node.child("build").add_elapsed_ns(build_ns_);
   describe_kernel_dispatch(kernel_, node);
+  describe_index_dispatch(index_, node);
 }
 
 void describe_kernel_dispatch(KernelVariant active, obs::MetricsNode& node) {
@@ -212,26 +290,47 @@ void describe_kernel_dispatch(KernelVariant active, obs::MetricsNode& node) {
   }
 }
 
-void GridEvalEngine::bin_cameras() {
-  const std::span<const Camera> cams = net_->cameras();
-  if (cams.size() > static_cast<std::size_t>(~std::uint32_t{0})) {
+void describe_index_dispatch(IndexVariant active, obs::MetricsNode& node) {
+  node.set(std::string("index_") += index_name(active), 1.0);
+  obs::MetricsNode& disp = node.child("index_dispatch");
+  for (std::size_t i = 0; i < kIndexVariantCount; ++i) {
+    const auto v = static_cast<IndexVariant>(i);
+    disp.set(std::string("engines_") += index_name(v),
+             static_cast<double>(index_dispatch_count(v)));
+  }
+}
+
+void GridEvalEngine::compute_cells() {
+  if (net_->cameras().size() > static_cast<std::size_t>(~std::uint32_t{0})) {
     throw std::invalid_argument("GridEvalEngine: too many cameras");
   }
-  // Cell sizing: correctness is set-based (every camera lands in every cell
-  // it could cover a point of), so the cell count only trades binning cost
+  // Cell sizing: correctness is set-based (every index answer is a superset
+  // of the covering cameras), so the cell count only trades build cost
   // against candidate-list tightness.  Cells of about a third of the
   // sensing radius keep the per-point candidate list within ~1.5x of the
-  // true in-radius count while the binned entry count stays ~n * pi * 9
-  // regardless of radius; the cap bounds construction cost on tiny grids
-  // and degenerate radii.
-  const double r = std::max(net_->max_radius(), 1e-6);
-  const auto target = static_cast<std::size_t>(std::ceil(3.0 / r));
-  const std::size_t cap = std::min<std::size_t>(
-      kMaxCellsPerSide, 4 * std::max<std::size_t>(1, grid_.side()));
-  cells_ = std::clamp<std::size_t>(target, 1, cap);
-  if (cams.empty()) {
+  // true in-radius count; the caps bound construction cost on tiny grids
+  // and degenerate radii.  FVC_INDEX_CELL_CAP is a diagnostic override
+  // (benchmarks use it to reproduce the historical 256-cell clamp).
+  const double r = std::max(net_->max_radius(), kMinSizingRadius);
+  cells_target_ = static_cast<std::size_t>(std::ceil(kCellsPerRadius / r));
+  std::size_t cap = std::min<std::size_t>(
+      kAbsoluteMaxCells, 4 * std::max<std::size_t>(1, grid_.side()));
+  if (const char* env = std::getenv("FVC_INDEX_CELL_CAP");
+      env != nullptr && env[0] != '\0') {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) {
+      cap = std::min<std::size_t>(cap, v);
+    }
+  }
+  cells_ = std::clamp<std::size_t>(cells_target_, 1, cap);
+  if (net_->cameras().empty()) {
     cells_ = 1;
   }
+  cells_clamped_ = cells_ < cells_target_;
+}
+
+void GridEvalEngine::enumerate_cell_pairs(std::vector<CellPair>& pairs) const {
+  const std::span<const Camera> cams = net_->cameras();
   const double h = 1.0 / static_cast<double>(cells_);
   const auto c = static_cast<std::ptrdiff_t>(cells_);
 
@@ -241,16 +340,21 @@ void GridEvalEngine::bin_cameras() {
   // the torus a cell at axis distance <= r < 1/2 appears in the window with
   // its short-way displacement, and windows spanning the whole circle are
   // clamped to one copy of each cell.
-  struct Pair {
-    std::uint32_t key;  ///< cell bucket (counting-sort key)
-    std::uint32_t cam;
-  };
-  std::vector<Pair> pairs;
+  pairs.clear();
   // Reserve the worst-case window area so the push_back loop never
   // reallocates (regrowth copies megabytes mid-enumeration).
+  const double rmax = std::max(net_->max_radius(), kMinSizingRadius);
   const auto span_bound = std::min<std::size_t>(
-      cells_, static_cast<std::size_t>(2.0 * r * static_cast<double>(cells_)) + 2);
+      cells_,
+      static_cast<std::size_t>(2.0 * rmax * static_cast<double>(cells_)) + 2);
   pairs.reserve(cams.size() * span_bound * span_bound);
+  // Everything that depends on one axis only — wrapped index, squared
+  // rectangle distance — is hoisted out of the column x row product (the
+  // per-cell modulo by a runtime divisor otherwise dominates enumeration).
+  // Heap scratch sized to the actual resolution: the sizing rule is no
+  // longer clamped to a fixed array bound (y_span <= c <= cells_).
+  std::vector<std::uint32_t> by_arr(cells_);
+  std::vector<double> dy2_arr(cells_);
   auto for_each_cell = [&](std::size_t i, const auto& emit) {
     const Camera& cam = cams[i];
     const double cr = cam.radius;
@@ -276,13 +380,6 @@ void GridEvalEngine::bin_cameras() {
     // mode, and on the torus when neither axis window wraps fully.
     const bool prune = mode_ == geom::SpaceMode::kPlane || (x_span < c && y_span < c);
     const double r2 = cr * cr;
-    // Everything that depends on one axis only — wrapped index, squared
-    // rectangle distance — is hoisted out of the column x row product (the
-    // per-cell modulo by a runtime divisor otherwise dominates
-    // enumeration).
-    // y_span <= c <= cells_ <= kMaxCellsPerSide in both axis-range modes.
-    std::array<std::uint32_t, kMaxCellsPerSide> by_arr;
-    std::array<double, kMaxCellsPerSide> dy2_arr;
     for (std::ptrdiff_t iy = 0; iy < y_span; ++iy) {
       const std::ptrdiff_t cy = y_lo + iy;
       const double cell_y_lo = static_cast<double>(cy) * h;
@@ -315,12 +412,16 @@ void GridEvalEngine::bin_cameras() {
           {static_cast<std::uint32_t>(bucket), static_cast<std::uint32_t>(i)});
     });
   }
+  if (pairs.size() > static_cast<std::size_t>(~std::uint32_t{0})) {
+    throw std::invalid_argument("GridEvalEngine: candidate index overflow");
+  }
+}
 
-  const std::size_t buckets = cells_ * cells_;
-
-  // Precompute one fused-kernel record per camera, not per (cell, camera)
-  // entry — a camera typically appears in tens of cells, and the trig
-  // calls dominate the record.
+void GridEvalEngine::fill_soa(CandSoA& soa, std::span<const std::uint32_t> ids) const {
+  const std::span<const Camera> cams = net_->cameras();
+  // Precompute one fused-kernel record per camera, not per entry — a
+  // camera typically appears in tens of cells, and the trig calls dominate
+  // the record.
   struct CamRec {
     double sx, sy, r2, cu, su, q, omni;
   };
@@ -340,34 +441,18 @@ void GridEvalEngine::bin_cameras() {
     rec.q = chs * std::abs(chs);
     rec.omni = 0.5 * cam.fov >= geom::kPi ? omni_mask : 0.0;
   }
-  // Counting-sort the pairs by cell so each cell's entries are one dense
-  // range the vectorized kernel consumes in whole lane groups.  Only the
-  // 4-byte camera ids are scattered; the SoA fields are then filled in a
-  // separate sequential pass (sequential writes to seven streams beat one
-  // scatter of 56-byte records by a wide margin).
-  cell_offsets_.assign(buckets + 1, 0);
-  for (const Pair& pr : pairs) {
-    ++cell_offsets_[pr.key + 1];
-  }
-  for (std::size_t b = 0; b < buckets; ++b) {
-    cell_offsets_[b + 1] += cell_offsets_[b];
-  }
-  cell_entries_.resize(pairs.size());
-  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
-  for (const Pair& pr : pairs) {
-    cell_entries_[cursor[pr.key]++] = pr.cam;
-  }
-
-  soa_.resize(pairs.size());
-  double* const f_sx = soa_.mut(0);
-  double* const f_sy = soa_.mut(1);
-  double* const f_r2 = soa_.mut(2);
-  double* const f_cu = soa_.mut(3);
-  double* const f_su = soa_.mut(4);
-  double* const f_q = soa_.mut(5);
-  double* const f_om = soa_.mut(6);
-  for (std::size_t w = 0; w < cell_entries_.size(); ++w) {
-    const CamRec& rec = cam_recs[cell_entries_[w]];
+  // Sequential writes to seven streams beat one scatter of 56-byte records
+  // by a wide margin.
+  soa.resize(ids.size());
+  double* const f_sx = soa.mut(0);
+  double* const f_sy = soa.mut(1);
+  double* const f_r2 = soa.mut(2);
+  double* const f_cu = soa.mut(3);
+  double* const f_su = soa.mut(4);
+  double* const f_q = soa.mut(5);
+  double* const f_om = soa.mut(6);
+  for (std::size_t w = 0; w < ids.size(); ++w) {
+    const CamRec& rec = cam_recs[ids[w]];
     f_sx[w] = rec.sx;
     f_sy[w] = rec.sy;
     f_r2[w] = rec.r2;
@@ -378,11 +463,348 @@ void GridEvalEngine::bin_cameras() {
   }
 }
 
-std::span<const std::uint32_t> GridEvalEngine::cell_candidates(std::size_t cx,
-                                                               std::size_t cy) const {
-  const std::size_t b = cx * cells_ + cy;
-  return {cell_entries_.data() + cell_offsets_[b],
-          cell_offsets_[b + 1] - cell_offsets_[b]};
+void GridEvalEngine::build_flat() {
+  std::vector<CellPair> pairs;
+  enumerate_cell_pairs(pairs);
+  const std::size_t buckets = cells_ * cells_;
+  // Counting-sort the pairs by cell so each cell's entries are one dense
+  // range the vectorized kernel consumes in whole lane groups.  Only the
+  // 4-byte camera ids are scattered; the SoA fields are then filled in a
+  // separate sequential pass.
+  cell_offsets_.assign(buckets + 1, 0);
+  for (const CellPair& pr : pairs) {
+    ++cell_offsets_[pr.key + 1];
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    cell_offsets_[b + 1] += cell_offsets_[b];
+  }
+  cell_entries_.resize(pairs.size());
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (const CellPair& pr : pairs) {
+    cell_entries_[cursor[pr.key]++] = pr.cam;
+  }
+  fill_soa(soa_, cell_entries_);
+}
+
+void GridEvalEngine::build_hier() {
+  std::vector<CellPair> pairs;
+  enumerate_cell_pairs(pairs);
+  tiles_ = (cells_ + kHierSubdiv - 1) / kHierSubdiv;
+  const std::size_t tcount = tiles_ * tiles_;
+  constexpr std::size_t kLocals = kHierSubdiv * kHierSubdiv;
+  // The fine-cell windows are the flat index's, but offsets exist only at
+  // tile granularity plus a pooled (sub^2+1)-slot table per *subdivided*
+  // tile — empty regions cost one offset per tile instead of kLocals, so
+  // memory tracks the occupied area on clustered deployments.
+  auto tile_of = [this](std::uint32_t key, std::size_t& local) {
+    const std::size_t bx = key / cells_;
+    const std::size_t by = key % cells_;
+    local = (bx % kHierSubdiv) * kHierSubdiv + (by % kHierSubdiv);
+    return (bx / kHierSubdiv) * tiles_ + (by / kHierSubdiv);
+  };
+  std::vector<std::uint32_t> raw_offsets(tcount + 1, 0);
+  std::size_t scratch_local = 0;
+  for (const CellPair& pr : pairs) {
+    ++raw_offsets[tile_of(pr.key, scratch_local) + 1];
+  }
+  for (std::size_t t = 0; t < tcount; ++t) {
+    raw_offsets[t + 1] += raw_offsets[t];
+  }
+  // Subdivide only tiles dense enough to repay 64 fine spans (measured on
+  // the replicated pair count — the cost a whole-tile span would hand the
+  // kernel).
+  tile_slot_.assign(tcount, 0);
+  std::uint32_t nsub = 0;
+  for (std::size_t t = 0; t < tcount; ++t) {
+    if (raw_offsets[t + 1] - raw_offsets[t] > kHierSubdivideThreshold) {
+      tile_slot_[t] = ++nsub;
+    }
+  }
+  // Scatter entries by tile, remembering each entry's tile-local cell.
+  std::vector<std::uint32_t> raw_entries(pairs.size());
+  std::vector<std::uint32_t> local(pairs.size());
+  std::vector<std::uint32_t> cursor(raw_offsets.begin(), raw_offsets.end() - 1);
+  for (const CellPair& pr : pairs) {
+    std::size_t li = 0;
+    const std::size_t t = tile_of(pr.key, li);
+    const std::uint32_t w = cursor[t]++;
+    raw_entries[w] = pr.cam;
+    local[w] = static_cast<std::uint32_t>(li);
+  }
+  // Compact per tile.  A subdivided tile keeps every (cell, camera) pair,
+  // counting-sorted by local cell (stable, so within a fine cell entries
+  // keep enumeration order like the flat index) with absolute pooled
+  // offsets.  An unsubdivided tile's WHOLE span goes to the kernel, so a
+  // camera overlapping several fine cells of the same tile must appear
+  // once, not once per cell — its range is deduplicated by camera id
+  // (candidate order is free: directions are sorted downstream).
+  cell_entries_.clear();
+  cell_entries_.reserve(pairs.size());
+  tile_offsets_.assign(tcount + 1, 0);
+  fine_offsets_.assign(static_cast<std::size_t>(nsub) * (kLocals + 1), 0);
+  std::vector<std::uint32_t> tmp_ids;
+  for (std::size_t t = 0; t < tcount; ++t) {
+    const std::uint32_t lo = raw_offsets[t];
+    const std::uint32_t hi = raw_offsets[t + 1];
+    const auto base = static_cast<std::uint32_t>(cell_entries_.size());
+    tile_offsets_[t] = base;
+    if (tile_slot_[t] == 0) {
+      tmp_ids.assign(raw_entries.begin() + lo, raw_entries.begin() + hi);
+      std::sort(tmp_ids.begin(), tmp_ids.end());
+      tmp_ids.erase(std::unique(tmp_ids.begin(), tmp_ids.end()), tmp_ids.end());
+      cell_entries_.insert(cell_entries_.end(), tmp_ids.begin(), tmp_ids.end());
+    } else {
+      std::uint32_t* fo =
+          fine_offsets_.data() + (tile_slot_[t] - 1) * (kLocals + 1);
+      std::uint32_t counts[kLocals + 1] = {0};
+      for (std::uint32_t w = lo; w < hi; ++w) {
+        ++counts[local[w] + 1];
+      }
+      for (std::size_t i = 0; i < kLocals; ++i) {
+        counts[i + 1] += counts[i];
+      }
+      for (std::size_t i = 0; i <= kLocals; ++i) {
+        fo[i] = base + counts[i];
+      }
+      cell_entries_.resize(base + (hi - lo));
+      for (std::uint32_t w = lo; w < hi; ++w) {
+        cell_entries_[base + counts[local[w]]++] = raw_entries[w];
+      }
+    }
+  }
+  tile_offsets_[tcount] = static_cast<std::uint32_t>(cell_entries_.size());
+  fill_soa(soa_, cell_entries_);
+}
+
+void GridEvalEngine::build_stream() {
+  const std::span<const Camera> cams = net_->cameras();
+  const std::size_t n = cams.size();
+  max_r_ = net_->max_radius();
+  const auto sd = static_cast<double>(cells_);
+  // Cameras are binned ONCE by position — no replication, so the build is
+  // O(n) and entry count equals the camera count.  Candidate windows are
+  // materialised per grid row into the scratch's slice (build_row_slice).
+  strip_offsets_.assign(cells_ + 1, 0);
+  strip_entries_.resize(n);
+  std::vector<std::uint32_t> strip(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    strip[i] = static_cast<std::uint32_t>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(cams[i].position.y, 0.0) * sd),
+        cells_ - 1));
+    ++strip_offsets_[strip[i] + 1];
+  }
+  for (std::size_t s = 0; s < cells_; ++s) {
+    strip_offsets_[s + 1] += strip_offsets_[s];
+  }
+  std::vector<std::uint32_t> cursor(strip_offsets_.begin(), strip_offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    strip_entries_[cursor[strip[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint32_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    identity[i] = static_cast<std::uint32_t>(i);
+  }
+  fill_soa(cam_soa_, identity);
+  // Slice window geometry.  The per-point x window is the real interval
+  // [px - R, px + R] padded by one cell per side; the pad (>= 1/cells_)
+  // swallows every floor-rounding discrepancy between the kernel's wrapped
+  // fl displacement and the real-valued window, so any camera the kernel
+  // can accept lies inside the window.  On the torus, `ghost_` extra cell
+  // columns per slice side hold a second image of near-seam cameras; a
+  // window then never contains both images of one camera (they are exactly
+  // cells_ ext-cells apart, and the window is at most 2*ghost_ + 1 <
+  // cells_ cells wide) — unless the band is too wide, in which case
+  // `stream_whole_` degrades every window to the whole slice (still
+  // duplicate-free: one image per camera).
+  ghost_ = static_cast<std::ptrdiff_t>(std::floor(max_r_ * sd)) + 2;
+  stream_whole_ = 2.0 * max_r_ + 2.0 / sd >= 1.0 ||
+                  static_cast<std::ptrdiff_t>(cells_) <= 2 * ghost_ + 2;
+  if (mode_ == geom::SpaceMode::kPlane) {
+    // No wraparound coverage: windows clamp to [0, cells_) instead.
+    ghost_ = 0;
+    stream_whole_ = false;
+  }
+}
+
+void GridEvalEngine::build_row_slice(std::size_t row, GridEvalScratch& scratch) const {
+  GridEvalScratch::RowSlice& sl = scratch.slice;
+  const double py = grid_.point(row, 0).y;
+  const auto s_count = static_cast<std::ptrdiff_t>(cells_);
+  const auto sd = static_cast<double>(cells_);
+  const bool torus = mode_ == geom::SpaceMode::kTorus;
+  // 1. Walk the strips whose cameras could be within max_r_ of the row's y
+  //    (padded one strip per side; the per-camera prune decides exactly).
+  std::ptrdiff_t s_lo =
+      static_cast<std::ptrdiff_t>(std::floor((py - max_r_) * sd)) - 1;
+  std::ptrdiff_t s_hi =
+      static_cast<std::ptrdiff_t>(std::floor((py + max_r_) * sd)) + 1;
+  std::ptrdiff_t s_span;
+  if (torus) {
+    s_span = std::min(s_hi - s_lo + 1, s_count);
+  } else {
+    s_lo = std::clamp<std::ptrdiff_t>(s_lo, 0, s_count - 1);
+    s_hi = std::clamp<std::ptrdiff_t>(s_hi, 0, s_count - 1);
+    s_span = s_hi - s_lo + 1;
+  }
+  std::vector<std::uint32_t>& surv = sl.survivors;
+  surv.clear();
+  const double* const cam_sy = cam_soa_.sy();
+  const double* const cam_r2 = cam_soa_.r2();
+  for (std::ptrdiff_t is = 0; is < s_span; ++is) {
+    const auto s =
+        static_cast<std::size_t>((((s_lo + is) % s_count) + s_count) % s_count);
+    const std::uint32_t lo = strip_offsets_[s];
+    const std::uint32_t hi = strip_offsets_[s + 1];
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      const std::uint32_t cam = strip_entries_[e];
+      // Exact y prune, using the kernel's own displacement sequence: the
+      // fused distance test satisfies fl(fl(dx^2) + fl(dy^2)) >= fl(dy^2)
+      // (rounding is monotone, fl(dx^2) >= 0), so fl(dy^2) > r^2 implies
+      // the kernel rejects this camera at every point of the row —
+      // dropping it cannot change any covered set.
+      double dy = py - cam_sy[cam];
+      if (torus) {
+        dy -= std::round(dy);
+        if (dy >= 0.5) {
+          dy -= 1.0;
+        }
+      }
+      if (dy * dy > cam_r2[cam]) {
+        continue;
+      }
+      surv.push_back(cam);
+    }
+  }
+  // 2. Bucket survivors by extended x cell (main image + at most one ghost
+  //    image per seam side) so every point window is one contiguous,
+  //    duplicate-free range.
+  const std::ptrdiff_t g = (torus && !stream_whole_) ? ghost_ : 0;
+  const std::size_t ecells =
+      stream_whole_ ? 1 : cells_ + static_cast<std::size_t>(2 * g);
+  sl.offsets.assign(ecells + 1, 0);
+  const double* const cam_sx = cam_soa_.sx();
+  auto xcell_of = [&](std::uint32_t cam) {
+    return static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(cam_sx[cam], 0.0) * sd), cells_ - 1));
+  };
+  if (stream_whole_) {
+    sl.offsets[1] = static_cast<std::uint32_t>(surv.size());
+    sl.ids.assign(surv.begin(), surv.end());
+  } else {
+    for (const std::uint32_t cam : surv) {
+      const std::ptrdiff_t cx = xcell_of(cam);
+      ++sl.offsets[static_cast<std::size_t>(cx + g) + 1];
+      if (g != 0 && cx < g) {
+        ++sl.offsets[static_cast<std::size_t>(cx + g + s_count) + 1];
+      }
+      if (g != 0 && cx >= s_count - g) {
+        ++sl.offsets[static_cast<std::size_t>(cx + g - s_count) + 1];
+      }
+    }
+    for (std::size_t b = 0; b < ecells; ++b) {
+      sl.offsets[b + 1] += sl.offsets[b];
+    }
+    sl.ids.resize(sl.offsets[ecells]);
+    sl.cursors.assign(sl.offsets.begin(), sl.offsets.end() - 1);
+    for (const std::uint32_t cam : surv) {
+      const std::ptrdiff_t cx = xcell_of(cam);
+      sl.ids[sl.cursors[static_cast<std::size_t>(cx + g)]++] = cam;
+      if (g != 0 && cx < g) {
+        sl.ids[sl.cursors[static_cast<std::size_t>(cx + g + s_count)]++] = cam;
+      }
+      if (g != 0 && cx >= s_count - g) {
+        sl.ids[sl.cursors[static_cast<std::size_t>(cx + g - s_count)]++] = cam;
+      }
+    }
+  }
+  // 3. Gather the slice's compact SoA from the per-camera pool, field by
+  //    field (sequential writes, one random-read stream per field).
+  const std::size_t total = sl.ids.size();
+  sl.stride = total;
+  sl.soa.resize(7 * total);
+  for (std::size_t f = 0; f < 7; ++f) {
+    double* const dst = sl.soa.data() + f * total;
+    const double* const src = cam_soa_.data.data() + f * cam_soa_.stride;
+    for (std::size_t w = 0; w < total; ++w) {
+      dst[w] = src[sl.ids[w]];
+    }
+  }
+  sl.engine_gen = generation_;
+  sl.row = row;
+}
+
+GridEvalEngine::CandView GridEvalEngine::flat_view(const geom::Vec2& p) const {
+  const std::size_t b = point_cell(p);
+  const std::uint32_t lo = cell_offsets_[b];
+  return {soa_.data.data() + lo, soa_.stride, cell_entries_.data() + lo,
+          cell_offsets_[b + 1] - lo};
+}
+
+GridEvalEngine::CandView GridEvalEngine::hier_view(const geom::Vec2& p) const {
+  const auto c = static_cast<double>(cells_);
+  const auto fx = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(p.x, 0.0) * c), cells_ - 1);
+  const auto fy = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(p.y, 0.0) * c), cells_ - 1);
+  const std::size_t t = (fx / kHierSubdiv) * tiles_ + (fy / kHierSubdiv);
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  if (tile_slot_[t] == 0) {
+    lo = tile_offsets_[t];
+    hi = tile_offsets_[t + 1];
+  } else {
+    constexpr std::size_t kLocals = kHierSubdiv * kHierSubdiv;
+    const std::size_t li = (fx % kHierSubdiv) * kHierSubdiv + (fy % kHierSubdiv);
+    const std::uint32_t* fo =
+        fine_offsets_.data() + (tile_slot_[t] - 1) * (kLocals + 1);
+    lo = fo[li];
+    hi = fo[li + 1];
+  }
+  return {soa_.data.data() + lo, soa_.stride, cell_entries_.data() + lo, hi - lo};
+}
+
+GridEvalEngine::CandView GridEvalEngine::stream_view(std::size_t row,
+                                                     const geom::Vec2& p,
+                                                     GridEvalScratch& scratch) const {
+  GridEvalScratch::RowSlice& sl = scratch.slice;
+  if (sl.engine_gen != generation_ || sl.row != row) {
+    build_row_slice(row, scratch);
+  }
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  if (stream_whole_) {
+    hi = sl.ids.size();
+  } else {
+    const auto sd = static_cast<double>(cells_);
+    std::ptrdiff_t xlo =
+        static_cast<std::ptrdiff_t>(std::floor((p.x - max_r_) * sd)) - 1;
+    std::ptrdiff_t xhi =
+        static_cast<std::ptrdiff_t>(std::floor((p.x + max_r_) * sd)) + 1;
+    if (mode_ == geom::SpaceMode::kPlane) {
+      xlo = std::clamp<std::ptrdiff_t>(xlo, 0, static_cast<std::ptrdiff_t>(cells_) - 1);
+      xhi = std::clamp<std::ptrdiff_t>(xhi, 0, static_cast<std::ptrdiff_t>(cells_) - 1);
+    } else {
+      xlo += ghost_;
+      xhi += ghost_;
+    }
+    lo = sl.offsets[static_cast<std::size_t>(xlo)];
+    hi = sl.offsets[static_cast<std::size_t>(xhi) + 1];
+  }
+  return {sl.soa.data() + lo, sl.stride, sl.ids.data() + lo, hi - lo};
+}
+
+GridEvalEngine::CandView GridEvalEngine::point_view(std::size_t row,
+                                                    const geom::Vec2& p,
+                                                    GridEvalScratch& scratch) const {
+  switch (index_) {
+    case IndexVariant::kFlat:
+      return flat_view(p);
+    case IndexVariant::kHier:
+      return hier_view(p);
+    case IndexVariant::kStream:
+      return stream_view(row, p, scratch);
+  }
+  return {};
 }
 
 std::size_t GridEvalEngine::point_cell(const geom::Vec2& p) const {
@@ -395,14 +817,70 @@ std::size_t GridEvalEngine::point_cell(const geom::Vec2& p) const {
 }
 
 std::span<const std::uint32_t> GridEvalEngine::candidates(const geom::Vec2& p) const {
-  const std::size_t b = point_cell(p);
-  return {cell_entries_.data() + cell_offsets_[b],
-          cell_offsets_[b + 1] - cell_offsets_[b]};
+  switch (index_) {
+    case IndexVariant::kFlat: {
+      const CandView v = flat_view(p);
+      return {v.ids, v.count};
+    }
+    case IndexVariant::kHier: {
+      const CandView v = hier_view(p);
+      return {v.ids, v.count};
+    }
+    case IndexVariant::kStream:
+      break;
+  }
+  // Stream: no per-cell table exists; answer from the strip index with the
+  // exact y prune at p (the kernel's own displacement sequence, so every
+  // covering camera survives).  Unfiltered in x — still a duplicate-free
+  // superset, each camera is binned exactly once.
+  static thread_local std::vector<std::uint32_t> buf;
+  buf.clear();
+  const auto s_count = static_cast<std::ptrdiff_t>(cells_);
+  const auto sd = static_cast<double>(cells_);
+  const bool torus = mode_ == geom::SpaceMode::kTorus;
+  std::ptrdiff_t s_lo =
+      static_cast<std::ptrdiff_t>(std::floor((p.y - max_r_) * sd)) - 1;
+  std::ptrdiff_t s_hi =
+      static_cast<std::ptrdiff_t>(std::floor((p.y + max_r_) * sd)) + 1;
+  std::ptrdiff_t s_span;
+  if (torus) {
+    s_span = std::min(s_hi - s_lo + 1, s_count);
+  } else {
+    s_lo = std::clamp<std::ptrdiff_t>(s_lo, 0, s_count - 1);
+    s_hi = std::clamp<std::ptrdiff_t>(s_hi, 0, s_count - 1);
+    s_span = s_hi - s_lo + 1;
+  }
+  const double* const cam_sy = cam_soa_.sy();
+  const double* const cam_r2 = cam_soa_.r2();
+  for (std::ptrdiff_t is = 0; is < s_span; ++is) {
+    const auto s =
+        static_cast<std::size_t>((((s_lo + is) % s_count) + s_count) % s_count);
+    for (std::uint32_t e = strip_offsets_[s]; e < strip_offsets_[s + 1]; ++e) {
+      const std::uint32_t cam = strip_entries_[e];
+      double dy = p.y - cam_sy[cam];
+      if (torus) {
+        dy -= std::round(dy);
+        if (dy >= 0.5) {
+          dy -= 1.0;
+        }
+      }
+      if (dy * dy <= cam_r2[cam]) {
+        buf.push_back(cam);
+      }
+    }
+  }
+  return {buf.data(), buf.size()};
 }
 
-void GridEvalEngine::classify_entry(std::size_t e, const geom::Vec2& p,
-                                    GridEvalScratch& scratch, std::vector<double>& out,
-                                    double* xs, double* ys, std::size_t& m) const {
+std::size_t GridEvalEngine::point_candidate_count(std::size_t row, std::size_t col,
+                                                  GridEvalScratch& scratch) const {
+  return point_view(row, grid_.point(row, col), scratch).count;
+}
+
+void GridEvalEngine::classify_entry(const CandView& view, std::size_t e,
+                                    const geom::Vec2& p, GridEvalScratch& scratch,
+                                    std::vector<double>& out, double* xs, double* ys,
+                                    std::size_t& m) const {
   // The scalar oracle path, one entry at a time: displacement via the
   // per-point torus unwrap — the subtraction, `d -= round(d)`, and the
   // d >= 0.5 boundary fixup are `geom::wrap_delta` bit-for-bit
@@ -420,8 +898,8 @@ void GridEvalEngine::classify_entry(std::size_t e, const geom::Vec2& p,
   // back here, so every variant stays bit-identical.  The rare-branch
   // counters sit inside already-[[unlikely]] blocks.
   GridEvalCounters* const ctr = scratch.counters;
-  double dx = p.x - soa_.sx()[e];
-  double dy = p.y - soa_.sy()[e];
+  double dx = p.x - view.sx()[e];
+  double dy = p.y - view.sy()[e];
   if (mode_ == geom::SpaceMode::kTorus) {
     dx -= std::round(dx);
     if (dx >= 0.5) {
@@ -433,12 +911,12 @@ void GridEvalEngine::classify_entry(std::size_t e, const geom::Vec2& p,
     }
   }
   const double n2 = dx * dx + dy * dy;
-  const double dot = dx * soa_.cu()[e] + dy * soa_.su()[e];
+  const double dot = dx * view.cu()[e] + dy * view.su()[e];
   const double lhs = dot * std::abs(dot);
-  const double rhs = soa_.q()[e] * n2;
+  const double rhs = view.q()[e] * n2;
   const double band = 1e-9 * n2;
-  const bool in_radius = n2 <= soa_.r2()[e];
-  const bool omni = std::bit_cast<std::uint64_t>(soa_.omni()[e]) != 0;
+  const bool in_radius = n2 <= view.r2()[e];
+  const bool omni = std::bit_cast<std::uint64_t>(view.omni()[e]) != 0;
   bool covered = in_radius & (omni | (lhs - rhs > band));
   if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
     if (ctr != nullptr) {
@@ -448,7 +926,7 @@ void GridEvalEngine::classify_entry(std::size_t e, const geom::Vec2& p,
       out.push_back(0.0);  // point coincides with the camera
       return;
     }
-    const Camera& cam = net_->cameras()[cell_entries_[e]];
+    const Camera& cam = net_->cameras()[view.ids[e]];
     covered =
         geom::angular_distance(std::atan2(dy, dx), cam.orientation) <= 0.5 * cam.fov;
   }
@@ -462,56 +940,54 @@ void GridEvalEngine::classify_entry(std::size_t e, const geom::Vec2& p,
   m += static_cast<std::size_t>(covered);
 }
 
-void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scratch) const {
+void GridEvalEngine::gather_directions(const geom::Vec2& p, const CandView& view,
+                                       GridEvalScratch& scratch) const {
   std::vector<double>& out = scratch.angles;
-  const std::size_t b = point_cell(p);
-  const std::uint32_t lo = cell_offsets_[b];
-  const std::uint32_t hi = cell_offsets_[b + 1];
+  const std::size_t cnt = view.count;
   // Metrics are per point (one pointer test), never per candidate.
   GridEvalCounters* const ctr = scratch.counters;
   const std::size_t out_before = out.size();
   if (ctr != nullptr) [[unlikely]] {
     ++ctr->points;
-    ctr->candidates_total += hi - lo;
-    ctr->candidates_per_point.add(hi - lo);
+    ctr->candidates_total += cnt;
+    ctr->candidates_per_point.add(cnt);
   }
   std::vector<double>& xs = scratch.dxs;
   std::vector<double>& ys = scratch.dys;
-  if (xs.size() < hi - lo) {
-    xs.resize(hi - lo);
-    ys.resize(hi - lo);
+  if (xs.size() < cnt) {
+    xs.resize(cnt);
+    ys.resize(cnt);
   }
   std::size_t m = 0;
-  std::uint32_t e = lo;
-  // Lane-parallel classify over whole lane groups of the cell's entries.
+  std::size_t e = 0;
+  // Lane-parallel classify over whole lane groups of the span's entries.
   // Lanes the kernel flags as special — exact-arithmetic band hits and
   // zero-distance hits — are replayed through the scalar path, which
   // re-derives their classification (and counters) exactly as the scalar
   // kernel would.
   if (classify_ != nullptr) {
-    const std::size_t vec_n = (hi - lo) & ~std::size_t{3};
+    const std::size_t vec_n = cnt & ~std::size_t{3};
     if (vec_n != 0) {
-      if (scratch.special.size() < hi - lo) {
-        scratch.special.resize(hi - lo);
+      if (scratch.special.size() < cnt) {
+        scratch.special.resize(cnt);
       }
-      const detail::CandSpans spans{soa_.sx() + lo, soa_.sy() + lo,
-                                    soa_.r2() + lo, soa_.cu() + lo,
-                                    soa_.su() + lo, soa_.q() + lo,
-                                    soa_.omni() + lo};
+      const detail::CandSpans spans{view.sx(), view.sy(), view.r2(), view.cu(),
+                                    view.su(), view.q(), view.omni()};
       const detail::ClassifyResult res =
           classify_(spans, vec_n, p.x, p.y, mode_ == geom::SpaceMode::kTorus,
                     xs.data(), ys.data(), scratch.special.data());
       m = res.covered;
       for (std::size_t j = 0; j < res.special; ++j) {
-        classify_entry(lo + scratch.special[j], p, scratch, out, xs.data(), ys.data(), m);
+        classify_entry(view, scratch.special[j], p, scratch, out, xs.data(),
+                       ys.data(), m);
       }
-      e = lo + static_cast<std::uint32_t>(vec_n);
+      e = vec_n;
     }
   }
-  // Scalar path: the whole cell (scalar variant), or the remainder tail
+  // Scalar path: the whole span (scalar variant), or the remainder tail
   // (vector variants).
-  for (; e < hi; ++e) {
-    classify_entry(e, p, scratch, out, xs.data(), ys.data(), m);
+  for (; e < cnt; ++e) {
+    classify_entry(view, e, p, scratch, out, xs.data(), ys.data(), m);
   }
   // atan2 (the single most expensive operation) runs in its own tight loop
   // over the ~covered survivors instead of stalling the classify pipeline.
@@ -531,16 +1007,16 @@ void GridEvalEngine::gather_directions(const geom::Vec2& p, GridEvalScratch& scr
 }
 
 std::size_t GridEvalEngine::covered_count_at_least(const geom::Vec2& p,
+                                                   const CandView& view,
                                                    std::size_t k) const {
   // Coverage-count variant of gather_directions: same covered set, no
   // atan2 on the fast path, early exit at k.
-  const std::size_t b = point_cell(p);
   const std::span<const Camera> cams = net_->cameras();
   const bool torus = mode_ == geom::SpaceMode::kTorus;
   std::size_t count = 0;
-  for (std::uint32_t e = cell_offsets_[b]; e < cell_offsets_[b + 1] && count < k; ++e) {
-    double dx = p.x - soa_.sx()[e];
-    double dy = p.y - soa_.sy()[e];
+  for (std::size_t e = 0; e < view.count && count < k; ++e) {
+    double dx = p.x - view.sx()[e];
+    double dy = p.y - view.sy()[e];
     if (torus) {
       dx -= std::round(dx);
       if (dx >= 0.5) {
@@ -552,19 +1028,19 @@ std::size_t GridEvalEngine::covered_count_at_least(const geom::Vec2& p,
       }
     }
     const double n2 = dx * dx + dy * dy;
-    const double dot = dx * soa_.cu()[e] + dy * soa_.su()[e];
+    const double dot = dx * view.cu()[e] + dy * view.su()[e];
     const double lhs = dot * std::abs(dot);
-    const double rhs = soa_.q()[e] * n2;
+    const double rhs = view.q()[e] * n2;
     const double band = 1e-9 * n2;
-    const bool in_radius = n2 <= soa_.r2()[e];
-    const bool omni = std::bit_cast<std::uint64_t>(soa_.omni()[e]) != 0;
+    const bool in_radius = n2 <= view.r2()[e];
+    const bool omni = std::bit_cast<std::uint64_t>(view.omni()[e]) != 0;
     bool covered = in_radius & (omni | (lhs - rhs > band));
     if (in_radius & !omni & (std::abs(lhs - rhs) <= band)) [[unlikely]] {
       if (n2 == 0.0) {
         ++count;  // point coincides with the camera: always covered
         continue;
       }
-      const Camera& cam = cams[cell_entries_[e]];
+      const Camera& cam = cams[view.ids[e]];
       covered =
           geom::angular_distance(std::atan2(dy, dx), cam.orientation) <= 0.5 * cam.fov;
     }
@@ -578,7 +1054,9 @@ std::span<const double> GridEvalEngine::sorted_directions(std::size_t row,
                                                           GridEvalScratch& scratch) const {
   std::vector<double>& a = scratch.angles;
   a.clear();
-  gather_directions(grid_.point(row, col), scratch);
+  const geom::Vec2 p = grid_.point(row, col);
+  const CandView view = point_view(row, p, scratch);
+  gather_directions(p, view, scratch);
   // Direction buffers are small (the point's covering-camera count), so
   // insertion sort beats std::sort's dispatch; the sorted sequence is the
   // same for any comparison sort (the values are NaN-free doubles in
@@ -773,13 +1251,13 @@ bool GridEvalEngine::row_all_full_view(std::size_t row, GridEvalScratch& scratch
 
 bool GridEvalEngine::row_all_k_covered(std::size_t row, std::size_t k,
                                        GridEvalScratch& scratch) const {
-  (void)scratch;
   if (k == 0) {
     return true;
   }
   for (std::size_t col = 0; col < cols(); ++col) {
     const geom::Vec2 p = grid_.point(row, col);
-    if (covered_count_at_least(p, k) < k) {
+    const CandView view = point_view(row, p, scratch);
+    if (covered_count_at_least(p, view, k) < k) {
       return false;
     }
   }

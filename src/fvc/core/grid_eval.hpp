@@ -9,32 +9,39 @@
 /// partition and re-sort the directions.  This engine restructures that
 /// work into a cache-friendly pipeline:
 ///
-///   1. *Candidate binning* — one pass over the cameras bins them to a
-///      uniform cell grid (CSR layout).  A camera lands in every cell whose
-///      rectangle is within its sensing radius, so per-cell candidate lists
-///      are tighter than the index's 3x3 superset and are shared by all
-///      grid points in the cell.
+///   1. *Candidate indexing* — one pass over the cameras builds a spatial
+///      index that answers "which cameras might cover this point?" with a
+///      contiguous span per grid point.  Three interchangeable variants
+///      (candidate_index.hpp: flat uniform CSR, hier two-level tiles,
+///      stream row-sliced — selectable via FVC_FORCE_INDEX or the CLI's
+///      --index) trade build cost, memory, and lookup tightness; all are
+///      supersets of the covering set, so results never depend on the
+///      choice.
 ///   2. *Fused kernel* — per point, the viewed angles of covering cameras
 ///      are gathered into a reusable scratch buffer and sorted in place
 ///      once; the exact max-gap test and both sector conditions are then
 ///      evaluated from that same sorted buffer with zero per-point heap
 ///      allocations (sector partitions are precomputed per scan).
 ///   3. *Lane-parallel classify* — candidate records are stored as
-///      structure-of-arrays spans per CSR cell and classified 4 lanes at a
-///      time by an explicitly vectorized kernel (grid_eval_kernel.hpp)
-///      selected by runtime CPU dispatch (cpu_features.hpp: scalar /
-///      generic / avx2 / neon, pinnable via FVC_FORCE_KERNEL or the CLI's
-///      --kernel).  Lane arithmetic replicates the scalar IEEE operation
-///      sequence exactly (including the per-point torus unwrap, which is
-///      `geom::wrap_delta` lane-for-lane); the remainder tail and
-///      exact-arithmetic band hits reuse the scalar per-entry path, and
-///      atan2-bearing direction emission stays scalar — so every variant
-///      is bit-identical (enforced by tests/core/test_grid_eval_kernels).
+///      structure-of-arrays spans and classified 4 lanes at a time by an
+///      explicitly vectorized kernel (grid_eval_kernel.hpp) selected by
+///      runtime CPU dispatch (cpu_features.hpp: scalar / generic / avx2 /
+///      neon, pinnable via FVC_FORCE_KERNEL or the CLI's --kernel).  Lane
+///      arithmetic replicates the scalar IEEE operation sequence exactly
+///      (including the per-point torus unwrap, which is `geom::wrap_delta`
+///      lane-for-lane); the remainder tail and exact-arithmetic band hits
+///      reuse the scalar per-entry path, and atan2-bearing direction
+///      emission stays scalar — so every variant is bit-identical
+///      (enforced by tests/core/test_grid_eval_kernels).
 ///   4. *Row batching* — rows are independent work units, so callers can
 ///      evaluate them serially (`evaluate`), or hand contiguous row blocks
 ///      to `sim::parallel_for_blocked` via `block_stats` and merge the
 ///      per-block results in block order (`sim::evaluate_region_parallel`),
 ///      which keeps results bit-identical for any thread count and grain.
+///      The stream index piggybacks on this shape: each worker's scratch
+///      caches the current row's candidate slice, built once per
+///      (engine, row) and reused across the row's points and across the
+///      blocks a worker claims.
 ///
 /// Determinism contract: for a fixed (network, grid, theta) every method is
 /// a pure function of its arguments, and every result is **bit-identical**
@@ -42,7 +49,9 @@
 /// `meets_sufficient_condition`, `evaluate_region_scalar`) — the engine
 /// gathers exactly the same set of covering cameras and replicates the
 /// oracle's floating-point arithmetic.  `tests/core/test_grid_eval.cpp`
-/// enforces this differentially over randomized deployments.
+/// enforces this differentially over randomized deployments, and
+/// `tests/core/test_candidate_index.cpp` over index variants and
+/// clustered deployments.
 
 #pragma once
 
@@ -50,6 +59,7 @@
 #include <span>
 #include <vector>
 
+#include "fvc/core/candidate_index.hpp"
 #include "fvc/core/cpu_features.hpp"
 #include "fvc/core/full_view.hpp"
 #include "fvc/core/grid.hpp"
@@ -81,10 +91,12 @@ using ClassifyFn = ClassifyResult (*)(const CandSpans& c, std::size_t count,
 /// hot path stays synchronization-free.  When no counters are attached
 /// the kernel pays one pointer test per grid *point*, never per
 /// candidate, and results are unchanged either way (counting does not
-/// touch the arithmetic).
+/// touch the arithmetic).  `candidates_total` / `candidates_per_point`
+/// describe the active index's candidate spans, so they legitimately
+/// differ across index variants; every other field is index-invariant.
 struct GridEvalCounters {
   std::uint64_t points = 0;            ///< grid points gathered
-  std::uint64_t candidates_total = 0;  ///< binned candidates scanned
+  std::uint64_t candidates_total = 0;  ///< indexed candidates scanned
   std::uint64_t directions_total = 0;  ///< covering directions emitted
   std::uint64_t trig_fallbacks = 0;    ///< exact-arithmetic band fallbacks
   obs::LogHistogram candidates_per_point;
@@ -113,6 +125,24 @@ struct GridEvalScratch {
   std::vector<std::uint32_t> special;
   /// Optional metrics destination; null (the default) disables counting.
   GridEvalCounters* counters = nullptr;
+
+  /// Stream-index row slice: the compacted SoA of cameras whose disc can
+  /// reach one grid row's y band, bucketed by extended x cell (ghost
+  /// columns replicate near-seam cameras so every per-point window is one
+  /// contiguous, duplicate-free range).  Built lazily, keyed by
+  /// (engine generation, row) so a scratch can serve many engines and a
+  /// worker revisits a row's slice for free across block_stats blocks.
+  struct RowSlice {
+    std::uint64_t engine_gen = 0;  ///< 0 = empty (generations start at 1)
+    std::size_t row = 0;
+    std::vector<double> soa;             ///< 7 field blocks, `stride` each
+    std::size_t stride = 0;              ///< == total slice entries
+    std::vector<std::uint32_t> ids;      ///< camera ids parallel to soa
+    std::vector<std::uint32_t> offsets;  ///< per extended-x-cell CSR
+    std::vector<std::uint32_t> cursors;  ///< build scratch: scatter cursors
+    std::vector<std::uint32_t> survivors;  ///< build scratch: y-band hits
+  };
+  RowSlice slice;
 };
 
 /// Predicate aggregates over one grid row (the engine's unit of batching).
@@ -137,7 +167,7 @@ struct GridRowEvents {
 /// the grid's dimensions) must outlive the engine.
 class GridEvalEngine {
  public:
-  /// Precompute sector partitions and bin cameras to grid cells.
+  /// Precompute sector partitions and build the candidate index.
   /// \pre theta in (0, pi] (throws std::invalid_argument otherwise)
   GridEvalEngine(const Network& net, const DenseGrid& grid, double theta);
 
@@ -199,21 +229,42 @@ class GridEvalEngine {
   [[nodiscard]] bool row_all_k_covered(std::size_t row, std::size_t k,
                                        GridEvalScratch& scratch) const;
 
-  /// Binned candidate camera indices for the engine cell containing `p`
-  /// (superset of the cameras covering any point of that cell).
+  /// Candidate camera indices for the point `p` — a duplicate-free
+  /// superset of the cameras covering `p` (for the table indexes: of any
+  /// point in `p`'s cell).  With the stream index the span aliases a
+  /// thread-local buffer and is invalidated by the next call on the same
+  /// thread; the table indexes return a stable span into the engine.
   [[nodiscard]] std::span<const std::uint32_t> candidates(const geom::Vec2& p) const;
 
-  /// Engine binning cells per side (diagnostics / tests).
+  /// Exact candidate-span width the active index hands the kernel for
+  /// grid point (row, col) — the per-point cost the candidates-per-point
+  /// budget gates (tools/bench_scale).
+  [[nodiscard]] std::size_t point_candidate_count(std::size_t row, std::size_t col,
+                                                  GridEvalScratch& scratch) const;
+
+  /// Index resolution per side (diagnostics / tests).  All variants size
+  /// by the same radius-derived rule, so this is index-invariant.
   [[nodiscard]] std::size_t cells_per_side() const { return cells_; }
 
-  /// Wall time spent binning cameras in the constructor (the "build"
-  /// stage; always measured — one clock pair per engine construction).
+  /// The sizing rule's pre-cap target, and whether the cap bit (so a
+  /// coarser-than-ideal index is visible in metrics, not silent).
+  [[nodiscard]] std::size_t cells_target() const { return cells_target_; }
+  [[nodiscard]] bool cells_clamped() const { return cells_clamped_; }
+
+  /// Heap bytes held by the candidate index (offsets + entries + SoA
+  /// pools).  The hierarchical index's memory-bound contract is asserted
+  /// against this in tests/core/test_candidate_index.cpp.
+  [[nodiscard]] std::size_t index_bytes() const;
+
+  /// Wall time spent building the candidate index in the constructor (the
+  /// "build" stage; always measured — one clock pair per construction).
   [[nodiscard]] std::uint64_t build_ns() const { return build_ns_; }
 
-  /// Candidate-bin shape, computed on demand from the CSR offsets.
+  /// Candidate-bin shape, computed on demand.  Bins are the active
+  /// index's leaves: flat cells, hier tiles/fine cells, stream strips.
   struct BinOccupancy {
-    std::size_t cells = 0;         ///< total bins (cells_per_side squared)
-    std::size_t entries = 0;       ///< (cell, camera) entries
+    std::size_t cells = 0;         ///< total bins
+    std::size_t entries = 0;       ///< (bin, camera) entries
     std::size_t empty_cells = 0;   ///< bins with no candidates
     std::size_t max_per_cell = 0;  ///< densest bin
     double mean_per_cell = 0.0;    ///< entries / cells
@@ -221,17 +272,20 @@ class GridEvalEngine {
   [[nodiscard]] BinOccupancy occupancy() const;
 
   /// Export the engine's static shape (bin occupancy, build time, camera
-  /// count, active kernel and dispatch counters) into a metrics node;
-  /// dynamic counters come from the scratch's `GridEvalCounters` and are
-  /// merged in by the caller.
+  /// count, active kernel/index and dispatch counters) into a metrics
+  /// node; dynamic counters come from the scratch's `GridEvalCounters`
+  /// and are merged in by the caller.
   void describe(obs::MetricsNode& node) const;
 
   /// The kernel variant runtime dispatch selected for this engine.
   [[nodiscard]] KernelVariant kernel() const { return kernel_; }
 
+  /// The candidate-index variant runtime dispatch selected for this engine.
+  [[nodiscard]] IndexVariant index() const { return index_; }
+
  private:
   /// Candidate records in structure-of-arrays layout: one parallel span
-  /// per field, indexed by CSR entry, so the vectorized kernel loads each
+  /// per field, indexed by entry, so the vectorized kernel loads each
   /// field as one contiguous lane group.  `q` is the signed square of
   /// cos(fov/2), used by the trig-free field-of-view classifier; `omni` is
   /// an all-bits-set double mask (never used arithmetically) for cameras
@@ -259,28 +313,78 @@ class GridEvalEngine {
     // NOLINTEND(readability-identifier-naming)
   };
 
-  [[nodiscard]] std::span<const std::uint32_t> cell_candidates(std::size_t cx,
-                                                               std::size_t cy) const;
-  [[nodiscard]] std::size_t point_cell(const geom::Vec2& p) const;
-  void bin_cameras();
+  /// A resolved candidate span for one grid point, independent of which
+  /// index produced it: SoA field pointers pre-offset to the span start
+  /// (field f at `base + f * stride`), plus the parallel camera ids the
+  /// exact-arithmetic fallback needs.  This is the one seam between the
+  /// index variants and the (index-agnostic) classify/gather pipeline.
+  struct CandView {
+    const double* base = nullptr;
+    std::size_t stride = 0;
+    const std::uint32_t* ids = nullptr;
+    std::size_t count = 0;
+    // NOLINTBEGIN(readability-identifier-naming) — span accessors
+    [[nodiscard]] const double* sx() const { return base; }
+    [[nodiscard]] const double* sy() const { return base + stride; }
+    [[nodiscard]] const double* r2() const { return base + 2 * stride; }
+    [[nodiscard]] const double* cu() const { return base + 3 * stride; }
+    [[nodiscard]] const double* su() const { return base + 4 * stride; }
+    [[nodiscard]] const double* q() const { return base + 5 * stride; }
+    [[nodiscard]] const double* omni() const { return base + 6 * stride; }
+    // NOLINTEND(readability-identifier-naming)
+  };
 
-  /// The scalar per-entry classify path (also the oracle): classifies CSR
+  /// Shared sizing: cells_ / cells_target_ / cells_clamped_ from the
+  /// radius-derived rule (candidate_index.hpp).
+  void compute_cells();
+
+  /// Index builders (exactly one runs, per the dispatched variant).
+  void build_flat();
+  void build_hier();
+  void build_stream();
+
+  /// (camera, fine cell) window enumeration shared by flat and hier.
+  struct CellPair {
+    std::uint32_t key;  ///< fine-cell bucket (counting-sort key)
+    std::uint32_t cam;
+  };
+  void enumerate_cell_pairs(std::vector<CellPair>& pairs) const;
+
+  /// Fill `soa` with the per-camera fused-kernel record of each id in
+  /// `ids` (flat/hier: one per entry; stream: one per camera).
+  void fill_soa(CandSoA& soa, std::span<const std::uint32_t> ids) const;
+
+  /// Per-variant span resolution.  `stream_view` materialises (or reuses)
+  /// the row slice in `scratch`.
+  [[nodiscard]] CandView flat_view(const geom::Vec2& p) const;
+  [[nodiscard]] CandView hier_view(const geom::Vec2& p) const;
+  [[nodiscard]] CandView stream_view(std::size_t row, const geom::Vec2& p,
+                                     GridEvalScratch& scratch) const;
+  [[nodiscard]] CandView point_view(std::size_t row, const geom::Vec2& p,
+                                    GridEvalScratch& scratch) const;
+  void build_row_slice(std::size_t row, GridEvalScratch& scratch) const;
+
+  [[nodiscard]] std::size_t point_cell(const geom::Vec2& p) const;
+
+  /// The scalar per-entry classify path (also the oracle): classifies view
   /// entry `e` against `p`, appending immediate directions (fallback-band
   /// and zero-distance hits) to `out` and compacting covered displacements
   /// into xs/ys at m.  Shared by the scalar kernel loop, the vectorized
   /// kernel's remainder tail, and its special-lane replay.
-  void classify_entry(std::size_t e, const geom::Vec2& p, GridEvalScratch& scratch,
-                      std::vector<double>& out, double* xs, double* ys,
-                      std::size_t& m) const;
+  void classify_entry(const CandView& view, std::size_t e, const geom::Vec2& p,
+                      GridEvalScratch& scratch, std::vector<double>& out, double* xs,
+                      double* ys, std::size_t& m) const;
 
   /// Fused gather: viewed directions of all covering cameras into
   /// `scratch.angles` (unsorted); the allocation-free core of
   /// `sorted_directions`.
-  void gather_directions(const geom::Vec2& p, GridEvalScratch& scratch) const;
+  void gather_directions(const geom::Vec2& p, const CandView& view,
+                         GridEvalScratch& scratch) const;
 
   /// Covering-camera count with early exit at `k` (no angle computation on
   /// the fast path).
   [[nodiscard]] std::size_t covered_count_at_least(const geom::Vec2& p,
+                                                   const CandView& view,
                                                    std::size_t k) const;
 
   const Network* net_ = nullptr;
@@ -290,16 +394,40 @@ class GridEvalEngine {
   std::size_t implied_k_ = 0;
   geom::SpaceMode mode_ = geom::SpaceMode::kTorus;
   KernelVariant kernel_ = KernelVariant::kScalar;
+  IndexVariant index_ = IndexVariant::kFlat;
   detail::ClassifyFn classify_ = nullptr;  ///< non-null for vector variants
+  std::uint64_t generation_ = 0;  ///< process-unique; keys scratch row slices
   std::vector<geom::Arc> necessary_arcs_;   ///< 2*theta partition, start 0
   std::vector<geom::Arc> sufficient_arcs_;  ///< theta partition, start 0
 
-  // CSR candidate binning: cameras per engine cell, with one SoA record
-  // per (cell, camera) entry.
+  // Shared sizing (all variants use the same rule, so cells_per_side() is
+  // index-invariant for a given network/grid).
   std::size_t cells_ = 1;
-  std::vector<std::uint32_t> cell_offsets_;  ///< size cells_^2 + 1
-  std::vector<std::uint32_t> cell_entries_;  ///< camera indices per cell
+  std::size_t cells_target_ = 1;
+  bool cells_clamped_ = false;
+
+  // flat: uniform fine-grid CSR — cameras per cell, one SoA record per
+  // (cell, camera) entry.  hier reuses the entry pool (cell_entries_,
+  // soa_) with its own offset structures.
+  std::vector<std::uint32_t> cell_offsets_;  ///< flat: size cells_^2 + 1
+  std::vector<std::uint32_t> cell_entries_;  ///< camera indices per bin
   CandSoA soa_;                              ///< parallel to cell_entries_
+
+  // hier: coarse tiles of kHierSubdiv^2 fine cells; only occupied tiles
+  // above the subdivision threshold get a pooled tile-local fine CSR.
+  std::size_t tiles_ = 0;                    ///< coarse tiles per side
+  std::vector<std::uint32_t> tile_offsets_;  ///< size tiles_^2 + 1
+  std::vector<std::uint32_t> tile_slot_;     ///< fine slot + 1; 0 = whole tile
+  std::vector<std::uint32_t> fine_offsets_;  ///< (sub^2+1) absolute offsets/slot
+
+  // stream: cameras binned once by position (no replication); row slices
+  // are materialised per scratch.
+  std::vector<std::uint32_t> strip_offsets_;  ///< size cells_ + 1
+  std::vector<std::uint32_t> strip_entries_;  ///< size n (camera ids)
+  CandSoA cam_soa_;                           ///< per camera (stride = n)
+  double max_r_ = 0.0;        ///< net max radius (slice band half-height)
+  std::ptrdiff_t ghost_ = 0;  ///< ghost x cells per slice side (torus)
+  bool stream_whole_ = false;  ///< degenerate: window spans the whole axis
 };
 
 /// Export the active kernel choice (name, lane width) and the process-wide
@@ -307,5 +435,9 @@ class GridEvalEngine {
 /// cpu_features.hpp, shared by GridEvalEngine::describe and the sim
 /// layer's trial metering.
 void describe_kernel_dispatch(KernelVariant active, obs::MetricsNode& node);
+
+/// The candidate-index counterpart: active index flag plus process-wide
+/// per-variant engine counts (candidate_index.hpp).
+void describe_index_dispatch(IndexVariant active, obs::MetricsNode& node);
 
 }  // namespace fvc::core

@@ -1,6 +1,7 @@
 #include "fvc/deploy/cluster.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "fvc/deploy/orientation.hpp"
@@ -9,6 +10,34 @@
 #include "fvc/stats/distributions.hpp"
 
 namespace fvc::deploy {
+namespace {
+
+// Group membership by thinning, as in the Poisson deployment: one uniform
+// draw selects the group by cumulative fraction.  Shared by every
+// clustered generator so the (position, orientation, group) draw order
+// stays uniform across families.
+core::Camera make_camera(std::span<const core::CameraGroupSpec> groups,
+                         geom::Vec2 position, stats::Pcg32& rng) {
+  core::Camera cam;
+  cam.position = position;
+  cam.orientation = random_orientation(rng);
+  const double u = stats::uniform01(rng);
+  double acc = 0.0;
+  std::size_t y = groups.size() - 1;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    acc += groups[g].fraction;
+    if (u < acc) {
+      y = g;
+      break;
+    }
+  }
+  cam.radius = groups[y].radius;
+  cam.fov = groups[y].fov;
+  cam.group = static_cast<std::uint32_t>(y);
+  return cam;
+}
+
+}  // namespace
 
 void ClusterConfig::validate() const {
   if (!(parent_intensity > 0.0) || !(mean_children > 0.0) || !(spread > 0.0)) {
@@ -31,24 +60,8 @@ std::vector<core::Camera> deploy_matern_cluster(const core::HeterogeneousProfile
       // Uniform in the disc: r = spread * sqrt(u), angle uniform.
       const double r = config.spread * std::sqrt(stats::uniform01(rng));
       const double a = stats::uniform_in(rng, 0.0, geom::kTwoPi);
-      core::Camera cam;
-      cam.position = geom::UnitTorus::wrap(centre + geom::Vec2::from_angle(a) * r);
-      cam.orientation = random_orientation(rng);
-      // Group by thinning, as in the Poisson deployment.
-      const double u = stats::uniform01(rng);
-      double acc = 0.0;
-      std::size_t y = groups.size() - 1;
-      for (std::size_t g = 0; g < groups.size(); ++g) {
-        acc += groups[g].fraction;
-        if (u < acc) {
-          y = g;
-          break;
-        }
-      }
-      cam.radius = groups[y].radius;
-      cam.fov = groups[y].fov;
-      cam.group = static_cast<std::uint32_t>(y);
-      cameras.push_back(cam);
+      cameras.push_back(make_camera(
+          groups, geom::UnitTorus::wrap(centre + geom::Vec2::from_angle(a) * r), rng));
     }
   }
   return cameras;
@@ -58,6 +71,82 @@ core::Network deploy_matern_cluster_network(const core::HeterogeneousProfile& pr
                                             const ClusterConfig& config,
                                             stats::Pcg32& rng) {
   return core::Network(deploy_matern_cluster(profile, config, rng));
+}
+
+void GaussianClusterConfig::validate() const {
+  if (count == 0 || clusters == 0 || !(sigma > 0.0)) {
+    throw std::invalid_argument(
+        "GaussianClusterConfig: count, clusters and sigma must be positive");
+  }
+}
+
+std::vector<core::Camera> deploy_gaussian_cluster(
+    const core::HeterogeneousProfile& profile, const GaussianClusterConfig& config,
+    stats::Pcg32& rng) {
+  config.validate();
+  const auto groups = profile.groups();
+  std::vector<geom::Vec2> centres;
+  centres.reserve(config.clusters);
+  for (std::size_t k = 0; k < config.clusters; ++k) {
+    centres.push_back({stats::uniform01(rng), stats::uniform01(rng)});
+  }
+  std::vector<core::Camera> cameras;
+  cameras.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    // Round-robin dealing keeps cluster populations balanced and the total
+    // exact, so differential suites see identical n across families.
+    const geom::Vec2 centre = centres[i % config.clusters];
+    const geom::Vec2 offset{config.sigma * stats::standard_normal(rng),
+                            config.sigma * stats::standard_normal(rng)};
+    cameras.push_back(make_camera(groups, geom::UnitTorus::wrap(centre + offset), rng));
+  }
+  return cameras;
+}
+
+core::Network deploy_gaussian_cluster_network(const core::HeterogeneousProfile& profile,
+                                              const GaussianClusterConfig& config,
+                                              stats::Pcg32& rng) {
+  return core::Network(deploy_gaussian_cluster(profile, config, rng));
+}
+
+void StripHotspotConfig::validate() const {
+  if (count == 0 || !(half_width > 0.0)) {
+    throw std::invalid_argument(
+        "StripHotspotConfig: count and half_width must be positive");
+  }
+  if (!(center >= 0.0) || !(center < 1.0)) {
+    throw std::invalid_argument("StripHotspotConfig: center must be in [0, 1)");
+  }
+  if (!(hot_fraction >= 0.0) || !(hot_fraction <= 1.0)) {
+    throw std::invalid_argument("StripHotspotConfig: hot_fraction must be in [0, 1]");
+  }
+}
+
+std::vector<core::Camera> deploy_strip_hotspot(const core::HeterogeneousProfile& profile,
+                                               const StripHotspotConfig& config,
+                                               stats::Pcg32& rng) {
+  config.validate();
+  const auto groups = profile.groups();
+  std::vector<core::Camera> cameras;
+  cameras.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const double x = stats::uniform01(rng);
+    double y;
+    if (stats::uniform01(rng) < config.hot_fraction) {
+      y = stats::uniform_in(rng, config.center - config.half_width,
+                            config.center + config.half_width);
+    } else {
+      y = stats::uniform01(rng);
+    }
+    cameras.push_back(make_camera(groups, geom::UnitTorus::wrap({x, y}), rng));
+  }
+  return cameras;
+}
+
+core::Network deploy_strip_hotspot_network(const core::HeterogeneousProfile& profile,
+                                           const StripHotspotConfig& config,
+                                           stats::Pcg32& rng) {
+  return core::Network(deploy_strip_hotspot(profile, config, rng));
 }
 
 }  // namespace fvc::deploy

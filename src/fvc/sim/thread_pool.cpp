@@ -136,27 +136,4 @@ void parallel_for_blocked(std::size_t count, std::size_t threads, std::size_t gr
   }
 }
 
-// The adapter itself is deprecated; defining it must not warn.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn, PoolMetrics* metrics) {
-  // Grain 1: each block is exactly one index, preserving the historical
-  // per-index claiming (right for trial workloads with high unit-cost
-  // variance).  The adapter runs `begin` only — end is always begin + 1.
-  parallel_for_blocked(
-      count, threads, 1,
-      [&fn](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t i = begin; i < end; ++i) {
-          fn(i);
-        }
-      },
-      metrics);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 }  // namespace fvc::sim

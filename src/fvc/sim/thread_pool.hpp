@@ -11,14 +11,14 @@
 /// per-block) slots keep the engine deterministic regardless of thread
 /// count or grain.
 ///
-/// The per-index `parallel_for` survives as a thin adapter over the blocked
-/// core with grain 1 — the right shape for Monte-Carlo trials, whose unit
-/// costs vary wildly (early-exit trials are much cheaper than full scans)
-/// and whose per-unit cost dwarfs one atomic claim.  Grid-row scans should
-/// use `parallel_for_blocked` with `choose_grain` instead (see
+/// Per-index workloads (Monte-Carlo trials, whose unit costs vary wildly
+/// and whose per-unit cost dwarfs one atomic claim) pass grain 1
+/// explicitly; grid-row scans use grain 0 to get `choose_grain` (see
 /// parallel_region.hpp): at 64-row grids the per-row claim overhead is what
 /// made 4 threads *slower* than 1 (BENCH_grid_eval.json before the blocked
-/// scheduler).
+/// scheduler).  The historical per-index `parallel_for(count, threads, fn)`
+/// adapter has been removed — `parallel_for_blocked` is the only entry
+/// point.
 ///
 /// Observability: the metered overloads fill an `obs`-style `PoolMetrics`
 /// — per-worker block/task counts and busy time, the grain used, plus the
@@ -138,23 +138,6 @@ using ParallelBlockFn =
 /// thread after all workers join; remaining unclaimed blocks are dropped.
 void parallel_for_blocked(std::size_t count, std::size_t threads, std::size_t grain,
                           const ParallelBlockFn& fn, PoolMetrics* metrics = nullptr);
-
-/// Run `fn(i)` for every i in [0, count) across `threads` workers: the
-/// blocked scheduler at grain 1.  `metrics` (default null: no collection)
-/// fills per-worker busy time and task counts; scheduling and results are
-/// identical either way.
-///
-/// Deprecated: grain 1 pays one cursor claim and one std::function call
-/// per index.  Call `parallel_for_blocked` instead — pass grain 1
-/// explicitly if per-index blocks are genuinely right (Monte-Carlo trials
-/// whose unit cost dwarfs a claim), or 0 for `choose_grain`.  Removal is
-/// tracked in docs/ARCHITECTURE.md ("Blocked scheduling").
-[[deprecated(
-    "use parallel_for_blocked(count, threads, grain, fn) — this grain-1 "
-    "adapter will be removed (see docs/ARCHITECTURE.md)")]]
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn,
-                  PoolMetrics* metrics = nullptr);
 
 /// Export pool utilization into a metrics node: `workers`, `tasks`,
 /// `blocks`, `grain`, `busy_ns`, `idle_ns`, `utilization`, plus a

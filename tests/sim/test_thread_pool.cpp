@@ -3,65 +3,76 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "fvc/obs/run_metrics.hpp"
 
-// This file deliberately keeps exercising the deprecated grain-1
-// `parallel_for` adapter until it is removed (see docs/ARCHITECTURE.md).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 namespace fvc::sim {
 namespace {
+
+// Grain-1 per-index driver: every block is exactly one index, so these
+// tests pin the scheduler's per-index semantics (visit-once, sequential
+// order at one thread, exception drain) at the finest block size.
+void for_each_index(std::size_t count, std::size_t threads,
+                    const std::function<void(std::size_t)>& fn,
+                    PoolMetrics* metrics = nullptr) {
+  parallel_for_blocked(
+      count, threads, 1,
+      [&fn](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      },
+      metrics);
+}
 
 TEST(DefaultThreadCount, Positive) {
   EXPECT_GE(default_thread_count(), 1u);
   EXPECT_LE(default_thread_count(), 64u);
 }
 
-TEST(ParallelFor, VisitsEveryIndexOnce) {
+TEST(BlockedGrain1, VisitsEveryIndexOnce) {
   const std::size_t count = 10000;
   std::vector<std::atomic<int>> visits(count);
-  parallel_for(count, 8, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for_each_index(count, 8, [&](std::size_t i) { visits[i].fetch_add(1); });
   for (std::size_t i = 0; i < count; ++i) {
     EXPECT_EQ(visits[i].load(), 1) << "index " << i;
   }
 }
 
-TEST(ParallelFor, ZeroCountIsNoop) {
+TEST(BlockedGrain1, ZeroCountIsNoop) {
   bool called = false;
-  parallel_for(0, 4, [&](std::size_t) { called = true; });
+  for_each_index(0, 4, [&](std::size_t) { called = true; });
   EXPECT_FALSE(called);
 }
 
-TEST(ParallelFor, SingleThreadIsSequential) {
+TEST(BlockedGrain1, SingleThreadIsSequential) {
   std::vector<std::size_t> order;
-  parallel_for(100, 1, [&](std::size_t i) { order.push_back(i); });
+  for_each_index(100, 1, [&](std::size_t i) { order.push_back(i); });
   ASSERT_EQ(order.size(), 100u);
   for (std::size_t i = 0; i < 100; ++i) {
     EXPECT_EQ(order[i], i);
   }
 }
 
-TEST(ParallelFor, ThreadsClampedToCount) {
+TEST(BlockedGrain1, ThreadsClampedToCount) {
   // More threads than work items must not deadlock or double-run.
   std::vector<std::atomic<int>> visits(3);
-  parallel_for(3, 100, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for_each_index(3, 100, [&](std::size_t i) { visits[i].fetch_add(1); });
   for (auto& v : visits) {
     EXPECT_EQ(v.load(), 1);
   }
 }
 
-TEST(ParallelFor, ResultsIdenticalAcrossThreadCounts) {
+TEST(BlockedGrain1, ResultsIdenticalAcrossThreadCounts) {
   const std::size_t count = 5000;
   auto run = [count](std::size_t threads) {
     std::vector<double> out(count);
-    parallel_for(count, threads,
-                 [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; });
+    for_each_index(count, threads,
+                   [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; });
     return std::accumulate(out.begin(), out.end(), 0.0);
   };
   const double s1 = run(1);
@@ -73,7 +84,7 @@ TEST(ParallelFor, ResultsIdenticalAcrossThreadCounts) {
 TEST(PoolMetrics, AccountsForEveryTask) {
   PoolMetrics pool;
   std::vector<std::atomic<int>> visits(200);
-  parallel_for(200, 4, [&](std::size_t i) { visits[i].fetch_add(1); }, &pool);
+  for_each_index(200, 4, [&](std::size_t i) { visits[i].fetch_add(1); }, &pool);
   for (auto& v : visits) {
     EXPECT_EQ(v.load(), 1);
   }
@@ -97,7 +108,7 @@ TEST(PoolMetrics, DegenerateSectionsHaveZeroIdleAndUtilization) {
 
   // A count=0 section leaves the metrics in the same degenerate state.
   PoolMetrics empty;
-  parallel_for(0, 4, [](std::size_t) {}, &empty);
+  for_each_index(0, 4, [](std::size_t) {}, &empty);
   EXPECT_EQ(empty.wall_ns, 0u);
   EXPECT_TRUE(empty.workers.empty());
   EXPECT_EQ(empty.total_idle_ns(), 0u);
@@ -126,9 +137,9 @@ TEST(PoolMetrics, UtilizationClampedWhenBusyExceedsCapacity) {
 }
 
 TEST(PoolMetrics, NullPointerMeansUnmetered) {
-  // The 4-arg overload with nullptr must behave exactly like the 3-arg one.
+  // An explicit nullptr must behave exactly like the defaulted argument.
   std::vector<std::size_t> order;
-  parallel_for(50, 1, [&](std::size_t i) { order.push_back(i); }, nullptr);
+  for_each_index(50, 1, [&](std::size_t i) { order.push_back(i); }, nullptr);
   ASSERT_EQ(order.size(), 50u);
   for (std::size_t i = 0; i < 50; ++i) {
     EXPECT_EQ(order[i], i);
@@ -137,7 +148,7 @@ TEST(PoolMetrics, NullPointerMeansUnmetered) {
 
 TEST(PoolMetrics, DescribeExportsUtilization) {
   PoolMetrics pool;
-  parallel_for(64, 2, [](std::size_t) {}, &pool);
+  for_each_index(64, 2, [](std::size_t) {}, &pool);
   obs::MetricsNode node("pool");
   describe(pool, node);
   EXPECT_DOUBLE_EQ(node.counter("tasks"), 64.0);
@@ -150,21 +161,21 @@ TEST(PoolMetrics, DescribeExportsUtilization) {
   EXPECT_EQ(node.find_histogram("tasks_per_worker")->total(), pool.workers.size());
 }
 
-TEST(ParallelFor, PropagatesException) {
+TEST(BlockedGrain1, PropagatesException) {
   EXPECT_THROW(
-      parallel_for(100, 4,
-                   [](std::size_t i) {
-                     if (i == 42) {
-                       throw std::runtime_error("boom");
-                     }
-                   }),
+      for_each_index(100, 4,
+                     [](std::size_t i) {
+                       if (i == 42) {
+                         throw std::runtime_error("boom");
+                       }
+                     }),
       std::runtime_error);
 }
 
-TEST(ParallelFor, ExceptionStopsRemainingWork) {
+TEST(BlockedGrain1, ExceptionStopsRemainingWork) {
   std::atomic<int> done{0};
   try {
-    parallel_for(100000, 4, [&](std::size_t i) {
+    for_each_index(100000, 4, [&](std::size_t i) {
       if (i == 0) {
         throw std::runtime_error("early");
       }

@@ -1,22 +1,29 @@
-/// bench_scale — thread/grain scaling harness for the blocked parallel
-/// grid scan.
+/// bench_scale — thread/grain/index scaling harness for the blocked
+/// parallel grid scan.
 ///
 /// Sweeps a (grid side, population) ladder through the block-parallel
-/// entry point `sim::evaluate_region_parallel` over a threads x grain x
-/// kernel matrix, timing each cell against the serial batched engine
-/// (`core::evaluate_region`) under the same kernel pin.  Every cell's
-/// statistics must be bit-identical to the serial scan — a mismatch is a
-/// nonzero exit, not a footnote.  Worker utilization per cell comes from a
-/// metered pass (`evaluate_region_parallel_metered`) taken outside the
-/// timed reps, so the timings stay those of the unmetered hot path.
+/// entry point `sim::evaluate_region_parallel` over an index x threads x
+/// grain x kernel matrix, timing each cell against the serial batched
+/// engine (`core::evaluate_region`) under the same index and kernel pins.
+/// Every cell's statistics must be bit-identical to the serial scan — a
+/// mismatch is a nonzero exit, not a footnote.  Worker utilization per
+/// cell comes from a metered pass taken outside the timed reps, so the
+/// timings stay those of the unmetered hot path.
+///
+/// Per index the record also captures the candidate-span distribution the
+/// engine hands the kernel (`point_candidate_count` over every grid
+/// point): mean and p99 candidates per point, plus the index's heap
+/// footprint.  The p99 is what the CI budget gate holds steady — it is
+/// the per-point work the clamped 256-cell flat index used to inflate on
+/// million-camera configs (reproduce that history with
+/// FVC_INDEX_CELL_CAP=256 and index=flat).
 ///
 /// The deployment radius is scaled ~ 1/sqrt(n) so the expected candidate
 /// count per grid point stays constant across the ladder: the sweep then
-/// isolates *scheduling* behaviour (rows x threads x grain), not density
-/// effects.
+/// isolates *scheduling and index* behaviour, not density effects.
 ///
 /// Usage:
-///   bench_scale [out.json] [sides] [ns] [threads] [grains] [reps] [kernels]
+///   bench_scale [out.json] [sides] [ns] [threads] [grains] [reps] [kernels] [indexes]
 ///     out.json  output path                    default BENCH_scale.json
 ///     sides     comma list of grid sides       default 512,1024,2048
 ///     ns        comma list of populations,     default 10000,100000,1000000
@@ -25,13 +32,19 @@
 ///     grains    comma list of grains (0=auto)  default 1,0
 ///     reps      best-of repetitions per cell   default 3
 ///     kernels   comma list of kernel variants  default auto (resolved)
+///     indexes   comma list of index variants   default auto (resolved)
 ///
-/// The JSON record (schema fvc.bench_scale/1) embeds hardware_concurrency:
-/// speedups are only meaningful relative to the cores the run actually
-/// had.  CI runs the smoke configuration on multi-core runners and gates
-/// on the 2-thread wall time there.
+/// The JSON record (schema fvc.bench_scale/2) embeds hardware_concurrency
+/// and a `degenerate_host` flag (<= 1 core): speedups are only meaningful
+/// relative to the cores the run actually had.  When the output path
+/// already holds a record produced on MORE cores than this host offers,
+/// the tool refuses to overwrite it (a 1-core laptop must not clobber the
+/// committed multi-core baseline); export FVC_BENCH_ALLOW_DEGRADE=1 to
+/// override deliberately.  CI runs the smoke configuration on multi-core
+/// runners and gates on the 2-thread wall time there.
 ///
-/// Exit status: 0 on success, 1 on bit-identity violation or bad usage.
+/// Exit status: 0 on success, 1 on bit-identity violation, refused
+/// overwrite, or bad usage.
 
 #include <algorithm>
 #include <chrono>
@@ -47,7 +60,9 @@
 #include <thread>
 #include <vector>
 
+#include "fvc/core/candidate_index.hpp"
 #include "fvc/core/cpu_features.hpp"
+#include "fvc/core/grid_eval.hpp"
 #include "fvc/core/region_coverage.hpp"
 #include "fvc/deploy/uniform.hpp"
 #include "fvc/geometry/angle.hpp"
@@ -104,6 +119,24 @@ std::vector<std::size_t> parse_size_list(const std::string& arg, const char* wha
   return out;
 }
 
+// hardware_concurrency recorded in an existing bench JSON, or nullopt.
+// A line-oriented scan is enough: the tool wrote the file itself.
+std::optional<unsigned> recorded_concurrency(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("\"hardware_concurrency\":");
+    if (pos != std::string::npos) {
+      return static_cast<unsigned>(
+          std::atoll(line.c_str() + pos + sizeof("\"hardware_concurrency\":") - 1));
+    }
+  }
+  return std::nullopt;
+}
+
 struct Cell {
   std::size_t threads = 0;
   std::size_t grain = 0;       // requested (0 = auto)
@@ -119,12 +152,21 @@ struct KernelRecord {
   std::vector<Cell> cells;
 };
 
+struct IndexRecord {
+  std::string name;
+  double build_ms = 0.0;
+  double cand_mean = 0.0;
+  double cand_p99 = 0.0;
+  std::size_t index_bytes = 0;
+  std::vector<KernelRecord> kernels;
+};
+
 struct ConfigRecord {
   std::size_t side = 0;
   std::size_t n = 0;
   double radius_omni = 0.0;
   double radius_sector = 0.0;
-  std::vector<KernelRecord> kernels;
+  std::vector<IndexRecord> indexes;
 };
 
 }  // namespace
@@ -142,7 +184,24 @@ int main(int argc, char** argv) {
   const std::size_t reps =
       std::max<std::size_t>(1, argc > 6 ? static_cast<std::size_t>(std::atoll(argv[6])) : 3);
   const std::string kernels_arg = argc > 7 ? argv[7] : "auto";
+  const std::string indexes_arg = argc > 8 ? argv[8] : "auto";
   const double theta = geom::kPi / 4.0;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool degenerate_host = cores <= 1;
+
+  // A committed multi-core record must not be silently replaced by a run
+  // from a weaker host — the scaling columns would regress for reasons
+  // that have nothing to do with the code.
+  if (const std::optional<unsigned> prev = recorded_concurrency(out_path);
+      prev.has_value() && *prev > cores &&
+      std::getenv("FVC_BENCH_ALLOW_DEGRADE") == nullptr) {
+    std::fprintf(stderr,
+                 "bench_scale: %s was recorded on %u cores, this host has %u — "
+                 "refusing to overwrite (set FVC_BENCH_ALLOW_DEGRADE=1 to force)\n",
+                 out_path.c_str(), *prev, cores);
+    return 1;
+  }
 
   // Resolve the kernel matrix up front.  "auto" = whatever resolve_kernel
   // picks (honouring FVC_FORCE_KERNEL); explicit names must be runnable.
@@ -177,6 +236,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Index matrix, mirroring the kernel resolution ("auto" honours
+  // FVC_FORCE_INDEX; every named variant is runnable everywhere).
+  std::vector<core::IndexVariant> indexes;
+  {
+    std::stringstream ss(indexes_arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) {
+        continue;
+      }
+      if (item == "auto") {
+        indexes.push_back(core::resolve_index());
+        continue;
+      }
+      const std::optional<core::IndexVariant> v = core::index_from_name(item);
+      if (!v.has_value()) {
+        std::fprintf(stderr, "bench_scale: unknown index '%s'\n", item.c_str());
+        return 1;
+      }
+      indexes.push_back(*v);
+    }
+  }
+  if (indexes.empty()) {
+    std::fprintf(stderr, "bench_scale: no indexes in '%s'\n", indexes_arg.c_str());
+    return 1;
+  }
+
   const std::size_t config_count = std::max(sides.size(), ns.size());
   std::vector<ConfigRecord> configs;
   bool all_identical = true;
@@ -202,59 +288,96 @@ int main(int argc, char** argv) {
     std::printf("config: grid=%zux%zu n=%zu (r=%.4f/%.4f)\n", rec.side, rec.side,
                 rec.n, rec.radius_omni, rec.radius_sector);
 
-    for (const core::KernelVariant kv : kernels) {
-      core::set_forced_kernel(kv);
-      KernelRecord krec;
-      krec.name = std::string(core::kernel_name(kv));
-      core::RegionCoverageStats serial_stats;
-      krec.serial_ms = best_of_ms(
-          reps, [&] { serial_stats = core::evaluate_region(net, grid, theta); });
-      std::printf("  kernel=%-7s serial %9.3f ms\n", krec.name.c_str(),
-                  krec.serial_ms);
-
-      for (const std::size_t threads : thread_list) {
-        for (const std::size_t grain : grain_list) {
-          Cell cell;
-          cell.threads = threads;
-          cell.grain = grain;
-          core::RegionCoverageStats par_stats;
-          cell.ms = best_of_ms(reps, [&] {
-            par_stats = sim::evaluate_region_parallel(net, grid, theta, threads, grain);
-          });
-          if (!same_stats(serial_stats, par_stats)) {
-            std::fprintf(stderr,
-                         "bench_scale: FAIL — threads=%zu grain=%zu kernel=%s "
-                         "differs from the serial scan\n",
-                         threads, grain, krec.name.c_str());
-            all_identical = false;
+    for (const core::IndexVariant iv : indexes) {
+      core::set_forced_index(iv);
+      IndexRecord irec;
+      irec.name = std::string(core::index_name(iv));
+      // Index shape: build wall time, heap bytes, and the candidate-span
+      // distribution the kernel sees (mean + p99 over every grid point).
+      {
+        const auto t0 = Clock::now();
+        const core::GridEvalEngine engine(net, grid, theta);
+        irec.build_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+        irec.index_bytes = engine.index_bytes();
+        core::GridEvalScratch scratch;
+        std::vector<std::uint32_t> counts;
+        counts.reserve(rec.side * rec.side);
+        std::uint64_t total = 0;
+        for (std::size_t row = 0; row < rec.side; ++row) {
+          for (std::size_t col = 0; col < rec.side; ++col) {
+            const std::size_t w = engine.point_candidate_count(row, col, scratch);
+            counts.push_back(static_cast<std::uint32_t>(w));
+            total += w;
           }
-          // Metered pass, outside the timed reps: utilization + the grain
-          // the scheduler actually used; must still be bit-identical.
-          obs::MetricsNode node("scan");
-          const core::RegionCoverageStats metered_stats =
-              sim::evaluate_region_parallel(net, grid, theta, threads, grain, &node);
-          if (!same_stats(serial_stats, metered_stats)) {
-            std::fprintf(stderr,
-                         "bench_scale: FAIL — metered threads=%zu grain=%zu "
-                         "kernel=%s differs from the serial scan\n",
-                         threads, grain, krec.name.c_str());
-            all_identical = false;
-          }
-          const obs::MetricsNode* pool = node.find_child("pool");
-          cell.utilization = pool != nullptr ? pool->counter("utilization") : 0.0;
-          cell.grain_used =
-              pool != nullptr ? static_cast<std::size_t>(pool->counter("grain")) : 0;
-          cell.speedup = cell.ms > 0.0 ? krec.serial_ms / cell.ms : 0.0;
-          std::printf(
-              "    threads=%zu grain=%zu(->%zu): %9.3f ms  (%.2fx, util %.2f)\n",
-              threads, grain, cell.grain_used, cell.ms, cell.speedup,
-              cell.utilization);
-          krec.cells.push_back(cell);
         }
+        std::sort(counts.begin(), counts.end());
+        irec.cand_mean = static_cast<double>(total) / static_cast<double>(counts.size());
+        irec.cand_p99 =
+            static_cast<double>(counts[(counts.size() - 1) * 99 / 100]);
       }
-      rec.kernels.push_back(std::move(krec));
+      std::printf("  index=%-6s build %8.3f ms, %.1f cand/pt mean, %.0f p99, %zu KiB\n",
+                  irec.name.c_str(), irec.build_ms, irec.cand_mean, irec.cand_p99,
+                  irec.index_bytes / 1024);
+
+      for (const core::KernelVariant kv : kernels) {
+        core::set_forced_kernel(kv);
+        KernelRecord krec;
+        krec.name = std::string(core::kernel_name(kv));
+        core::RegionCoverageStats serial_stats;
+        krec.serial_ms = best_of_ms(
+            reps, [&] { serial_stats = core::evaluate_region(net, grid, theta); });
+        std::printf("    kernel=%-7s serial %9.3f ms\n", krec.name.c_str(),
+                    krec.serial_ms);
+
+        for (const std::size_t threads : thread_list) {
+          for (const std::size_t grain : grain_list) {
+            Cell cell;
+            cell.threads = threads;
+            cell.grain = grain;
+            core::RegionCoverageStats par_stats;
+            cell.ms = best_of_ms(reps, [&] {
+              par_stats =
+                  sim::evaluate_region_parallel(net, grid, theta, threads, grain);
+            });
+            if (!same_stats(serial_stats, par_stats)) {
+              std::fprintf(stderr,
+                           "bench_scale: FAIL — threads=%zu grain=%zu kernel=%s "
+                           "index=%s differs from the serial scan\n",
+                           threads, grain, krec.name.c_str(), irec.name.c_str());
+              all_identical = false;
+            }
+            // Metered pass, outside the timed reps: utilization + the
+            // grain the scheduler actually used; must still be
+            // bit-identical.
+            obs::MetricsNode node("scan");
+            const core::RegionCoverageStats metered_stats =
+                sim::evaluate_region_parallel(net, grid, theta, threads, grain, &node);
+            if (!same_stats(serial_stats, metered_stats)) {
+              std::fprintf(stderr,
+                           "bench_scale: FAIL — metered threads=%zu grain=%zu "
+                           "kernel=%s index=%s differs from the serial scan\n",
+                           threads, grain, krec.name.c_str(), irec.name.c_str());
+              all_identical = false;
+            }
+            const obs::MetricsNode* pool = node.find_child("pool");
+            cell.utilization = pool != nullptr ? pool->counter("utilization") : 0.0;
+            cell.grain_used =
+                pool != nullptr ? static_cast<std::size_t>(pool->counter("grain")) : 0;
+            cell.speedup = cell.ms > 0.0 ? krec.serial_ms / cell.ms : 0.0;
+            std::printf(
+                "      threads=%zu grain=%zu(->%zu): %9.3f ms  (%.2fx, util %.2f)\n",
+                threads, grain, cell.grain_used, cell.ms, cell.speedup,
+                cell.utilization);
+            krec.cells.push_back(cell);
+          }
+        }
+        irec.kernels.push_back(std::move(krec));
+      }
+      core::set_forced_kernel(std::nullopt);
+      rec.indexes.push_back(std::move(irec));
     }
-    core::set_forced_kernel(std::nullopt);
+    core::set_forced_index(std::nullopt);
     configs.push_back(std::move(rec));
   }
 
@@ -262,14 +385,15 @@ int main(int argc, char** argv) {
   char buf[512];
   record << "{\n";
   std::snprintf(buf, sizeof(buf),
-                "  \"schema\": \"fvc.bench_scale/1\",\n"
+                "  \"schema\": \"fvc.bench_scale/2\",\n"
                 "  \"bench\": \"blocked_parallel_grid_scan\",\n"
                 "  \"theta\": \"pi/4\",\n"
                 "  \"reps\": %zu,\n"
                 "  \"hardware_concurrency\": %u,\n"
+                "  \"degenerate_host\": %s,\n"
                 "  \"tracing_compiled\": %s,\n"
                 "  \"results_bit_identical\": %s,\n",
-                reps, std::thread::hardware_concurrency(),
+                reps, cores, degenerate_host ? "true" : "false",
                 obs::kTraceEnabled ? "true" : "false",
                 all_identical ? "true" : "false");
   record << buf;
@@ -284,25 +408,36 @@ int main(int argc, char** argv) {
                   "      \"radius_sector\": %.6f,\n",
                   rec.side, rec.n, rec.radius_omni, rec.radius_sector);
     record << buf;
-    record << "      \"kernels\": [\n";
-    for (std::size_t k = 0; k < rec.kernels.size(); ++k) {
-      const KernelRecord& krec = rec.kernels[k];
+    record << "      \"indexes\": [\n";
+    for (std::size_t x = 0; x < rec.indexes.size(); ++x) {
+      const IndexRecord& irec = rec.indexes[x];
       std::snprintf(buf, sizeof(buf),
-                    "        {\"kernel\": \"%s\", \"serial_ms\": %.3f, \"cells\": [\n",
-                    krec.name.c_str(), krec.serial_ms);
+                    "        {\"index\": \"%s\", \"build_ms\": %.3f, "
+                    "\"cand_mean\": %.2f, \"cand_p99\": %.0f, "
+                    "\"index_bytes\": %zu, \"kernels\": [\n",
+                    irec.name.c_str(), irec.build_ms, irec.cand_mean, irec.cand_p99,
+                    irec.index_bytes);
       record << buf;
-      for (std::size_t i = 0; i < krec.cells.size(); ++i) {
-        const Cell& cell = krec.cells[i];
+      for (std::size_t k = 0; k < irec.kernels.size(); ++k) {
+        const KernelRecord& krec = irec.kernels[k];
         std::snprintf(buf, sizeof(buf),
-                      "          {\"threads\": %zu, \"grain\": %zu, "
-                      "\"grain_used\": %zu, \"ms\": %.3f, \"speedup\": %.2f, "
-                      "\"utilization\": %.3f}%s\n",
-                      cell.threads, cell.grain, cell.grain_used, cell.ms,
-                      cell.speedup, cell.utilization,
-                      i + 1 < krec.cells.size() ? "," : "");
+                      "          {\"kernel\": \"%s\", \"serial_ms\": %.3f, \"cells\": [\n",
+                      krec.name.c_str(), krec.serial_ms);
         record << buf;
+        for (std::size_t i = 0; i < krec.cells.size(); ++i) {
+          const Cell& cell = krec.cells[i];
+          std::snprintf(buf, sizeof(buf),
+                        "            {\"threads\": %zu, \"grain\": %zu, "
+                        "\"grain_used\": %zu, \"ms\": %.3f, \"speedup\": %.2f, "
+                        "\"utilization\": %.3f}%s\n",
+                        cell.threads, cell.grain, cell.grain_used, cell.ms,
+                        cell.speedup, cell.utilization,
+                        i + 1 < krec.cells.size() ? "," : "");
+          record << buf;
+        }
+        record << "          ]}" << (k + 1 < irec.kernels.size() ? "," : "") << "\n";
       }
-      record << "        ]}" << (k + 1 < rec.kernels.size() ? "," : "") << "\n";
+      record << "        ]}" << (x + 1 < rec.indexes.size() ? "," : "") << "\n";
     }
     record << "      ]\n";
     record << "    }" << (c + 1 < configs.size() ? "," : "") << "\n";
