@@ -1,6 +1,7 @@
 #include "fvc/api/server.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -12,6 +13,7 @@
 
 #include "fvc/api/socket_io.hpp"
 #include "fvc/api/wire.hpp"
+#include "fvc/obs/metrics.hpp"
 
 namespace fvc::api {
 
@@ -89,13 +91,84 @@ std::string handle_what_if(Session& session, const WireObject& req) {
   return w.finish();
 }
 
+/// The session's tile-cache counters packaged for the telemetry mirror.
+/// Callers hold the session mutex.
+obs::CacheMirror cache_mirror_of(const Session& session) {
+  const TileCacheStats& cs = session.cache_stats();
+  obs::CacheMirror m;
+  m.hits = cs.hits;
+  m.misses = cs.misses;
+  m.evictions = cs.evictions;
+  m.carried_forward = cs.carried_forward;
+  m.tiles = session.cache().size();
+  m.capacity = session.cache().capacity();
+  m.bytes = session.cache().approx_bytes();
+  return m;
+}
+
+std::string handle_stats(Session& session, obs::ServeStats& stats) {
+  // Refresh the cache mirror first (we hold the session mutex), so the
+  // snapshot's occupancy is current, then advance the delta baseline —
+  // the `stats` verb owns the baseline; file exporters never touch it.
+  stats.note_cache(cache_mirror_of(session));
+  const obs::ServeStatsSnapshot snap = stats.snapshot(/*advance_baseline=*/true);
+  JsonObjectWriter w;
+  w.add_bool("ok", true);
+  w.add_string("schema", kServeStatsSchema);
+  w.add_string("digest", session.digest_hex());
+  w.add_integer("uptime_ms", snap.uptime_ms);
+  w.add_integer("connections_total", snap.connections_total);
+  w.add_integer("connections_active", snap.connections_active);
+  w.add_integer("in_flight", snap.in_flight);
+  w.add_integer("requests_total", snap.requests_total);
+  w.add_integer("errors_total", snap.errors_total);
+  w.add_integer("bytes_in", snap.bytes_in);
+  w.add_integer("bytes_out", snap.bytes_out);
+  for (std::size_t t = 0; t < obs::kReqTypeCount; ++t) {
+    const obs::ServeStatsSnapshot::PerType& pt = snap.types[t];
+    const std::string name = obs::req_type_name(static_cast<obs::ReqType>(t));
+    w.add_integer(name + "_count", pt.count);
+    w.add_number(name + "_p50_us", pt.p50_us);
+    w.add_number(name + "_p90_us", pt.p90_us);
+    w.add_number(name + "_p99_us", pt.p99_us);
+  }
+  w.add_integer("cache_hits", snap.cache.hits);
+  w.add_integer("cache_misses", snap.cache.misses);
+  w.add_integer("cache_evictions", snap.cache.evictions);
+  w.add_integer("cache_carried_forward", snap.cache.carried_forward);
+  w.add_integer("cache_tiles", snap.cache.tiles);
+  w.add_integer("cache_capacity", snap.cache.capacity);
+  w.add_integer("cache_bytes", snap.cache.bytes);
+  w.add_integer("stalls", snap.stalls);
+  w.add_integer("delta_ms", snap.delta_ms);
+  w.add_integer("delta_requests", snap.delta_requests);
+  w.add_integer("delta_errors", snap.delta_errors);
+  w.add_integer("delta_bytes_in", snap.delta_bytes_in);
+  w.add_integer("delta_bytes_out", snap.delta_bytes_out);
+  for (std::size_t t = 0; t < obs::kReqTypeCount; ++t) {
+    const std::string name = obs::req_type_name(static_cast<obs::ReqType>(t));
+    w.add_integer(name + "_delta", snap.delta_counts[t]);
+  }
+  return w.finish();
+}
+
 }  // namespace
 
-std::string handle_query(Session& session, std::string_view body) {
+std::string handle_query(Session& session, std::string_view body,
+                         obs::ServeStats* stats, obs::ReqType* type_out) {
+  if (type_out != nullptr) {
+    *type_out = obs::ReqType::kOther;  // until an op actually dispatches
+  }
+  const auto classify = [type_out](obs::ReqType type) {
+    if (type_out != nullptr) {
+      *type_out = type;
+    }
+  };
   try {
     const WireObject req = parse_flat_object(body);
     const std::string& op = get_string(req, "op");
     if (op == "point") {
+      classify(obs::ReqType::kPoint);
       const PointAnswer ans =
           session.query_point(get_number(req, "x"), get_number(req, "y"));
       JsonObjectWriter w;
@@ -110,6 +183,7 @@ std::string handle_query(Session& session, std::string_view body) {
       return w.finish();
     }
     if (op == "region") {
+      classify(obs::ReqType::kRegion);
       const RegionAnswer ans =
           session.query_region(get_number(req, "y_lo"), get_number(req, "y_hi"));
       JsonObjectWriter w;
@@ -120,10 +194,19 @@ std::string handle_query(Session& session, std::string_view body) {
       return w.finish();
     }
     if (op == "what_if") {
+      classify(obs::ReqType::kWhatIf);
       return handle_what_if(session, req);
     }
+    if (op == "stats") {
+      classify(obs::ReqType::kStats);
+      if (stats == nullptr) {
+        return error_response("stats not available");
+      }
+      return handle_stats(session, *stats);
+    }
     if (op == "info") {
-      const TileCacheStats& cs = session.cache().stats();
+      classify(obs::ReqType::kInfo);
+      const TileCacheStats& cs = session.cache_stats();
       JsonObjectWriter w;
       w.add_bool("ok", true);
       w.add_string("schema", kQuerySchema);
@@ -146,11 +229,16 @@ std::string handle_query(Session& session, std::string_view body) {
   }
 }
 
+std::string handle_query(Session& session, std::string_view body) {
+  return handle_query(session, body, nullptr, nullptr);
+}
+
 namespace {
 
 /// Shared state of one daemon run.
 struct ServeState {
   Session* session = nullptr;
+  obs::ServeStats* stats = nullptr;  ///< null = no telemetry recording
   std::mutex session_mutex;
   std::atomic<bool> draining{false};
   std::atomic<std::uint64_t> requests{0};
@@ -165,7 +253,12 @@ bool wait_readable(int fd) {
   return ::poll(&p, 1, kPollMs) > 0 && (p.revents & (POLLIN | POLLHUP)) != 0;
 }
 
+/// 4 bytes of length prefix per frame, counted into the byte totals.
+constexpr std::uint64_t kFrameOverhead = 4;
+
 void client_loop(ServeState& state, ScopedFd fd) {
+  obs::ServeStats::Recorder* recorder =
+      state.stats != nullptr ? &state.stats->make_recorder() : nullptr;
   try {
     // Serve until drain: the response in flight still goes out (the check
     // sits at the loop top), then the connection closes and the client
@@ -176,15 +269,36 @@ void client_loop(ServeState& state, ScopedFd fd) {
       }
       const std::optional<std::string> body = read_frame(fd.get());
       if (!body.has_value()) {
-        return;  // clean EOF: client hung up
+        break;  // clean EOF: client hung up
       }
       std::string response;
+      obs::ReqType type = obs::ReqType::kOther;
+      const std::uint64_t t0 = obs::monotonic_ns();
+      if (state.stats != nullptr) {
+        state.stats->request_started();
+      }
       {
         const std::lock_guard<std::mutex> lock(state.session_mutex);
-        response = handle_query(*state.session, *body);
+        response = handle_query(*state.session, *body, state.stats, &type);
+        if (state.stats != nullptr) {
+          // Republish the cache mirror while the mutex still orders the
+          // writes — mirror values then never move backwards.
+          state.stats->note_cache(cache_mirror_of(*state.session));
+        }
+      }
+      const bool is_error = response.rfind("{\"ok\":false", 0) == 0;
+      if (state.stats != nullptr) {
+        state.stats->request_finished();
+        // Record before the response leaves: once a client has read its
+        // answer, the daemon's totals already include it — what makes
+        // "stats totals equal requests issued" exact for a poller that
+        // waits for its load to finish.
+        recorder->record(type, (obs::monotonic_ns() - t0) / 1000,
+                         body->size() + kFrameOverhead,
+                         response.size() + kFrameOverhead, is_error);
       }
       state.requests.fetch_add(1, std::memory_order_relaxed);
-      if (response.rfind("{\"ok\":false", 0) == 0) {
+      if (is_error) {
         state.errors.fetch_add(1, std::memory_order_relaxed);
       }
       write_frame(fd.get(), response);
@@ -192,6 +306,9 @@ void client_loop(ServeState& state, ScopedFd fd) {
   } catch (const std::exception&) {
     // Framing desync or a vanished peer: drop the connection.  The
     // daemon itself must outlive any one client.
+  }
+  if (state.stats != nullptr) {
+    state.stats->connection_closed();
   }
 }
 
@@ -202,9 +319,34 @@ ServeReport serve(Session& session, const ServerConfig& cfg,
   const ScopedFd listener = unix_listen(cfg.socket_path, cfg.backlog);
   ServeState state;
   state.session = &session;
+  state.stats = cfg.stats;
+  if (state.stats != nullptr) {
+    // Seed the mirror so a stats poll before any traffic still reports
+    // the cache's real capacity and (empty) occupancy.
+    state.stats->note_cache(cache_mirror_of(session));
+  }
   ServeReport report;
   std::vector<std::thread> clients;
+  std::vector<std::uint64_t> tick_last(cfg.ticks.size(), obs::monotonic_ns());
   while (!cancel.stop_requested()) {
+    // Periodic tasks ride the accept loop's poll cadence: checked every
+    // tick (~100ms), run under the session mutex (see PeriodicTask).
+    for (std::size_t i = 0; i < cfg.ticks.size(); ++i) {
+      const PeriodicTask& task = cfg.ticks[i];
+      const std::uint64_t now = obs::monotonic_ns();
+      if (task.every_ms == 0 || now - tick_last[i] < task.every_ms * 1'000'000) {
+        continue;
+      }
+      tick_last[i] = now;
+      try {
+        const std::lock_guard<std::mutex> lock(state.session_mutex);
+        task.fn();
+      } catch (const std::exception& e) {
+        // A failed flush (disk full, path vanished) must not kill the
+        // daemon; report and retry at the next interval.
+        std::fprintf(stderr, "fvc serve: periodic task failed: %s\n", e.what());
+      }
+    }
     if (!wait_readable(listener.get())) {
       continue;
     }

@@ -24,18 +24,36 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "fvc/api/session.hpp"
 #include "fvc/obs/cancellation.hpp"
+#include "fvc/obs/serve_stats.hpp"
 
 namespace fvc::api {
+
+/// A periodic daemon-side task (metrics flush, Prometheus export).
+/// Ticks run on the accept thread *under the session mutex* — at most
+/// once per poll tick (~100ms floor on `every_ms`) — so a task may
+/// safely read the session and its metrics tree; it must stay cheap
+/// enough not to starve the handlers.  A throwing tick is reported to
+/// stderr and retried at its next interval; it never kills the daemon.
+struct PeriodicTask {
+  std::uint64_t every_ms = 0;  ///< interval; 0 disables the task
+  std::function<void()> fn;
+};
 
 /// Serve-daemon knobs.
 struct ServerConfig {
   std::string socket_path;  ///< AF_UNIX path to listen on
   int backlog = 16;         ///< listen(2) backlog
+  /// Live telemetry registry (null = no recording, `stats` verb answers
+  /// ok:false).  Not owned; must outlive serve().
+  obs::ServeStats* stats = nullptr;
+  std::vector<PeriodicTask> ticks;  ///< periodic tasks (see PeriodicTask)
 };
 
 /// Accounting the daemon reports after draining.
@@ -48,6 +66,17 @@ struct ServeReport {
 /// Answer one fvc.query/1 request body against `session`, returning the
 /// response body.  Pure request->response logic, shared by the daemon
 /// and the protocol tests; never throws (failures become ok:false).
+/// `stats` backs the `stats` verb (null answers it ok:false) and is
+/// *only read* here — recording happens in the serve loop, after the
+/// handler returns, so a `stats` snapshot never counts the request that
+/// asked for it.  When `type_out` is non-null it receives the request's
+/// telemetry class (obs::ReqType::kOther for anything that failed to
+/// parse), classified from the op actually dispatched — never a second
+/// parse.
+[[nodiscard]] std::string handle_query(Session& session, std::string_view body,
+                                       obs::ServeStats* stats,
+                                       obs::ReqType* type_out = nullptr);
+/// Statsless form (embedded use and the golden protocol tests).
 [[nodiscard]] std::string handle_query(Session& session, std::string_view body);
 
 /// Run the daemon until `cancel` trips: bind `cfg.socket_path`, accept

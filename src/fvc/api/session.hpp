@@ -123,6 +123,9 @@ class Session {
     return cameras_.at(i);
   }
   [[nodiscard]] const TileCache& cache() const { return cache_; }
+  /// Lifetime cache accounting — the single source for the serve
+  /// telemetry plane and the CLI's end-of-run table.
+  [[nodiscard]] const TileCacheStats& cache_stats() const { return cache_.stats(); }
 
   /// Scalar-oracle point query at (x, y) in [0, 1]^2.
   [[nodiscard]] PointAnswer query_point(double x, double y);

@@ -70,6 +70,16 @@ class TileCache {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] const TileCacheStats& stats() const { return stats_; }
 
+  /// Approximate resident bytes: entries times the list-node payload plus
+  /// the hash-map node (key copy, iterator, bucket links).  A telemetry
+  /// sizing signal, not an allocator audit.
+  [[nodiscard]] std::size_t approx_bytes() const {
+    constexpr std::size_t kPerEntry = sizeof(Entry) + 2 * sizeof(void*) +
+                                      sizeof(TileKey) + sizeof(void*) +
+                                      2 * sizeof(void*);
+    return sizeof(TileCache) + map_.size() * kPerEntry;
+  }
+
   /// Look up `key`; a hit refreshes its recency and writes the value to
   /// `out`.  Hits and misses are counted.
   [[nodiscard]] bool lookup(const TileKey& key, core::GridRowStats& out);

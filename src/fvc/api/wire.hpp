@@ -18,10 +18,20 @@
 ///   {"op":"what_if","action":"move","index":3,"x":..,"y":..,...}
 ///   {"op":"what_if","action":"set_theta","theta":0.5}
 ///   {"op":"info"}
+///   {"op":"stats"}
 /// Responses always carry `ok` plus either the answer fields and the
 /// current deployment `digest` ("0x%016x"), or `error` with a message.
 /// Doubles travel as %.17g (full round-trip, the repo-wide convention),
 /// so served numbers are bit-identical to locally computed ones.
+///
+/// `stats` is additive in fvc.query/1: its response carries the schema
+/// tag `fvc.serve_stats/1` (still a flat object) — a merged telemetry
+/// snapshot with uptime, per-request-type counts and latency
+/// percentiles, byte/error totals, cache counters and occupancy,
+/// watchdog stalls, and deltas since the previous `stats` request (each
+/// `stats` request advances the delta baseline).  A server running
+/// without a telemetry registry (the embedded `handle_query` form)
+/// answers `stats` with ok:false.
 
 #pragma once
 
@@ -36,6 +46,9 @@ namespace fvc::api {
 
 /// Schema tag carried in every response.
 inline constexpr const char* kQuerySchema = "fvc.query/1";
+
+/// Schema tag of a `stats` verb response (see the file comment).
+inline constexpr const char* kServeStatsSchema = "fvc.serve_stats/1";
 
 /// Upper bound on a frame body; larger length prefixes are rejected.
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;

@@ -1,6 +1,7 @@
 #include "fvc/cli/args.hpp"
 
 #include <stdexcept>
+#include <string_view>
 
 namespace fvc::cli {
 
@@ -23,10 +24,14 @@ Args Args::parse(int argc, const char* const* argv) {
       value = token.substr(eq + 1);
     } else {
       key = token.substr(2);
-      if (i + 1 >= argc) {
-        throw std::invalid_argument("flag --" + key + " is missing a value");
+      // A flag followed by another flag (or by nothing) is a bare
+      // boolean switch: `top --once --json`.
+      if (i + 1 >= argc ||
+          std::string_view(argv[i + 1]).rfind("--", 0) == 0) {
+        value = "1";
+      } else {
+        value = argv[++i];
       }
-      value = argv[++i];
     }
     if (key.empty()) {
       throw std::invalid_argument("empty flag name in: " + token);

@@ -2,7 +2,9 @@
 /// \brief Minimal command-line parsing for the fvc_sim tool.
 ///
 /// Supports `--key value` and `--key=value` pairs plus one positional
-/// subcommand.  No external dependencies; strict by default (unknown flags
+/// subcommand.  A flag followed by another `--flag` (or by nothing) is a
+/// *bare* boolean switch, recorded as "1" — `top --once --json` reads
+/// naturally.  No external dependencies; strict by default (unknown flags
 /// are errors, so typos do not silently fall back to defaults).
 
 #pragma once
@@ -19,9 +21,11 @@ namespace fvc::cli {
 class Args {
  public:
   /// Parse argv (excluding argv[0]).  The first token not starting with
-  /// "--" becomes the subcommand; later bare tokens are errors.
-  /// \throws std::invalid_argument on malformed input ("--flag" without a
-  /// value, duplicate flags, stray positionals).
+  /// "--" becomes the subcommand; later bare tokens are errors.  A flag
+  /// whose next token is another flag (or the end of the line) becomes a
+  /// bare switch with value "1".
+  /// \throws std::invalid_argument on malformed input (duplicate flags,
+  /// stray positionals, empty flag names).
   static Args parse(int argc, const char* const* argv);
 
   [[nodiscard]] const std::string& command() const { return command_; }

@@ -165,7 +165,23 @@ const std::vector<CommandSpec>& command_table() {
         {"load", "FILE", "", "load the deployment from FILE"},
         {"grid-side", "M", "64", "region-query evaluation grid side"},
         {"tile-rows", "K", "8", "grid rows per cached tile"},
-        {"cache-tiles", "C", "1024", "tile cache capacity (entries)"}}},
+        {"cache-tiles", "C", "1024", "tile cache capacity (entries)"},
+        {"metrics-every", "MS", "",
+         "with --metrics: also flush the report atomically every MS ms"},
+        {"prom", "FILE", "",
+         "periodically export Prometheus text-format telemetry to FILE"},
+        {"prom-every", "MS", "1000",
+         "Prometheus export interval in milliseconds"}}},
+      {"top",
+       "live telemetry view of a running serve daemon (polls the stats "
+       "verb; Ctrl-C exits)",
+       &cmd_top,
+       {{"socket", "PATH", "", "unix socket of the daemon (required)"},
+        {"interval-ms", "MS", "1000", "poll and refresh interval"},
+        {"count", "K", "", "stop after K refreshes (default: until Ctrl-C)"},
+        {"once", "", "", "print a single snapshot and exit"},
+        {"json", "", "",
+         "print the raw fvc.serve_stats/1 response instead of the table"}}},
   };
   return table;
 }
@@ -230,7 +246,9 @@ void print_flag_lines(std::ostream& out, const std::vector<FlagSpec>& flags) {
   bool empty = true;
   for (const FlagSpec& f : flags) {
     std::string word;
-    if (f.fallback.empty()) {
+    if (f.fallback.empty() && f.value.empty()) {
+      word = "[--" + std::string(f.name) + "]";  // bare boolean switch
+    } else if (f.fallback.empty()) {
       word = "[--" + std::string(f.name) + " " + std::string(f.value) + "]";
     } else {
       word = "--" + std::string(f.name) + " " + std::string(f.fallback);

@@ -1,16 +1,22 @@
 #include "fvc/cli/commands.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "fvc/analysis/csa.hpp"
+#include "fvc/api/client.hpp"
 #include "fvc/api/server.hpp"
 #include "fvc/api/session.hpp"
+#include "fvc/api/wire.hpp"
 #include "fvc/analysis/exact_theory.hpp"
 #include "fvc/analysis/planner.hpp"
 #include "fvc/analysis/poisson_theory.hpp"
@@ -25,6 +31,8 @@
 #include "fvc/geometry/angle.hpp"
 #include "fvc/io/network_io.hpp"
 #include "fvc/obs/json_export.hpp"
+#include "fvc/obs/prom_export.hpp"
+#include "fvc/obs/serve_stats.hpp"
 #include "fvc/obs/trace.hpp"
 #include "fvc/obs/trace_export.hpp"
 #include "fvc/obs/watchdog.hpp"
@@ -52,12 +60,15 @@ namespace {
 /// lock-free atomics only, no allocation, no locks.
 std::atomic<obs::CancellationToken*> g_active_token{nullptr};
 
-/// RAII install/clear of g_active_token around a handler invocation.
+/// RAII install/restore of g_active_token around a handler invocation.
+/// Restoring (not clearing) keeps well-nested in-process uses correct:
+/// a `top` run while a `serve` blocks on another thread hands the slot
+/// back to the daemon's token when it finishes.
 struct ActiveTokenGuard {
-  explicit ActiveTokenGuard(obs::CancellationToken& token) {
-    g_active_token.store(&token, std::memory_order_release);
-  }
-  ~ActiveTokenGuard() { g_active_token.store(nullptr, std::memory_order_release); }
+  explicit ActiveTokenGuard(obs::CancellationToken& token)
+      : prev_(g_active_token.exchange(&token, std::memory_order_acq_rel)) {}
+  ~ActiveTokenGuard() { g_active_token.store(prev_, std::memory_order_release); }
+  obs::CancellationToken* const prev_;
 };
 
 sim::TrialConfig config_from(const Args& args) {
@@ -579,6 +590,15 @@ int cmd_serve(CommandContext& ctx) {
   if (socket_path.empty()) {
     throw std::invalid_argument("serve: --socket PATH is required");
   }
+  const std::uint64_t metrics_every_ms = args.get_size("metrics-every", 0);
+  if (metrics_every_ms > 0 && !ctx.metrics_requested()) {
+    throw std::invalid_argument("serve: --metrics-every needs --metrics FILE");
+  }
+  const std::string prom_path = args.get_string("prom", "");
+  if (args.has("prom") && prom_path.empty()) {
+    throw std::invalid_argument("serve: --prom needs a file path");
+  }
+  const std::uint64_t prom_every_ms = args.get_size("prom-every", 1000);
   const core::Network net = deploy_or_load(ctx);
 
   api::SessionConfig scfg;
@@ -592,8 +612,44 @@ int cmd_serve(CommandContext& ctx) {
   scfg.progress = ctx.progress_fn();
   api::Session session(std::move(scfg));
 
+  obs::ServeStats stats;
+  if (ctx.watchdog() != nullptr) {
+    obs::Watchdog* wd = ctx.watchdog();
+    stats.set_stall_source([wd] { return wd->stalls_flagged(); });
+  }
   api::ServerConfig cfg;
   cfg.socket_path = socket_path;
+  cfg.stats = &stats;
+  // The tile-cache mirror refresh for the periodic Prometheus export;
+  // runs under the session mutex like every tick (see PeriodicTask).
+  const auto refresh_cache_mirror = [&session, &stats] {
+    const api::TileCacheStats& cs = session.cache_stats();
+    obs::CacheMirror m;
+    m.hits = cs.hits;
+    m.misses = cs.misses;
+    m.evictions = cs.evictions;
+    m.carried_forward = cs.carried_forward;
+    m.tiles = session.cache().size();
+    m.capacity = session.cache().capacity();
+    m.bytes = session.cache().approx_bytes();
+    stats.note_cache(m);
+  };
+  if (metrics_every_ms > 0) {
+    const std::string metrics_path = args.get_string("metrics", "");
+    cfg.ticks.push_back(
+        {metrics_every_ms, [&ctx, metrics_path] {
+           obs::write_json_file_atomic(metrics_path, ctx.metrics());
+         }});
+  }
+  if (!prom_path.empty()) {
+    cfg.ticks.push_back({prom_every_ms, [&stats, &refresh_cache_mirror, prom_path] {
+                           refresh_cache_mirror();
+                           // The export must not move a stats poller's
+                           // deltas, so it never advances the baseline.
+                           obs::write_prometheus_file_atomic(
+                               prom_path, stats.snapshot(/*advance_baseline=*/false));
+                         }});
+  }
   out << "serving " << session.camera_count() << " cameras (digest "
       << session.digest_hex() << ", grid " << session.grid_side() << "x"
       << session.grid_side() << ") on " << socket_path << "\n";
@@ -607,11 +663,17 @@ int cmd_serve(CommandContext& ctx) {
     node.set("errors", static_cast<double>(r.errors));
     return r;
   }();
+  if (!prom_path.empty()) {
+    // Final export so the file reflects the whole run, drain included.
+    refresh_cache_mirror();
+    obs::write_prometheus_file_atomic(prom_path,
+                                      stats.snapshot(/*advance_baseline=*/false));
+  }
   report::Table t({"serve metric", "value"});
   t.add_row({"connections", std::to_string(report.connections)});
   t.add_row({"requests served", std::to_string(report.requests)});
   t.add_row({"error responses", std::to_string(report.errors)});
-  const api::TileCacheStats& cs = session.cache().stats();
+  const api::TileCacheStats& cs = session.cache_stats();
   t.add_row({"tile cache hits", std::to_string(cs.hits)});
   t.add_row({"tile cache misses", std::to_string(cs.misses)});
   t.add_row({"tile cache evictions", std::to_string(cs.evictions)});
@@ -620,6 +682,122 @@ int cmd_serve(CommandContext& ctx) {
   // The accept loop only exits on cancellation, so run_command's
   // cancelled && code == 0 path reports kExitCancelled (130) — the clean
   // SIGINT drain the CI smoke leg asserts on.
+  return kExitSuccess;
+}
+
+int cmd_top(CommandContext& ctx) {
+  const Args& args = ctx.args();
+  std::ostream& out = ctx.out();
+  const std::string socket_path = args.get_string("socket", "");
+  if (socket_path.empty()) {
+    throw std::invalid_argument("top: --socket PATH is required");
+  }
+  const bool once = args.get_bool("once", false);
+  const bool raw_json = args.get_bool("json", false);
+  const std::uint64_t interval_ms = std::max<std::uint64_t>(
+      args.get_size("interval-ms", 1000), 50);
+  const std::size_t count = once ? 1 : args.get_size("count", 0);
+
+  api::Client client(socket_path);  // throws when nothing is listening
+
+  const auto fmt1 = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return std::string(buf);
+  };
+
+  // Rates come from successive *totals*, client-side — robust against
+  // other stats pollers (each poll advances the daemon's delta baseline,
+  // so the wire deltas belong to whoever polled last, not to us).
+  struct PrevPoll {
+    bool valid = false;
+    std::uint64_t ns = 0;
+    std::array<double, obs::kReqTypeCount> counts{};
+  };
+  PrevPoll prev;
+  std::size_t polls = 0;
+  while (!ctx.cancel().stop_requested()) {
+    const std::optional<std::string> response = client.try_request("{\"op\":\"stats\"}");
+    if (!response.has_value()) {
+      out << "top: daemon hung up\n";
+      return polls > 0 ? kExitSuccess : kExitFailure;
+    }
+    const std::uint64_t now = obs::monotonic_ns();
+    const api::WireObject obj = api::parse_flat_object(*response);
+    if (!api::get_bool(obj, "ok")) {
+      out << "top: stats error: " << api::get_string(obj, "error") << "\n";
+      return kExitFailure;
+    }
+    ++polls;
+    if (raw_json) {
+      out << *response << "\n";
+      out.flush();
+    } else {
+      const double uptime_s = api::get_number(obj, "uptime_ms") / 1000.0;
+      if (!once && polls > 1) {
+        out << "\x1b[2J\x1b[H";  // refresh in place (loop mode only)
+      }
+      out << "fvc top — " << api::get_string(obj, "digest") << "  uptime "
+          << fmt1(uptime_s) << "s  conns "
+          << static_cast<std::uint64_t>(api::get_number(obj, "connections_active"))
+          << "/"
+          << static_cast<std::uint64_t>(api::get_number(obj, "connections_total"))
+          << "  in-flight "
+          << static_cast<std::uint64_t>(api::get_number(obj, "in_flight"))
+          << "  stalls "
+          << static_cast<std::uint64_t>(api::get_number(obj, "stalls"))
+          << "  errors "
+          << static_cast<std::uint64_t>(api::get_number(obj, "errors_total"))
+          << "\n";
+      report::Table t({"type", "total", "req/s", "p50 us", "p90 us", "p99 us"});
+      const double dt_s = prev.valid
+                              ? static_cast<double>(now - prev.ns) / 1e9
+                              : uptime_s;  // first poll: average since start
+      for (std::size_t i = 0; i < obs::kReqTypeCount; ++i) {
+        const std::string name = obs::req_type_name(static_cast<obs::ReqType>(i));
+        const double total = api::get_number(obj, name + "_count");
+        const double base = prev.valid ? prev.counts[i] : 0.0;
+        const double rate = dt_s > 0.0 ? (total - base) / dt_s : 0.0;
+        t.add_row({name, std::to_string(static_cast<std::uint64_t>(total)),
+                   fmt1(rate), fmt1(api::get_number(obj, name + "_p50_us")),
+                   fmt1(api::get_number(obj, name + "_p90_us")),
+                   fmt1(api::get_number(obj, name + "_p99_us"))});
+        prev.counts[i] = total;
+      }
+      t.print(out);
+      const double hits = api::get_number(obj, "cache_hits");
+      const double misses = api::get_number(obj, "cache_misses");
+      const double lookups = hits + misses;
+      out << "cache: hit rate "
+          << fmt1(lookups > 0.0 ? 100.0 * hits / lookups : 0.0) << "% ("
+          << static_cast<std::uint64_t>(hits) << " hits, "
+          << static_cast<std::uint64_t>(misses) << " misses, "
+          << static_cast<std::uint64_t>(api::get_number(obj, "cache_evictions"))
+          << " evictions)  tiles "
+          << static_cast<std::uint64_t>(api::get_number(obj, "cache_tiles")) << "/"
+          << static_cast<std::uint64_t>(api::get_number(obj, "cache_capacity"))
+          << "  ~" << fmt1(api::get_number(obj, "cache_bytes") / 1024.0)
+          << " KiB\n";
+      out.flush();
+    }
+    if (raw_json) {
+      // The table path updates prev in its render loop; mirror it here.
+      for (std::size_t i = 0; i < obs::kReqTypeCount; ++i) {
+        const std::string name = obs::req_type_name(static_cast<obs::ReqType>(i));
+        prev.counts[i] = api::get_number(obj, name + "_count");
+      }
+    }
+    prev.ns = now;
+    prev.valid = true;
+    if (count > 0 && polls >= count) {
+      break;
+    }
+    // Chunked sleep so Ctrl-C lands within ~50ms, not a full interval.
+    for (std::uint64_t slept = 0;
+         slept < interval_ms && !ctx.cancel().stop_requested(); slept += 50) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
   return kExitSuccess;
 }
 

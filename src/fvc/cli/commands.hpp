@@ -68,6 +68,9 @@ int cmd_aim(CommandContext& ctx);
 /// Hot-engine coverage query daemon over a local socket (fvc.query/1).
 int cmd_serve(CommandContext& ctx);
 
+/// Live telemetry view of a running daemon (polls the `stats` verb).
+int cmd_top(CommandContext& ctx);
+
 /// Dispatch on args.command(); empty command prints help and returns
 /// failure, "help" prints help and succeeds, unknown commands report and
 /// fail.  Builds the CommandContext, enforces the registry's flag

@@ -169,4 +169,25 @@ void write_json_file(const std::string& path, const RunMetrics& metrics) {
   }
 }
 
+void write_text_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("write_text_file_atomic: cannot open " + tmp);
+    }
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!os) {
+      throw std::runtime_error("write_text_file_atomic: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("write_text_file_atomic: rename failed for " + path);
+  }
+}
+
+void write_json_file_atomic(const std::string& path, const RunMetrics& metrics) {
+  write_text_file_atomic(path, to_json(metrics));
+}
+
 }  // namespace fvc::obs

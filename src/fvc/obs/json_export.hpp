@@ -29,6 +29,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "fvc/obs/run_metrics.hpp"
 
@@ -43,5 +44,15 @@ void write_json(std::ostream& os, const RunMetrics& metrics);
 /// Write the document to a file; throws std::runtime_error when the file
 /// cannot be opened or the write fails.
 void write_json_file(const std::string& path, const RunMetrics& metrics);
+
+/// Atomically replace `path` with `content`: write `path + ".tmp"`, then
+/// rename over the target (the checkpoint idiom), so a reader polling the
+/// file never sees a torn document.  \throws std::runtime_error on any
+/// open/write/rename failure.
+void write_text_file_atomic(const std::string& path, std::string_view content);
+
+/// Atomic variant of write_json_file (tmp + rename), for periodic
+/// flushes of a live process (`fvc serve --metrics-every`).
+void write_json_file_atomic(const std::string& path, const RunMetrics& metrics);
 
 }  // namespace fvc::obs

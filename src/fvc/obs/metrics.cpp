@@ -1,5 +1,6 @@
 #include "fvc/obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace fvc::obs {
@@ -9,6 +10,40 @@ std::uint64_t monotonic_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+double LogHistogram::percentile(double p) const {
+  const std::uint64_t n = total();
+  if (n == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const auto count = static_cast<double>(buckets_[b]);
+    if (count == 0.0) {
+      continue;
+    }
+    if (cumulative + count >= target) {
+      // target falls inside bucket b: interpolate across its span.  At
+      // p == 0 (target == 0) the first occupied bucket reports its lower
+      // edge; at p == 1 the last occupied bucket reports its upper edge.
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double frac = (target - cumulative) / count;
+      return lo + frac * (hi - lo);
+    }
+    cumulative += count;
+  }
+  // Unreachable for a consistent histogram (cumulative reaches n >= target),
+  // but keep a defined answer: the top edge of the last occupied bucket.
+  for (std::size_t b = kBuckets; b-- > 0;) {
+    if (buckets_[b] != 0) {
+      return static_cast<double>(bucket_hi(b));
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace fvc::obs

@@ -39,6 +39,9 @@ class LogHistogram {
   static constexpr std::size_t kBuckets = 16;
 
   void add(std::uint64_t value) { ++buckets_[bucket_of(value)]; }
+  /// Bulk-add `count` samples directly into bucket `b` — the merge
+  /// primitive for external (e.g. atomic-sharded) bucket arrays.
+  void add_to_bucket(std::size_t b, std::uint64_t count) { buckets_.at(b) += count; }
   void merge(const LogHistogram& other) {
     for (std::size_t b = 0; b < kBuckets; ++b) {
       buckets_[b] += other.buckets_[b];
@@ -59,6 +62,22 @@ class LogHistogram {
   [[nodiscard]] static std::uint64_t bucket_lo(std::size_t b) {
     return b == 0 ? 0 : std::uint64_t{1} << b;
   }
+
+  /// Exclusive upper edge of bucket b (2, 4, 8, ...).  The last bucket is
+  /// open-ended; for interpolation purposes it is treated as one doubling
+  /// wide (hi = 2 * lo), which keeps percentile() finite and monotone.
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t b) {
+    return std::uint64_t{1} << (b + 1);
+  }
+
+  /// Interpolated percentile estimate for p in [0, 1] (clamped).  With N
+  /// samples the target rank is p * N; the estimate walks the cumulative
+  /// counts to the bucket containing that rank and interpolates linearly
+  /// across the bucket's [lo, hi) span — so a single sample in [2, 4)
+  /// reports p50 = 3.0, and samples landing exactly on bucket edges
+  /// resolve to positions inside their own bucket, never a neighbour's.
+  /// An empty histogram reports 0 for every p.
+  [[nodiscard]] double percentile(double p) const;
 
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) {
     std::size_t b = 0;

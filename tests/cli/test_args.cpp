@@ -42,9 +42,22 @@ TEST(Args, EqualsSyntax) {
 
 TEST(Args, Errors) {
   EXPECT_THROW(parse({"cmd1", "cmd2"}), std::invalid_argument);          // two positionals
-  EXPECT_THROW(parse({"--flag"}), std::invalid_argument);                // missing value
   EXPECT_THROW(parse({"--a", "1", "--a", "2"}), std::invalid_argument);  // duplicate
   EXPECT_THROW(parse({"--=x"}), std::invalid_argument);                  // empty name
+}
+
+TEST(Args, BareFlagsAreBooleanSwitches) {
+  // A flag followed by another flag (or by nothing) records "1":
+  // `top --once --json` needs no explicit values.
+  const Args args = parse({"top", "--once", "--json", "--socket", "/tmp/s"});
+  EXPECT_TRUE(args.get_bool("once", false));
+  EXPECT_TRUE(args.get_bool("json", false));
+  EXPECT_EQ(args.get_string("socket", ""), "/tmp/s");
+  const Args trailing = parse({"--once"});
+  EXPECT_TRUE(trailing.get_bool("once", false));
+  // Explicit values still win over the bare form.
+  const Args explicit_off = parse({"--once", "0"});
+  EXPECT_FALSE(explicit_off.get_bool("once", false));
 }
 
 TEST(Args, MalformedNumbers) {

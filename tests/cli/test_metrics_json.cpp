@@ -121,9 +121,10 @@ TEST(MetricsJson, EveryCommandEmitsAValidDocument) {
       {"repair", "--n", "120", "--radius", "0.2", "--grid-side", "8"},
       {"aim", "--n", "100", "--radius", "0.2", "--fov", "1.5", "--grid-side", "8"},
   };
-  // serve blocks until cancelled, so it is exercised separately below;
-  // the +1 keeps this guard demanding an entry for every new subcommand.
-  ASSERT_EQ(invocations.size() + 1, command_table().size())
+  // serve blocks until cancelled and top needs a live daemon, so both are
+  // exercised separately below; the +2 keeps this guard demanding an
+  // entry for every new subcommand.
+  ASSERT_EQ(invocations.size() + 2, command_table().size())
       << "new subcommand missing from the metrics schema test";
   for (const auto& argv : invocations) {
     const RunResult r = run_with_metrics(argv);
@@ -150,6 +151,17 @@ TEST(MetricsJson, EveryCommandEmitsAValidDocument) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(::access(sock.c_str(), F_OK), 0) << "serve never bound its socket";
+
+  // top against the live daemon: one snapshot, then the standard document
+  // checks — a metered top run is a command like any other.
+  const RunResult top = run_with_metrics({"top", "--socket", sock.c_str(),
+                                          "--once", "--json"});
+  EXPECT_EQ(top.code, 0);
+  check_document(top.doc, "top");
+  EXPECT_NE(top.output.find("\"schema\":\"fvc.serve_stats/1\""),
+            std::string::npos)
+      << top.output;
+
   request_active_command_stop();
   server.join();
   EXPECT_EQ(serve_code, kExitCancelled);

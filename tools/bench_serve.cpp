@@ -25,9 +25,17 @@
 ///      other's expected answers — every response is still verified
 ///      bit-exactly against precomputed mirror answers.
 ///
+/// Around phase 3 the bench polls the daemon's `stats` verb (fvc.serve_stats/1)
+/// once before and once after the load, which buys two things: daemon-side
+/// latency percentiles (measured inside the handler, so client scheduling
+/// noise is excluded) recorded next to the client-side ones, and an exact
+/// accounting check — the daemon's per-type request deltas across the load
+/// window must equal the counts this bench issued, request for request.
+///
 /// The daemon must be serving the same deployment this tool derives from
 /// its [n seed grid_side] arguments (phase 1 enforces it), and no other
-/// client may mutate it while the bench runs.
+/// client may use it while the bench runs (the accounting check is exact,
+/// so even one foreign request fails the bench).
 ///
 /// Usage:
 ///   bench_serve <socket> [out.json] [seconds] [qps] [connections]
@@ -43,13 +51,15 @@
 ///   radius/fov/theta/tile-rows are pinned to the serve defaults
 ///   (0.15 / 2.0 / pi/2 / 8); start the daemon accordingly.
 ///
-/// Writes a fvc.bench_serve/1 JSON record: offered vs achieved QPS,
-/// latency percentiles (measured from the *scheduled* send time, so
-/// queueing delay is charged to the daemon), per-op counts, and the
-/// mismatch counters the CI smoke leg gates on.
+/// Writes a fvc.bench_serve/2 JSON record: offered vs achieved QPS,
+/// client-side latency percentiles (measured from the *scheduled* send
+/// time, so queueing delay is charged to the daemon), per-op counts,
+/// daemon-side percentiles and cache hit rate from the `stats` verb, the
+/// accounting check, and the mismatch counters the CI smoke leg gates on.
 ///
 /// Exit status: 0 on success; 1 on bad usage, preflight disagreement,
-/// any bit-identity mismatch, any error response, or a lost connection.
+/// any bit-identity mismatch, any error response, a lost connection, or a
+/// stats accounting disagreement.
 
 #include <algorithm>
 #include <atomic>
@@ -62,6 +72,7 @@
 #include <fstream>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -189,6 +200,45 @@ double percentile_us(const std::vector<std::uint64_t>& sorted_ns, double p) {
   const double rank = p * static_cast<double>(sorted_ns.size() - 1);
   const auto idx = static_cast<std::size_t>(rank);
   return static_cast<double>(sorted_ns[idx]) / 1000.0;
+}
+
+/// One fvc.serve_stats/1 snapshot, reduced to what the bench records.
+struct DaemonStats {
+  double requests_total = 0.0;
+  double errors_total = 0.0;
+  double point_count = 0.0;
+  double region_count = 0.0;
+  double what_if_count = 0.0;
+  double point_p[3] = {0.0, 0.0, 0.0};    ///< p50/p90/p99 us
+  double region_p[3] = {0.0, 0.0, 0.0};
+  double what_if_p[3] = {0.0, 0.0, 0.0};
+  double cache_hits = 0.0;
+  double cache_misses = 0.0;
+};
+
+/// Poll the daemon's stats verb.  \throws on an unreachable daemon or a
+/// daemon too old to answer it — the bench and daemon ship together.
+DaemonStats poll_stats(api::Client& c) {
+  const api::WireObject obj = api::parse_flat_object(c.request("{\"op\":\"stats\"}"));
+  if (!api::get_bool(obj, "ok") ||
+      api::get_string(obj, "schema") != api::kServeStatsSchema) {
+    throw std::runtime_error("daemon does not answer the stats verb");
+  }
+  DaemonStats s;
+  s.requests_total = api::get_number(obj, "requests_total");
+  s.errors_total = api::get_number(obj, "errors_total");
+  s.point_count = api::get_number(obj, "point_count");
+  s.region_count = api::get_number(obj, "region_count");
+  s.what_if_count = api::get_number(obj, "what_if_count");
+  static constexpr const char* kQ[] = {"_p50_us", "_p90_us", "_p99_us"};
+  for (std::size_t q = 0; q < 3; ++q) {
+    s.point_p[q] = api::get_number(obj, std::string("point") + kQ[q]);
+    s.region_p[q] = api::get_number(obj, std::string("region") + kQ[q]);
+    s.what_if_p[q] = api::get_number(obj, std::string("what_if") + kQ[q]);
+  }
+  s.cache_hits = api::get_number(obj, "cache_hits");
+  s.cache_misses = api::get_number(obj, "cache_misses");
+  return s;
 }
 
 }  // namespace
@@ -358,6 +408,30 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(verify_requests),
               static_cast<unsigned long long>(verify_mismatches));
 
+  // --- Stats bracket, opening poll: the daemon's totals entering the
+  // load window.  A recorded response never races its own accounting
+  // (the daemon records before the response leaves), so after a
+  // request's answer arrives the totals already include it.
+  DaemonStats stats_before;
+  std::uint64_t stats_polls = 0;
+  try {
+    api::Client sc(socket_path);
+    stats_before = poll_stats(sc);
+    ++stats_polls;
+    if (stats_before.requests_total !=
+        static_cast<double>(verify_requests)) {
+      std::fprintf(stderr,
+                   "bench_serve: stats FAIL — daemon counts %.0f requests, "
+                   "bench issued %llu (is another client using it?)\n",
+                   stats_before.requests_total,
+                   static_cast<unsigned long long>(verify_requests));
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: stats poll failed: %s\n", e.what());
+    return 1;
+  }
+
   // --- Phase 3: open-loop load. ---
   const auto total =
       static_cast<std::uint64_t>(seconds * qps);
@@ -462,13 +536,62 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(load_mismatches),
       static_cast<unsigned long long>(load_errors));
 
+  // --- Stats bracket, closing poll: the per-type deltas across the load
+  // window must equal what this bench issued, request for request.
+  DaemonStats stats_after;
+  bool stats_counts_match = false;
+  try {
+    api::Client sc(socket_path);
+    stats_after = poll_stats(sc);
+    ++stats_polls;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: closing stats poll failed: %s\n", e.what());
+    return 1;
+  }
+  const double d_points = stats_after.point_count - stats_before.point_count;
+  const double d_regions = stats_after.region_count - stats_before.region_count;
+  const double d_what_ifs = stats_after.what_if_count - stats_before.what_if_count;
+  // Between the two polls the daemon also answered the opening stats
+  // request itself, so requests_total grows by the load plus one.
+  const double d_requests = stats_after.requests_total - stats_before.requests_total;
+  stats_counts_match =
+      d_points == static_cast<double>(totals.points.load()) &&
+      d_regions == static_cast<double>(totals.regions.load()) &&
+      d_what_ifs == static_cast<double>(totals.what_ifs.load()) &&
+      d_requests == static_cast<double>(all.size() + 1);
+  const double d_hits = stats_after.cache_hits - stats_before.cache_hits;
+  const double d_misses = stats_after.cache_misses - stats_before.cache_misses;
+  const double d_lookups = d_hits + d_misses;
+  const double cache_hit_rate = d_lookups > 0.0 ? d_hits / d_lookups : 0.0;
+  std::printf(
+      "stats: daemon point p50/p90/p99 %.0f/%.0f/%.0f us, region "
+      "%.0f/%.0f/%.0f us, cache hit rate %.3f, counts %s\n",
+      stats_after.point_p[0], stats_after.point_p[1], stats_after.point_p[2],
+      stats_after.region_p[0], stats_after.region_p[1], stats_after.region_p[2],
+      cache_hit_rate, stats_counts_match ? "match" : "MISMATCH");
+  if (!stats_counts_match) {
+    std::fprintf(stderr,
+                 "bench_serve: stats FAIL — load deltas point %.0f/%llu "
+                 "region %.0f/%llu what_if %.0f/%llu requests %.0f/%zu+1\n",
+                 d_points, static_cast<unsigned long long>(totals.points.load()),
+                 d_regions, static_cast<unsigned long long>(totals.regions.load()),
+                 d_what_ifs,
+                 static_cast<unsigned long long>(totals.what_ifs.load()),
+                 d_requests, all.size());
+  }
+  // Every request this process sent, stats polls included — the count a
+  // later stats/top poll of an otherwise idle daemon reports as
+  // requests_total.
+  const std::uint64_t requests_issued_total =
+      verify_requests + stats_polls + static_cast<std::uint64_t>(all.size());
+
   const bool ok = verify_mismatches == 0 && load_mismatches == 0 &&
-                  load_errors == 0 && all.size() == total;
-  char buf[1024];
+                  load_errors == 0 && all.size() == total && stats_counts_match;
+  char buf[4096];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
-      "  \"schema\": \"fvc.bench_serve/1\",\n"
+      "  \"schema\": \"fvc.bench_serve/2\",\n"
       "  \"bench\": \"serve_open_loop\",\n"
       "  \"digest\": \"%s\",\n"
       "  \"n\": %zu,\n"
@@ -478,6 +601,7 @@ int main(int argc, char** argv) {
       "  \"target_qps\": %.1f,\n"
       "  \"connections\": %zu,\n"
       "  \"hardware_concurrency\": %u,\n"
+      "  \"requests_issued_total\": %llu,\n"
       "  \"verify\": {\"requests\": %llu, \"mismatches\": %llu},\n"
       "  \"load\": {\n"
       "    \"offered\": %llu,\n"
@@ -493,10 +617,28 @@ int main(int argc, char** argv) {
       "    \"mismatches\": %llu,\n"
       "    \"errors\": %llu\n"
       "  },\n"
+      "  \"daemon\": {\n"
+      "    \"stats_counts_match\": %s,\n"
+      "    \"requests_total\": %.0f,\n"
+      "    \"errors_total\": %.0f,\n"
+      "    \"point_p50_us\": %.1f,\n"
+      "    \"point_p90_us\": %.1f,\n"
+      "    \"point_p99_us\": %.1f,\n"
+      "    \"region_p50_us\": %.1f,\n"
+      "    \"region_p90_us\": %.1f,\n"
+      "    \"region_p99_us\": %.1f,\n"
+      "    \"what_if_p50_us\": %.1f,\n"
+      "    \"what_if_p90_us\": %.1f,\n"
+      "    \"what_if_p99_us\": %.1f,\n"
+      "    \"cache_hit_rate\": %.4f,\n"
+      "    \"cache_hits_delta\": %.0f,\n"
+      "    \"cache_misses_delta\": %.0f\n"
+      "  },\n"
       "  \"results_bit_identical\": %s\n"
       "}\n",
       digest_hex.c_str(), n, seed, grid_side, seconds, qps, connections,
       std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(requests_issued_total),
       static_cast<unsigned long long>(verify_requests),
       static_cast<unsigned long long>(verify_mismatches),
       static_cast<unsigned long long>(total), all.size(),
@@ -506,7 +648,13 @@ int main(int argc, char** argv) {
       percentile_us(all, 0.50), percentile_us(all, 0.90),
       percentile_us(all, 0.99), percentile_us(all, 1.0),
       static_cast<unsigned long long>(load_mismatches),
-      static_cast<unsigned long long>(load_errors), ok ? "true" : "false");
+      static_cast<unsigned long long>(load_errors),
+      stats_counts_match ? "true" : "false", stats_after.requests_total,
+      stats_after.errors_total, stats_after.point_p[0], stats_after.point_p[1],
+      stats_after.point_p[2], stats_after.region_p[0], stats_after.region_p[1],
+      stats_after.region_p[2], stats_after.what_if_p[0],
+      stats_after.what_if_p[1], stats_after.what_if_p[2], cache_hit_rate,
+      d_hits, d_misses, ok ? "true" : "false");
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "bench_serve: cannot open %s for writing\n",
