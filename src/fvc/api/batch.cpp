@@ -1,0 +1,122 @@
+#include "fvc/api/batch.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace fvc::api {
+
+void PointBatcher::evaluate(const double* xs, const double* ys, std::size_t n,
+                            PointAnswer* out, std::string& digest_hex) {
+  Waiter w;
+  w.xs = xs;
+  w.ys = ys;
+  w.n = n;
+  w.out = out;
+  w.digest = &digest_hex;
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  queue_.push_back(&w);
+  // Every waiter loops until answered.  No round in progress means this
+  // waiter leads one itself — so no waiter can be stranded: whoever is
+  // last awake drains the queue (the structural drain-safety guarantee).
+  while (!w.done) {
+    if (!leader_active_) {
+      run_round(lk);
+    } else {
+      cv_.wait(lk);
+    }
+  }
+  if (w.failed) {
+    throw std::runtime_error(w.error);
+  }
+}
+
+void PointBatcher::run_round(std::unique_lock<std::mutex>& lk) {
+  leader_active_ = true;
+  if (cfg_.window_us > 0 && queue_.size() >= 2) {
+    // Group-commit window: this round is coalescing anyway, so linger
+    // briefly for stragglers.  A lone waiter never waits here — the
+    // straight-through path below keeps single-client latency flat.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(cfg_.window_us);
+    std::size_t pending = 0;
+    for (const Waiter* q : queue_) {
+      pending += q->n;
+    }
+    while (pending < cfg_.max_points &&
+           cv_.wait_until(lk, deadline) != std::cv_status::timeout) {
+      pending = 0;
+      for (const Waiter* q : queue_) {
+        pending += q->n;
+      }
+    }
+  }
+
+  // Drain FIFO up to the points budget; the head waiter is always taken
+  // (a single oversized `points` array still runs, alone).
+  std::vector<Waiter*> round;
+  std::size_t total_points = 0;
+  while (!queue_.empty()) {
+    Waiter* head = queue_.front();
+    if (!round.empty() && total_points + head->n > cfg_.max_points) {
+      break;
+    }
+    queue_.pop_front();
+    round.push_back(head);
+    total_points += head->n;
+    if (total_points >= cfg_.max_points) {
+      break;
+    }
+  }
+
+  // Gather every waiter's coordinates into one contiguous pair of spans:
+  // the whole round is ONE Session::query_points call — one engine
+  // dispatch, one digest render, one session-mutex hold.
+  round_xs_.clear();
+  round_ys_.clear();
+  for (const Waiter* w : round) {
+    round_xs_.insert(round_xs_.end(), w->xs, w->xs + w->n);
+    round_ys_.insert(round_ys_.end(), w->ys, w->ys + w->n);
+  }
+  round_answers_.assign(total_points, PointAnswer{});
+
+  lk.unlock();
+  std::string digest;
+  std::string failure;
+  try {
+    const std::lock_guard<std::mutex> session_lock(session_mutex_);
+    digest = session_.digest_hex();
+    session_.query_points(round_xs_.data(), round_ys_.data(), total_points,
+                          round_answers_.data());
+  } catch (const std::exception& e) {
+    failure = e.what();
+    if (failure.empty()) {
+      failure = "batch round failed";
+    }
+  }
+  if (stats_ != nullptr) {
+    stats_->note_batch(round.size(), total_points);
+  }
+  lk.lock();
+
+  std::size_t off = 0;
+  for (Waiter* w : round) {
+    if (failure.empty()) {
+      for (std::size_t i = 0; i < w->n; ++i) {
+        w->out[i] = round_answers_[off + i];
+      }
+      *w->digest = digest;
+    } else {
+      w->failed = true;
+      w->error = failure;
+    }
+    off += w->n;
+    w->done = true;
+  }
+  leader_active_ = false;
+  // Followers of this round wake to find done set; queued latecomers
+  // wake to find no leader and elect themselves.
+  cv_.notify_all();
+}
+
+}  // namespace fvc::api

@@ -2,7 +2,18 @@
 
 #include <stdexcept>
 
+#include "fvc/api/wire.hpp"
+
 namespace fvc::api {
+
+std::string points_request(std::span<const double> xs,
+                           std::span<const double> ys) {
+  JsonObjectWriter w;
+  w.add_string("op", "points");
+  w.add_number_array("x", xs);
+  w.add_number_array("y", ys);
+  return w.finish();
+}
 
 std::string Client::request(std::string_view body) {
   std::optional<std::string> response = try_request(body);

@@ -8,12 +8,19 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
 #include "fvc/api/socket_io.hpp"
 
 namespace fvc::api {
+
+/// Render a `{"op":"points",...}` request body from parallel coordinate
+/// arrays (%.17g doubles, like every wire number).  Callers keep the cap
+/// in mind: kMaxPointsPerRequest points per request.
+[[nodiscard]] std::string points_request(std::span<const double> xs,
+                                         std::span<const double> ys);
 
 /// A connected fvc.query/1 client.
 class Client {

@@ -1,16 +1,23 @@
 #include "fvc/api/server.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "fvc/api/batch.hpp"
 #include "fvc/api/socket_io.hpp"
 #include "fvc/api/wire.hpp"
 #include "fvc/obs/metrics.hpp"
@@ -29,6 +36,68 @@ std::string error_response(std::string_view message) {
   w.add_string("schema", kQuerySchema);
   w.add_string("error", message);
   return w.finish();
+}
+
+/// The `point` answer body.  Shared by the classic per-request path and
+/// the batcher path so both emit byte-identical responses (the golden
+/// protocol transcripts pin this exact layout).
+std::string point_response(const std::string& digest, const PointAnswer& ans) {
+  JsonObjectWriter w;
+  w.add_bool("ok", true);
+  w.add_string("schema", kQuerySchema);
+  w.add_string("digest", digest);
+  w.add_bool("covered", ans.covered);
+  w.add_bool("necessary", ans.necessary);
+  w.add_bool("sufficient", ans.sufficient);
+  w.add_number("max_gap", ans.max_gap);
+  w.add_integer("covering_count", ans.covering_count);
+  return w.finish();
+}
+
+/// The `points` answer body: parallel arrays, one slot per query point.
+/// Booleans travel as 0/1 integer arrays (the wire format's arrays hold
+/// numbers only).
+std::string points_response(const std::string& digest,
+                            std::span<const PointAnswer> answers) {
+  std::vector<std::uint64_t> covered(answers.size());
+  std::vector<std::uint64_t> necessary(answers.size());
+  std::vector<std::uint64_t> sufficient(answers.size());
+  std::vector<double> max_gap(answers.size());
+  std::vector<std::uint64_t> covering_count(answers.size());
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    covered[i] = answers[i].covered ? 1 : 0;
+    necessary[i] = answers[i].necessary ? 1 : 0;
+    sufficient[i] = answers[i].sufficient ? 1 : 0;
+    max_gap[i] = answers[i].max_gap;
+    covering_count[i] = answers[i].covering_count;
+  }
+  JsonObjectWriter w;
+  w.add_bool("ok", true);
+  w.add_string("schema", kQuerySchema);
+  w.add_string("digest", digest);
+  w.add_integer("count", answers.size());
+  w.add_integer_array("covered", covered);
+  w.add_integer_array("necessary", necessary);
+  w.add_integer_array("sufficient", sufficient);
+  w.add_number_array("max_gap", max_gap);
+  w.add_integer_array("covering_count", covering_count);
+  return w.finish();
+}
+
+/// The `points` op's coordinate arrays, validated: equal lengths, under
+/// the frame-budget cap.
+std::pair<const std::vector<double>*, const std::vector<double>*> points_coords(
+    const WireObject& req) {
+  const std::vector<double>& xs = get_numbers(req, "x");
+  const std::vector<double>& ys = get_numbers(req, "y");
+  if (xs.size() != ys.size()) {
+    throw WireError("wire: 'x' and 'y' must have equal length");
+  }
+  if (xs.size() > kMaxPointsPerRequest) {
+    throw WireError("wire: too many points (max " +
+                    std::to_string(kMaxPointsPerRequest) + ")");
+  }
+  return {&xs, &ys};
 }
 
 void add_region_fields(JsonObjectWriter& w, const RegionAnswer& ans) {
@@ -140,6 +209,12 @@ std::string handle_stats(Session& session, obs::ServeStats& stats) {
   w.add_integer("cache_capacity", snap.cache.capacity);
   w.add_integer("cache_bytes", snap.cache.bytes);
   w.add_integer("stalls", snap.stalls);
+  w.add_integer("batched_requests", snap.batched_requests);
+  w.add_integer("batch_rounds", snap.batch_rounds);
+  w.add_integer("batch_points", snap.batch_points);
+  w.add_number("batch_size_p50", snap.batch_size_p50);
+  w.add_number("batch_size_p90", snap.batch_size_p90);
+  w.add_number("batch_size_p99", snap.batch_size_p99);
   w.add_integer("delta_ms", snap.delta_ms);
   w.add_integer("delta_requests", snap.delta_requests);
   w.add_integer("delta_errors", snap.delta_errors);
@@ -152,6 +227,76 @@ std::string handle_stats(Session& session, obs::ServeStats& stats) {
   return w.finish();
 }
 
+/// Dispatch one *parsed* request.  Callers own parsing (so a serve loop
+/// that already parsed to route through the batcher never parses twice)
+/// and error handling (thrown WireError/std::exception become ok:false
+/// upstream).  Classification lands in `type_out` from the op actually
+/// dispatched.
+std::string handle_parsed(Session& session, const WireObject& req,
+                          obs::ServeStats* stats, obs::ReqType* type_out) {
+  const auto classify = [type_out](obs::ReqType type) {
+    if (type_out != nullptr) {
+      *type_out = type;
+    }
+  };
+  const std::string& op = get_string(req, "op");
+  if (op == "point") {
+    classify(obs::ReqType::kPoint);
+    const PointAnswer ans =
+        session.query_point(get_number(req, "x"), get_number(req, "y"));
+    return point_response(session.digest_hex(), ans);
+  }
+  if (op == "points") {
+    classify(obs::ReqType::kBatch);
+    const auto [xs, ys] = points_coords(req);
+    std::vector<PointAnswer> answers(xs->size());
+    session.query_points(xs->data(), ys->data(), xs->size(), answers.data());
+    return points_response(session.digest_hex(), answers);
+  }
+  if (op == "region") {
+    classify(obs::ReqType::kRegion);
+    const RegionAnswer ans =
+        session.query_region(get_number(req, "y_lo"), get_number(req, "y_hi"));
+    JsonObjectWriter w;
+    w.add_bool("ok", true);
+    w.add_string("schema", kQuerySchema);
+    w.add_string("digest", session.digest_hex());
+    add_region_fields(w, ans);
+    return w.finish();
+  }
+  if (op == "what_if") {
+    classify(obs::ReqType::kWhatIf);
+    return handle_what_if(session, req);
+  }
+  if (op == "stats") {
+    classify(obs::ReqType::kStats);
+    if (stats == nullptr) {
+      return error_response("stats not available");
+    }
+    return handle_stats(session, *stats);
+  }
+  if (op == "info") {
+    classify(obs::ReqType::kInfo);
+    const TileCacheStats& cs = session.cache_stats();
+    JsonObjectWriter w;
+    w.add_bool("ok", true);
+    w.add_string("schema", kQuerySchema);
+    w.add_string("digest", session.digest_hex());
+    w.add_integer("cameras", session.camera_count());
+    w.add_number("theta", session.theta());
+    w.add_integer("grid_side", session.grid_side());
+    w.add_integer("tile_rows", session.tile_rows());
+    w.add_integer("cache_capacity", session.cache().capacity());
+    w.add_integer("cache_size", session.cache().size());
+    w.add_integer("cache_hits", cs.hits);
+    w.add_integer("cache_misses", cs.misses);
+    w.add_integer("cache_evictions", cs.evictions);
+    w.add_integer("cache_carried_forward", cs.carried_forward);
+    return w.finish();
+  }
+  return error_response("unknown op '" + op + "'");
+}
+
 }  // namespace
 
 std::string handle_query(Session& session, std::string_view body,
@@ -159,71 +304,9 @@ std::string handle_query(Session& session, std::string_view body,
   if (type_out != nullptr) {
     *type_out = obs::ReqType::kOther;  // until an op actually dispatches
   }
-  const auto classify = [type_out](obs::ReqType type) {
-    if (type_out != nullptr) {
-      *type_out = type;
-    }
-  };
   try {
     const WireObject req = parse_flat_object(body);
-    const std::string& op = get_string(req, "op");
-    if (op == "point") {
-      classify(obs::ReqType::kPoint);
-      const PointAnswer ans =
-          session.query_point(get_number(req, "x"), get_number(req, "y"));
-      JsonObjectWriter w;
-      w.add_bool("ok", true);
-      w.add_string("schema", kQuerySchema);
-      w.add_string("digest", session.digest_hex());
-      w.add_bool("covered", ans.covered);
-      w.add_bool("necessary", ans.necessary);
-      w.add_bool("sufficient", ans.sufficient);
-      w.add_number("max_gap", ans.max_gap);
-      w.add_integer("covering_count", ans.covering_count);
-      return w.finish();
-    }
-    if (op == "region") {
-      classify(obs::ReqType::kRegion);
-      const RegionAnswer ans =
-          session.query_region(get_number(req, "y_lo"), get_number(req, "y_hi"));
-      JsonObjectWriter w;
-      w.add_bool("ok", true);
-      w.add_string("schema", kQuerySchema);
-      w.add_string("digest", session.digest_hex());
-      add_region_fields(w, ans);
-      return w.finish();
-    }
-    if (op == "what_if") {
-      classify(obs::ReqType::kWhatIf);
-      return handle_what_if(session, req);
-    }
-    if (op == "stats") {
-      classify(obs::ReqType::kStats);
-      if (stats == nullptr) {
-        return error_response("stats not available");
-      }
-      return handle_stats(session, *stats);
-    }
-    if (op == "info") {
-      classify(obs::ReqType::kInfo);
-      const TileCacheStats& cs = session.cache_stats();
-      JsonObjectWriter w;
-      w.add_bool("ok", true);
-      w.add_string("schema", kQuerySchema);
-      w.add_string("digest", session.digest_hex());
-      w.add_integer("cameras", session.camera_count());
-      w.add_number("theta", session.theta());
-      w.add_integer("grid_side", session.grid_side());
-      w.add_integer("tile_rows", session.tile_rows());
-      w.add_integer("cache_capacity", session.cache().capacity());
-      w.add_integer("cache_size", session.cache().size());
-      w.add_integer("cache_hits", cs.hits);
-      w.add_integer("cache_misses", cs.misses);
-      w.add_integer("cache_evictions", cs.evictions);
-      w.add_integer("cache_carried_forward", cs.carried_forward);
-      return w.finish();
-    }
-    return error_response("unknown op '" + op + "'");
+    return handle_parsed(session, req, stats, type_out);
   } catch (const std::exception& e) {
     return error_response(e.what());
   }
@@ -239,22 +322,59 @@ namespace {
 struct ServeState {
   Session* session = nullptr;
   obs::ServeStats* stats = nullptr;  ///< null = no telemetry recording
+  PointBatcher* batcher = nullptr;   ///< null = batching disabled
   std::mutex session_mutex;
   std::atomic<bool> draining{false};
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> errors{0};
 };
 
-/// True when `fd` has a readable byte within one poll tick.
-bool wait_readable(int fd) {
-  pollfd p{};
-  p.fd = fd;
-  p.events = POLLIN;
-  return ::poll(&p, 1, kPollMs) > 0 && (p.revents & (POLLIN | POLLHUP)) != 0;
-}
-
 /// 4 bytes of length prefix per frame, counted into the byte totals.
 constexpr std::uint64_t kFrameOverhead = 4;
+
+/// Answer one request body for the serve loop.  With a batcher, point
+/// work coalesces into group-commit rounds (the batcher takes the
+/// session mutex itself); everything else — and everything when batching
+/// is off — serializes under the session mutex through the classic path.
+/// Mirrors handle_query's classification contract exactly.
+std::string serve_one(ServeState& state, std::string_view body,
+                      obs::ReqType* type_out) {
+  *type_out = obs::ReqType::kOther;  // until an op actually dispatches
+  try {
+    const WireObject req = parse_flat_object(body);
+    if (state.batcher != nullptr) {
+      const std::string& op = get_string(req, "op");
+      if (op == "point") {
+        *type_out = obs::ReqType::kPoint;
+        const double x = get_number(req, "x");
+        const double y = get_number(req, "y");
+        PointAnswer ans;
+        std::string digest;
+        state.batcher->evaluate(&x, &y, 1, &ans, digest);
+        return point_response(digest, ans);
+      }
+      if (op == "points") {
+        *type_out = obs::ReqType::kBatch;
+        const auto [xs, ys] = points_coords(req);
+        std::vector<PointAnswer> answers(xs->size());
+        std::string digest;
+        state.batcher->evaluate(xs->data(), ys->data(), xs->size(),
+                                answers.data(), digest);
+        return points_response(digest, answers);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(state.session_mutex);
+    std::string response = handle_parsed(*state.session, req, state.stats, type_out);
+    if (state.stats != nullptr) {
+      // Republish the cache mirror while the mutex still orders the
+      // writes — mirror values then never move backwards.
+      state.stats->note_cache(cache_mirror_of(*state.session));
+    }
+    return response;
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
 
 void client_loop(ServeState& state, ScopedFd fd) {
   obs::ServeStats::Recorder* recorder =
@@ -264,28 +384,19 @@ void client_loop(ServeState& state, ScopedFd fd) {
     // sits at the loop top), then the connection closes and the client
     // reads EOF — its signal that the daemon is gone.
     while (!state.draining.load(std::memory_order_relaxed)) {
-      if (!wait_readable(fd.get())) {
+      if (!poll_readable(fd.get(), kPollMs)) {
         continue;
       }
       const std::optional<std::string> body = read_frame(fd.get());
       if (!body.has_value()) {
         break;  // clean EOF: client hung up
       }
-      std::string response;
       obs::ReqType type = obs::ReqType::kOther;
       const std::uint64_t t0 = obs::monotonic_ns();
       if (state.stats != nullptr) {
         state.stats->request_started();
       }
-      {
-        const std::lock_guard<std::mutex> lock(state.session_mutex);
-        response = handle_query(*state.session, *body, state.stats, &type);
-        if (state.stats != nullptr) {
-          // Republish the cache mirror while the mutex still orders the
-          // writes — mirror values then never move backwards.
-          state.stats->note_cache(cache_mirror_of(*state.session));
-        }
-      }
+      const std::string response = serve_one(state, *body, &type);
       const bool is_error = response.rfind("{\"ok\":false", 0) == 0;
       if (state.stats != nullptr) {
         state.stats->request_finished();
@@ -312,6 +423,15 @@ void client_loop(ServeState& state, ScopedFd fd) {
   }
 }
 
+/// One live (or finished-but-unjoined) handler thread.  `done` is set by
+/// the thread itself as its last act, so the accept loop can join
+/// without blocking — the reap pass below keeps the vector bounded by
+/// *concurrent* clients, not total connections served.
+struct ClientSlot {
+  std::thread thread;
+  std::unique_ptr<std::atomic<bool>> done;
+};
+
 }  // namespace
 
 ServeReport serve(Session& session, const ServerConfig& cfg,
@@ -320,14 +440,23 @@ ServeReport serve(Session& session, const ServerConfig& cfg,
   ServeState state;
   state.session = &session;
   state.stats = cfg.stats;
+  std::optional<PointBatcher> batcher;
+  if (cfg.batch_max > 0) {
+    PointBatcher::Config bcfg;
+    bcfg.max_points = cfg.batch_max;
+    bcfg.window_us = cfg.batch_window_us;
+    batcher.emplace(session, state.session_mutex, bcfg, cfg.stats);
+    state.batcher = &*batcher;
+  }
   if (state.stats != nullptr) {
     // Seed the mirror so a stats poll before any traffic still reports
     // the cache's real capacity and (empty) occupancy.
     state.stats->note_cache(cache_mirror_of(session));
   }
   ServeReport report;
-  std::vector<std::thread> clients;
+  std::vector<ClientSlot> clients;
   std::vector<std::uint64_t> tick_last(cfg.ticks.size(), obs::monotonic_ns());
+  bool accept_failing = false;  // logged once per failure burst
   while (!cancel.stop_requested()) {
     // Periodic tasks ride the accept loop's poll cadence: checked every
     // tick (~100ms), run under the session mutex (see PeriodicTask).
@@ -347,22 +476,55 @@ ServeReport serve(Session& session, const ServerConfig& cfg,
         std::fprintf(stderr, "fvc serve: periodic task failed: %s\n", e.what());
       }
     }
-    if (!wait_readable(listener.get())) {
+    // Reap finished handlers: their `done` flag is already set, so the
+    // join is instant.  Without this, a long-lived daemon accumulates
+    // one unjoined thread per connection it ever served.
+    for (auto it = clients.begin(); it != clients.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = clients.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!poll_readable(listener.get(), kPollMs)) {
       continue;
     }
     ScopedFd conn(::accept(listener.get(), nullptr, nullptr));
     if (!conn.valid()) {
-      continue;  // raced a client that already gave up
+      if (errno == ECONNABORTED || errno == EINTR) {
+        continue;  // raced a client that already gave up
+      }
+      // Resource exhaustion (EMFILE/ENFILE/ENOMEM): the listener stays
+      // readable, so a bare `continue` would spin at 100% CPU.  Log once
+      // per burst and sit out one poll tick — reaping above may free fds.
+      if (!accept_failing) {
+        accept_failing = true;
+        std::fprintf(stderr, "fvc serve: accept failed: %s (backing off)\n",
+                     std::strerror(errno));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+      continue;
     }
+    accept_failing = false;
     ++report.connections;
-    clients.emplace_back(
-        [&state, fd = std::move(conn)]() mutable { client_loop(state, std::move(fd)); });
+    ClientSlot slot;
+    slot.done = std::make_unique<std::atomic<bool>>(false);
+    std::atomic<bool>* done = slot.done.get();
+    slot.thread = std::thread([&state, done, fd = std::move(conn)]() mutable {
+      client_loop(state, std::move(fd));
+      done->store(true, std::memory_order_release);
+    });
+    clients.push_back(std::move(slot));
+    if (clients.size() > report.peak_threads) {
+      report.peak_threads = clients.size();
+    }
   }
   // Graceful drain: no new connections, let handlers finish the request
   // in flight (they notice `draining` at their next poll tick), join all.
   state.draining.store(true, std::memory_order_relaxed);
-  for (std::thread& t : clients) {
-    t.join();
+  for (ClientSlot& slot : clients) {
+    slot.thread.join();
   }
   ::unlink(cfg.socket_path.c_str());
   report.requests = state.requests.load();

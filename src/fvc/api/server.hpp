@@ -9,6 +9,14 @@
 /// concurrent clients deterministic: every request sees a consistent
 /// deployment digest, and interleaved what-if edits cannot tear a query.
 ///
+/// Point work additionally rides a group-commit batcher (batch.hpp):
+/// concurrent `point` / `points` requests coalesce into single
+/// SIMD-kernel rounds instead of paying one session-mutex hand-off and
+/// one engine dispatch each.  Disable with `batch_max = 0` (every op
+/// then takes the classic per-request path through `handle_query`).
+/// Batching never changes answers — only scheduling (see batch.hpp for
+/// the bit-identity argument).
+///
 /// Shutdown is cooperative: the accept loop polls the cancellation token
 /// (the CLI's SIGINT trampoline trips it), stops accepting, then drains —
 /// handler threads notice the stop flag at their next poll tick, finish
@@ -54,6 +62,13 @@ struct ServerConfig {
   /// ok:false).  Not owned; must outlive serve().
   obs::ServeStats* stats = nullptr;
   std::vector<PeriodicTask> ticks;  ///< periodic tasks (see PeriodicTask)
+  /// Max points per group-commit kernel round (see batch.hpp).  0
+  /// disables the batcher entirely: every op takes the classic
+  /// per-request path — the honest unbatched baseline for benchmarks.
+  std::size_t batch_max = 256;
+  /// Leader linger (µs) once a round has >= 2 waiters; 0 drains
+  /// immediately.  A lone request never waits on the window.
+  std::uint64_t batch_window_us = 0;
 };
 
 /// Accounting the daemon reports after draining.
@@ -61,6 +76,10 @@ struct ServeReport {
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;  ///< ok:false responses sent
+  /// High-water mark of simultaneously live handler threads.  Finished
+  /// handlers are reaped on the accept tick, so under sequential clients
+  /// this stays near 1 no matter how many connections were served.
+  std::uint64_t peak_threads = 0;
 };
 
 /// Answer one fvc.query/1 request body against `session`, returning the

@@ -113,6 +113,22 @@ PointAnswer Session::query_point(double x, double y) {
   return ans;
 }
 
+void Session::query_points(const double* xs, const double* ys, std::size_t n,
+                           PointAnswer* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::PointEval ev =
+        engine_->eval_point({xs[i], ys[i]}, point_scratch_);
+    out[i].covered = ev.full_view.covered;
+    out[i].max_gap = ev.full_view.max_gap;
+    out[i].covering_count = ev.full_view.covering_count;
+    out[i].necessary = ev.necessary;
+    out[i].sufficient = ev.sufficient;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add("point_queries", static_cast<double>(n));
+  }
+}
+
 RegionAnswer Session::query_region(double y_lo, double y_hi) {
   if (!(y_lo <= y_hi)) {
     throw std::invalid_argument("query_region: need y_lo <= y_hi");

@@ -130,6 +130,17 @@ class Session {
   /// Scalar-oracle point query at (x, y) in [0, 1]^2.
   [[nodiscard]] PointAnswer query_point(double x, double y);
 
+  /// Batched point queries: answer `n` points in one pass through the
+  /// engine's fused kernel path (`GridEvalEngine::eval_point` — one
+  /// candidate gather and one sort per point, SIMD classify, zero heap
+  /// allocations after warm-up) into `out[0..n)`.  Every answer is
+  /// bit-identical to `query_point` at the same coordinates; the scalar
+  /// oracle path above stays as the differential reference.  This is the
+  /// serve daemon's group-commit target: one call amortises dispatch
+  /// over a whole batch of concurrent clients' points.
+  void query_points(const double* xs, const double* ys, std::size_t n,
+                    PointAnswer* out);
+
   /// Region query over the horizontal strip [y_lo, y_hi] (clamped to
   /// [0, 1]; y_lo <= y_hi required).  The strip is resolved to the grid
   /// rows whose cell centers it contains, widened to whole cache tiles —
@@ -174,6 +185,11 @@ class Session {
   std::unique_ptr<core::GridEvalEngine> engine_;
   std::uint64_t digest_ = 0;
   TileCache cache_;
+  /// Reused by `query_points` (the session is externally serialized, so
+  /// one scratch suffices); engine rebuilds don't invalidate it — the
+  /// buffers are sized on use and the row-slice cache keys by engine
+  /// generation.
+  core::GridEvalScratch point_scratch_;
 };
 
 }  // namespace fvc::api

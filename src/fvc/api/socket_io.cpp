@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -80,6 +81,18 @@ ScopedFd unix_connect(const std::string& path) {
     throw_errno("connect(" + path + ")");
   }
   return fd;
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  // POLLERR/POLLHUP/POLLNVAL are output-only flags (never requested via
+  // `events`): a socket in an error state reports them with poll
+  // returning immediately.  They must count as readable, or a caller's
+  // wait loop degenerates into a busy spin while the error persists.
+  return ::poll(&p, 1, timeout_ms) > 0 &&
+         (p.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0;
 }
 
 namespace {

@@ -44,6 +44,14 @@ class ScopedFd {
 /// \throws std::runtime_error when the daemon is not there.
 [[nodiscard]] ScopedFd unix_connect(const std::string& path);
 
+/// Wait up to `timeout_ms` for `fd` to become readable.  Error states
+/// (POLLERR / POLLNVAL / POLLHUP) count as readable on purpose: the
+/// subsequent read surfaces the error or EOF and the caller closes
+/// cleanly.  Treating them as "not readable" would make a poll loop
+/// busy-spin at 100% CPU — poll returns instantly with revents the
+/// caller keeps rejecting (the bug this helper replaces).
+[[nodiscard]] bool poll_readable(int fd, int timeout_ms);
+
 /// Read one length-prefixed frame.  Returns nullopt on clean EOF before
 /// any prefix byte; \throws WireError on a truncated frame or an
 /// oversized/invalid length prefix, std::runtime_error on socket errors.

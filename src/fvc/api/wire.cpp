@@ -118,14 +118,52 @@ class Scanner {
       v.boolean = c == 't';
       return v;
     }
-    if (c == '{' || c == '[') {
-      throw WireError("wire: nested values are not part of fvc.query/1");
+    if (c == '{') {
+      throw WireError("wire: nested objects are not part of fvc.query/1");
     }
-    // Number: delegate to strtod over the value's extent.
+    if (c == '[') {
+      // Flat number array — the one nesting level fvc.query/1 admits
+      // (the `points` verb's coordinate and answer vectors).  Elements
+      // must be finite numbers; anything else inside is a protocol
+      // error, same as at top level.
+      ++pos_;
+      v.kind = WireValue::Kind::kNumbers;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        const char e = peek();
+        if (e == '"' || e == 't' || e == 'f' || e == '{' || e == '[') {
+          throw WireError("wire: arrays may hold numbers only");
+        }
+        v.numbers.push_back(parse_number("]"));
+        skip_ws();
+        const char sep = next();
+        if (sep == ']') {
+          return v;
+        }
+        if (sep != ',') {
+          throw WireError("wire: expected ',' or ']' in array");
+        }
+      }
+    }
+    v.kind = WireValue::Kind::kNumber;
+    v.number = parse_number("");
+    return v;
+  }
+
+  /// One number token, delegated to strtod over the value's extent.
+  /// `extra_stops` adds terminators beyond the flat-object set (the
+  /// array parser stops at ']' too).
+  double parse_number(std::string_view extra_stops) {
     const std::size_t start = pos_;
     while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' &&
            s_[pos_] != ' ' && s_[pos_] != '\t' && s_[pos_] != '\n' &&
-           s_[pos_] != '\r') {
+           s_[pos_] != '\r' &&
+           extra_stops.find(s_[pos_]) == std::string_view::npos) {
       ++pos_;
     }
     const std::string text(s_.substr(start, pos_ - start));
@@ -137,9 +175,7 @@ class Scanner {
     if (end != text.c_str() + text.size() || !std::isfinite(num)) {
       throw WireError("wire: malformed number '" + text + "'");
     }
-    v.kind = WireValue::Kind::kNumber;
-    v.number = num;
-    return v;
+    return num;
   }
 
   std::string_view s_;
@@ -197,6 +233,16 @@ bool get_bool(const WireObject& obj, std::string_view key) {
   return v.boolean;
 }
 
+const std::vector<double>& get_numbers(const WireObject& obj,
+                                       std::string_view key) {
+  const WireValue& v = require(obj, key);
+  if (v.kind != WireValue::Kind::kNumbers) {
+    throw WireError("wire: field '" + std::string(key) +
+                    "' must be a number array");
+  }
+  return v.numbers;
+}
+
 double get_number_or(const WireObject& obj, std::string_view key, double fallback) {
   const auto it = obj.find(key);
   if (it == obj.end()) {
@@ -247,6 +293,38 @@ void JsonObjectWriter::add_bool(std::string_view key, bool value) {
   append_escaped(body_, key);
   body_ += "\":";
   body_ += value ? "true" : "false";
+}
+
+void JsonObjectWriter::add_number_array(std::string_view key,
+                                        std::span<const double> values) {
+  sep();
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":[";
+  char buf[32];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) {
+      body_ += ',';
+    }
+    std::snprintf(buf, sizeof buf, "%.17g", values[i]);
+    body_ += buf;
+  }
+  body_ += ']';
+}
+
+void JsonObjectWriter::add_integer_array(std::string_view key,
+                                         std::span<const std::uint64_t> values) {
+  sep();
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) {
+      body_ += ',';
+    }
+    body_ += std::to_string(values[i]);
+  }
+  body_ += ']';
 }
 
 std::string JsonObjectWriter::finish() {

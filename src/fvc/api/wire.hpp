@@ -2,15 +2,17 @@
 /// \brief The `fvc.query/1` wire format: length-prefixed flat-JSON frames.
 ///
 /// A frame is a 4-byte big-endian unsigned length N followed by N bytes of
-/// UTF-8 JSON.  The JSON body is a *flat* object — string, number, or
-/// boolean values only; nested objects and arrays are rejected — which
-/// keeps the parser small, the protocol greppable, and every client
-/// implementable in a few lines of any language.  Frames above
-/// `kMaxFrameBytes` are rejected before the body is read (a malformed or
-/// hostile length prefix must not drive allocation).
+/// UTF-8 JSON.  The JSON body is a *flat* object — string, number,
+/// boolean, or flat number-array values only; nested objects and arrays
+/// of anything but finite numbers are rejected — which keeps the parser
+/// small, the protocol greppable, and every client implementable in a
+/// few lines of any language.  Frames above `kMaxFrameBytes` are
+/// rejected before the body is read (a malformed or hostile length
+/// prefix must not drive allocation).
 ///
 /// Requests name their operation in `op`:
 ///   {"op":"point","x":0.5,"y":0.25}
+///   {"op":"points","x":[0.5,0.25],"y":[0.25,0.75]}
 ///   {"op":"region","y_lo":0.4,"y_hi":0.6}
 ///   {"op":"what_if","action":"add","x":..,"y":..,"orientation":..,
 ///    "radius":..,"fov":..,"group":..}
@@ -38,9 +40,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace fvc::api {
 
@@ -53,6 +57,11 @@ inline constexpr const char* kServeStatsSchema = "fvc.serve_stats/1";
 /// Upper bound on a frame body; larger length prefixes are rejected.
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
 
+/// Upper bound on the `points` verb's coordinate arrays, chosen so both
+/// the request (two full-width %.17g arrays) and its answer (five answer
+/// arrays) stay under `kMaxFrameBytes`.
+inline constexpr std::size_t kMaxPointsPerRequest = 8192;
+
 /// Protocol-level failure (malformed JSON, oversized frame, bad field).
 /// Servers turn it into an `ok:false` response; a broken length prefix
 /// instead closes the connection.
@@ -63,11 +72,12 @@ class WireError : public std::runtime_error {
 
 /// One value of a flat JSON object.
 struct WireValue {
-  enum class Kind { kNumber, kString, kBool };
+  enum class Kind { kNumber, kString, kBool, kNumbers };
   Kind kind = Kind::kNumber;
   double number = 0.0;
   std::string string;
   bool boolean = false;
+  std::vector<double> numbers;  ///< flat number array (kNumbers)
 };
 
 /// A parsed flat JSON object.
@@ -85,6 +95,9 @@ using WireObject = std::map<std::string, WireValue, std::less<>>;
 /// Missing key returns `fallback` (type mismatches still throw).
 [[nodiscard]] double get_number_or(const WireObject& obj, std::string_view key,
                                    double fallback);
+/// Flat number array; \throws WireError when missing or not an array.
+[[nodiscard]] const std::vector<double>& get_numbers(const WireObject& obj,
+                                                     std::string_view key);
 
 /// Incremental writer for a flat JSON object (keys in call order).
 class JsonObjectWriter {
@@ -93,6 +106,9 @@ class JsonObjectWriter {
   void add_number(std::string_view key, double value);  ///< %.17g
   void add_integer(std::string_view key, std::uint64_t value);
   void add_bool(std::string_view key, bool value);
+  void add_number_array(std::string_view key, std::span<const double> values);
+  void add_integer_array(std::string_view key,
+                         std::span<const std::uint64_t> values);
   /// The completed object; the writer may not be reused afterwards.
   [[nodiscard]] std::string finish();
 

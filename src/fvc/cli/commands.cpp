@@ -620,6 +620,8 @@ int cmd_serve(CommandContext& ctx) {
   api::ServerConfig cfg;
   cfg.socket_path = socket_path;
   cfg.stats = &stats;
+  cfg.batch_max = args.get_size("batch-max", 256);
+  cfg.batch_window_us = args.get_size("batch-window-us", 0);
   // The tile-cache mirror refresh for the periodic Prometheus export;
   // runs under the session mutex like every tick (see PeriodicTask).
   const auto refresh_cache_mirror = [&session, &stats] {
@@ -765,6 +767,16 @@ int cmd_top(CommandContext& ctx) {
         prev.counts[i] = total;
       }
       t.print(out);
+      const double batch_rounds = api::get_number(obj, "batch_rounds");
+      out << "batch: "
+          << static_cast<std::uint64_t>(api::get_number(obj, "batched_requests"))
+          << " coalesced reqs in "
+          << static_cast<std::uint64_t>(batch_rounds) << " rounds ("
+          << static_cast<std::uint64_t>(api::get_number(obj, "batch_points"))
+          << " points)  size p50/p90/p99 "
+          << fmt1(api::get_number(obj, "batch_size_p50")) << "/"
+          << fmt1(api::get_number(obj, "batch_size_p90")) << "/"
+          << fmt1(api::get_number(obj, "batch_size_p99")) << "\n";
       const double hits = api::get_number(obj, "cache_hits");
       const double misses = api::get_number(obj, "cache_misses");
       const double lookups = hits + misses;

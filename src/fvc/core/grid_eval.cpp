@@ -1052,11 +1052,16 @@ std::size_t GridEvalEngine::covered_count_at_least(const geom::Vec2& p,
 std::span<const double> GridEvalEngine::sorted_directions(std::size_t row,
                                                           std::size_t col,
                                                           GridEvalScratch& scratch) const {
-  std::vector<double>& a = scratch.angles;
-  a.clear();
+  scratch.angles.clear();
   const geom::Vec2 p = grid_.point(row, col);
   const CandView view = point_view(row, p, scratch);
   gather_directions(p, view, scratch);
+  sort_directions(scratch);
+  return scratch.angles;
+}
+
+void GridEvalEngine::sort_directions(GridEvalScratch& scratch) {
+  std::vector<double>& a = scratch.angles;
   // Direction buffers are small (the point's covering-camera count), so
   // insertion sort beats std::sort's dispatch; the sorted sequence is the
   // same for any comparison sort (the values are NaN-free doubles in
@@ -1098,7 +1103,49 @@ std::span<const double> GridEvalEngine::sorted_directions(std::size_t row,
   } else {
     std::sort(a.begin(), a.end());
   }
-  return a;
+}
+
+GridEvalEngine::CandView GridEvalEngine::arbitrary_view(
+    const geom::Vec2& p, GridEvalScratch& scratch) const {
+  switch (index_) {
+    case IndexVariant::kFlat:
+      return flat_view(p);
+    case IndexVariant::kHier:
+      return hier_view(p);
+    case IndexVariant::kStream:
+      break;
+  }
+  // Stream: `candidates(p)` prunes the strip bins by exact y distance —
+  // still a duplicate-free superset of the covering set — and the per-id
+  // records are copied field-by-field out of the per-camera pool, so the
+  // classify pipeline sees the exact bits `fill_soa` wrote.
+  const std::span<const std::uint32_t> ids = candidates(p);
+  const std::size_t n = ids.size();
+  scratch.point_ids.assign(ids.begin(), ids.end());
+  scratch.point_soa.resize(7 * n);
+  const std::size_t cam_stride = cam_soa_.stride;
+  const double* const pool = cam_soa_.data.data();
+  for (std::size_t f = 0; f < 7; ++f) {
+    double* const dst = scratch.point_soa.data() + f * n;
+    const double* const src = pool + f * cam_stride;
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = src[scratch.point_ids[i]];
+    }
+  }
+  return {scratch.point_soa.data(), n, scratch.point_ids.data(), n};
+}
+
+PointEval GridEvalEngine::eval_point(const geom::Vec2& p,
+                                     GridEvalScratch& scratch) const {
+  scratch.angles.clear();
+  gather_directions(p, arbitrary_view(p, scratch), scratch);
+  sort_directions(scratch);
+  const std::span<const double> dirs = scratch.angles;
+  PointEval res;
+  res.full_view = full_view_from_sorted(dirs, theta_);
+  res.necessary = arcs_all_hit(dirs, necessary_arcs_);
+  res.sufficient = arcs_all_hit(dirs, sufficient_arcs_);
+  return res;
 }
 
 FullViewResult GridEvalEngine::point_full_view(std::size_t row, std::size_t col,

@@ -126,6 +126,14 @@ struct GridEvalScratch {
   /// Optional metrics destination; null (the default) disables counting.
   GridEvalCounters* counters = nullptr;
 
+  /// Arbitrary-point candidate view (stream index only): the compacted
+  /// SoA records of the candidates near one off-lattice point, copied out
+  /// of the per-camera pool, plus the parallel camera ids.  `eval_point`
+  /// materialises these; the table indexes answer from their own pools
+  /// and never touch them.
+  std::vector<double> point_soa;
+  std::vector<std::uint32_t> point_ids;
+
   /// Stream-index row slice: the compacted SoA of cameras whose disc can
   /// reach one grid row's y band, bucketed by extended x cell (ghost
   /// columns replicate near-seam cameras so every per-point window is one
@@ -154,6 +162,13 @@ struct GridRowStats {
   std::size_t k_covered_ok = 0;
   double min_max_gap = 0.0;  ///< over the row's points
   double max_max_gap = 0.0;
+};
+
+/// Fused three-predicate answer at one (possibly off-lattice) point.
+struct PointEval {
+  FullViewResult full_view;
+  bool necessary = false;
+  bool sufficient = false;
 };
 
 /// Early-exit event bits of one row, mirroring `run_trial_events`.
@@ -228,6 +243,19 @@ class GridEvalEngine {
   /// Counts coverage only (no angle gathering), with per-point early exit.
   [[nodiscard]] bool row_all_k_covered(std::size_t row, std::size_t k,
                                        GridEvalScratch& scratch) const;
+
+  /// All three predicates at an arbitrary point `p` in [0, 1]^2 — one
+  /// candidate gather and one sort feed the gap scan and both sector
+  /// conditions.  Bit-identical to the scalar oracles
+  /// (`full_view_covered`, `meets_necessary_condition`,
+  /// `meets_sufficient_condition`) at the same point: the candidate span
+  /// is a duplicate-free superset of the covering set for *any* point
+  /// (not just cell centers), the per-entry classify replicates the
+  /// oracle's IEEE operation sequence, and the predicates are functions
+  /// of the covered direction set alone.  This is the serve daemon's
+  /// batched point-query path (api::Session::query_points).
+  [[nodiscard]] PointEval eval_point(const geom::Vec2& p,
+                                     GridEvalScratch& scratch) const;
 
   /// Candidate camera indices for the point `p` — a duplicate-free
   /// superset of the cameras covering `p` (for the table indexes: of any
@@ -363,6 +391,18 @@ class GridEvalEngine {
   [[nodiscard]] CandView point_view(std::size_t row, const geom::Vec2& p,
                                     GridEvalScratch& scratch) const;
   void build_row_slice(std::size_t row, GridEvalScratch& scratch) const;
+
+  /// Row-independent span resolution for `eval_point`: table indexes
+  /// answer positionally; the stream index compacts the `candidates(p)`
+  /// ids into `scratch.point_soa` / `scratch.point_ids` (no row slice —
+  /// an off-lattice y has no grid row).
+  [[nodiscard]] CandView arbitrary_view(const geom::Vec2& p,
+                                        GridEvalScratch& scratch) const;
+
+  /// In-place sort of `scratch.angles` (the tail of `sorted_directions`,
+  /// shared with `eval_point`): insertion sort for small buffers, a
+  /// 32-bucket counting presort for mid-sized ones, std::sort above.
+  static void sort_directions(GridEvalScratch& scratch);
 
   [[nodiscard]] std::size_t point_cell(const geom::Vec2& p) const;
 

@@ -122,6 +122,32 @@ std::string to_prometheus(const ServeStatsSnapshot& snap) {
              "Stalls flagged by the watchdog since start.", "counter");
   add_sample_u64(out, "fvc_serve_watchdog_stalls_total", "", snap.stalls);
 
+  add_header(out, "fvc_serve_batched_requests_total",
+             "Point requests coalesced into shared kernel rounds.", "counter");
+  add_sample_u64(out, "fvc_serve_batched_requests_total", "",
+                 snap.batched_requests);
+
+  add_header(out, "fvc_serve_batch_rounds_total",
+             "Kernel rounds run by the point batcher.", "counter");
+  add_sample_u64(out, "fvc_serve_batch_rounds_total", "", snap.batch_rounds);
+
+  add_header(out, "fvc_serve_batch_points_total",
+             "Points evaluated through the batcher.", "counter");
+  add_sample_u64(out, "fvc_serve_batch_points_total", "", snap.batch_points);
+
+  add_header(out, "fvc_serve_batch_size_points",
+             "Interpolated points-per-round quantiles of the batcher.",
+             "gauge");
+  if (snap.batch_rounds > 0) {
+    const double sizes[] = {snap.batch_size_p50, snap.batch_size_p90,
+                            snap.batch_size_p99};
+    for (std::size_t q = 0; q < 3; ++q) {
+      char labels[64];
+      std::snprintf(labels, sizeof labels, "{quantile=\"%s\"}", kQuantiles[q]);
+      add_sample_f64(out, "fvc_serve_batch_size_points", labels, sizes[q]);
+    }
+  }
+
   return out;
 }
 

@@ -14,6 +14,8 @@ const char* req_type_name(ReqType type) {
       return "info";
     case ReqType::kStats:
       return "stats";
+    case ReqType::kBatch:
+      return "batch";
     case ReqType::kOther:
       break;
   }
@@ -68,6 +70,16 @@ void ServeStats::note_cache(const CacheMirror& cache) {
   cache_mirror_[6].store(cache.bytes, std::memory_order_relaxed);
 }
 
+void ServeStats::note_batch(std::uint64_t requests, std::uint64_t points) {
+  if (requests >= 2) {
+    batched_requests_.fetch_add(requests, std::memory_order_relaxed);
+  }
+  batch_rounds_.fetch_add(1, std::memory_order_relaxed);
+  batch_points_.fetch_add(points, std::memory_order_relaxed);
+  batch_size_buckets_[LogHistogram::bucket_of(points)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 ServeStatsSnapshot ServeStats::snapshot(bool advance_baseline) {
   ServeStatsSnapshot snap;
   const std::uint64_t now = monotonic_ns();
@@ -85,6 +97,16 @@ ServeStatsSnapshot ServeStats::snapshot(bool advance_baseline) {
   if (stall_source_) {
     snap.stalls = stall_source_();
   }
+  snap.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  snap.batch_rounds = batch_rounds_.load(std::memory_order_relaxed);
+  snap.batch_points = batch_points_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+    snap.batch_size.add_to_bucket(
+        b, batch_size_buckets_[b].load(std::memory_order_relaxed));
+  }
+  snap.batch_size_p50 = snap.batch_size.percentile(0.50);
+  snap.batch_size_p90 = snap.batch_size.percentile(0.90);
+  snap.batch_size_p99 = snap.batch_size.percentile(0.99);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const std::unique_ptr<Recorder>& shard : shards_) {

@@ -50,9 +50,10 @@ enum class ReqType : std::uint8_t {
   kWhatIf,
   kInfo,
   kStats,
+  kBatch,  ///< the `points` wire verb (client-side batched points)
   kOther,
 };
-inline constexpr std::size_t kReqTypeCount = 6;
+inline constexpr std::size_t kReqTypeCount = 7;
 
 /// Wire/export name of a request type ("point", "region", ...).
 /// NUL-terminated literal, safe for printf-family formatting.
@@ -95,6 +96,16 @@ struct ServeStatsSnapshot {
 
   CacheMirror cache;
   std::uint64_t stalls = 0;  ///< watchdog stalls flagged
+
+  /// Group-commit batching counters (server-side coalescing of point
+  /// work into single kernel rounds; see api/batch.hpp).
+  std::uint64_t batched_requests = 0;  ///< requests coalesced into shared rounds
+  std::uint64_t batch_rounds = 0;      ///< kernel rounds run by the batcher
+  std::uint64_t batch_points = 0;      ///< points evaluated through the batcher
+  double batch_size_p50 = 0.0;         ///< points per round percentiles
+  double batch_size_p90 = 0.0;
+  double batch_size_p99 = 0.0;
+  LogHistogram batch_size;  ///< points per round
 
   /// Deltas since the previous baseline-advancing snapshot (the `stats`
   /// verb advances the baseline; file exporters do not).  On the first
@@ -160,6 +171,14 @@ class ServeStats {
   /// the mirror lock-free.
   void note_cache(const CacheMirror& cache);
 
+  /// Record one batcher kernel round: `requests` waiters answered with
+  /// `points` points in a single session pass.  `batched_requests`
+  /// advances only for rounds that actually coalesced (requests >= 2) —
+  /// the straight-through single-waiter path is not a batch.  Called by
+  /// whichever handler thread led the round (registry-level atomics, no
+  /// shard).
+  void note_batch(std::uint64_t requests, std::uint64_t points);
+
   /// Merge all shards into one consistent snapshot.  When
   /// `advance_baseline` is set the registry's delta baseline moves to
   /// this snapshot (the `stats` verb advances; file exporters pass
@@ -177,6 +196,12 @@ class ServeStats {
   std::atomic<std::uint64_t> in_flight_{0};
 
   std::array<std::atomic<std::uint64_t>, 7> cache_mirror_{};
+
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> batch_rounds_{0};
+  std::atomic<std::uint64_t> batch_points_{0};
+  std::array<std::atomic<std::uint64_t>, LogHistogram::kBuckets>
+      batch_size_buckets_{};
 
   std::function<std::uint64_t()> stall_source_;
 

@@ -115,13 +115,35 @@ TEST(Wire, ParsesFlatObjects) {
   EXPECT_TRUE(api::parse_flat_object("  { }  ").empty());
 }
 
+TEST(Wire, ParsesFlatNumberArrays) {
+  const api::WireObject obj = api::parse_flat_object(
+      "{\"op\":\"points\",\"x\":[0.5, -0.25,3e-1],\"y\":[],\"n\":2}");
+  const std::vector<double>& xs = api::get_numbers(obj, "x");
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_EQ(xs[0], 0.5);
+  EXPECT_EQ(xs[1], -0.25);
+  EXPECT_EQ(xs[2], 0.3);
+  EXPECT_TRUE(api::get_numbers(obj, "y").empty());
+  // Wrong-kind and missing accesses throw, like every other accessor.
+  EXPECT_THROW((void)api::get_numbers(obj, "n"), api::WireError);
+  EXPECT_THROW((void)api::get_numbers(obj, "absent"), api::WireError);
+  EXPECT_THROW((void)api::get_number(obj, "x"), api::WireError);
+}
+
 TEST(Wire, RejectsMalformedBodies) {
   EXPECT_THROW((void)api::parse_flat_object(""), api::WireError);
   EXPECT_THROW((void)api::parse_flat_object("not json"), api::WireError);
   EXPECT_THROW((void)api::parse_flat_object("{\"a\":1"), api::WireError);
   EXPECT_THROW((void)api::parse_flat_object("{\"a\":1}x"), api::WireError);
   EXPECT_THROW((void)api::parse_flat_object("{\"a\":{}}"), api::WireError);
-  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[1]}"), api::WireError);
+  // Arrays are admitted, but only one level deep and only of numbers.
+  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[true]}"), api::WireError);
+  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[\"s\"]}"), api::WireError);
+  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[[1]]}"), api::WireError);
+  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[{}]}"), api::WireError);
+  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[1,]}"), api::WireError);
+  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[1"), api::WireError);
+  EXPECT_THROW((void)api::parse_flat_object("{\"a\":[nan]}"), api::WireError);
   EXPECT_THROW((void)api::parse_flat_object("{\"a\":1,\"a\":2}"),
                api::WireError);
   EXPECT_THROW((void)api::parse_flat_object("{\"a\":nan}"), api::WireError);

@@ -275,6 +275,20 @@ TEST(ServeStats, GaugesMirrorAndStallSource) {
   EXPECT_EQ(snap.connections_active, 0u);
 }
 
+TEST(ServeStats, BatchRoundAccounting) {
+  obs::ServeStats stats;
+  stats.note_batch(1, 1);    // straight-through round: not a coalesced batch
+  stats.note_batch(3, 7);    // a real group commit
+  stats.note_batch(2, 400);  // client-side `points` arrays count as well
+  obs::ServeStatsSnapshot snap = stats.snapshot(/*advance_baseline=*/false);
+  EXPECT_EQ(snap.batch_rounds, 3u);
+  EXPECT_EQ(snap.batch_points, 1u + 7u + 400u);
+  // Only rounds with >= 2 waiters advance batched_requests.
+  EXPECT_EQ(snap.batched_requests, 3u + 2u);
+  EXPECT_EQ(snap.batch_size.total(), 3u);
+  EXPECT_GT(snap.batch_size_p99, snap.batch_size_p50);
+}
+
 TEST(ServeStats, ShardsOutliveConnections) {
   obs::ServeStats stats;
   {
@@ -312,12 +326,14 @@ TEST(ServeStatsVerb, GoldenSchemaFields) {
         "requests_total", "errors_total", "bytes_in", "bytes_out",
         "cache_hits", "cache_misses", "cache_evictions",
         "cache_carried_forward", "cache_tiles", "cache_capacity",
-        "cache_bytes", "stalls", "delta_ms", "delta_requests", "delta_errors",
+        "cache_bytes", "stalls", "batched_requests", "batch_rounds",
+        "batch_points", "batch_size_p50", "batch_size_p90", "batch_size_p99",
+        "delta_ms", "delta_requests", "delta_errors",
         "delta_bytes_in", "delta_bytes_out"}) {
     EXPECT_TRUE(snap.count(field) == 1) << field;
   }
   for (const char* type :
-       {"point", "region", "what_if", "info", "stats", "other"}) {
+       {"point", "region", "what_if", "info", "stats", "batch", "other"}) {
     const std::string name(type);
     for (const char* suffix :
          {"_count", "_p50_us", "_p90_us", "_p99_us", "_delta"}) {
@@ -480,7 +496,7 @@ TEST(ServeStatsLive, SnapshotStaysConsistentUnderConcurrentMutation) {
       // counts in the SAME snapshot — no torn reads.
       std::uint64_t sum = 0;
       for (const char* type :
-           {"point", "region", "what_if", "info", "stats", "other"}) {
+           {"point", "region", "what_if", "info", "stats", "batch", "other"}) {
         sum += get_u64(snap, std::string(type) + "_count");
       }
       const std::uint64_t total = get_u64(snap, "requests_total");

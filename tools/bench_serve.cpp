@@ -8,13 +8,14 @@
 /// that differs from the locally computed one by even one ULP is a
 /// mismatch, and a mismatch is a nonzero exit, not a footnote.
 ///
-/// Three phases:
+/// Four phases:
 ///   1. preflight — `info` must agree with the mirror on digest, camera
 ///      count, theta and grid shape (catches a daemon started with
 ///      different flags before any load is applied);
-///   2. verify    — a deterministic single-connection transcript: point
-///      and region queries, then a what-if add/remove pair that must
-///      return the digest to its original value, each answer compared
+///   2. verify    — a deterministic single-connection transcript: point,
+///      `points` (the whole pool in one coalesced request) and region
+///      queries, then a what-if add/remove pair that must return the
+///      digest to its original value, each answer compared
 ///      field-by-field against the mirror run in lockstep;
 ///   3. load      — `connections` client threads issue `seconds * qps`
 ///      requests on an open-loop schedule (request i fires at
@@ -23,7 +24,17 @@
 ///      where the load-phase what-if is a no-op move (index only: absent
 ///      fields keep the camera) so concurrent clients never perturb each
 ///      other's expected answers — every response is still verified
-///      bit-exactly against precomputed mirror answers.
+///      bit-exactly against precomputed mirror answers;
+///   4. batched point load — `connections` clients hammer `point`
+///      requests closed-loop (back-to-back, no pacing) for up to 5 s.
+///      This is the workload the daemon's group-commit batcher exists
+///      for: concurrent requests coalesce into single SIMD kernel
+///      rounds, and the stats bracket around the phase records how many
+///      (`batched_requests`).  Every answer is still verified
+///      bit-exactly.  With an optional second socket (a daemon started
+///      with `--batch-max 0`, everything else identical) the same
+///      closed loop runs there too, recording the unbatched baseline
+///      throughput and the speedup.
 ///
 /// Around phase 3 the bench polls the daemon's `stats` verb (fvc.serve_stats/1)
 /// once before and once after the load, which buys two things: daemon-side
@@ -39,7 +50,7 @@
 ///
 /// Usage:
 ///   bench_serve <socket> [out.json] [seconds] [qps] [connections]
-///               [n] [seed] [grid_side]
+///               [n] [seed] [grid_side] [unbatched_socket]
 ///     socket     unix socket path of a running `fvc_sim serve`
 ///     out.json   output path                default BENCH_serve.json
 ///     seconds    load-phase duration        default 5
@@ -48,14 +59,18 @@
 ///     n          population size            default 300   (serve default)
 ///     seed       deployment RNG seed        default 1     (serve default)
 ///     grid_side  evaluation grid side       default 64    (serve default)
+///     unbatched_socket  optional second daemon (--batch-max 0, same
+///                deployment) for the batched-vs-unbatched comparison
 ///   radius/fov/theta/tile-rows are pinned to the serve defaults
 ///   (0.15 / 2.0 / pi/2 / 8); start the daemon accordingly.
 ///
-/// Writes a fvc.bench_serve/2 JSON record: offered vs achieved QPS,
+/// Writes a fvc.bench_serve/3 JSON record: offered vs achieved QPS,
 /// client-side latency percentiles (measured from the *scheduled* send
 /// time, so queueing delay is charged to the daemon), per-op counts,
 /// daemon-side percentiles and cache hit rate from the `stats` verb, the
-/// accounting check, and the mismatch counters the CI smoke leg gates on.
+/// accounting check, the batched-load section (closed-loop point
+/// throughput, batch telemetry deltas, optional unbatched baseline and
+/// speedup), and the mismatch counters the CI smoke leg gates on.
 ///
 /// Exit status: 0 on success; 1 on bad usage, preflight disagreement,
 /// any bit-identity mismatch, any error response, a lost connection, or a
@@ -214,6 +229,8 @@ struct DaemonStats {
   double what_if_p[3] = {0.0, 0.0, 0.0};
   double cache_hits = 0.0;
   double cache_misses = 0.0;
+  double batched_requests = 0.0;  ///< requests answered in >=2-waiter rounds
+  double batch_rounds = 0.0;      ///< group-commit kernel rounds run
 };
 
 /// Poll the daemon's stats verb.  \throws on an unreachable daemon or a
@@ -238,7 +255,116 @@ DaemonStats poll_stats(api::Client& c) {
   }
   s.cache_hits = api::get_number(obj, "cache_hits");
   s.cache_misses = api::get_number(obj, "cache_misses");
+  s.batched_requests = api::get_number(obj, "batched_requests");
+  s.batch_rounds = api::get_number(obj, "batch_rounds");
   return s;
+}
+
+/// Bit-exact check of a `points` response slot against a pooled case.
+bool points_slot_matches(const api::WireObject& obj, std::size_t slot,
+                         const api::PointAnswer& want) {
+  const std::vector<double>& covered = api::get_numbers(obj, "covered");
+  const std::vector<double>& necessary = api::get_numbers(obj, "necessary");
+  const std::vector<double>& sufficient = api::get_numbers(obj, "sufficient");
+  const std::vector<double>& max_gap = api::get_numbers(obj, "max_gap");
+  const std::vector<double>& count = api::get_numbers(obj, "covering_count");
+  return slot < covered.size() &&
+         covered[slot] == (want.covered ? 1.0 : 0.0) &&
+         necessary[slot] == (want.necessary ? 1.0 : 0.0) &&
+         sufficient[slot] == (want.sufficient ? 1.0 : 0.0) &&
+         max_gap[slot] == want.max_gap &&
+         count[slot] == static_cast<double>(want.covering_count);
+}
+
+/// Result of one closed-loop point-only load (phase 4).
+struct ClosedLoopResult {
+  std::size_t answered = 0;
+  double elapsed_s = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Hammer `point` requests back-to-back from `connections` clients for
+/// `seconds`, verifying every answer bit-exactly against the pool.
+/// Closed-loop: each worker's next request leaves the moment its
+/// previous answer arrives — the shape that lets concurrent requests
+/// pile into the daemon's batch queue.
+ClosedLoopResult closed_loop_point_load(const std::string& socket_path,
+                                        const std::vector<PointCase>& points,
+                                        const std::string& digest_hex,
+                                        std::size_t connections,
+                                        double seconds) {
+  ClosedLoopResult res;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<std::uint64_t>> lat_ns(connections);
+  std::mutex print_mutex;
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point deadline =
+      t0 + std::chrono::nanoseconds(static_cast<std::int64_t>(seconds * 1e9));
+  std::atomic<Clock::duration::rep> last_done{0};
+  auto worker = [&](std::size_t w) {
+    try {
+      api::Client c(socket_path);
+      std::vector<std::uint64_t>& lats = lat_ns[w];
+      std::size_t i = w;  // stagger pool starts across workers
+      while (Clock::now() < deadline) {
+        const PointCase& pc = points[i++ % kPointPool];
+        const Clock::time_point sent = Clock::now();
+        const std::optional<std::string> raw = c.try_request(pc.request);
+        const Clock::time_point done = Clock::now();
+        if (!raw.has_value()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        lats.push_back(static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(done - sent).count()));
+        last_done.store((done - t0).count(), std::memory_order_relaxed);
+        if (!point_matches(api::parse_flat_object(*raw), pc.expect,
+                           digest_hex)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock(print_mutex);
+          std::fprintf(stderr, "bench_serve: batched load FAIL: %s\n",
+                       raw->c_str());
+        }
+      }
+    } catch (const std::exception& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(print_mutex);
+      std::fprintf(stderr, "bench_serve: closed-loop worker %zu died: %s\n", w,
+                   e.what());
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (std::size_t w = 0; w < connections; ++w) {
+    workers.emplace_back(worker, w);
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  std::vector<std::uint64_t> all;
+  for (const std::vector<std::uint64_t>& v : lat_ns) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  res.answered = all.size();
+  res.elapsed_s = std::chrono::duration<double>(
+                      Clock::duration(last_done.load(std::memory_order_relaxed)))
+                      .count();
+  res.qps = res.elapsed_s > 0.0
+                ? static_cast<double>(all.size()) / res.elapsed_s
+                : 0.0;
+  res.p50_us = percentile_us(all, 0.50);
+  res.p90_us = percentile_us(all, 0.90);
+  res.p99_us = percentile_us(all, 0.99);
+  res.mismatches = mismatches.load();
+  res.errors = errors.load();
+  return res;
 }
 
 }  // namespace
@@ -247,7 +373,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: bench_serve <socket> [out.json] [seconds] [qps] "
-                 "[connections] [n] [seed] [grid_side]\n");
+                 "[connections] [n] [seed] [grid_side] [unbatched_socket]\n");
     return 1;
   }
   const std::string socket_path = argv[1];
@@ -260,6 +386,7 @@ int main(int argc, char** argv) {
   const std::size_t seed = argc > 7 ? static_cast<std::size_t>(std::atoll(argv[7])) : 1;
   const std::size_t grid_side =
       argc > 8 ? static_cast<std::size_t>(std::atoll(argv[8])) : 64;
+  const std::string unbatched_socket = argc > 9 ? argv[9] : "";
   if (seconds <= 0.0 || qps <= 0.0 || n == 0 || grid_side == 0) {
     std::fprintf(stderr, "bench_serve: seconds/qps/n/grid_side must be positive\n");
     return 1;
@@ -333,6 +460,32 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_serve: verify FAIL point (%.17g, %.17g)\n",
                      pc.x, pc.y);
         ++verify_mismatches;
+      }
+    }
+    // The whole pool again, coalesced into one `points` request: slot k
+    // must carry the same bits the per-point answers just did.
+    {
+      std::vector<double> xs(kPointPool);
+      std::vector<double> ys(kPointPool);
+      for (std::size_t i = 0; i < kPointPool; ++i) {
+        xs[i] = points[i].x;
+        ys[i] = points[i].y;
+      }
+      ++verify_requests;
+      const api::WireObject resp =
+          api::parse_flat_object(c.request(api::points_request(xs, ys)));
+      if (!api::get_bool(resp, "ok") ||
+          api::get_string(resp, "digest") != digest_hex ||
+          api::get_number(resp, "count") != static_cast<double>(kPointPool)) {
+        std::fprintf(stderr, "bench_serve: verify FAIL points envelope\n");
+        ++verify_mismatches;
+      } else {
+        for (std::size_t i = 0; i < kPointPool; ++i) {
+          if (!points_slot_matches(resp, i, points[i].expect)) {
+            std::fprintf(stderr, "bench_serve: verify FAIL points slot %zu\n", i);
+            ++verify_mismatches;
+          }
+        }
       }
     }
     for (const RegionCase& rc : regions) {
@@ -579,19 +732,78 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(totals.what_ifs.load()),
                  d_requests, all.size());
   }
-  // Every request this process sent, stats polls included — the count a
-  // later stats/top poll of an otherwise idle daemon reports as
-  // requests_total.
+  // --- Phase 4: closed-loop batched point load, stats-bracketed so the
+  // batch telemetry deltas belong to exactly this phase.
+  const double batch_seconds = std::min(seconds, 5.0);
+  const ClosedLoopResult batched = closed_loop_point_load(
+      socket_path, points, digest_hex, connections, batch_seconds);
+  DaemonStats stats_final;
+  try {
+    api::Client sc(socket_path);
+    stats_final = poll_stats(sc);
+    ++stats_polls;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: final stats poll failed: %s\n", e.what());
+    return 1;
+  }
+  const double d_batched_requests =
+      stats_final.batched_requests - stats_after.batched_requests;
+  const double d_batch_rounds = stats_final.batch_rounds - stats_after.batch_rounds;
+  std::printf(
+      "batched load: %zu points in %.2f s (%.1f qps), p50 %.0f us p99 %.0f us, "
+      "%llu mismatches, %.0f coalesced requests in %.0f rounds\n",
+      batched.answered, batched.elapsed_s, batched.qps, batched.p50_us,
+      batched.p99_us, static_cast<unsigned long long>(batched.mismatches),
+      d_batched_requests, d_batch_rounds);
+
+  // Optional unbatched baseline: the same closed loop against a daemon
+  // started with --batch-max 0 (and otherwise identical flags).
+  ClosedLoopResult unbatched;
+  bool have_unbatched = false;
+  if (!unbatched_socket.empty()) {
+    try {
+      api::Client probe(unbatched_socket);
+      const api::WireObject info =
+          api::parse_flat_object(probe.request("{\"op\":\"info\"}"));
+      if (!api::get_bool(info, "ok") ||
+          api::get_string(info, "digest") != digest_hex) {
+        std::fprintf(stderr,
+                     "bench_serve: unbatched daemon at %s serves a different "
+                     "deployment\n",
+                     unbatched_socket.c_str());
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_serve: cannot reach unbatched daemon: %s\n",
+                   e.what());
+      return 1;
+    }
+    unbatched = closed_loop_point_load(unbatched_socket, points, digest_hex,
+                                       connections, batch_seconds);
+    have_unbatched = true;
+    std::printf("unbatched baseline: %zu points (%.1f qps) — speedup %.2fx\n",
+                unbatched.answered, unbatched.qps,
+                unbatched.qps > 0.0 ? batched.qps / unbatched.qps : 0.0);
+  }
+
+  // Every request this process sent to the primary daemon, stats polls
+  // included — the count a later stats/top poll of an otherwise idle
+  // daemon reports as requests_total.
   const std::uint64_t requests_issued_total =
-      verify_requests + stats_polls + static_cast<std::uint64_t>(all.size());
+      verify_requests + stats_polls + static_cast<std::uint64_t>(all.size()) +
+      static_cast<std::uint64_t>(batched.answered);
 
   const bool ok = verify_mismatches == 0 && load_mismatches == 0 &&
-                  load_errors == 0 && all.size() == total && stats_counts_match;
-  char buf[4096];
+                  load_errors == 0 && all.size() == total &&
+                  stats_counts_match && batched.mismatches == 0 &&
+                  batched.errors == 0 &&
+                  (!have_unbatched ||
+                   (unbatched.mismatches == 0 && unbatched.errors == 0));
+  char buf[6144];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
-      "  \"schema\": \"fvc.bench_serve/2\",\n"
+      "  \"schema\": \"fvc.bench_serve/3\",\n"
       "  \"bench\": \"serve_open_loop\",\n"
       "  \"digest\": \"%s\",\n"
       "  \"n\": %zu,\n"
@@ -616,6 +828,21 @@ int main(int argc, char** argv) {
       "    \"max_us\": %.1f,\n"
       "    \"mismatches\": %llu,\n"
       "    \"errors\": %llu\n"
+      "  },\n"
+      "  \"batched_load\": {\n"
+      "    \"seconds\": %.3f,\n"
+      "    \"connections\": %zu,\n"
+      "    \"answered\": %zu,\n"
+      "    \"point_qps\": %.1f,\n"
+      "    \"p50_us\": %.1f,\n"
+      "    \"p90_us\": %.1f,\n"
+      "    \"p99_us\": %.1f,\n"
+      "    \"mismatches\": %llu,\n"
+      "    \"errors\": %llu,\n"
+      "    \"batched_requests_delta\": %.0f,\n"
+      "    \"batch_rounds_delta\": %.0f,\n"
+      "    \"unbatched_point_qps\": %.1f,\n"
+      "    \"speedup_vs_unbatched\": %.3f\n"
       "  },\n"
       "  \"daemon\": {\n"
       "    \"stats_counts_match\": %s,\n"
@@ -648,7 +875,12 @@ int main(int argc, char** argv) {
       percentile_us(all, 0.50), percentile_us(all, 0.90),
       percentile_us(all, 0.99), percentile_us(all, 1.0),
       static_cast<unsigned long long>(load_mismatches),
-      static_cast<unsigned long long>(load_errors),
+      static_cast<unsigned long long>(load_errors), batch_seconds, connections,
+      batched.answered, batched.qps, batched.p50_us, batched.p90_us,
+      batched.p99_us, static_cast<unsigned long long>(batched.mismatches),
+      static_cast<unsigned long long>(batched.errors), d_batched_requests,
+      d_batch_rounds, have_unbatched ? unbatched.qps : 0.0,
+      have_unbatched && unbatched.qps > 0.0 ? batched.qps / unbatched.qps : 0.0,
       stats_counts_match ? "true" : "false", stats_after.requests_total,
       stats_after.errors_total, stats_after.point_p[0], stats_after.point_p[1],
       stats_after.point_p[2], stats_after.region_p[0], stats_after.region_p[1],
